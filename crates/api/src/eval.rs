@@ -1,0 +1,300 @@
+//! Walk-forward evaluation: the harness behind every MAPE bar in the
+//! paper's Fig. 2 and Fig. 9.
+//!
+//! At each test interval `i`, the predictor sees the actual JARs
+//! `J_0 .. J_{i-1}` and emits `P_i`; then the actual `J_i` is revealed and
+//! the walk advances. Predictions are clamped at zero (a negative VM count
+//! is meaningless — linear-regression baselines do produce negative raw
+//! outputs on decaying workloads).
+
+use crate::metrics;
+use crate::predictor::Predictor;
+use crate::series::Series;
+
+/// Predictions and actuals from one walk-forward run.
+#[derive(Debug, Clone)]
+pub struct WalkForwardResult {
+    /// Technique name.
+    pub predictor: String,
+    /// Workload name.
+    pub workload: String,
+    /// One prediction per test interval.
+    pub preds: Vec<f64>,
+    /// The matching actual JARs.
+    pub actuals: Vec<f64>,
+}
+
+impl WalkForwardResult {
+    /// MAPE in percent over the test intervals.
+    pub fn mape(&self) -> f64 {
+        metrics::mape(&self.preds, &self.actuals)
+    }
+
+    /// Symmetric MAPE in percent.
+    pub fn smape(&self) -> f64 {
+        metrics::smape(&self.preds, &self.actuals)
+    }
+
+    /// RMSE in JAR units.
+    pub fn rmse(&self) -> f64 {
+        metrics::rmse(&self.preds, &self.actuals)
+    }
+
+    /// Fraction of intervals under-predicted (`P_i < J_i`), which drives
+    /// the under-provisioning results of the auto-scaling case study.
+    pub fn under_prediction_rate(&self) -> f64 {
+        if self.preds.is_empty() {
+            return 0.0;
+        }
+        self.preds
+            .iter()
+            .zip(&self.actuals)
+            .filter(|(p, a)| p < a)
+            .count() as f64
+            / self.preds.len() as f64
+    }
+}
+
+/// Runs a predictor walk-forward over the series: `fit` on
+/// `series[..test_start]`, then one prediction per interval of
+/// `series[test_start..]`.
+///
+/// # Panics
+/// Panics if `test_start` is 0 or >= the series length — there must be
+/// history to fit on and at least one interval to test.
+pub fn walk_forward(
+    predictor: &mut dyn Predictor,
+    series: &Series,
+    test_start: usize,
+) -> WalkForwardResult {
+    assert!(
+        test_start > 0 && test_start < series.len(),
+        "test_start {test_start} out of range for length {}",
+        series.len()
+    );
+    predictor.fit(&series.values[..test_start]);
+    let mut preds = Vec::with_capacity(series.len() - test_start);
+    for i in test_start..series.len() {
+        let p = predictor.predict(&series.values[..i]);
+        preds.push(if p.is_finite() { p.max(0.0) } else { 0.0 });
+    }
+    WalkForwardResult {
+        predictor: predictor.name(),
+        workload: series.name.clone(),
+        preds,
+        actuals: series.values[test_start..].to_vec(),
+    }
+}
+
+/// Walk-forward over an explicit interval range `[test_start, test_end)`.
+///
+/// Like [`walk_forward`] but stops before the end of the series — the
+/// building block for [`rolling_origin`] backtesting.
+pub fn walk_forward_range(
+    predictor: &mut dyn Predictor,
+    series: &Series,
+    test_start: usize,
+    test_end: usize,
+) -> WalkForwardResult {
+    assert!(
+        test_start > 0 && test_start < test_end && test_end <= series.len(),
+        "invalid range {test_start}..{test_end} for length {}",
+        series.len()
+    );
+    predictor.fit(&series.values[..test_start]);
+    let mut preds = Vec::with_capacity(test_end - test_start);
+    for i in test_start..test_end {
+        let p = predictor.predict(&series.values[..i]);
+        preds.push(if p.is_finite() { p.max(0.0) } else { 0.0 });
+    }
+    WalkForwardResult {
+        predictor: predictor.name(),
+        workload: series.name.clone(),
+        preds,
+        actuals: series.values[test_start..test_end].to_vec(),
+    }
+}
+
+/// Rolling-origin backtesting: the region after `min_train` is split into
+/// `n_folds` contiguous blocks; each fold fits a fresh predictor (from
+/// `make`) on everything before its block and walks forward through it.
+///
+/// Single-split evaluation (the paper's fixed 60/20/20) measures one
+/// realization; rolling origin exposes how stable a technique's accuracy
+/// is as the training window grows — the standard robustness check for
+/// time-series models.
+pub fn rolling_origin(
+    series: &Series,
+    n_folds: usize,
+    min_train: usize,
+    mut make: impl FnMut() -> Box<dyn Predictor>,
+) -> Vec<WalkForwardResult> {
+    assert!(n_folds >= 1, "need at least one fold");
+    assert!(
+        min_train >= 1 && min_train < series.len(),
+        "min_train {min_train} out of range for {}",
+        series.len()
+    );
+    let span = series.len() - min_train;
+    assert!(span >= n_folds, "not enough intervals for {n_folds} folds");
+    let mut results = Vec::with_capacity(n_folds);
+    for fold in 0..n_folds {
+        let start = min_train + span * fold / n_folds;
+        let end = min_train + span * (fold + 1) / n_folds;
+        let mut predictor = make();
+        results.push(walk_forward_range(predictor.as_mut(), series, start, end));
+    }
+    results
+}
+
+/// Recursive multi-step forecasting: predicts `horizon` future intervals
+/// by feeding each prediction back as if it were observed.
+///
+/// This is how a provisioning policy looks more than one interval ahead
+/// with a one-step predictor (Eq. 1 composed with itself). Errors compound
+/// with the horizon; callers should treat far-out steps as rough guidance.
+pub fn predict_horizon(
+    predictor: &mut dyn Predictor,
+    history: &[f64],
+    horizon: usize,
+) -> Vec<f64> {
+    assert!(!history.is_empty(), "history must be non-empty");
+    let mut extended = history.to_vec();
+    let mut out = Vec::with_capacity(horizon);
+    for _ in 0..horizon {
+        let p = predictor.predict(&extended);
+        let p = if p.is_finite() { p.max(0.0) } else { 0.0 };
+        extended.push(p);
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Predicts the last observed value (the naive persistence model).
+    struct Persist;
+    impl Predictor for Persist {
+        fn name(&self) -> String {
+            "persist".into()
+        }
+        fn fit(&mut self, _h: &[f64]) {}
+        fn predict(&mut self, h: &[f64]) -> f64 {
+            *h.last().unwrap()
+        }
+    }
+
+    /// Always predicts a negative value, to exercise clamping.
+    struct Negative;
+    impl Predictor for Negative {
+        fn name(&self) -> String {
+            "neg".into()
+        }
+        fn fit(&mut self, _h: &[f64]) {}
+        fn predict(&mut self, _h: &[f64]) -> f64 {
+            -42.0
+        }
+    }
+
+    /// Counts how much history it is shown at each call.
+    struct HistoryLen(Vec<usize>);
+    impl Predictor for HistoryLen {
+        fn name(&self) -> String {
+            "hist".into()
+        }
+        fn fit(&mut self, h: &[f64]) {
+            self.0.push(h.len());
+        }
+        fn predict(&mut self, h: &[f64]) -> f64 {
+            self.0.push(h.len());
+            0.0
+        }
+    }
+
+    fn series() -> Series {
+        Series::new("w", 5, (1..=10).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn persistence_on_linear_series() {
+        let mut p = Persist;
+        let r = walk_forward(&mut p, &series(), 7);
+        assert_eq!(r.preds, vec![7.0, 8.0, 9.0]);
+        assert_eq!(r.actuals, vec![8.0, 9.0, 10.0]);
+        assert!(r.under_prediction_rate() == 1.0);
+        assert!(r.mape() > 0.0 && r.mape() < 15.0);
+    }
+
+    #[test]
+    fn negative_predictions_clamped_to_zero() {
+        let mut p = Negative;
+        let r = walk_forward(&mut p, &series(), 8);
+        assert_eq!(r.preds, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn history_grows_one_interval_at_a_time() {
+        let mut p = HistoryLen(Vec::new());
+        walk_forward(&mut p, &series(), 6);
+        // fit sees 6, then predictions see 6, 7, 8, 9.
+        assert_eq!(p.0, vec![6, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_test_start_rejected() {
+        walk_forward(&mut Persist, &series(), 0);
+    }
+
+    /// Predicts one more than the last value.
+    struct Increment;
+    impl Predictor for Increment {
+        fn name(&self) -> String {
+            "inc".into()
+        }
+        fn fit(&mut self, _h: &[f64]) {}
+        fn predict(&mut self, h: &[f64]) -> f64 {
+            h.last().unwrap() + 1.0
+        }
+    }
+
+    #[test]
+    fn horizon_forecast_feeds_predictions_back() {
+        let preds = predict_horizon(&mut Increment, &[5.0], 4);
+        assert_eq!(preds, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn horizon_forecast_clamps_and_sizes() {
+        let preds = predict_horizon(&mut Negative, &[5.0], 3);
+        assert_eq!(preds, vec![0.0, 0.0, 0.0]);
+        assert!(predict_horizon(&mut Persist, &[1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn walk_forward_range_stops_at_end() {
+        let r = walk_forward_range(&mut Persist, &series(), 4, 7);
+        assert_eq!(r.preds, vec![4.0, 5.0, 6.0]);
+        assert_eq!(r.actuals, vec![5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn rolling_origin_covers_the_tail_exactly_once() {
+        let s = series(); // values 1..=10
+        let folds = rolling_origin(&s, 3, 4, || Box::new(Persist));
+        assert_eq!(folds.len(), 3);
+        let covered: Vec<f64> = folds.iter().flat_map(|f| f.actuals.clone()).collect();
+        assert_eq!(covered, s.values[4..].to_vec());
+        // Folds are contiguous and ordered.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.preds.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough intervals")]
+    fn rolling_origin_rejects_too_many_folds() {
+        rolling_origin(&series(), 20, 8, || Box::new(Persist));
+    }
+}

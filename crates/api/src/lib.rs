@@ -1,0 +1,19 @@
+//! Shared vocabulary of the LoadDynamics reproduction: the workload
+//! [`Series`] type, the [`Predictor`] trait every technique implements,
+//! accuracy [`metrics`], the 60/20/20 [`partition`] of Section IV-A, and
+//! the walk-forward [`eval`] harness that produces every MAPE number in the
+//! paper's figures.
+
+pub mod eval;
+pub mod metrics;
+pub mod partition;
+pub mod predictor;
+pub mod scaler;
+pub mod series;
+
+pub use eval::{predict_horizon, rolling_origin, walk_forward, walk_forward_range, WalkForwardResult};
+pub use metrics::{mae, mape, mase, rmse, smape};
+pub use partition::Partition;
+pub use predictor::Predictor;
+pub use scaler::MinMaxScaler;
+pub use series::Series;

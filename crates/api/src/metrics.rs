@@ -1,0 +1,164 @@
+//! Prediction-accuracy metrics.
+//!
+//! The paper reports MAPE: `100%/n * sum_i |(P_i - J_i) / J_i|`
+//! (Section IV-A). Intervals whose actual JAR is zero are skipped, as the
+//! percentage error is undefined there — the paper's traces are large
+//! enough that zero intervals do not occur at the evaluated granularities,
+//! but synthetic low-volume configurations can produce them.
+
+/// Mean absolute percentage error, in percent (e.g. `18.0` = 18 %).
+///
+/// Pairs with `actual == 0` are skipped; returns `0.0` if nothing remains.
+pub fn mape(preds: &[f64], actuals: &[f64]) -> f64 {
+    assert_eq!(preds.len(), actuals.len(), "mape length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (p, a) in preds.iter().zip(actuals) {
+        if *a == 0.0 {
+            continue;
+        }
+        sum += ((p - a) / a).abs();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+/// Symmetric MAPE in percent: `100%/n * sum 2|P - J| / (|P| + |J|)`.
+/// Defined (as 0) when both are zero.
+pub fn smape(preds: &[f64], actuals: &[f64]) -> f64 {
+    assert_eq!(preds.len(), actuals.len(), "smape length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = preds
+        .iter()
+        .zip(actuals)
+        .map(|(p, a)| {
+            let denom = p.abs() + a.abs();
+            if denom == 0.0 {
+                0.0
+            } else {
+                2.0 * (p - a).abs() / denom
+            }
+        })
+        .sum();
+    100.0 * sum / preds.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(preds: &[f64], actuals: &[f64]) -> f64 {
+    assert_eq!(preds.len(), actuals.len(), "rmse length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    (preds
+        .iter()
+        .zip(actuals)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / preds.len() as f64)
+        .sqrt()
+}
+
+/// Mean absolute scaled error (Hyndman & Koehler 2006): MAE divided by the
+/// in-sample MAE of the naive one-step (persistence) forecast computed on
+/// `train`. Values below 1 mean the predictor beats persistence — a
+/// scale-free complement to MAPE that stays defined when actuals hit zero.
+pub fn mase(preds: &[f64], actuals: &[f64], train: &[f64]) -> f64 {
+    assert_eq!(preds.len(), actuals.len(), "mase length mismatch");
+    if preds.is_empty() || train.len() < 2 {
+        return 0.0;
+    }
+    let naive_mae = train
+        .windows(2)
+        .map(|w| (w[1] - w[0]).abs())
+        .sum::<f64>()
+        / (train.len() - 1) as f64;
+    if naive_mae <= 0.0 {
+        return 0.0;
+    }
+    mae(preds, actuals) / naive_mae
+}
+
+/// Mean absolute error.
+pub fn mae(preds: &[f64], actuals: &[f64]) -> f64 {
+    assert_eq!(preds.len(), actuals.len(), "mae length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    preds
+        .iter()
+        .zip(actuals)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / preds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_reference() {
+        // |10-8|/8 = 25%, |20-25|/25 = 20% -> mean 22.5%
+        assert!((mape(&[10.0, 20.0], &[8.0, 25.0]) - 22.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_perfect_prediction_is_zero() {
+        assert_eq!(mape(&[5.0, 7.0], &[5.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        assert!((mape(&[10.0, 99.0], &[8.0, 0.0]) - 25.0).abs() < 1e-12);
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn smape_bounded_by_200() {
+        assert!((smape(&[100.0], &[0.0]) - 200.0).abs() < 1e-12);
+        assert_eq!(smape(&[0.0], &[0.0]), 0.0);
+        assert!((smape(&[3.0], &[1.0]) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_and_mae_reference() {
+        assert_eq!(rmse(&[1.0, 5.0], &[1.0, 1.0]), (8.0f64).sqrt());
+        assert_eq!(mae(&[1.0, 5.0], &[1.0, 1.0]), 2.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rmse_dominates_mae() {
+        let p = [1.0, 2.0, 10.0];
+        let a = [1.5, 2.5, 4.0];
+        assert!(rmse(&p, &a) >= mae(&p, &a));
+    }
+
+    #[test]
+    fn mase_reference_and_degenerate_cases() {
+        // Train steps of size 2 -> naive MAE 2; prediction MAE 1 -> 0.5.
+        let train = [0.0, 2.0, 4.0, 6.0];
+        assert!((mase(&[5.0], &[6.0], &train) - 0.5).abs() < 1e-12);
+        // Perfect prediction -> 0.
+        assert_eq!(mase(&[6.0], &[6.0], &train), 0.0);
+        // Constant training series (naive MAE 0) -> defined as 0.
+        assert_eq!(mase(&[1.0], &[2.0], &[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(mase(&[], &[], &train), 0.0);
+    }
+
+    #[test]
+    fn mase_below_one_means_beating_persistence() {
+        let train = [10.0, 20.0, 10.0, 20.0];
+        // Naive MAE = 10. A predictor off by 3 scores 0.3.
+        assert!(mase(&[13.0], &[10.0], &train) < 1.0);
+        // A predictor off by 30 scores 3.0.
+        assert!(mase(&[40.0], &[10.0], &train) > 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The 60/20/20 data split of Section IV-A: "The first 60% JARs of each
+//! workload is set to be the training set, the next 20% is used as the
+//! cross-validation set, and the last 20% is used to test the accuracy."
+
+use crate::series::Series;
+
+/// Index ranges of the train / cross-validation / test partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// End of the training range (`0..train_end`).
+    pub train_end: usize,
+    /// End of the cross-validation range (`train_end..val_end`).
+    pub val_end: usize,
+    /// Total length (`val_end..len` is the test range).
+    pub len: usize,
+}
+
+impl Partition {
+    /// The paper's 60/20/20 split.
+    pub fn paper_default(len: usize) -> Self {
+        Partition::from_fractions(len, 0.6, 0.2)
+    }
+
+    /// A split with explicit train and validation fractions; the remainder
+    /// is the test set.
+    ///
+    /// # Panics
+    /// Panics unless `0 < train`, `0 <= val` and `train + val < 1`.
+    pub fn from_fractions(len: usize, train: f64, val: f64) -> Self {
+        assert!(train > 0.0 && val >= 0.0 && train + val < 1.0, "bad fractions");
+        let train_end = (len as f64 * train).floor() as usize;
+        let val_end = (len as f64 * (train + val)).floor() as usize;
+        Partition {
+            train_end,
+            val_end,
+            len,
+        }
+    }
+
+    /// Training slice of a value buffer.
+    pub fn train<'a>(&self, values: &'a [f64]) -> &'a [f64] {
+        &values[..self.train_end]
+    }
+
+    /// Cross-validation slice.
+    pub fn val<'a>(&self, values: &'a [f64]) -> &'a [f64] {
+        &values[self.train_end..self.val_end]
+    }
+
+    /// Test slice.
+    pub fn test<'a>(&self, values: &'a [f64]) -> &'a [f64] {
+        &values[self.val_end..self.len]
+    }
+
+    /// Train + validation slice (what the baselines see before walk-forward
+    /// testing starts).
+    pub fn train_val<'a>(&self, values: &'a [f64]) -> &'a [f64] {
+        &values[..self.val_end]
+    }
+
+    /// Splits a [`Series`] into its three parts.
+    pub fn split_series(&self, s: &Series) -> (Series, Series, Series) {
+        assert_eq!(s.len(), self.len, "partition built for different length");
+        let mk = |vals: &[f64]| Series::new(s.name.clone(), s.interval_mins, vals.to_vec());
+        (
+            mk(self.train(&s.values)),
+            mk(self.val(&s.values)),
+            mk(self.test(&s.values)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_split_is_60_20_20() {
+        let p = Partition::paper_default(100);
+        assert_eq!(p.train_end, 60);
+        assert_eq!(p.val_end, 80);
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(p.train(&vals).len(), 60);
+        assert_eq!(p.val(&vals).len(), 20);
+        assert_eq!(p.test(&vals).len(), 20);
+        assert_eq!(p.train_val(&vals).len(), 80);
+    }
+
+    #[test]
+    fn partitions_are_contiguous_and_ordered() {
+        let p = Partition::paper_default(97);
+        let vals: Vec<f64> = (0..97).map(|i| i as f64).collect();
+        let (a, b, c) = (p.train(&vals), p.val(&vals), p.test(&vals));
+        assert_eq!(a.len() + b.len() + c.len(), 97);
+        // Order preserved: last train < first val < first test values.
+        assert_eq!(a[a.len() - 1] + 1.0, b[0]);
+        assert_eq!(b[b.len() - 1] + 1.0, c[0]);
+    }
+
+    #[test]
+    fn split_series_carries_metadata() {
+        let s = Series::new("w", 30, (0..50).map(|i| i as f64).collect());
+        let p = Partition::paper_default(s.len());
+        let (tr, va, te) = p.split_series(&s);
+        assert_eq!(tr.interval_mins, 30);
+        assert_eq!(va.name, "w");
+        assert_eq!(tr.len() + va.len() + te.len(), 50);
+    }
+
+    #[test]
+    fn tiny_series_split_is_safe() {
+        let p = Partition::paper_default(3);
+        let vals = [1.0, 2.0, 3.0];
+        assert_eq!(p.train(&vals).len(), 1);
+        assert_eq!(p.val(&vals).len(), 1);
+        assert_eq!(p.test(&vals).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad fractions")]
+    fn overfull_fractions_rejected() {
+        Partition::from_fractions(10, 0.8, 0.3);
+    }
+}

@@ -1,0 +1,66 @@
+//! The common interface every prediction technique implements — the
+//! function `f` of Eq. (1): predict the next interval's JAR from the JARs
+//! observed so far.
+
+/// A one-step-ahead workload predictor.
+///
+/// The evaluation harness drives implementations in walk-forward fashion:
+/// [`Predictor::fit`] is called once with the initial history (the
+/// train + cross-validation partitions), then [`Predictor::predict`] is
+/// called for each test interval with the *entire* history up to (and
+/// excluding) that interval. Implementations may keep internal state across
+/// `predict` calls (CloudInsight rebuilds its expert council every five
+/// intervals this way).
+pub trait Predictor: Send {
+    /// Human-readable technique name, e.g. `"CloudScale"`.
+    fn name(&self) -> String;
+
+    /// Trains / primes the predictor on the initial history.
+    fn fit(&mut self, history: &[f64]);
+
+    /// Predicts the JAR of the next interval. `history` contains every
+    /// actual JAR observed so far (including the fit prefix) and is never
+    /// empty.
+    fn predict(&mut self, history: &[f64]) -> f64;
+}
+
+/// Blanket support for boxed predictors so heterogeneous councils can be
+/// stored uniformly.
+impl Predictor for Box<dyn Predictor> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn fit(&mut self, history: &[f64]) {
+        (**self).fit(history)
+    }
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        (**self).predict(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct LastValue;
+
+    impl Predictor for LastValue {
+        fn name(&self) -> String {
+            "LastValue".into()
+        }
+        fn fit(&mut self, _history: &[f64]) {}
+        fn predict(&mut self, history: &[f64]) -> f64 {
+            *history.last().unwrap()
+        }
+    }
+
+    #[test]
+    fn boxed_predictor_delegates() {
+        let mut p: Box<dyn Predictor> = Box::new(LastValue);
+        p.fit(&[1.0, 2.0]);
+        assert_eq!(p.name(), "LastValue");
+        assert_eq!(p.predict(&[1.0, 2.0, 3.0]), 3.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Min-max normalization.
+//!
+//! LSTM training needs inputs in a bounded range; the framework fits the
+//! scaler on the *training* partition only (fitting on all data would leak
+//! the future into the past) and applies it everywhere.
+
+use serde::{Deserialize, Serialize};
+
+/// Affine scaler mapping `[lo, hi]` seen at fit time onto `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    lo: f64,
+    hi: f64,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler to the given values.
+    ///
+    /// Constant (or empty) input degenerates to an identity-around-`lo`
+    /// scaler that maps `lo` to `0.0` and keeps unit slope.
+    pub fn fit(values: &[f64]) -> Self {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-12 {
+            let base = if lo.is_finite() { lo } else { 0.0 };
+            return MinMaxScaler {
+                lo: base,
+                hi: base + 1.0,
+            };
+        }
+        MinMaxScaler { lo, hi }
+    }
+
+    /// Scales one value into normalized space. Values outside the fit range
+    /// extrapolate linearly (the test partition routinely exceeds the
+    /// training maximum).
+    #[inline]
+    pub fn transform(&self, v: f64) -> f64 {
+        (v - self.lo) / (self.hi - self.lo)
+    }
+
+    /// Inverse of [`Self::transform`].
+    #[inline]
+    pub fn inverse(&self, u: f64) -> f64 {
+        u * (self.hi - self.lo) + self.lo
+    }
+
+    /// Scales a slice into a fresh vector.
+    pub fn transform_all(&self, values: &[f64]) -> Vec<f64> {
+        values.iter().map(|&v| self.transform(v)).collect()
+    }
+
+    /// The fitted range.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_fit_range_to_unit_interval() {
+        let s = MinMaxScaler::fit(&[10.0, 20.0, 15.0]);
+        assert_eq!(s.transform(10.0), 0.0);
+        assert_eq!(s.transform(20.0), 1.0);
+        assert_eq!(s.transform(15.0), 0.5);
+    }
+
+    #[test]
+    fn roundtrip_including_extrapolation() {
+        let s = MinMaxScaler::fit(&[0.0, 100.0]);
+        for v in [-50.0, 0.0, 37.5, 100.0, 250.0] {
+            assert!((s.inverse(s.transform(v)) - v).abs() < 1e-12);
+        }
+        // Out-of-range extrapolates rather than clamps.
+        assert_eq!(s.transform(200.0), 2.0);
+    }
+
+    #[test]
+    fn constant_input_degenerates_gracefully() {
+        let s = MinMaxScaler::fit(&[7.0, 7.0, 7.0]);
+        assert_eq!(s.transform(7.0), 0.0);
+        assert_eq!(s.inverse(0.0), 7.0);
+        assert_eq!(s.transform(8.0), 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_identityish() {
+        let s = MinMaxScaler::fit(&[]);
+        assert_eq!(s.transform(0.0), 0.0);
+        assert_eq!(s.inverse(1.0), 1.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! The workload time series: job-arrival rates (JARs) per fixed-length
+//! interval (paper Section II-A).
+
+use serde::{Deserialize, Serialize};
+
+/// A job-arrival-rate series at a fixed interval length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Workload name, e.g. `"google"`.
+    pub name: String,
+    /// Interval length in minutes (5, 10, 30 or 60 in the paper).
+    pub interval_mins: u32,
+    /// JAR values, one per interval, oldest first.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series; values must be finite and non-negative (a JAR is a
+    /// count).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite values — generators and loaders are
+    /// expected to produce valid counts.
+    pub fn new(name: impl Into<String>, interval_mins: u32, values: Vec<f64>) -> Self {
+        assert!(interval_mins > 0, "interval must be positive");
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "JARs must be finite and non-negative"
+        );
+        Series {
+            name: name.into(),
+            interval_mins,
+            values,
+        }
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series has no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Re-bins the series to a coarser interval by summing each group of
+    /// `factor` consecutive intervals (e.g. 5-minute -> 30-minute with
+    /// `factor = 6`). A trailing partial group is dropped.
+    pub fn aggregate(&self, factor: usize) -> Series {
+        assert!(factor >= 1, "aggregation factor must be >= 1");
+        let values: Vec<f64> = self
+            .values
+            .chunks_exact(factor)
+            .map(|c| c.iter().sum())
+            .collect();
+        Series {
+            name: self.name.clone(),
+            interval_mins: self.interval_mins * factor as u32,
+            values,
+        }
+    }
+
+    /// Uniformly scales every JAR (the auto-scaling case study scales the
+    /// Azure workload down 100x to fit cloud quotas).
+    pub fn scaled(&self, factor: f64) -> Series {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Series {
+            name: self.name.clone(),
+            interval_mins: self.interval_mins,
+            values: self.values.iter().map(|v| v * factor).collect(),
+        }
+    }
+
+    /// Mean JAR.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// Maximum JAR (0 for an empty series).
+    pub fn max(&self) -> f64 {
+        self.values.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Minimum JAR (0 for an empty series).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().cloned().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean); a burstiness indicator used
+    /// in trace summaries. Zero for constant or empty series.
+    pub fn coeff_of_variation(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 || self.len() < 2 {
+            return 0.0;
+        }
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - m) * (v - m))
+            .sum::<f64>()
+            / self.len() as f64;
+        var.sqrt() / m
+    }
+
+    /// Lag-`k` autocorrelation, used to sanity-check that generated traces
+    /// have the temporal dependency structure Eq. (1) assumes. Returns 0 for
+    /// series too short or constant.
+    pub fn autocorrelation(&self, k: usize) -> f64 {
+        let n = self.len();
+        if k == 0 {
+            return 1.0;
+        }
+        if n <= k + 1 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let denom: f64 = self.values.iter().map(|v| (v - m) * (v - m)).sum();
+        if denom <= 1e-12 {
+            return 0.0;
+        }
+        let num: f64 = (0..n - k)
+            .map(|i| (self.values[i] - m) * (self.values[i + k] - m))
+            .sum();
+        num / denom
+    }
+
+    /// Writes the series as plain text: a header line then one value per
+    /// line (the interchange format of the `examples/`).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("# {} interval_mins={}\n", self.name, self.interval_mins);
+        for v in &self.values {
+            out.push_str(&format!("{v}\n"));
+        }
+        out
+    }
+
+    /// Parses the format produced by [`Series::to_text`].
+    pub fn from_text(text: &str) -> Result<Series, String> {
+        let mut name = String::from("unnamed");
+        let mut interval = 1u32;
+        let mut values = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                let rest = rest.trim();
+                if let Some((n, kv)) = rest.split_once(' ') {
+                    name = n.to_string();
+                    if let Some(v) = kv.trim().strip_prefix("interval_mins=") {
+                        interval = v
+                            .parse()
+                            .map_err(|e| format!("line {}: bad interval: {e}", lineno + 1))?;
+                    }
+                } else if !rest.is_empty() {
+                    name = rest.to_string();
+                }
+                continue;
+            }
+            let v: f64 = line
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("line {}: JAR must be >= 0, got {v}", lineno + 1));
+            }
+            values.push(v);
+        }
+        Ok(Series {
+            name,
+            interval_mins: interval,
+            values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(values: &[f64]) -> Series {
+        Series::new("test", 5, values.to_vec())
+    }
+
+    #[test]
+    fn aggregate_sums_groups_and_drops_tail() {
+        let a = s(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = a.aggregate(2);
+        assert_eq!(b.values, vec![3.0, 7.0]);
+        assert_eq!(b.interval_mins, 10);
+    }
+
+    #[test]
+    fn aggregate_identity() {
+        let a = s(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.aggregate(1).values, a.values);
+    }
+
+    #[test]
+    fn scaled_preserves_shape() {
+        let a = s(&[100.0, 200.0]);
+        let b = a.scaled(0.01);
+        assert_eq!(b.values, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn stats_reference_values() {
+        let a = s(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(a.mean(), 5.0);
+        assert_eq!(a.max(), 9.0);
+        assert_eq!(a.min(), 2.0);
+        assert!((a.coeff_of_variation() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_trend_is_high() {
+        let a = s(&(0..100).map(|i| i as f64).collect::<Vec<_>>());
+        assert!(a.autocorrelation(1) > 0.9);
+        assert_eq!(a.autocorrelation(0), 1.0);
+        // Constant series: defined as 0.
+        assert_eq!(s(&[3.0; 50]).autocorrelation(1), 0.0);
+    }
+
+    #[test]
+    fn alternating_series_has_negative_lag1_autocorrelation() {
+        let a = s(&(0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 10.0 })
+            .collect::<Vec<_>>());
+        assert!(a.autocorrelation(1) < -0.9);
+        assert!(a.autocorrelation(2) > 0.9);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let a = Series::new("google", 30, vec![814000.0, 757000.0, 791000.0]);
+        let b = Series::from_text(&a.to_text()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(Series::from_text("abc\n").is_err());
+        assert!(Series::from_text("-5\n").is_err());
+        let ok = Series::from_text("# w interval_mins=10\n\n1\n2\n").unwrap();
+        assert_eq!(ok.values, vec![1.0, 2.0]);
+        assert_eq!(ok.interval_mins, 10);
+        assert_eq!(ok.name, "w");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Series::new("w", 30, vec![1.0, 2.5, 3.0]);
+        let json = serde_json::to_string(&a).unwrap();
+        let b: Series = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_series_stats_are_zero() {
+        let s = Series::new("e", 5, vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.coeff_of_variation(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_jar_rejected() {
+        Series::new("bad", 5, vec![-1.0]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Job model for the auto-scaling case study.
+//!
+//! The paper executes Cloud Suite's *In-Memory Analytics* benchmark as the
+//! job body, "mimicking a system serving machine-learning training and
+//! inference requests". Execution time is modelled as a log-normal around a
+//! configurable mean with modest dispersion — analytics jobs on identical
+//! VMs vary by input and cache behaviour but stay within a band.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A job: arrival interval plus sampled execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Index of the interval in which the job arrived (jobs arrive at the
+    /// beginning of an interval per the paper's simplifying assumption).
+    pub arrival_interval: usize,
+    /// Execution time in seconds.
+    pub exec_secs: f64,
+}
+
+/// Execution-time distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecTimeModel {
+    /// Median execution time in seconds.
+    pub median_secs: f64,
+    /// Log-normal sigma (dispersion).
+    pub sigma: f64,
+}
+
+impl Default for ExecTimeModel {
+    fn default() -> Self {
+        // In-Memory Analytics on n1-standard-1: minutes-scale jobs.
+        ExecTimeModel {
+            median_secs: 120.0,
+            sigma: 0.15,
+        }
+    }
+}
+
+impl ExecTimeModel {
+    /// Samples one execution time.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        // Box-Muller normal.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.median_secs * (self.sigma * z).exp()
+    }
+
+    /// Deterministically samples the jobs of one interval.
+    pub fn jobs_for_interval(&self, interval: usize, count: usize, seed: u64) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(
+            seed.wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(interval as u64),
+        );
+        (0..count)
+            .map(|_| Job {
+                arrival_interval: interval,
+                exec_secs: self.sample(&mut rng),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_times_cluster_around_median() {
+        let model = ExecTimeModel::default();
+        let jobs = model.jobs_for_interval(0, 2000, 42);
+        let mut times: Vec<f64> = jobs.iter().map(|j| j.exec_secs).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2];
+        assert!((median - 120.0).abs() < 10.0, "median {median}");
+        assert!(times.iter().all(|&t| t > 0.0));
+        // Modest dispersion: 99% within a factor of 2.
+        let wild = times.iter().filter(|&&t| !(60.0..=240.0).contains(&t)).count();
+        assert!(wild < 20, "{wild} outliers");
+    }
+
+    #[test]
+    fn interval_sampling_is_deterministic_and_distinct() {
+        let model = ExecTimeModel::default();
+        let a = model.jobs_for_interval(3, 5, 1);
+        let b = model.jobs_for_interval(3, 5, 1);
+        let c = model.jobs_for_interval(4, 5, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|j| j.arrival_interval == 3));
+    }
+
+    #[test]
+    fn zero_count_yields_no_jobs() {
+        let model = ExecTimeModel::default();
+        assert!(model.jobs_for_interval(0, 0, 0).is_empty());
+    }
+}

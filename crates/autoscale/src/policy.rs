@@ -1,0 +1,164 @@
+//! Provisioning policies on top of a workload predictor.
+//!
+//! The paper's policy provisions exactly the predicted JAR. Real deployers
+//! wrap the prediction in a policy: add safety headroom against
+//! under-provisioning, or ignore predictions entirely (reactive
+//! autoscalers). Expressing these as a [`ProvisioningPolicy`] lets the
+//! simulator quantify what the *prediction* contributes versus what the
+//! *policy* contributes — the `ablation_headroom` experiment sweeps the
+//! headroom factor to show that accurate prediction beats padding an
+//! inaccurate one.
+
+use serde::{Deserialize, Serialize};
+
+/// Maps a raw JAR prediction to a VM count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum ProvisioningPolicy {
+    /// Provision exactly the prediction (the paper's Section IV-C policy).
+    #[default]
+    Exact,
+    /// Provision `ceil(prediction * (1 + headroom))` — trade idle cost for
+    /// fewer cold starts.
+    Headroom {
+        /// Fractional safety margin, e.g. `0.2` = 20 % extra VMs.
+        factor: f64,
+    },
+    /// Ignore the prediction; keep a fixed fleet every interval.
+    Fixed {
+        /// Fleet size.
+        vms: usize,
+    },
+}
+
+
+impl ProvisioningPolicy {
+    /// Number of VMs to provision for a predicted JAR.
+    pub fn vms_for(&self, predicted_jar: f64) -> usize {
+        let p = if predicted_jar.is_finite() {
+            predicted_jar.max(0.0)
+        } else {
+            0.0
+        };
+        match *self {
+            ProvisioningPolicy::Exact => p.round() as usize,
+            ProvisioningPolicy::Headroom { factor } => {
+                assert!(factor >= 0.0, "headroom must be non-negative");
+                (p * (1.0 + factor)).ceil() as usize
+            }
+            ProvisioningPolicy::Fixed { vms } => vms,
+        }
+    }
+}
+
+/// Simple public-cloud cost model for a simulation report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Price of one VM-hour (the paper used n1-standard-1; ~$0.0475/h at
+    /// the time of writing).
+    pub vm_hour_usd: f64,
+    /// Interval length in minutes (each provisioned VM is billed for the
+    /// interval it was created for).
+    pub interval_mins: f64,
+}
+
+impl CostModel {
+    /// Google Cloud n1-standard-1 at 60-minute intervals.
+    pub fn n1_standard_1_hourly() -> Self {
+        CostModel {
+            vm_hour_usd: 0.0475,
+            interval_mins: 60.0,
+        }
+    }
+
+    /// Total cost of a report: every VM (proactive or on-demand) is billed
+    /// for one interval.
+    pub fn total_cost(&self, report: &crate::report::AutoscaleReport) -> f64 {
+        let interval_hours = self.interval_mins / 60.0;
+        report
+            .intervals
+            .iter()
+            .map(|r| {
+                let vms = r.predicted.max(r.actual); // proactive + on-demand
+                vms as f64 * interval_hours * self.vm_hour_usd
+            })
+            .sum()
+    }
+
+    /// Cost attributable purely to idle (over-provisioned) VMs.
+    pub fn wasted_cost(&self, report: &crate::report::AutoscaleReport) -> f64 {
+        let interval_hours = self.interval_mins / 60.0;
+        report.idle_vm_count() as f64 * interval_hours * self.vm_hour_usd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{AutoscaleReport, IntervalRecord};
+
+    #[test]
+    fn exact_rounds_to_nearest() {
+        let p = ProvisioningPolicy::Exact;
+        assert_eq!(p.vms_for(10.4), 10);
+        assert_eq!(p.vms_for(10.6), 11);
+        assert_eq!(p.vms_for(-3.0), 0);
+        assert_eq!(p.vms_for(f64::NAN), 0);
+    }
+
+    #[test]
+    fn headroom_rounds_up() {
+        let p = ProvisioningPolicy::Headroom { factor: 0.2 };
+        assert_eq!(p.vms_for(10.0), 12);
+        assert_eq!(p.vms_for(0.0), 0);
+        // Headroom never provisions less than exact's floor.
+        assert!(p.vms_for(7.3) >= 8);
+    }
+
+    #[test]
+    fn fixed_ignores_prediction() {
+        let p = ProvisioningPolicy::Fixed { vms: 25 };
+        assert_eq!(p.vms_for(0.0), 25);
+        assert_eq!(p.vms_for(1e9), 25);
+    }
+
+    fn report_with(predicted: usize, actual: usize) -> AutoscaleReport {
+        AutoscaleReport {
+            predictor: "t".into(),
+            intervals: vec![IntervalRecord {
+                predicted,
+                actual,
+                mean_turnaround_secs: 0.0,
+                makespan_secs: 0.0,
+                on_demand_vms: actual.saturating_sub(predicted),
+                idle_vms: predicted.saturating_sub(actual),
+                sla_violations: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn cost_model_bills_all_vms() {
+        let cm = CostModel {
+            vm_hour_usd: 1.0,
+            interval_mins: 60.0,
+        };
+        // 10 provisioned, 8 arrived: 10 VM-hours billed, 2 wasted.
+        let over = report_with(10, 8);
+        assert!((cm.total_cost(&over) - 10.0).abs() < 1e-12);
+        assert!((cm.wasted_cost(&over) - 2.0).abs() < 1e-12);
+        // 8 provisioned, 10 arrived: 10 billed (2 on demand), 0 wasted.
+        let under = report_with(8, 10);
+        assert!((cm.total_cost(&under) - 10.0).abs() < 1e-12);
+        assert_eq!(cm.wasted_cost(&under), 0.0);
+    }
+
+    #[test]
+    fn half_hour_intervals_bill_half() {
+        let cm = CostModel {
+            vm_hour_usd: 2.0,
+            interval_mins: 30.0,
+        };
+        assert!((cm.total_cost(&report_with(4, 4)) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Aggregated auto-scaling metrics — the three panels of Fig. 10.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-interval record kept by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalRecord {
+    /// Predicted JAR (VMs provisioned in advance).
+    pub predicted: usize,
+    /// Actual jobs that arrived.
+    pub actual: usize,
+    /// Mean job turnaround in seconds (0 when no jobs arrived).
+    pub mean_turnaround_secs: f64,
+    /// Time at which the last job of the interval finished, in seconds.
+    pub makespan_secs: f64,
+    /// VMs created on demand (under-provision).
+    pub on_demand_vms: usize,
+    /// Proactive VMs that sat idle (over-provision).
+    pub idle_vms: usize,
+    /// Jobs whose turnaround exceeded the SLA deadline (0 when no
+    /// deadline was configured).
+    pub sla_violations: usize,
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutoscaleReport {
+    /// Which predictor produced the provisioning decisions.
+    pub predictor: String,
+    /// Per-interval details.
+    pub intervals: Vec<IntervalRecord>,
+}
+
+impl AutoscaleReport {
+    /// Mean job turnaround in seconds across all jobs (Fig. 10a).
+    pub fn avg_turnaround_secs(&self) -> f64 {
+        let (mut weighted, mut jobs) = (0.0, 0usize);
+        for r in &self.intervals {
+            weighted += r.mean_turnaround_secs * r.actual as f64;
+            jobs += r.actual;
+        }
+        if jobs == 0 {
+            0.0
+        } else {
+            weighted / jobs as f64
+        }
+    }
+
+    /// Mean under-provisioning rate: `max(J - P, 0) / J` averaged over
+    /// intervals with arrivals (Fig. 10b).
+    pub fn under_provisioning_rate(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .intervals
+            .iter()
+            .filter(|r| r.actual > 0)
+            .map(|r| r.actual.saturating_sub(r.predicted) as f64 / r.actual as f64)
+            .collect();
+        if rates.is_empty() {
+            0.0
+        } else {
+            rates.iter().sum::<f64>() / rates.len() as f64
+        }
+    }
+
+    /// Mean over-provisioning rate: `max(P - J, 0) / J` averaged over
+    /// intervals with arrivals (Fig. 10c).
+    pub fn over_provisioning_rate(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .intervals
+            .iter()
+            .filter(|r| r.actual > 0)
+            .map(|r| r.predicted.saturating_sub(r.actual) as f64 / r.actual as f64)
+            .collect();
+        if rates.is_empty() {
+            0.0
+        } else {
+            rates.iter().sum::<f64>() / rates.len() as f64
+        }
+    }
+
+    /// Total VM-seconds of idle (wasted) capacity, a cost proxy.
+    pub fn idle_vm_count(&self) -> usize {
+        self.intervals.iter().map(|r| r.idle_vms).sum()
+    }
+
+    /// Total on-demand VM creations (each paid a cold start).
+    pub fn on_demand_vm_count(&self) -> usize {
+        self.intervals.iter().map(|r| r.on_demand_vms).sum()
+    }
+
+    /// Fraction of all jobs that missed the SLA deadline (0 when no
+    /// deadline was configured on the simulation).
+    pub fn sla_violation_rate(&self) -> f64 {
+        let jobs: usize = self.intervals.iter().map(|r| r.actual).sum();
+        if jobs == 0 {
+            return 0.0;
+        }
+        let violations: usize = self.intervals.iter().map(|r| r.sla_violations).sum();
+        violations as f64 / jobs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(predicted: usize, actual: usize, turnaround: f64) -> IntervalRecord {
+        IntervalRecord {
+            predicted,
+            actual,
+            mean_turnaround_secs: turnaround,
+            makespan_secs: turnaround,
+            on_demand_vms: actual.saturating_sub(predicted),
+            idle_vms: predicted.saturating_sub(actual),
+            sla_violations: 0,
+        }
+    }
+
+    #[test]
+    fn turnaround_is_job_weighted() {
+        let report = AutoscaleReport {
+            predictor: "x".into(),
+            intervals: vec![rec(10, 10, 100.0), rec(30, 30, 200.0)],
+        };
+        // (10*100 + 30*200) / 40 = 175
+        assert!((report.avg_turnaround_secs() - 175.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn provisioning_rates_reference() {
+        let report = AutoscaleReport {
+            predictor: "x".into(),
+            intervals: vec![rec(8, 10, 0.0), rec(15, 10, 0.0), rec(10, 10, 0.0)],
+        };
+        // under: (2/10 + 0 + 0)/3 ; over: (0 + 5/10 + 0)/3
+        assert!((report.under_provisioning_rate() - 0.2 / 3.0 * 1.0).abs() < 1e-12);
+        assert!((report.over_provisioning_rate() - 0.5 / 3.0).abs() < 1e-12);
+        assert_eq!(report.on_demand_vm_count(), 2);
+        assert_eq!(report.idle_vm_count(), 5);
+    }
+
+    #[test]
+    fn empty_intervals_are_ignored() {
+        let report = AutoscaleReport {
+            predictor: "x".into(),
+            intervals: vec![rec(5, 0, 0.0)],
+        };
+        assert_eq!(report.avg_turnaround_secs(), 0.0);
+        assert_eq!(report.under_provisioning_rate(), 0.0);
+        assert_eq!(report.over_provisioning_rate(), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Virtual-machine lifecycle model.
+//!
+//! A VM is created either *proactively* (before the interval, so it is
+//! ready the moment jobs arrive) or *on demand* (after an under-provision
+//! is discovered, paying the startup delay the paper identifies as the
+//! cause of the turnaround gap — "the extra jobs require additional time to
+//! finish due to the VM startup time").
+
+use serde::{Deserialize, Serialize};
+
+/// How a VM came to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmOrigin {
+    /// Provisioned in advance from the prediction; ready at interval start.
+    Proactive,
+    /// Created after jobs arrived; ready after the startup delay.
+    OnDemand,
+}
+
+/// Lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmState {
+    /// Booting; cannot run jobs yet.
+    Provisioning,
+    /// Booted and waiting for a job.
+    Ready,
+    /// Running a job.
+    Busy,
+    /// Booted, assigned no job this interval (over-provisioned waste).
+    Idle,
+}
+
+/// One simulated VM within one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vm {
+    /// Origin (drives readiness time).
+    pub origin: VmOrigin,
+    /// Current state.
+    pub state: VmState,
+    /// Seconds after interval start at which the VM can accept a job.
+    pub ready_at_secs: f64,
+    /// Seconds after interval start at which its job (if any) completes.
+    pub busy_until_secs: Option<f64>,
+}
+
+impl Vm {
+    /// A proactively provisioned VM, ready at interval start.
+    pub fn proactive() -> Self {
+        Vm {
+            origin: VmOrigin::Proactive,
+            state: VmState::Ready,
+            ready_at_secs: 0.0,
+            busy_until_secs: None,
+        }
+    }
+
+    /// An on-demand VM created at interval start, ready after
+    /// `startup_secs`.
+    pub fn on_demand(startup_secs: f64) -> Self {
+        Vm {
+            origin: VmOrigin::OnDemand,
+            state: VmState::Provisioning,
+            ready_at_secs: startup_secs,
+            busy_until_secs: None,
+        }
+    }
+
+    /// Assigns a job of the given execution time; returns the completion
+    /// time in seconds after interval start.
+    pub fn assign(&mut self, exec_secs: f64) -> f64 {
+        debug_assert!(self.busy_until_secs.is_none(), "VM already busy");
+        let done = self.ready_at_secs + exec_secs;
+        self.state = VmState::Busy;
+        self.busy_until_secs = Some(done);
+        done
+    }
+
+    /// Marks a never-assigned VM idle (end-of-interval accounting).
+    pub fn mark_idle(&mut self) {
+        if self.busy_until_secs.is_none() {
+            self.state = VmState::Idle;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proactive_vm_runs_job_immediately() {
+        let mut vm = Vm::proactive();
+        assert_eq!(vm.state, VmState::Ready);
+        let done = vm.assign(100.0);
+        assert_eq!(done, 100.0);
+        assert_eq!(vm.state, VmState::Busy);
+    }
+
+    #[test]
+    fn on_demand_vm_pays_startup() {
+        let mut vm = Vm::on_demand(45.0);
+        assert_eq!(vm.state, VmState::Provisioning);
+        let done = vm.assign(100.0);
+        assert_eq!(done, 145.0);
+    }
+
+    #[test]
+    fn unassigned_vm_becomes_idle() {
+        let mut vm = Vm::proactive();
+        vm.mark_idle();
+        assert_eq!(vm.state, VmState::Idle);
+        // A busy VM stays busy.
+        let mut busy = Vm::proactive();
+        busy.assign(10.0);
+        busy.mark_idle();
+        assert_eq!(busy.state, VmState::Busy);
+    }
+}

@@ -1,0 +1,301 @@
+//! Autoregressive members of Table II: AR, ARMA and ARIMA.
+//!
+//! AR(p) is fit by ordinary least squares on the lag matrix. ARMA(p, q)
+//! uses the Hannan–Rissanen two-stage procedure: a long autoregression
+//! estimates the innovation series, then the final model regresses on both
+//! value lags and innovation lags. ARIMA(p, d, q) differences the series
+//! `d` times, applies ARMA, and integrates back.
+
+use ld_api::Predictor;
+use ld_linalg::{solve, Matrix};
+
+use crate::features::recent;
+
+/// Fits `y_t = c + sum_i phi_i y_{t-i}` by OLS and returns `(coef, resid)`
+/// where `coef = [phi_1..phi_p, c]`; `resid[t]` aligns with `ys[p + t]`.
+fn fit_ar(ys: &[f64], p: usize) -> Option<(Vec<f64>, Vec<f64>)> {
+    let n = ys.len();
+    if n < p + 2 || p == 0 {
+        return None;
+    }
+    let rows = n - p;
+    let design = Matrix::from_fn(rows, p + 1, |r, c| {
+        if c < p {
+            ys[p + r - 1 - c] // lag c+1
+        } else {
+            1.0
+        }
+    });
+    let targets: Vec<f64> = ys[p..].to_vec();
+    let coef = solve::lstsq(&design, &targets, 1e-8).ok()?;
+    let resid: Vec<f64> = (0..rows)
+        .map(|r| {
+            let mut pred = coef[p];
+            for c in 0..p {
+                pred += coef[c] * ys[p + r - 1 - c];
+            }
+            targets[r] - pred
+        })
+        .collect();
+    Some((coef, resid))
+}
+
+/// One-step AR forecast from fitted coefficients.
+fn ar_forecast(ys: &[f64], coef: &[f64], p: usize) -> f64 {
+    let n = ys.len();
+    let mut pred = coef[p];
+    for c in 0..p {
+        pred += coef[c] * ys[n - 1 - c];
+    }
+    pred
+}
+
+/// AR(p) forecaster.
+#[derive(Debug, Clone)]
+pub struct Ar {
+    /// Autoregressive order.
+    pub p: usize,
+    /// History cap for refitting.
+    pub max_history: usize,
+}
+
+impl Default for Ar {
+    fn default() -> Self {
+        Ar {
+            p: 8,
+            max_history: 1024,
+        }
+    }
+}
+
+impl Predictor for Ar {
+    fn name(&self) -> String {
+        "AR".into()
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        let h = recent(history, self.max_history);
+        match fit_ar(h, self.p.min(h.len().saturating_sub(2))) {
+            Some((coef, _)) => ar_forecast(h, &coef, coef.len() - 1),
+            None => *h.last().unwrap(),
+        }
+    }
+}
+
+/// Core ARMA(p, q) one-step forecast via Hannan–Rissanen; returns `None`
+/// when the history is too short.
+fn arma_forecast(ys: &[f64], p: usize, q: usize) -> Option<f64> {
+    let n = ys.len();
+    let long_p = (p + q + 2).min(n / 3);
+    let (_, resid) = fit_ar(ys, long_p)?;
+    // resid[t] aligns with ys[long_p + t]; build the joint regression
+    // y_t = c + sum phi_i y_{t-i} + sum theta_j e_{t-j}.
+    let offset = long_p + q; // first usable target index into ys
+    let start = offset.max(p);
+    if n <= start + 2 {
+        return None;
+    }
+    let rows = n - start;
+    let design = Matrix::from_fn(rows, p + q + 1, |r, c| {
+        let t = start + r;
+        if c < p {
+            ys[t - 1 - c]
+        } else if c < p + q {
+            let lag = c - p + 1; // innovation lag
+            resid[t - lag - long_p]
+        } else {
+            1.0
+        }
+    });
+    let targets: Vec<f64> = ys[start..].to_vec();
+    let coef = solve::lstsq(&design, &targets, 1e-8).ok()?;
+    // Forecast at t = n.
+    let mut pred = coef[p + q];
+    for c in 0..p {
+        pred += coef[c] * ys[n - 1 - c];
+    }
+    for j in 1..=q {
+        let idx = n - j;
+        if idx >= long_p {
+            pred += coef[p + j - 1] * resid[idx - long_p];
+        }
+    }
+    Some(pred)
+}
+
+/// ARMA(p, q) forecaster.
+#[derive(Debug, Clone)]
+pub struct Arma {
+    /// AR order.
+    pub p: usize,
+    /// MA order.
+    pub q: usize,
+    /// History cap for refitting.
+    pub max_history: usize,
+}
+
+impl Default for Arma {
+    fn default() -> Self {
+        Arma {
+            p: 4,
+            q: 2,
+            max_history: 1024,
+        }
+    }
+}
+
+impl Predictor for Arma {
+    fn name(&self) -> String {
+        "ARMA".into()
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        let h = recent(history, self.max_history);
+        arma_forecast(h, self.p, self.q)
+            .unwrap_or_else(|| Ar::default().predict(h))
+    }
+}
+
+/// ARIMA(p, d, q) forecaster.
+#[derive(Debug, Clone)]
+pub struct Arima {
+    /// AR order.
+    pub p: usize,
+    /// Differencing order (0, 1 or 2).
+    pub d: usize,
+    /// MA order.
+    pub q: usize,
+    /// History cap for refitting.
+    pub max_history: usize,
+}
+
+impl Default for Arima {
+    fn default() -> Self {
+        Arima {
+            p: 4,
+            d: 1,
+            q: 2,
+            max_history: 1024,
+        }
+    }
+}
+
+impl Predictor for Arima {
+    fn name(&self) -> String {
+        "ARIMA".into()
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        let h = recent(history, self.max_history).to_vec();
+        assert!(self.d <= 2, "d > 2 unsupported");
+        // Difference d times, remembering the last value of each level.
+        let mut levels = Vec::with_capacity(self.d);
+        let mut cur = h;
+        for _ in 0..self.d {
+            if cur.len() < 2 {
+                break;
+            }
+            levels.push(*cur.last().unwrap());
+            cur = cur.windows(2).map(|w| w[1] - w[0]).collect();
+        }
+        let mut pred = arma_forecast(&cur, self.p, self.q).unwrap_or_else(|| {
+            if cur.is_empty() {
+                0.0
+            } else {
+                *cur.last().unwrap()
+            }
+        });
+        // Integrate back.
+        for lv in levels.iter().rev() {
+            pred += lv;
+        }
+        pred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Seeded AR(2) process with white uniform innovations.
+    fn ar2_series(n: usize) -> Vec<f64> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let (phi1, phi2, c) = (0.6, 0.3, 5.0);
+        let mut ys = vec![50.0, 52.0];
+        for t in 2..n {
+            let e = rng.gen::<f64>() - 0.5;
+            let v = c + phi1 * ys[t - 1] + phi2 * ys[t - 2] + e;
+            ys.push(v);
+        }
+        ys
+    }
+
+    #[test]
+    fn ar_recovers_ar_process() {
+        let ys = ar2_series(400);
+        let (coef, _) = fit_ar(&ys, 2).unwrap();
+        assert!((coef[0] - 0.6).abs() < 0.1, "phi1 {}", coef[0]);
+        assert!((coef[1] - 0.3).abs() < 0.1, "phi2 {}", coef[1]);
+        let mut p = Ar { p: 2, max_history: 1024 };
+        let pred = p.predict(&ys);
+        let truth = 5.0 + 0.6 * ys[399] + 0.3 * ys[398];
+        assert!((pred - truth).abs() / truth < 0.05, "pred {pred} vs {truth}");
+    }
+
+    #[test]
+    fn ar_on_linear_trend_tracks_growth() {
+        let ys: Vec<f64> = (0..200).map(|i| 10.0 + 3.0 * i as f64).collect();
+        let mut p = Ar::default();
+        let pred = p.predict(&ys);
+        let truth = 10.0 + 3.0 * 200.0;
+        assert!((pred - truth).abs() < 3.0, "pred {pred} vs {truth}");
+    }
+
+    #[test]
+    fn arma_at_least_matches_naive_on_ar_data() {
+        let ys = ar2_series(300);
+        let mut arma = Arma::default();
+        let pred = arma.predict(&ys);
+        let truth = 5.0 + 0.6 * ys[299] + 0.3 * ys[298];
+        assert!((pred - truth).abs() / truth < 0.1, "pred {pred} vs {truth}");
+    }
+
+    #[test]
+    fn arima_handles_random_walk_with_drift() {
+        // y_t = y_{t-1} + 2: differencing makes it constant.
+        let ys: Vec<f64> = (0..150).map(|i| 100.0 + 2.0 * i as f64).collect();
+        let mut p = Arima::default();
+        let pred = p.predict(&ys);
+        assert!((pred - 400.0).abs() < 2.0, "pred {pred}");
+    }
+
+    #[test]
+    fn all_fall_back_gracefully_on_tiny_history() {
+        let h = [3.0, 4.0];
+        assert!(Ar::default().predict(&h).is_finite());
+        assert!(Arma::default().predict(&h).is_finite());
+        assert!(Arima::default().predict(&h).is_finite());
+        let h1 = [3.0];
+        assert_eq!(Ar::default().predict(&h1), 3.0);
+        assert!(Arima::default().predict(&h1).is_finite());
+    }
+
+    #[test]
+    fn constant_series_predicts_constant() {
+        let h = vec![25.0; 120];
+        for pred in [
+            Ar::default().predict(&h),
+            Arma::default().predict(&h),
+            Arima::default().predict(&h),
+        ] {
+            assert!((pred - 25.0).abs() < 1e-3, "pred {pred}");
+        }
+    }
+}

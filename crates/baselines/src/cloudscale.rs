@@ -1,0 +1,198 @@
+//! CloudScale (Shen et al., SoCC 2011) — FFT pattern detection plus a
+//! discrete-time Markov chain.
+//!
+//! CloudScale first runs an FFT over the recent history to test for a
+//! dominant repeating pattern; when one exists, the prediction is the value
+//! one detected period ago. Otherwise it falls back to a first-order
+//! discrete-time Markov chain over quantized load states and predicts the
+//! expected next state. This structure makes it strong on seasonal
+//! workloads (Wikipedia) and weak on non-periodic ones (Google, Facebook) —
+//! exactly the behaviour Fig. 2 of the paper shows.
+
+use ld_api::Predictor;
+
+use crate::features::recent;
+use crate::fft::dominant_period;
+
+/// The CloudScale predictor.
+#[derive(Debug, Clone)]
+pub struct CloudScale {
+    /// History window the FFT inspects (truncated to a power of two).
+    pub fft_window: usize,
+    /// Minimum share of non-DC spectral energy for a period to count as a
+    /// repeating pattern.
+    pub min_energy_ratio: f64,
+    /// History window for the Markov fallback.
+    pub markov_window: usize,
+    /// Number of quantized load states.
+    pub markov_states: usize,
+}
+
+impl Default for CloudScale {
+    fn default() -> Self {
+        CloudScale {
+            fft_window: 512,
+            // CloudScale was built for workloads with repeating patterns
+            // and engages its FFT signature eagerly; a modest energy share
+            // in the strongest bin counts as a pattern. This is what makes
+            // it accurate on seasonal traces and fragile on bursty ones
+            // (paper Fig. 2) — burst episodes concentrate low-frequency
+            // energy and get mistaken for periodicity.
+            min_energy_ratio: 0.22,
+            markov_window: 256,
+            markov_states: 8,
+        }
+    }
+}
+
+impl CloudScale {
+    /// Refines an FFT period estimate by maximizing the autocorrelation in
+    /// a +/-25 % neighbourhood. FFT bins quantize the period to `n / k`,
+    /// which misses periods that do not divide the window (a daily cycle
+    /// in a 512-sample window, say); CloudScale's signature extraction
+    /// aligns the repeating window exactly, which this refinement mirrors.
+    fn refine_period(history: &[f64], p0: usize) -> usize {
+        let lo = (p0 - p0 / 4).max(2);
+        let hi = p0 + p0 / 4;
+        let mean = history.iter().sum::<f64>() / history.len() as f64;
+        let denom: f64 = history.iter().map(|v| (v - mean) * (v - mean)).sum();
+        if denom <= 1e-12 {
+            return p0;
+        }
+        let mut best = (p0, f64::NEG_INFINITY);
+        for p in lo..=hi {
+            if p >= history.len() {
+                break;
+            }
+            let num: f64 = (0..history.len() - p)
+                .map(|i| (history[i] - mean) * (history[i + p] - mean))
+                .sum();
+            let ac = num / denom;
+            if ac > best.1 {
+                best = (p, ac);
+            }
+        }
+        best.0
+    }
+
+    /// Markov-chain fallback prediction.
+    fn markov_predict(&self, history: &[f64]) -> f64 {
+        let h = recent(history, self.markov_window);
+        let n = h.len();
+        if n < 3 {
+            return h[n - 1];
+        }
+        let lo = h.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = h.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if hi - lo < 1e-12 {
+            return h[n - 1];
+        }
+        let b = self.markov_states;
+        let width = (hi - lo) / b as f64;
+        let bin = |v: f64| -> usize {
+            (((v - lo) / (hi - lo) * b as f64) as usize).min(b - 1)
+        };
+        // First-order discrete-time Markov chain over quantized load
+        // states: predict the *most likely next state* and report its
+        // midpoint. The quantization is the point — CloudScale reasons in
+        // coarse load levels, which works when the workload revisits the
+        // same levels and degrades when bursts stretch the state range.
+        let mut counts = vec![0u32; b * b];
+        for w in h.windows(2) {
+            counts[bin(w[0]) * b + bin(w[1])] += 1;
+        }
+        let cur = bin(h[n - 1]);
+        let row = &counts[cur * b..(cur + 1) * b];
+        let (best_state, best_count) = row
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("non-empty row");
+        if *best_count == 0 {
+            return h[n - 1];
+        }
+        lo + (best_state as f64 + 0.5) * width
+    }
+}
+
+impl Predictor for CloudScale {
+    fn name(&self) -> String {
+        "CloudScale".into()
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        let h = recent(history, self.fft_window);
+        // Detrend by removing the mean so DC leakage doesn't mask patterns.
+        let mean = h.iter().sum::<f64>() / h.len() as f64;
+        let centered: Vec<f64> = h.iter().map(|v| v - mean).collect();
+        if let Some(raw_period) = dominant_period(&centered, self.min_energy_ratio) {
+            let period = Self::refine_period(h, raw_period);
+            if history.len() >= period {
+                return history[history.len() - period];
+            }
+        }
+        self.markov_predict(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_signal_predicted_by_pattern() {
+        // Period 32 sine, amplitude large: FFT path engages.
+        let period = 32.0;
+        let h: Vec<f64> = (0..512)
+            .map(|t| 100.0 + 50.0 * (2.0 * std::f64::consts::PI * t as f64 / period).sin())
+            .collect();
+        let mut cs = CloudScale::default();
+        let pred = cs.predict(&h);
+        // True next value at t = 512 (period divides 512 exactly).
+        let truth = 100.0 + 50.0 * (2.0 * std::f64::consts::PI * 512.0 / period).sin();
+        assert!((pred - truth).abs() < 5.0, "pred {pred} truth {truth}");
+    }
+
+    #[test]
+    fn nonperiodic_signal_uses_markov_fallback() {
+        // Two-state flip-flop noise... actually make a slow random-walk-ish
+        // deterministic wobble with no single dominant frequency.
+        let h: Vec<f64> = (0..300)
+            .map(|t| 50.0 + ((t * t * 2654435761usize) % 41) as f64)
+            .collect();
+        let mut cs = CloudScale::default();
+        let pred = cs.predict(&h);
+        // Markov fallback stays within the observed range.
+        assert!((50.0..=91.0).contains(&pred), "pred {pred}");
+    }
+
+    #[test]
+    fn markov_chain_learns_deterministic_cycle() {
+        // Values cycle 10 -> 20 -> 30 -> 10; from state(30) the chain has
+        // always moved to the lowest state. The prediction is that state's
+        // midpoint, i.e. correct up to one bin width (20 / 8 = 2.5).
+        let mut h = Vec::new();
+        for _ in 0..60 {
+            h.extend_from_slice(&[10.0, 20.0, 30.0]);
+        }
+        let cs = CloudScale::default();
+        let pred = cs.markov_predict(&h);
+        assert!((pred - 10.0).abs() <= 2.5, "pred {pred}");
+    }
+
+    #[test]
+    fn constant_history_is_fixed_point() {
+        let h = vec![25.0; 128];
+        let mut cs = CloudScale::default();
+        assert!((cs.predict(&h) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_history_safe() {
+        let mut cs = CloudScale::default();
+        assert_eq!(cs.predict(&[5.0]), 5.0);
+        assert!(cs.predict(&[5.0, 6.0]).is_finite());
+    }
+}

@@ -1,0 +1,83 @@
+//! Sliding-window feature extraction shared by the ML member predictors.
+//!
+//! The ML members of Table II (SVR, trees, forests, boosting) treat
+//! one-step-ahead forecasting as supervised regression on the previous `w`
+//! JARs — the same framing as LoadDynamics' Eq. (1), with `w` fixed instead
+//! of tuned.
+
+/// Builds `(window, next-value)` pairs from a history.
+///
+/// Returns empty vectors if the history is shorter than `w + 1`.
+pub fn window_dataset(history: &[f64], w: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    if w == 0 || history.len() <= w {
+        return (Vec::new(), Vec::new());
+    }
+    let mut xs = Vec::with_capacity(history.len() - w);
+    let mut ys = Vec::with_capacity(history.len() - w);
+    for i in w..history.len() {
+        xs.push(history[i - w..i].to_vec());
+        ys.push(history[i]);
+    }
+    (xs, ys)
+}
+
+/// The most recent `w` values, padded on the left with the earliest value
+/// when the history is shorter than `w` (so predictors always have a
+/// feature vector to work with during warm-up).
+pub fn last_window(history: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "window must be positive");
+    assert!(!history.is_empty(), "history must be non-empty");
+    if history.len() >= w {
+        history[history.len() - w..].to_vec()
+    } else {
+        let pad = w - history.len();
+        let mut out = vec![history[0]; pad];
+        out.extend_from_slice(history);
+        out
+    }
+}
+
+/// Caps a training history to its most recent `max_points` values — ML
+/// members refit frequently, and ancient history adds cost without
+/// improving one-step forecasts.
+pub fn recent(history: &[f64], max_points: usize) -> &[f64] {
+    if history.len() > max_points {
+        &history[history.len() - max_points..]
+    } else {
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_dataset_alignment() {
+        let h = [1.0, 2.0, 3.0, 4.0];
+        let (xs, ys) = window_dataset(&h, 2);
+        assert_eq!(xs, vec![vec![1.0, 2.0], vec![2.0, 3.0]]);
+        assert_eq!(ys, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn window_dataset_too_short() {
+        let (xs, ys) = window_dataset(&[1.0, 2.0], 2);
+        assert!(xs.is_empty() && ys.is_empty());
+        let (xs, _) = window_dataset(&[1.0, 2.0, 3.0], 0);
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn last_window_exact_and_padded() {
+        assert_eq!(last_window(&[1.0, 2.0, 3.0], 2), vec![2.0, 3.0]);
+        assert_eq!(last_window(&[5.0, 6.0], 4), vec![5.0, 5.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn recent_truncates_from_front() {
+        let h = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(recent(&h, 3), &[3.0, 4.0, 5.0]);
+        assert_eq!(recent(&h, 10), &h[..]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Baseline workload predictors — everything the paper compares
+//! LoadDynamics against.
+//!
+//! Three state-of-the-art techniques (Section IV-A):
+//!
+//! - [`cloudinsight`]: the council-of-experts ensemble of Kim et al. 2018,
+//!   backed by the 21 member predictors of Table II (all implemented here:
+//!   naive, regression, time-series and ML families),
+//! - [`cloudscale`]: Shen et al. 2011 — FFT repeating-pattern detection
+//!   with a discrete-time Markov-chain fallback,
+//! - [`wood`]: Wood et al. — robust linear regression (IRLS with Huber
+//!   weights) refined online.
+//!
+//! Member-predictor families:
+//!
+//! | Module | Table II entries |
+//! |---|---|
+//! | [`naive`] | mean, kNN |
+//! | [`regression`] | local & global linear / quadratic / cubic regression |
+//! | [`smoothing`] | WMA, EMA, Holt–Winters DES, Brown's DES |
+//! | [`arima`] | AR, ARMA, ARIMA |
+//! | [`svr`] | linear SVR, Gaussian (RBF) SVR |
+//! | [`tree`], [`forest`], [`boosting`] | decision tree, random forest, extra trees, gradient boosting |
+//!
+//! All predictors implement [`ld_api::Predictor`] and are exercised by the
+//! same walk-forward harness as LoadDynamics itself.
+
+pub mod arima;
+pub mod boosting;
+pub mod cloudinsight;
+pub mod cloudscale;
+pub mod features;
+pub mod fft;
+pub mod forest;
+pub mod ml;
+pub mod naive;
+pub mod regression;
+pub mod smoothing;
+pub mod svr;
+pub mod tree;
+pub mod wood;
+
+pub use cloudinsight::CloudInsight;
+pub use cloudscale::CloudScale;
+pub use wood::WoodPredictor;

@@ -1,0 +1,138 @@
+//! Wrapper turning a batch regressor into a walk-forward [`Predictor`].
+//!
+//! The ML members of Table II (SVR, trees, forests, boosting) are batch
+//! learners: they fit on `(window, next)` pairs and predict from the latest
+//! window. This wrapper handles the windowing, caps the training history,
+//! and refits every `refit_every` intervals (CloudInsight rebuilds its
+//! members every five intervals; standalone use keeps the same cadence).
+
+use ld_api::Predictor;
+
+use crate::features::{last_window, recent, window_dataset};
+
+/// A batch regression model over fixed-width window features.
+pub trait Regressor: Send {
+    /// Fits the model to the dataset (replacing any previous fit).
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]);
+    /// Predicts the target for one feature vector.
+    fn predict(&self, x: &[f64]) -> f64;
+}
+
+/// Adapts a [`Regressor`] to the walk-forward [`Predictor`] interface.
+pub struct MlPredictor<R: Regressor> {
+    name: String,
+    regressor: R,
+    /// Feature-window width.
+    pub window: usize,
+    /// Refit cadence in intervals.
+    pub refit_every: usize,
+    /// Cap on training history length (most recent values).
+    pub max_train: usize,
+    fitted: bool,
+    last_fit_len: usize,
+}
+
+impl<R: Regressor> MlPredictor<R> {
+    /// Wraps a regressor with the given display name and defaults
+    /// (window 8, refit every 5 intervals, last 1024 values).
+    pub fn new(name: impl Into<String>, regressor: R) -> Self {
+        MlPredictor {
+            name: name.into(),
+            regressor,
+            window: 8,
+            refit_every: 5,
+            max_train: 1024,
+            fitted: false,
+            last_fit_len: 0,
+        }
+    }
+
+    /// Builder-style window override.
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0);
+        self.window = window;
+        self
+    }
+
+    fn refit(&mut self, history: &[f64]) {
+        let h = recent(history, self.max_train);
+        let (xs, ys) = window_dataset(h, self.window);
+        if xs.is_empty() {
+            self.fitted = false;
+            return;
+        }
+        self.regressor.fit(&xs, &ys);
+        self.fitted = true;
+        self.last_fit_len = history.len();
+    }
+}
+
+impl<R: Regressor> Predictor for MlPredictor<R> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn fit(&mut self, history: &[f64]) {
+        self.refit(history);
+    }
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        if !self.fitted || history.len() >= self.last_fit_len + self.refit_every {
+            self.refit(history);
+        }
+        if !self.fitted {
+            return *history.last().unwrap();
+        }
+        let x = last_window(history, self.window);
+        self.regressor.predict(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts fits; predicts the mean of its window.
+    struct CountingMean {
+        fits: usize,
+    }
+
+    impl Regressor for CountingMean {
+        fn fit(&mut self, _xs: &[Vec<f64>], _ys: &[f64]) {
+            self.fits += 1;
+        }
+        fn predict(&self, x: &[f64]) -> f64 {
+            x.iter().sum::<f64>() / x.len() as f64
+        }
+    }
+
+    #[test]
+    fn refits_on_cadence_not_every_call() {
+        let mut p = MlPredictor::new("m", CountingMean { fits: 0 });
+        let mut h: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        p.fit(&h);
+        assert_eq!(p.regressor.fits, 1);
+        for _ in 0..10 {
+            h.push(h.len() as f64);
+            p.predict(&h);
+        }
+        // 10 new intervals at cadence 5 -> exactly 2 more fits.
+        assert_eq!(p.regressor.fits, 3);
+    }
+
+    #[test]
+    fn too_short_history_falls_back_to_last_value() {
+        let mut p = MlPredictor::new("m", CountingMean { fits: 0 }).with_window(8);
+        p.fit(&[1.0, 2.0]);
+        assert_eq!(p.predict(&[1.0, 2.0, 9.0]), 9.0);
+    }
+
+    #[test]
+    fn prediction_uses_latest_window() {
+        let mut p = MlPredictor::new("m", CountingMean { fits: 0 }).with_window(2);
+        let h: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        p.fit(&h);
+        // window [28, 29] -> mean 28.5
+        assert_eq!(p.predict(&h), 28.5);
+    }
+}

@@ -1,0 +1,134 @@
+//! Naive member predictors of Table II: mean and kNN.
+
+use ld_api::Predictor;
+use ld_linalg::vecops;
+
+use crate::features::last_window;
+
+/// Predicts the mean of the most recent `window` JARs.
+#[derive(Debug, Clone)]
+pub struct MeanPredictor {
+    /// Averaging window length.
+    pub window: usize,
+}
+
+impl Default for MeanPredictor {
+    fn default() -> Self {
+        MeanPredictor { window: 16 }
+    }
+}
+
+impl Predictor for MeanPredictor {
+    fn name(&self) -> String {
+        "Mean".into()
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        let w = self.window.min(history.len());
+        vecops::mean(&history[history.len() - w..])
+    }
+}
+
+/// k-nearest-neighbours forecasting: find the `k` past windows most similar
+/// to the current one (Euclidean distance) and average their successors.
+#[derive(Debug, Clone)]
+pub struct KnnPredictor {
+    /// Neighbour count.
+    pub k: usize,
+    /// Window (pattern) length compared.
+    pub window: usize,
+    /// How much history to search (cap for cost).
+    pub max_history: usize,
+}
+
+impl Default for KnnPredictor {
+    fn default() -> Self {
+        KnnPredictor {
+            k: 5,
+            window: 8,
+            max_history: 2048,
+        }
+    }
+}
+
+impl Predictor for KnnPredictor {
+    fn name(&self) -> String {
+        "kNN".into()
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        let w = self.window;
+        if history.len() < w + 2 {
+            return *history.last().unwrap();
+        }
+        let h = crate::features::recent(history, self.max_history);
+        let query = last_window(h, w);
+        // Candidate windows end strictly before the query window starts
+        // overlapping its own target.
+        let mut scored: Vec<(f64, f64)> = (w..h.len())
+            .map(|i| {
+                let cand = &h[i - w..i];
+                (vecops::sq_dist(cand, &query), h[i])
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let k = self.k.min(scored.len());
+        // The nearest candidate is the query window itself (distance 0,
+        // successor unknown == the value we are predicting is not in h);
+        // note the final window's "successor" does not exist, so `i` above
+        // stops at h.len()-1 targets — the self-match is excluded by
+        // construction because its target would be h[h.len()], out of range.
+        scored.iter().take(k).map(|(_, y)| y).sum::<f64>() / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_recent_window() {
+        let mut p = MeanPredictor { window: 3 };
+        assert_eq!(p.predict(&[10.0, 1.0, 2.0, 3.0]), 2.0);
+        // Shorter history than window: use all of it.
+        assert_eq!(p.predict(&[4.0, 6.0]), 5.0);
+    }
+
+    #[test]
+    fn knn_recovers_periodic_pattern() {
+        // Strict period-4 signal: the nearest neighbours of the current
+        // window all precede the same successor.
+        let pat = [10.0, 20.0, 30.0, 40.0];
+        let mut h = Vec::new();
+        for _ in 0..12 {
+            h.extend_from_slice(&pat);
+        }
+        // History ends right before a "10.0" (full periods): last window is
+        // [., 30, 40] pattern -> next is 10.
+        let mut p = KnnPredictor {
+            k: 3,
+            window: 4,
+            max_history: 1024,
+        };
+        let pred = p.predict(&h);
+        assert!((pred - 10.0).abs() < 1e-9, "pred {pred}");
+    }
+
+    #[test]
+    fn knn_short_history_falls_back_to_last_value() {
+        let mut p = KnnPredictor::default();
+        assert_eq!(p.predict(&[7.0]), 7.0);
+        assert_eq!(p.predict(&[7.0, 9.0]), 9.0);
+    }
+
+    #[test]
+    fn knn_constant_series_predicts_constant() {
+        let mut p = KnnPredictor::default();
+        let h = vec![5.0; 100];
+        assert!((p.predict(&h) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Polynomial trend-regression members of Table II: local and global
+//! regression with linear, quadratic and cubic models.
+//!
+//! "Global" fits the polynomial over the whole (recent, capped) history;
+//! "local" fits only the last few dozen intervals. Both regress the JAR on
+//! normalized time and extrapolate one step ahead.
+
+use ld_api::Predictor;
+use ld_linalg::{solve, Matrix};
+
+use crate::features::recent;
+
+/// Scope of the trend fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressionScope {
+    /// Fit over the recent capped history (default cap 2048 intervals).
+    Global,
+    /// Fit over a short local window (default 24 intervals).
+    Local,
+}
+
+/// Polynomial trend regression of a configurable degree.
+#[derive(Debug, Clone)]
+pub struct PolyRegression {
+    /// 1 = linear, 2 = quadratic, 3 = cubic.
+    pub degree: usize,
+    /// Local or global fitting scope.
+    pub scope: RegressionScope,
+    /// Window for local fits.
+    pub local_window: usize,
+    /// History cap for global fits.
+    pub global_cap: usize,
+}
+
+impl PolyRegression {
+    /// Creates a member with the paper-pool defaults.
+    pub fn new(degree: usize, scope: RegressionScope) -> Self {
+        assert!((1..=3).contains(&degree), "degree must be 1..=3");
+        PolyRegression {
+            degree,
+            scope,
+            local_window: 24,
+            global_cap: 2048,
+        }
+    }
+
+    fn fit_window<'a>(&self, history: &'a [f64]) -> &'a [f64] {
+        match self.scope {
+            RegressionScope::Global => recent(history, self.global_cap),
+            RegressionScope::Local => recent(history, self.local_window),
+        }
+    }
+}
+
+/// Fits `y ~ poly(t)` on `ys` over normalized time and returns the
+/// extrapolation at the next step.
+pub fn poly_extrapolate(ys: &[f64], degree: usize) -> f64 {
+    let n = ys.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= degree {
+        return ys[n - 1];
+    }
+    // Normalize time to [0, 1] for conditioning; next step is at
+    // (n) / (n - 1) > 1.
+    let design = Matrix::from_fn(n, degree + 1, |r, c| {
+        let t = r as f64 / (n - 1).max(1) as f64;
+        t.powi(c as i32)
+    });
+    match solve::lstsq(&design, ys, 1e-9) {
+        Ok(coef) => {
+            let t_next = n as f64 / (n - 1).max(1) as f64;
+            coef.iter()
+                .enumerate()
+                .map(|(c, &b)| b * t_next.powi(c as i32))
+                .sum()
+        }
+        Err(_) => ys[n - 1],
+    }
+}
+
+impl Predictor for PolyRegression {
+    fn name(&self) -> String {
+        let deg = match self.degree {
+            1 => "Linear",
+            2 => "Quadratic",
+            _ => "Cubic",
+        };
+        let scope = match self.scope {
+            RegressionScope::Global => "Global",
+            RegressionScope::Local => "Local",
+        };
+        format!("{scope}{deg}Reg")
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        poly_extrapolate(self.fit_window(history), self.degree)
+    }
+}
+
+/// The six regression members of Table II.
+pub fn all_regression_members() -> Vec<Box<dyn Predictor>> {
+    let mut out: Vec<Box<dyn Predictor>> = Vec::with_capacity(6);
+    for scope in [RegressionScope::Local, RegressionScope::Global] {
+        for degree in 1..=3 {
+            out.push(Box::new(PolyRegression::new(degree, scope)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_extrapolates_exact_line() {
+        let ys: Vec<f64> = (0..20).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let p = poly_extrapolate(&ys, 1);
+        assert!((p - (3.0 + 2.0 * 20.0)).abs() < 1e-6, "pred {p}");
+    }
+
+    #[test]
+    fn quadratic_extrapolates_parabola() {
+        let ys: Vec<f64> = (0..20).map(|i| (i * i) as f64).collect();
+        let p = poly_extrapolate(&ys, 2);
+        assert!((p - 400.0).abs() < 1e-4, "pred {p}");
+    }
+
+    #[test]
+    fn cubic_extrapolates_cubic() {
+        let ys: Vec<f64> = (0..15).map(|i| (i as f64).powi(3) * 0.1).collect();
+        let p = poly_extrapolate(&ys, 3);
+        assert!((p - 337.5).abs() < 1e-3, "pred {p}");
+    }
+
+    #[test]
+    fn degenerate_history_returns_last() {
+        assert_eq!(poly_extrapolate(&[5.0], 3), 5.0);
+        assert_eq!(poly_extrapolate(&[], 1), 0.0);
+        assert_eq!(poly_extrapolate(&[1.0, 2.0], 3), 2.0);
+    }
+
+    #[test]
+    fn local_scope_tracks_recent_trend_change() {
+        // Flat for 100 intervals then a steep ramp in the last 24: the
+        // local fit should predict much higher than the global fit.
+        let mut ys = vec![10.0; 100];
+        for i in 0..24 {
+            ys.push(10.0 + (i + 1) as f64 * 5.0);
+        }
+        let mut local = PolyRegression::new(1, RegressionScope::Local);
+        let mut global = PolyRegression::new(1, RegressionScope::Global);
+        let pl = local.predict(&ys);
+        let pg = global.predict(&ys);
+        assert!(pl > pg, "local {pl} global {pg}");
+        assert!(pl > 120.0, "local should continue the ramp: {pl}");
+    }
+
+    #[test]
+    fn member_pool_has_six_distinct_names() {
+        let members = all_regression_members();
+        assert_eq!(members.len(), 6);
+        let names: std::collections::HashSet<String> =
+            members.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 6);
+        assert!(names.contains("LocalLinearReg"));
+        assert!(names.contains("GlobalCubicReg"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Time-series smoothing members of Table II: WMA, EMA, Holt–Winters DES
+//! and Brown's DES.
+
+use ld_api::Predictor;
+
+/// Weighted moving average with linearly increasing weights (most recent
+/// interval weighted highest).
+#[derive(Debug, Clone)]
+pub struct Wma {
+    /// Window length.
+    pub window: usize,
+}
+
+impl Default for Wma {
+    fn default() -> Self {
+        Wma { window: 12 }
+    }
+}
+
+impl Predictor for Wma {
+    fn name(&self) -> String {
+        "WMA".into()
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        let w = self.window.min(history.len());
+        let tail = &history[history.len() - w..];
+        let denom = (w * (w + 1) / 2) as f64;
+        tail.iter()
+            .enumerate()
+            .map(|(i, &v)| (i + 1) as f64 * v)
+            .sum::<f64>()
+            / denom
+    }
+}
+
+/// Exponential moving average with smoothing factor `alpha`.
+#[derive(Debug, Clone)]
+pub struct Ema {
+    /// Smoothing factor in `(0, 1]`; higher reacts faster.
+    pub alpha: f64,
+}
+
+impl Default for Ema {
+    fn default() -> Self {
+        Ema { alpha: 0.35 }
+    }
+}
+
+impl Predictor for Ema {
+    fn name(&self) -> String {
+        "EMA".into()
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        // Recompute from (capped) history each call: cheap and stateless.
+        let h = crate::features::recent(history, 512);
+        let mut s = h[0];
+        for &v in &h[1..] {
+            s = self.alpha * v + (1.0 - self.alpha) * s;
+        }
+        s
+    }
+}
+
+/// Holt's double exponential smoothing (level + trend) — the
+/// "Holt-Winters DES" member.
+#[derive(Debug, Clone)]
+pub struct HoltDes {
+    /// Level smoothing factor.
+    pub alpha: f64,
+    /// Trend smoothing factor.
+    pub beta: f64,
+}
+
+impl Default for HoltDes {
+    fn default() -> Self {
+        HoltDes {
+            alpha: 0.4,
+            beta: 0.2,
+        }
+    }
+}
+
+impl Predictor for HoltDes {
+    fn name(&self) -> String {
+        "HoltWintersDES".into()
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        let h = crate::features::recent(history, 512);
+        if h.len() < 2 {
+            return h[0];
+        }
+        let mut level = h[0];
+        let mut trend = h[1] - h[0];
+        for &v in &h[1..] {
+            let prev_level = level;
+            level = self.alpha * v + (1.0 - self.alpha) * (level + trend);
+            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+        }
+        level + trend
+    }
+}
+
+/// Brown's double exponential smoothing (double-smoothed single parameter).
+#[derive(Debug, Clone)]
+pub struct BrownDes {
+    /// Smoothing factor.
+    pub alpha: f64,
+}
+
+impl Default for BrownDes {
+    fn default() -> Self {
+        BrownDes { alpha: 0.3 }
+    }
+}
+
+impl Predictor for BrownDes {
+    fn name(&self) -> String {
+        "BrownDES".into()
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        let h = crate::features::recent(history, 512);
+        let mut s1 = h[0];
+        let mut s2 = h[0];
+        for &v in &h[1..] {
+            s1 = self.alpha * v + (1.0 - self.alpha) * s1;
+            s2 = self.alpha * s1 + (1.0 - self.alpha) * s2;
+        }
+        let a = 2.0 * s1 - s2;
+        let b = if self.alpha < 1.0 {
+            self.alpha / (1.0 - self.alpha) * (s1 - s2)
+        } else {
+            0.0
+        };
+        a + b
+    }
+}
+
+/// Holt–Winters *triple* exponential smoothing (additive seasonality).
+///
+/// Table II's pool uses the double (trend-only) variant; the triple
+/// variant is provided for seasonal workloads — the classical non-ML
+/// answer to Wikipedia-style traffic, and a useful extra expert for a
+/// custom [`crate::cloudinsight::CloudInsight::with_members`] council.
+#[derive(Debug, Clone)]
+pub struct HoltWintersSeasonal {
+    /// Level smoothing factor.
+    pub alpha: f64,
+    /// Trend smoothing factor.
+    pub beta: f64,
+    /// Seasonal smoothing factor.
+    pub gamma: f64,
+    /// Season length in intervals (e.g. a day).
+    pub period: usize,
+}
+
+impl HoltWintersSeasonal {
+    /// Triple smoothing with standard factors for the given season length.
+    pub fn new(period: usize) -> Self {
+        assert!(period >= 2, "season length must be >= 2");
+        HoltWintersSeasonal {
+            alpha: 0.3,
+            beta: 0.05,
+            gamma: 0.3,
+            period,
+        }
+    }
+}
+
+impl Predictor for HoltWintersSeasonal {
+    fn name(&self) -> String {
+        format!("HoltWintersSeasonal(p={})", self.period)
+    }
+
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        let p = self.period;
+        // Need at least two full seasons to initialize sensibly.
+        if history.len() < 2 * p {
+            return HoltDes::default().predict(history);
+        }
+        let h = crate::features::recent(history, 8 * p.max(64));
+        // Initialize level/trend from the first season, seasonal indices
+        // from deviations of the first season around its mean.
+        let s0_mean = h[..p].iter().sum::<f64>() / p as f64;
+        let s1_mean = h[p..2 * p].iter().sum::<f64>() / p as f64;
+        let mut level = s0_mean;
+        let mut trend = (s1_mean - s0_mean) / p as f64;
+        let mut seasonal: Vec<f64> = h[..p].iter().map(|v| v - s0_mean).collect();
+
+        for (t, &v) in h.iter().enumerate().skip(p) {
+            let s_idx = t % p;
+            let prev_level = level;
+            level = self.alpha * (v - seasonal[s_idx]) + (1.0 - self.alpha) * (level + trend);
+            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+            seasonal[s_idx] =
+                self.gamma * (v - level) + (1.0 - self.gamma) * seasonal[s_idx];
+        }
+        let next_idx = h.len() % p;
+        level + trend + seasonal[next_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_smoothers_are_exact_on_constant_series() {
+        let h = vec![42.0; 60];
+        assert!((Wma::default().predict(&h) - 42.0).abs() < 1e-9);
+        assert!((Ema::default().predict(&h) - 42.0).abs() < 1e-9);
+        assert!((HoltDes::default().predict(&h) - 42.0).abs() < 1e-9);
+        assert!((BrownDes::default().predict(&h) - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wma_weights_recent_values_more() {
+        let mut p = Wma { window: 3 };
+        // (1*10 + 2*20 + 3*60) / 6 = 38.33
+        let v = p.predict(&[10.0, 20.0, 60.0]);
+        assert!((v - 38.333333333).abs() < 1e-6);
+        // Recency: swapping the tail changes the result upward.
+        let up = p.predict(&[60.0, 20.0, 10.0]);
+        assert!(v > up);
+    }
+
+    #[test]
+    fn trend_methods_extrapolate_a_ramp() {
+        let h: Vec<f64> = (0..80).map(|i| 5.0 + 2.0 * i as f64).collect();
+        let next = 5.0 + 2.0 * 80.0;
+        let holt = HoltDes::default().predict(&h);
+        let brown = BrownDes::default().predict(&h);
+        assert!((holt - next).abs() < 2.0, "holt {holt} vs {next}");
+        assert!((brown - next).abs() < 6.0, "brown {brown} vs {next}");
+        // EMA and WMA lag a ramp — both must undershoot the true next value.
+        assert!(Ema::default().predict(&h) < next);
+        assert!(Wma { window: 12 }.predict(&h) < next);
+    }
+
+    #[test]
+    fn ema_alpha_controls_responsiveness() {
+        let mut h = vec![10.0; 50];
+        h.push(100.0);
+        let fast = Ema { alpha: 0.9 }.predict(&h);
+        let slow = Ema { alpha: 0.1 }.predict(&h);
+        assert!(fast > slow);
+        assert!(fast > 80.0 && slow < 30.0);
+    }
+
+    #[test]
+    fn single_value_history_is_safe() {
+        let h = [7.0];
+        assert_eq!(Wma::default().predict(&h), 7.0);
+        assert_eq!(Ema::default().predict(&h), 7.0);
+        assert_eq!(HoltDes::default().predict(&h), 7.0);
+        assert_eq!(BrownDes::default().predict(&h), 7.0);
+        assert_eq!(HoltWintersSeasonal::new(4).predict(&h), 7.0);
+    }
+
+    #[test]
+    fn triple_smoothing_tracks_a_seasonal_pattern() {
+        // Period-6 additive pattern on a flat level.
+        let pattern = [10.0, 30.0, 50.0, 40.0, 20.0, 5.0];
+        let mut h = Vec::new();
+        for _ in 0..12 {
+            h.extend_from_slice(&pattern);
+        }
+        let mut hw = HoltWintersSeasonal::new(6);
+        let pred = hw.predict(&h);
+        // Next value is the first pattern entry.
+        assert!((pred - 10.0).abs() < 4.0, "pred {pred}");
+        // The non-seasonal smoothers cannot get close to the trough.
+        let holt = HoltDes::default().predict(&h);
+        assert!((pred - 10.0).abs() < (holt - 10.0).abs());
+    }
+
+    #[test]
+    fn triple_smoothing_tracks_season_plus_trend() {
+        // Rising level with a period-4 wave on top.
+        let h: Vec<f64> = (0..80)
+            .map(|i| 100.0 + 2.0 * i as f64 + [0.0, 15.0, 0.0, -15.0][i % 4])
+            .collect();
+        let mut hw = HoltWintersSeasonal::new(4);
+        let pred = hw.predict(&h);
+        let truth = 100.0 + 2.0 * 80.0 + 0.0;
+        assert!((pred - truth).abs() < 8.0, "pred {pred} vs {truth}");
+    }
+
+    #[test]
+    fn triple_falls_back_when_history_shorter_than_two_seasons() {
+        let h: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut hw = HoltWintersSeasonal::new(8);
+        // Falls back to Holt's DES, which extrapolates the ramp.
+        let pred = hw.predict(&h);
+        assert!((pred - 10.0).abs() < 1.0, "pred {pred}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Bayesian optimization of black-box objectives — the self-optimization
+//! engine of LoadDynamics (paper Section III-A, Fig. 6 step 3).
+//!
+//! LoadDynamics trains an LSTM per candidate hyperparameter set and measures
+//! its cross-validation error; this crate decides *which candidate to try
+//! next*. It implements:
+//!
+//! - [`space`]: a typed hyperparameter [`space::SearchSpace`] (integer and
+//!   continuous dimensions, optionally log-scaled) encoded into the unit
+//!   cube,
+//! - [`acquisition`]: Expected Improvement (the paper's acquisition
+//!   function) plus the pure-exploit / pure-explore variants used by the
+//!   acquisition ablation,
+//! - [`optimizer`]: the iterative propose-evaluate loop with a GP surrogate
+//!   ([`ld_gp`]), plus the random-search and grid-search comparators the
+//!   paper discusses and rejects.
+//!
+//! Objectives are *minimized* (the framework minimizes validation MAPE).
+
+pub mod acquisition;
+pub mod optimizer;
+pub mod space;
+
+pub use acquisition::Acquisition;
+pub use optimizer::{
+    BayesianOptimizer, BoOptions, GridSearch, HyperOptimizer, OptResult, RandomSearch, Trial,
+};
+pub use space::{Dim, ParamValue, SearchSpace};

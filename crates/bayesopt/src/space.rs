@@ -1,0 +1,390 @@
+//! Typed hyperparameter search spaces with unit-cube encoding.
+//!
+//! The paper's Table III defines each hyperparameter by an integer range
+//! (e.g. history length 1–512, batch size 16–1024). The GP surrogate works
+//! best on a normalized continuous domain, so every dimension is encoded
+//! into `[0, 1]`; decoding rounds integer dimensions to the nearest valid
+//! value. Wide multiplicative ranges (batch size, history length) can be
+//! marked log-scaled so the encoding spreads resolution evenly across
+//! magnitudes.
+
+use rand::Rng;
+
+/// One hyperparameter dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dim {
+    /// Integer range, inclusive on both ends.
+    Int {
+        /// Human-readable name (used in reports).
+        name: String,
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+        /// Interpolate in log space (requires `lo >= 1`).
+        log: bool,
+    },
+    /// Continuous range, inclusive on both ends.
+    Float {
+        /// Human-readable name.
+        name: String,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Interpolate in log space (requires `lo > 0`).
+        log: bool,
+    },
+}
+
+impl Dim {
+    /// Integer dimension helper.
+    pub fn int(name: &str, lo: i64, hi: i64) -> Self {
+        Dim::Int {
+            name: name.into(),
+            lo,
+            hi,
+            log: false,
+        }
+    }
+
+    /// Log-scaled integer dimension helper.
+    pub fn int_log(name: &str, lo: i64, hi: i64) -> Self {
+        Dim::Int {
+            name: name.into(),
+            lo,
+            hi,
+            log: true,
+        }
+    }
+
+    /// Continuous dimension helper.
+    pub fn float(name: &str, lo: f64, hi: f64) -> Self {
+        Dim::Float {
+            name: name.into(),
+            lo,
+            hi,
+            log: false,
+        }
+    }
+
+    /// Log-scaled continuous dimension helper.
+    pub fn float_log(name: &str, lo: f64, hi: f64) -> Self {
+        Dim::Float {
+            name: name.into(),
+            lo,
+            hi,
+            log: true,
+        }
+    }
+
+    /// The dimension's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Dim::Int { name, .. } | Dim::Float { name, .. } => name,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            Dim::Int { lo, hi, log, .. } => {
+                if lo > hi {
+                    return Err(format!("{}: lo {lo} > hi {hi}", self.name()));
+                }
+                if log && lo < 1 {
+                    return Err(format!("{}: log scale needs lo >= 1", self.name()));
+                }
+            }
+            Dim::Float { lo, hi, log, .. } => {
+                if !(lo < hi) {
+                    return Err(format!("{}: lo {lo} >= hi {hi}", self.name()));
+                }
+                if log && lo <= 0.0 {
+                    return Err(format!("{}: log scale needs lo > 0", self.name()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a unit-cube coordinate into a parameter value.
+    pub fn decode(&self, u: f64) -> ParamValue {
+        let u = u.clamp(0.0, 1.0);
+        match *self {
+            Dim::Int { lo, hi, log, .. } => {
+                let v = if log {
+                    let (a, b) = ((lo as f64).ln(), (hi as f64).ln());
+                    (a + (b - a) * u).exp()
+                } else {
+                    lo as f64 + (hi - lo) as f64 * u
+                };
+                ParamValue::Int((v.round() as i64).clamp(lo, hi))
+            }
+            Dim::Float { lo, hi, log, .. } => {
+                let v = if log {
+                    let (a, b) = (lo.ln(), hi.ln());
+                    (a + (b - a) * u).exp()
+                } else {
+                    lo + (hi - lo) * u
+                };
+                ParamValue::Float(v.clamp(lo, hi))
+            }
+        }
+    }
+
+    /// Encodes a parameter value back into the unit cube (inverse of
+    /// [`Dim::decode`] up to integer rounding).
+    pub fn encode(&self, v: &ParamValue) -> f64 {
+        match (self, v) {
+            (&Dim::Int { lo, hi, log, .. }, &ParamValue::Int(i)) => {
+                if lo == hi {
+                    return 0.0;
+                }
+                let i = i.clamp(lo, hi) as f64;
+                if log {
+                    (i.ln() - (lo as f64).ln()) / ((hi as f64).ln() - (lo as f64).ln())
+                } else {
+                    (i - lo as f64) / (hi - lo) as f64
+                }
+            }
+            (&Dim::Float { lo, hi, log, .. }, &ParamValue::Float(x)) => {
+                let x = x.clamp(lo, hi);
+                if log {
+                    (x.ln() - lo.ln()) / (hi.ln() - lo.ln())
+                } else {
+                    (x - lo) / (hi - lo)
+                }
+            }
+            _ => panic!("parameter type does not match dimension {}", self.name()),
+        }
+    }
+
+    /// Number of distinct values (for grid construction); `None` when
+    /// continuous.
+    pub fn cardinality(&self) -> Option<u64> {
+        match *self {
+            Dim::Int { lo, hi, .. } => Some((hi - lo + 1) as u64),
+            Dim::Float { .. } => None,
+        }
+    }
+}
+
+/// A concrete hyperparameter value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamValue {
+    /// Integer-valued parameter.
+    Int(i64),
+    /// Continuous parameter.
+    Float(f64),
+}
+
+impl ParamValue {
+    /// The integer payload.
+    ///
+    /// # Panics
+    /// Panics if the value is a float — indicates a space/config mismatch.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            ParamValue::Int(i) => *i,
+            ParamValue::Float(_) => panic!("expected integer parameter"),
+        }
+    }
+
+    /// The value as an `f64` regardless of type.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            ParamValue::Int(i) => *i as f64,
+            ParamValue::Float(f) => *f,
+        }
+    }
+}
+
+impl std::fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamValue::Int(i) => write!(f, "{i}"),
+            ParamValue::Float(x) => write!(f, "{x:.4}"),
+        }
+    }
+}
+
+/// An ordered collection of dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    dims: Vec<Dim>,
+}
+
+impl SearchSpace {
+    /// Builds a search space, validating every dimension.
+    ///
+    /// # Panics
+    /// Panics on an invalid dimension (empty range, bad log bounds); spaces
+    /// are built from static configuration so this is a programming error.
+    pub fn new(dims: Vec<Dim>) -> Self {
+        assert!(!dims.is_empty(), "search space needs at least one dimension");
+        for d in &dims {
+            if let Err(e) = d.validate() {
+                panic!("invalid search dimension: {e}");
+            }
+        }
+        SearchSpace { dims }
+    }
+
+    /// The dimensions in order.
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Samples a uniform point in the unit cube.
+    pub fn sample_unit(&self, rng: &mut impl Rng) -> Vec<f64> {
+        (0..self.dims.len()).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    /// Decodes a unit-cube point into concrete parameter values.
+    pub fn decode(&self, unit: &[f64]) -> Vec<ParamValue> {
+        assert_eq!(unit.len(), self.dims.len(), "unit point dimensionality");
+        self.dims
+            .iter()
+            .zip(unit)
+            .map(|(d, &u)| d.decode(u))
+            .collect()
+    }
+
+    /// Encodes concrete parameter values into the unit cube.
+    pub fn encode(&self, params: &[ParamValue]) -> Vec<f64> {
+        assert_eq!(params.len(), self.dims.len(), "parameter dimensionality");
+        self.dims
+            .iter()
+            .zip(params)
+            .map(|(d, v)| d.encode(v))
+            .collect()
+    }
+
+    /// Total number of grid cells when each dimension is discretized to at
+    /// most `per_dim` levels (integer dimensions cap at their cardinality).
+    pub fn grid_size(&self, per_dim: usize) -> u64 {
+        self.dims
+            .iter()
+            .map(|d| match d.cardinality() {
+                Some(c) => c.min(per_dim as u64),
+                None => per_dim as u64,
+            })
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_space() -> SearchSpace {
+        // Table III, non-Facebook row.
+        SearchSpace::new(vec![
+            Dim::int_log("hist_len", 1, 512),
+            Dim::int("c_size", 1, 100),
+            Dim::int("layers", 1, 5),
+            Dim::int_log("batch", 16, 1024),
+        ])
+    }
+
+    #[test]
+    fn decode_endpoints() {
+        let s = paper_space();
+        let lo = s.decode(&[0.0, 0.0, 0.0, 0.0]);
+        let hi = s.decode(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(lo, vec![
+            ParamValue::Int(1),
+            ParamValue::Int(1),
+            ParamValue::Int(1),
+            ParamValue::Int(16)
+        ]);
+        assert_eq!(hi, vec![
+            ParamValue::Int(512),
+            ParamValue::Int(100),
+            ParamValue::Int(5),
+            ParamValue::Int(1024)
+        ]);
+    }
+
+    #[test]
+    fn decode_clamps_out_of_range_units() {
+        let s = paper_space();
+        assert_eq!(s.decode(&[-3.0, 2.0, 0.5, 0.5])[0], ParamValue::Int(1));
+        assert_eq!(s.decode(&[-3.0, 2.0, 0.5, 0.5])[1], ParamValue::Int(100));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_int() {
+        let s = paper_space();
+        for params in [
+            vec![
+                ParamValue::Int(37),
+                ParamValue::Int(50),
+                ParamValue::Int(3),
+                ParamValue::Int(128),
+            ],
+            vec![
+                ParamValue::Int(1),
+                ParamValue::Int(1),
+                ParamValue::Int(1),
+                ParamValue::Int(16),
+            ],
+            vec![
+                ParamValue::Int(512),
+                ParamValue::Int(100),
+                ParamValue::Int(5),
+                ParamValue::Int(1024),
+            ],
+        ] {
+            let unit = s.encode(&params);
+            assert!(unit.iter().all(|u| (0.0..=1.0).contains(u)));
+            assert_eq!(s.decode(&unit), params);
+        }
+    }
+
+    #[test]
+    fn float_log_dimension_spreads_magnitudes() {
+        let d = Dim::float_log("lr", 1e-5, 1e-1);
+        // Midpoint of the unit interval should be the geometric mean.
+        let mid = d.decode(0.5);
+        assert!((mid.as_f64() - 1e-3).abs() / 1e-3 < 1e-9);
+    }
+
+    #[test]
+    fn sampling_stays_in_unit_cube_and_decodes_in_range() {
+        let s = paper_space();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let u = s.sample_unit(&mut rng);
+            let p = s.decode(&u);
+            let h = p[0].as_int();
+            let c = p[1].as_int();
+            let l = p[2].as_int();
+            let b = p[3].as_int();
+            assert!((1..=512).contains(&h));
+            assert!((1..=100).contains(&c));
+            assert!((1..=5).contains(&l));
+            assert!((16..=1024).contains(&b));
+        }
+    }
+
+    #[test]
+    fn grid_size_caps_at_cardinality() {
+        let s = paper_space();
+        // layers has only 5 values even if per_dim is 10.
+        assert_eq!(s.grid_size(10), 10 * 10 * 5 * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "log scale needs lo >= 1")]
+    fn invalid_log_int_rejected() {
+        SearchSpace::new(vec![Dim::int_log("bad", 0, 10)]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the Bayesian-optimization layer.
+
+use ld_bayesopt::{
+    acquisition, Acquisition, BayesianOptimizer, Dim, GridSearch, HyperOptimizer, ParamValue,
+    RandomSearch, SearchSpace,
+};
+use proptest::prelude::*;
+
+fn int_dim() -> impl Strategy<Value = Dim> {
+    (1i64..100, 1i64..400, any::<bool>()).prop_map(|(lo, span, log)| {
+        let hi = lo + span;
+        if log {
+            Dim::int_log("d", lo, hi)
+        } else {
+            Dim::int("d", lo, hi)
+        }
+    })
+}
+
+fn space() -> impl Strategy<Value = SearchSpace> {
+    proptest::collection::vec(int_dim(), 1..5).prop_map(SearchSpace::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode(encode(p)) is the identity for any integer point actually
+    /// produced by decode.
+    #[test]
+    fn encode_decode_fixed_point(s in space(), units in proptest::collection::vec(0.0..1.0f64, 5)) {
+        let unit: Vec<f64> = units.into_iter().take(s.ndims()).collect();
+        prop_assume!(unit.len() == s.ndims());
+        let p = s.decode(&unit);
+        let u2 = s.encode(&p);
+        let p2 = s.decode(&u2);
+        prop_assert_eq!(p, p2);
+        prop_assert!(u2.iter().all(|u| (0.0..=1.0).contains(u)));
+    }
+
+    /// Every decoded value lies inside its dimension's bounds.
+    #[test]
+    fn decode_respects_bounds(s in space(), units in proptest::collection::vec(-2.0..3.0f64, 5)) {
+        let unit: Vec<f64> = units.into_iter().take(s.ndims()).collect();
+        prop_assume!(unit.len() == s.ndims());
+        for (d, v) in s.dims().iter().zip(s.decode(&unit)) {
+            if let Dim::Int { lo, hi, .. } = d {
+                let i = v.as_int();
+                prop_assert!(i >= *lo && i <= *hi, "{i} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    /// Expected improvement is always non-negative and increases with the
+    /// incumbent (a worse incumbent is easier to improve on).
+    #[test]
+    fn ei_monotone_in_incumbent(
+        mean in -5.0..5.0f64,
+        std in 0.001..3.0f64,
+        fb1 in -5.0..5.0f64,
+        delta in 0.0..5.0f64,
+    ) {
+        let ei = Acquisition::ExpectedImprovement { xi: 0.0 };
+        let a = ei.score(mean, std, fb1);
+        let b = ei.score(mean, std, fb1 + delta);
+        prop_assert!(a >= 0.0);
+        prop_assert!(b + 1e-12 >= a, "EI not monotone: {a} vs {b}");
+    }
+
+    /// The normal CDF is a valid distribution function.
+    #[test]
+    fn norm_cdf_properties(z in -8.0..8.0f64, dz in 0.0..4.0f64) {
+        let c = acquisition::norm_cdf(z);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(acquisition::norm_cdf(z + dz) + 1e-12 >= c);
+        // Symmetry.
+        prop_assert!((acquisition::norm_cdf(-z) - (1.0 - c)).abs() < 1e-7);
+    }
+
+    /// All optimizers return exactly min(budget, feasible) trials with the
+    /// best index pointing at the true minimum of the history.
+    #[test]
+    fn optimizers_report_true_incumbent(s in space(), budget in 1usize..12, seed in 0u64..100) {
+        let objective = |p: &[ParamValue]| -> f64 {
+            p.iter().map(|v| v.as_f64()).sum::<f64>().sin().abs()
+        };
+        for result in [
+            BayesianOptimizer::default().optimize(&s, &objective, budget, seed),
+            RandomSearch.optimize(&s, &objective, budget, seed),
+            GridSearch.optimize(&s, &objective, budget, seed),
+        ] {
+            prop_assert!(!result.trials.is_empty());
+            prop_assert!(result.trials.len() <= budget);
+            let min = result
+                .trials
+                .iter()
+                .map(|t| t.value)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(result.best().value, min);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the Bayesian-optimization loop itself
+//! (surrogate fitting + acquisition maximization), isolated from LSTM
+//! training by a cheap synthetic objective.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ld_bayesopt::{BayesianOptimizer, Dim, HyperOptimizer, ParamValue, SearchSpace};
+
+fn space() -> SearchSpace {
+    SearchSpace::new(vec![
+        Dim::int_log("hist_len", 1, 512),
+        Dim::int("c_size", 1, 100),
+        Dim::int("layers", 1, 5),
+        Dim::int_log("batch", 16, 1024),
+    ])
+}
+
+fn objective(params: &[ParamValue]) -> f64 {
+    let h = params[0].as_f64();
+    let s = params[1].as_f64();
+    ((h - 64.0) / 64.0).powi(2) + ((s - 20.0) / 20.0).powi(2)
+}
+
+fn bench_bo_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayesopt_run");
+    group.sample_size(10);
+    for budget in [10usize, 25] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &n| {
+            b.iter(|| {
+                BayesianOptimizer::default().optimize(&space(), &objective, n, 0)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bo_budget);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks for LSTM inference and training.
+//!
+//! The paper reports inference "less than 4.78 ms" per prediction on a
+//! 16-core Xeon; the `inference` group measures the equivalent single
+//! forward pass for representative tuned sizes (Table IV ranges).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ld_nn::{make_windows, Adam, ForecasterConfig, LstmForecaster, TrainOptions, Trainer};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm_inference");
+    // (history_len, cell_size, layers) spanning Table IV's selected ranges.
+    for (n, s, l) in [(16usize, 8usize, 1usize), (64, 32, 2), (128, 64, 2)] {
+        let model = LstmForecaster::new(ForecasterConfig {
+            history_len: n,
+            hidden_size: s,
+            num_layers: l,
+            seed: 0,
+        });
+        let window: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin() * 0.5 + 0.5).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_s{s}_l{l}")),
+            &n,
+            |bench, _| {
+                bench.iter(|| model.predict(&window));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm_train_epoch");
+    group.sample_size(10);
+    let series: Vec<f64> = (0..400).map(|i| 0.5 + 0.4 * (i as f64 * 0.2).sin()).collect();
+    for (n, s) in [(8usize, 8usize), (16, 16)] {
+        let samples = make_windows(&series, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_s{s}")),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut model = LstmForecaster::new(ForecasterConfig {
+                        history_len: n,
+                        hidden_size: s,
+                        num_layers: 1,
+                        seed: 0,
+                    });
+                    let trainer = Trainer::new(TrainOptions {
+                        batch_size: 32,
+                        max_epochs: 1,
+                        patience: 0,
+                        ..TrainOptions::default()
+                    });
+                    let mut opt = Adam::with_lr(1e-3);
+                    trainer.fit(&mut model, &mut opt, &samples, &[]);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_training_epoch);
+criterion_main!(benches);

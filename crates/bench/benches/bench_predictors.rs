@@ -1,0 +1,43 @@
+//! Criterion benchmarks for per-interval prediction latency of the
+//! baseline techniques — the cost side of the paper's Section VI argument
+//! that multi-predictor ensembles pay "unnecessary computation overhead for
+//! making predictions".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ld_api::Predictor;
+use ld_baselines::{CloudInsight, CloudScale, WoodPredictor};
+
+fn history() -> Vec<f64> {
+    (0..600)
+        .map(|i| 100.0 + 30.0 * (i as f64 * 0.2).sin() + (i % 7) as f64)
+        .collect()
+}
+
+fn bench_baseline_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_predict");
+    group.sample_size(20);
+    let h = history();
+
+    let mut cloudscale = CloudScale::default();
+    cloudscale.fit(&h);
+    group.bench_function("CloudScale", |b| {
+        b.iter(|| cloudscale.predict(&h));
+    });
+
+    let mut wood = WoodPredictor::default();
+    wood.fit(&h);
+    group.bench_function("Wood", |b| {
+        b.iter(|| wood.predict(&h));
+    });
+
+    let mut ci = CloudInsight::new(0);
+    ci.fit(&h);
+    group.bench_function("CloudInsight(21 members)", |b| {
+        b.iter(|| ci.predict(&h));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_predict);
+criterion_main!(benches);

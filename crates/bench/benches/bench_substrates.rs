@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks for the numerical substrates: matmul,
+//! Cholesky, FFT and GP fit/predict. These are the hot kernels under the
+//! framework's self-optimization loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ld_baselines::fft::fft_real;
+use ld_gp::{GpRegressor, Kernel};
+use ld_linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [16usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Matrix::random_uniform(n, n, 1.0, &mut rng);
+        let b = Matrix::random_uniform(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    for n in [16usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = Matrix::random_uniform(n, n, 1.0, &mut rng);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| Cholesky::factor(&a).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_real");
+    for n in [256usize, 1024, 4096] {
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| fft_real(&signal));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp");
+    // The BO surrogate is refit on up to maxIters=100 points.
+    for n in [25usize, 100] {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i as f64 / n as f64), ((i * 7 % n) as f64 / n as f64)])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (5.0 * x[0]).sin() + x[1]).collect();
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |bench, _| {
+            bench.iter(|| GpRegressor::fit(Kernel::default_matern52(), 1e-6, &xs, &ys).unwrap());
+        });
+        let gp = GpRegressor::fit(Kernel::default_matern52(), 1e-6, &xs, &ys).unwrap();
+        group.bench_with_input(BenchmarkId::new("predict", n), &n, |bench, _| {
+            bench.iter(|| gp.predict(&[0.4, 0.6]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_cholesky, bench_fft, bench_gp);
+criterion_main!(benches);

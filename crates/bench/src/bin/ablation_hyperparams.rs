@@ -1,0 +1,111 @@
+//! Ablation — one-at-a-time hyperparameter sensitivity, decomposing
+//! Fig. 5's message: each of the four knobs (history length, cell size,
+//! layer count, batch size) is swept while the others are held at a
+//! sensible center, on the Wikipedia 30-minute workload.
+
+use ld_api::Partition;
+use ld_bench::render::print_table;
+use ld_bench::scale::ExperimentScale;
+use ld_traces::{TraceConfig, WorkloadKind};
+use loaddynamics::{evaluate_hyperparams, HyperParams};
+use rayon::prelude::*;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("=== Ablation: per-hyperparameter sensitivity (Wikipedia 30-min) ===");
+    println!("(scale: {scale:?})\n");
+
+    let series = scale.cap_series(
+        &TraceConfig {
+            kind: WorkloadKind::Wikipedia,
+            interval_mins: 30,
+        }
+        .build(0),
+    );
+    let partition = Partition::paper_default(series.len());
+    let budget = scale.budget();
+
+    let center = HyperParams {
+        history_len: 16,
+        cell_size: 8,
+        num_layers: 1,
+        batch_size: 32,
+    };
+
+    let sweeps: Vec<(&str, Vec<HyperParams>)> = vec![
+        (
+            "history_len",
+            [1, 2, 4, 8, 16, 32, 48]
+                .iter()
+                .map(|&n| HyperParams {
+                    history_len: n,
+                    ..center
+                })
+                .collect(),
+        ),
+        (
+            "cell_size",
+            [1, 2, 4, 8, 16, 24]
+                .iter()
+                .map(|&s| HyperParams {
+                    cell_size: s,
+                    ..center
+                })
+                .collect(),
+        ),
+        (
+            "num_layers",
+            [1, 2]
+                .iter()
+                .map(|&l| HyperParams {
+                    num_layers: l,
+                    ..center
+                })
+                .collect(),
+        ),
+        (
+            "batch_size",
+            [8, 16, 32, 64, 128]
+                .iter()
+                .map(|&b| HyperParams {
+                    batch_size: b,
+                    ..center
+                })
+                .collect(),
+        ),
+    ];
+
+    for (knob, candidates) in sweeps {
+        eprintln!("[ablation] sweeping {knob} ...");
+        let results: Vec<(HyperParams, f64)> = candidates
+            .par_iter()
+            .map(|hp| {
+                (
+                    *hp,
+                    evaluate_hyperparams(&series.values, &partition, *hp, &budget, 0).val_mape,
+                )
+            })
+            .collect();
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|(hp, mape)| {
+                let value = match knob {
+                    "history_len" => hp.history_len,
+                    "cell_size" => hp.cell_size,
+                    "num_layers" => hp.num_layers,
+                    _ => hp.batch_size,
+                };
+                vec![format!("{value}"), format!("{mape:.2}")]
+            })
+            .collect();
+        println!("--- sweep: {knob} (others fixed at {center}) ---");
+        print_table(&[knob, "val MAPE %"], &rows);
+        println!();
+    }
+
+    println!(
+        "Expected shape: history length is the most sensitive knob on a seasonal\n\
+         workload (too short cannot see the cycle); very small cell sizes underfit;\n\
+         batch size moves the error moderately; extra depth helps little at this scale."
+    );
+}

@@ -1,0 +1,104 @@
+//! Ablation — LSTM vs a plain feed-forward autoregressor at a matched
+//! parameter budget (Section III-A's justification for choosing LSTM:
+//! "unlike ordinary feedforward neural network ... LSTM models can track
+//! relatively long-term dependencies").
+
+use ld_api::{metrics, MinMaxScaler, Partition};
+use ld_bench::render::print_table;
+use ld_bench::scale::ExperimentScale;
+use ld_nn::mlp::{MlpConfig, MlpForecaster};
+use ld_nn::{make_windows, Adam, ForecasterConfig, LstmForecaster, TrainOptions, Trainer};
+use ld_traces::{TraceConfig, WorkloadKind};
+
+/// Trains a model via the shared trainer and returns its test MAPE.
+fn test_mape<M: ld_nn::trainer::Trainable>(
+    model: &mut M,
+    values: &[f64],
+    partition: &Partition,
+    n: usize,
+    lr: f64,
+    epochs: usize,
+) -> f64 {
+    let scaler = MinMaxScaler::fit(partition.train(values));
+    let normalized = scaler.transform_all(values);
+    let train = make_windows(&normalized[..partition.train_end], n);
+    let val: Vec<ld_nn::Sample> = (partition.train_end.max(n)..partition.val_end)
+        .map(|i| ld_nn::Sample::new(normalized[i - n..i].to_vec(), normalized[i]))
+        .collect();
+    let trainer = Trainer::new(TrainOptions {
+        batch_size: 32,
+        max_epochs: epochs,
+        patience: 6,
+        ..TrainOptions::default()
+    });
+    let mut opt = Adam::with_lr(lr);
+    trainer.fit(model, &mut opt, &train, &val);
+
+    let (preds, actuals): (Vec<f64>, Vec<f64>) = (partition.val_end.max(n)..values.len())
+        .map(|i| {
+            let window: Vec<f64> = normalized[i - n..i].to_vec();
+            (
+                scaler.inverse(model.predict(&window)).max(0.0),
+                values[i],
+            )
+        })
+        .unzip();
+    metrics::mape(&preds, &actuals)
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("=== Ablation: LSTM vs dense autoregressor at matched parameter budget ===");
+    println!("(scale: {scale:?})\n");
+
+    let epochs = scale.budget().max_epochs;
+    let mut rows = Vec::new();
+    for (kind, interval) in [
+        (WorkloadKind::Wikipedia, 30u32),
+        (WorkloadKind::Google, 30),
+        (WorkloadKind::Lcg, 30),
+    ] {
+        let series = scale.cap_series(&TraceConfig { kind, interval_mins: interval }.build(0));
+        let partition = Partition::paper_default(series.len());
+        let n = 16;
+
+        let mut lstm = LstmForecaster::new(ForecasterConfig {
+            history_len: n,
+            hidden_size: 8,
+            num_layers: 1,
+            seed: 0,
+        });
+        let lstm_params = lstm.param_count();
+        // Match the MLP's parameter count by widening its hidden layer.
+        let hidden = (lstm_params / (n + 2)).max(1);
+        let mut mlp = MlpForecaster::new(MlpConfig {
+            history_len: n,
+            hidden_size: hidden,
+            seed: 0,
+        });
+        eprintln!(
+            "[ablation] {}: LSTM {} params vs MLP {} params",
+            series.name,
+            lstm_params,
+            mlp.param_count()
+        );
+
+        let lstm_mape = test_mape(&mut lstm, &series.values, &partition, n, 5e-3, epochs);
+        let mlp_mape = test_mape(&mut mlp, &series.values, &partition, n, 5e-3, epochs);
+        rows.push(vec![
+            series.name.clone(),
+            format!("{lstm_mape:.1}"),
+            format!("{mlp_mape:.1}"),
+            format!("{:.2}x", mlp_mape / lstm_mape.max(1e-9)),
+        ]);
+    }
+    print_table(
+        &["workload", "LSTM MAPE %", "MLP MAPE %", "MLP/LSTM"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: the LSTM matches or beats the parameter-matched MLP,\n\
+         with the largest gap on the workload with the longest dependencies\n\
+         (Wikipedia's daily cycle)."
+    );
+}

@@ -1,0 +1,72 @@
+//! Ablation — Bayesian optimization vs random search vs grid search at an
+//! equal evaluation budget (Section III-A's design rationale: grid was less
+//! effective, random needed more time for equal accuracy).
+
+use ld_api::Partition;
+use ld_bayesopt::{
+    BayesianOptimizer, GridSearch, HyperOptimizer, ParamValue, RandomSearch,
+};
+use ld_bench::render::print_table;
+use ld_bench::scale::ExperimentScale;
+use ld_traces::{TraceConfig, WorkloadKind};
+use loaddynamics::{evaluate_hyperparams, HyperParams};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let budget = scale.max_iters() + 2;
+    // Wikipedia: the workload where hyperparameters matter most (the
+    // per-knob sweep shows a ~6x spread), so optimizer quality is visible
+    // above the noise floor.
+    println!("=== Ablation: hyperparameter optimizers at equal budget ({budget} evals, Wikipedia 30-min) ===");
+    println!("(scale: {scale:?})\n");
+
+    let series = scale.cap_series(
+        &TraceConfig {
+            kind: WorkloadKind::Wikipedia,
+            interval_mins: 30,
+        }
+        .build(0),
+    );
+    let partition = Partition::paper_default(series.len());
+    let space = scale.space();
+    let train_budget = scale.budget();
+    let values = series.values.clone();
+
+    let objective = move |params: &[ParamValue]| -> f64 {
+        let hp = HyperParams::from_params(params);
+        evaluate_hyperparams(&values, &partition, hp, &train_budget, 0).val_mape
+    };
+
+    let mut rows = Vec::new();
+    let strategies: Vec<(&str, Box<dyn HyperOptimizer>)> = vec![
+        ("BayesianOpt", Box::new(BayesianOptimizer::default())),
+        ("RandomSearch", Box::new(RandomSearch)),
+        ("GridSearch", Box::new(GridSearch)),
+    ];
+    for (name, optimizer) in strategies {
+        eprintln!("[ablation] running {name} ...");
+        let result = optimizer.optimize(&space, &objective, budget, 0);
+        let curve = result.incumbent_curve();
+        let half = curve[curve.len() / 2];
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", result.best().value),
+            format!("{:.1}", half),
+            HyperParams::from_params(&result.best().params).to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "optimizer",
+            "best val MAPE %",
+            "incumbent @ half budget",
+            "best hyperparameters",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: BO's incumbent at half budget is already close to its\n\
+         final value (it converges faster than random), and grid search trails\n\
+         both at equal budget — the paper's reason for shipping BO."
+    );
+}

@@ -1,0 +1,117 @@
+//! Fig. 9 — prediction errors (MAPE) of LoadDynamics and the baseline
+//! predictors on all 14 workload configurations, plus the brute-force LSTM
+//! reference and the overall average.
+//!
+//! Panel (a): Facebook, LCG, Azure configurations.
+//! Panel (b): Wikipedia, Google configurations + overall average.
+//!
+//! Environment knobs: `LD_FAST=1` for a smoke run; `LD_CONFIGS=GL-30min,FB-5min`
+//! to restrict the configuration list.
+
+use ld_bench::render::print_table;
+use ld_bench::runner::{baseline_lineup, run_loaddynamics, run_predictor};
+use ld_bench::scale::ExperimentScale;
+use ld_traces::{all_configurations, WorkloadKind};
+use loaddynamics::SearchStrategy;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("=== Fig. 9: prediction errors (MAPE %) across all workload configurations ===");
+    println!("(scale: {scale:?}; LD_FAST=1 for smoke run, LD_CONFIGS=... to filter)\n");
+
+    let filter: Option<Vec<String>> = std::env::var("LD_CONFIGS")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+
+    let mut results: Vec<(String, WorkloadKind, [f64; 5])> = Vec::new();
+    for config in all_configurations() {
+        let label = config.label();
+        if let Some(f) = &filter {
+            if !f.iter().any(|x| x == &label) {
+                continue;
+            }
+        }
+        eprintln!("[fig9] running {label} ...");
+        let series = scale.cap_series(&config.build(0));
+
+        let ld = run_loaddynamics(&series, scale, 0, None, None);
+        let brute = run_loaddynamics(
+            &series,
+            scale,
+            0,
+            Some(SearchStrategy::Grid),
+            Some(scale.brute_force_iters_for(series.len())),
+        );
+        let mut mapes = [ld.mape, 0.0, 0.0, 0.0, brute.mape];
+        for (k, mut baseline) in baseline_lineup(0).into_iter().enumerate() {
+            mapes[k + 1] = run_predictor(baseline.as_mut(), &series).mape;
+        }
+        if let Some(hp) = ld.hyperparams {
+            eprintln!("[fig9]   LoadDynamics picked {hp} -> {:.1}%", ld.mape);
+        }
+        results.push((label, config.kind, mapes));
+    }
+
+    let headers = [
+        "workload",
+        "LoadDynamics",
+        "CloudInsight",
+        "CloudScale",
+        "Wood",
+        "LSTMBruteForce",
+    ];
+    let row_of = |(label, _, m): &(String, WorkloadKind, [f64; 5])| -> Vec<String> {
+        let mut row = vec![label.clone()];
+        row.extend(m.iter().map(|v| format!("{v:.1}")));
+        row
+    };
+
+    let panel_a: Vec<_> = results
+        .iter()
+        .filter(|(_, k, _)| {
+            matches!(
+                k,
+                WorkloadKind::Facebook | WorkloadKind::Lcg | WorkloadKind::Azure
+            )
+        })
+        .map(row_of)
+        .collect();
+    let panel_b: Vec<_> = results
+        .iter()
+        .filter(|(_, k, _)| matches!(k, WorkloadKind::Wikipedia | WorkloadKind::Google))
+        .map(row_of)
+        .collect();
+
+    if !panel_a.is_empty() {
+        println!("--- Fig. 9a: Facebook / LCG / Azure ---");
+        print_table(&headers, &panel_a);
+        println!();
+    }
+    if !panel_b.is_empty() {
+        println!("--- Fig. 9b: Wikipedia / Google ---");
+        print_table(&headers, &panel_b);
+        println!();
+    }
+
+    if !results.is_empty() {
+        let mut avg = [0.0f64; 5];
+        for (_, _, m) in &results {
+            for (a, v) in avg.iter_mut().zip(m) {
+                *a += v;
+            }
+        }
+        for a in &mut avg {
+            *a /= results.len() as f64;
+        }
+        let mut row = vec![format!("AVERAGE ({} configs)", results.len())];
+        row.extend(avg.iter().map(|v| format!("{v:.1}")));
+        print_table(&headers, &[row]);
+    }
+
+    println!(
+        "\nExpected shape (paper Fig. 9): LoadDynamics at or below every baseline\n\
+         except Azure-10min; Wikipedia errors of a few percent; Facebook-5min and\n\
+         Azure-10min the hardest; errors shrink as intervals grow for FB/LCG/AZ;\n\
+         LoadDynamics within ~1% of the brute-force search on average."
+    );
+}

@@ -1,0 +1,36 @@
+//! Table I — the workloads used for evaluation: trace, type and interval
+//! lengths, plus generated-trace statistics.
+
+use ld_bench::render::print_table;
+use ld_traces::{all_configurations, WorkloadKind};
+
+fn main() {
+    println!("=== Table I: workloads used for evaluation ===\n");
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let intervals: Vec<String> = kind.intervals().iter().map(|i| i.to_string()).collect();
+        let base = kind.generate_base(0);
+        rows.push(vec![
+            kind.short_name().to_string(),
+            kind.category().to_string(),
+            intervals.join(", "),
+            format!("{}", base.len()),
+            format!("{:.1}", base.mean()),
+        ]);
+    }
+    print_table(
+        &[
+            "trace",
+            "type",
+            "intervals (mins)",
+            "base 5-min points",
+            "mean 5-min JAR",
+        ],
+        &rows,
+    );
+
+    println!("\n--- The 14 workload configurations ---");
+    let labels: Vec<String> = all_configurations().iter().map(|c| c.label()).collect();
+    println!("{}", labels.join(", "));
+    println!("total: {} configurations", labels.len());
+}

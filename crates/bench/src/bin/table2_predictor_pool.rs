@@ -1,0 +1,52 @@
+//! Table II — the 21 predictors of the CloudInsight pool, smoke-tested on
+//! a seasonal workload so each member's one-step error is visible.
+
+use ld_api::{walk_forward, Partition};
+use ld_bench::render::print_table;
+use ld_bench::scale::ExperimentScale;
+use ld_baselines::cloudinsight::table2_pool;
+use ld_traces::{TraceConfig, WorkloadKind};
+
+fn main() {
+    println!("=== Table II: the 21 predictors used in the CloudInsight baseline ===\n");
+    let scale = ExperimentScale::from_env();
+    let series = scale.cap_series(
+        &TraceConfig {
+            kind: WorkloadKind::Wikipedia,
+            interval_mins: 30,
+        }
+        .build(0),
+    );
+    let partition = Partition::paper_default(series.len());
+
+    let categories: [(&str, std::ops::Range<usize>); 4] = [
+        ("Naive", 0..2),
+        ("Regression", 2..8),
+        ("Time-series", 8..15),
+        ("ML", 15..21),
+    ];
+
+    let mut rows = Vec::new();
+    let pool = table2_pool(0);
+    assert_eq!(pool.len(), 21);
+    let names: Vec<String> = pool.iter().map(|p| p.name()).collect();
+    for (i, mut member) in table2_pool(0).into_iter().enumerate() {
+        let category = categories
+            .iter()
+            .find(|(_, r)| r.contains(&i))
+            .map(|(c, _)| *c)
+            .unwrap_or("?");
+        let result = walk_forward(member.as_mut(), &series, partition.val_end);
+        rows.push(vec![
+            format!("{}", i + 1),
+            category.to_string(),
+            names[i].clone(),
+            format!("{:.1}", result.mape()),
+        ]);
+    }
+    print_table(
+        &["#", "category", "predictor", "MAPE % (wiki-30min)"],
+        &rows,
+    );
+    println!("\n(2 naive + 6 regression + 7 time-series + 6 ML = 21 members, per Table II)");
+}

@@ -1,0 +1,41 @@
+//! Table III — the hyperparameter search space and the optimization
+//! iteration budget, as encoded in `loaddynamics::space`.
+
+use ld_bayesopt::Dim;
+use ld_bench::render::print_table;
+use loaddynamics::{facebook_space, paper_space};
+
+fn describe(dim: &Dim) -> (String, String) {
+    match dim {
+        Dim::Int { name, lo, hi, log } => (
+            name.clone(),
+            format!("[{lo}-{hi}]{}", if *log { " (log-scaled)" } else { "" }),
+        ),
+        Dim::Float { name, lo, hi, log } => (
+            name.clone(),
+            format!("[{lo}-{hi}]{}", if *log { " (log-scaled)" } else { "" }),
+        ),
+    }
+}
+
+fn main() {
+    println!("=== Table III: hyperparameter search space and optimization budget ===\n");
+    let mut rows = Vec::new();
+    for (workloads, space) in [
+        ("Wiki / LCG / Azure / Google", paper_space()),
+        ("Facebook", facebook_space()),
+    ] {
+        let cells: Vec<String> = space
+            .dims()
+            .iter()
+            .map(|d| {
+                let (n, r) = describe(d);
+                format!("{n} {r}")
+            })
+            .collect();
+        rows.push(vec![workloads.to_string(), cells.join(", ")]);
+    }
+    print_table(&["workloads", "search space"], &rows);
+    println!("\nmaxIters (paper): 100 BO iterations per workload configuration.");
+    println!("Harness scale presets shrink the space/budget proportionally; see EXPERIMENTS.md.");
+}

@@ -1,0 +1,51 @@
+//! Workload characterization — the quantitative backing for the paper's
+//! Section I claim that "workload patterns drastically vary among
+//! different cloud applications": profiles every trace family at 30-minute
+//! granularity (60 for Azure) and classifies its pattern.
+
+use ld_bench::render::print_table;
+use ld_traces::{TraceProfile, WorkloadKind};
+
+fn main() {
+    println!("=== Workload profiles (pattern taxonomy of Section I) ===\n");
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let interval = *kind.intervals().last().unwrap();
+        let factor = (interval / 5) as usize;
+        let series = kind.generate_base(0).aggregate(factor);
+        let day = (24 * 60 / interval) as usize;
+        let profile = TraceProfile::of(&series, 2 * day.max(8));
+        rows.push(vec![
+            format!("{}-{}min", kind.short_name(), interval),
+            kind.category().to_string(),
+            format!("{:.1}", profile.mean),
+            format!("{:.2}", profile.cv),
+            format!("{:.1}", profile.fano_factor),
+            format!("{:.1}", profile.peak_to_mean),
+            profile
+                .dominant_cycle
+                .map(|(lag, ac)| format!("{lag} ({ac:.2})"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:?}", profile.pattern()),
+        ]);
+    }
+    print_table(
+        &[
+            "workload",
+            "type",
+            "mean JAR",
+            "CV",
+            "Fano",
+            "peak/mean",
+            "cycle (AC)",
+            "pattern",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected: Wikipedia = Seasonal (daily cycle), Facebook/LCG = Bursty\n\
+         (over-dispersed arrivals), Google/Azure = Irregular or Bursty — no\n\
+         single predictor family fits all of these, which is the motivation\n\
+         for a self-optimizing framework."
+    );
+}

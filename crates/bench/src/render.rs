@@ -1,0 +1,97 @@
+//! Plain-text rendering: aligned tables and unicode sparklines, so each
+//! experiment binary prints the same rows/series its paper figure shows.
+
+/// Prints an aligned table. `headers.len()` must match each row's length.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<w$}"));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Renders a numeric series as a unicode sparkline (for the trace figures).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `n` points by block-averaging, so long
+/// traces fit on one sparkline row.
+pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
+    assert!(n > 0);
+    if values.len() <= n {
+        return values.to_vec();
+    }
+    let block = values.len() as f64 / n as f64;
+    (0..n)
+        .map(|i| {
+            let start = (i as f64 * block) as usize;
+            let end = (((i + 1) as f64 * block) as usize).min(values.len()).max(start + 1);
+            values[start..end].iter().sum::<f64>() / (end - start) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().next().unwrap(), '▁');
+        assert_eq!(s.chars().last().unwrap(), '█');
+        assert_eq!(sparkline(&[]), "");
+        // Constant input stays at the bottom glyph without NaN.
+        assert_eq!(sparkline(&[5.0, 5.0]), "▁▁");
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let ds = downsample(&values, 10);
+        assert_eq!(ds.len(), 10);
+        let mean_orig = values.iter().sum::<f64>() / 1000.0;
+        let mean_ds = ds.iter().sum::<f64>() / 10.0;
+        assert!((mean_orig - mean_ds).abs() < 1.0);
+        // Short input passes through.
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        print_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Walk-forward experiment runners.
+
+use ld_api::{walk_forward, Partition, Predictor, Series};
+use ld_baselines::{CloudInsight, CloudScale, WoodPredictor};
+use loaddynamics::{HyperParams, LoadDynamics, SearchStrategy};
+
+use crate::scale::ExperimentScale;
+
+/// One predictor's accuracy on one workload configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Predictor name.
+    pub predictor: String,
+    /// Workload label (e.g. `GL-30min`).
+    pub workload: String,
+    /// Test-partition MAPE in percent.
+    pub mape: f64,
+    /// Test-partition RMSE in JAR units.
+    pub rmse: f64,
+    /// Hyperparameters selected (LoadDynamics / brute force only).
+    pub hyperparams: Option<HyperParams>,
+}
+
+/// The paper's three baseline techniques, freshly constructed.
+pub fn baseline_lineup(seed: u64) -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(CloudInsight::new(seed)),
+        Box::new(CloudScale::default()),
+        Box::new(WoodPredictor::default()),
+    ]
+}
+
+/// Runs one predictor walk-forward over the last 20% of `series`.
+pub fn run_predictor(predictor: &mut dyn Predictor, series: &Series) -> ExperimentResult {
+    let partition = Partition::paper_default(series.len());
+    let result = walk_forward(predictor, series, partition.val_end);
+    ExperimentResult {
+        predictor: result.predictor.clone(),
+        workload: series.name.clone(),
+        mape: result.mape(),
+        rmse: result.rmse(),
+        hyperparams: None,
+    }
+}
+
+/// Runs the full LoadDynamics workflow (optimize on train+val, walk the
+/// test partition). Set `strategy` to [`SearchStrategy::Grid`] with a large
+/// budget for the `LSTMBruteForce` reference.
+pub fn run_loaddynamics(
+    series: &Series,
+    scale: ExperimentScale,
+    seed: u64,
+    strategy: Option<SearchStrategy>,
+    max_iters: Option<usize>,
+) -> ExperimentResult {
+    let mut config = scale.framework_config(seed);
+    config.max_iters = scale.max_iters_for(series.len());
+    if let Some(s) = strategy {
+        config.strategy = s;
+    }
+    if let Some(i) = max_iters {
+        config.max_iters = i;
+    }
+    let is_grid = matches!(config.strategy, SearchStrategy::Grid);
+    let framework = LoadDynamics::new(config);
+    let outcome = framework.optimize(series);
+    let partition = Partition::paper_default(series.len());
+    let mut predictor = outcome.predictor;
+    let result = walk_forward(&mut predictor, series, partition.val_end);
+    ExperimentResult {
+        predictor: if is_grid {
+            "LSTMBruteForce".into()
+        } else {
+            "LoadDynamics".into()
+        },
+        workload: series.name.clone(),
+        mape: result.mape(),
+        rmse: result.rmse(),
+        hyperparams: Some(outcome.hyperparams),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_traces::{TraceConfig, WorkloadKind};
+
+    #[test]
+    fn baseline_lineup_has_the_three_papers() {
+        let names: Vec<String> = baseline_lineup(0).iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["CloudInsight", "CloudScale", "Wood"]);
+    }
+
+    #[test]
+    fn run_predictor_produces_finite_metrics() {
+        let series = ExperimentScale::Fast.cap_series(
+            &TraceConfig {
+                kind: WorkloadKind::Facebook,
+                interval_mins: 10,
+            }
+            .build(0),
+        );
+        let mut wood = WoodPredictor::default();
+        let r = run_predictor(&mut wood, &series);
+        assert!(r.mape.is_finite() && r.mape >= 0.0);
+        assert!(r.rmse.is_finite());
+        assert_eq!(r.predictor, "Wood");
+    }
+
+    #[test]
+    fn run_loaddynamics_fast_on_tiny_workload() {
+        let series = ExperimentScale::Fast.cap_series(
+            &TraceConfig {
+                kind: WorkloadKind::Facebook,
+                interval_mins: 10,
+            }
+            .build(0),
+        );
+        let r = run_loaddynamics(&series, ExperimentScale::Fast, 1, None, Some(3));
+        assert_eq!(r.predictor, "LoadDynamics");
+        assert!(r.hyperparams.is_some());
+        assert!(r.mape.is_finite());
+    }
+}

@@ -1,0 +1,389 @@
+//! Phases 3–5 of the Fig. 6 workflow: the self-optimization loop and the
+//! final walk-forward predictor.
+
+use ld_api::{Partition, Predictor, Series};
+use ld_bayesopt::{
+    BayesianOptimizer, BoOptions, GridSearch, HyperOptimizer, OptResult, RandomSearch, SearchSpace,
+};
+use ld_nn::LstmForecaster;
+
+use crate::hyperparams::HyperParams;
+use crate::pipeline::{evaluate_hyperparams, TrainBudget};
+use crate::space;
+
+/// Which hyperparameter search drives the self-optimization.
+///
+/// The paper evaluates all three and ships Bayesian optimization
+/// (Section III-A); the others remain available for the
+/// `ablation_optimizers` experiment and for brute-force reference searches.
+#[derive(Debug, Clone)]
+pub enum SearchStrategy {
+    /// GP-surrogate Bayesian optimization (the paper's choice).
+    Bayesian(BoOptions),
+    /// Uniform random search.
+    Random,
+    /// Full-factorial grid search (the `LSTMBruteForce` bar of Fig. 9 uses
+    /// this with a budget equal to the whole grid).
+    Grid,
+}
+
+impl Default for SearchStrategy {
+    fn default() -> Self {
+        SearchStrategy::Bayesian(BoOptions::default())
+    }
+}
+
+/// Framework configuration.
+#[derive(Debug, Clone)]
+pub struct FrameworkConfig {
+    /// Hyperparameter search space (Table III).
+    pub space: SearchSpace,
+    /// Optimization iterations (`maxIters`; 100 in the paper).
+    pub max_iters: usize,
+    /// Per-candidate training budget.
+    pub budget: TrainBudget,
+    /// Master seed (drives model init, shuffling and the search).
+    pub seed: u64,
+    /// Search strategy.
+    pub strategy: SearchStrategy,
+}
+
+impl FrameworkConfig {
+    /// The paper's configuration: full Table III space, 100 BO iterations.
+    /// Pass `facebook = true` for the reduced Facebook space.
+    pub fn paper_preset(facebook: bool, seed: u64) -> Self {
+        FrameworkConfig {
+            space: if facebook {
+                space::facebook_space()
+            } else {
+                space::paper_space()
+            },
+            max_iters: 100,
+            budget: TrainBudget::default(),
+            seed,
+            strategy: SearchStrategy::default(),
+        }
+    }
+
+    /// A laptop-scale preset: proportionally scaled space and a small
+    /// iteration budget. Used by tests, examples and the fast experiment
+    /// mode (`LD_FAST=1`).
+    pub fn fast_preset(seed: u64) -> Self {
+        FrameworkConfig {
+            space: space::scaled_space(24, 12, 2, 64),
+            max_iters: 8,
+            budget: TrainBudget::tiny(),
+            seed,
+            strategy: SearchStrategy::Bayesian(BoOptions {
+                init_points: 3,
+                ..BoOptions::default()
+            }),
+        }
+    }
+}
+
+/// The LoadDynamics framework: give it a JAR series, get back a tuned
+/// predictor.
+#[derive(Debug, Clone)]
+pub struct LoadDynamics {
+    config: FrameworkConfig,
+}
+
+/// The result of a full self-optimization run.
+pub struct OptimizationOutcome {
+    /// The tuned predictor (phase 5 of Fig. 6).
+    pub predictor: OptimizedPredictor,
+    /// The hyperparameters of the selected model.
+    pub hyperparams: HyperParams,
+    /// Its cross-validation MAPE in percent.
+    pub val_mape: f64,
+    /// Full trial history (for Table IV and the convergence ablations).
+    pub trials: OptResult,
+}
+
+impl LoadDynamics {
+    /// Builds the framework.
+    pub fn new(config: FrameworkConfig) -> Self {
+        assert!(config.max_iters >= 1, "max_iters must be >= 1");
+        LoadDynamics { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.config
+    }
+
+    /// Runs the full Fig. 6 workflow on a workload series using the
+    /// paper's 60/20/20 partition.
+    pub fn optimize(&self, series: &Series) -> OptimizationOutcome {
+        let partition = Partition::paper_default(series.len());
+        self.optimize_with_partition(series, &partition)
+    }
+
+    /// Runs the workflow with an explicit partition (the auto-scaling case
+    /// study trains on a prefix of the trace).
+    pub fn optimize_with_partition(
+        &self,
+        series: &Series,
+        partition: &Partition,
+    ) -> OptimizationOutcome {
+        assert_eq!(series.len(), partition.len, "partition/series mismatch");
+        assert!(
+            partition.train_end >= 8,
+            "training partition too small ({} intervals)",
+            partition.train_end
+        );
+        let values = &series.values;
+        let budget = self.config.budget;
+        let seed = self.config.seed;
+
+        // Fig. 6 steps 1-3, iterated maxIters times by the chosen search.
+        let objective = move |params: &[ld_bayesopt::ParamValue]| -> f64 {
+            let hp = HyperParams::from_params(params);
+            evaluate_hyperparams(values, partition, hp, &budget, seed).val_mape
+        };
+        let trials = match &self.config.strategy {
+            SearchStrategy::Bayesian(opts) => BayesianOptimizer::new(*opts).optimize(
+                &self.config.space,
+                &objective,
+                self.config.max_iters,
+                seed,
+            ),
+            SearchStrategy::Random => RandomSearch.optimize(
+                &self.config.space,
+                &objective,
+                self.config.max_iters,
+                seed,
+            ),
+            SearchStrategy::Grid => GridSearch.optimize(
+                &self.config.space,
+                &objective,
+                self.config.max_iters,
+                seed,
+            ),
+        };
+
+        // Step 4: select the lowest-error model; retrain it once to
+        // materialize the weights (trial models are discarded to keep the
+        // search memory-flat).
+        let best = trials.best();
+        let hyperparams = HyperParams::from_params(&best.params);
+        let outcome = evaluate_hyperparams(values, partition, hyperparams, &budget, seed);
+        let model = outcome
+            .model
+            .expect("best trial must be feasible: the search space always contains n=1");
+
+        OptimizationOutcome {
+            predictor: OptimizedPredictor {
+                name: format!("LoadDynamics({})", series.name),
+                model,
+                scaler: outcome.scaler,
+                history_len: hyperparams.history_len,
+            },
+            hyperparams,
+            val_mape: outcome.val_mape,
+            trials,
+        }
+    }
+}
+
+/// The tuned walk-forward predictor produced by [`LoadDynamics::optimize`]
+/// (phase 5 of Fig. 6). Implements the same [`Predictor`] interface as the
+/// baselines, so one harness evaluates everything. Serializable, so a
+/// predictor tuned once (hours of search in the paper's full setup) can be
+/// deployed without re-optimizing.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct OptimizedPredictor {
+    name: String,
+    model: LstmForecaster,
+    scaler: ld_api::MinMaxScaler,
+    history_len: usize,
+}
+
+impl OptimizedPredictor {
+    /// Assembles a predictor from parts (used by the seed-ensemble
+    /// builder, which trains extra models outside `optimize`).
+    pub(crate) fn from_parts(
+        name: String,
+        model: LstmForecaster,
+        scaler: ld_api::MinMaxScaler,
+        history_len: usize,
+    ) -> Self {
+        OptimizedPredictor {
+            name,
+            model,
+            scaler,
+            history_len,
+        }
+    }
+
+    /// The tuned history length `n`.
+    pub fn history_len(&self) -> usize {
+        self.history_len
+    }
+
+    /// Access to the underlying trained model (for snapshots).
+    pub fn model(&self) -> &LstmForecaster {
+        &self.model
+    }
+
+    /// Serializes the predictor (model + scaler + metadata) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("predictor serialization")
+    }
+
+    /// Restores a predictor saved with [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the predictor snapshot to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a predictor snapshot from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl Predictor for OptimizedPredictor {
+    fn name(&self) -> String {
+        "LoadDynamics".into()
+    }
+
+    // The model was trained during optimize(); the walk-forward harness's
+    // fit call needs no work (the paper trains once and predicts the whole
+    // test partition, Section IV-B).
+    fn fit(&mut self, _history: &[f64]) {}
+
+    fn predict(&mut self, history: &[f64]) -> f64 {
+        assert!(!history.is_empty(), "history must be non-empty");
+        let n = self.history_len;
+        // Left-pad with the earliest value when the history is shorter than
+        // the tuned window (only possible in synthetic unit tests).
+        let window: Vec<f64> = if history.len() >= n {
+            history[history.len() - n..]
+                .iter()
+                .map(|&v| self.scaler.transform(v))
+                .collect()
+        } else {
+            let pad = n - history.len();
+            std::iter::repeat_n(history[0], pad)
+                .chain(history.iter().cloned())
+                .map(|v| self.scaler.transform(v))
+                .collect()
+        };
+        self.scaler.inverse(self.model.predict(&window)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_api::walk_forward;
+
+    fn seasonal_series(len: usize) -> Series {
+        Series::new(
+            "seasonal",
+            30,
+            (0..len)
+                .map(|i| 100.0 + 40.0 * (i as f64 * 0.3).sin())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_beats_trivial_error_on_seasonal_series() {
+        let series = seasonal_series(300);
+        let framework = LoadDynamics::new(FrameworkConfig::fast_preset(3));
+        let outcome = framework.optimize(&series);
+        assert!(
+            outcome.val_mape < 15.0,
+            "val MAPE {} with {}",
+            outcome.val_mape,
+            outcome.hyperparams
+        );
+        // Walk-forward on the untouched test partition.
+        let partition = Partition::paper_default(series.len());
+        let mut predictor = outcome.predictor;
+        let result = walk_forward(&mut predictor, &series, partition.val_end);
+        assert!(result.mape() < 20.0, "test MAPE {}", result.mape());
+    }
+
+    #[test]
+    fn trials_count_matches_max_iters() {
+        let series = seasonal_series(200);
+        let mut config = FrameworkConfig::fast_preset(1);
+        config.max_iters = 5;
+        let outcome = LoadDynamics::new(config).optimize(&series);
+        assert_eq!(outcome.trials.trials.len(), 5);
+    }
+
+    #[test]
+    fn selected_hyperparams_are_inside_the_space() {
+        let series = seasonal_series(220);
+        let outcome = LoadDynamics::new(FrameworkConfig::fast_preset(2)).optimize(&series);
+        let hp = outcome.hyperparams;
+        assert!(hp.history_len >= 1 && hp.history_len <= 24);
+        assert!(hp.cell_size >= 1 && hp.cell_size <= 12);
+        assert!(hp.num_layers >= 1 && hp.num_layers <= 2);
+        assert!(hp.batch_size >= 8 && hp.batch_size <= 64);
+    }
+
+    #[test]
+    fn random_and_grid_strategies_work() {
+        let series = seasonal_series(200);
+        for strategy in [SearchStrategy::Random, SearchStrategy::Grid] {
+            let mut config = FrameworkConfig::fast_preset(4);
+            config.max_iters = 4;
+            config.strategy = strategy;
+            let outcome = LoadDynamics::new(config).optimize(&series);
+            assert!(outcome.val_mape.is_finite());
+        }
+    }
+
+    #[test]
+    fn predictor_pads_short_history() {
+        let series = seasonal_series(200);
+        let outcome = LoadDynamics::new(FrameworkConfig::fast_preset(5)).optimize(&series);
+        let mut p = outcome.predictor;
+        // Shorter history than the tuned window must still produce a finite
+        // non-negative prediction.
+        let v = p.predict(&[100.0, 120.0]);
+        assert!(v.is_finite() && v >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_with_identical_predictions() {
+        let series = seasonal_series(200);
+        let outcome = LoadDynamics::new(FrameworkConfig::fast_preset(6)).optimize(&series);
+        let mut original = outcome.predictor;
+        let json = original.to_json();
+        let mut restored = OptimizedPredictor::from_json(&json).unwrap();
+        for end in [120usize, 150, 200] {
+            assert_eq!(
+                original.predict(&series.values[..end]),
+                restored.predict(&series.values[..end]),
+            );
+        }
+        assert_eq!(original.history_len(), restored.history_len());
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let series = seasonal_series(200);
+        let outcome = LoadDynamics::new(FrameworkConfig::fast_preset(7)).optimize(&series);
+        let mut original = outcome.predictor;
+        let path = std::env::temp_dir().join("ld_predictor_snapshot_test.json");
+        original.save(&path).unwrap();
+        let mut loaded = OptimizedPredictor::load(&path).unwrap();
+        assert_eq!(
+            original.predict(&series.values),
+            loaded.predict(&series.values)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

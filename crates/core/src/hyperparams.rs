@@ -1,0 +1,136 @@
+//! The four hyperparameters LoadDynamics tunes per workload
+//! (Section III-A): history length `n`, cell-memory size `s`, LSTM layer
+//! count, and training batch size.
+
+use ld_bayesopt::ParamValue;
+use serde::{Deserialize, Serialize};
+
+/// One concrete hyperparameter assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HyperParams {
+    /// History length `n` — how many past JARs feed Eq. (1).
+    pub history_len: usize,
+    /// Cell-memory vector size `s`.
+    pub cell_size: usize,
+    /// Number of stacked LSTM layers.
+    pub num_layers: usize,
+    /// Mini-batch size used during training.
+    pub batch_size: usize,
+}
+
+impl HyperParams {
+    /// Decodes from the search-space parameter vector, which is ordered
+    /// `[history_len, cell_size, num_layers, batch_size]`.
+    ///
+    /// # Panics
+    /// Panics if the vector does not have exactly four integer entries with
+    /// positive values — the search spaces in [`crate::space`] guarantee
+    /// this.
+    pub fn from_params(params: &[ParamValue]) -> Self {
+        assert_eq!(params.len(), 4, "expected 4 hyperparameters");
+        let get = |i: usize| -> usize {
+            let v = params[i].as_int();
+            assert!(v >= 1, "hyperparameter {i} must be >= 1, got {v}");
+            v as usize
+        };
+        HyperParams {
+            history_len: get(0),
+            cell_size: get(1),
+            num_layers: get(2),
+            batch_size: get(3),
+        }
+    }
+
+    /// Encodes back into the parameter-vector form.
+    pub fn to_params(&self) -> Vec<ParamValue> {
+        vec![
+            ParamValue::Int(self.history_len as i64),
+            ParamValue::Int(self.cell_size as i64),
+            ParamValue::Int(self.num_layers as i64),
+            ParamValue::Int(self.batch_size as i64),
+        ]
+    }
+
+    /// Rough count of trainable parameters of the resulting network, used
+    /// to cap pathological candidates in time-bounded runs.
+    pub fn approx_param_count(&self) -> usize {
+        let s = self.cell_size;
+        let first = 4 * s * (1 + s + 1);
+        let rest = 4 * s * (s + s + 1) * self.num_layers.saturating_sub(1);
+        first + rest + (s + 1)
+    }
+}
+
+impl std::fmt::Display for HyperParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} s={} layers={} batch={}",
+            self.history_len, self.cell_size, self.num_layers, self.batch_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_params() {
+        let hp = HyperParams {
+            history_len: 37,
+            cell_size: 12,
+            num_layers: 2,
+            batch_size: 64,
+        };
+        assert_eq!(HyperParams::from_params(&hp.to_params()), hp);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 hyperparameters")]
+    fn wrong_arity_rejected() {
+        HyperParams::from_params(&[ParamValue::Int(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn zero_value_rejected() {
+        HyperParams::from_params(&[
+            ParamValue::Int(0),
+            ParamValue::Int(1),
+            ParamValue::Int(1),
+            ParamValue::Int(16),
+        ]);
+    }
+
+    #[test]
+    fn param_count_grows_with_depth_and_width() {
+        let small = HyperParams {
+            history_len: 8,
+            cell_size: 4,
+            num_layers: 1,
+            batch_size: 16,
+        };
+        let wide = HyperParams {
+            cell_size: 16,
+            ..small
+        };
+        let deep = HyperParams {
+            num_layers: 3,
+            ..small
+        };
+        assert!(wide.approx_param_count() > small.approx_param_count());
+        assert!(deep.approx_param_count() > small.approx_param_count());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let hp = HyperParams {
+            history_len: 5,
+            cell_size: 6,
+            num_layers: 1,
+            batch_size: 32,
+        };
+        assert_eq!(hp.to_string(), "n=5 s=6 layers=1 batch=32");
+    }
+}

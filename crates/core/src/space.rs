@@ -1,0 +1,105 @@
+//! The Table III hyperparameter search spaces.
+//!
+//! | Workload | Hist Len (n) | C size | Layers | Batch |
+//! |---|---|---|---|---|
+//! | Wiki / LCG / Azure / Google | 1–512 | 1–100 | 1–5 | 16–1024 |
+//! | Facebook | 1–100 | 1–50 | 1–5 | 8–128 |
+//!
+//! History length and batch size span two to three orders of magnitude, so
+//! they are encoded log-scaled; cell size and layer count are linear.
+//! [`scaled_space`] produces proportionally shrunken spaces for
+//! time-bounded experiments (the paper's full space assumes a 16-core Xeon
+//! and up to 3 hours per workload configuration; the experiment harness
+//! documents the reduction in EXPERIMENTS.md).
+
+use ld_bayesopt::{Dim, SearchSpace};
+
+/// The standard search space used for Wiki, LCG, Azure and Google.
+pub fn paper_space() -> SearchSpace {
+    SearchSpace::new(vec![
+        Dim::int_log("hist_len", 1, 512),
+        Dim::int("c_size", 1, 100),
+        Dim::int("layers", 1, 5),
+        Dim::int_log("batch", 16, 1024),
+    ])
+}
+
+/// The reduced Facebook search space (the trace is one day long, so large
+/// history lengths are unusable — Table III's last row).
+pub fn facebook_space() -> SearchSpace {
+    SearchSpace::new(vec![
+        Dim::int_log("hist_len", 1, 100),
+        Dim::int("c_size", 1, 50),
+        Dim::int("layers", 1, 5),
+        Dim::int_log("batch", 8, 128),
+    ])
+}
+
+/// A proportionally scaled-down space for bounded-time experiments:
+/// `hist_len 1..=max_hist`, `c_size 1..=max_cells`,
+/// `layers 1..=max_layers`, `batch 8..=max_batch`.
+pub fn scaled_space(max_hist: i64, max_cells: i64, max_layers: i64, max_batch: i64) -> SearchSpace {
+    assert!(max_hist >= 1 && max_cells >= 1 && max_layers >= 1 && max_batch >= 8);
+    SearchSpace::new(vec![
+        Dim::int_log("hist_len", 1, max_hist),
+        Dim::int("c_size", 1, max_cells),
+        Dim::int("layers", 1, max_layers),
+        Dim::int_log("batch", 8, max_batch),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperparams::HyperParams;
+
+    #[test]
+    fn paper_space_bounds_match_table_three() {
+        let s = paper_space();
+        let lo = HyperParams::from_params(&s.decode(&[0.0; 4]));
+        let hi = HyperParams::from_params(&s.decode(&[1.0; 4]));
+        assert_eq!(
+            (lo.history_len, lo.cell_size, lo.num_layers, lo.batch_size),
+            (1, 1, 1, 16)
+        );
+        assert_eq!(
+            (hi.history_len, hi.cell_size, hi.num_layers, hi.batch_size),
+            (512, 100, 5, 1024)
+        );
+    }
+
+    #[test]
+    fn facebook_space_bounds_match_table_three() {
+        let s = facebook_space();
+        let lo = HyperParams::from_params(&s.decode(&[0.0; 4]));
+        let hi = HyperParams::from_params(&s.decode(&[1.0; 4]));
+        assert_eq!((lo.history_len, lo.batch_size), (1, 8));
+        assert_eq!(
+            (hi.history_len, hi.cell_size, hi.num_layers, hi.batch_size),
+            (100, 50, 5, 128)
+        );
+    }
+
+    #[test]
+    fn scaled_space_respects_caps() {
+        let s = scaled_space(32, 16, 2, 64);
+        let hi = HyperParams::from_params(&s.decode(&[1.0; 4]));
+        assert_eq!(
+            (hi.history_len, hi.cell_size, hi.num_layers, hi.batch_size),
+            (32, 16, 2, 64)
+        );
+    }
+
+    #[test]
+    fn every_decoded_point_is_a_valid_hyperparams() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let s = paper_space();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let u = s.sample_unit(&mut rng);
+            let hp = HyperParams::from_params(&s.decode(&u));
+            assert!(hp.history_len >= 1 && hp.history_len <= 512);
+            assert!(hp.num_layers <= 5);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Stationary covariance functions for GP regression.
+//!
+//! All kernels are isotropic over the Bayesian-optimization unit cube (the
+//! search space encodes every hyperparameter dimension into `[0, 1]`, so a
+//! single shared lengthscale is appropriate — this matches GPyOpt's default
+//! Matérn-5/2 setup that the paper inherits).
+
+use ld_linalg::vecops::sq_dist;
+
+/// Which covariance family to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Squared exponential: very smooth sample paths.
+    Rbf,
+    /// Matérn nu = 3/2: once-differentiable paths.
+    Matern32,
+    /// Matérn nu = 5/2: GPyOpt's default for Bayesian optimization.
+    Matern52,
+}
+
+/// A stationary kernel with signal variance and a shared lengthscale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kernel {
+    /// Covariance family.
+    pub kind: KernelKind,
+    /// Signal variance `sigma_f^2` (the prior variance of the function).
+    pub variance: f64,
+    /// Lengthscale `l > 0`.
+    pub lengthscale: f64,
+}
+
+impl Kernel {
+    /// Creates a kernel, validating positivity of the hyperparameters.
+    pub fn new(kind: KernelKind, variance: f64, lengthscale: f64) -> Self {
+        assert!(
+            variance > 0.0 && lengthscale > 0.0,
+            "kernel hyperparameters must be positive"
+        );
+        Kernel {
+            kind,
+            variance,
+            lengthscale,
+        }
+    }
+
+    /// GPyOpt-style default: Matérn-5/2 with unit variance and lengthscale.
+    pub fn default_matern52() -> Self {
+        Kernel::new(KernelKind::Matern52, 1.0, 1.0)
+    }
+
+    /// Evaluates `k(a, b)`.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2 = sq_dist(a, b);
+        let l = self.lengthscale;
+        match self.kind {
+            KernelKind::Rbf => self.variance * (-0.5 * d2 / (l * l)).exp(),
+            KernelKind::Matern32 => {
+                let r = d2.sqrt() / l;
+                let s = 3f64.sqrt() * r;
+                self.variance * (1.0 + s) * (-s).exp()
+            }
+            KernelKind::Matern52 => {
+                let r = d2.sqrt() / l;
+                let s = 5f64.sqrt() * r;
+                self.variance * (1.0 + s + s * s / 3.0) * (-s).exp()
+            }
+        }
+    }
+
+    /// Prior variance at any point: `k(x, x)`.
+    pub fn prior_variance(&self) -> f64 {
+        self.variance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: [KernelKind; 3] = [KernelKind::Rbf, KernelKind::Matern32, KernelKind::Matern52];
+
+    #[test]
+    fn diagonal_equals_variance() {
+        for kind in KINDS {
+            let k = Kernel::new(kind, 2.5, 0.7);
+            let x = [0.3, 0.4, 0.1];
+            assert!((k.eval(&x, &x) - 2.5).abs() < 1e-12, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn symmetric_and_decaying() {
+        for kind in KINDS {
+            let k = Kernel::new(kind, 1.0, 0.5);
+            let a = [0.1, 0.9];
+            let b = [0.4, 0.2];
+            let c = [0.9, 0.0];
+            assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-14);
+            // c is farther from a than b is.
+            assert!(k.eval(&a, &c) < k.eval(&a, &b));
+            // Everything is bounded by the prior variance.
+            assert!(k.eval(&a, &b) <= 1.0 + 1e-14);
+            assert!(k.eval(&a, &b) > 0.0);
+        }
+    }
+
+    #[test]
+    fn rbf_reference_value() {
+        let k = Kernel::new(KernelKind::Rbf, 1.0, 1.0);
+        // d2 = 1 -> exp(-0.5)
+        assert!((k.eval(&[0.0], &[1.0]) - (-0.5f64).exp()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn matern52_smoother_than_matern32_near_origin() {
+        // At small distances m52 stays closer to the variance than m32.
+        let m32 = Kernel::new(KernelKind::Matern32, 1.0, 1.0);
+        let m52 = Kernel::new(KernelKind::Matern52, 1.0, 1.0);
+        let a = [0.0];
+        let b = [0.05];
+        assert!(m52.eval(&a, &b) > m32.eval(&a, &b));
+    }
+
+    #[test]
+    fn lengthscale_controls_reach() {
+        let short = Kernel::new(KernelKind::Rbf, 1.0, 0.1);
+        let long = Kernel::new(KernelKind::Rbf, 1.0, 10.0);
+        let a = [0.0];
+        let b = [0.5];
+        assert!(short.eval(&a, &b) < long.eval(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lengthscale_rejected() {
+        Kernel::new(KernelKind::Rbf, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Cholesky factorization and triangular solves.
+//!
+//! Gaussian-process regression (the Bayesian-optimization surrogate of the
+//! paper, Section III-A) reduces to factorizing the kernel Gram matrix
+//! `K + sigma^2 I = L L^T` and back-substituting. This module provides that
+//! factorization plus the solves and log-determinant the GP needs.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L * L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read. Fails with
+    /// [`LinalgError::NotPositiveDefinite`] if a pivot is not strictly
+    /// positive (numerically), which the GP layer uses to trigger jitter.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("cholesky: {}x{} not square", a.rows(), a.cols()),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a + jitter * I`, growing the jitter geometrically until
+    /// the factorization succeeds or `max_tries` is exhausted.
+    ///
+    /// This is the standard GP numerical-stability loop: Gram matrices of
+    /// near-duplicate points are PSD but not PD in floating point.
+    pub fn factor_with_jitter(a: &Matrix, initial_jitter: f64, max_tries: usize) -> Result<Self> {
+        match Self::factor(a) {
+            Ok(c) => return Ok(c),
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        let n = a.rows();
+        let mut jitter = initial_jitter;
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            for i in 0..n {
+                aj[(i, i)] += jitter;
+            }
+            match Self::factor(&aj) {
+                Ok(c) => return Ok(c),
+                Err(LinalgError::NotPositiveDefinite { .. }) => jitter *= 10.0,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(LinalgError::NotPositiveDefinite { pivot: 0 })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("solve_lower: rhs {} vs dim {n}", b.len()),
+            });
+        }
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `L^T x = b` (backward substitution).
+    pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("solve_upper: rhs {} vs dim {n}", b.len()),
+            });
+        }
+        let mut x = b.to_vec();
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves the full system `A x = b` via the two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// `log det A = 2 * sum_i log L_ii`, needed by the GP log marginal
+    /// likelihood.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = Matrix::random_uniform(n, n, 1.0, &mut rng);
+        // B * B^T + n * I is comfortably positive definite.
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = random_spd(12, 42);
+        let ch = Cholesky::factor(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose()).unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = random_spd(10, 1);
+        let x_true: Vec<f64> = (0..10).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn triangular_solves_compose() {
+        let a = random_spd(8, 5);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let y = ch.solve_lower(&b).unwrap();
+        // L y should reproduce b.
+        let ly = ch.l().matvec(&y).unwrap();
+        for (u, v) in ly.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+        let x = ch.solve_upper(&y).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known_diagonal() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - (36.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite_matrix() {
+        // Rank-1 PSD matrix: ones * ones^T.
+        let a = Matrix::filled(4, 4, 1.0);
+        assert!(Cholesky::factor(&a).is_err());
+        let ch = Cholesky::factor_with_jitter(&a, 1e-10, 12).unwrap();
+        assert_eq!(ch.dim(), 4);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(3, 4);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! Dense linear algebra substrate for the LoadDynamics reproduction.
+//!
+//! The paper's stack (TensorFlow, GPyOpt, scikit-learn) sits on top of dense
+//! `f64` linear algebra. This crate provides exactly the pieces the upper
+//! layers need, implemented from scratch:
+//!
+//! - [`Matrix`]: a row-major dense matrix with the usual arithmetic, a
+//!   rayon-parallel matrix product for large operands, and serde support so
+//!   trained models can be snapshotted.
+//! - [`cholesky`]: Cholesky factorization and triangular solves, the
+//!   numerical core of Gaussian-process regression.
+//! - [`vecops`]: small dense-vector kernels (dot, axpy, norms) shared by the
+//!   neural-network and statistics code.
+//! - [`solve`]: general least-squares / linear-system solving via normal
+//!   equations with ridge damping, used by the regression baselines.
+//!
+//! All routines are deterministic; anything randomized takes an explicit RNG.
+
+pub mod cholesky;
+pub mod matrix;
+pub mod solve;
+pub mod vecops;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+
+/// Error type for linear-algebra failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation and shapes involved.
+        context: String,
+    },
+    /// The matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot that failed.
+        pivot: usize,
+    },
+    /// The system is singular or too ill-conditioned to solve.
+    Singular,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { context } => {
+                write!(f, "shape mismatch: {context}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular => write!(f, "singular system"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

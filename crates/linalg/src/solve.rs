@@ -1,0 +1,214 @@
+//! General linear solving: Gaussian elimination with partial pivoting and
+//! (ridge-damped) least squares via the normal equations.
+//!
+//! The regression baselines of Table II (linear/quadratic/cubic regression,
+//! AR/ARMA/ARIMA fitting, Wood et al.'s robust regression) all reduce to
+//! least-squares problems of modest dimension; these routines are their
+//! numerical backend.
+
+use crate::{Cholesky, LinalgError, Matrix, Result};
+
+/// Solves a general square system `A x = b` by Gaussian elimination with
+/// partial pivoting.
+pub fn solve_square(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("solve_square: {}x{} not square", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("solve_square: rhs {} vs dim {n}", b.len()),
+        });
+    }
+    let mut aug = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot: largest magnitude in the remaining column.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                aug[(i, col)]
+                    .abs()
+                    .partial_cmp(&aug[(j, col)].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap();
+        let pivot = aug[(pivot_row, col)];
+        if pivot.abs() < 1e-12 || !pivot.is_finite() {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                let tmp = aug[(col, k)];
+                aug[(col, k)] = aug[(pivot_row, k)];
+                aug[(pivot_row, k)] = tmp;
+            }
+            rhs.swap(col, pivot_row);
+        }
+        for row in (col + 1)..n {
+            let factor = aug[(row, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let v = aug[(col, k)];
+                aug[(row, k)] -= factor * v;
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for k in (row + 1)..n {
+            s -= aug[(row, k)] * x[k];
+        }
+        x[row] = s / aug[(row, row)];
+    }
+    Ok(x)
+}
+
+/// Solves `min_x ||A x - b||^2 + ridge * ||x||^2` via the normal equations
+/// `(A^T A + ridge I) x = A^T b`, factored with Cholesky.
+///
+/// A small positive `ridge` keeps rank-deficient design matrices (constant
+/// workload segments produce them constantly) solvable; pass `0.0` for pure
+/// least squares on a well-conditioned design.
+pub fn lstsq(a: &Matrix, b: &[f64], ridge: f64) -> Result<Vec<f64>> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("lstsq: {} rows vs rhs {}", a.rows(), b.len()),
+        });
+    }
+    let at = a.transpose();
+    let mut ata = at.matmul(a)?;
+    for i in 0..ata.rows() {
+        ata[(i, i)] += ridge;
+    }
+    let atb = a.matvec_t(b)?;
+    match Cholesky::factor(&ata) {
+        Ok(ch) => ch.solve(&atb),
+        // Rank-deficient: retry with jitter proportional to the diagonal.
+        Err(LinalgError::NotPositiveDefinite { .. }) => {
+            let scale = (0..ata.rows())
+                .map(|i| ata[(i, i)].abs())
+                .fold(0.0, f64::max)
+                .max(1.0);
+            let ch = Cholesky::factor_with_jitter(&ata, scale * 1e-10, 12)?;
+            ch.solve(&atb)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Weighted ridge least squares: `min_x sum_i w_i (a_i . x - b_i)^2 + ridge||x||^2`.
+///
+/// The workhorse of Wood et al.'s iteratively-reweighted robust regression.
+pub fn weighted_lstsq(a: &Matrix, b: &[f64], w: &[f64], ridge: f64) -> Result<Vec<f64>> {
+    if a.rows() != b.len() || a.rows() != w.len() {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!(
+                "weighted_lstsq: {} rows vs rhs {} vs weights {}",
+                a.rows(),
+                b.len(),
+                w.len()
+            ),
+        });
+    }
+    // Scale rows by sqrt(w) and reuse the plain solver.
+    let mut aw = a.clone();
+    let mut bw = b.to_vec();
+    for i in 0..a.rows() {
+        let s = w[i].max(0.0).sqrt();
+        for v in aw.row_mut(i) {
+            *v *= s;
+        }
+        bw[i] *= s;
+    }
+    lstsq(&aw, &bw, ridge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn square_solve_recovers_solution() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let x = solve_square(&a, &[8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (u, v) in x.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn square_solve_detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            solve_square(&a, &[1.0, 2.0]),
+            Err(LinalgError::Singular)
+        ));
+    }
+
+    #[test]
+    fn square_solve_needs_pivoting() {
+        // Zero on the initial pivot position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve_square(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_exact_on_consistent_system() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Matrix::random_uniform(30, 4, 1.0, &mut rng);
+        let x_true = [1.0, -2.0, 0.5, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq(&a, &b, 0.0).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lstsq_fits_line_through_noisy_points() {
+        // y = 2x + 1 exactly; design [x, 1].
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |r, c| if c == 0 { xs[r] } else { 1.0 });
+        let b: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let coef = lstsq(&a, &b, 0.0).unwrap();
+        assert!((coef[0] - 2.0).abs() < 1e-10);
+        assert!((coef[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_survives_rank_deficiency() {
+        // Duplicate columns: infinitely many solutions; ridge pins one down.
+        let a = Matrix::from_fn(6, 2, |r, _| r as f64);
+        let b: Vec<f64> = (0..6).map(|r| 3.0 * r as f64).collect();
+        let x = lstsq(&a, &b, 1e-8).unwrap();
+        // Prediction must still be right even if coefficients split arbitrarily.
+        let pred = a.matvec(&x).unwrap();
+        for (p, t) in pred.iter().zip(&b) {
+            assert!((p - t).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn weighted_lstsq_ignores_zero_weight_outlier() {
+        // Points on y = x except one wild outlier that gets weight 0.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut ys: Vec<f64> = xs.to_vec();
+        ys[2] = 100.0;
+        let a = Matrix::from_fn(5, 2, |r, c| if c == 0 { xs[r] } else { 1.0 });
+        let w = [1.0, 1.0, 0.0, 1.0, 1.0];
+        let coef = weighted_lstsq(&a, &ys, &w, 0.0).unwrap();
+        assert!((coef[0] - 1.0).abs() < 1e-9);
+        assert!(coef[1].abs() < 1e-9);
+    }
+}

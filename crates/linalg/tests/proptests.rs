@@ -1,0 +1,97 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use ld_linalg::{solve, vecops, Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with entries in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+fn vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0..10.0f64, len)
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative(a in matrix(4, 3), b in matrix(3, 5), c in matrix(5, 2)) {
+        let ab_c = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let a_bc = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(ab_c.max_abs_diff(&a_bc) < 1e-9);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(4, 3), b in matrix(3, 2), c in matrix(3, 2)) {
+        let mut b_plus_c = b.clone();
+        b_plus_c.add_assign(&c).unwrap();
+        let lhs = a.matmul(&b_plus_c).unwrap();
+        let mut rhs = a.matmul(&b).unwrap();
+        rhs.add_assign(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in matrix(4, 3), b in matrix(3, 5)) {
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_roundtrips_spd(b in matrix(6, 6)) {
+        // B B^T + 6I is SPD for any B with bounded entries... but keep margin.
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..6 { a[(i, i)] += 6.0; }
+        let ch = Cholesky::factor(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose()).unwrap();
+        prop_assert!(recon.max_abs_diff(&a) < 1e-7);
+    }
+
+    #[test]
+    fn cholesky_solve_is_inverse(b in matrix(5, 5), x in vector(5)) {
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..5 { a[(i, i)] += 5.0; }
+        let rhs = a.matvec(&x).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        let solved = ch.solve(&rhs).unwrap();
+        for (u, v) in solved.iter().zip(&x) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonal_to_columns(a in matrix(12, 3), b in vector(12)) {
+        // Normal-equation optimality: A^T (A x - b) ~ 0 (up to ridge).
+        let x = solve::lstsq(&a, &b, 1e-9).unwrap();
+        let pred = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = pred.iter().zip(&b).map(|(p, t)| p - t).collect();
+        let grad = a.matvec_t(&resid).unwrap();
+        for g in grad {
+            prop_assert!(g.abs() < 1e-4, "gradient component {g}");
+        }
+    }
+
+    #[test]
+    fn dot_is_bilinear(x in vector(6), y in vector(6), alpha in -5.0..5.0f64) {
+        let scaled: Vec<f64> = x.iter().map(|v| v * alpha).collect();
+        let lhs = vecops::dot(&scaled, &y);
+        let rhs = alpha * vecops::dot(&x, &y);
+        prop_assert!((lhs - rhs).abs() < 1e-8);
+    }
+
+    #[test]
+    fn norm_triangle_inequality(x in vector(8), y in vector(8)) {
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        prop_assert!(vecops::norm2(&sum) <= vecops::norm2(&x) + vecops::norm2(&y) + 1e-9);
+    }
+
+    #[test]
+    fn variance_nonnegative_and_shift_invariant(x in vector(10), shift in -100.0..100.0f64) {
+        let shifted: Vec<f64> = x.iter().map(|v| v + shift).collect();
+        let v0 = vecops::variance(&x);
+        let v1 = vecops::variance(&shifted);
+        prop_assert!(v0 >= 0.0);
+        prop_assert!((v0 - v1).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,68 @@
+//! Scalar activation functions and their derivatives.
+//!
+//! The LSTM cell (paper Fig. 4) uses the logistic sigmoid for its three
+//! gates and `tanh` for the candidate/output nonlinearity.
+
+/// Logistic sigmoid, computed in a numerically stable branch-free-ish form.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of the sigmoid expressed in terms of its output `s`.
+#[inline]
+pub fn sigmoid_deriv_from_output(s: f64) -> f64 {
+    s * (1.0 - s)
+}
+
+/// Hyperbolic tangent (thin wrapper for symmetry with [`sigmoid`]).
+#[inline]
+pub fn tanh(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// Derivative of tanh expressed in terms of its output `t`.
+#[inline]
+pub fn tanh_deriv_from_output(t: f64) -> f64 {
+    1.0 - t * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_reference_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(2.0) - 0.880797077977882).abs() < 1e-12);
+        // Symmetry: sigma(-x) = 1 - sigma(x).
+        for x in [-5.0, -1.0, 0.3, 4.0] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!(sigmoid(f64::MAX).is_finite());
+        assert!(sigmoid(f64::MIN).is_finite());
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for x in [-3.0, -0.5, 0.0, 0.7, 2.5] {
+            let fd_sig = (sigmoid(x + eps) - sigmoid(x - eps)) / (2.0 * eps);
+            assert!((sigmoid_deriv_from_output(sigmoid(x)) - fd_sig).abs() < 1e-8);
+            let fd_tanh = (tanh(x + eps) - tanh(x - eps)) / (2.0 * eps);
+            assert!((tanh_deriv_from_output(tanh(x)) - fd_tanh).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The end-to-end LSTM forecaster of the paper's Fig. 3: a stack of LSTM
+//! layers unrolled over the input window `J_{i-n} .. J_{i-1}`, with the
+//! final hidden state fed through a fully-connected layer `T` to produce the
+//! scalar prediction `P_i`.
+
+use ld_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::dense::{Dense, DenseGrads};
+use crate::loss::squared_error_grad;
+use crate::lstm::{LstmCache, LstmGrads, LstmLayer};
+
+/// Architecture hyperparameters of one forecaster — exactly the four knobs
+/// LoadDynamics tunes per workload (Section III-A), minus batch size which
+/// belongs to the trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForecasterConfig {
+    /// History length `n`: how many past JARs the model sees.
+    pub history_len: usize,
+    /// Cell-memory size `s` (units per LSTM layer).
+    pub hidden_size: usize,
+    /// Number of stacked LSTM layers.
+    pub num_layers: usize,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl ForecasterConfig {
+    /// Validates the configuration, returning a description of the problem
+    /// if it is unusable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.history_len == 0 {
+            return Err("history_len must be >= 1".into());
+        }
+        if self.hidden_size == 0 {
+            return Err("hidden_size must be >= 1".into());
+        }
+        if self.num_layers == 0 {
+            return Err("num_layers must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Gradients for a whole forecaster, mirroring its layer structure.
+#[derive(Debug, Clone)]
+pub struct ForecasterGrads {
+    /// Per-LSTM-layer gradients, bottom first.
+    pub lstm: Vec<LstmGrads>,
+    /// Head gradients.
+    pub head: DenseGrads,
+}
+
+impl ForecasterGrads {
+    /// Accumulates another gradient set elementwise.
+    pub fn accumulate(&mut self, other: &ForecasterGrads) {
+        assert_eq!(self.lstm.len(), other.lstm.len());
+        for (a, b) in self.lstm.iter_mut().zip(&other.lstm) {
+            a.accumulate(b);
+        }
+        self.head.accumulate(&other.head);
+    }
+
+    /// Scales every gradient (e.g. by `1/batch_size`).
+    pub fn scale(&mut self, alpha: f64) {
+        for g in &mut self.lstm {
+            g.scale(alpha);
+        }
+        self.head.scale(alpha);
+    }
+
+    /// Global L2 norm across all gradient tensors.
+    pub fn global_norm(&self) -> f64 {
+        let mut ss = 0.0;
+        for g in &self.lstm {
+            ss += g.dw.sum_squares() + g.du.sum_squares() + g.db.sum_squares();
+        }
+        ss += self.head.dw.sum_squares() + self.head.db.sum_squares();
+        ss.sqrt()
+    }
+
+    /// Clips the global norm to `max_norm` (TensorFlow's `clip_by_global_norm`),
+    /// the standard defence against LSTM gradient explosion the paper cites.
+    pub fn clip_global_norm(&mut self, max_norm: f64) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+    }
+}
+
+/// A stacked-LSTM scalar forecaster (the function `f` of Eq. 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmForecaster {
+    config: ForecasterConfig,
+    layers: Vec<LstmLayer>,
+    head: Dense,
+}
+
+impl LstmForecaster {
+    /// Builds a forecaster with freshly initialized weights.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`ForecasterConfig::validate`]); the framework layer validates before
+    /// construction.
+    pub fn new(config: ForecasterConfig) -> Self {
+        config.validate().expect("invalid forecaster config");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut layers = Vec::with_capacity(config.num_layers);
+        for l in 0..config.num_layers {
+            let input_dim = if l == 0 { 1 } else { config.hidden_size };
+            layers.push(LstmLayer::new(input_dim, config.hidden_size, &mut rng));
+        }
+        let head = Dense::new(config.hidden_size, 1, &mut rng);
+        LstmForecaster {
+            config,
+            layers,
+            head,
+        }
+    }
+
+    /// The configuration this forecaster was built with.
+    pub fn config(&self) -> &ForecasterConfig {
+        &self.config
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum::<usize>() + self.head.param_count()
+    }
+
+    /// Predicts the next value from a window of `history_len` past values.
+    ///
+    /// # Panics
+    /// Panics if `window.len() != history_len`.
+    pub fn predict(&self, window: &[f64]) -> f64 {
+        let (pred, _) = self.forward_cached(window);
+        pred
+    }
+
+    /// Forward pass keeping per-layer caches for backprop.
+    fn forward_cached(&self, window: &[f64]) -> (f64, Vec<LstmCache>) {
+        assert_eq!(
+            window.len(),
+            self.config.history_len,
+            "window length {} != history_len {}",
+            window.len(),
+            self.config.history_len
+        );
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut seq: Vec<Vec<f64>> = window.iter().map(|&v| vec![v]).collect();
+        for layer in &self.layers {
+            let cache = layer.forward(&seq);
+            seq = cache.hidden_sequence().to_vec();
+            caches.push(cache);
+        }
+        let last_h = caches.last().expect(">=1 layer").last_hidden();
+        let pred = self.head.forward(last_h)[0];
+        (pred, caches)
+    }
+
+    /// Computes the squared-error loss and its gradients for one sample.
+    ///
+    /// Returns `(loss, grads)` where `loss = (pred - target)^2`.
+    pub fn sample_grads(&self, window: &[f64], target: f64) -> (f64, ForecasterGrads) {
+        let (pred, caches) = self.forward_cached(window);
+        let loss = (pred - target) * (pred - target);
+        let dpred = squared_error_grad(pred, target);
+
+        // Head backward.
+        let top_cache = caches.last().unwrap();
+        let (head_grads, dh_last) = self.head.backward(top_cache.last_hidden(), &[dpred]);
+
+        // Backprop through the LSTM stack, top layer first.
+        let steps = self.config.history_len;
+        let hidden = self.config.hidden_size;
+        let mut lstm_grads: Vec<Option<LstmGrads>> = vec![None; self.layers.len()];
+        // Gradient flowing into the top layer's hidden sequence: zero except
+        // at the final step.
+        let mut dh_seq = vec![vec![0.0; hidden]; steps];
+        dh_seq[steps - 1] = dh_last;
+
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            let (grads, dxs) = layer.backward(&caches[idx], &dh_seq);
+            lstm_grads[idx] = Some(grads);
+            // dxs of this layer is the dh sequence of the layer below.
+            dh_seq = dxs;
+        }
+
+        let grads = ForecasterGrads {
+            lstm: lstm_grads.into_iter().map(|g| g.unwrap()).collect(),
+            head: head_grads,
+        };
+        (loss, grads)
+    }
+
+    /// Zeroed gradients matching this model's structure.
+    pub fn zero_grads(&self) -> ForecasterGrads {
+        ForecasterGrads {
+            lstm: self
+                .layers
+                .iter()
+                .map(|l| LstmGrads::zeros(l.input_dim(), l.hidden()))
+                .collect(),
+            head: DenseGrads::zeros(1, self.config.hidden_size),
+        }
+    }
+
+    /// Visits `(parameter, gradient)` tensor pairs in a fixed order for the
+    /// optimizer.
+    pub fn visit_params(&mut self, grads: &ForecasterGrads, f: &mut impl FnMut(&mut Matrix, &Matrix)) {
+        assert_eq!(grads.lstm.len(), self.layers.len());
+        for (layer, g) in self.layers.iter_mut().zip(&grads.lstm) {
+            layer.visit_params(g, f);
+        }
+        self.head.visit_params(&grads.head, f);
+    }
+
+    /// Serializes the trained model to JSON (a model snapshot).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("forecaster serialization")
+    }
+
+    /// Restores a model snapshot produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ForecasterConfig {
+        ForecasterConfig {
+            history_len: 4,
+            hidden_size: 3,
+            num_layers: 2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(tiny_config().validate().is_ok());
+        let mut c = tiny_config();
+        c.history_len = 0;
+        assert!(c.validate().is_err());
+        c = tiny_config();
+        c.hidden_size = 0;
+        assert!(c.validate().is_err());
+        c = tiny_config();
+        c.num_layers = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn predict_is_deterministic_for_a_seed() {
+        let a = LstmForecaster::new(tiny_config());
+        let b = LstmForecaster::new(tiny_config());
+        let w = [0.1, 0.5, 0.3, 0.9];
+        assert_eq!(a.predict(&w), b.predict(&w));
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let a = LstmForecaster::new(tiny_config());
+        let mut cfg = tiny_config();
+        cfg.seed = 43;
+        let b = LstmForecaster::new(cfg);
+        let w = [0.1, 0.5, 0.3, 0.9];
+        assert_ne!(a.predict(&w), b.predict(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn wrong_window_length_panics() {
+        let m = LstmForecaster::new(tiny_config());
+        m.predict(&[0.1, 0.2]);
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let m = LstmForecaster::new(tiny_config());
+        // layer0: 4*3*(1+3+1); layer1: 4*3*(3+3+1); head: 1*(3+1)
+        assert_eq!(m.param_count(), 60 + 84 + 4);
+    }
+
+    /// End-to-end gradient check through the full stacked model.
+    #[test]
+    fn sample_grads_match_finite_differences() {
+        let model = LstmForecaster::new(tiny_config());
+        let window = [0.2, -0.4, 0.7, 0.1];
+        let target = 0.5;
+        let (_, grads) = model.sample_grads(&window, target);
+
+        // Flatten analytic grads in visit order.
+        let mut analytic: Vec<f64> = Vec::new();
+        let mut m = model.clone();
+        m.visit_params(&grads, &mut |_p, g| {
+            analytic.extend_from_slice(g.as_slice());
+        });
+
+        // Finite differences over every parameter, mutated in visit order.
+        let eps = 1e-5;
+        let zero = model.zero_grads();
+        let n_params = model.param_count();
+        assert_eq!(analytic.len(), n_params);
+        let mut fd: Vec<f64> = Vec::with_capacity(n_params);
+        for slot in 0..n_params {
+            let mut plus = model.clone();
+            let mut seen = 0usize;
+            plus.visit_params(&zero, &mut |p, _| {
+                let len = p.as_slice().len();
+                if slot >= seen && slot < seen + len {
+                    p.as_mut_slice()[slot - seen] += eps;
+                }
+                seen += len;
+            });
+            let lp = {
+                let (pred, _) = (plus.predict(&window), ());
+                (pred - target) * (pred - target)
+            };
+            let mut minus = model.clone();
+            seen = 0;
+            minus.visit_params(&zero, &mut |p, _| {
+                let len = p.as_slice().len();
+                if slot >= seen && slot < seen + len {
+                    p.as_mut_slice()[slot - seen] -= eps;
+                }
+                seen += len;
+            });
+            let lm = {
+                let pred = minus.predict(&window);
+                (pred - target) * (pred - target)
+            };
+            fd.push((lp - lm) / (2.0 * eps));
+        }
+        for (i, (a, f)) in analytic.iter().zip(&fd).enumerate() {
+            assert!(
+                (a - f).abs() < 1e-5,
+                "param {i}: analytic {a} vs fd {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn clip_global_norm_caps_large_gradients() {
+        let model = LstmForecaster::new(tiny_config());
+        let (_, mut grads) = model.sample_grads(&[10.0, -10.0, 10.0, -10.0], 100.0);
+        let before = grads.global_norm();
+        assert!(before > 1.0);
+        grads.clip_global_norm(1.0);
+        assert!((grads.global_norm() - 1.0).abs() < 1e-9);
+        // Clipping below the norm is a no-op.
+        let (_, mut small) = model.sample_grads(&[0.0, 0.0, 0.0, 0.0], 0.0);
+        let n = small.global_norm();
+        small.clip_global_norm(n + 10.0);
+        assert!((small.global_norm() - n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions() {
+        let model = LstmForecaster::new(tiny_config());
+        let json = model.to_json();
+        let back = LstmForecaster::from_json(&json).unwrap();
+        let w = [0.3, 0.6, -0.2, 0.8];
+        assert_eq!(model.predict(&w), back.predict(&w));
+    }
+}

@@ -1,0 +1,585 @@
+//! A GRU (gated recurrent unit) forecaster — the main "LSTM-variant" of
+//! the paper's Section VI related work (Cho et al. 2014's cell, as used by
+//! several of the cited deep workload predictors).
+//!
+//! ```text
+//! z_t = sigma(W_z x_t + U_z h_{t-1} + b_z)      (update gate)
+//! r_t = sigma(W_r x_t + U_r h_{t-1} + b_r)      (reset gate)
+//! n_t = tanh (W_n x_t + U_n (r_t . h_{t-1}) + b_n)
+//! h_t = (1 - z_t) . n_t + z_t . h_{t-1}
+//! ```
+//!
+//! The layer mirrors [`crate::lstm::LstmLayer`]'s interface (forward with
+//! cache, exact backward, packed `[z, r, n]` gate blocks) and the
+//! [`GruForecaster`] mirrors [`crate::forecaster::LstmForecaster`], so the
+//! shared [`crate::trainer::Trainer`] drives both — which is what the
+//! `ablation_lstm_vs_gru` experiment needs.
+
+use ld_linalg::{vecops, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::activation::{sigmoid, sigmoid_deriv_from_output, tanh_deriv_from_output};
+use crate::dense::{Dense, DenseGrads};
+use crate::loss::squared_error_grad;
+
+/// One GRU layer with gate blocks packed `[z, r, n]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GruLayer {
+    input_dim: usize,
+    hidden: usize,
+    /// Input weights, `3H x input_dim`.
+    w: Matrix,
+    /// Recurrent weights, `3H x H`.
+    u: Matrix,
+    /// Bias, `3H x 1`.
+    b: Matrix,
+}
+
+/// Gradients for one [`GruLayer`].
+#[derive(Debug, Clone)]
+pub struct GruGrads {
+    /// Input-weight gradient.
+    pub dw: Matrix,
+    /// Recurrent-weight gradient.
+    pub du: Matrix,
+    /// Bias gradient.
+    pub db: Matrix,
+}
+
+impl GruGrads {
+    /// Zeroed gradients.
+    pub fn zeros(input_dim: usize, hidden: usize) -> Self {
+        GruGrads {
+            dw: Matrix::zeros(3 * hidden, input_dim),
+            du: Matrix::zeros(3 * hidden, hidden),
+            db: Matrix::zeros(3 * hidden, 1),
+        }
+    }
+
+    /// `self += other`.
+    pub fn accumulate(&mut self, other: &GruGrads) {
+        self.dw.add_assign(&other.dw).expect("dw shape");
+        self.du.add_assign(&other.du).expect("du shape");
+        self.db.add_assign(&other.db).expect("db shape");
+    }
+
+    /// Scales all tensors.
+    pub fn scale(&mut self, alpha: f64) {
+        self.dw.scale(alpha);
+        self.du.scale(alpha);
+        self.db.scale(alpha);
+    }
+}
+
+/// Forward-pass record for backprop.
+#[derive(Debug, Clone)]
+pub struct GruCache {
+    xs: Vec<Vec<f64>>,
+    /// `hs[0]` is the zero initial state.
+    hs: Vec<Vec<f64>>,
+    /// Per step: `[z, r, n]` post-activation.
+    gates: Vec<[Vec<f64>; 3]>,
+}
+
+impl GruCache {
+    /// Hidden states `h_1..h_T`.
+    pub fn hidden_sequence(&self) -> &[Vec<f64>] {
+        &self.hs[1..]
+    }
+
+    /// Final hidden state.
+    pub fn last_hidden(&self) -> &[f64] {
+        self.hs.last().expect("non-empty")
+    }
+
+    /// Unrolled length.
+    pub fn steps(&self) -> usize {
+        self.xs.len()
+    }
+}
+
+impl GruLayer {
+    /// Xavier-initialized layer.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        assert!(input_dim > 0 && hidden > 0);
+        GruLayer {
+            input_dim,
+            hidden,
+            w: Matrix::xavier_uniform(3 * hidden, input_dim, rng),
+            u: Matrix::xavier_uniform(3 * hidden, hidden, rng),
+            b: Matrix::zeros(3 * hidden, 1),
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Trainable scalar count.
+    pub fn param_count(&self) -> usize {
+        3 * self.hidden * (self.input_dim + self.hidden + 1)
+    }
+
+    /// Visits `(param, grad)` pairs in fixed order.
+    pub fn visit_params<'a>(
+        &'a mut self,
+        grads: &'a GruGrads,
+        f: &mut impl FnMut(&mut Matrix, &Matrix),
+    ) {
+        f(&mut self.w, &grads.dw);
+        f(&mut self.u, &grads.du);
+        f(&mut self.b, &grads.db);
+    }
+
+    /// Unrolls over `xs` from zero state.
+    pub fn forward(&self, xs: &[Vec<f64>]) -> GruCache {
+        let h = self.hidden;
+        let mut cache = GruCache {
+            xs: xs.to_vec(),
+            hs: Vec::with_capacity(xs.len() + 1),
+            gates: Vec::with_capacity(xs.len()),
+        };
+        cache.hs.push(vec![0.0; h]);
+        for x in xs {
+            assert_eq!(x.len(), self.input_dim, "GRU input dim");
+            let h_prev = cache.hs.last().unwrap().clone();
+            // Pre-activations for z and r use h_prev directly.
+            let mut z_gate = vec![0.0; h];
+            let mut r_gate = vec![0.0; h];
+            for k in 0..h {
+                z_gate[k] = sigmoid(
+                    vecops::dot(self.w.row(k), x)
+                        + vecops::dot(self.u.row(k), &h_prev)
+                        + self.b[(k, 0)],
+                );
+                r_gate[k] = sigmoid(
+                    vecops::dot(self.w.row(h + k), x)
+                        + vecops::dot(self.u.row(h + k), &h_prev)
+                        + self.b[(h + k, 0)],
+                );
+            }
+            // Candidate uses the reset-scaled state.
+            let rh: Vec<f64> = r_gate.iter().zip(&h_prev).map(|(r, hp)| r * hp).collect();
+            let mut n_gate = vec![0.0; h];
+            let mut h_t = vec![0.0; h];
+            for k in 0..h {
+                n_gate[k] = (vecops::dot(self.w.row(2 * h + k), x)
+                    + vecops::dot(self.u.row(2 * h + k), &rh)
+                    + self.b[(2 * h + k, 0)])
+                .tanh();
+                h_t[k] = (1.0 - z_gate[k]) * n_gate[k] + z_gate[k] * h_prev[k];
+            }
+            cache.gates.push([z_gate, r_gate, n_gate]);
+            cache.hs.push(h_t);
+        }
+        cache
+    }
+
+    /// Exact backward pass; `dh_seq[t]` is the gradient flowing into
+    /// `h_{t+1}` from above. Returns parameter grads and input grads.
+    pub fn backward(&self, cache: &GruCache, dh_seq: &[Vec<f64>]) -> (GruGrads, Vec<Vec<f64>>) {
+        let h = self.hidden;
+        let t_len = cache.steps();
+        assert_eq!(dh_seq.len(), t_len);
+        let mut grads = GruGrads::zeros(self.input_dim, h);
+        let mut dxs = vec![vec![0.0; self.input_dim]; t_len];
+        let mut dh_next = vec![0.0; h];
+        // Pre-activation grads for the three blocks.
+        let mut dz = vec![0.0; h];
+        let mut dr = vec![0.0; h];
+        let mut dn = vec![0.0; h];
+
+        for t in (0..t_len).rev() {
+            let [z_gate, r_gate, n_gate] = &cache.gates[t];
+            let h_prev = &cache.hs[t];
+            let x_t = &cache.xs[t];
+
+            // dL/dh_t from above plus recurrence.
+            let dh: Vec<f64> = dh_seq[t]
+                .iter()
+                .zip(&dh_next)
+                .map(|(a, b)| a + b)
+                .collect();
+
+            // h_t = (1-z) n + z h_prev
+            // dn_pre, dz_pre; dh_prev gets the direct z-path plus gate paths.
+            let mut dh_prev = vec![0.0; h];
+            let mut du_n_dot_hprev = vec![0.0; h]; // dL/d(rh) accumulated below
+            for k in 0..h {
+                let dhk = dh[k];
+                let dzk = dhk * (h_prev[k] - n_gate[k]);
+                let dnk = dhk * (1.0 - z_gate[k]);
+                dz[k] = dzk * sigmoid_deriv_from_output(z_gate[k]);
+                dn[k] = dnk * tanh_deriv_from_output(n_gate[k]);
+                dh_prev[k] = dhk * z_gate[k];
+            }
+            // dL/d(rh) = U_n^T dn_pre
+            for k in 0..h {
+                if dn[k] == 0.0 {
+                    continue;
+                }
+                vecops::axpy(dn[k], self.u.row(2 * h + k), &mut du_n_dot_hprev);
+            }
+            // rh = r . h_prev
+            for k in 0..h {
+                let drh = du_n_dot_hprev[k];
+                dr[k] = drh * h_prev[k] * sigmoid_deriv_from_output(r_gate[k]);
+                dh_prev[k] += drh * r_gate[k];
+            }
+
+            // Parameter grads and remaining dh_prev contributions from the
+            // z and r pre-activations.
+            let rh: Vec<f64> = r_gate.iter().zip(h_prev).map(|(r, hp)| r * hp).collect();
+            for k in 0..h {
+                // z block (rows 0..h)
+                if dz[k] != 0.0 {
+                    vecops::axpy(dz[k], x_t, grads.dw.row_mut(k));
+                    vecops::axpy(dz[k], h_prev, grads.du.row_mut(k));
+                    grads.db[(k, 0)] += dz[k];
+                    vecops::axpy(dz[k], self.w.row(k), &mut dxs[t]);
+                    vecops::axpy(dz[k], self.u.row(k), &mut dh_prev);
+                }
+                // r block (rows h..2h)
+                if dr[k] != 0.0 {
+                    vecops::axpy(dr[k], x_t, grads.dw.row_mut(h + k));
+                    vecops::axpy(dr[k], h_prev, grads.du.row_mut(h + k));
+                    grads.db[(h + k, 0)] += dr[k];
+                    vecops::axpy(dr[k], self.w.row(h + k), &mut dxs[t]);
+                    vecops::axpy(dr[k], self.u.row(h + k), &mut dh_prev);
+                }
+                // n block (rows 2h..3h); recurrent part uses rh.
+                if dn[k] != 0.0 {
+                    vecops::axpy(dn[k], x_t, grads.dw.row_mut(2 * h + k));
+                    vecops::axpy(dn[k], &rh, grads.du.row_mut(2 * h + k));
+                    grads.db[(2 * h + k, 0)] += dn[k];
+                    vecops::axpy(dn[k], self.w.row(2 * h + k), &mut dxs[t]);
+                }
+            }
+            dh_next = dh_prev;
+        }
+        (grads, dxs)
+    }
+}
+
+/// Architecture config for [`GruForecaster`] (same knobs as the LSTM's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GruConfig {
+    /// Input window length.
+    pub history_len: usize,
+    /// Hidden width per layer.
+    pub hidden_size: usize,
+    /// Stacked layers.
+    pub num_layers: usize,
+    /// Init seed.
+    pub seed: u64,
+}
+
+/// Gradients for the whole GRU forecaster.
+#[derive(Debug, Clone)]
+pub struct GruForecasterGrads {
+    /// Per-layer gradients, bottom first.
+    pub layers: Vec<GruGrads>,
+    /// Head gradients.
+    pub head: DenseGrads,
+}
+
+impl GruForecasterGrads {
+    /// `self += other`.
+    pub fn accumulate(&mut self, other: &GruForecasterGrads) {
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.accumulate(b);
+        }
+        self.head.accumulate(&other.head);
+    }
+
+    /// Scales everything.
+    pub fn scale(&mut self, alpha: f64) {
+        for g in &mut self.layers {
+            g.scale(alpha);
+        }
+        self.head.scale(alpha);
+    }
+
+    /// Global L2 norm.
+    pub fn global_norm(&self) -> f64 {
+        let mut ss = 0.0;
+        for g in &self.layers {
+            ss += g.dw.sum_squares() + g.du.sum_squares() + g.db.sum_squares();
+        }
+        ss += self.head.dw.sum_squares() + self.head.db.sum_squares();
+        ss.sqrt()
+    }
+
+    /// Global-norm clip.
+    pub fn clip_global_norm(&mut self, max_norm: f64) {
+        let n = self.global_norm();
+        if n > max_norm && n > 0.0 {
+            self.scale(max_norm / n);
+        }
+    }
+}
+
+/// Stacked-GRU scalar forecaster with a linear head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GruForecaster {
+    config: GruConfig,
+    layers: Vec<GruLayer>,
+    head: Dense,
+}
+
+impl GruForecaster {
+    /// Fresh forecaster.
+    pub fn new(config: GruConfig) -> Self {
+        assert!(config.history_len > 0 && config.hidden_size > 0 && config.num_layers > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut layers = Vec::with_capacity(config.num_layers);
+        for l in 0..config.num_layers {
+            let input_dim = if l == 0 { 1 } else { config.hidden_size };
+            layers.push(GruLayer::new(input_dim, config.hidden_size, &mut rng));
+        }
+        let head = Dense::new(config.hidden_size, 1, &mut rng);
+        GruForecaster {
+            config,
+            layers,
+            head,
+        }
+    }
+
+    /// Architecture config.
+    pub fn config(&self) -> &GruConfig {
+        &self.config
+    }
+
+    /// Trainable scalar count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum::<usize>() + self.head.param_count()
+    }
+
+    fn forward_cached(&self, window: &[f64]) -> (f64, Vec<GruCache>) {
+        assert_eq!(window.len(), self.config.history_len, "window length");
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut seq: Vec<Vec<f64>> = window.iter().map(|&v| vec![v]).collect();
+        for layer in &self.layers {
+            let cache = layer.forward(&seq);
+            seq = cache.hidden_sequence().to_vec();
+            caches.push(cache);
+        }
+        let pred = self.head.forward(caches.last().unwrap().last_hidden())[0];
+        (pred, caches)
+    }
+
+    /// Point prediction.
+    pub fn predict(&self, window: &[f64]) -> f64 {
+        self.forward_cached(window).0
+    }
+
+    /// Per-sample loss and gradients.
+    pub fn sample_grads(&self, window: &[f64], target: f64) -> (f64, GruForecasterGrads) {
+        let (pred, caches) = self.forward_cached(window);
+        let loss = (pred - target) * (pred - target);
+        let dpred = squared_error_grad(pred, target);
+        let (head_grads, dh_last) = self
+            .head
+            .backward(caches.last().unwrap().last_hidden(), &[dpred]);
+        let steps = self.config.history_len;
+        let hidden = self.config.hidden_size;
+        let mut layer_grads: Vec<Option<GruGrads>> = vec![None; self.layers.len()];
+        let mut dh_seq = vec![vec![0.0; hidden]; steps];
+        dh_seq[steps - 1] = dh_last;
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            let (grads, dxs) = layer.backward(&caches[idx], &dh_seq);
+            layer_grads[idx] = Some(grads);
+            dh_seq = dxs;
+        }
+        (
+            loss,
+            GruForecasterGrads {
+                layers: layer_grads.into_iter().map(|g| g.unwrap()).collect(),
+                head: head_grads,
+            },
+        )
+    }
+
+    /// Zeroed gradient container.
+    pub fn zero_grads(&self) -> GruForecasterGrads {
+        GruForecasterGrads {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| GruGrads::zeros(l.input_dim(), l.hidden()))
+                .collect(),
+            head: DenseGrads::zeros(1, self.config.hidden_size),
+        }
+    }
+
+    /// Visits `(param, grad)` pairs in fixed order.
+    pub fn visit_params(
+        &mut self,
+        grads: &GruForecasterGrads,
+        f: &mut impl FnMut(&mut Matrix, &Matrix),
+    ) {
+        for (layer, g) in self.layers.iter_mut().zip(&grads.layers) {
+            layer.visit_params(g, f);
+        }
+        self.head.visit_params(&grads.head, f);
+    }
+}
+
+impl crate::trainer::Trainable for GruForecaster {
+    type Grads = GruForecasterGrads;
+
+    fn zero_grads(&self) -> Self::Grads {
+        GruForecaster::zero_grads(self)
+    }
+    fn sample_grads(&self, window: &[f64], target: f64) -> (f64, Self::Grads) {
+        GruForecaster::sample_grads(self, window, target)
+    }
+    fn accumulate(into: &mut Self::Grads, other: &Self::Grads) {
+        into.accumulate(other);
+    }
+    fn scale(grads: &mut Self::Grads, alpha: f64) {
+        grads.scale(alpha);
+    }
+    fn clip(grads: &mut Self::Grads, max_norm: f64) {
+        grads.clip_global_norm(max_norm);
+    }
+    fn apply(&mut self, grads: &Self::Grads, opt: &mut dyn crate::optim::Optimizer) {
+        opt.begin_step();
+        let mut slot = 0usize;
+        self.visit_params(grads, &mut |p, g| {
+            opt.update(slot, p, g);
+            slot += 1;
+        });
+    }
+    fn predict(&self, window: &[f64]) -> f64 {
+        GruForecaster::predict(self, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{make_windows, Adam, TrainOptions, Trainer};
+
+    fn tiny() -> GruConfig {
+        GruConfig {
+            history_len: 4,
+            hidden_size: 3,
+            num_layers: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn deterministic_and_bounded_hidden() {
+        let m = GruForecaster::new(tiny());
+        let w = [0.2, -0.5, 0.8, 0.1];
+        assert_eq!(m.predict(&w), m.predict(&w));
+        // h is a convex combination of tanh outputs and previous h, so
+        // every hidden unit stays in [-1, 1].
+        let layer = &m.layers[0];
+        let cache = layer.forward(&w.iter().map(|&v| vec![v]).collect::<Vec<_>>());
+        for hs in cache.hidden_sequence() {
+            assert!(hs.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let m = GruForecaster::new(tiny());
+        // layer0: 3*3*(1+3+1), layer1: 3*3*(3+3+1), head: 4.
+        assert_eq!(m.param_count(), 45 + 63 + 4);
+    }
+
+    /// Full finite-difference gradient check through the stacked GRU —
+    /// the reset-gate coupling (`U_n (r . h)`) is the easiest term to get
+    /// wrong, so every parameter is checked.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let model = GruForecaster::new(tiny());
+        let window = [0.3, -0.2, 0.6, -0.4];
+        let target = 0.35;
+        let (_, grads) = model.sample_grads(&window, target);
+
+        let mut analytic = Vec::new();
+        let mut m = model.clone();
+        m.visit_params(&grads, &mut |_p, g| analytic.extend_from_slice(g.as_slice()));
+
+        let zero = model.zero_grads();
+        let eps = 1e-5;
+        for slot in 0..model.param_count() {
+            let perturb = |dir: f64| {
+                let mut p = model.clone();
+                let mut seen = 0usize;
+                p.visit_params(&zero, &mut |t, _| {
+                    let len = t.as_slice().len();
+                    if slot >= seen && slot < seen + len {
+                        t.as_mut_slice()[slot - seen] += dir * eps;
+                    }
+                    seen += len;
+                });
+                let pred = p.predict(&window);
+                (pred - target) * (pred - target)
+            };
+            let fd = (perturb(1.0) - perturb(-1.0)) / (2.0 * eps);
+            assert!(
+                (fd - analytic[slot]).abs() < 1e-5,
+                "slot {slot}: fd {fd} vs analytic {}",
+                analytic[slot]
+            );
+        }
+    }
+
+    #[test]
+    fn gru_learns_a_sine_wave() {
+        let series: Vec<f64> = (0..200)
+            .map(|i| 0.5 + 0.4 * (i as f64 * 0.3).sin())
+            .collect();
+        let samples = make_windows(&series, 8);
+        let (train, val) = samples.split_at(150);
+        let mut model = GruForecaster::new(GruConfig {
+            history_len: 8,
+            hidden_size: 8,
+            num_layers: 1,
+            seed: 1,
+        });
+        let before = Trainer::evaluate(&model, val);
+        let trainer = Trainer::new(TrainOptions {
+            batch_size: 16,
+            max_epochs: 40,
+            patience: 10,
+            ..TrainOptions::default()
+        });
+        let mut opt = Adam::with_lr(5e-3);
+        trainer.fit(&mut model, &mut opt, train, val);
+        let after = Trainer::evaluate(&model, val);
+        assert!(after < before * 0.2, "{before} -> {after}");
+    }
+
+    #[test]
+    fn gru_has_three_quarters_of_lstm_parameters() {
+        let gru = GruForecaster::new(GruConfig {
+            history_len: 8,
+            hidden_size: 10,
+            num_layers: 1,
+            seed: 0,
+        });
+        let lstm = crate::forecaster::LstmForecaster::new(crate::ForecasterConfig {
+            history_len: 8,
+            hidden_size: 10,
+            num_layers: 1,
+            seed: 0,
+        });
+        let gru_recurrent = gru.param_count() - 11; // minus head
+        let lstm_recurrent = lstm.param_count() - 11;
+        assert_eq!(gru_recurrent * 4, lstm_recurrent * 3);
+    }
+}

@@ -1,0 +1,86 @@
+//! From-scratch neural-network training substrate for LoadDynamics.
+//!
+//! The paper trains its predictors with TensorFlow; Rust's ML ecosystem has
+//! no mature equivalent for LSTM training, so this crate implements the
+//! required subset directly:
+//!
+//! - [`lstm`]: a stacked LSTM (Fig 3/4 of the paper) with exact
+//!   backpropagation-through-time,
+//! - [`dense`]: the fully-connected output head `T`,
+//! - [`mlp`]: a plain feed-forward autoregressor used by the
+//!   `ablation_lstm_vs_dense` experiment,
+//! - [`optim`]: Adam (the paper's optimizer) and SGD,
+//! - [`loss`]: mean-squared error (the paper's loss),
+//! - [`forecaster`]: the end-to-end model of Eq. (1) — a window of `n` past
+//!   JARs in, one predicted JAR out — plus (de)serialization,
+//! - [`trainer`]: mini-batch training with shuffling, global-norm gradient
+//!   clipping and early stopping on a validation split.
+//!
+//! Every forward pass is pure; gradients are checked against finite
+//! differences in the test suite. All randomness flows from explicit seeds.
+
+pub mod activation;
+pub mod dense;
+pub mod forecaster;
+pub mod gru;
+pub mod loss;
+pub mod lstm;
+pub mod mlp;
+pub mod optim;
+pub mod trainer;
+
+pub use forecaster::{ForecasterConfig, LstmForecaster};
+pub use gru::{GruConfig, GruForecaster};
+pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
+pub use trainer::{TrainOptions, TrainReport, Trainer};
+
+/// A supervised sample: an input window of past observations and the target
+/// next observation. Values are expected to be normalized by the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The input window `J_{i-n} .. J_{i-1}` (oldest first).
+    pub window: Vec<f64>,
+    /// The target `J_i`.
+    pub target: f64,
+}
+
+impl Sample {
+    /// Convenience constructor.
+    pub fn new(window: Vec<f64>, target: f64) -> Self {
+        Sample { window, target }
+    }
+}
+
+/// Builds sliding-window samples from a series: for each position `i >= n`,
+/// the window `series[i-n..i]` predicts `series[i]`.
+///
+/// Returns an empty vector if the series is shorter than `n + 1`.
+pub fn make_windows(series: &[f64], n: usize) -> Vec<Sample> {
+    if n == 0 || series.len() <= n {
+        return Vec::new();
+    }
+    (n..series.len())
+        .map(|i| Sample::new(series[i - n..i].to_vec(), series[i]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_windows_shapes_and_alignment() {
+        let series = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let w = make_windows(&series, 2);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], Sample::new(vec![1.0, 2.0], 3.0));
+        assert_eq!(w[2], Sample::new(vec![3.0, 4.0], 5.0));
+    }
+
+    #[test]
+    fn make_windows_degenerate_inputs() {
+        assert!(make_windows(&[1.0, 2.0], 2).is_empty());
+        assert!(make_windows(&[1.0, 2.0, 3.0], 0).is_empty());
+        assert_eq!(make_windows(&[1.0, 2.0, 3.0], 2).len(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Loss functions. The paper trains with mean squared error.
+
+/// Mean squared error over a batch of (prediction, target) pairs.
+///
+/// Returns `0.0` for empty input.
+pub fn mse(preds: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "mse length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    preds
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / preds.len() as f64
+}
+
+/// Gradient of the *squared error of a single sample* w.r.t. the prediction:
+/// `d/dp (p - t)^2 = 2 (p - t)`.
+///
+/// The trainer averages per-sample gradients itself, so this is deliberately
+/// the un-averaged form.
+#[inline]
+pub fn squared_error_grad(pred: f64, target: f64) -> f64 {
+    2.0 * (pred - target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_reference() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(mse(&[3.0], &[3.0]), 0.0);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let (p, t): (f64, f64) = (1.7, -0.4);
+        let eps = 1e-7;
+        let fd = ((p + eps - t).powi(2) - (p - eps - t).powi(2)) / (2.0 * eps);
+        assert!((squared_error_grad(p, t) - fd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_nonnegative() {
+        assert!(mse(&[1.0, -5.0, 3.0], &[0.0, 5.0, 3.0]) >= 0.0);
+    }
+}

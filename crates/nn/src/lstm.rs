@@ -1,0 +1,436 @@
+//! A single LSTM layer with exact backpropagation-through-time.
+//!
+//! Implements the cell of the paper's Fig. 4:
+//!
+//! ```text
+//! i_t = sigma(W_i x_t + U_i h_{t-1} + b_i)
+//! f_t = sigma(W_f x_t + U_f h_{t-1} + b_f)
+//! o_t = sigma(W_o x_t + U_o h_{t-1} + b_o)
+//! g_t = tanh (W_g x_t + U_g h_{t-1} + b_g)
+//! C_t = f_t . C_{t-1} + i_t . g_t
+//! h_t = o_t . tanh(C_t)
+//! ```
+//!
+//! The four gate blocks are packed row-wise into single `W`, `U`, `b`
+//! tensors in the order `[i, f, o, g]` so the whole pre-activation is two
+//! mat-vecs per step. The forward pass records every intermediate needed for
+//! an exact reverse sweep; `backward` returns both the parameter gradients
+//! and the gradient w.r.t. the input sequence so layers stack.
+
+use ld_linalg::{vecops, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::{sigmoid, sigmoid_deriv_from_output, tanh_deriv_from_output};
+
+/// One LSTM layer (the `M` cell of the paper, unrolled over a window).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmLayer {
+    input_dim: usize,
+    hidden: usize,
+    /// Input weights, `4H x input_dim`, gate blocks `[i, f, o, g]`.
+    w: Matrix,
+    /// Recurrent weights, `4H x H`.
+    u: Matrix,
+    /// Bias, `4H x 1`.
+    b: Matrix,
+}
+
+/// Gradients for one [`LstmLayer`], same shapes as the parameters.
+#[derive(Debug, Clone)]
+pub struct LstmGrads {
+    /// Gradient of the input weights.
+    pub dw: Matrix,
+    /// Gradient of the recurrent weights.
+    pub du: Matrix,
+    /// Gradient of the bias.
+    pub db: Matrix,
+}
+
+impl LstmGrads {
+    /// Zeroed gradients for a layer of the given dimensions.
+    pub fn zeros(input_dim: usize, hidden: usize) -> Self {
+        LstmGrads {
+            dw: Matrix::zeros(4 * hidden, input_dim),
+            du: Matrix::zeros(4 * hidden, hidden),
+            db: Matrix::zeros(4 * hidden, 1),
+        }
+    }
+
+    /// Accumulates another gradient set (for batch reduction).
+    pub fn accumulate(&mut self, other: &LstmGrads) {
+        self.dw.add_assign(&other.dw).expect("dw shape");
+        self.du.add_assign(&other.du).expect("du shape");
+        self.db.add_assign(&other.db).expect("db shape");
+    }
+
+    /// Scales all gradients (e.g. by `1/batch`).
+    pub fn scale(&mut self, alpha: f64) {
+        self.dw.scale(alpha);
+        self.du.scale(alpha);
+        self.db.scale(alpha);
+    }
+}
+
+/// Everything the backward pass needs from a forward unroll.
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    /// Input vectors, `T x input_dim`.
+    xs: Vec<Vec<f64>>,
+    /// Hidden states, `T + 1` entries; `hs[0]` is the initial zero state.
+    hs: Vec<Vec<f64>>,
+    /// Cell states, `T + 1` entries.
+    cs: Vec<Vec<f64>>,
+    /// Post-activation gate values per step: `[i, f, o, g]`.
+    gates: Vec<[Vec<f64>; 4]>,
+    /// `tanh(C_t)` per step.
+    tanh_c: Vec<Vec<f64>>,
+}
+
+impl LstmCache {
+    /// The full hidden-state sequence `h_1 .. h_T` (excludes the initial
+    /// zero state), which is the input to the next stacked layer.
+    pub fn hidden_sequence(&self) -> &[Vec<f64>] {
+        &self.hs[1..]
+    }
+
+    /// The final hidden state `h_T` fed to the dense head.
+    pub fn last_hidden(&self) -> &[f64] {
+        self.hs.last().expect("non-empty cache")
+    }
+
+    /// Number of unrolled steps.
+    pub fn steps(&self) -> usize {
+        self.xs.len()
+    }
+}
+
+impl LstmLayer {
+    /// Creates a layer with Xavier-initialized weights and the standard
+    /// unit forget-gate bias (matches TensorFlow's `unit_forget_bias`).
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        assert!(input_dim > 0 && hidden > 0, "LSTM dims must be positive");
+        let w = Matrix::xavier_uniform(4 * hidden, input_dim, rng);
+        let u = Matrix::xavier_uniform(4 * hidden, hidden, rng);
+        let mut b = Matrix::zeros(4 * hidden, 1);
+        // Forget-gate block is rows H..2H.
+        for i in hidden..2 * hidden {
+            b[(i, 0)] = 1.0;
+        }
+        LstmLayer {
+            input_dim,
+            hidden,
+            w,
+            u,
+            b,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state size (the paper's cell-memory size `s`).
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        4 * self.hidden * (self.input_dim + self.hidden + 1)
+    }
+
+    /// Visits `(parameter, gradient)` tensor pairs in a fixed order, used by
+    /// the optimizer.
+    pub fn visit_params<'a>(
+        &'a mut self,
+        grads: &'a LstmGrads,
+        f: &mut impl FnMut(&mut Matrix, &Matrix),
+    ) {
+        f(&mut self.w, &grads.dw);
+        f(&mut self.u, &grads.du);
+        f(&mut self.b, &grads.db);
+    }
+
+    /// Unrolls the layer over `xs` starting from zero state, recording the
+    /// cache for backprop.
+    ///
+    /// # Panics
+    /// Panics if any input vector has the wrong dimension.
+    pub fn forward(&self, xs: &[Vec<f64>]) -> LstmCache {
+        let h = self.hidden;
+        let t_len = xs.len();
+        let mut cache = LstmCache {
+            xs: xs.to_vec(),
+            hs: Vec::with_capacity(t_len + 1),
+            cs: Vec::with_capacity(t_len + 1),
+            gates: Vec::with_capacity(t_len),
+            tanh_c: Vec::with_capacity(t_len),
+        };
+        cache.hs.push(vec![0.0; h]);
+        cache.cs.push(vec![0.0; h]);
+
+        let mut z = vec![0.0; 4 * h];
+        for x in xs {
+            assert_eq!(x.len(), self.input_dim, "LSTM input dim mismatch");
+            let h_prev = cache.hs.last().unwrap().clone();
+            let c_prev = cache.cs.last().unwrap().clone();
+
+            // z = W x + U h_prev + b
+            for (r, zr) in z.iter_mut().enumerate() {
+                *zr = vecops::dot(self.w.row(r), x)
+                    + vecops::dot(self.u.row(r), &h_prev)
+                    + self.b[(r, 0)];
+            }
+            let i_gate: Vec<f64> = z[0..h].iter().map(|&v| sigmoid(v)).collect();
+            let f_gate: Vec<f64> = z[h..2 * h].iter().map(|&v| sigmoid(v)).collect();
+            let o_gate: Vec<f64> = z[2 * h..3 * h].iter().map(|&v| sigmoid(v)).collect();
+            let g_gate: Vec<f64> = z[3 * h..4 * h].iter().map(|&v| v.tanh()).collect();
+
+            let mut c_t = vec![0.0; h];
+            for k in 0..h {
+                c_t[k] = f_gate[k] * c_prev[k] + i_gate[k] * g_gate[k];
+            }
+            let tanh_c: Vec<f64> = c_t.iter().map(|&v| v.tanh()).collect();
+            let mut h_t = vec![0.0; h];
+            for k in 0..h {
+                h_t[k] = o_gate[k] * tanh_c[k];
+            }
+
+            cache.gates.push([i_gate, f_gate, o_gate, g_gate]);
+            cache.tanh_c.push(tanh_c);
+            cache.cs.push(c_t);
+            cache.hs.push(h_t);
+        }
+        cache
+    }
+
+    /// Backpropagates through the unrolled layer.
+    ///
+    /// `dh_seq[t]` is the loss gradient flowing into `h_{t+1}` from above
+    /// (the next layer's input gradient, or the head's gradient at the final
+    /// step with zeros elsewhere). Returns the parameter gradients and the
+    /// gradient w.r.t. each input vector.
+    pub fn backward(&self, cache: &LstmCache, dh_seq: &[Vec<f64>]) -> (LstmGrads, Vec<Vec<f64>>) {
+        let h = self.hidden;
+        let t_len = cache.steps();
+        assert_eq!(dh_seq.len(), t_len, "dh sequence length mismatch");
+
+        let mut grads = LstmGrads::zeros(self.input_dim, h);
+        let mut dxs = vec![vec![0.0; self.input_dim]; t_len];
+
+        // Gradients carried backwards across time.
+        let mut dh_next = vec![0.0; h];
+        let mut dc_next = vec![0.0; h];
+        let mut dz = vec![0.0; 4 * h];
+
+        for t in (0..t_len).rev() {
+            let [i_gate, f_gate, o_gate, g_gate] = &cache.gates[t];
+            let tanh_c = &cache.tanh_c[t];
+            let c_prev = &cache.cs[t];
+            let h_prev = &cache.hs[t];
+            let x_t = &cache.xs[t];
+
+            // Total gradient into h_t: from above + from t+1's recurrence.
+            // dc_t: from h_t through o*tanh(C_t), plus carried dc_next.
+            for k in 0..h {
+                let dh = dh_seq[t][k] + dh_next[k];
+                let dct = dh * o_gate[k] * tanh_deriv_from_output(tanh_c[k]) + dc_next[k];
+                let do_ = dh * tanh_c[k];
+                let di = dct * g_gate[k];
+                let df = dct * c_prev[k];
+                let dg = dct * i_gate[k];
+
+                dz[k] = di * sigmoid_deriv_from_output(i_gate[k]);
+                dz[h + k] = df * sigmoid_deriv_from_output(f_gate[k]);
+                dz[2 * h + k] = do_ * sigmoid_deriv_from_output(o_gate[k]);
+                dz[3 * h + k] = dg * tanh_deriv_from_output(g_gate[k]);
+
+                // Carry cell gradient to t-1.
+                dc_next[k] = dct * f_gate[k];
+            }
+
+            // Parameter gradients: outer products with x_t and h_prev.
+            for (r, &dzr) in dz.iter().enumerate() {
+                if dzr == 0.0 {
+                    continue;
+                }
+                vecops::axpy(dzr, x_t, grads.dw.row_mut(r));
+                vecops::axpy(dzr, h_prev, grads.du.row_mut(r));
+                grads.db[(r, 0)] += dzr;
+            }
+
+            // dx_t = W^T dz ; dh_prev = U^T dz.
+            let dx = &mut dxs[t];
+            dh_next.fill(0.0);
+            for (r, &dzr) in dz.iter().enumerate() {
+                if dzr == 0.0 {
+                    continue;
+                }
+                vecops::axpy(dzr, self.w.row(r), dx);
+                vecops::axpy(dzr, self.u.row(r), &mut dh_next);
+            }
+        }
+
+        (grads, dxs)
+    }
+
+    /// Sum of squares of all parameter entries (for tests/regularization).
+    pub fn param_sum_squares(&self) -> f64 {
+        self.w.sum_squares() + self.u.sum_squares() + self.b.sum_squares()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scalar_seq(vals: &[f64]) -> Vec<Vec<f64>> {
+        vals.iter().map(|&v| vec![v]).collect()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = LstmLayer::new(1, 4, &mut rng);
+        let cache = layer.forward(&scalar_seq(&[0.1, 0.2, 0.3]));
+        assert_eq!(cache.steps(), 3);
+        assert_eq!(cache.hidden_sequence().len(), 3);
+        assert_eq!(cache.last_hidden().len(), 4);
+    }
+
+    #[test]
+    fn hidden_state_bounded_by_one() {
+        // |h| = |o * tanh(C)| <= 1 elementwise.
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = LstmLayer::new(1, 8, &mut rng);
+        let xs = scalar_seq(&[5.0, -5.0, 10.0, 0.0, -10.0]);
+        let cache = layer.forward(&xs);
+        for hs in cache.hidden_sequence() {
+            for &v in hs {
+                assert!(v.abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_input_zero_state_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = LstmLayer::new(2, 3, &mut rng);
+        let xs = vec![vec![0.0, 0.0]; 4];
+        let a = layer.forward(&xs);
+        let b = layer.forward(&xs);
+        assert_eq!(a.last_hidden(), b.last_hidden());
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = LstmLayer::new(1, 5, &mut rng);
+        for k in 0..5 {
+            assert_eq!(layer.b[(5 + k, 0)], 1.0); // forget block
+            assert_eq!(layer.b[(k, 0)], 0.0); // input block
+        }
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = LstmLayer::new(3, 7, &mut rng);
+        assert_eq!(layer.param_count(), 4 * 7 * (3 + 7 + 1));
+    }
+
+    /// Finite-difference gradient check over every parameter of a tiny LSTM.
+    ///
+    /// Loss: sum of final hidden state. The analytic gradient from
+    /// `backward` must match central differences to ~1e-6.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let layer = LstmLayer::new(2, 3, &mut rng);
+        let xs: Vec<Vec<f64>> = vec![vec![0.5, -0.3], vec![0.1, 0.9], vec![-0.7, 0.2]];
+
+        let loss = |l: &LstmLayer| -> f64 { l.forward(&xs).last_hidden().iter().sum() };
+
+        // Analytic gradients: dh at last step = ones, zeros elsewhere.
+        let cache = layer.forward(&xs);
+        let mut dh_seq = vec![vec![0.0; 3]; 3];
+        dh_seq[2] = vec![1.0; 3];
+        let (grads, dxs) = layer.backward(&cache, &dh_seq);
+
+        let eps = 1e-6;
+        let check = |get: &dyn Fn(&LstmLayer) -> f64,
+                         set: &dyn Fn(&mut LstmLayer, f64),
+                         analytic: f64,
+                         what: &str| {
+            let orig = get(&layer);
+            let mut lp = layer.clone();
+            set(&mut lp, orig + eps);
+            let fplus = loss(&lp);
+            set(&mut lp, orig - eps);
+            let fminus = loss(&lp);
+            let fd = (fplus - fminus) / (2.0 * eps);
+            assert!(
+                (fd - analytic).abs() < 1e-6,
+                "{what}: fd={fd} analytic={analytic}"
+            );
+        };
+
+        for r in 0..12 {
+            for c in 0..2 {
+                check(
+                    &|l| l.w[(r, c)],
+                    &|l, v| l.w[(r, c)] = v,
+                    grads.dw[(r, c)],
+                    "W",
+                );
+            }
+            for c in 0..3 {
+                check(
+                    &|l| l.u[(r, c)],
+                    &|l, v| l.u[(r, c)] = v,
+                    grads.du[(r, c)],
+                    "U",
+                );
+            }
+            check(
+                &|l| l.b[(r, 0)],
+                &|l, v| l.b[(r, 0)] = v,
+                grads.db[(r, 0)],
+                "b",
+            );
+        }
+
+        // Input gradients too.
+        for t in 0..3 {
+            for d in 0..2 {
+                let mut xp = xs.clone();
+                xp[t][d] += eps;
+                let fplus = layer.forward(&xp).last_hidden().iter().sum::<f64>();
+                xp[t][d] -= 2.0 * eps;
+                let fminus = layer.forward(&xp).last_hidden().iter().sum::<f64>();
+                let fd = (fplus - fminus) / (2.0 * eps);
+                assert!(
+                    (fd - dxs[t][d]).abs() < 1e-6,
+                    "dx[{t}][{d}]: fd={fd} analytic={}",
+                    dxs[t][d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_and_scale() {
+        let mut a = LstmGrads::zeros(1, 2);
+        let mut b = LstmGrads::zeros(1, 2);
+        a.dw[(0, 0)] = 2.0;
+        b.dw[(0, 0)] = 3.0;
+        a.accumulate(&b);
+        assert_eq!(a.dw[(0, 0)], 5.0);
+        a.scale(0.5);
+        assert_eq!(a.dw[(0, 0)], 2.5);
+    }
+}

@@ -1,0 +1,276 @@
+//! Gradient-descent optimizers.
+//!
+//! The paper trains with the Adam algorithm (Kingma & Ba, 2015); plain SGD
+//! is provided as a minimal reference and for ablations.
+//!
+//! Optimizers are driven slot-wise: the model visits its `(parameter,
+//! gradient)` tensors in a fixed order and the trainer forwards each pair as
+//! `update(slot, param, grad)`. Per-tensor state (Adam moments) is keyed by
+//! slot, so the same optimizer instance serves any architecture as long as
+//! the visit order is stable — which the model structs guarantee.
+
+use ld_linalg::Matrix;
+
+/// A slot-wise gradient-descent optimizer.
+pub trait Optimizer {
+    /// Begins a new optimization step (advances bias-correction counters).
+    /// Must be called once before the `update` calls of each step.
+    fn begin_step(&mut self);
+
+    /// Applies the update for one parameter tensor.
+    fn update(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Scales the effective learning rate by `scale` (relative to the
+    /// configured base rate). Used by the trainer's per-epoch decay
+    /// schedule; the default implementation ignores it.
+    fn set_lr_scale(&mut self, _scale: f64) {}
+}
+
+/// Plain stochastic gradient descent: `p -= lr * g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    scale: f64,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr, scale: 1.0 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn begin_step(&mut self) {}
+
+    fn update(&mut self, _slot: usize, param: &mut Matrix, grad: &Matrix) {
+        param
+            .axpy(-self.lr * self.scale, grad)
+            .expect("sgd shape mismatch");
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr * self.scale
+    }
+
+    fn set_lr_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0, "lr scale must be positive");
+        self.scale = scale;
+    }
+}
+
+/// Adam hyperparameters; defaults match the paper's TensorFlow settings.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Step size (TensorFlow default 1e-3).
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Denominator fuzz.
+    pub eps: f64,
+    /// Decoupled weight decay (AdamW; Section V of the paper lists weight
+    /// decay among the additional training hyperparameters). `0.0`
+    /// reproduces plain Adam.
+    pub weight_decay: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// The Adam optimizer with per-slot moment estimates and bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    cfg: AdamConfig,
+    /// Step counter for bias correction (1-based after `begin_step`).
+    t: u64,
+    /// Per-slot `(m, v)` moment tensors, lazily shaped on first use.
+    state: Vec<Option<(Matrix, Matrix)>>,
+    /// Multiplier on the configured rate (decay schedules).
+    lr_scale: f64,
+}
+
+impl Adam {
+    /// Adam with explicit configuration.
+    pub fn new(cfg: AdamConfig) -> Self {
+        assert!(cfg.lr > 0.0 && cfg.eps > 0.0, "invalid Adam config");
+        assert!(cfg.weight_decay >= 0.0, "negative weight decay");
+        assert!((0.0..1.0).contains(&cfg.beta1) && (0.0..1.0).contains(&cfg.beta2));
+        Adam {
+            cfg,
+            t: 0,
+            state: Vec::new(),
+            lr_scale: 1.0,
+        }
+    }
+
+    /// Adam with default betas and the given learning rate.
+    pub fn with_lr(lr: f64) -> Self {
+        Adam::new(AdamConfig {
+            lr,
+            ..AdamConfig::default()
+        })
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix) {
+        assert!(self.t > 0, "begin_step must be called before update");
+        if slot >= self.state.len() {
+            self.state.resize(slot + 1, None);
+        }
+        let (rows, cols) = param.shape();
+        let (m, v) = self.state[slot]
+            .get_or_insert_with(|| (Matrix::zeros(rows, cols), Matrix::zeros(rows, cols)));
+        assert_eq!(m.shape(), param.shape(), "slot reused with new shape");
+
+        let b1 = self.cfg.beta1;
+        let b2 = self.cfg.beta2;
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.cfg.lr * self.lr_scale;
+        let eps = self.cfg.eps;
+
+        let p = param.as_mut_slice();
+        let g = grad.as_slice();
+        let ms = m.as_mut_slice();
+        let vs = v.as_mut_slice();
+        let wd = self.cfg.weight_decay;
+        for i in 0..p.len() {
+            ms[i] = b1 * ms[i] + (1.0 - b1) * g[i];
+            vs[i] = b2 * vs[i] + (1.0 - b2) * g[i] * g[i];
+            let mhat = ms[i] / bias1;
+            let vhat = vs[i] / bias2;
+            // Decoupled decay (AdamW): applied to the parameter directly,
+            // not folded into the gradient moments.
+            p[i] -= lr * (mhat / (vhat.sqrt() + eps) + wd * p[i]);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.cfg.lr * self.lr_scale
+    }
+
+    fn set_lr_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0, "lr scale must be positive");
+        self.lr_scale = scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(x) = (x - 3)^2 with each optimizer must converge.
+    fn minimize(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut x = Matrix::filled(1, 1, 0.0);
+        for _ in 0..steps {
+            let g = Matrix::filled(1, 1, 2.0 * (x[(0, 0)] - 3.0));
+            opt.begin_step();
+            opt.update(0, &mut x, &g);
+        }
+        x[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = minimize(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::with_lr(0.05);
+        let x = minimize(&mut opt, 2000);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step has magnitude ~lr
+        // regardless of gradient scale.
+        let mut opt = Adam::with_lr(0.01);
+        let mut x = Matrix::filled(1, 1, 0.0);
+        let g = Matrix::filled(1, 1, 1234.5);
+        opt.begin_step();
+        opt.update(0, &mut x, &g);
+        assert!((x[(0, 0)].abs() - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_tracks_slots_independently() {
+        let mut opt = Adam::with_lr(0.1);
+        let mut a = Matrix::filled(1, 1, 0.0);
+        let mut b = Matrix::filled(2, 1, 0.0);
+        opt.begin_step();
+        opt.update(0, &mut a, &Matrix::filled(1, 1, 1.0));
+        opt.update(1, &mut b, &Matrix::filled(2, 1, -1.0));
+        assert!(a[(0, 0)] < 0.0);
+        assert!(b[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters_with_zero_gradient() {
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.1,
+            weight_decay: 0.5,
+            ..AdamConfig::default()
+        });
+        let mut x = Matrix::filled(1, 1, 10.0);
+        let g = Matrix::zeros(1, 1);
+        opt.begin_step();
+        opt.update(0, &mut x, &g);
+        // p -= lr * wd * p = 10 - 0.1*0.5*10 = 9.5
+        assert!((x[(0, 0)] - 9.5).abs() < 1e-12, "{}", x[(0, 0)]);
+        // Plain Adam with zero gradient leaves parameters untouched.
+        let mut plain = Adam::with_lr(0.1);
+        let mut y = Matrix::filled(1, 1, 10.0);
+        plain.begin_step();
+        plain.update(0, &mut y, &g);
+        assert_eq!(y[(0, 0)], 10.0);
+    }
+
+    #[test]
+    fn weight_decay_still_converges_near_quadratic_minimum() {
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.05,
+            weight_decay: 1e-3,
+            ..AdamConfig::default()
+        });
+        let x = minimize(&mut opt, 2000);
+        // Decay biases slightly towards zero but must stay close to 3.
+        assert!((x - 3.0).abs() < 0.1, "x = {x}");
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step")]
+    fn adam_requires_begin_step() {
+        let mut opt = Adam::with_lr(0.1);
+        let mut x = Matrix::zeros(1, 1);
+        opt.update(0, &mut x, &Matrix::zeros(1, 1));
+    }
+}

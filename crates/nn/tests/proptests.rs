@@ -1,0 +1,171 @@
+//! Property-based tests for the neural-network substrate: gradient
+//! correctness on random architectures, training monotonicity, and
+//! structural invariants.
+
+use ld_nn::forecaster::{ForecasterConfig, LstmForecaster};
+use ld_nn::mlp::{MlpConfig, MlpForecaster};
+use ld_nn::{make_windows, Adam, Sample, TrainOptions, Trainer};
+use proptest::prelude::*;
+
+fn small_window() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0..1.0f64, 3..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Analytic gradients match finite differences for random tiny LSTMs,
+    /// random windows and random targets — the backprop-through-time
+    /// implementation must be exact everywhere, not just at one test point.
+    #[test]
+    fn lstm_gradcheck_random_configs(
+        window in small_window(),
+        target in -1.0..1.0f64,
+        hidden in 1usize..4,
+        layers in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let model = LstmForecaster::new(ForecasterConfig {
+            history_len: window.len(),
+            hidden_size: hidden,
+            num_layers: layers,
+            seed,
+        });
+        let (_, grads) = model.sample_grads(&window, target);
+
+        let mut analytic = Vec::new();
+        let mut m = model.clone();
+        m.visit_params(&grads, &mut |_p, g| analytic.extend_from_slice(g.as_slice()));
+
+        let zero = model.zero_grads();
+        let eps = 1e-5;
+        // Spot-check a deterministic subset of parameters (full sweep per
+        // case would dominate the suite).
+        let n = model.param_count();
+        let step = (n / 12).max(1);
+        for slot in (0..n).step_by(step) {
+            let perturb = |dir: f64| {
+                let mut p = model.clone();
+                let mut seen = 0usize;
+                p.visit_params(&zero, &mut |t, _| {
+                    let len = t.as_slice().len();
+                    if slot >= seen && slot < seen + len {
+                        t.as_mut_slice()[slot - seen] += dir * eps;
+                    }
+                    seen += len;
+                });
+                let pred = p.predict(&window);
+                (pred - target) * (pred - target)
+            };
+            let fd = (perturb(1.0) - perturb(-1.0)) / (2.0 * eps);
+            prop_assert!(
+                (fd - analytic[slot]).abs() < 1e-5,
+                "slot {slot}: fd {fd} vs analytic {}", analytic[slot]
+            );
+        }
+    }
+
+    /// Predictions are invariant under cloning and deterministic.
+    #[test]
+    fn lstm_prediction_deterministic(window in small_window(), seed in 0u64..1000) {
+        let model = LstmForecaster::new(ForecasterConfig {
+            history_len: window.len(),
+            hidden_size: 3,
+            num_layers: 1,
+            seed,
+        });
+        prop_assert_eq!(model.predict(&window), model.clone().predict(&window));
+    }
+
+    /// One optimizer step on a single sample reduces that sample's loss
+    /// (small-step descent property).
+    #[test]
+    fn single_sample_step_descends(
+        window in small_window(),
+        target in -0.8..0.8f64,
+        seed in 0u64..500,
+    ) {
+        let mut model = LstmForecaster::new(ForecasterConfig {
+            history_len: window.len(),
+            hidden_size: 3,
+            num_layers: 1,
+            seed,
+        });
+        let (loss_before, grads) = model.sample_grads(&window, target);
+        prop_assume!(loss_before > 1e-10);
+        let trainer_step = |m: &mut LstmForecaster| {
+            use ld_nn::trainer::Trainable;
+            let mut opt = ld_nn::Sgd::new(1e-3);
+            m.apply(&grads, &mut opt);
+        };
+        trainer_step(&mut model);
+        let (loss_after, _) = model.sample_grads(&window, target);
+        prop_assert!(
+            loss_after <= loss_before + 1e-12,
+            "{loss_before} -> {loss_after}"
+        );
+    }
+
+    /// The MLP's gradcheck, same style.
+    #[test]
+    fn mlp_gradcheck_random_configs(
+        window in small_window(),
+        target in -1.0..1.0f64,
+        hidden in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let model = MlpForecaster::new(MlpConfig {
+            history_len: window.len(),
+            hidden_size: hidden,
+            seed,
+        });
+        let (_, grads) = model.sample_grads(&window, target);
+        let mut analytic = Vec::new();
+        let mut m = model.clone();
+        m.visit_params(&grads, &mut |_p, g| analytic.extend_from_slice(g.as_slice()));
+        let zero = model.zero_grads();
+        let eps = 1e-6;
+        for slot in (0..model.param_count()).step_by(3) {
+            let perturb = |dir: f64| {
+                let mut p = model.clone();
+                let mut seen = 0usize;
+                p.visit_params(&zero, &mut |t, _| {
+                    let len = t.as_slice().len();
+                    if slot >= seen && slot < seen + len {
+                        t.as_mut_slice()[slot - seen] += dir * eps;
+                    }
+                    seen += len;
+                });
+                let pred = p.predict(&window);
+                (pred - target) * (pred - target)
+            };
+            let fd = (perturb(1.0) - perturb(-1.0)) / (2.0 * eps);
+            prop_assert!((fd - analytic[slot]).abs() < 1e-5);
+        }
+    }
+
+    /// Training on any bounded series never produces non-finite weights or
+    /// predictions (gradient clipping at work).
+    #[test]
+    fn training_stays_finite(values in proptest::collection::vec(0.0..1.0f64, 30..80)) {
+        let n = 4;
+        let samples: Vec<Sample> = make_windows(&values, n);
+        prop_assume!(samples.len() >= 8);
+        let mut model = LstmForecaster::new(ForecasterConfig {
+            history_len: n,
+            hidden_size: 4,
+            num_layers: 1,
+            seed: 0,
+        });
+        let trainer = Trainer::new(TrainOptions {
+            batch_size: 8,
+            max_epochs: 3,
+            patience: 0,
+            ..TrainOptions::default()
+        });
+        let mut opt = Adam::with_lr(1e-2);
+        trainer.fit(&mut model, &mut opt, &samples, &[]);
+        let pred = model.predict(&samples[0].window);
+        prop_assert!(pred.is_finite());
+    }
+}

@@ -1,0 +1,157 @@
+//! Google data-center job workload (2011 cluster trace).
+//!
+//! Fig. 1a of the paper shows ~750–850k jobs per 30-minute interval over
+//! 29 days with no clear periodicity, persistent noise, and tall spikes
+//! concentrated in the first half of the trace. Volume is large, so the
+//! prediction difficulty comes from the autocorrelated intensity noise and
+//! the spikes, not Poisson burstiness.
+
+use ld_api::Series;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generators::INTERVALS_PER_DAY;
+use crate::rng::{normal_with, poisson};
+
+/// Parameters of the Google generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GoogleParams {
+    /// Trace length in days (the real trace covers 29).
+    pub days: usize,
+    /// Mean jobs per 5-minute interval (~135k -> ~810k per 30 min).
+    pub base_rate: f64,
+    /// AR(1) coefficient of the multiplicative intensity noise.
+    pub noise_phi: f64,
+    /// Innovation std of the intensity noise.
+    pub noise_std: f64,
+    /// Per-interval probability of starting a spike in the first half.
+    pub spike_prob_first_half: f64,
+    /// Same for the second half (the paper's trace calms down).
+    pub spike_prob_second_half: f64,
+    /// Spike magnitude range (multiplier on the base intensity).
+    pub spike_magnitude: (f64, f64),
+    /// Spike duration range in intervals.
+    pub spike_duration: (usize, usize),
+}
+
+impl Default for GoogleParams {
+    fn default() -> Self {
+        GoogleParams {
+            days: 29,
+            base_rate: 135_000.0,
+            noise_phi: 0.75,
+            noise_std: 0.075,
+            spike_prob_first_half: 0.012,
+            spike_prob_second_half: 0.002,
+            spike_magnitude: (1.5, 3.5),
+            spike_duration: (2, 10),
+        }
+    }
+}
+
+/// Generates the Google trace at 5-minute resolution.
+pub fn generate(seed: u64) -> Series {
+    generate_with(GoogleParams::default(), seed)
+}
+
+/// Generates with explicit parameters.
+pub fn generate_with(p: GoogleParams, seed: u64) -> Series {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x600613_u64);
+    let n = p.days * INTERVALS_PER_DAY;
+    let mut values = Vec::with_capacity(n);
+    let mut noise = 0.0f64;
+    // Slow level wander, mean-reverting around the base rate.
+    let mut level_drift = 0.0f64;
+    let mut spike_left = 0usize;
+    let mut spike_mult = 1.0f64;
+    for t in 0..n {
+        noise = p.noise_phi * noise + normal_with(&mut rng, 0.0, p.noise_std);
+        level_drift = 0.999 * level_drift + normal_with(&mut rng, 0.0, 0.0015);
+        let spike_prob = if t < n / 2 {
+            p.spike_prob_first_half
+        } else {
+            p.spike_prob_second_half
+        };
+        if spike_left == 0 && rng.gen::<f64>() < spike_prob {
+            spike_left = rng.gen_range(p.spike_duration.0..=p.spike_duration.1);
+            spike_mult = rng.gen_range(p.spike_magnitude.0..=p.spike_magnitude.1);
+        }
+        let spike = if spike_left > 0 {
+            spike_left -= 1;
+            spike_mult
+        } else {
+            1.0
+        };
+        let lambda = p.base_rate * (1.0 + noise).max(0.05) * (1.0 + level_drift) * spike;
+        values.push(poisson(&mut rng, lambda) as f64);
+    }
+    Series::new("google", 5, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_matches_paper_scale() {
+        let s = generate(0).aggregate(6);
+        let mean = s.mean();
+        assert!(
+            (600_000.0..1_200_000.0).contains(&mean),
+            "mean 30-min volume {mean}"
+        );
+    }
+
+    #[test]
+    fn no_daily_seasonality() {
+        let s = generate(1);
+        let day = s.autocorrelation(INTERVALS_PER_DAY);
+        assert!(day.abs() < 0.35, "unexpected daily autocorrelation {day}");
+        // But short-range dependency exists (AR noise): lag-1 is clearly
+        // positive, satisfying the Eq. (1) assumption.
+        assert!(s.autocorrelation(1) > 0.3);
+    }
+
+    #[test]
+    fn spikes_concentrated_in_first_half() {
+        let s = generate(2);
+        let half = s.len() / 2;
+        let thresh = s.mean() * 1.8;
+        let first = s.values[..half].iter().filter(|&&v| v > thresh).count();
+        let second = s.values[half..].iter().filter(|&&v| v > thresh).count();
+        assert!(
+            first > second * 2,
+            "first-half spikes {first} vs second-half {second}"
+        );
+        assert!(first > 0, "no spikes generated at all");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(9).values, generate(9).values);
+        assert_ne!(generate(9).values, generate(10).values);
+    }
+
+    #[test]
+    fn noisier_than_wikipedia() {
+        let g = generate(3);
+        let w = super::super::wikipedia::generate(3);
+        assert!(g.coeff_of_variation() > w.coeff_of_variation() * 0.8);
+        // Google relative interval-to-interval movement is larger.
+        let step = |s: &Series| {
+            let mut r = Vec::new();
+            for w in s.values.windows(2) {
+                if w[0] > 0.0 {
+                    r.push(((w[1] - w[0]) / w[0]).abs());
+                }
+            }
+            r.iter().sum::<f64>() / r.len() as f64
+        };
+        assert!(step(&g) > step(&w));
+    }
+
+    #[test]
+    fn expected_length() {
+        assert_eq!(generate(0).len(), 29 * INTERVALS_PER_DAY);
+    }
+}

@@ -1,0 +1,121 @@
+//! LCG high-performance-computing grid workload (Grid Workloads Archive).
+//!
+//! Fig. 8b of the paper shows bursty HPC job arrivals: jobs land in
+//! batches (a user submits a campaign), interleaved with lulls, with weak
+//! day-scale structure. The generator drives a moderate Poisson intensity
+//! with an AR(1) log-level plus heavy-tailed batch submissions.
+
+use ld_api::Series;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generators::{diurnal, INTERVALS_PER_DAY};
+use crate::rng::{lognormal, normal_with, poisson};
+
+/// Parameters of the LCG generator.
+#[derive(Debug, Clone, Copy)]
+pub struct LcgParams {
+    /// Trace length in days (the archive's LCG trace covers ~11).
+    pub days: usize,
+    /// Baseline jobs per 5-minute interval.
+    pub base_rate: f64,
+    /// AR(1) coefficient of the log-intensity.
+    pub log_phi: f64,
+    /// Innovation std of the log-intensity.
+    pub log_std: f64,
+    /// Per-interval probability of a submission campaign.
+    pub campaign_prob: f64,
+    /// Log-normal (mu, sigma) of campaign sizes, in jobs per interval.
+    pub campaign_lognormal: (f64, f64),
+    /// Campaign duration range in intervals.
+    pub campaign_duration: (usize, usize),
+    /// Relative diurnal amplitude (weak; grids run around the clock).
+    pub diurnal_amplitude: f64,
+}
+
+impl Default for LcgParams {
+    fn default() -> Self {
+        LcgParams {
+            days: 11,
+            base_rate: 14.0,
+            log_phi: 0.85,
+            log_std: 0.24,
+            campaign_prob: 0.02,
+            campaign_lognormal: (2.8, 0.7),
+            campaign_duration: (3, 18),
+            diurnal_amplitude: 0.15,
+        }
+    }
+}
+
+/// Generates the LCG trace at 5-minute resolution.
+pub fn generate(seed: u64) -> Series {
+    generate_with(LcgParams::default(), seed)
+}
+
+/// Generates with explicit parameters.
+pub fn generate_with(p: LcgParams, seed: u64) -> Series {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1C6_u64);
+    let n = p.days * INTERVALS_PER_DAY;
+    let mut values = Vec::with_capacity(n);
+    let mut log_level = 0.0f64;
+    let mut campaign_left = 0usize;
+    let mut campaign_rate = 0.0f64;
+    for t in 0..n {
+        log_level = p.log_phi * log_level + normal_with(&mut rng, 0.0, p.log_std);
+        if campaign_left == 0 && rng.gen::<f64>() < p.campaign_prob {
+            campaign_left = rng.gen_range(p.campaign_duration.0..=p.campaign_duration.1);
+            campaign_rate = lognormal(&mut rng, p.campaign_lognormal.0, p.campaign_lognormal.1);
+        }
+        let campaign = if campaign_left > 0 {
+            campaign_left -= 1;
+            campaign_rate
+        } else {
+            0.0
+        };
+        let seasonal = 1.0 + p.diurnal_amplitude * diurnal(t);
+        let lambda = p.base_rate * seasonal * log_level.exp() + campaign;
+        values.push(poisson(&mut rng, lambda) as f64);
+    }
+    Series::new("lcg", 5, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moderate_volume() {
+        let s = generate(0);
+        let mean = s.mean();
+        assert!((8.0..50.0).contains(&mean), "mean 5-min JAR {mean}");
+    }
+
+    #[test]
+    fn bursty_with_heavy_tail() {
+        let s = generate(1);
+        assert!(s.coeff_of_variation() > 0.6, "CV {}", s.coeff_of_variation());
+        assert!(s.max() > s.mean() * 4.0, "max {} mean {}", s.max(), s.mean());
+    }
+
+    #[test]
+    fn persistent_short_range_dependency() {
+        // The AR(1) log-level gives strong lag-1 correlation — the Eq. (1)
+        // assumption that past JARs inform the next one.
+        let s = generate(2);
+        assert!(s.autocorrelation(1) > 0.5);
+        // ...but weak day-scale structure.
+        assert!(s.autocorrelation(INTERVALS_PER_DAY).abs() < 0.4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(3).values, generate(3).values);
+        assert_ne!(generate(3).values, generate(4).values);
+    }
+
+    #[test]
+    fn expected_length() {
+        assert_eq!(generate(0).len(), 11 * INTERVALS_PER_DAY);
+    }
+}

@@ -1,0 +1,73 @@
+//! The five trace-family generators.
+//!
+//! Every generator emits a base series at 5-minute resolution (the finest
+//! interval in Table I); coarser configurations aggregate it. All generators
+//! share the same construction: a deterministic-plus-stochastic *intensity*
+//! process `lambda(t)` capturing the family's published pattern, sampled
+//! through a Poisson process so that low-JAR configurations inherit the
+//! irreducible `1/sqrt(JAR)` burstiness the paper highlights.
+//!
+//! | Family | Published shape reproduced here |
+//! |---|---|
+//! | [`wikipedia`] | strong diurnal seasonality, weekly modulation, ~5M req / 30 min |
+//! | [`google`] | high-volume non-periodic noise, spikes concentrated in the first half, ~800k jobs / 30 min |
+//! | [`facebook`] | single-day trace, small JARs, heavy bursts |
+//! | [`azure`] | small JARs, multi-day regime shifts, mild diurnal component |
+//! | [`lcg`] | bursty HPC arrivals with heavy-tailed batch submissions and lulls |
+
+pub mod azure;
+pub mod facebook;
+pub mod google;
+pub mod lcg;
+pub mod wikipedia;
+
+/// Number of 5-minute intervals per day.
+pub const INTERVALS_PER_DAY: usize = 288;
+
+/// Smoothly varying diurnal factor in `[-1, 1]` peaking mid-afternoon.
+///
+/// `t` is the interval index at 5-minute resolution.
+pub(crate) fn diurnal(t: usize) -> f64 {
+    let day_frac = (t % INTERVALS_PER_DAY) as f64 / INTERVALS_PER_DAY as f64;
+    // Peak around 15:00, trough around 03:00.
+    (2.0 * std::f64::consts::PI * (day_frac - 0.375)).sin()
+}
+
+/// Day-of-week factor: weekdays 1.0, Saturday/Sunday reduced.
+pub(crate) fn weekly(t: usize, weekend_factor: f64) -> f64 {
+    let day = (t / INTERVALS_PER_DAY) % 7;
+    if day >= 5 {
+        weekend_factor
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_is_periodic_and_bounded() {
+        for t in 0..600 {
+            let v = diurnal(t);
+            assert!((-1.0..=1.0).contains(&v));
+            assert!((v - diurnal(t + INTERVALS_PER_DAY)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diurnal_peaks_afternoon_troughs_night() {
+        // 15:00 = interval 180, 03:00 = interval 36.
+        assert!(diurnal(180) > 0.99);
+        assert!(diurnal(36) < -0.99);
+    }
+
+    #[test]
+    fn weekly_distinguishes_weekends() {
+        assert_eq!(weekly(0, 0.8), 1.0); // day 0
+        assert_eq!(weekly(5 * INTERVALS_PER_DAY, 0.8), 0.8); // day 5
+        assert_eq!(weekly(6 * INTERVALS_PER_DAY, 0.8), 0.8); // day 6
+        assert_eq!(weekly(7 * INTERVALS_PER_DAY, 0.8), 1.0); // wraps
+    }
+}

@@ -1,0 +1,136 @@
+//! Wikipedia web-request workload (Wikibench).
+//!
+//! Fig. 1b of the paper shows ~5 million user requests per 30-minute
+//! interval with a pronounced daily cycle and a weekly envelope — the
+//! canonical "strong seasonality" workload that pattern-based predictors
+//! (CloudScale's FFT) handle well. Request volume is so large that Poisson
+//! noise is negligible; residual difficulty comes from slow level drift.
+
+use ld_api::Series;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::generators::{diurnal, weekly, INTERVALS_PER_DAY};
+use crate::rng::{normal_with, poisson};
+
+/// Parameters of the Wikipedia generator.
+#[derive(Debug, Clone, Copy)]
+pub struct WikipediaParams {
+    /// Trace length in days.
+    pub days: usize,
+    /// Mean requests per 5-minute interval (paper scale: ~0.9M).
+    pub base_rate: f64,
+    /// Relative amplitude of the daily cycle.
+    pub diurnal_amplitude: f64,
+    /// Weekend traffic factor.
+    pub weekend_factor: f64,
+    /// Std of the slow multiplicative level drift per interval.
+    pub drift_std: f64,
+    /// Std of fast multiplicative intensity noise.
+    pub noise_std: f64,
+}
+
+impl Default for WikipediaParams {
+    fn default() -> Self {
+        WikipediaParams {
+            days: 28,
+            base_rate: 900_000.0,
+            diurnal_amplitude: 0.45,
+            weekend_factor: 0.88,
+            drift_std: 0.002,
+            noise_std: 0.012,
+        }
+    }
+}
+
+/// Generates the Wikipedia trace at 5-minute resolution.
+pub fn generate(seed: u64) -> Series {
+    generate_with(WikipediaParams::default(), seed)
+}
+
+/// Generates with explicit parameters.
+pub fn generate_with(p: WikipediaParams, seed: u64) -> Series {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5716_u64);
+    let n = p.days * INTERVALS_PER_DAY;
+    let mut values = Vec::with_capacity(n);
+    // Slow mean-reverting level drift (stays within a few percent).
+    let mut drift = 0.0f64;
+    for t in 0..n {
+        drift = 0.995 * drift + normal_with(&mut rng, 0.0, p.drift_std);
+        let seasonal = 1.0 + p.diurnal_amplitude * diurnal(t);
+        let level = p.base_rate * seasonal * weekly(t, p.weekend_factor) * (1.0 + drift);
+        let noisy = level * (1.0 + normal_with(&mut rng, 0.0, p.noise_std));
+        values.push(poisson(&mut rng, noisy.max(0.0)) as f64);
+    }
+    Series::new("wiki", 5, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_matches_paper_scale() {
+        let s = generate(0);
+        // 30-minute aggregate should sit around 5.4M requests (Fig 1b).
+        let agg = s.aggregate(6);
+        let mean = agg.mean();
+        assert!(
+            (4_000_000.0..7_000_000.0).contains(&mean),
+            "mean 30-min volume {mean}"
+        );
+    }
+
+    #[test]
+    fn has_strong_daily_seasonality() {
+        let s = generate(1);
+        // Autocorrelation at lag = 1 day should dominate a half-day lag.
+        let day = s.autocorrelation(INTERVALS_PER_DAY);
+        let half = s.autocorrelation(INTERVALS_PER_DAY / 2);
+        assert!(day > 0.8, "daily autocorrelation {day}");
+        assert!(day > half, "day {day} vs half-day {half}");
+    }
+
+    #[test]
+    fn weekends_are_quieter() {
+        let s = generate(2);
+        let mut weekday = Vec::new();
+        let mut weekend = Vec::new();
+        for (t, &v) in s.values.iter().enumerate() {
+            if (t / INTERVALS_PER_DAY) % 7 >= 5 {
+                weekend.push(v);
+            } else {
+                weekday.push(v);
+            }
+        }
+        let wk = weekday.iter().sum::<f64>() / weekday.len() as f64;
+        let we = weekend.iter().sum::<f64>() / weekend.len() as f64;
+        assert!(we < wk, "weekend {we} weekday {wk}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(7).values, generate(7).values);
+        assert_ne!(generate(7).values, generate(8).values);
+    }
+
+    #[test]
+    fn low_relative_noise() {
+        // The irreducible noise of this workload is small: consecutive
+        // intervals differ by a few percent, not tens of percent.
+        let s = generate(3);
+        let mut rel = Vec::new();
+        for w in s.values.windows(2) {
+            if w[0] > 0.0 {
+                rel.push(((w[1] - w[0]) / w[0]).abs());
+            }
+        }
+        let mean_rel = rel.iter().sum::<f64>() / rel.len() as f64;
+        assert!(mean_rel < 0.08, "mean relative step {mean_rel}");
+    }
+
+    #[test]
+    fn expected_length() {
+        assert_eq!(generate(0).len(), 28 * INTERVALS_PER_DAY);
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic workload traces calibrated to the five traces of the paper's
+//! Table I.
+//!
+//! The paper evaluates on real traces (Google cluster 2011, Facebook Hadoop,
+//! Wikipedia/Wikibench, Azure public dataset, LCG from the Grid Workloads
+//! Archive) that cannot be redistributed here. Each generator in
+//! [`generators`] reproduces the *published shape* of its trace — the
+//! pattern family (seasonal / bursty / regime-shifting / spiky), the
+//! magnitude of per-interval JARs, and the trace duration — because those
+//! are what the paper's claims quantify over. Arrivals are drawn from a
+//! Poisson process around a per-family intensity function, so the
+//! irreducible prediction error scales like `1/sqrt(JAR)` exactly as the
+//! paper observes ("smaller JARs are more susceptible to the random
+//! burstiness").
+//!
+//! [`config`] enumerates the paper's 14 workload configurations
+//! (trace x interval length) and materializes any of them as a
+//! [`ld_api::Series`].
+
+pub mod config;
+pub mod generators;
+pub mod rng;
+pub mod stats;
+
+pub use config::{all_configurations, TraceConfig, WorkloadKind};
+pub use stats::{PatternClass, TraceProfile};

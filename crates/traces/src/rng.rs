@@ -1,0 +1,114 @@
+//! Distribution samplers for the trace generators.
+//!
+//! Only `rand`'s uniform source is taken as a dependency; Poisson,
+//! Gaussian and log-normal variates are derived here so the generators stay
+//! self-contained and deterministic across `rand` minor versions.
+
+use rand::Rng;
+
+/// Standard normal variate via the Box–Muller transform.
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    // Guard u1 away from 0 to keep ln finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal variate with the given mean and standard deviation.
+pub fn normal_with(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    mean + std * normal(rng)
+}
+
+/// Log-normal variate with the given parameters of the underlying normal.
+pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+/// Poisson variate with intensity `lambda >= 0`.
+///
+/// Uses Knuth's product method below `lambda = 30` and a
+/// continuity-corrected normal approximation above (error is irrelevant at
+/// those counts; the approximation keeps large-intensity traces cheap).
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "bad lambda {lambda}");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Defensive bound: P(k > lambda + 30 sqrt(lambda) + 100) ~ 0.
+            if k > (lambda as u64) + 200 {
+                return k;
+            }
+        }
+    }
+    let v = normal_with(rng, lambda, lambda.sqrt()) + 0.5;
+    if v < 0.0 {
+        0
+    } else {
+        v as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20000).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lambda = 4.0;
+        let xs: Vec<f64> = (0..20000).map(|_| poisson(&mut rng, lambda) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+        assert!((var - lambda).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_sane_approximation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lambda = 10_000.0;
+        let xs: Vec<f64> = (0..5000).map(|_| poisson(&mut rng, lambda) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - lambda).abs() < 10.0, "mean {mean}");
+        // Relative spread ~ 1/sqrt(lambda) = 1%.
+        assert!(xs.iter().all(|&x| x > lambda * 0.9 && x < lambda * 1.1));
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_right_median() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut xs: Vec<f64> = (0..10001).map(|_| lognormal(&mut rng, 2.0, 0.5)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 2.0f64.exp()).abs() < 0.5, "median {median}");
+    }
+}

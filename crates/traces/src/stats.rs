@@ -1,0 +1,180 @@
+//! Workload characterization: the quantitative version of the paper's
+//! Section I taxonomy ("cyclic, bursty or increasing" patterns).
+//!
+//! [`TraceProfile`] summarizes a series with the indicators the paper's
+//! discussion leans on — burstiness (how far counts deviate from a Poisson
+//! process), seasonality (dominant cycle from the autocorrelation
+//! function), and trend — and [`TraceProfile::pattern`] maps them to the
+//! coarse pattern classes of Fig. 1.
+
+use ld_api::Series;
+
+/// Coarse workload-pattern classes from the paper's introduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternClass {
+    /// Strong periodic structure (Wikipedia).
+    Seasonal,
+    /// Dominated by bursts / heavy fluctuation (Facebook, LCG).
+    Bursty,
+    /// Sustained monotone growth or decline.
+    Trending,
+    /// None of the above dominates (Google's noisy plateau).
+    Irregular,
+}
+
+/// Summary statistics of one workload series.
+#[derive(Debug, Clone)]
+pub struct TraceProfile {
+    /// Mean JAR.
+    pub mean: f64,
+    /// Coefficient of variation.
+    pub cv: f64,
+    /// Index of dispersion (variance / mean); 1 for a Poisson process,
+    /// larger = burstier than random arrivals.
+    pub fano_factor: f64,
+    /// Peak-to-mean ratio.
+    pub peak_to_mean: f64,
+    /// Lag of the strongest autocorrelation peak (if any) and its value.
+    pub dominant_cycle: Option<(usize, f64)>,
+    /// Relative linear trend over the series: (end-fit − start-fit) / mean.
+    pub relative_trend: f64,
+}
+
+impl TraceProfile {
+    /// Profiles a series. `max_lag` bounds the seasonality scan (pass at
+    /// least one expected cycle length, e.g. a day of intervals).
+    pub fn of(series: &Series, max_lag: usize) -> TraceProfile {
+        let n = series.len();
+        assert!(n >= 8, "series too short to profile");
+        let mean = series.mean();
+        let cv = series.coeff_of_variation();
+        let var = (cv * mean).powi(2);
+        let fano_factor = if mean > 0.0 { var / mean } else { 0.0 };
+        let peak_to_mean = if mean > 0.0 { series.max() / mean } else { 0.0 };
+
+        // Seasonality: strongest autocorrelation at lag >= 3, scanning to
+        // max_lag, requiring a local peak (ac(l) > ac(l-1) and ac(l+1)).
+        let limit = max_lag.min(n / 2);
+        let mut dominant_cycle: Option<(usize, f64)> = None;
+        if limit >= 5 {
+            let acs: Vec<f64> = (0..=limit).map(|l| series.autocorrelation(l)).collect();
+            for lag in 3..limit {
+                let ac = acs[lag];
+                if ac > acs[lag - 1] && ac >= acs[lag + 1] {
+                    if dominant_cycle.is_none_or(|(_, best)| ac > best) {
+                        dominant_cycle = Some((lag, ac));
+                    }
+                }
+            }
+        }
+
+        // Trend: least-squares slope over normalized time, relative to the
+        // mean level.
+        let tm = (n - 1) as f64 / 2.0;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &v) in series.values.iter().enumerate() {
+            let dt = i as f64 - tm;
+            num += dt * (v - mean);
+            den += dt * dt;
+        }
+        let slope = if den > 0.0 { num / den } else { 0.0 };
+        let relative_trend = if mean > 0.0 {
+            slope * (n - 1) as f64 / mean
+        } else {
+            0.0
+        };
+
+        TraceProfile {
+            mean,
+            cv,
+            fano_factor,
+            peak_to_mean,
+            dominant_cycle,
+            relative_trend,
+        }
+    }
+
+    /// Maps the profile to a coarse pattern class.
+    pub fn pattern(&self) -> PatternClass {
+        if let Some((_, ac)) = self.dominant_cycle {
+            if ac > 0.5 {
+                return PatternClass::Seasonal;
+            }
+        }
+        if self.relative_trend.abs() > 0.5 {
+            return PatternClass::Trending;
+        }
+        if self.cv > 0.5 || self.peak_to_mean > 3.0 {
+            return PatternClass::Bursty;
+        }
+        PatternClass::Irregular
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::INTERVALS_PER_DAY;
+    use crate::WorkloadKind;
+
+    #[test]
+    fn wikipedia_classified_seasonal() {
+        let s = WorkloadKind::Wikipedia.generate_base(0).aggregate(6);
+        let profile = TraceProfile::of(&s, INTERVALS_PER_DAY / 6 * 2);
+        assert_eq!(profile.pattern(), PatternClass::Seasonal);
+        let (lag, ac) = profile.dominant_cycle.expect("cycle expected");
+        // Daily cycle at 30-minute intervals = 48.
+        assert!((40..=56).contains(&lag), "cycle lag {lag}");
+        assert!(ac > 0.7);
+    }
+
+    #[test]
+    fn facebook_classified_bursty() {
+        let s = WorkloadKind::Facebook.generate_base(0);
+        let profile = TraceProfile::of(&s, 64);
+        assert_eq!(profile.pattern(), PatternClass::Bursty);
+        // Arrival counts are far over-dispersed vs Poisson.
+        assert!(profile.fano_factor > 2.0, "fano {}", profile.fano_factor);
+    }
+
+    #[test]
+    fn google_not_seasonal() {
+        let s = WorkloadKind::Google.generate_base(0).aggregate(6);
+        let profile = TraceProfile::of(&s, INTERVALS_PER_DAY / 6 * 2);
+        // Whatever the class, it must not be Seasonal — that is the entire
+        // Fig. 1 contrast with Wikipedia.
+        assert_ne!(profile.pattern(), PatternClass::Seasonal);
+    }
+
+    #[test]
+    fn synthetic_ramp_classified_trending() {
+        let s = ld_api::Series::new("ramp", 30, (0..200).map(|i| 10.0 + i as f64).collect());
+        let profile = TraceProfile::of(&s, 50);
+        assert_eq!(profile.pattern(), PatternClass::Trending);
+        assert!(profile.relative_trend > 1.0);
+    }
+
+    #[test]
+    fn constant_series_is_irregular_with_zero_indices() {
+        let s = ld_api::Series::new("flat", 30, vec![50.0; 100]);
+        let profile = TraceProfile::of(&s, 30);
+        assert_eq!(profile.pattern(), PatternClass::Irregular);
+        assert_eq!(profile.cv, 0.0);
+        assert!(profile.relative_trend.abs() < 1e-9);
+        assert!((profile.peak_to_mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_like_series_has_fano_near_one() {
+        // Pure Poisson arrivals: Fano factor ~ 1.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let values: Vec<f64> = (0..2000)
+            .map(|_| crate::rng::poisson(&mut rng, 20.0) as f64)
+            .collect();
+        let s = ld_api::Series::new("poisson", 5, values);
+        let profile = TraceProfile::of(&s, 50);
+        assert!((profile.fano_factor - 1.0).abs() < 0.15, "fano {}", profile.fano_factor);
+    }
+}

@@ -1,0 +1,91 @@
+//! Compare LoadDynamics against the three state-of-the-art baselines on a
+//! workload of your choice — a miniature of the paper's Fig. 9 experiment.
+//!
+//! ```sh
+//! cargo run --release --example compare_predictors -- FB-10min
+//! cargo run --release --example compare_predictors -- GL-30min
+//! ```
+//!
+//! The argument is any of the paper's 14 workload configurations
+//! (`wiki|LCG|AZ|GL|FB`-`<interval>min`); default `FB-10min`.
+
+use ld_api::{walk_forward, Partition, Predictor, Series};
+use ld_baselines::{CloudInsight, CloudScale, WoodPredictor};
+use ld_traces::all_configurations;
+use loaddynamics::{FrameworkConfig, LoadDynamics};
+
+fn load(label: &str) -> Option<Series> {
+    all_configurations()
+        .into_iter()
+        .find(|c| c.label() == label)
+        .map(|c| c.build(0))
+}
+
+fn cap(series: Series, max_len: usize) -> Series {
+    if series.len() <= max_len {
+        return series;
+    }
+    Series::new(
+        series.name.clone(),
+        series.interval_mins,
+        series.values[series.len() - max_len..].to_vec(),
+    )
+}
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "FB-10min".into());
+    let Some(raw) = load(&label) else {
+        eprintln!("unknown configuration '{label}'. Available:");
+        for c in all_configurations() {
+            eprintln!("  {}", c.label());
+        }
+        std::process::exit(1);
+    };
+    // Keep the example snappy on fine-grained configurations.
+    let series = cap(raw, 800);
+    let partition = Partition::paper_default(series.len());
+    println!(
+        "workload {}: {} intervals of {} min (train {}, val {}, test {})",
+        series.name,
+        series.len(),
+        series.interval_mins,
+        partition.train_end,
+        partition.val_end - partition.train_end,
+        series.len() - partition.val_end,
+    );
+
+    // LoadDynamics.
+    println!("\noptimizing LoadDynamics...");
+    let outcome = LoadDynamics::new(FrameworkConfig::fast_preset(0)).optimize(&series);
+    println!(
+        "  selected {} (val MAPE {:.1}%)",
+        outcome.hyperparams, outcome.val_mape
+    );
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut ld: Box<dyn Predictor> = Box::new(outcome.predictor);
+    let r = walk_forward(ld.as_mut(), &series, partition.val_end);
+    rows.push(("LoadDynamics".into(), r.mape(), r.rmse()));
+
+    // Baselines.
+    let baselines: Vec<Box<dyn Predictor>> = vec![
+        Box::new(CloudInsight::new(0)),
+        Box::new(CloudScale::default()),
+        Box::new(WoodPredictor::default()),
+    ];
+    for mut b in baselines {
+        println!("running {}...", b.name());
+        let r = walk_forward(b.as_mut(), &series, partition.val_end);
+        rows.push((b.name(), r.mape(), r.rmse()));
+    }
+
+    println!("\n{:<14} {:>8} {:>12}", "predictor", "MAPE %", "RMSE");
+    println!("{}", "-".repeat(36));
+    for (name, mape, rmse) in &rows {
+        println!("{name:<14} {mape:>8.1} {rmse:>12.1}");
+    }
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!("\nlowest error: {} ({:.1}%)", best.0, best.1);
+}

@@ -1,0 +1,75 @@
+//! Online adaptive modeling — the paper's Section V future-work feature,
+//! implemented: detect that the workload has drifted to a new pattern and
+//! retrain the predictor automatically.
+//!
+//! ```sh
+//! cargo run --release --example online_adaptation
+//! ```
+//!
+//! The demo workload runs as a daily sine for a while, then abruptly
+//! becomes a steep ramp (think: a service goes viral). A frozen predictor
+//! keeps forecasting the old pattern; the adaptive one notices its errors
+//! drifting and rebuilds itself on recent history.
+
+use ld_api::Predictor;
+use loaddynamics::{AdaptiveConfig, AdaptiveLoadDynamics, FrameworkConfig, LoadDynamics};
+
+fn shifting_workload(len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            if i < len / 2 {
+                1000.0 + 300.0 * (i as f64 * 0.3).sin()
+            } else {
+                3000.0 + 15.0 * (i - len / 2) as f64
+            }
+        })
+        .collect()
+}
+
+fn mape(errors: &[(f64, f64)]) -> f64 {
+    100.0 * errors
+        .iter()
+        .map(|(p, a)| ((p - a) / a).abs())
+        .sum::<f64>()
+        / errors.len() as f64
+}
+
+fn main() {
+    let values = shifting_workload(400);
+    let fit_end = 160; // entirely inside the sine regime
+
+    // Frozen: optimized once, never retrained (the paper's base design).
+    println!("building the frozen predictor...");
+    let outcome = LoadDynamics::new(FrameworkConfig::fast_preset(0)).optimize(
+        &ld_api::Series::new("shifting", 30, values[..fit_end].to_vec()),
+    );
+    let mut frozen = outcome.predictor;
+
+    // Adaptive: same framework, plus drift detection and retraining.
+    println!("building the adaptive predictor...");
+    let mut adaptive = AdaptiveLoadDynamics::new(AdaptiveConfig::fast_preset(0));
+    adaptive.fit(&values[..fit_end]);
+
+    let mut frozen_late = Vec::new();
+    let mut adaptive_late = Vec::new();
+    for i in fit_end..values.len() {
+        let pf = frozen.predict(&values[..i]);
+        let pa = adaptive.predict(&values[..i]);
+        // Score only the post-shift tail, after the adaptive model has had
+        // a chance to notice and react.
+        if i > values.len() / 2 + 60 {
+            frozen_late.push((pf, values[i]));
+            adaptive_late.push((pa, values[i]));
+        }
+    }
+
+    println!("\nafter the pattern shift (last ~{} intervals):", frozen_late.len());
+    println!("  frozen   LoadDynamics MAPE: {:>6.1}%", mape(&frozen_late));
+    println!("  adaptive LoadDynamics MAPE: {:>6.1}%", mape(&adaptive_late));
+    println!("  retrains triggered by drift: {}", adaptive.retrain_count());
+    println!(
+        "\nThe adaptive variant detected the regime change (Page-Hinkley test\n\
+         on its own rolling errors) and re-ran the Bayesian-optimization\n\
+         workflow on recent history, recovering accuracy the frozen model lost."
+    );
+}

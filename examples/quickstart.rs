@@ -1,0 +1,54 @@
+//! Quickstart: tune a predictor for your own workload in a few lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The flow is the paper's Fig. 6: hand LoadDynamics a JAR series, let it
+//! self-optimize its LSTM hyperparameters, then predict the next intervals.
+
+use ld_api::{walk_forward, Partition, Predictor, Series};
+use loaddynamics::{FrameworkConfig, LoadDynamics};
+
+fn main() {
+    // 1. Your workload: jobs (or requests) per interval, oldest first.
+    //    Here: a synthetic diurnal web workload, 30-minute intervals.
+    let values: Vec<f64> = (0..600)
+        .map(|i| {
+            let day = 2.0 * std::f64::consts::PI * i as f64 / 48.0; // 48 x 30min = 1 day
+            1000.0 + 400.0 * day.sin() + 25.0 * ((i * 37) % 11) as f64
+        })
+        .collect();
+    let series = Series::new("my-service", 30, values);
+
+    // 2. Build the framework. `fast_preset` keeps this example snappy;
+    //    `FrameworkConfig::paper_preset(false, seed)` is the full Table III
+    //    configuration (100 BO iterations over n<=512, s<=100, 5 layers).
+    let framework = LoadDynamics::new(FrameworkConfig::fast_preset(42));
+
+    // 3. Self-optimize: trains LSTMs, tunes hyperparameters with Bayesian
+    //    optimization, returns the best predictor.
+    println!("optimizing (this trains a few LSTMs)...");
+    let outcome = framework.optimize(&series);
+    println!(
+        "selected hyperparameters: {}  (validation MAPE {:.2}%)",
+        outcome.hyperparams, outcome.val_mape
+    );
+    println!("trials evaluated: {}", outcome.trials.trials.len());
+
+    // 4. Evaluate on the held-out test partition (last 20%), walking
+    //    forward one interval at a time like a live deployment.
+    let partition = Partition::paper_default(series.len());
+    let mut predictor = outcome.predictor;
+    let result = walk_forward(&mut predictor, &series, partition.val_end);
+    println!(
+        "test partition: {} intervals, MAPE {:.2}%, RMSE {:.1} jobs",
+        result.preds.len(),
+        result.mape(),
+        result.rmse()
+    );
+
+    // 5. Predict the next interval from the full history.
+    let next = predictor.predict(&series.values);
+    println!("predicted JAR for the next interval: {next:.0} jobs");
+}

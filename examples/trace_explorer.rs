@@ -1,0 +1,65 @@
+//! Trace explorer: generate any of the paper's workload configurations,
+//! print its statistics and sparkline, and optionally export it as plain
+//! text for external tooling.
+//!
+//! ```sh
+//! cargo run --release --example trace_explorer -- wiki-30min
+//! cargo run --release --example trace_explorer -- AZ-60min /tmp/azure.txt
+//! ```
+
+use ld_traces::all_configurations;
+
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|v| BARS[((((v - lo) / span) * 7.0).round() as usize).min(7)])
+        .collect()
+}
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "GL-30min".into());
+    let out_path = std::env::args().nth(2);
+
+    let Some(config) = all_configurations().into_iter().find(|c| c.label() == label) else {
+        eprintln!("unknown configuration '{label}'. Available:");
+        for c in all_configurations() {
+            eprintln!("  {}", c.label());
+        }
+        std::process::exit(1);
+    };
+
+    let series = config.build(0);
+    println!(
+        "{} ({}, {}-minute intervals)",
+        series.name,
+        config.kind.category(),
+        series.interval_mins
+    );
+    println!("intervals: {}", series.len());
+    println!("mean JAR:  {:.1}", series.mean());
+    println!("min..max:  {:.0}..{:.0}", series.min(), series.max());
+    println!("CV:        {:.3}", series.coeff_of_variation());
+    for lag in [1usize, 2, 4, 8] {
+        println!("lag-{lag:<2} autocorrelation: {:+.3}", series.autocorrelation(lag));
+    }
+
+    // Downsample to 110 columns for the sparkline.
+    let n = series.len().min(110);
+    let block = (series.len() / n).max(1);
+    let ds: Vec<f64> = series
+        .values
+        .chunks(block)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    println!("\n{}", sparkline(&ds));
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, series.to_text()).expect("write trace file");
+        println!("\nwrote {} values to {path}", series.len());
+        println!("(reload with ld_api::Series::from_text)");
+    }
+}

@@ -1,0 +1,157 @@
+//! `ld-cli` — command-line front end for the LoadDynamics framework.
+//!
+//! ```text
+//! ld-cli generate <config> <out.txt>          generate a paper workload trace
+//! ld-cli optimize <trace.txt> [--fast]        tune a predictor, print hyperparameters
+//! ld-cli predict  <trace.txt> [horizon]       tune + forecast the next intervals
+//! ld-cli evaluate <trace.txt>                 walk-forward MAPE of LoadDynamics + baselines
+//! ld-cli list                                 list the 14 paper workload configurations
+//! ```
+//!
+//! Traces are plain text (`ld_api::Series::to_text` format): an optional
+//! `# name interval_mins=N` header, then one JAR per line.
+
+use ld_api::{predict_horizon, walk_forward, Partition, Predictor, Series};
+use ld_baselines::{CloudInsight, CloudScale, WoodPredictor};
+use ld_traces::all_configurations;
+use loaddynamics::{FrameworkConfig, LoadDynamics};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  ld-cli generate <config> <out.txt>\n  ld-cli optimize <trace.txt> [--fast]\n  \
+         ld-cli predict <trace.txt> [horizon]\n  ld-cli evaluate <trace.txt>\n  ld-cli list"
+    );
+    std::process::exit(2);
+}
+
+fn read_series(path: &str) -> Series {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Series::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn framework(series_len: usize, fast: bool) -> LoadDynamics {
+    // Scale effort to the series size unless --fast is given.
+    let config = if fast || series_len < 600 {
+        FrameworkConfig::fast_preset(0)
+    } else {
+        let mut c = FrameworkConfig::fast_preset(0);
+        c.space = loaddynamics::scaled_space(32, 16, 2, 64);
+        c.max_iters = 12;
+        c.budget = loaddynamics::TrainBudget {
+            max_epochs: 14,
+            patience: 4,
+            learning_rate: 8e-3,
+            max_train_windows: 550,
+            clip_norm: 5.0,
+        };
+        c
+    };
+    LoadDynamics::new(config)
+}
+
+fn cmd_generate(label: &str, out: &str) {
+    let Some(config) = all_configurations().into_iter().find(|c| c.label() == label) else {
+        eprintln!("unknown configuration '{label}' — see `ld-cli list`");
+        std::process::exit(1);
+    };
+    let series = config.build(0);
+    std::fs::write(out, series.to_text()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {} intervals of {} ({} min) to {out}",
+        series.len(),
+        series.name,
+        series.interval_mins
+    );
+}
+
+fn cmd_optimize(path: &str, fast: bool) {
+    let series = read_series(path);
+    println!(
+        "optimizing on {} ({} intervals, {} min each)...",
+        series.name,
+        series.len(),
+        series.interval_mins
+    );
+    let outcome = framework(series.len(), fast).optimize(&series);
+    println!("selected hyperparameters: {}", outcome.hyperparams);
+    println!("cross-validation MAPE:    {:.2}%", outcome.val_mape);
+    println!("trials evaluated:         {}", outcome.trials.trials.len());
+}
+
+fn cmd_predict(path: &str, horizon: usize) {
+    let series = read_series(path);
+    let outcome = framework(series.len(), false).optimize(&series);
+    eprintln!(
+        "tuned {} (val MAPE {:.1}%)",
+        outcome.hyperparams, outcome.val_mape
+    );
+    let mut predictor = outcome.predictor;
+    let preds = predict_horizon(&mut predictor, &series.values, horizon);
+    for (k, p) in preds.iter().enumerate() {
+        println!("t+{}: {:.1}", k + 1, p);
+    }
+}
+
+fn cmd_evaluate(path: &str) {
+    let series = read_series(path);
+    let partition = Partition::paper_default(series.len());
+    println!(
+        "walk-forward over the last {} intervals:",
+        series.len() - partition.val_end
+    );
+    let outcome = framework(series.len(), false).optimize(&series);
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    let mut ld: Box<dyn Predictor> = Box::new(outcome.predictor);
+    rows.push((
+        "LoadDynamics".into(),
+        walk_forward(ld.as_mut(), &series, partition.val_end).mape(),
+    ));
+    let baselines: Vec<Box<dyn Predictor>> = vec![
+        Box::new(CloudInsight::new(0)),
+        Box::new(CloudScale::default()),
+        Box::new(WoodPredictor::default()),
+    ];
+    for mut b in baselines {
+        let mape = walk_forward(b.as_mut(), &series, partition.val_end).mape();
+        rows.push((b.name(), mape));
+    }
+    for (name, mape) in rows {
+        println!("  {name:<14} MAPE {mape:>7.2}%");
+    }
+}
+
+fn cmd_list() {
+    for c in all_configurations() {
+        println!("{}", c.label());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") if args.len() == 3 => cmd_generate(&args[1], &args[2]),
+        Some("optimize") if args.len() >= 2 => {
+            cmd_optimize(&args[1], args.iter().any(|a| a == "--fast"))
+        }
+        Some("predict") if args.len() >= 2 => {
+            let horizon = args
+                .get(2)
+                .and_then(|h| h.parse().ok())
+                .unwrap_or(3usize)
+                .clamp(1, 1000);
+            cmd_predict(&args[1], horizon)
+        }
+        Some("evaluate") if args.len() == 2 => cmd_evaluate(&args[1]),
+        Some("list") => cmd_list(),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate: re-exports the LoadDynamics reproduction workspace.
+pub use ld_api as api;
+pub use ld_autoscale as autoscale;
+pub use ld_baselines as baselines;
+pub use ld_bayesopt as bayesopt;
+pub use ld_gp as gp;
+pub use ld_linalg as linalg;
+pub use ld_nn as nn;
+pub use ld_traces as traces;
+pub use loaddynamics as core;

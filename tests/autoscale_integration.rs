@@ -1,0 +1,165 @@
+//! Cross-crate integration: prediction accuracy must translate into
+//! auto-scaling outcomes (the causal chain behind Fig. 10).
+
+use ld_api::{Partition, Predictor, Series};
+use ld_autoscale::{simulate, SimConfig};
+use ld_traces::{TraceConfig, WorkloadKind};
+
+fn azure_hourly() -> Series {
+    let raw = TraceConfig {
+        kind: WorkloadKind::Azure,
+        interval_mins: 60,
+    }
+    .build(0);
+    raw.scaled(0.6)
+}
+
+/// Predicts the true next value perturbed by a fixed relative bias.
+struct Biased<'a> {
+    values: &'a [f64],
+    bias: f64,
+}
+
+impl Predictor for Biased<'_> {
+    fn name(&self) -> String {
+        format!("biased({:+.0}%)", self.bias * 100.0)
+    }
+    fn fit(&mut self, _h: &[f64]) {}
+    fn predict(&mut self, h: &[f64]) -> f64 {
+        self.values[h.len()] * (1.0 + self.bias)
+    }
+}
+
+#[test]
+fn under_biased_predictions_slow_jobs_down() {
+    let series = azure_hourly();
+    let partition = Partition::paper_default(series.len());
+    let config = SimConfig {
+        test_start: partition.val_end,
+        ..SimConfig::default()
+    };
+    let values = series.values.clone();
+    let exact = simulate(
+        &mut Biased {
+            values: &values,
+            bias: 0.0,
+        },
+        &series,
+        &config,
+    );
+    let under = simulate(
+        &mut Biased {
+            values: &values,
+            bias: -0.3,
+        },
+        &series,
+        &config,
+    );
+    assert!(under.under_provisioning_rate() > exact.under_provisioning_rate());
+    assert!(under.avg_turnaround_secs() > exact.avg_turnaround_secs());
+    // Under-biasing cannot increase over-provisioning.
+    assert!(under.over_provisioning_rate() <= exact.over_provisioning_rate() + 1e-9);
+}
+
+#[test]
+fn over_biased_predictions_waste_vms_but_stay_fast() {
+    let series = azure_hourly();
+    let partition = Partition::paper_default(series.len());
+    let config = SimConfig {
+        test_start: partition.val_end,
+        ..SimConfig::default()
+    };
+    let values = series.values.clone();
+    let exact = simulate(
+        &mut Biased {
+            values: &values,
+            bias: 0.0,
+        },
+        &series,
+        &config,
+    );
+    let over = simulate(
+        &mut Biased {
+            values: &values,
+            bias: 0.4,
+        },
+        &series,
+        &config,
+    );
+    assert!(over.over_provisioning_rate() > exact.over_provisioning_rate());
+    assert!(over.idle_vm_count() > exact.idle_vm_count());
+    // Jobs never wait when over-provisioned: turnaround matches exact.
+    assert!((over.avg_turnaround_secs() - exact.avg_turnaround_secs()).abs() < 1e-9);
+}
+
+#[test]
+fn accuracy_ordering_implies_provisioning_ordering() {
+    // Three predictors of increasing noise: provisioning outcomes must
+    // degrade monotonically — the core claim connecting Fig. 9 to Fig. 10.
+    let series = azure_hourly();
+    let partition = Partition::paper_default(series.len());
+    let config = SimConfig {
+        test_start: partition.val_end,
+        ..SimConfig::default()
+    };
+    let values = series.values.clone();
+
+    struct Noisy<'a> {
+        values: &'a [f64],
+        amplitude: f64,
+    }
+    impl Predictor for Noisy<'_> {
+        fn name(&self) -> String {
+            format!("noisy({})", self.amplitude)
+        }
+        fn fit(&mut self, _h: &[f64]) {}
+        fn predict(&mut self, h: &[f64]) -> f64 {
+            // Deterministic alternating error of the given relative size.
+            let sign = if h.len().is_multiple_of(2) { 1.0 } else { -1.0 };
+            (self.values[h.len()] * (1.0 + sign * self.amplitude)).max(0.0)
+        }
+    }
+
+    let mut turnarounds = Vec::new();
+    for amplitude in [0.0, 0.25, 0.6] {
+        let report = simulate(
+            &mut Noisy {
+                values: &values,
+                amplitude,
+            },
+            &series,
+            &config,
+        );
+        turnarounds.push(report.avg_turnaround_secs());
+    }
+    assert!(
+        turnarounds[0] <= turnarounds[1] && turnarounds[1] <= turnarounds[2],
+        "turnarounds {turnarounds:?}"
+    );
+}
+
+#[test]
+fn simulation_covers_exactly_the_test_partition() {
+    let series = azure_hourly();
+    let partition = Partition::paper_default(series.len());
+    let config = SimConfig {
+        test_start: partition.val_end,
+        ..SimConfig::default()
+    };
+    struct Zero;
+    impl Predictor for Zero {
+        fn name(&self) -> String {
+            "zero".into()
+        }
+        fn fit(&mut self, _h: &[f64]) {}
+        fn predict(&mut self, _h: &[f64]) -> f64 {
+            0.0
+        }
+    }
+    let report = simulate(&mut Zero, &series, &config);
+    assert_eq!(report.intervals.len(), series.len() - partition.val_end);
+    // Actuals recorded must match the trace.
+    for (rec, v) in report.intervals.iter().zip(&series.values[partition.val_end..]) {
+        assert_eq!(rec.actual, v.round() as usize);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests spanning crate boundaries: invariants that must
+//! hold for *any* workload, not just the five generated families.
+
+use ld_api::{walk_forward, MinMaxScaler, Partition, Predictor, Series};
+use ld_baselines::{CloudScale, WoodPredictor};
+use ld_nn::make_windows;
+use proptest::prelude::*;
+
+/// Arbitrary JAR series: positive, finite, length 40..200.
+fn jar_series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..10_000.0f64, 40..200)
+}
+
+struct Persist;
+impl Predictor for Persist {
+    fn name(&self) -> String {
+        "persist".into()
+    }
+    fn fit(&mut self, _h: &[f64]) {}
+    fn predict(&mut self, h: &[f64]) -> f64 {
+        *h.last().unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partition_is_a_disjoint_cover(values in jar_series()) {
+        let p = Partition::paper_default(values.len());
+        let total = p.train(&values).len() + p.val(&values).len() + p.test(&values).len();
+        prop_assert_eq!(total, values.len());
+        // Reassembling the three slices reproduces the series.
+        let mut rebuilt = p.train(&values).to_vec();
+        rebuilt.extend_from_slice(p.val(&values));
+        rebuilt.extend_from_slice(p.test(&values));
+        prop_assert_eq!(rebuilt, values);
+    }
+
+    #[test]
+    fn scaler_fit_on_train_roundtrips_everything(values in jar_series()) {
+        let p = Partition::paper_default(values.len());
+        let scaler = MinMaxScaler::fit(p.train(&values));
+        for &v in &values {
+            prop_assert!((scaler.inverse(scaler.transform(v)) - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn walk_forward_always_aligns_preds_and_actuals(values in jar_series()) {
+        let series = Series::new("prop", 5, values);
+        let p = Partition::paper_default(series.len());
+        let r = walk_forward(&mut Persist, &series, p.val_end);
+        prop_assert_eq!(r.preds.len(), r.actuals.len());
+        prop_assert_eq!(r.actuals.clone(), series.values[p.val_end..].to_vec());
+        prop_assert!(r.preds.iter().all(|v| v.is_finite() && *v >= 0.0));
+        prop_assert!(r.mape() >= 0.0);
+    }
+
+    #[test]
+    fn baselines_never_panic_or_emit_nan_on_arbitrary_series(values in jar_series()) {
+        let series = Series::new("prop", 5, values);
+        let p = Partition::paper_default(series.len());
+        let mut cloudscale = CloudScale::default();
+        let mut wood = WoodPredictor::default();
+        let a = walk_forward(&mut cloudscale, &series, p.val_end);
+        let b = walk_forward(&mut wood, &series, p.val_end);
+        prop_assert!(a.mape().is_finite());
+        prop_assert!(b.mape().is_finite());
+    }
+
+    #[test]
+    fn windowing_covers_each_target_exactly_once(values in jar_series(), n in 1usize..12) {
+        let windows = make_windows(&values, n);
+        if values.len() > n {
+            prop_assert_eq!(windows.len(), values.len() - n);
+            for (k, w) in windows.iter().enumerate() {
+                prop_assert_eq!(w.window.len(), n);
+                prop_assert_eq!(w.target, values[k + n]);
+                // Window contents match the series slice.
+                prop_assert_eq!(&w.window[..], &values[k..k + n]);
+            }
+        } else {
+            prop_assert!(windows.is_empty());
+        }
+    }
+
+    #[test]
+    fn aggregation_preserves_total_mass(values in jar_series(), factor in 1usize..8) {
+        let series = Series::new("prop", 5, values);
+        let agg = series.aggregate(factor);
+        let used = agg.len() * factor;
+        let total_base: f64 = series.values[..used].iter().sum();
+        let total_agg: f64 = agg.values.iter().sum();
+        prop_assert!((total_base - total_agg).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_predictions_give_zero_error_metrics(values in jar_series()) {
+        let preds = values.clone();
+        prop_assert_eq!(ld_api::metrics::mape(&preds, &values), 0.0);
+        prop_assert_eq!(ld_api::metrics::rmse(&preds, &values), 0.0);
+        prop_assert_eq!(ld_api::metrics::mae(&preds, &values), 0.0);
+    }
+}
