@@ -25,4 +25,4 @@ pub mod vm;
 
 pub use report::AutoscaleReport;
 pub use policy::{CostModel, ProvisioningPolicy};
-pub use sim::{simulate, SimConfig};
+pub use sim::{simulate, simulate_with_telemetry, SimConfig};

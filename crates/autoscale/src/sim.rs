@@ -58,12 +58,31 @@ pub fn simulate(
     series: &Series,
     config: &SimConfig,
 ) -> AutoscaleReport {
+    simulate_with_telemetry(
+        predictor,
+        series,
+        config,
+        &ld_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`simulate`] with telemetry: each simulated interval records a scaling
+/// decision event under the `"autoscale"` scope (predicted vs. actual VM
+/// counts, on-demand spin-ups, idle VMs, SLA violations), plus aggregate
+/// counters. The simulation itself is unchanged.
+pub fn simulate_with_telemetry(
+    predictor: &mut dyn Predictor,
+    series: &Series,
+    config: &SimConfig,
+    telemetry: &ld_telemetry::Telemetry,
+) -> AutoscaleReport {
     assert!(
         config.test_start > 0 && config.test_start < series.len(),
         "test_start {} out of range for {} intervals",
         config.test_start,
         series.len()
     );
+    let _sim_span = telemetry.span("autoscale.simulate");
     predictor.fit(&series.values[..config.test_start]);
 
     let mut intervals = Vec::with_capacity(series.len() - config.test_start);
@@ -101,6 +120,21 @@ pub fn simulate(
             if vm.busy_until_secs.is_none() {
                 idle_vms += 1;
             }
+        }
+
+        if telemetry.is_enabled() {
+            telemetry.incr("autoscale.intervals");
+            telemetry.add("autoscale.on_demand_vms", on_demand as u64);
+            telemetry.add("autoscale.idle_vms", idle_vms as u64);
+            telemetry.add("autoscale.sla_violations", sla_violations as u64);
+            telemetry.record_with("autoscale", "interval", i as u64, |e| {
+                e.int("predicted", predicted as u64)
+                    .int("actual", actual as u64)
+                    .int("on_demand_vms", on_demand as u64)
+                    .int("idle_vms", idle_vms as u64)
+                    .int("sla_violations", sla_violations as u64)
+                    .num("makespan_secs", makespan);
+            });
         }
 
         intervals.push(IntervalRecord {

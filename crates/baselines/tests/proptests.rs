@@ -1,5 +1,7 @@
-//! Property-based tests for the baseline predictors: totality (no panics,
-//! no NaNs) and range sanity on arbitrary positive series.
+//! Randomized property tests for the baseline predictors: totality (no
+//! panics, no NaNs) and range sanity on arbitrary positive series.
+//! Seeded-loop style: each property runs over a fixed number of randomly
+//! generated cases so failures reproduce exactly.
 
 use ld_api::Predictor;
 use ld_baselines::cloudinsight::{table2_pool, CloudInsight};
@@ -8,99 +10,120 @@ use ld_baselines::ml::Regressor;
 use ld_baselines::naive::KnnPredictor;
 use ld_baselines::tree::{DecisionTree, TreeConfig};
 use ld_baselines::{CloudScale, WoodPredictor};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn history() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0..1e6f64, 12..120)
+fn history(rng: &mut StdRng) -> Vec<f64> {
+    let len = rng.gen_range(12..120usize);
+    (0..len).map(|_| rng.gen_range(0.0..1e6)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every one of the 21 pool members returns a finite prediction for
-    /// any positive history — the council must never be poisoned.
-    #[test]
-    fn all_members_total_on_arbitrary_history(h in history()) {
+/// Every one of the 21 pool members returns a finite prediction for any
+/// positive history — the council must never be poisoned.
+#[test]
+fn all_members_total_on_arbitrary_history() {
+    let mut rng = StdRng::seed_from_u64(0x55E1);
+    for _ in 0..8 {
+        let h = history(&mut rng);
         for mut member in table2_pool(0) {
             member.fit(&h);
             let p = member.predict(&h);
-            prop_assert!(p.is_finite(), "{} returned {p}", member.name());
+            assert!(p.is_finite(), "{} returned {p}", member.name());
         }
     }
+}
 
-    /// The council itself is total and within a loose multiple of the
-    /// observed range.
-    #[test]
-    fn cloudinsight_total(h in history()) {
+/// The council itself is total.
+#[test]
+fn cloudinsight_total() {
+    let mut rng = StdRng::seed_from_u64(0x55E2);
+    for _ in 0..8 {
+        let h = history(&mut rng);
         let mut ci = CloudInsight::new(0);
         ci.fit(&h);
         let p = ci.predict(&h);
-        prop_assert!(p.is_finite());
+        assert!(p.is_finite());
     }
+}
 
-    /// CloudScale's prediction is always inside the observed value range
-    /// (pattern lookup returns a past value; the Markov fallback returns a
-    /// bin midpoint).
-    #[test]
-    fn cloudscale_predicts_within_range(h in history()) {
+/// CloudScale's prediction is always inside the observed value range
+/// (pattern lookup returns a past value; the Markov fallback returns a
+/// bin midpoint).
+#[test]
+fn cloudscale_predicts_within_range() {
+    let mut rng = StdRng::seed_from_u64(0x55E3);
+    for _ in 0..24 {
+        let h = history(&mut rng);
         let mut cs = CloudScale::default();
         cs.fit(&h);
         let p = cs.predict(&h);
         let lo = h.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = h.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
     }
+}
 
-    /// kNN predictions are convex combinations of observed values.
-    #[test]
-    fn knn_within_observed_range(h in history()) {
+/// kNN predictions are convex combinations of observed values.
+#[test]
+fn knn_within_observed_range() {
+    let mut rng = StdRng::seed_from_u64(0x55E4);
+    for _ in 0..24 {
+        let h = history(&mut rng);
         let mut knn = KnnPredictor::default();
         let p = knn.predict(&h);
         let lo = h.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = h.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
     }
+}
 
-    /// Wood is finite on anything (trend extrapolation may leave the
-    /// range, but never blows up).
-    #[test]
-    fn wood_total(h in history()) {
+/// Wood is finite on anything (trend extrapolation may leave the range,
+/// but never blows up).
+#[test]
+fn wood_total() {
+    let mut rng = StdRng::seed_from_u64(0x55E5);
+    for _ in 0..24 {
+        let h = history(&mut rng);
         let mut w = WoodPredictor::default();
         w.fit(&h);
-        prop_assert!(w.predict(&h).is_finite());
+        assert!(w.predict(&h).is_finite());
     }
+}
 
-    /// A regression tree's predictions are bounded by the target range
-    /// (leaves are means of subsets).
-    #[test]
-    fn tree_predictions_bounded_by_targets(
-        data in proptest::collection::vec((0.0..10.0f64, -100.0..100.0f64), 6..40),
-        query in 0.0..10.0f64,
-    ) {
-        let xs: Vec<Vec<f64>> = data.iter().map(|(x, _)| vec![*x]).collect();
-        let ys: Vec<f64> = data.iter().map(|(_, y)| *y).collect();
+/// A regression tree's predictions are bounded by the target range
+/// (leaves are means of subsets).
+#[test]
+fn tree_predictions_bounded_by_targets() {
+    let mut rng = StdRng::seed_from_u64(0x55E6);
+    for _ in 0..24 {
+        let n = rng.gen_range(6..40usize);
+        let xs: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen_range(0.0..10.0)]).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let query = rng.gen_range(0.0..10.0);
         let mut tree = DecisionTree::new(TreeConfig::default(), 0);
         tree.fit(&xs, &ys);
         let p = tree.predict(&[query]);
         let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
     }
+}
 
-    /// Forests inherit the bound (averages of tree outputs).
-    #[test]
-    fn forest_predictions_bounded_by_targets(
-        data in proptest::collection::vec((0.0..10.0f64, -100.0..100.0f64), 8..40),
-        query in 0.0..10.0f64,
-    ) {
-        let xs: Vec<Vec<f64>> = data.iter().map(|(x, _)| vec![*x]).collect();
-        let ys: Vec<f64> = data.iter().map(|(_, y)| *y).collect();
+/// Forests inherit the bound (averages of tree outputs).
+#[test]
+fn forest_predictions_bounded_by_targets() {
+    let mut rng = StdRng::seed_from_u64(0x55E7);
+    for _ in 0..8 {
+        let n = rng.gen_range(8..40usize);
+        let xs: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen_range(0.0..10.0)]).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let query = rng.gen_range(0.0..10.0);
         for mut forest in [Forest::random_forest(1), Forest::extra_trees(1)] {
             forest.fit(&xs, &ys);
             let p = forest.predict(&[query]);
             let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
         }
     }
 }

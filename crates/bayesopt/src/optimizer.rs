@@ -114,6 +114,7 @@ impl Default for BoOptions {
 #[derive(Debug, Clone, Default)]
 pub struct BayesianOptimizer {
     opts: BoOptions,
+    telemetry: ld_telemetry::Telemetry,
 }
 
 impl BayesianOptimizer {
@@ -121,12 +122,39 @@ impl BayesianOptimizer {
     pub fn new(opts: BoOptions) -> Self {
         assert!(opts.init_points >= 1, "need at least one initial point");
         assert!(opts.candidate_pool >= 1, "need a non-empty candidate pool");
-        BayesianOptimizer { opts }
+        BayesianOptimizer {
+            opts,
+            telemetry: ld_telemetry::Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: per-iteration events (candidate
+    /// fingerprint, acquisition score, incumbent) land under the
+    /// `"bayesopt"` scope, surrogate fits under the
+    /// `"bayesopt.surrogate_fit"` timer.
+    pub fn with_telemetry(mut self, telemetry: ld_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The options in use.
     pub fn options(&self) -> &BoOptions {
         &self.opts
+    }
+
+    /// Records one completed trial as a telemetry event.
+    fn record_trial(&self, index: usize, trial: &Trial, incumbent: f64, phase: &str, ei: Option<f64>) {
+        self.telemetry.incr("bayesopt.trials");
+        self.telemetry
+            .record_with("bayesopt", "trial", index as u64, |e| {
+                e.text("params", fingerprint(&trial.params))
+                    .num("value", trial.value)
+                    .num("incumbent", incumbent)
+                    .text("phase", phase);
+                if let Some(score) = ei {
+                    e.num("ei", score);
+                }
+            });
     }
 }
 
@@ -151,6 +179,7 @@ impl HyperOptimizer for BayesianOptimizer {
         seed: u64,
     ) -> OptResult {
         assert!(budget >= 1, "budget must be >= 1");
+        let _opt_span = self.telemetry.span("bayesopt.optimize");
         let mut rng = StdRng::seed_from_u64(seed);
         let init_n = self.opts.init_points.min(budget);
 
@@ -169,6 +198,16 @@ impl HyperOptimizer for BayesianOptimizer {
             })
             .collect();
 
+        // Telemetry for the initial design is recorded here, after the
+        // ordered collect, so event keys never depend on worker scheduling.
+        if self.telemetry.is_enabled() {
+            let mut running_best = f64::INFINITY;
+            for (i, t) in trials.iter().enumerate() {
+                running_best = running_best.min(t.value);
+                self.record_trial(i, t, running_best, "init", None);
+            }
+        }
+
         let mut seen: std::collections::HashSet<String> =
             trials.iter().map(|t| fingerprint(&t.params)).collect();
 
@@ -179,16 +218,18 @@ impl HyperOptimizer for BayesianOptimizer {
             let ys: Vec<f64> = trials.iter().map(|t| t.value).collect();
             let finite = ys.iter().all(|v| v.is_finite());
             let gp = if finite {
-                fit_auto(
-                    &xs,
-                    &ys,
-                    FitOptions {
-                        grid: 5,
-                        levels: 2,
-                        ..FitOptions::default()
-                    },
-                )
-                .ok()
+                self.telemetry.time("bayesopt.surrogate_fit", || {
+                    fit_auto(
+                        &xs,
+                        &ys,
+                        FitOptions {
+                            grid: 5,
+                            levels: 2,
+                            ..FitOptions::default()
+                        },
+                    )
+                    .ok()
+                })
             } else {
                 None
             };
@@ -215,8 +256,9 @@ impl HyperOptimizer for BayesianOptimizer {
                 pool.push(p);
             }
 
-            // Pick the best not-yet-evaluated candidate by acquisition score.
-            let next_unit = match &gp {
+            // Pick the best not-yet-evaluated candidate by acquisition score,
+            // keeping the winner's score for telemetry.
+            let chosen: Option<(Vec<f64>, f64)> = match &gp {
                 Some(gp) => {
                     let mut scored: Vec<(f64, &Vec<f64>)> = pool
                         .par_iter()
@@ -228,22 +270,30 @@ impl HyperOptimizer for BayesianOptimizer {
                     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
                     scored
                         .iter()
-                        .map(|(_, u)| (*u).clone())
-                        .find(|u| !seen.contains(&fingerprint(&space.decode(u))))
+                        .find(|(_, u)| !seen.contains(&fingerprint(&space.decode(u))))
+                        .map(|(score, u)| ((*u).clone(), *score))
                 }
                 None => None,
-            }
-            .unwrap_or_else(|| {
-                // Fallback: random unseen point (or any random point if the
-                // space is exhausted).
-                for _ in 0..64 {
-                    let u = space.sample_unit(&mut rng);
-                    if !seen.contains(&fingerprint(&space.decode(&u))) {
-                        return u;
+            };
+            let (next_unit, acquisition_score) = match chosen {
+                Some((unit, score)) => (unit, Some(score)),
+                None => {
+                    // Fallback: random unseen point (or any random point if
+                    // the space is exhausted).
+                    let mut fallback = None;
+                    for _ in 0..64 {
+                        let u = space.sample_unit(&mut rng);
+                        if !seen.contains(&fingerprint(&space.decode(&u))) {
+                            fallback = Some(u);
+                            break;
+                        }
                     }
+                    (
+                        fallback.unwrap_or_else(|| space.sample_unit(&mut rng)),
+                        None,
+                    )
                 }
-                space.sample_unit(&mut rng)
-            });
+            };
 
             let params = space.decode(&next_unit);
             seen.insert(fingerprint(&params));
@@ -253,6 +303,19 @@ impl HyperOptimizer for BayesianOptimizer {
                 unit: next_unit,
                 value,
             });
+            if self.telemetry.is_enabled() {
+                let index = trials.len() - 1;
+                let incumbent = trials
+                    .iter()
+                    .map(|t| t.value)
+                    .fold(f64::INFINITY, f64::min);
+                let phase = if acquisition_score.is_some() {
+                    "surrogate"
+                } else {
+                    "fallback"
+                };
+                self.record_trial(index, &trials[index], incumbent, phase, acquisition_score);
+            }
         }
 
         OptResult::from_trials(trials)
@@ -276,6 +339,7 @@ impl BayesianOptimizer {
         q: usize,
     ) -> OptResult {
         assert!(budget >= 1 && q >= 1, "budget and q must be >= 1");
+        let _opt_span = self.telemetry.span("bayesopt.optimize_batched");
         let mut rng = StdRng::seed_from_u64(seed);
         let init_n = self.opts.init_points.min(budget);
         let init_units: Vec<Vec<f64>> = (0..init_n).map(|_| space.sample_unit(&mut rng)).collect();
@@ -291,6 +355,13 @@ impl BayesianOptimizer {
                 }
             })
             .collect();
+        if self.telemetry.is_enabled() {
+            let mut running_best = f64::INFINITY;
+            for (i, t) in trials.iter().enumerate() {
+                running_best = running_best.min(t.value);
+                self.record_trial(i, t, running_best, "init", None);
+            }
+        }
         let mut seen: std::collections::HashSet<String> =
             trials.iter().map(|t| fingerprint(&t.params)).collect();
 
@@ -304,16 +375,18 @@ impl BayesianOptimizer {
 
             for _ in 0..round {
                 let gp = if ys.iter().all(|v| v.is_finite()) {
-                    fit_auto(
-                        &xs,
-                        &ys,
-                        FitOptions {
-                            grid: 4,
-                            levels: 1,
-                            ..FitOptions::default()
-                        },
-                    )
-                    .ok()
+                    self.telemetry.time("bayesopt.surrogate_fit", || {
+                        fit_auto(
+                            &xs,
+                            &ys,
+                            FitOptions {
+                                grid: 4,
+                                levels: 1,
+                                ..FitOptions::default()
+                            },
+                        )
+                        .ok()
+                    })
                 } else {
                     None
                 };
@@ -360,6 +433,17 @@ impl BayesianOptimizer {
                     }
                 })
                 .collect();
+            if self.telemetry.is_enabled() {
+                let base = trials.len();
+                let mut running_best = trials
+                    .iter()
+                    .map(|t| t.value)
+                    .fold(f64::INFINITY, f64::min);
+                for (k, t) in evaluated.iter().enumerate() {
+                    running_best = running_best.min(t.value);
+                    self.record_trial(base + k, t, running_best, "batch", None);
+                }
+            }
             trials.extend(evaluated);
         }
         OptResult::from_trials(trials)

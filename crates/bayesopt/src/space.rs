@@ -96,7 +96,8 @@ impl Dim {
                 }
             }
             Dim::Float { lo, hi, log, .. } => {
-                if !(lo < hi) {
+                // `partial_cmp` keeps the NaN case on the error path.
+                if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
                     return Err(format!("{}: lo {lo} >= hi {hi}", self.name()));
                 }
                 if log && lo <= 0.0 {

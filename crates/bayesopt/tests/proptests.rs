@@ -1,85 +1,104 @@
-//! Property-based tests for the Bayesian-optimization layer.
+//! Randomized property tests for the Bayesian-optimization layer.
+//! Seeded-loop style: each property runs over a fixed number of randomly
+//! generated cases so failures reproduce exactly.
 
 use ld_bayesopt::{
     acquisition, Acquisition, BayesianOptimizer, Dim, GridSearch, HyperOptimizer, ParamValue,
     RandomSearch, SearchSpace,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn int_dim() -> impl Strategy<Value = Dim> {
-    (1i64..100, 1i64..400, any::<bool>()).prop_map(|(lo, span, log)| {
-        let hi = lo + span;
-        if log {
-            Dim::int_log("d", lo, hi)
-        } else {
-            Dim::int("d", lo, hi)
-        }
-    })
+fn int_dim(rng: &mut StdRng) -> Dim {
+    let lo = rng.gen_range(1..100i64);
+    let span = rng.gen_range(1..400i64);
+    let hi = lo + span;
+    if rng.gen_bool(0.5) {
+        Dim::int_log("d", lo, hi)
+    } else {
+        Dim::int("d", lo, hi)
+    }
 }
 
-fn space() -> impl Strategy<Value = SearchSpace> {
-    proptest::collection::vec(int_dim(), 1..5).prop_map(SearchSpace::new)
+fn space(rng: &mut StdRng) -> SearchSpace {
+    let ndims = rng.gen_range(1..5usize);
+    SearchSpace::new((0..ndims).map(|_| int_dim(rng)).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// decode(encode(p)) is the identity for any integer point actually
-    /// produced by decode.
-    #[test]
-    fn encode_decode_fixed_point(s in space(), units in proptest::collection::vec(0.0..1.0f64, 5)) {
-        let unit: Vec<f64> = units.into_iter().take(s.ndims()).collect();
-        prop_assume!(unit.len() == s.ndims());
+/// decode(encode(p)) is the identity for any integer point actually
+/// produced by decode.
+#[test]
+fn encode_decode_fixed_point() {
+    let mut rng = StdRng::seed_from_u64(0x44D1);
+    for _ in 0..64 {
+        let s = space(&mut rng);
+        let unit: Vec<f64> = (0..s.ndims()).map(|_| rng.gen_range(0.0..1.0)).collect();
         let p = s.decode(&unit);
         let u2 = s.encode(&p);
         let p2 = s.decode(&u2);
-        prop_assert_eq!(p, p2);
-        prop_assert!(u2.iter().all(|u| (0.0..=1.0).contains(u)));
+        assert_eq!(p, p2);
+        assert!(u2.iter().all(|u| (0.0..=1.0).contains(u)));
     }
+}
 
-    /// Every decoded value lies inside its dimension's bounds.
-    #[test]
-    fn decode_respects_bounds(s in space(), units in proptest::collection::vec(-2.0..3.0f64, 5)) {
-        let unit: Vec<f64> = units.into_iter().take(s.ndims()).collect();
-        prop_assume!(unit.len() == s.ndims());
+/// Every decoded value lies inside its dimension's bounds.
+#[test]
+fn decode_respects_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x44D2);
+    for _ in 0..64 {
+        let s = space(&mut rng);
+        let unit: Vec<f64> = (0..s.ndims()).map(|_| rng.gen_range(-2.0..3.0)).collect();
         for (d, v) in s.dims().iter().zip(s.decode(&unit)) {
             if let Dim::Int { lo, hi, .. } = d {
                 let i = v.as_int();
-                prop_assert!(i >= *lo && i <= *hi, "{i} outside [{lo}, {hi}]");
+                assert!(i >= *lo && i <= *hi, "{i} outside [{lo}, {hi}]");
             }
         }
     }
+}
 
-    /// Expected improvement is always non-negative and increases with the
-    /// incumbent (a worse incumbent is easier to improve on).
-    #[test]
-    fn ei_monotone_in_incumbent(
-        mean in -5.0..5.0f64,
-        std in 0.001..3.0f64,
-        fb1 in -5.0..5.0f64,
-        delta in 0.0..5.0f64,
-    ) {
+/// Expected improvement is always non-negative and increases with the
+/// incumbent (a worse incumbent is easier to improve on).
+#[test]
+fn ei_monotone_in_incumbent() {
+    let mut rng = StdRng::seed_from_u64(0x44D3);
+    for _ in 0..256 {
+        let mean = rng.gen_range(-5.0..5.0);
+        let std = rng.gen_range(0.001..3.0);
+        let fb1 = rng.gen_range(-5.0..5.0);
+        let delta = rng.gen_range(0.0..5.0);
         let ei = Acquisition::ExpectedImprovement { xi: 0.0 };
         let a = ei.score(mean, std, fb1);
         let b = ei.score(mean, std, fb1 + delta);
-        prop_assert!(a >= 0.0);
-        prop_assert!(b + 1e-12 >= a, "EI not monotone: {a} vs {b}");
+        assert!(a >= 0.0);
+        assert!(b + 1e-12 >= a, "EI not monotone: {a} vs {b}");
     }
+}
 
-    /// The normal CDF is a valid distribution function.
-    #[test]
-    fn norm_cdf_properties(z in -8.0..8.0f64, dz in 0.0..4.0f64) {
+/// The normal CDF is a valid distribution function.
+#[test]
+fn norm_cdf_properties() {
+    let mut rng = StdRng::seed_from_u64(0x44D4);
+    for _ in 0..256 {
+        let z = rng.gen_range(-8.0..8.0);
+        let dz = rng.gen_range(0.0..4.0);
         let c = acquisition::norm_cdf(z);
-        prop_assert!((0.0..=1.0).contains(&c));
-        prop_assert!(acquisition::norm_cdf(z + dz) + 1e-12 >= c);
+        assert!((0.0..=1.0).contains(&c));
+        assert!(acquisition::norm_cdf(z + dz) + 1e-12 >= c);
         // Symmetry.
-        prop_assert!((acquisition::norm_cdf(-z) - (1.0 - c)).abs() < 1e-7);
+        assert!((acquisition::norm_cdf(-z) - (1.0 - c)).abs() < 1e-7);
     }
+}
 
-    /// All optimizers return exactly min(budget, feasible) trials with the
-    /// best index pointing at the true minimum of the history.
-    #[test]
-    fn optimizers_report_true_incumbent(s in space(), budget in 1usize..12, seed in 0u64..100) {
+/// All optimizers return exactly min(budget, feasible) trials with the
+/// best index pointing at the true minimum of the history.
+#[test]
+fn optimizers_report_true_incumbent() {
+    let mut rng = StdRng::seed_from_u64(0x44D5);
+    for _ in 0..10 {
+        let s = space(&mut rng);
+        let budget = rng.gen_range(1..12usize);
+        let seed = rng.gen_range(0..100u64);
         let objective = |p: &[ParamValue]| -> f64 {
             p.iter().map(|v| v.as_f64()).sum::<f64>().sin().abs()
         };
@@ -88,14 +107,14 @@ proptest! {
             RandomSearch.optimize(&s, &objective, budget, seed),
             GridSearch.optimize(&s, &objective, budget, seed),
         ] {
-            prop_assert!(!result.trials.is_empty());
-            prop_assert!(result.trials.len() <= budget);
+            assert!(!result.trials.is_empty());
+            assert!(result.trials.len() <= budget);
             let min = result
                 .trials
                 .iter()
                 .map(|t| t.value)
                 .fold(f64::INFINITY, f64::min);
-            prop_assert_eq!(result.best().value, min);
+            assert_eq!(result.best().value, min);
         }
     }
 }

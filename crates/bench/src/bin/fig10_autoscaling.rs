@@ -7,15 +7,17 @@
 //! (CloudScale was dropped by the paper for cost parity with Wood.)
 
 use ld_api::{Partition, Predictor, Series};
-use ld_autoscale::{simulate, SimConfig};
+use ld_autoscale::{simulate, simulate_with_telemetry, SimConfig};
 use ld_bench::render::print_table;
 use ld_bench::runner::baseline_lineup;
 use ld_bench::scale::ExperimentScale;
+use ld_bench::telemetry_env::{dump_telemetry, telemetry_from_env};
 use ld_traces::{TraceConfig, WorkloadKind};
 use loaddynamics::LoadDynamics;
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let (telemetry, telemetry_out) = telemetry_from_env();
     println!("=== Fig. 10: auto-scaling with different prediction techniques (Azure, 60-min) ===");
     println!("(scale: {scale:?})\n");
 
@@ -38,11 +40,13 @@ fn main() {
     let mut rows = Vec::new();
 
     // LoadDynamics (optimize on train+val, simulate over test intervals).
+    // Telemetry (when LD_TELEMETRY is set) covers both the optimization and
+    // the per-interval scaling decisions of the LoadDynamics run.
     eprintln!("[fig10] optimizing LoadDynamics ...");
-    let framework = LoadDynamics::new(scale.framework_config(0));
+    let framework = LoadDynamics::new(scale.framework_config(0).with_telemetry(telemetry.clone()));
     let outcome = framework.optimize(&series);
     let mut ld: Box<dyn Predictor> = Box::new(outcome.predictor);
-    let report = simulate(ld.as_mut(), &series, &sim_config);
+    let report = simulate_with_telemetry(ld.as_mut(), &series, &sim_config, &telemetry);
     rows.push(vec![
         "LoadDynamics".to_string(),
         format!("{:.1}", report.avg_turnaround_secs()),
@@ -85,4 +89,5 @@ fn main() {
          (lowest turnaround, driven by the lowest under-provisioning rate) and\n\
          wastes the fewest idle VMs (lowest over-provisioning rate)."
     );
+    dump_telemetry(&telemetry, &telemetry_out);
 }

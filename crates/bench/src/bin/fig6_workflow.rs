@@ -9,11 +9,13 @@
 use ld_api::{walk_forward, Partition};
 use ld_bench::render::print_table;
 use ld_bench::scale::ExperimentScale;
+use ld_bench::telemetry_env::{dump_telemetry, telemetry_from_env};
 use ld_traces::{TraceConfig, WorkloadKind};
 use loaddynamics::{HyperParams, LoadDynamics};
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let (telemetry, telemetry_out) = telemetry_from_env();
     println!("=== Fig. 6/7: the self-optimization workflow, traced (LCG 30-min) ===");
     println!("(scale: {scale:?})\n");
 
@@ -40,7 +42,7 @@ fn main() {
         series.len()
     );
 
-    let framework = LoadDynamics::new(scale.framework_config(0));
+    let framework = LoadDynamics::new(scale.framework_config(0).with_telemetry(telemetry.clone()));
     let outcome = framework.optimize(&series);
 
     println!("--- Fig. 6 steps 1-4: train / validate / propose / select ---");
@@ -69,4 +71,5 @@ fn main() {
         result.mape(),
         result.preds.len()
     );
+    dump_telemetry(&telemetry, &telemetry_out);
 }

@@ -9,7 +9,9 @@
 pub mod render;
 pub mod runner;
 pub mod scale;
+pub mod telemetry_env;
 
 pub use render::{print_table, sparkline};
 pub use runner::{baseline_lineup, run_loaddynamics, run_predictor, ExperimentResult};
 pub use scale::ExperimentScale;
+pub use telemetry_env::{dump_telemetry, telemetry_from_env};

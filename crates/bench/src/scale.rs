@@ -99,6 +99,7 @@ impl ExperimentScale {
             budget: self.budget(),
             seed,
             strategy: SearchStrategy::default(),
+            telemetry: ld_telemetry::Telemetry::disabled(),
         }
     }
 

@@ -1,0 +1,35 @@
+//! Opt-in telemetry for the experiment binaries, driven by `LD_TELEMETRY`.
+//!
+//! Unset (the default) leaves telemetry disabled and the binaries'
+//! behavior and output byte-identical to an uninstrumented build.
+//! `LD_TELEMETRY=1` enables recording and dumps `telemetry.json` into the
+//! working directory; any other value is used as the output path.
+
+use ld_telemetry::Telemetry;
+
+/// The telemetry handle plus output path requested by the environment,
+/// or `(disabled, None)` when `LD_TELEMETRY` is unset or empty.
+pub fn telemetry_from_env() -> (Telemetry, Option<String>) {
+    match std::env::var("LD_TELEMETRY") {
+        Ok(v) if !v.is_empty() => {
+            let path = if v == "1" {
+                "telemetry.json".to_string()
+            } else {
+                v
+            };
+            (Telemetry::enabled(), Some(path))
+        }
+        _ => (Telemetry::disabled(), None),
+    }
+}
+
+/// Writes the snapshot to the path from [`telemetry_from_env`] (no-op when
+/// telemetry was not requested) and reports where it went on stderr.
+pub fn dump_telemetry(telemetry: &Telemetry, path: &Option<String>) {
+    if let Some(path) = path {
+        match telemetry.write_json(path) {
+            Ok(()) => eprintln!("telemetry written to {path}"),
+            Err(e) => eprintln!("cannot write telemetry to {path}: {e}"),
+        }
+    }
+}

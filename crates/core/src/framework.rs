@@ -8,7 +8,7 @@ use ld_bayesopt::{
 use ld_nn::LstmForecaster;
 
 use crate::hyperparams::HyperParams;
-use crate::pipeline::{evaluate_hyperparams, TrainBudget};
+use crate::pipeline::{evaluate_hyperparams_with, TrainBudget};
 use crate::space;
 
 /// Which hyperparameter search drives the self-optimization.
@@ -46,6 +46,10 @@ pub struct FrameworkConfig {
     pub seed: u64,
     /// Search strategy.
     pub strategy: SearchStrategy,
+    /// Telemetry sink for the search and training hot loops. Disabled by
+    /// default: recording methods become single-branch no-ops and the
+    /// framework's outputs are identical to an uninstrumented build.
+    pub telemetry: ld_telemetry::Telemetry,
 }
 
 impl FrameworkConfig {
@@ -62,6 +66,7 @@ impl FrameworkConfig {
             budget: TrainBudget::default(),
             seed,
             strategy: SearchStrategy::default(),
+            telemetry: ld_telemetry::Telemetry::disabled(),
         }
     }
 
@@ -78,7 +83,14 @@ impl FrameworkConfig {
                 init_points: 3,
                 ..BoOptions::default()
             }),
+            telemetry: ld_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Returns the same configuration with telemetry enabled (or replaced).
+    pub fn with_telemetry(mut self, telemetry: ld_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -136,19 +148,18 @@ impl LoadDynamics {
         let values = &series.values;
         let budget = self.config.budget;
         let seed = self.config.seed;
+        let telemetry = &self.config.telemetry;
+        let optimize_start = telemetry.is_enabled().then(std::time::Instant::now);
 
         // Fig. 6 steps 1-3, iterated maxIters times by the chosen search.
         let objective = move |params: &[ld_bayesopt::ParamValue]| -> f64 {
             let hp = HyperParams::from_params(params);
-            evaluate_hyperparams(values, partition, hp, &budget, seed).val_mape
+            evaluate_hyperparams_with(values, partition, hp, &budget, seed, telemetry).val_mape
         };
         let trials = match &self.config.strategy {
-            SearchStrategy::Bayesian(opts) => BayesianOptimizer::new(*opts).optimize(
-                &self.config.space,
-                &objective,
-                self.config.max_iters,
-                seed,
-            ),
+            SearchStrategy::Bayesian(opts) => BayesianOptimizer::new(*opts)
+                .with_telemetry(telemetry.clone())
+                .optimize(&self.config.space, &objective, self.config.max_iters, seed),
             SearchStrategy::Random => RandomSearch.optimize(
                 &self.config.space,
                 &objective,
@@ -163,15 +174,44 @@ impl LoadDynamics {
             ),
         };
 
+        // Strategy-agnostic trial history: one event per candidate in
+        // evaluation order (the optimizers return an ordered history, so
+        // these keys are deterministic regardless of evaluation threading).
+        if telemetry.is_enabled() {
+            let mut incumbent = f64::INFINITY;
+            for (i, trial) in trials.trials.iter().enumerate() {
+                incumbent = incumbent.min(trial.value);
+                let hp = HyperParams::from_params(&trial.params);
+                telemetry.record_with("search", "trial", i as u64, |e| {
+                    e.text("hyperparams", hp.to_string())
+                        .num("val_mape", trial.value)
+                        .num("incumbent", incumbent);
+                });
+            }
+        }
+
         // Step 4: select the lowest-error model; retrain it once to
         // materialize the weights (trial models are discarded to keep the
         // search memory-flat).
         let best = trials.best();
         let hyperparams = HyperParams::from_params(&best.params);
-        let outcome = evaluate_hyperparams(values, partition, hyperparams, &budget, seed);
+        let outcome =
+            evaluate_hyperparams_with(values, partition, hyperparams, &budget, seed, telemetry);
         let model = outcome
             .model
             .expect("best trial must be feasible: the search space always contains n=1");
+
+        if let Some(start) = optimize_start {
+            let wall = start.elapsed().as_secs_f64();
+            telemetry.observe_secs("framework.optimize", wall);
+            telemetry.record_with("framework", "optimize", 0, |e| {
+                e.text("series", series.name.clone())
+                    .text("selected", hyperparams.to_string())
+                    .num("val_mape", outcome.val_mape)
+                    .int("trials", trials.trials.len() as u64)
+                    .num("wall_secs", wall);
+            });
+        }
 
         OptimizationOutcome {
             predictor: OptimizedPredictor {

@@ -44,5 +44,5 @@ pub use framework::{
     FrameworkConfig, LoadDynamics, OptimizationOutcome, OptimizedPredictor, SearchStrategy,
 };
 pub use hyperparams::HyperParams;
-pub use pipeline::{evaluate_hyperparams, TrainBudget};
+pub use pipeline::{evaluate_hyperparams, evaluate_hyperparams_with, TrainBudget};
 pub use space::{facebook_space, paper_space, scaled_space};

@@ -94,6 +94,53 @@ pub fn evaluate_hyperparams(
     budget: &TrainBudget,
     seed: u64,
 ) -> EvalOutcome {
+    evaluate_hyperparams_with(
+        values,
+        partition,
+        hp,
+        budget,
+        seed,
+        &ld_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`evaluate_hyperparams`] with telemetry: the candidate's wall time and
+/// validation MAPE are recorded under the `"candidate/<hyperparams>"`
+/// scope, and the inner training loop reports per-epoch events under
+/// `"trainer/<hyperparams>"`. The hyperparameter fingerprint — not arrival
+/// order — keys every event, so concurrent candidate evaluations produce
+/// deterministically ordered snapshots.
+pub fn evaluate_hyperparams_with(
+    values: &[f64],
+    partition: &Partition,
+    hp: HyperParams,
+    budget: &TrainBudget,
+    seed: u64,
+    telemetry: &ld_telemetry::Telemetry,
+) -> EvalOutcome {
+    let eval_start = telemetry.is_enabled().then(std::time::Instant::now);
+    let outcome = evaluate_hyperparams_inner(values, partition, hp, budget, seed, telemetry);
+    if let Some(start) = eval_start {
+        let wall = start.elapsed().as_secs_f64();
+        telemetry.incr("framework.candidate_evals");
+        telemetry.observe_secs("framework.candidate_eval", wall);
+        telemetry.record_with(&format!("candidate/{hp}"), "eval", 0, |e| {
+            e.num("val_mape", outcome.val_mape)
+                .flag("feasible", outcome.model.is_some())
+                .num("wall_secs", wall);
+        });
+    }
+    outcome
+}
+
+fn evaluate_hyperparams_inner(
+    values: &[f64],
+    partition: &Partition,
+    hp: HyperParams,
+    budget: &TrainBudget,
+    seed: u64,
+    telemetry: &ld_telemetry::Telemetry,
+) -> EvalOutcome {
     let scaler = MinMaxScaler::fit(partition.train(values));
     let normalized = scaler.transform_all(&values[..partition.val_end]);
 
@@ -120,7 +167,7 @@ pub fn evaluate_hyperparams(
         num_layers: hp.num_layers,
         seed,
     });
-    let trainer = Trainer::new(TrainOptions {
+    let mut trainer = Trainer::new(TrainOptions {
         batch_size: hp.batch_size,
         max_epochs: budget.max_epochs,
         patience: budget.patience,
@@ -129,6 +176,9 @@ pub fn evaluate_hyperparams(
         shuffle_seed: seed,
         lr_decay: 1.0,
     });
+    if telemetry.is_enabled() {
+        trainer = trainer.with_telemetry(telemetry.clone(), format!("trainer/{hp}"));
+    }
     let mut opt = Adam::with_lr(budget.learning_rate);
     trainer.fit(&mut model, &mut opt, &train_windows, &val_samples);
 

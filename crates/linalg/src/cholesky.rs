@@ -96,8 +96,8 @@ impl Cholesky {
         let mut y = b.to_vec();
         for i in 0..n {
             let mut s = y[i];
-            for k in 0..i {
-                s -= self.l[(i, k)] * y[k];
+            for (k, yk) in y.iter().enumerate().take(i) {
+                s -= self.l[(i, k)] * yk;
             }
             y[i] = s / self.l[(i, i)];
         }
@@ -115,8 +115,8 @@ impl Cholesky {
         let mut x = b.to_vec();
         for i in (0..n).rev() {
             let mut s = x[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * x[k];
+            for (k, xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.l[(k, i)] * xk;
             }
             x[i] = s / self.l[(i, i)];
         }

@@ -83,11 +83,14 @@ impl ForecasterGrads {
 
     /// Clips the global norm to `max_norm` (TensorFlow's `clip_by_global_norm`),
     /// the standard defence against LSTM gradient explosion the paper cites.
-    pub fn clip_global_norm(&mut self, max_norm: f64) {
+    /// Returns whether clipping actually fired.
+    pub fn clip_global_norm(&mut self, max_norm: f64) -> bool {
         let norm = self.global_norm();
         if norm > max_norm && norm > 0.0 {
             self.scale(max_norm / norm);
+            return true;
         }
+        false
     }
 }
 

@@ -222,11 +222,11 @@ impl GruLayer {
                 dh_prev[k] = dhk * z_gate[k];
             }
             // dL/d(rh) = U_n^T dn_pre
-            for k in 0..h {
-                if dn[k] == 0.0 {
+            for (k, &dnk) in dn.iter().enumerate().take(h) {
+                if dnk == 0.0 {
                     continue;
                 }
-                vecops::axpy(dn[k], self.u.row(2 * h + k), &mut du_n_dot_hprev);
+                vecops::axpy(dnk, self.u.row(2 * h + k), &mut du_n_dot_hprev);
             }
             // rh = r . h_prev
             for k in 0..h {
@@ -318,12 +318,14 @@ impl GruForecasterGrads {
         ss.sqrt()
     }
 
-    /// Global-norm clip.
-    pub fn clip_global_norm(&mut self, max_norm: f64) {
+    /// Global-norm clip. Returns whether clipping actually fired.
+    pub fn clip_global_norm(&mut self, max_norm: f64) -> bool {
         let n = self.global_norm();
         if n > max_norm && n > 0.0 {
             self.scale(max_norm / n);
+            return true;
         }
+        false
     }
 }
 
@@ -448,8 +450,8 @@ impl crate::trainer::Trainable for GruForecaster {
     fn scale(grads: &mut Self::Grads, alpha: f64) {
         grads.scale(alpha);
     }
-    fn clip(grads: &mut Self::Grads, max_norm: f64) {
-        grads.clip_global_norm(max_norm);
+    fn clip(grads: &mut Self::Grads, max_norm: f64) -> bool {
+        grads.clip_global_norm(max_norm)
     }
     fn apply(&mut self, grads: &Self::Grads, opt: &mut dyn crate::optim::Optimizer) {
         opt.begin_step();

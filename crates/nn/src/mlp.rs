@@ -56,12 +56,14 @@ impl MlpGrads {
         .sqrt()
     }
 
-    /// Clips the global norm.
-    pub fn clip_global_norm(&mut self, max_norm: f64) {
+    /// Clips the global norm. Returns whether clipping actually fired.
+    pub fn clip_global_norm(&mut self, max_norm: f64) -> bool {
         let n = self.global_norm();
         if n > max_norm && n > 0.0 {
             self.scale(max_norm / n);
+            return true;
         }
+        false
     }
 }
 

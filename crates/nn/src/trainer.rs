@@ -34,8 +34,9 @@ pub trait Trainable: Clone + Send + Sync {
     fn accumulate(into: &mut Self::Grads, other: &Self::Grads);
     /// Scales gradients in place.
     fn scale(grads: &mut Self::Grads, alpha: f64);
-    /// Clips the global gradient norm in place.
-    fn clip(grads: &mut Self::Grads, max_norm: f64);
+    /// Clips the global gradient norm in place. Returns whether clipping
+    /// actually rescaled the gradients (telemetry counts activations).
+    fn clip(grads: &mut Self::Grads, max_norm: f64) -> bool;
     /// Applies one optimizer step with the given (already averaged) grads.
     fn apply(&mut self, grads: &Self::Grads, opt: &mut dyn Optimizer);
     /// Point prediction for a window.
@@ -57,8 +58,8 @@ impl Trainable for crate::forecaster::LstmForecaster {
     fn scale(grads: &mut Self::Grads, alpha: f64) {
         grads.scale(alpha);
     }
-    fn clip(grads: &mut Self::Grads, max_norm: f64) {
-        grads.clip_global_norm(max_norm);
+    fn clip(grads: &mut Self::Grads, max_norm: f64) -> bool {
+        grads.clip_global_norm(max_norm)
     }
     fn apply(&mut self, grads: &Self::Grads, opt: &mut dyn Optimizer) {
         opt.begin_step();
@@ -88,8 +89,8 @@ impl Trainable for crate::mlp::MlpForecaster {
     fn scale(grads: &mut Self::Grads, alpha: f64) {
         grads.scale(alpha);
     }
-    fn clip(grads: &mut Self::Grads, max_norm: f64) {
-        grads.clip_global_norm(max_norm);
+    fn clip(grads: &mut Self::Grads, max_norm: f64) -> bool {
+        grads.clip_global_norm(max_norm)
     }
     fn apply(&mut self, grads: &Self::Grads, opt: &mut dyn Optimizer) {
         opt.begin_step();
@@ -159,6 +160,8 @@ pub struct TrainReport {
 #[derive(Debug, Clone, Default)]
 pub struct Trainer {
     opts: TrainOptions,
+    telemetry: ld_telemetry::Telemetry,
+    scope: String,
 }
 
 impl Trainer {
@@ -166,7 +169,24 @@ impl Trainer {
     pub fn new(opts: TrainOptions) -> Self {
         assert!(opts.batch_size > 0, "batch_size must be >= 1");
         assert!(opts.max_epochs > 0, "max_epochs must be >= 1");
-        Trainer { opts }
+        Trainer {
+            opts,
+            telemetry: ld_telemetry::Telemetry::disabled(),
+            scope: String::new(),
+        }
+    }
+
+    /// Attaches a telemetry handle; per-epoch events are recorded under
+    /// `scope` (e.g. a hyperparameter fingerprint, so concurrent candidate
+    /// trainings stay distinguishable and deterministically ordered).
+    pub fn with_telemetry(
+        mut self,
+        telemetry: ld_telemetry::Telemetry,
+        scope: impl Into<String>,
+    ) -> Self {
+        self.telemetry = telemetry;
+        self.scope = scope.into();
+        self
     }
 
     /// The options in use.
@@ -208,6 +228,9 @@ impl Trainer {
         let mut early_stopped = false;
         let mut epochs_run = 0usize;
 
+        let telemetry_on = self.telemetry.is_enabled();
+        let fit_start = telemetry_on.then(std::time::Instant::now);
+
         for epoch in 0..self.opts.max_epochs {
             epochs_run += 1;
             if self.opts.lr_decay != 1.0 {
@@ -215,6 +238,9 @@ impl Trainer {
             }
             order.shuffle(&mut rng);
             let mut epoch_loss_sum = 0.0;
+            let mut batches = 0u64;
+            let mut clipped_batches = 0u64;
+            let epoch_start = telemetry_on.then(std::time::Instant::now);
 
             for chunk in order.chunks(self.opts.batch_size) {
                 let (loss_sum, mut grads) = chunk
@@ -237,9 +263,10 @@ impl Trainer {
                         },
                     );
                 epoch_loss_sum += loss_sum;
+                batches += 1;
                 M::scale(&mut grads, 1.0 / chunk.len() as f64);
-                if self.opts.clip_norm.is_finite() {
-                    M::clip(&mut grads, self.opts.clip_norm);
+                if self.opts.clip_norm.is_finite() && M::clip(&mut grads, self.opts.clip_norm) {
+                    clipped_batches += 1;
                 }
                 model.apply(&grads, opt);
             }
@@ -253,6 +280,24 @@ impl Trainer {
                 val_losses.push(v);
                 v
             };
+
+            if telemetry_on {
+                self.telemetry.incr("trainer.epochs");
+                self.telemetry.add("trainer.clip_activations", clipped_batches);
+                self.telemetry
+                    .record_with(&self.scope, "epoch", epoch as u64, |e| {
+                        e.num("train_mse", train_mse)
+                            .int("batches", batches)
+                            .int("clipped_batches", clipped_batches)
+                            .num(
+                                "wall_secs",
+                                epoch_start.map_or(0.0, |s| s.elapsed().as_secs_f64()),
+                            );
+                        if !val.is_empty() {
+                            e.num("val_mse", monitored);
+                        }
+                    });
+            }
 
             if monitored + self.opts.min_delta < best_loss {
                 best_loss = monitored;
@@ -268,6 +313,20 @@ impl Trainer {
         }
 
         *model = best_model;
+        if let Some(start) = fit_start {
+            let wall = start.elapsed().as_secs_f64();
+            self.telemetry.observe_secs("trainer.fit", wall);
+            self.telemetry.record_with(&self.scope, "fit", 0, |e| {
+                e.int("epochs_run", epochs_run as u64)
+                    .num("best_loss", best_loss)
+                    .flag("early_stopped", early_stopped)
+                    .text(
+                        "stop_reason",
+                        if early_stopped { "patience" } else { "max_epochs" },
+                    )
+                    .num("wall_secs", wall);
+            });
+        }
         TrainReport {
             epochs_run,
             train_losses,

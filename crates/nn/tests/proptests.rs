@@ -1,30 +1,31 @@
-//! Property-based tests for the neural-network substrate: gradient
-//! correctness on random architectures, training monotonicity, and
-//! structural invariants.
+//! Randomized property tests for the neural-network substrate: gradient
+//! correctness on random architectures, descent behavior, and structural
+//! invariants. Seeded-loop style: each property runs over a fixed number
+//! of randomly generated cases so failures reproduce exactly.
 
 use ld_nn::forecaster::{ForecasterConfig, LstmForecaster};
 use ld_nn::mlp::{MlpConfig, MlpForecaster};
 use ld_nn::{make_windows, Adam, Sample, TrainOptions, Trainer};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn small_window() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1.0..1.0f64, 3..6)
+fn small_window(rng: &mut StdRng) -> Vec<f64> {
+    let len = rng.gen_range(3..6usize);
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Analytic gradients match finite differences for random tiny LSTMs,
-    /// random windows and random targets — the backprop-through-time
-    /// implementation must be exact everywhere, not just at one test point.
-    #[test]
-    fn lstm_gradcheck_random_configs(
-        window in small_window(),
-        target in -1.0..1.0f64,
-        hidden in 1usize..4,
-        layers in 1usize..3,
-        seed in 0u64..1000,
-    ) {
+/// Analytic gradients match finite differences for random tiny LSTMs,
+/// random windows and random targets — the backprop-through-time
+/// implementation must be exact everywhere, not just at one test point.
+#[test]
+fn lstm_gradcheck_random_configs() {
+    let mut rng = StdRng::seed_from_u64(0x22B1);
+    for _ in 0..12 {
+        let window = small_window(&mut rng);
+        let target = rng.gen_range(-1.0..1.0);
+        let hidden = rng.gen_range(1..4usize);
+        let layers = rng.gen_range(1..3usize);
+        let seed = rng.gen_range(0..1000u64);
         let model = LstmForecaster::new(ForecasterConfig {
             history_len: window.len(),
             hidden_size: hidden,
@@ -58,33 +59,41 @@ proptest! {
                 (pred - target) * (pred - target)
             };
             let fd = (perturb(1.0) - perturb(-1.0)) / (2.0 * eps);
-            prop_assert!(
+            assert!(
                 (fd - analytic[slot]).abs() < 1e-5,
-                "slot {slot}: fd {fd} vs analytic {}", analytic[slot]
+                "slot {slot}: fd {fd} vs analytic {}",
+                analytic[slot]
             );
         }
     }
+}
 
-    /// Predictions are invariant under cloning and deterministic.
-    #[test]
-    fn lstm_prediction_deterministic(window in small_window(), seed in 0u64..1000) {
+/// Predictions are invariant under cloning and deterministic.
+#[test]
+fn lstm_prediction_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0x22B2);
+    for _ in 0..24 {
+        let window = small_window(&mut rng);
+        let seed = rng.gen_range(0..1000u64);
         let model = LstmForecaster::new(ForecasterConfig {
             history_len: window.len(),
             hidden_size: 3,
             num_layers: 1,
             seed,
         });
-        prop_assert_eq!(model.predict(&window), model.clone().predict(&window));
+        assert_eq!(model.predict(&window), model.clone().predict(&window));
     }
+}
 
-    /// One optimizer step on a single sample reduces that sample's loss
-    /// (small-step descent property).
-    #[test]
-    fn single_sample_step_descends(
-        window in small_window(),
-        target in -0.8..0.8f64,
-        seed in 0u64..500,
-    ) {
+/// One optimizer step on a single sample reduces that sample's loss
+/// (small-step descent property).
+#[test]
+fn single_sample_step_descends() {
+    let mut rng = StdRng::seed_from_u64(0x22B3);
+    for _ in 0..24 {
+        let window = small_window(&mut rng);
+        let target = rng.gen_range(-0.8..0.8);
+        let seed = rng.gen_range(0..500u64);
         let mut model = LstmForecaster::new(ForecasterConfig {
             history_len: window.len(),
             hidden_size: 3,
@@ -92,28 +101,31 @@ proptest! {
             seed,
         });
         let (loss_before, grads) = model.sample_grads(&window, target);
-        prop_assume!(loss_before > 1e-10);
-        let trainer_step = |m: &mut LstmForecaster| {
+        if loss_before <= 1e-10 {
+            continue; // already at the optimum; nothing to descend
+        }
+        {
             use ld_nn::trainer::Trainable;
             let mut opt = ld_nn::Sgd::new(1e-3);
-            m.apply(&grads, &mut opt);
-        };
-        trainer_step(&mut model);
+            model.apply(&grads, &mut opt);
+        }
         let (loss_after, _) = model.sample_grads(&window, target);
-        prop_assert!(
+        assert!(
             loss_after <= loss_before + 1e-12,
             "{loss_before} -> {loss_after}"
         );
     }
+}
 
-    /// The MLP's gradcheck, same style.
-    #[test]
-    fn mlp_gradcheck_random_configs(
-        window in small_window(),
-        target in -1.0..1.0f64,
-        hidden in 1usize..6,
-        seed in 0u64..1000,
-    ) {
+/// The MLP's gradcheck, same style.
+#[test]
+fn mlp_gradcheck_random_configs() {
+    let mut rng = StdRng::seed_from_u64(0x22B4);
+    for _ in 0..12 {
+        let window = small_window(&mut rng);
+        let target = rng.gen_range(-1.0..1.0);
+        let hidden = rng.gen_range(1..6usize);
+        let seed = rng.gen_range(0..1000u64);
         let model = MlpForecaster::new(MlpConfig {
             history_len: window.len(),
             hidden_size: hidden,
@@ -140,17 +152,22 @@ proptest! {
                 (pred - target) * (pred - target)
             };
             let fd = (perturb(1.0) - perturb(-1.0)) / (2.0 * eps);
-            prop_assert!((fd - analytic[slot]).abs() < 1e-5);
+            assert!((fd - analytic[slot]).abs() < 1e-5);
         }
     }
+}
 
-    /// Training on any bounded series never produces non-finite weights or
-    /// predictions (gradient clipping at work).
-    #[test]
-    fn training_stays_finite(values in proptest::collection::vec(0.0..1.0f64, 30..80)) {
+/// Training on any bounded series never produces non-finite weights or
+/// predictions (gradient clipping at work).
+#[test]
+fn training_stays_finite() {
+    let mut rng = StdRng::seed_from_u64(0x22B5);
+    for _ in 0..6 {
+        let len = rng.gen_range(30..80usize);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(0.0..1.0)).collect();
         let n = 4;
         let samples: Vec<Sample> = make_windows(&values, n);
-        prop_assume!(samples.len() >= 8);
+        assert!(samples.len() >= 8);
         let mut model = LstmForecaster::new(ForecasterConfig {
             history_len: n,
             hidden_size: 4,
@@ -166,6 +183,6 @@ proptest! {
         let mut opt = Adam::with_lr(1e-2);
         trainer.fit(&mut model, &mut opt, &samples, &[]);
         let pred = model.predict(&samples[0].window);
-        prop_assert!(pred.is_finite());
+        assert!(pred.is_finite());
     }
 }

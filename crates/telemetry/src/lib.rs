@@ -1,0 +1,543 @@
+//! Zero-overhead-when-off telemetry for the LoadDynamics hot loops.
+//!
+//! The framework's cost is concentrated in two nested loops — the Bayesian
+//! search over hyperparameters and, inside each candidate evaluation, the
+//! mini-batch training loop. This crate instruments both without changing
+//! their behavior:
+//!
+//! - **Counters** — monotone totals ("epochs run", "gradient clips fired").
+//! - **Timers** — aggregated wall-clock spans ("surrogate fit", "candidate
+//!   evaluation"), recorded as `count` + `total_secs`.
+//! - **Events** — structured per-epoch / per-iteration records with a small
+//!   set of typed fields.
+//!
+//! A [`Telemetry`] handle is either *enabled* (an `Arc` around shared,
+//! mutex-protected storage — cheap to clone into rayon closures) or
+//! *disabled* (the default: every method returns immediately without
+//! locking or allocating, so instrumented code paths cost one branch).
+//!
+//! # Determinism
+//!
+//! Events carry *logical* sort keys — a scope string (e.g.
+//! `"trainer/n=8 c=4 l=1 b=32"`), a kind, and an index (epoch or iteration
+//! number) — and [`Telemetry::snapshot`] orders by those keys plus the
+//! field contents, never by arrival order. Two runs that perform the same
+//! logical work therefore produce identically-ordered snapshots even when
+//! worker threads interleave differently. (Timer *values* are wall-clock
+//! measurements and naturally vary run to run; their ordering is by name
+//! and stable.)
+//!
+//! # JSON schema
+//!
+//! [`Snapshot`] serializes to `{"counters": [...], "timers": [...],
+//! "events": [...]}` — see the README for the full schema. It also
+//! deserializes, so snapshots written by the CLI and bench binaries can be
+//! post-processed by the same crate.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Shared storage behind an enabled [`Telemetry`] handle.
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<std::collections::BTreeMap<String, u64>>,
+    timers: Mutex<std::collections::BTreeMap<String, TimerAgg>>,
+    events: Mutex<Vec<EventRecord>>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct TimerAgg {
+    count: u64,
+    total_secs: f64,
+}
+
+/// Locks a registry mutex, recovering from poisoning (a panic in another
+/// thread must not cascade into the telemetry consumer).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A cheap-to-clone telemetry handle. Disabled by default; every recording
+/// method on a disabled handle is a no-op that neither locks nor allocates.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.inner.is_some() {
+            "Telemetry(enabled)"
+        } else {
+            "Telemetry(disabled)"
+        })
+    }
+}
+
+impl Telemetry {
+    /// A live handle: recordings accumulate in shared storage.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Registry::default())),
+        }
+    }
+
+    /// The default no-op handle.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// Whether this handle records anything. Instrumented code can use this
+    /// to skip building expensive arguments.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&self, name: &str, n: u64) {
+        let Some(reg) = &self.inner else { return };
+        *lock(&reg.counters).entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Folds an explicit duration into the named timer aggregate.
+    pub fn observe_secs(&self, name: &str, secs: f64) {
+        let Some(reg) = &self.inner else { return };
+        let mut timers = lock(&reg.timers);
+        let agg = timers.entry(name.to_string()).or_default();
+        agg.count += 1;
+        agg.total_secs += secs;
+    }
+
+    /// Times a closure under the named timer and returns its result.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        if self.inner.is_none() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.observe_secs(name, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Starts a guard that records its lifetime under the named timer when
+    /// dropped. On a disabled handle the guard is inert.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            inner: self
+                .inner
+                .as_ref()
+                .map(|_| (self.clone(), name.to_string(), Instant::now())),
+        }
+    }
+
+    /// Records a structured event. `scope`/`kind`/`index` are the logical
+    /// sort key; the closure populates fields and only runs when enabled.
+    pub fn record_with(
+        &self,
+        scope: &str,
+        kind: &str,
+        index: u64,
+        build: impl FnOnce(&mut EventBuilder),
+    ) {
+        let Some(reg) = &self.inner else { return };
+        let mut builder = EventBuilder { fields: Vec::new() };
+        build(&mut builder);
+        lock(&reg.events).push(EventRecord {
+            scope: scope.to_string(),
+            kind: kind.to_string(),
+            index,
+            fields: builder.fields,
+        });
+    }
+
+    /// A deterministic snapshot of everything recorded so far: counters and
+    /// timers sorted by name, events by (scope, kind, index, fields).
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(reg) = &self.inner else {
+            return Snapshot::default();
+        };
+        let counters = lock(&reg.counters)
+            .iter()
+            .map(|(name, &value)| CounterRecord {
+                name: name.clone(),
+                value,
+            })
+            .collect();
+        let timers = lock(&reg.timers)
+            .iter()
+            .map(|(name, agg)| TimerRecord {
+                name: name.clone(),
+                count: agg.count,
+                total_secs: agg.total_secs,
+            })
+            .collect();
+        let mut events: Vec<EventRecord> = lock(&reg.events).clone();
+        events.sort_by(EventRecord::logical_cmp);
+        Snapshot {
+            counters,
+            timers,
+            events,
+        }
+    }
+
+    /// The current snapshot as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("telemetry serialization")
+    }
+
+    /// Writes the current snapshot to a file as JSON.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Timer guard returned by [`Telemetry::span`].
+pub struct Span {
+    inner: Option<(Telemetry, String, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((tel, name, start)) = self.inner.take() {
+            tel.observe_secs(&name, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Accumulates the typed fields of one event.
+pub struct EventBuilder {
+    fields: Vec<Field>,
+}
+
+impl EventBuilder {
+    fn push(&mut self, name: &str, value: FieldValue) {
+        self.fields.push(Field {
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    /// Adds a floating-point field.
+    pub fn num(&mut self, name: &str, value: f64) -> &mut Self {
+        self.push(name, FieldValue::Num { value });
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn int(&mut self, name: &str, value: u64) -> &mut Self {
+        self.push(name, FieldValue::Int { value });
+        self
+    }
+
+    /// Adds a string field.
+    pub fn text(&mut self, name: &str, value: impl Into<String>) -> &mut Self {
+        self.push(
+            name,
+            FieldValue::Text {
+                value: value.into(),
+            },
+        );
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn flag(&mut self, name: &str, value: bool) -> &mut Self {
+        self.push(name, FieldValue::Flag { value });
+        self
+    }
+}
+
+/// One named counter in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CounterRecord {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated total.
+    pub value: u64,
+}
+
+/// One aggregated timer in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimerRecord {
+    /// Timer name.
+    pub name: String,
+    /// Number of spans folded in.
+    pub count: u64,
+    /// Total wall-clock seconds across all spans.
+    pub total_secs: f64,
+}
+
+/// One structured event in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EventRecord {
+    /// Logical scope, e.g. `"trainer/n=8 c=4 l=1 b=32"` or `"search"`.
+    pub scope: String,
+    /// Event kind within the scope, e.g. `"epoch"` or `"trial"`.
+    pub kind: String,
+    /// Position within (scope, kind): epoch number, trial number, interval.
+    pub index: u64,
+    /// Typed payload fields, in recording order.
+    pub fields: Vec<Field>,
+}
+
+impl EventRecord {
+    /// Total order on logical identity (scope, kind, index, then fields),
+    /// independent of the order in which threads recorded the events.
+    fn logical_cmp(a: &EventRecord, b: &EventRecord) -> std::cmp::Ordering {
+        a.scope
+            .cmp(&b.scope)
+            .then_with(|| a.kind.cmp(&b.kind))
+            .then_with(|| a.index.cmp(&b.index))
+            .then_with(|| {
+                let pairs = a.fields.iter().zip(&b.fields);
+                for (fa, fb) in pairs {
+                    let c = fa.logical_cmp(fb);
+                    if c != std::cmp::Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.fields.len().cmp(&b.fields.len())
+            })
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|f| f.name == name).map(|f| &f.value)
+    }
+
+    /// Convenience: the named field as `f64` (numeric or integer fields).
+    pub fn num(&self, name: &str) -> Option<f64> {
+        match self.field(name)? {
+            FieldValue::Num { value } => Some(*value),
+            FieldValue::Int { value } => Some(*value as f64),
+            _ => None,
+        }
+    }
+}
+
+/// One named, typed event field.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field value.
+    pub value: FieldValue,
+}
+
+impl Field {
+    fn logical_cmp(&self, other: &Field) -> std::cmp::Ordering {
+        self.name
+            .cmp(&other.name)
+            .then_with(|| self.value.logical_cmp(&other.value))
+    }
+}
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FieldValue {
+    /// Floating-point measurement.
+    Num {
+        /// The value.
+        value: f64,
+    },
+    /// Unsigned integer measurement.
+    Int {
+        /// The value.
+        value: u64,
+    },
+    /// Free-form label.
+    Text {
+        /// The value.
+        value: String,
+    },
+    /// Boolean marker.
+    Flag {
+        /// The value.
+        value: bool,
+    },
+}
+
+impl FieldValue {
+    fn rank(&self) -> u8 {
+        match self {
+            FieldValue::Num { .. } => 0,
+            FieldValue::Int { .. } => 1,
+            FieldValue::Text { .. } => 2,
+            FieldValue::Flag { .. } => 3,
+        }
+    }
+
+    fn logical_cmp(&self, other: &FieldValue) -> std::cmp::Ordering {
+        use FieldValue::*;
+        match (self, other) {
+            (Num { value: a }, Num { value: b }) => a.total_cmp(b),
+            (Int { value: a }, Int { value: b }) => a.cmp(b),
+            (Text { value: a }, Text { value: b }) => a.cmp(b),
+            (Flag { value: a }, Flag { value: b }) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+/// An immutable, deterministically-ordered dump of a [`Telemetry`] handle.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterRecord>,
+    /// All timers, sorted by name.
+    pub timers: Vec<TimerRecord>,
+    /// All events, sorted by (scope, kind, index, fields).
+    pub events: Vec<EventRecord>,
+}
+
+impl Snapshot {
+    /// Parses a snapshot previously produced by [`Telemetry::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// The value of a counter, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// The named timer aggregate, if recorded.
+    pub fn timer(&self, name: &str) -> Option<&TimerRecord> {
+        self.timers.iter().find(|t| t.name == name)
+    }
+
+    /// All events with the given scope and kind, in index order.
+    pub fn events_of(&self, scope: &str, kind: &str) -> Vec<&EventRecord> {
+        self.events
+            .iter()
+            .filter(|e| e.scope == scope && e.kind == kind)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.add("c", 5);
+        tel.observe_secs("t", 1.0);
+        let mut built = false;
+        tel.record_with("s", "k", 0, |_| built = true);
+        assert!(!built, "field builder must not run when disabled");
+        let out = tel.time("t", || 42);
+        assert_eq!(out, 42);
+        drop(tel.span("t"));
+        let snap = tel.snapshot();
+        assert_eq!(snap, Snapshot::default());
+    }
+
+    #[test]
+    fn counters_and_timers_aggregate() {
+        let tel = Telemetry::enabled();
+        tel.incr("epochs");
+        tel.add("epochs", 3);
+        tel.observe_secs("fit", 0.5);
+        tel.observe_secs("fit", 0.25);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("epochs"), 4);
+        let fit = snap.timer("fit").unwrap();
+        assert_eq!(fit.count, 2);
+        assert!((fit.total_secs - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_recording_yields_a_stable_sorted_snapshot() {
+        // Record the same logical events from many threads in scrambled
+        // per-thread orders; the snapshot must come out identical each time.
+        let record_all = || {
+            let tel = Telemetry::enabled();
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let tel = tel.clone();
+                    s.spawn(move || {
+                        for i in 0..25u64 {
+                            let idx = (i * 7 + t * 13) % 25;
+                            tel.record_with(&format!("scope{}", idx % 3), "step", idx, |e| {
+                                e.int("thread_sum", 6).num("x", idx as f64);
+                            });
+                            tel.incr("total");
+                        }
+                    });
+                }
+            });
+            tel.snapshot()
+        };
+        let a = record_all();
+        let b = record_all();
+        assert_eq!(a, b);
+        assert_eq!(a.counter("total"), 100);
+        // Sorted by (scope, kind, index).
+        for w in a.events.windows(2) {
+            assert_ne!(
+                EventRecord::logical_cmp(&w[0], &w[1]),
+                std::cmp::Ordering::Greater
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let tel = Telemetry::enabled();
+        tel.add("clips", 7);
+        tel.observe_secs("surrogate_fit", 0.125);
+        tel.record_with("trainer/n=8", "epoch", 0, |e| {
+            e.num("train_mse", 0.5)
+                .int("batches", 12)
+                .text("stop", "patience")
+                .flag("clipped", true);
+        });
+        let snap = tel.snapshot();
+        let json = tel.to_json();
+        let restored = Snapshot::from_json(&json).unwrap();
+        assert_eq!(snap, restored);
+        // Field accessors survive the roundtrip.
+        let epochs = restored.events_of("trainer/n=8", "epoch");
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].num("train_mse"), Some(0.5));
+        assert_eq!(epochs[0].num("batches"), Some(12.0));
+        assert_eq!(
+            epochs[0].field("stop"),
+            Some(&FieldValue::Text {
+                value: "patience".into()
+            })
+        );
+    }
+
+    #[test]
+    fn span_guard_times_its_scope() {
+        let tel = Telemetry::enabled();
+        {
+            let _guard = tel.span("scoped");
+            std::hint::black_box(());
+        }
+        let snap = tel.snapshot();
+        let t = snap.timer("scoped").unwrap();
+        assert_eq!(t.count, 1);
+        assert!(t.total_secs >= 0.0);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let tel = Telemetry::enabled();
+        let clone = tel.clone();
+        clone.incr("shared");
+        assert_eq!(tel.snapshot().counter("shared"), 1);
+    }
+}

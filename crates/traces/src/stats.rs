@@ -60,10 +60,11 @@ impl TraceProfile {
             let acs: Vec<f64> = (0..=limit).map(|l| series.autocorrelation(l)).collect();
             for lag in 3..limit {
                 let ac = acs[lag];
-                if ac > acs[lag - 1] && ac >= acs[lag + 1] {
-                    if dominant_cycle.is_none_or(|(_, best)| ac > best) {
-                        dominant_cycle = Some((lag, ac));
-                    }
+                if ac > acs[lag - 1]
+                    && ac >= acs[lag + 1]
+                    && dominant_cycle.is_none_or(|(_, best)| ac > best)
+                {
+                    dominant_cycle = Some((lag, ac));
                 }
             }
         }

@@ -1,80 +1,109 @@
-//! Property-based tests for the trace generators: structural invariants
-//! that must hold for any seed and any parameterization in sane ranges.
+//! Randomized property tests for the trace generators: structural
+//! invariants that must hold for any seed. Seeded-loop style: each
+//! property runs over a fixed number of randomly drawn seeds so failures
+//! reproduce exactly.
 
 use ld_api::Series;
 use ld_traces::generators::{azure, facebook, google, lcg, wikipedia};
 use ld_traces::{all_configurations, WorkloadKind};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn check_valid_jar_series(s: &Series) {
     assert!(!s.is_empty());
     assert!(
-        s.values.iter().all(|v| v.is_finite() && *v >= 0.0 && v.fract() == 0.0),
+        s.values
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0 && v.fract() == 0.0),
         "JARs must be non-negative integers"
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Every family produces valid counts for any seed and is
-    /// seed-deterministic.
-    #[test]
-    fn generators_valid_and_deterministic(seed in 0u64..10_000) {
+/// Every family produces valid counts for any seed and is
+/// seed-deterministic.
+#[test]
+fn generators_valid_and_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0x66F1);
+    for _ in 0..6 {
+        let seed = rng.gen_range(0..10_000u64);
         for kind in WorkloadKind::ALL {
             let a = kind.generate_base(seed);
             let b = kind.generate_base(seed);
             check_valid_jar_series(&a);
-            prop_assert_eq!(&a.values, &b.values, "{:?} not deterministic", kind);
+            assert_eq!(a.values, b.values, "{kind:?} not deterministic");
         }
     }
+}
 
-    /// Different seeds produce different traces (the generators are
-    /// actually stochastic, not constant).
-    #[test]
-    fn different_seeds_differ(seed in 0u64..10_000) {
+/// Different seeds produce different traces (the generators are actually
+/// stochastic, not constant).
+#[test]
+fn different_seeds_differ() {
+    let mut rng = StdRng::seed_from_u64(0x66F2);
+    for _ in 0..6 {
+        let seed = rng.gen_range(0..10_000u64);
         for kind in WorkloadKind::ALL {
             let a = kind.generate_base(seed);
             let b = kind.generate_base(seed + 1);
-            prop_assert_ne!(&a.values, &b.values);
+            assert_ne!(a.values, b.values);
         }
     }
+}
 
-    /// Magnitude ordering across families is stable for any seed:
-    /// Wikipedia >> Google >> (LCG, Facebook, Azure).
-    #[test]
-    fn family_magnitudes_ordered(seed in 0u64..1_000) {
+/// Magnitude ordering across families is stable for any seed:
+/// Wikipedia >> Google >> (LCG, Facebook, Azure).
+#[test]
+fn family_magnitudes_ordered() {
+    let mut rng = StdRng::seed_from_u64(0x66F3);
+    for _ in 0..6 {
+        let seed = rng.gen_range(0..1_000u64);
         let wiki = wikipedia::generate(seed).mean();
         let google = google::generate(seed).mean();
         let lcg_m = lcg::generate(seed).mean();
         let fb = facebook::generate(seed).mean();
         let az = azure::generate(seed).mean();
-        prop_assert!(wiki > google * 2.0, "wiki {wiki} vs google {google}");
-        prop_assert!(google > lcg_m * 100.0, "google {google} vs lcg {lcg_m}");
-        prop_assert!(lcg_m > az, "lcg {lcg_m} vs azure {az}");
-        prop_assert!(fb < 30.0 && az < 30.0, "fb {fb} az {az}");
+        assert!(wiki > google * 2.0, "wiki {wiki} vs google {google}");
+        assert!(google > lcg_m * 100.0, "google {google} vs lcg {lcg_m}");
+        assert!(lcg_m > az, "lcg {lcg_m} vs azure {az}");
+        assert!(fb < 30.0 && az < 30.0, "fb {fb} az {az}");
     }
+}
 
-    /// All 14 configurations build successfully for any seed, at the right
-    /// interval and a nontrivial length.
-    #[test]
-    fn all_configurations_build(seed in 0u64..500) {
+/// All configurations build successfully for any seed, at the right
+/// interval and a nontrivial length.
+#[test]
+fn all_configurations_build() {
+    let mut rng = StdRng::seed_from_u64(0x66F4);
+    for _ in 0..4 {
+        let seed = rng.gen_range(0..500u64);
         for config in all_configurations() {
             let s = config.build(seed);
-            prop_assert_eq!(s.interval_mins, config.interval_mins);
-            prop_assert!(s.len() >= 100, "{} too short: {}", config.label(), s.len());
+            assert_eq!(s.interval_mins, config.interval_mins);
+            assert!(s.len() >= 100, "{} too short: {}", config.label(), s.len());
             check_valid_jar_series(&s);
         }
     }
+}
 
-    /// Wikipedia keeps strong daily seasonality for any seed; Google never
-    /// develops one. This is the structural contrast Fig. 1 is about.
-    #[test]
-    fn seasonality_contrast_is_robust(seed in 0u64..200) {
+/// Wikipedia keeps strong daily seasonality for any seed; Google never
+/// develops one. This is the structural contrast Fig. 1 is about.
+#[test]
+fn seasonality_contrast_is_robust() {
+    let mut rng = StdRng::seed_from_u64(0x66F5);
+    for _ in 0..6 {
+        let seed = rng.gen_range(0..200u64);
         let day = ld_traces::generators::INTERVALS_PER_DAY;
         let wiki = wikipedia::generate(seed);
         let google = google::generate(seed);
-        prop_assert!(wiki.autocorrelation(day) > 0.6, "wiki daily AC {}", wiki.autocorrelation(day));
-        prop_assert!(google.autocorrelation(day).abs() < 0.5, "google daily AC {}", google.autocorrelation(day));
+        assert!(
+            wiki.autocorrelation(day) > 0.6,
+            "wiki daily AC {}",
+            wiki.autocorrelation(day)
+        );
+        assert!(
+            google.autocorrelation(day).abs() < 0.5,
+            "google daily AC {}",
+            google.autocorrelation(day)
+        );
     }
 }

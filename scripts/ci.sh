@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate for the workspace: release build, the tier-1 test suite, and a
+# warning-free clippy pass. Run from the repository root:
+#
+#     ./scripts/ci.sh
+#
+# Set CI_SKIP_BUILD=1 to reuse an existing release build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${CI_SKIP_BUILD:-0}" != "1" ]; then
+    echo "=== cargo build --release ==="
+    cargo build --release
+fi
+
+echo "=== cargo test -q ==="
+cargo test -q
+
+echo "=== cargo clippy --workspace -- -D warnings ==="
+cargo clippy --workspace -- -D warnings
+
+echo "ci.sh: all green"

@@ -8,20 +8,48 @@
 //! ld-cli list                                 list the 14 paper workload configurations
 //! ```
 //!
+//! `optimize`, `predict` and `evaluate` additionally accept
+//! `--telemetry[=PATH]`: the train/search hot loops record per-epoch and
+//! per-iteration telemetry, dumped as JSON to `PATH` (default
+//! `telemetry.json`) — see the README for the schema.
+//!
 //! Traces are plain text (`ld_api::Series::to_text` format): an optional
 //! `# name interval_mins=N` header, then one JAR per line.
 
 use ld_api::{predict_horizon, walk_forward, Partition, Predictor, Series};
 use ld_baselines::{CloudInsight, CloudScale, WoodPredictor};
+use ld_telemetry::Telemetry;
 use ld_traces::all_configurations;
 use loaddynamics::{FrameworkConfig, LoadDynamics};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ld-cli generate <config> <out.txt>\n  ld-cli optimize <trace.txt> [--fast]\n  \
-         ld-cli predict <trace.txt> [horizon]\n  ld-cli evaluate <trace.txt>\n  ld-cli list"
+        "usage:\n  ld-cli generate <config> <out.txt>\n  \
+         ld-cli optimize <trace.txt> [--fast] [--telemetry[=PATH]]\n  \
+         ld-cli predict <trace.txt> [horizon] [--telemetry[=PATH]]\n  \
+         ld-cli evaluate <trace.txt> [--telemetry[=PATH]]\n  ld-cli list"
     );
     std::process::exit(2);
+}
+
+/// Parses `--telemetry` / `--telemetry=PATH` into an output path.
+fn telemetry_path(args: &[String]) -> Option<String> {
+    args.iter().find_map(|a| {
+        if a == "--telemetry" {
+            Some("telemetry.json".to_string())
+        } else {
+            a.strip_prefix("--telemetry=").map(str::to_string)
+        }
+    })
+}
+
+/// Writes the snapshot and tells the user where it went.
+fn dump_telemetry(telemetry: &Telemetry, path: &str) {
+    telemetry.write_json(path).unwrap_or_else(|e| {
+        eprintln!("cannot write telemetry to {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("telemetry written to {path}");
 }
 
 fn read_series(path: &str) -> Series {
@@ -35,7 +63,7 @@ fn read_series(path: &str) -> Series {
     })
 }
 
-fn framework(series_len: usize, fast: bool) -> LoadDynamics {
+fn framework(series_len: usize, fast: bool, telemetry: &Telemetry) -> LoadDynamics {
     // Scale effort to the series size unless --fast is given.
     let config = if fast || series_len < 600 {
         FrameworkConfig::fast_preset(0)
@@ -52,7 +80,7 @@ fn framework(series_len: usize, fast: bool) -> LoadDynamics {
         };
         c
     };
-    LoadDynamics::new(config)
+    LoadDynamics::new(config.with_telemetry(telemetry.clone()))
 }
 
 fn cmd_generate(label: &str, out: &str) {
@@ -73,7 +101,7 @@ fn cmd_generate(label: &str, out: &str) {
     );
 }
 
-fn cmd_optimize(path: &str, fast: bool) {
+fn cmd_optimize(path: &str, fast: bool, telemetry_out: Option<&str>) {
     let series = read_series(path);
     println!(
         "optimizing on {} ({} intervals, {} min each)...",
@@ -81,15 +109,20 @@ fn cmd_optimize(path: &str, fast: bool) {
         series.len(),
         series.interval_mins
     );
-    let outcome = framework(series.len(), fast).optimize(&series);
+    let telemetry = telemetry_out.map_or_else(Telemetry::disabled, |_| Telemetry::enabled());
+    let outcome = framework(series.len(), fast, &telemetry).optimize(&series);
     println!("selected hyperparameters: {}", outcome.hyperparams);
     println!("cross-validation MAPE:    {:.2}%", outcome.val_mape);
     println!("trials evaluated:         {}", outcome.trials.trials.len());
+    if let Some(out) = telemetry_out {
+        dump_telemetry(&telemetry, out);
+    }
 }
 
-fn cmd_predict(path: &str, horizon: usize) {
+fn cmd_predict(path: &str, horizon: usize, telemetry_out: Option<&str>) {
     let series = read_series(path);
-    let outcome = framework(series.len(), false).optimize(&series);
+    let telemetry = telemetry_out.map_or_else(Telemetry::disabled, |_| Telemetry::enabled());
+    let outcome = framework(series.len(), false, &telemetry).optimize(&series);
     eprintln!(
         "tuned {} (val MAPE {:.1}%)",
         outcome.hyperparams, outcome.val_mape
@@ -99,16 +132,20 @@ fn cmd_predict(path: &str, horizon: usize) {
     for (k, p) in preds.iter().enumerate() {
         println!("t+{}: {:.1}", k + 1, p);
     }
+    if let Some(out) = telemetry_out {
+        dump_telemetry(&telemetry, out);
+    }
 }
 
-fn cmd_evaluate(path: &str) {
+fn cmd_evaluate(path: &str, telemetry_out: Option<&str>) {
     let series = read_series(path);
     let partition = Partition::paper_default(series.len());
     println!(
         "walk-forward over the last {} intervals:",
         series.len() - partition.val_end
     );
-    let outcome = framework(series.len(), false).optimize(&series);
+    let telemetry = telemetry_out.map_or_else(Telemetry::disabled, |_| Telemetry::enabled());
+    let outcome = framework(series.len(), false, &telemetry).optimize(&series);
     let mut rows: Vec<(String, f64)> = Vec::new();
     let mut ld: Box<dyn Predictor> = Box::new(outcome.predictor);
     rows.push((
@@ -127,6 +164,9 @@ fn cmd_evaluate(path: &str) {
     for (name, mape) in rows {
         println!("  {name:<14} MAPE {mape:>7.2}%");
     }
+    if let Some(out) = telemetry_out {
+        dump_telemetry(&telemetry, out);
+    }
 }
 
 fn cmd_list() {
@@ -137,20 +177,23 @@ fn cmd_list() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_out = telemetry_path(&args);
     match args.first().map(String::as_str) {
         Some("generate") if args.len() == 3 => cmd_generate(&args[1], &args[2]),
-        Some("optimize") if args.len() >= 2 => {
-            cmd_optimize(&args[1], args.iter().any(|a| a == "--fast"))
-        }
+        Some("optimize") if args.len() >= 2 => cmd_optimize(
+            &args[1],
+            args.iter().any(|a| a == "--fast"),
+            telemetry_out.as_deref(),
+        ),
         Some("predict") if args.len() >= 2 => {
             let horizon = args
                 .get(2)
                 .and_then(|h| h.parse().ok())
                 .unwrap_or(3usize)
                 .clamp(1, 1000);
-            cmd_predict(&args[1], horizon)
+            cmd_predict(&args[1], horizon, telemetry_out.as_deref())
         }
-        Some("evaluate") if args.len() == 2 => cmd_evaluate(&args[1]),
+        Some("evaluate") if args.len() >= 2 => cmd_evaluate(&args[1], telemetry_out.as_deref()),
         Some("list") => cmd_list(),
         _ => usage(),
     }

@@ -1,0 +1,148 @@
+//! Integration: the telemetry subsystem observing a full fast-preset
+//! LoadDynamics run (the Fig. 6 workflow). Checks the whole recording
+//! chain — trainer epochs, candidate evaluations, Bayesian-optimizer
+//! trials, the strategy-agnostic search history, and the framework
+//! summary — plus the JSON export.
+
+use ld_api::Series;
+use ld_telemetry::{Snapshot, Telemetry};
+use loaddynamics::{FrameworkConfig, LoadDynamics};
+
+const MAX_ITERS: usize = 5;
+
+fn seasonal_series(len: usize) -> Series {
+    Series::new(
+        "seasonal",
+        30,
+        (0..len)
+            .map(|i| 100.0 + 40.0 * (i as f64 * 0.3).sin())
+            .collect(),
+    )
+}
+
+/// Runs the fast-preset workflow with telemetry enabled and returns the
+/// recorded snapshot.
+fn optimized_snapshot(seed: u64) -> Snapshot {
+    let telemetry = Telemetry::enabled();
+    let mut config = FrameworkConfig::fast_preset(seed).with_telemetry(telemetry.clone());
+    config.max_iters = MAX_ITERS;
+    let outcome = LoadDynamics::new(config).optimize(&seasonal_series(240));
+    assert!(outcome.val_mape.is_finite());
+    telemetry.snapshot()
+}
+
+#[test]
+fn search_history_matches_the_iteration_budget() {
+    let snap = optimized_snapshot(11);
+    let trials = snap.events_of("search", "trial");
+    assert_eq!(trials.len(), MAX_ITERS, "one search event per BO iteration");
+    for (i, trial) in trials.iter().enumerate() {
+        assert_eq!(trial.index, i as u64);
+        assert!(trial.num("val_mape").unwrap().is_finite());
+        assert!(trial.field("hyperparams").is_some());
+    }
+    // The Bayesian optimizer records its own view of the same budget.
+    assert_eq!(snap.events_of("bayesopt", "trial").len(), MAX_ITERS);
+}
+
+#[test]
+fn incumbent_trajectory_is_monotone_non_increasing() {
+    let snap = optimized_snapshot(11);
+    let trials = snap.events_of("search", "trial");
+    let mut prev = f64::INFINITY;
+    let mut best = f64::INFINITY;
+    for trial in &trials {
+        let incumbent = trial.num("incumbent").unwrap();
+        assert!(
+            incumbent <= prev,
+            "incumbent went up: {prev} -> {incumbent}"
+        );
+        best = best.min(trial.num("val_mape").unwrap());
+        assert_eq!(incumbent, best, "incumbent must track the running best");
+        prev = incumbent;
+    }
+}
+
+#[test]
+fn trainer_epochs_record_finite_losses() {
+    let snap = optimized_snapshot(12);
+    let epochs: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| e.kind == "epoch" && e.scope.starts_with("trainer/"))
+        .collect();
+    assert!(!epochs.is_empty(), "no trainer epoch events recorded");
+    for epoch in &epochs {
+        let train_mse = epoch.num("train_mse").unwrap();
+        assert!(train_mse.is_finite() && train_mse >= 0.0);
+        assert!(epoch.num("batches").unwrap() >= 1.0);
+    }
+    // Per candidate, the best-so-far training loss must improve on the
+    // first epoch for at least one candidate (the loop is learning), and
+    // the events_of ordering gives epochs in index order per scope.
+    let mut any_improved = false;
+    let scopes: std::collections::BTreeSet<_> =
+        epochs.iter().map(|e| e.scope.clone()).collect();
+    for scope in &scopes {
+        let losses: Vec<f64> = snap
+            .events_of(scope, "epoch")
+            .iter()
+            .map(|e| e.num("train_mse").unwrap())
+            .collect();
+        let first = losses[0];
+        let best = losses.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(best <= first);
+        if best < first {
+            any_improved = true;
+        }
+    }
+    assert!(any_improved, "no candidate's training loss ever improved");
+    // The epoch counter aggregates exactly the recorded epoch events.
+    assert_eq!(snap.counter("trainer.epochs"), epochs.len() as u64);
+    // maxIters candidate evaluations plus the final retrain of the winner.
+    assert_eq!(
+        snap.counter("framework.candidate_evals"),
+        MAX_ITERS as u64 + 1
+    );
+    assert!(snap.timer("trainer.fit").map_or(0, |t| t.count) >= 1);
+}
+
+#[test]
+fn snapshot_exports_valid_json_with_framework_summary() {
+    let snap = optimized_snapshot(13);
+    // Re-parse via the same JSON path the CLI / bench binaries use.
+    let json = serde_json::to_string_pretty(&snap).unwrap();
+    let parsed = Snapshot::from_json(&json).unwrap();
+    assert_eq!(parsed.counters, snap.counters);
+    assert_eq!(parsed.events, snap.events);
+
+    let summary = parsed.events_of("framework", "optimize");
+    assert_eq!(summary.len(), 1);
+    assert_eq!(summary[0].num("trials").unwrap() as usize, MAX_ITERS);
+    assert!(summary[0].field("selected").is_some());
+    assert_eq!(parsed.timer("framework.optimize").unwrap().count, 1);
+}
+
+#[test]
+fn identical_runs_record_identical_logical_telemetry() {
+    // Two runs with the same seed must agree on everything except wall
+    // clock: same counters, same event keys, same non-timing payloads.
+    let strip_times = |snap: &Snapshot| -> Vec<String> {
+        snap.events
+            .iter()
+            .map(|e| {
+                let fields: Vec<String> = e
+                    .fields
+                    .iter()
+                    .filter(|f| !f.name.contains("secs"))
+                    .map(|f| format!("{}={:?}", f.name, f.value))
+                    .collect();
+                format!("{}/{}/{} {}", e.scope, e.kind, e.index, fields.join(" "))
+            })
+            .collect()
+    };
+    let a = optimized_snapshot(14);
+    let b = optimized_snapshot(14);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(strip_times(&a), strip_times(&b));
+}

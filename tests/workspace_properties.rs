@@ -1,14 +1,20 @@
-//! Property-based tests spanning crate boundaries: invariants that must
-//! hold for *any* workload, not just the five generated families.
+//! Randomized property tests spanning crate boundaries: invariants that
+//! must hold for *any* workload, not just the five generated families.
+//! Seeded-loop style: each property runs over a fixed number of randomly
+//! generated series so failures reproduce exactly.
 
 use ld_api::{walk_forward, MinMaxScaler, Partition, Predictor, Series};
 use ld_baselines::{CloudScale, WoodPredictor};
 use ld_nn::make_windows;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 32;
 
 /// Arbitrary JAR series: positive, finite, length 40..200.
-fn jar_series() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0..10_000.0f64, 40..200)
+fn jar_series(rng: &mut StdRng) -> Vec<f64> {
+    let len = rng.gen_range(40..200usize);
+    (0..len).map(|_| rng.gen_range(0.0..10_000.0)).collect()
 }
 
 struct Persist;
@@ -22,84 +28,110 @@ impl Predictor for Persist {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn partition_is_a_disjoint_cover(values in jar_series()) {
+#[test]
+fn partition_is_a_disjoint_cover() {
+    let mut rng = StdRng::seed_from_u64(0x77A1);
+    for _ in 0..CASES {
+        let values = jar_series(&mut rng);
         let p = Partition::paper_default(values.len());
         let total = p.train(&values).len() + p.val(&values).len() + p.test(&values).len();
-        prop_assert_eq!(total, values.len());
+        assert_eq!(total, values.len());
         // Reassembling the three slices reproduces the series.
         let mut rebuilt = p.train(&values).to_vec();
         rebuilt.extend_from_slice(p.val(&values));
         rebuilt.extend_from_slice(p.test(&values));
-        prop_assert_eq!(rebuilt, values);
+        assert_eq!(rebuilt, values);
     }
+}
 
-    #[test]
-    fn scaler_fit_on_train_roundtrips_everything(values in jar_series()) {
+#[test]
+fn scaler_fit_on_train_roundtrips_everything() {
+    let mut rng = StdRng::seed_from_u64(0x77A2);
+    for _ in 0..CASES {
+        let values = jar_series(&mut rng);
         let p = Partition::paper_default(values.len());
         let scaler = MinMaxScaler::fit(p.train(&values));
         for &v in &values {
-            prop_assert!((scaler.inverse(scaler.transform(v)) - v).abs() < 1e-6);
+            assert!((scaler.inverse(scaler.transform(v)) - v).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn walk_forward_always_aligns_preds_and_actuals(values in jar_series()) {
+#[test]
+fn walk_forward_always_aligns_preds_and_actuals() {
+    let mut rng = StdRng::seed_from_u64(0x77A3);
+    for _ in 0..CASES {
+        let values = jar_series(&mut rng);
         let series = Series::new("prop", 5, values);
         let p = Partition::paper_default(series.len());
         let r = walk_forward(&mut Persist, &series, p.val_end);
-        prop_assert_eq!(r.preds.len(), r.actuals.len());
-        prop_assert_eq!(r.actuals.clone(), series.values[p.val_end..].to_vec());
-        prop_assert!(r.preds.iter().all(|v| v.is_finite() && *v >= 0.0));
-        prop_assert!(r.mape() >= 0.0);
+        assert_eq!(r.preds.len(), r.actuals.len());
+        assert_eq!(r.actuals, series.values[p.val_end..].to_vec());
+        assert!(r.preds.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(r.mape() >= 0.0);
     }
+}
 
-    #[test]
-    fn baselines_never_panic_or_emit_nan_on_arbitrary_series(values in jar_series()) {
+#[test]
+fn baselines_never_panic_or_emit_nan_on_arbitrary_series() {
+    let mut rng = StdRng::seed_from_u64(0x77A4);
+    for _ in 0..8 {
+        let values = jar_series(&mut rng);
         let series = Series::new("prop", 5, values);
         let p = Partition::paper_default(series.len());
         let mut cloudscale = CloudScale::default();
         let mut wood = WoodPredictor::default();
         let a = walk_forward(&mut cloudscale, &series, p.val_end);
         let b = walk_forward(&mut wood, &series, p.val_end);
-        prop_assert!(a.mape().is_finite());
-        prop_assert!(b.mape().is_finite());
+        assert!(a.mape().is_finite());
+        assert!(b.mape().is_finite());
     }
+}
 
-    #[test]
-    fn windowing_covers_each_target_exactly_once(values in jar_series(), n in 1usize..12) {
+#[test]
+fn windowing_covers_each_target_exactly_once() {
+    let mut rng = StdRng::seed_from_u64(0x77A5);
+    for _ in 0..CASES {
+        let values = jar_series(&mut rng);
+        let n = rng.gen_range(1..12usize);
         let windows = make_windows(&values, n);
         if values.len() > n {
-            prop_assert_eq!(windows.len(), values.len() - n);
+            assert_eq!(windows.len(), values.len() - n);
             for (k, w) in windows.iter().enumerate() {
-                prop_assert_eq!(w.window.len(), n);
-                prop_assert_eq!(w.target, values[k + n]);
+                assert_eq!(w.window.len(), n);
+                assert_eq!(w.target, values[k + n]);
                 // Window contents match the series slice.
-                prop_assert_eq!(&w.window[..], &values[k..k + n]);
+                assert_eq!(&w.window[..], &values[k..k + n]);
             }
         } else {
-            prop_assert!(windows.is_empty());
+            assert!(windows.is_empty());
         }
     }
+}
 
-    #[test]
-    fn aggregation_preserves_total_mass(values in jar_series(), factor in 1usize..8) {
+#[test]
+fn aggregation_preserves_total_mass() {
+    let mut rng = StdRng::seed_from_u64(0x77A6);
+    for _ in 0..CASES {
+        let values = jar_series(&mut rng);
+        let factor = rng.gen_range(1..8usize);
         let series = Series::new("prop", 5, values);
         let agg = series.aggregate(factor);
         let used = agg.len() * factor;
         let total_base: f64 = series.values[..used].iter().sum();
         let total_agg: f64 = agg.values.iter().sum();
-        prop_assert!((total_base - total_agg).abs() < 1e-6);
+        assert!((total_base - total_agg).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn perfect_predictions_give_zero_error_metrics(values in jar_series()) {
+#[test]
+fn perfect_predictions_give_zero_error_metrics() {
+    let mut rng = StdRng::seed_from_u64(0x77A7);
+    for _ in 0..CASES {
+        let values = jar_series(&mut rng);
         let preds = values.clone();
-        prop_assert_eq!(ld_api::metrics::mape(&preds, &values), 0.0);
-        prop_assert_eq!(ld_api::metrics::rmse(&preds, &values), 0.0);
-        prop_assert_eq!(ld_api::metrics::mae(&preds, &values), 0.0);
+        assert_eq!(ld_api::metrics::mape(&preds, &values), 0.0);
+        assert_eq!(ld_api::metrics::rmse(&preds, &values), 0.0);
+        assert_eq!(ld_api::metrics::mae(&preds, &values), 0.0);
     }
 }

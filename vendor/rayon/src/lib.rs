@@ -1,0 +1,365 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! The sandbox this repository builds in has no crates.io access, so the
+//! workspace vendors the *subset* of the rayon API it uses: `par_iter`,
+//! `into_par_iter`, `par_chunks_mut`, with `map` / `filter_map` adaptors and
+//! `collect` / `for_each` / `fold(..).reduce(..)` terminals.
+//!
+//! Unlike real rayon this shim is **bitwise deterministic**: inputs are split
+//! into a *fixed* number of contiguous chunks ([`CHUNKS`]) regardless of core
+//! count, chunks may run on scoped threads, and partial results are always
+//! combined sequentially in chunk order. Floating-point accumulations (e.g.
+//! the trainer's gradient reduction) therefore produce identical bits on any
+//! machine and any thread schedule — which the workspace's determinism
+//! regression tests and the telemetry subsystem rely on.
+
+// The adaptor chain spells out its closure types instead of boxing them;
+// the resulting signatures are noisy but monomorphize away.
+#![allow(clippy::type_complexity)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Fixed chunk count for every parallel operation. Constant (rather than
+/// derived from core count) so the combination tree — and therefore every
+/// float reduction — is identical on every machine.
+pub const CHUNKS: usize = 8;
+
+/// True when scoped threads are worth spawning at all.
+fn threads_available() -> bool {
+    std::thread::available_parallelism()
+        .map(|n| n.get() > 1)
+        .unwrap_or(false)
+}
+
+/// Balanced contiguous chunk boundaries: `len` split into at most
+/// [`CHUNKS`] pieces, earlier pieces one longer when it doesn't divide
+/// evenly. Depends only on `len`, never on the machine.
+fn chunk_bounds(len: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let pieces = CHUNKS.min(len);
+    let base = len / pieces;
+    let extra = len % pieces;
+    let mut bounds = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for i in 0..pieces {
+        let size = base + usize::from(i < extra);
+        bounds.push(start..start + size);
+        start += size;
+    }
+    bounds
+}
+
+/// Splits `items` into chunk vectors per [`chunk_bounds`] (in order).
+fn split_into_chunks<T>(items: Vec<T>) -> Vec<Vec<T>> {
+    let bounds = chunk_bounds(items.len());
+    let mut chunks: Vec<Vec<T>> = bounds.iter().map(|r| Vec::with_capacity(r.len())).collect();
+    let mut which = 0;
+    for (i, item) in items.into_iter().enumerate() {
+        if !bounds[which].contains(&i) {
+            which += 1;
+        }
+        chunks[which].push(item);
+    }
+    chunks
+}
+
+/// Runs `work` over every chunk — on scoped threads when more than one core
+/// is available, sequentially otherwise — and returns per-chunk outputs **in
+/// chunk order** either way.
+fn run_chunks<T, A, W>(chunks: Vec<Vec<T>>, work: &W) -> Vec<A>
+where
+    T: Send,
+    A: Send,
+    W: Fn(Vec<T>) -> A + Sync,
+{
+    if chunks.len() > 1 && threads_available() {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || work(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        })
+    } else {
+        chunks.into_iter().map(work).collect()
+    }
+}
+
+type BaseFn<T> = fn(T) -> Option<T>;
+
+/// A materialized "parallel" iterator: the source items plus a composed
+/// per-item `T -> Option<U>` stage (maps return `Some`, filters may drop).
+pub struct ParIter<T, U, F> {
+    items: Vec<T>,
+    f: F,
+    _out: PhantomData<fn() -> U>,
+}
+
+fn base<T>(items: Vec<T>) -> ParIter<T, T, BaseFn<T>> {
+    ParIter {
+        items,
+        f: Some as BaseFn<T>,
+        _out: PhantomData,
+    }
+}
+
+impl<T, U, F> ParIter<T, U, F>
+where
+    F: Fn(T) -> Option<U> + Sync,
+{
+    /// Transforms every element.
+    pub fn map<V, G>(self, g: G) -> ParIter<T, V, impl Fn(T) -> Option<V> + Sync>
+    where
+        G: Fn(U) -> V + Sync,
+    {
+        let f = self.f;
+        ParIter {
+            items: self.items,
+            f: move |t| f(t).map(&g),
+            _out: PhantomData,
+        }
+    }
+
+    /// Transforms and filters in one pass.
+    pub fn filter_map<V, G>(self, g: G) -> ParIter<T, V, impl Fn(T) -> Option<V> + Sync>
+    where
+        G: Fn(U) -> Option<V> + Sync,
+    {
+        let f = self.f;
+        ParIter {
+            items: self.items,
+            f: move |t| f(t).and_then(&g),
+            _out: PhantomData,
+        }
+    }
+
+    /// Collects surviving elements in source order.
+    pub fn collect<C>(self) -> C
+    where
+        T: Send,
+        U: Send,
+        C: FromIterator<U>,
+    {
+        let f = &self.f;
+        let per_chunk = run_chunks(split_into_chunks(self.items), &|chunk: Vec<T>| {
+            chunk.into_iter().filter_map(f).collect::<Vec<U>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Runs `g` on every surviving element.
+    pub fn for_each<G>(self, g: G)
+    where
+        T: Send,
+        U: Send,
+        G: Fn(U) + Sync,
+    {
+        let f = &self.f;
+        run_chunks(split_into_chunks(self.items), &|chunk: Vec<T>| {
+            for t in chunk {
+                if let Some(u) = f(t) {
+                    g(u);
+                }
+            }
+        });
+    }
+
+    /// Folds each chunk into one accumulator (rayon's `fold`): the result
+    /// holds exactly one partial per chunk, in chunk order.
+    pub fn fold<A, ID, OP>(self, identity: ID, op: OP) -> FoldPartials<A>
+    where
+        T: Send,
+        A: Send,
+        ID: Fn() -> A + Sync,
+        OP: Fn(A, U) -> A + Sync,
+    {
+        let f = &self.f;
+        let partials = run_chunks(split_into_chunks(self.items), &|chunk: Vec<T>| {
+            let mut acc = identity();
+            for t in chunk {
+                if let Some(u) = f(t) {
+                    acc = op(acc, u);
+                }
+            }
+            acc
+        });
+        FoldPartials { partials }
+    }
+}
+
+/// Per-chunk accumulators produced by [`ParIter::fold`], combined by
+/// [`FoldPartials::reduce`] strictly left-to-right in chunk order.
+pub struct FoldPartials<A> {
+    partials: Vec<A>,
+}
+
+impl<A> FoldPartials<A> {
+    /// Combines the partials sequentially — the deterministic half of the
+    /// `fold(..).reduce(..)` idiom.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> A
+    where
+        ID: Fn() -> A,
+        OP: Fn(A, A) -> A,
+    {
+        self.partials.into_iter().fold(identity(), op)
+    }
+}
+
+/// `into_par_iter()` on owned collections.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Builds the base pipeline.
+    fn into_par_iter(self) -> ParIter<Self::Item, Self::Item, BaseFn<Self::Item>>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T, T, BaseFn<T>> {
+        base(self)
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize, usize, BaseFn<usize>> {
+        base(self.collect())
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64, u64, BaseFn<u64>> {
+        base(self.collect())
+    }
+}
+
+/// `par_iter()` on borrowed slices (and through deref, `Vec`s).
+pub trait IntoParallelRefIterator<'data> {
+    /// Borrowed element type.
+    type Item: 'data;
+    /// Builds the base pipeline over references.
+    fn par_iter(&'data self) -> ParIter<&'data Self::Item, &'data Self::Item, BaseFn<&'data Self::Item>>;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<&'data T, &'data T, BaseFn<&'data T>> {
+        base(self.iter().collect())
+    }
+}
+
+/// Indexed mutable chunks (`par_chunks_mut(..).enumerate().for_each(..)`).
+pub struct ParChunksMut<'data, T> {
+    chunks: Vec<&'data mut [T]>,
+}
+
+impl<'data, T> ParChunksMut<'data, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParIter<(usize, &'data mut [T]), (usize, &'data mut [T]), BaseFn<(usize, &'data mut [T])>> {
+        base(self.chunks.into_iter().enumerate().collect())
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Splits into non-overlapping mutable chunks of `size` (last may be
+    /// shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be > 0");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i64> = (0..100).collect();
+        let doubled: Vec<i64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_filter_map() {
+        let odds: Vec<usize> = (0..50usize)
+            .into_par_iter()
+            .filter_map(|x| if x % 2 == 1 { Some(x) } else { None })
+            .collect();
+        assert_eq!(odds, (0..50).filter(|x| x % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_sum() {
+        let v: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let par = v
+            .par_iter()
+            .fold(|| 0.0f64, |acc, &x| acc + x)
+            .reduce(|| 0.0, |a, b| a + b);
+        // Chunked summation differs from naive left-to-right, but must be
+        // bitwise identical between runs.
+        let par2 = v
+            .par_iter()
+            .fold(|| 0.0f64, |acc, &x| acc + x)
+            .reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(par.to_bits(), par2.to_bits());
+        assert!((par - v.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_bounds_cover_everything_once() {
+        for len in [0usize, 1, 5, 8, 9, 64, 1000] {
+            let bounds = super::chunk_bounds(len);
+            let mut covered = 0usize;
+            for (i, r) in bounds.iter().enumerate() {
+                assert_eq!(r.start, covered, "gap before chunk {i} at len {len}");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+            assert!(bounds.len() <= super::CHUNKS);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_for_each() {
+        let mut data = vec![0.0f64; 37];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as f64;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, (i / 10) as f64);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_element() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..123).collect();
+        v.par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 123);
+    }
+}

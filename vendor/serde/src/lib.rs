@@ -1,0 +1,377 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The sandbox this repository builds in has no crates.io access, so the
+//! workspace replaces serde's visitor architecture with a simple value
+//! model: [`Serialize`] lowers a type to a [`Value`] tree and
+//! [`Deserialize`] rebuilds it from one. `serde_json` (also vendored)
+//! renders and parses `Value` as JSON text. The derive macros are
+//! re-exported from `serde_derive`, mirroring upstream's layout, so
+//! `#[derive(Serialize, Deserialize)]` and `#[derive(serde::Serialize)]`
+//! both work unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON-shaped value tree.
+///
+/// Objects keep insertion order (a `Vec` of pairs, not a map) so derived
+/// serialization — and therefore every JSON artifact the workspace writes —
+/// is deterministic. Unsigned and signed integers are separate variants so
+/// `u64` seeds above 2^53 survive round-trips exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (JSON number without sign, fraction or exponent).
+    Uint(u64),
+    /// Negative integer (JSON number with sign, no fraction or exponent).
+    Int(i64),
+    /// Any other JSON number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up an object entry.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object entry lookup that errors (for derived `from_value` impls).
+    pub fn field(&self, key: &str) -> Result<&Value, DeError> {
+        self.get(key)
+            .ok_or_else(|| DeError::new(format!("missing field `{key}`")))
+    }
+
+    /// The value as a `u64` when losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Uint(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` when losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::Uint(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// Any numeric value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Uint(u) => Some(u as f64),
+            Value::Int(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object entries.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Shared `null` for out-of-bounds indexing, as in real `serde_json`.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Deserialization (and JSON parse) error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lowers a type to a [`Value`] tree.
+pub trait Serialize {
+    /// The value representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds a type from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value, with a descriptive error on mismatch.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::new(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        // Non-finite floats serialize as `null` (as in real serde_json);
+        // accept the round-trip back as NaN.
+        if v.is_null() {
+            return Ok(f64::NAN);
+        }
+        v.as_f64()
+            .ok_or_else(|| DeError::new(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Uint(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64()
+                    .ok_or_else(|| DeError::new(format!(
+                        "expected unsigned integer, got {v:?}"
+                    )))?;
+                <$t>::try_from(u).map_err(|_| DeError::new(format!(
+                    "integer {u} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::Uint(i as u64)
+                } else {
+                    Value::Int(i)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64()
+                    .ok_or_else(|| DeError::new(format!(
+                        "expected integer, got {v:?}"
+                    )))?;
+                <$t>::try_from(i).map_err(|_| DeError::new(format!(
+                    "integer {i} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {v:?}")))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_round_trips_preserve_kind() {
+        let big: u64 = u64::MAX - 7; // above 2^53: must not go through f64
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+        assert_eq!(i64::from_value(&(-42i64).to_value()).unwrap(), -42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Vec<Option<f64>> = vec![Some(1.0), None, Some(-2.5)];
+        let round: Vec<Option<f64>> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(v, round);
+    }
+
+    #[test]
+    fn indexing_missing_keys_yields_null() {
+        let obj = Value::Object(vec![("a".into(), Value::Uint(1))]);
+        assert_eq!(obj["a"].as_u64(), Some(1));
+        assert!(obj["missing"].is_null());
+        assert!(obj["missing"]["deeper"].is_null());
+        assert!(obj[3].is_null());
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::Uint(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The sandbox this repository builds in has no crates.io access (so no
+//! `syn`/`quote`); this crate parses the item token stream by hand and emits
+//! impls of the workspace serde's value-model traits
+//! (`serde::Serialize::to_value` / `serde::Deserialize::from_value`).
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! - structs with named fields (any visibility; generated impls live in the
+//!   defining module, so private fields are fine)
+//! - enums with unit variants and/or named-field ("struct") variants
+//!
+//! Representation mirrors serde's externally-tagged default:
+//! unit variant -> `"Name"`, struct variant -> `{"Name": {fields...}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed item: name plus either struct fields or enum variants.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant: unit (`fields: None`) or named-field.
+struct Variant {
+    name: String,
+    fields: Option<Vec<String>>,
+}
+
+/// Splits a token list into top-level comma-separated chunks, ignoring
+/// commas nested inside `<...>` (e.g. multi-parameter generics).
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Strips leading `#[...]` attributes (doc comments included) and
+/// visibility (`pub`, `pub(...)`) from a token chunk.
+fn strip_attrs_and_vis(mut tokens: &[TokenTree]) -> &[TokenTree] {
+    loop {
+        match tokens {
+            [TokenTree::Punct(p), TokenTree::Group(g), rest @ ..]
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                tokens = rest;
+            }
+            [TokenTree::Ident(i), TokenTree::Group(g), rest @ ..]
+                if i.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                tokens = rest;
+            }
+            [TokenTree::Ident(i), rest @ ..] if i.to_string() == "pub" => {
+                tokens = rest;
+            }
+            _ => return tokens,
+        }
+    }
+}
+
+/// Field names of a named-field body (`{ a: T, b: U }` contents).
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_commas(body) {
+        let chunk = strip_attrs_and_vis(&chunk);
+        if chunk.is_empty() {
+            continue;
+        }
+        match chunk {
+            [TokenTree::Ident(name), TokenTree::Punct(colon), ..] if colon.as_char() == ':' => {
+                fields.push(name.to_string());
+            }
+            _ => {
+                return Err(format!(
+                    "serde_derive shim: unsupported field syntax near `{}`",
+                    chunk.iter().map(|t| t.to_string()).collect::<String>()
+                ))
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Enum variants of an enum body.
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_commas(body) {
+        let chunk = strip_attrs_and_vis(&chunk);
+        if chunk.is_empty() {
+            continue;
+        }
+        match chunk {
+            [TokenTree::Ident(name)] => variants.push(Variant {
+                name: name.to_string(),
+                fields: None,
+            }),
+            [TokenTree::Ident(name), TokenTree::Group(g)]
+                if g.delimiter() == Delimiter::Brace =>
+            {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                variants.push(Variant {
+                    name: name.to_string(),
+                    fields: Some(parse_named_fields(&body)?),
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "serde_derive shim: unsupported variant syntax near `{}` \
+                     (tuple variants and discriminants are not supported)",
+                    chunk.iter().map(|t| t.to_string()).collect::<String>()
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+/// Parses the derive input item (struct or enum with named fields).
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut rest: &[TokenTree] = strip_attrs_and_vis(&tokens);
+
+    let kind = match rest {
+        [TokenTree::Ident(k), ..] if k.to_string() == "struct" || k.to_string() == "enum" => {
+            let k = k.to_string();
+            rest = &rest[1..];
+            k
+        }
+        _ => return Err("serde_derive shim: expected `struct` or `enum`".into()),
+    };
+
+    let name = match rest {
+        [TokenTree::Ident(n), ..] => {
+            let n = n.to_string();
+            rest = &rest[1..];
+            n
+        }
+        _ => return Err("serde_derive shim: expected item name".into()),
+    };
+
+    // No generics in the workspace's serializable types; reject rather than
+    // silently emitting a broken impl.
+    if let Some(TokenTree::Punct(p)) = rest.first() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive shim: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    let body = match rest {
+        [TokenTree::Group(g)] if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => {
+            return Err(format!(
+                "serde_derive shim: `{name}` must have a braced body \
+                 (tuple/unit structs are not supported)"
+            ))
+        }
+    };
+
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(&body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(&body)?,
+        })
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` (value-model `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from({f:?}), serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => serde::Value::String(String::from({vname:?})),"
+                        ),
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from({f:?}), serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => serde::Value::Object(vec![\
+                                     (String::from({vname:?}), serde::Value::Object(vec![{pairs}])),\
+                                 ]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` (value-model `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(v.field({f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => return Ok({name}::{vname}),")
+                })
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+                .map(|(vname, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: serde::Deserialize::from_value(inner.field({f:?})?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{vname:?} => return Ok({name}::{vname} {{ {inits} }}),"
+                    )
+                })
+                .collect();
+            // Emit each match block only when that variant kind exists, so
+            // the generated code never binds unused variables.
+            let unit_block = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let serde::Value::String(s) = v {{\n\
+                         match s.as_str() {{\n\
+                             {unit_arms}\n\
+                             _ => {{}}\n\
+                         }}\n\
+                     }}\n"
+                )
+            };
+            let struct_block = if struct_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let serde::Value::Object(entries) = v {{\n\
+                         if let [(tag, inner)] = entries.as_slice() {{\n\
+                             match tag.as_str() {{\n\
+                                 {struct_arms}\n\
+                                 _ => {{}}\n\
+                             }}\n\
+                         }}\n\
+                     }}\n"
+                )
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{\n\
+                         {unit_block}\
+                         {struct_block}\
+                         Err(serde::DeError::new(format!(\n\
+                             \"invalid value for enum {name}: {{v:?}}\"\n\
+                         )))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
