@@ -1,0 +1,100 @@
+//! The unified recoverable error type of the framework.
+//!
+//! A production predictor must always come back with *something*; the
+//! fault-tolerance layer therefore distinguishes errors that are the
+//! caller's fault (invalid inputs — surfaced as `Err` so the caller can
+//! fix them) from runtime faults (divergence, numerical failure — handled
+//! internally by retry / penalty / fallback and only reported here when
+//! every recovery is exhausted). Hand-rolled and std-only: the workspace
+//! is offline, so no `thiserror`.
+
+/// Everything that can go recoverably wrong across the framework's layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameworkError {
+    /// A series failed validation (non-finite or negative JARs, zero-length
+    /// interval).
+    InvalidSeries {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A caller-supplied argument was malformed (partition mismatch,
+    /// zero budget, bad distribution parameter, ...).
+    InvalidInput {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A numerical routine failed beyond its internal recovery (e.g. the GP
+    /// Gram matrix stayed non-positive-definite after jitter escalation).
+    Numerical {
+        /// Where it failed.
+        context: String,
+    },
+    /// Training diverged and the watchdog exhausted its retries.
+    Diverged {
+        /// Rollbacks attempted before giving up.
+        retries: usize,
+    },
+    /// The hyperparameter search finished without a single usable model
+    /// *and* no fallback predictor could be built.
+    SearchFailed {
+        /// What happened.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameworkError::InvalidSeries { reason } => write!(f, "invalid series: {reason}"),
+            FrameworkError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            FrameworkError::Numerical { context } => write!(f, "numerical failure: {context}"),
+            FrameworkError::Diverged { retries } => {
+                write!(f, "training diverged after {retries} watchdog retries")
+            }
+            FrameworkError::SearchFailed { reason } => write!(f, "search failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}
+
+impl FrameworkError {
+    /// Shorthand constructor for [`FrameworkError::InvalidInput`].
+    pub fn invalid_input(reason: impl Into<String>) -> Self {
+        FrameworkError::InvalidInput {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`FrameworkError::InvalidSeries`].
+    pub fn invalid_series(reason: impl Into<String>) -> Self {
+        FrameworkError::InvalidSeries {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = FrameworkError::invalid_series("JARs must be finite");
+        assert_eq!(e.to_string(), "invalid series: JARs must be finite");
+        let e = FrameworkError::Diverged { retries: 3 };
+        assert!(e.to_string().contains("3 watchdog retries"));
+        let e = FrameworkError::Numerical {
+            context: "gram".into(),
+        };
+        assert!(e.to_string().contains("gram"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(FrameworkError::SearchFailed {
+            reason: "no trials".into(),
+        });
+        assert!(e.to_string().contains("no trials"));
+    }
+}

@@ -4,6 +4,7 @@
 //! the walk-forward [`eval`] harness that produces every MAPE number in the
 //! paper's figures.
 
+pub mod error;
 pub mod eval;
 pub mod metrics;
 pub mod partition;
@@ -11,9 +12,10 @@ pub mod predictor;
 pub mod scaler;
 pub mod series;
 
+pub use error::FrameworkError;
 pub use eval::{predict_horizon, rolling_origin, walk_forward, walk_forward_range, WalkForwardResult};
 pub use metrics::{mae, mape, mase, rmse, smape};
 pub use partition::Partition;
 pub use predictor::Predictor;
 pub use scaler::MinMaxScaler;
-pub use series::Series;
+pub use series::{SanitizeReport, Series};

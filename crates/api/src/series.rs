@@ -3,6 +3,29 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::FrameworkError;
+
+/// What [`Series::sanitized`] had to repair to make a trace valid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Negative values clamped to zero.
+    pub negatives_clamped: usize,
+    /// NaN / infinite values replaced by neighbor interpolation.
+    pub non_finite_repaired: usize,
+}
+
+impl SanitizeReport {
+    /// True when the input needed no repairs.
+    pub fn is_clean(&self) -> bool {
+        self.negatives_clamped == 0 && self.non_finite_repaired == 0
+    }
+
+    /// Total number of values touched.
+    pub fn total(&self) -> usize {
+        self.negatives_clamped + self.non_finite_repaired
+    }
+}
+
 /// A job-arrival-rate series at a fixed interval length.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Series {
@@ -20,18 +43,83 @@ impl Series {
     ///
     /// # Panics
     /// Panics on negative or non-finite values — generators and loaders are
-    /// expected to produce valid counts.
+    /// expected to produce valid counts. Use [`Series::try_new`] for
+    /// untrusted inputs or [`Series::sanitized`] to repair them.
     pub fn new(name: impl Into<String>, interval_mins: u32, values: Vec<f64>) -> Self {
-        assert!(interval_mins > 0, "interval must be positive");
-        assert!(
-            values.iter().all(|v| v.is_finite() && *v >= 0.0),
-            "JARs must be finite and non-negative"
-        );
-        Series {
+        Self::try_new(name, interval_mins, values).unwrap_or_else(|e| match e {
+            FrameworkError::InvalidSeries { reason } => panic!("{reason}"),
+            other => panic!("{other}"),
+        })
+    }
+
+    /// Creates a series, validating instead of panicking: the interval must
+    /// be positive and every JAR finite and non-negative.
+    pub fn try_new(
+        name: impl Into<String>,
+        interval_mins: u32,
+        values: Vec<f64>,
+    ) -> Result<Self, FrameworkError> {
+        if interval_mins == 0 {
+            return Err(FrameworkError::invalid_series("interval must be positive"));
+        }
+        if let Some((i, v)) = values
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite() || **v < 0.0)
+        {
+            return Err(FrameworkError::invalid_series(format!(
+                "JARs must be finite and non-negative (value {v} at interval {i})"
+            )));
+        }
+        Ok(Series {
             name: name.into(),
             interval_mins,
             values,
+        })
+    }
+
+    /// Creates a series from possibly-corrupted values, repairing what it
+    /// can: negatives are clamped to zero and non-finite values are
+    /// replaced by the mean of the nearest finite neighbors (or the single
+    /// nearest one at the edges; zero if no finite value exists at all).
+    /// Returns the repaired series plus a report of what was fixed.
+    ///
+    /// # Errors
+    /// Only a non-positive interval is unrepairable.
+    pub fn sanitized(
+        name: impl Into<String>,
+        interval_mins: u32,
+        mut values: Vec<f64>,
+    ) -> Result<(Self, SanitizeReport), FrameworkError> {
+        if interval_mins == 0 {
+            return Err(FrameworkError::invalid_series("interval must be positive"));
         }
+        let mut report = SanitizeReport::default();
+        for v in values.iter_mut() {
+            if v.is_finite() && *v < 0.0 {
+                *v = 0.0;
+                report.negatives_clamped += 1;
+            }
+        }
+        let broken: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_finite())
+            .map(|(i, _)| i)
+            .collect();
+        for &i in &broken {
+            let left = values[..i].iter().rev().find(|v| v.is_finite()).copied();
+            let right = values[i + 1..].iter().find(|v| v.is_finite()).copied();
+            values[i] = match (left, right) {
+                (Some(l), Some(r)) => 0.5 * (l + r),
+                (Some(l), None) => l,
+                (None, Some(r)) => r,
+                (None, None) => 0.0,
+            };
+            report.non_finite_repaired += 1;
+        }
+        let series = Series::try_new(name, interval_mins, values)?;
+        Ok((series, report))
     }
 
     /// Number of intervals.
@@ -277,5 +365,48 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_jar_rejected() {
         Series::new("bad", 5, vec![-1.0]);
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        assert!(Series::try_new("ok", 5, vec![1.0, 2.0]).is_ok());
+        let err = Series::try_new("bad", 5, vec![1.0, f64::NAN]).unwrap_err();
+        assert!(err.to_string().contains("interval 1"), "{err}");
+        let err = Series::try_new("bad", 0, vec![1.0]).unwrap_err();
+        assert!(err.to_string().contains("interval must be positive"));
+    }
+
+    #[test]
+    fn sanitized_clamps_negatives_and_interpolates_nans() {
+        let (s, report) =
+            Series::sanitized("dirty", 5, vec![10.0, -2.0, f64::NAN, 30.0, f64::INFINITY]).unwrap();
+        assert_eq!(report.negatives_clamped, 1);
+        assert_eq!(report.non_finite_repaired, 2);
+        assert_eq!(report.total(), 3);
+        assert!(!report.is_clean());
+        // -2 clamped to 0; NaN repaired to mean(0, 30); inf copies left neighbor.
+        assert_eq!(s.values, vec![10.0, 0.0, 15.0, 30.0, 30.0]);
+    }
+
+    #[test]
+    fn sanitized_is_identity_on_clean_input() {
+        let (s, report) = Series::sanitized("clean", 5, vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(s.values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sanitized_handles_all_broken_and_edges() {
+        // No finite value at all -> zeros.
+        let (s, report) = Series::sanitized("void", 5, vec![f64::NAN, f64::NAN]).unwrap();
+        assert_eq!(s.values, vec![0.0, 0.0]);
+        assert_eq!(report.non_finite_repaired, 2);
+        // Leading NaN copies the first finite value to its right.
+        let (s, _) = Series::sanitized("edge", 5, vec![f64::NAN, 7.0]).unwrap();
+        assert_eq!(s.values, vec![7.0, 7.0]);
+        // Consecutive NaNs repair left-to-right (cascade stays finite).
+        let (s, _) =
+            Series::sanitized("run", 5, vec![4.0, f64::NAN, f64::NAN, 8.0]).unwrap();
+        assert!(s.values.iter().all(|v| v.is_finite() && *v >= 0.0));
     }
 }

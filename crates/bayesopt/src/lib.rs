@@ -24,5 +24,6 @@ pub mod space;
 pub use acquisition::Acquisition;
 pub use optimizer::{
     BayesianOptimizer, BoOptions, GridSearch, HyperOptimizer, OptResult, RandomSearch, Trial,
+    FAILURE_PENALTY,
 };
 pub use space::{Dim, ParamValue, SearchSpace};

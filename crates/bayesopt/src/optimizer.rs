@@ -17,6 +17,13 @@ use rayon::prelude::*;
 use crate::acquisition::Acquisition;
 use crate::space::{ParamValue, SearchSpace};
 
+/// Objective value recorded for failed trials (non-finite results or
+/// panics). Matches the `INFEASIBLE_MAPE` convention used by the training
+/// pipeline, so a failed trial enters the surrogate as a maximally bad but
+/// *finite* observation — steering the search away from the bad region —
+/// instead of poisoning the GP fit or crashing the loop.
+pub const FAILURE_PENALTY: f64 = 1.0e6;
+
 /// One evaluated candidate.
 #[derive(Debug, Clone)]
 pub struct Trial {
@@ -26,6 +33,21 @@ pub struct Trial {
     pub unit: Vec<f64>,
     /// Objective value (lower is better).
     pub value: f64,
+    /// True if the evaluation failed (panicked or returned a non-finite
+    /// value) and `value` is the [`FAILURE_PENALTY`] placeholder.
+    pub failed: bool,
+}
+
+/// Evaluates the objective with trial isolation: a panicking or non-finite
+/// evaluation becomes a finite penalized observation instead of unwinding
+/// through (and killing) the whole search. `catch_unwind` is the last-resort
+/// guard — well-behaved objectives report failure by returning a
+/// non-finite value or a penalty themselves.
+fn eval_isolated(objective: Objective<'_>, params: &[ParamValue]) -> (f64, bool) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| objective(params))) {
+        Ok(v) if v.is_finite() => (v, false),
+        _ => (FAILURE_PENALTY, true),
+    }
 }
 
 /// The full optimization history.
@@ -40,11 +62,15 @@ pub struct OptResult {
 impl OptResult {
     fn from_trials(trials: Vec<Trial>) -> Self {
         assert!(!trials.is_empty(), "optimizer produced no trials");
+        // `total_cmp` keeps the selection well-defined even if a caller
+        // smuggles NaN values in via a hand-built history: NaN sorts above
+        // every real number, so it can never be chosen while a finite
+        // (even penalized) trial exists.
         let best_index = trials
             .iter()
             .enumerate()
             .filter(|(_, t)| !t.value.is_nan())
-            .min_by(|a, b| a.1.value.partial_cmp(&b.1.value).unwrap())
+            .min_by(|a, b| a.1.value.total_cmp(&b.1.value))
             .map(|(i, _)| i)
             .unwrap_or(0);
         OptResult { trials, best_index }
@@ -53,6 +79,11 @@ impl OptResult {
     /// The best trial.
     pub fn best(&self) -> &Trial {
         &self.trials[self.best_index]
+    }
+
+    /// Number of failed (penalized) trials in the history.
+    pub fn failed_count(&self) -> usize {
+        self.trials.iter().filter(|t| t.failed).count()
     }
 
     /// Running minimum of the objective after each trial (for convergence
@@ -97,6 +128,12 @@ pub struct BoOptions {
     pub local_fraction: f64,
     /// Acquisition function.
     pub acquisition: Acquisition,
+    /// Wall-clock deadline for the whole search, in seconds. When set, no
+    /// new trial starts after the deadline has elapsed (the initial design
+    /// always runs; in-flight evaluations are not interrupted). Mirrors the
+    /// paper's 3-hour optimization budget. `None` disables the check — and
+    /// keeps the clock entirely unread, so seeded runs stay reproducible.
+    pub deadline_secs: Option<f64>,
 }
 
 impl Default for BoOptions {
@@ -106,6 +143,7 @@ impl Default for BoOptions {
             candidate_pool: 512,
             local_fraction: 0.25,
             acquisition: Acquisition::default(),
+            deadline_secs: None,
         }
     }
 }
@@ -145,16 +183,36 @@ impl BayesianOptimizer {
     /// Records one completed trial as a telemetry event.
     fn record_trial(&self, index: usize, trial: &Trial, incumbent: f64, phase: &str, ei: Option<f64>) {
         self.telemetry.incr("bayesopt.trials");
+        if trial.failed {
+            self.telemetry.incr("bayesopt.failed_trials");
+        }
         self.telemetry
             .record_with("bayesopt", "trial", index as u64, |e| {
                 e.text("params", fingerprint(&trial.params))
                     .num("value", trial.value)
                     .num("incumbent", incumbent)
                     .text("phase", phase);
+                if trial.failed {
+                    e.flag("failed", true);
+                }
                 if let Some(score) = ei {
                     e.num("ei", score);
                 }
             });
+    }
+
+    /// True once `deadline_secs` has elapsed since `start`; counts the stop
+    /// in telemetry the first time it fires. `start` is `None` exactly when
+    /// no deadline is configured.
+    fn deadline_hit(&self, start: Option<std::time::Instant>) -> bool {
+        let (Some(start), Some(limit)) = (start, self.opts.deadline_secs) else {
+            return false;
+        };
+        if start.elapsed().as_secs_f64() < limit {
+            return false;
+        }
+        self.telemetry.incr("bayesopt.deadline_stops");
+        true
     }
 }
 
@@ -182,6 +240,9 @@ impl HyperOptimizer for BayesianOptimizer {
         let _opt_span = self.telemetry.span("bayesopt.optimize");
         let mut rng = StdRng::seed_from_u64(seed);
         let init_n = self.opts.init_points.min(budget);
+        // The clock is only read when a deadline is configured, so
+        // deadline-free runs never depend on wall time.
+        let search_start = self.opts.deadline_secs.map(|_| std::time::Instant::now());
 
         // Initial random design, evaluated in parallel.
         let init_units: Vec<Vec<f64>> = (0..init_n).map(|_| space.sample_unit(&mut rng)).collect();
@@ -189,11 +250,12 @@ impl HyperOptimizer for BayesianOptimizer {
             .into_par_iter()
             .map(|unit| {
                 let params = space.decode(&unit);
-                let value = objective(&params);
+                let (value, failed) = eval_isolated(objective, &params);
                 Trial {
                     params,
                     unit,
                     value,
+                    failed,
                 }
             })
             .collect();
@@ -212,13 +274,16 @@ impl HyperOptimizer for BayesianOptimizer {
             trials.iter().map(|t| fingerprint(&t.params)).collect();
 
         while trials.len() < budget {
+            if self.deadline_hit(search_start) {
+                break;
+            }
             // Fit the surrogate on everything seen so far. Degenerate fits
             // (e.g. all values identical) fall back to random sampling.
             let xs: Vec<Vec<f64>> = trials.iter().map(|t| t.unit.clone()).collect();
             let ys: Vec<f64> = trials.iter().map(|t| t.value).collect();
             let finite = ys.iter().all(|v| v.is_finite());
             let gp = if finite {
-                self.telemetry.time("bayesopt.surrogate_fit", || {
+                let fitted = self.telemetry.time("bayesopt.surrogate_fit", || {
                     fit_auto(
                         &xs,
                         &ys,
@@ -229,15 +294,23 @@ impl HyperOptimizer for BayesianOptimizer {
                         },
                     )
                     .ok()
-                })
+                });
+                if fitted.is_none() {
+                    // Surrogate recovery: the next proposal degrades to a
+                    // random unseen point instead of aborting the search.
+                    self.telemetry.incr("bayesopt.surrogate_failures");
+                }
+                fitted
             } else {
                 None
             };
 
             let f_best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            // NaN-aware ordering: a hand-fed NaN observation must not crash
+            // incumbent selection (it sorts last under `total_cmp`).
             let incumbent = trials
                 .iter()
-                .min_by(|a, b| a.value.partial_cmp(&b.value).unwrap())
+                .min_by(|a, b| a.value.total_cmp(&b.value))
                 .map(|t| t.unit.clone())
                 .unwrap();
 
@@ -297,11 +370,12 @@ impl HyperOptimizer for BayesianOptimizer {
 
             let params = space.decode(&next_unit);
             seen.insert(fingerprint(&params));
-            let value = objective(&params);
+            let (value, failed) = eval_isolated(objective, &params);
             trials.push(Trial {
                 params,
                 unit: next_unit,
                 value,
+                failed,
             });
             if self.telemetry.is_enabled() {
                 let index = trials.len() - 1;
@@ -342,16 +416,18 @@ impl BayesianOptimizer {
         let _opt_span = self.telemetry.span("bayesopt.optimize_batched");
         let mut rng = StdRng::seed_from_u64(seed);
         let init_n = self.opts.init_points.min(budget);
+        let search_start = self.opts.deadline_secs.map(|_| std::time::Instant::now());
         let init_units: Vec<Vec<f64>> = (0..init_n).map(|_| space.sample_unit(&mut rng)).collect();
         let mut trials: Vec<Trial> = init_units
             .into_par_iter()
             .map(|unit| {
                 let params = space.decode(&unit);
-                let value = objective(&params);
+                let (value, failed) = eval_isolated(objective, &params);
                 Trial {
                     params,
                     unit,
                     value,
+                    failed,
                 }
             })
             .collect();
@@ -366,6 +442,9 @@ impl BayesianOptimizer {
             trials.iter().map(|t| fingerprint(&t.params)).collect();
 
         while trials.len() < budget {
+            if self.deadline_hit(search_start) {
+                break;
+            }
             let round = q.min(budget - trials.len());
             // Observations plus constant-liar pseudo-observations.
             let mut xs: Vec<Vec<f64>> = trials.iter().map(|t| t.unit.clone()).collect();
@@ -375,7 +454,7 @@ impl BayesianOptimizer {
 
             for _ in 0..round {
                 let gp = if ys.iter().all(|v| v.is_finite()) {
-                    self.telemetry.time("bayesopt.surrogate_fit", || {
+                    let fitted = self.telemetry.time("bayesopt.surrogate_fit", || {
                         fit_auto(
                             &xs,
                             &ys,
@@ -386,7 +465,11 @@ impl BayesianOptimizer {
                             },
                         )
                         .ok()
-                    })
+                    });
+                    if fitted.is_none() {
+                        self.telemetry.incr("bayesopt.surrogate_failures");
+                    }
+                    fitted
                 } else {
                     None
                 };
@@ -425,11 +508,12 @@ impl BayesianOptimizer {
                 .into_par_iter()
                 .map(|unit| {
                     let params = space.decode(&unit);
-                    let value = objective(&params);
+                    let (value, failed) = eval_isolated(objective, &params);
                     Trial {
                         params,
                         unit,
                         value,
+                        failed,
                     }
                 })
                 .collect();
@@ -470,11 +554,12 @@ impl HyperOptimizer for RandomSearch {
             .into_par_iter()
             .map(|unit| {
                 let params = space.decode(&unit);
-                let value = objective(&params);
+                let (value, failed) = eval_isolated(objective, &params);
                 Trial {
                     params,
                     unit,
                     value,
+                    failed,
                 }
             })
             .collect();
@@ -543,11 +628,12 @@ impl HyperOptimizer for GridSearch {
             .into_par_iter()
             .map(|unit| {
                 let params = space.decode(&unit);
-                let value = objective(&params);
+                let (value, failed) = eval_isolated(objective, &params);
                 Trial {
                     params,
                     unit,
                     value,
+                    failed,
                 }
             })
             .collect();
@@ -705,6 +791,86 @@ mod tests {
         let res = bo.optimize_batched(&bowl_space(), &bowl, 20, 3, 1);
         assert_eq!(res.trials.len(), 20);
         assert!(res.best().value < 1.5, "best {}", res.best().value);
+    }
+
+    #[test]
+    fn nan_objective_becomes_penalized_failure() {
+        let bo = BayesianOptimizer::default();
+        // Even-valued `a` fails: roughly half the space is a failure region.
+        let obj = |p: &[ParamValue]| {
+            if p[0].as_int() % 2 == 0 {
+                f64::NAN
+            } else {
+                bowl(p)
+            }
+        };
+        let res = bo.optimize(&bowl_space(), &obj, 25, 5);
+        assert_eq!(res.trials.len(), 25);
+        assert!(res.trials.iter().all(|t| t.value.is_finite()));
+        assert!(res.failed_count() >= 1, "no failure region trial was hit");
+        assert!(
+            res.trials
+                .iter()
+                .all(|t| !t.failed || t.value == FAILURE_PENALTY),
+            "failed trials must carry the penalty value"
+        );
+        // A usable (non-failed) optimum must still be found.
+        assert!(!res.best().failed);
+        assert!(res.best().value < FAILURE_PENALTY);
+    }
+
+    #[test]
+    fn panicking_objective_is_contained() {
+        let bo = BayesianOptimizer::default();
+        let obj = |p: &[ParamValue]| {
+            // The optimum itself panics: isolation must both survive the
+            // panic and keep searching elsewhere.
+            assert!(p[0].as_int() != 30, "injected objective panic");
+            bowl(p)
+        };
+        let res = bo.optimize(&bowl_space(), &obj, 20, 2);
+        assert_eq!(res.trials.len(), 20);
+        assert!(res.trials.iter().all(|t| t.value.is_finite()));
+        let res_batched = bo.optimize_batched(&bowl_space(), &obj, 12, 2, 4);
+        assert_eq!(res_batched.trials.len(), 12);
+        let res_rs = RandomSearch.optimize(&bowl_space(), &obj, 10, 2);
+        assert!(res_rs.trials.iter().all(|t| t.value.is_finite()));
+        let res_gs = GridSearch.optimize(&bowl_space(), &obj, 10, 0);
+        assert!(res_gs.trials.iter().all(|t| t.value.is_finite()));
+    }
+
+    #[test]
+    fn all_failed_search_still_returns_a_result() {
+        let bo = BayesianOptimizer::default();
+        let res = bo.optimize(&bowl_space(), &|_| f64::NAN, 8, 4);
+        assert_eq!(res.trials.len(), 8);
+        assert_eq!(res.failed_count(), 8);
+        assert_eq!(res.best().value, FAILURE_PENALTY);
+        assert!(res.incumbent_curve().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deadline_stops_search_after_initial_design() {
+        let bo = BayesianOptimizer::new(BoOptions {
+            deadline_secs: Some(0.0),
+            ..BoOptions::default()
+        });
+        let res = bo.optimize(&bowl_space(), &bowl, 1000, 1);
+        // An already-expired deadline still runs the initial design but no
+        // surrogate iterations.
+        assert_eq!(res.trials.len(), BoOptions::default().init_points);
+        let res = bo.optimize_batched(&bowl_space(), &bowl, 1000, 1, 4);
+        assert_eq!(res.trials.len(), BoOptions::default().init_points);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_truncate() {
+        let bo = BayesianOptimizer::new(BoOptions {
+            deadline_secs: Some(3600.0),
+            ..BoOptions::default()
+        });
+        let res = bo.optimize(&bowl_space(), &bowl, 15, 1);
+        assert_eq!(res.trials.len(), 15);
     }
 
     #[test]

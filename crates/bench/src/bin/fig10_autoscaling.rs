@@ -11,12 +11,13 @@ use ld_autoscale::{simulate, simulate_with_telemetry, SimConfig};
 use ld_bench::render::print_table;
 use ld_bench::runner::baseline_lineup;
 use ld_bench::scale::ExperimentScale;
-use ld_bench::telemetry_env::{dump_telemetry, telemetry_from_env};
+use ld_bench::telemetry_env::{dump_telemetry, faults_from_env, telemetry_from_env};
 use ld_traces::{TraceConfig, WorkloadKind};
 use loaddynamics::LoadDynamics;
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    faults_from_env();
     let (telemetry, telemetry_out) = telemetry_from_env();
     println!("=== Fig. 10: auto-scaling with different prediction techniques (Azure, 60-min) ===");
     println!("(scale: {scale:?})\n");

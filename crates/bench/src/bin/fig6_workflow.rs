@@ -9,12 +9,13 @@
 use ld_api::{walk_forward, Partition};
 use ld_bench::render::print_table;
 use ld_bench::scale::ExperimentScale;
-use ld_bench::telemetry_env::{dump_telemetry, telemetry_from_env};
+use ld_bench::telemetry_env::{dump_telemetry, faults_from_env, telemetry_from_env};
 use ld_traces::{TraceConfig, WorkloadKind};
 use loaddynamics::{HyperParams, LoadDynamics};
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    faults_from_env();
     let (telemetry, telemetry_out) = telemetry_from_env();
     println!("=== Fig. 6/7: the self-optimization workflow, traced (LCG 30-min) ===");
     println!("(scale: {scale:?})\n");

@@ -1,7 +1,7 @@
 //! Phases 3–5 of the Fig. 6 workflow: the self-optimization loop and the
 //! final walk-forward predictor.
 
-use ld_api::{Partition, Predictor, Series};
+use ld_api::{walk_forward_range, FrameworkError, Partition, Predictor, Series};
 use ld_bayesopt::{
     BayesianOptimizer, BoOptions, GridSearch, HyperOptimizer, OptResult, RandomSearch, SearchSpace,
 };
@@ -50,6 +50,12 @@ pub struct FrameworkConfig {
     /// default: recording methods become single-branch no-ops and the
     /// framework's outputs are identical to an uninstrumented build.
     pub telemetry: ld_telemetry::Telemetry,
+    /// Wall-clock deadline for the hyperparameter search, in seconds,
+    /// mirroring the paper's 3-hour per-configuration budget. Applied to
+    /// the Bayesian strategy (unless its own [`BoOptions::deadline_secs`]
+    /// is already set); `None` never reads the clock, keeping seeded runs
+    /// bit-reproducible.
+    pub deadline_secs: Option<f64>,
 }
 
 impl FrameworkConfig {
@@ -67,6 +73,8 @@ impl FrameworkConfig {
             seed,
             strategy: SearchStrategy::default(),
             telemetry: ld_telemetry::Telemetry::disabled(),
+            // The paper's Section IV budget: three hours per configuration.
+            deadline_secs: Some(3.0 * 3600.0),
         }
     }
 
@@ -84,6 +92,7 @@ impl FrameworkConfig {
                 ..BoOptions::default()
             }),
             telemetry: ld_telemetry::Telemetry::disabled(),
+            deadline_secs: None,
         }
     }
 
@@ -132,6 +141,13 @@ impl LoadDynamics {
         self.optimize_with_partition(series, &partition)
     }
 
+    /// [`LoadDynamics::optimize`] with input validation reported as a
+    /// [`FrameworkError`] instead of a panic.
+    pub fn try_optimize(&self, series: &Series) -> Result<OptimizationOutcome, FrameworkError> {
+        let partition = Partition::paper_default(series.len());
+        self.try_optimize_with_partition(series, &partition)
+    }
+
     /// Runs the workflow with an explicit partition (the auto-scaling case
     /// study trains on a prefix of the trace).
     pub fn optimize_with_partition(
@@ -145,6 +161,33 @@ impl LoadDynamics {
             "training partition too small ({} intervals)",
             partition.train_end
         );
+        self.run_search(series, partition)
+    }
+
+    /// [`LoadDynamics::optimize_with_partition`] with input validation
+    /// reported as a [`FrameworkError`] instead of a panic.
+    pub fn try_optimize_with_partition(
+        &self,
+        series: &Series,
+        partition: &Partition,
+    ) -> Result<OptimizationOutcome, FrameworkError> {
+        if series.len() != partition.len {
+            return Err(FrameworkError::invalid_input(format!(
+                "partition/series mismatch: series has {} intervals, partition covers {}",
+                series.len(),
+                partition.len
+            )));
+        }
+        if partition.train_end < 8 {
+            return Err(FrameworkError::invalid_input(format!(
+                "training partition too small ({} intervals)",
+                partition.train_end
+            )));
+        }
+        Ok(self.run_search(series, partition))
+    }
+
+    fn run_search(&self, series: &Series, partition: &Partition) -> OptimizationOutcome {
         let values = &series.values;
         let budget = self.config.budget;
         let seed = self.config.seed;
@@ -157,9 +200,15 @@ impl LoadDynamics {
             evaluate_hyperparams_with(values, partition, hp, &budget, seed, telemetry).val_mape
         };
         let trials = match &self.config.strategy {
-            SearchStrategy::Bayesian(opts) => BayesianOptimizer::new(*opts)
-                .with_telemetry(telemetry.clone())
-                .optimize(&self.config.space, &objective, self.config.max_iters, seed),
+            SearchStrategy::Bayesian(opts) => {
+                let mut bo_opts = *opts;
+                if bo_opts.deadline_secs.is_none() {
+                    bo_opts.deadline_secs = self.config.deadline_secs;
+                }
+                BayesianOptimizer::new(bo_opts)
+                    .with_telemetry(telemetry.clone())
+                    .optimize(&self.config.space, &objective, self.config.max_iters, seed)
+            }
             SearchStrategy::Random => RandomSearch.optimize(
                 &self.config.space,
                 &objective,
@@ -197,9 +246,41 @@ impl LoadDynamics {
         let hyperparams = HyperParams::from_params(&best.params);
         let outcome =
             evaluate_hyperparams_with(values, partition, hyperparams, &budget, seed, telemetry);
-        let model = outcome
-            .model
-            .expect("best trial must be feasible: the search space always contains n=1");
+
+        // Graceful degradation: when even the selected candidate cannot
+        // produce a model (every trial infeasible or diverged — possible
+        // under fault injection or a hostile series), fall back to the best
+        // cheap baseline predictor instead of aborting. A degraded but
+        // finite forecast keeps downstream auto-scaling alive.
+        let (predictor, val_mape) = match outcome.model {
+            Some(model) => (
+                OptimizedPredictor {
+                    name: format!("LoadDynamics({})", series.name),
+                    kind: PredictorKind::Lstm {
+                        model,
+                        scaler: outcome.scaler,
+                        history_len: hyperparams.history_len,
+                    },
+                },
+                outcome.val_mape,
+            ),
+            None => {
+                let (kind, mape) = select_fallback(series, partition);
+                telemetry.incr("framework.fallback");
+                telemetry.record_with("framework", "fallback", 0, |e| {
+                    e.text("series", series.name.clone())
+                        .text("baseline", kind.label())
+                        .num("val_mape", mape);
+                });
+                (
+                    OptimizedPredictor {
+                        name: format!("LoadDynamics({}, fallback={})", series.name, kind.label()),
+                        kind: PredictorKind::Baseline { kind },
+                    },
+                    mape,
+                )
+            }
+        };
 
         if let Some(start) = optimize_start {
             let wall = start.elapsed().as_secs_f64();
@@ -207,24 +288,85 @@ impl LoadDynamics {
             telemetry.record_with("framework", "optimize", 0, |e| {
                 e.text("series", series.name.clone())
                     .text("selected", hyperparams.to_string())
-                    .num("val_mape", outcome.val_mape)
+                    .num("val_mape", val_mape)
                     .int("trials", trials.trials.len() as u64)
                     .num("wall_secs", wall);
             });
         }
 
         OptimizationOutcome {
-            predictor: OptimizedPredictor {
-                name: format!("LoadDynamics({})", series.name),
-                model,
-                scaler: outcome.scaler,
-                history_len: hyperparams.history_len,
-            },
+            predictor,
             hyperparams,
-            val_mape: outcome.val_mape,
+            val_mape,
             trials,
         }
     }
+}
+
+/// Scores the cheap smoothing baselines on the cross-validation segment
+/// (walk-forward MAPE) and returns the winner. Used only on the degraded
+/// path, so cost is irrelevant next to the failed LSTM search.
+fn select_fallback(series: &Series, partition: &Partition) -> (FallbackKind, f64) {
+    let start = partition.train_end;
+    let end = partition.val_end.min(series.len());
+    let mut best = (FallbackKind::Wma, f64::INFINITY);
+    if start == 0 || start >= end {
+        return best;
+    }
+    for kind in [FallbackKind::Wma, FallbackKind::Ema, FallbackKind::HoltDes] {
+        let mut p = kind.instantiate();
+        let mape = walk_forward_range(p.as_mut(), series, start, end).mape();
+        if mape.total_cmp(&best.1) == std::cmp::Ordering::Less {
+            best = (kind, mape);
+        }
+    }
+    best
+}
+
+/// The baseline a degraded framework run falls back to. Stateless: the
+/// smoothing predictors recompute from history on every call, so the tag
+/// alone reconstructs the predictor after deserialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FallbackKind {
+    /// Weighted moving average.
+    Wma,
+    /// Exponential moving average.
+    Ema,
+    /// Holt's double exponential smoothing.
+    HoltDes,
+}
+
+impl FallbackKind {
+    /// Human-readable label (matches the baseline's `Predictor::name`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FallbackKind::Wma => "WMA",
+            FallbackKind::Ema => "EMA",
+            FallbackKind::HoltDes => "HoltWintersDES",
+        }
+    }
+
+    fn instantiate(&self) -> Box<dyn Predictor> {
+        match self {
+            FallbackKind::Wma => Box::new(ld_baselines::smoothing::Wma::default()),
+            FallbackKind::Ema => Box::new(ld_baselines::smoothing::Ema::default()),
+            FallbackKind::HoltDes => Box::new(ld_baselines::smoothing::HoltDes::default()),
+        }
+    }
+}
+
+/// What a tuned predictor actually runs: the trained LSTM, or a baseline
+/// the framework gracefully degraded to when no LSTM candidate survived.
+#[derive(serde::Serialize, serde::Deserialize)]
+enum PredictorKind {
+    /// The normal outcome: a trained LSTM with its scaler.
+    Lstm {
+        model: LstmForecaster,
+        scaler: ld_api::MinMaxScaler,
+        history_len: usize,
+    },
+    /// Degraded outcome: a stateless smoothing baseline.
+    Baseline { kind: FallbackKind },
 }
 
 /// The tuned walk-forward predictor produced by [`LoadDynamics::optimize`]
@@ -235,9 +377,7 @@ impl LoadDynamics {
 #[derive(serde::Serialize, serde::Deserialize)]
 pub struct OptimizedPredictor {
     name: String,
-    model: LstmForecaster,
-    scaler: ld_api::MinMaxScaler,
-    history_len: usize,
+    kind: PredictorKind,
 }
 
 impl OptimizedPredictor {
@@ -251,20 +391,44 @@ impl OptimizedPredictor {
     ) -> Self {
         OptimizedPredictor {
             name,
-            model,
-            scaler,
-            history_len,
+            kind: PredictorKind::Lstm {
+                model,
+                scaler,
+                history_len,
+            },
         }
     }
 
-    /// The tuned history length `n`.
+    /// The tuned history length `n` (1 for a degraded baseline predictor,
+    /// which manages its own lookback internally).
     pub fn history_len(&self) -> usize {
-        self.history_len
+        match &self.kind {
+            PredictorKind::Lstm { history_len, .. } => *history_len,
+            PredictorKind::Baseline { .. } => 1,
+        }
     }
 
-    /// Access to the underlying trained model (for snapshots).
-    pub fn model(&self) -> &LstmForecaster {
-        &self.model
+    /// Access to the underlying trained model (for snapshots). `None` when
+    /// the framework degraded to a baseline.
+    pub fn model(&self) -> Option<&LstmForecaster> {
+        match &self.kind {
+            PredictorKind::Lstm { model, .. } => Some(model),
+            PredictorKind::Baseline { .. } => None,
+        }
+    }
+
+    /// True if this predictor is a graceful-degradation baseline rather
+    /// than a tuned LSTM.
+    pub fn is_fallback(&self) -> bool {
+        matches!(self.kind, PredictorKind::Baseline { .. })
+    }
+
+    /// The fallback baseline's label, when degraded.
+    pub fn fallback_name(&self) -> Option<&'static str> {
+        match &self.kind {
+            PredictorKind::Lstm { .. } => None,
+            PredictorKind::Baseline { kind } => Some(kind.label()),
+        }
     }
 
     /// Serializes the predictor (model + scaler + metadata) to JSON.
@@ -291,7 +455,12 @@ impl OptimizedPredictor {
 
 impl Predictor for OptimizedPredictor {
     fn name(&self) -> String {
-        "LoadDynamics".into()
+        match &self.kind {
+            PredictorKind::Lstm { .. } => "LoadDynamics".into(),
+            PredictorKind::Baseline { kind } => {
+                format!("LoadDynamics[fallback={}]", kind.label())
+            }
+        }
     }
 
     // The model was trained during optimize(); the walk-forward harness's
@@ -301,22 +470,33 @@ impl Predictor for OptimizedPredictor {
 
     fn predict(&mut self, history: &[f64]) -> f64 {
         assert!(!history.is_empty(), "history must be non-empty");
-        let n = self.history_len;
+        let (model, scaler, n) = match &self.kind {
+            PredictorKind::Lstm {
+                model,
+                scaler,
+                history_len,
+            } => (model, scaler, *history_len),
+            PredictorKind::Baseline { kind } => {
+                // `max` ignores NaN, so even a pathological history yields
+                // a usable non-negative forecast.
+                return kind.instantiate().predict(history).max(0.0);
+            }
+        };
         // Left-pad with the earliest value when the history is shorter than
         // the tuned window (only possible in synthetic unit tests).
         let window: Vec<f64> = if history.len() >= n {
             history[history.len() - n..]
                 .iter()
-                .map(|&v| self.scaler.transform(v))
+                .map(|&v| scaler.transform(v))
                 .collect()
         } else {
             let pad = n - history.len();
             std::iter::repeat_n(history[0], pad)
                 .chain(history.iter().cloned())
-                .map(|v| self.scaler.transform(v))
+                .map(|v| scaler.transform(v))
                 .collect()
         };
-        self.scaler.inverse(self.model.predict(&window)).max(0.0)
+        scaler.inverse(model.predict(&window)).max(0.0)
     }
 }
 
@@ -410,6 +590,76 @@ mod tests {
             );
         }
         assert_eq!(original.history_len(), restored.history_len());
+    }
+
+    #[test]
+    fn try_optimize_reports_invalid_input_instead_of_panicking() {
+        let framework = LoadDynamics::new(FrameworkConfig::fast_preset(1));
+        // Partition sized for a different series length.
+        let series = seasonal_series(200);
+        let wrong = Partition::paper_default(100);
+        let err = match framework.try_optimize_with_partition(&series, &wrong) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched partition must be rejected"),
+        };
+        assert!(err.to_string().contains("partition/series mismatch"), "{err}");
+        // Training partition too small.
+        let tiny = seasonal_series(10);
+        let err = match framework.try_optimize(&tiny) {
+            Err(e) => e,
+            Ok(_) => panic!("tiny series must be rejected"),
+        };
+        assert!(err.to_string().contains("too small"), "{err}");
+    }
+
+    #[test]
+    fn try_optimize_matches_optimize_on_valid_input() {
+        let series = seasonal_series(200);
+        let mut config = FrameworkConfig::fast_preset(4);
+        config.max_iters = 3;
+        let framework = LoadDynamics::new(config);
+        let a = framework.optimize(&series);
+        let b = framework.try_optimize(&series).unwrap();
+        assert_eq!(a.hyperparams, b.hyperparams);
+        assert_eq!(a.val_mape.to_bits(), b.val_mape.to_bits());
+    }
+
+    #[test]
+    fn degrades_to_baseline_when_no_candidate_survives() {
+        let _guard = ld_faultinject::test_lock();
+        // Rate-1.0 NaN-loss injection: every LSTM trial diverges, so the
+        // framework must fall back to the best smoothing baseline.
+        ld_faultinject::install(
+            ld_faultinject::FaultConfig::new(3).with_site(
+                ld_faultinject::FaultSite::NanLoss,
+                1.0,
+                None,
+            ),
+        );
+        let series = seasonal_series(220);
+        let mut config = FrameworkConfig::fast_preset(3);
+        config.max_iters = 4;
+        let outcome = LoadDynamics::new(config).optimize(&series);
+        ld_faultinject::reset();
+
+        assert!(outcome.predictor.is_fallback());
+        assert!(outcome.predictor.fallback_name().is_some());
+        assert!(outcome.predictor.model().is_none());
+        assert!(
+            outcome.val_mape.is_finite() && outcome.val_mape < 100.0,
+            "fallback val MAPE {}",
+            outcome.val_mape
+        );
+        // The degraded predictor is live and serializable.
+        let mut p = outcome.predictor;
+        let v = p.predict(&series.values[..100]);
+        assert!(v.is_finite() && v >= 0.0);
+        let mut restored = OptimizedPredictor::from_json(&p.to_json()).unwrap();
+        assert_eq!(
+            p.predict(&series.values[..150]),
+            restored.predict(&series.values[..150])
+        );
+        assert!(restored.is_fallback());
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub mod space;
 pub use adaptive::{AdaptiveConfig, AdaptiveLoadDynamics, DriftDetector};
 pub use ensemble::SeedEnsemble;
 pub use framework::{
-    FrameworkConfig, LoadDynamics, OptimizationOutcome, OptimizedPredictor, SearchStrategy,
+    FallbackKind, FrameworkConfig, LoadDynamics, OptimizationOutcome, OptimizedPredictor,
+    SearchStrategy,
 };
 pub use hyperparams::HyperParams;
 pub use pipeline::{evaluate_hyperparams, evaluate_hyperparams_with, TrainBudget};

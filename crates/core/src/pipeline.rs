@@ -133,6 +133,17 @@ pub fn evaluate_hyperparams_with(
     outcome
 }
 
+/// Deterministic key for the `nan_loss` fault-injection site: a pure
+/// function of `(hyperparams, seed)`, so the search trial for a candidate
+/// and its later retrain reach the same afflicted/clean decision.
+fn fault_key(hp: HyperParams, seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ ((hp.history_len as u64) << 48)
+        ^ ((hp.cell_size as u64) << 32)
+        ^ ((hp.num_layers as u64) << 16)
+        ^ hp.batch_size as u64
+}
+
 fn evaluate_hyperparams_inner(
     values: &[f64],
     partition: &Partition,
@@ -175,12 +186,27 @@ fn evaluate_hyperparams_inner(
         clip_norm: budget.clip_norm,
         shuffle_seed: seed,
         lr_decay: 1.0,
+        max_divergence_retries: 3,
     });
     if telemetry.is_enabled() {
         trainer = trainer.with_telemetry(telemetry.clone(), format!("trainer/{hp}"));
     }
+    if ld_faultinject::is_active() {
+        trainer = trainer.with_fault_key(fault_key(hp, seed));
+    }
     let mut opt = Adam::with_lr(budget.learning_rate);
-    trainer.fit(&mut model, &mut opt, &train_windows, &val_samples);
+    let report = trainer.fit(&mut model, &mut opt, &train_windows, &val_samples);
+    if report.diverged {
+        // The watchdog exhausted its rollback budget: treat the candidate
+        // exactly like an infeasible one, so the search steers away instead
+        // of crashing or trusting garbage weights.
+        telemetry.incr("pipeline.diverged_trials");
+        return EvalOutcome {
+            val_mape: INFEASIBLE_MAPE,
+            model: None,
+            scaler,
+        };
+    }
 
     // Validation MAPE in original units.
     let preds: Vec<f64> = val_samples
@@ -192,6 +218,14 @@ fn evaluate_hyperparams_inner(
         .map(|s| scaler.inverse(s.target))
         .collect();
     let val_mape = metrics::mape(&preds, &actuals);
+    if !val_mape.is_finite() {
+        telemetry.incr("pipeline.nonfinite_mape");
+        return EvalOutcome {
+            val_mape: INFEASIBLE_MAPE,
+            model: None,
+            scaler,
+        };
+    }
 
     EvalOutcome {
         val_mape,
@@ -265,6 +299,24 @@ mod tests {
         let a = evaluate_hyperparams(&values, &partition, hp(), &TrainBudget::tiny(), 7);
         let b = evaluate_hyperparams(&values, &partition, hp(), &TrainBudget::tiny(), 7);
         assert!((a.val_mape - b.val_mape).abs() < 1e-6);
+    }
+
+    #[test]
+    fn injected_divergence_maps_to_infeasible() {
+        let _guard = ld_faultinject::test_lock();
+        ld_faultinject::install(
+            ld_faultinject::FaultConfig::new(5).with_site(
+                ld_faultinject::FaultSite::NanLoss,
+                1.0,
+                None,
+            ),
+        );
+        let values = sine_values(250);
+        let partition = Partition::paper_default(values.len());
+        let out = evaluate_hyperparams(&values, &partition, hp(), &TrainBudget::tiny(), 7);
+        ld_faultinject::reset();
+        assert_eq!(out.val_mape, INFEASIBLE_MAPE);
+        assert!(out.model.is_none());
     }
 
     #[test]

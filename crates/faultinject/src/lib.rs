@@ -1,0 +1,397 @@
+//! Deterministic fault injection for the LoadDynamics recovery paths.
+//!
+//! The framework's fault-tolerance layer — the trainer's divergence
+//! watchdog, trial isolation in the Bayesian optimizer, GP surrogate
+//! recovery, and the baseline fallback — only runs when something goes
+//! wrong, which on clean synthetic traces is never. This crate makes
+//! "something goes wrong" a reproducible input: faults are *decisions
+//! derived from a seed*, not random events, so a CI run that injects NaN
+//! losses into 30% of trials injects them into exactly the same trials
+//! every time.
+//!
+//! Three injection sites are wired into the workspace:
+//!
+//! | Site | Location | Effect |
+//! |---|---|---|
+//! | [`FaultSite::NanLoss`] | `ld-nn` trainer epoch loop | epoch loss becomes NaN for afflicted trials |
+//! | [`FaultSite::CholeskyFail`] | `ld-gp` surrogate auto-fit | the whole GP fit reports `NumericalFailure` |
+//! | [`FaultSite::TraceCorrupt`] | `ld-traces` config builder | trace values become NaN / negative before sanitization |
+//!
+//! # Activation
+//!
+//! Injection is process-global and **off by default**: the fast path of
+//! every query is a single relaxed atomic load, and a disabled process is
+//! byte-identical to a build without the hooks. Tests activate it with
+//! [`install`] / [`reset`]; binaries activate it from the environment via
+//! [`init_from_env`]:
+//!
+//! ```text
+//! LD_FAULT="nan_loss=0.3,cholesky=1x1,trace=0.05" LD_FAULT_SEED=42 ld-cli ...
+//! ```
+//!
+//! Each `site=rate[xCOUNT]` entry sets the per-key fault probability and an
+//! optional cap on total occurrences (`cholesky=1x1`: rate 1.0, at most one
+//! occurrence — "the first surrogate fit fails").
+//!
+//! Because the registry is process-global, tests that install a plan must
+//! serialize on a lock (see [`test_lock`]) and [`reset`] when done.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The injection sites understood by the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Corrupt an epoch training loss to NaN (trainer watchdog path).
+    NanLoss,
+    /// Fail a whole GP surrogate fit (optimizer random-fallback path).
+    CholeskyFail,
+    /// Corrupt raw trace values to NaN / negatives (sanitizer path).
+    TraceCorrupt,
+}
+
+const SITE_COUNT: usize = 3;
+
+impl FaultSite {
+    fn index(self) -> usize {
+        match self {
+            FaultSite::NanLoss => 0,
+            FaultSite::CholeskyFail => 1,
+            FaultSite::TraceCorrupt => 2,
+        }
+    }
+
+    /// Per-site hash salt so the same key draws independent decisions at
+    /// different sites.
+    fn salt(self) -> u64 {
+        match self {
+            FaultSite::NanLoss => 0x6E61_6E5F_6C6F_7373,
+            FaultSite::CholeskyFail => 0x6368_6F6C_6573_6B79,
+            FaultSite::TraceCorrupt => 0x7472_6163_655F_6331,
+        }
+    }
+
+    /// Spec-string name (`nan_loss`, `cholesky`, `trace`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultSite::NanLoss => "nan_loss",
+            FaultSite::CholeskyFail => "cholesky",
+            FaultSite::TraceCorrupt => "trace",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "nan_loss" => Some(FaultSite::NanLoss),
+            "cholesky" => Some(FaultSite::CholeskyFail),
+            "trace" => Some(FaultSite::TraceCorrupt),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of one injection site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteConfig {
+    /// Fault probability per key in `[0, 1]`.
+    pub rate: f64,
+    /// Cap on total occurrences (`None` = unbounded).
+    pub max: Option<u64>,
+}
+
+/// A full fault plan: a seed plus per-site configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed the per-key decisions derive from (mix the master seed in here
+    /// so different experiment seeds afflict different trials).
+    pub seed: u64,
+    sites: [Option<SiteConfig>; SITE_COUNT],
+}
+
+impl FaultConfig {
+    /// An empty plan (no site injects anything).
+    pub fn new(seed: u64) -> Self {
+        FaultConfig {
+            sites: [None; SITE_COUNT],
+            seed,
+        }
+    }
+
+    /// Returns the plan with `site` configured.
+    pub fn with_site(mut self, site: FaultSite, rate: f64, max: Option<u64>) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        self.sites[site.index()] = Some(SiteConfig { rate, max });
+        self
+    }
+
+    /// The configuration for `site`, if any.
+    pub fn site(&self, site: FaultSite) -> Option<SiteConfig> {
+        self.sites[site.index()]
+    }
+
+    /// Parses a spec like `"nan_loss=0.3,cholesky=1x1,trace=0.05"`.
+    ///
+    /// Each entry is `site=rate` or `site=rateXcount` (capital or lowercase
+    /// `x`); unknown sites and malformed numbers are errors.
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut config = FaultConfig::new(seed);
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (name, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault entry `{entry}` missing `=`"))?;
+            let site = FaultSite::from_str(name.trim())
+                .ok_or_else(|| format!("unknown fault site `{name}`"))?;
+            let value = value.trim();
+            let (rate_str, max) = match value.split_once(['x', 'X']) {
+                Some((r, c)) => {
+                    let max: u64 = c
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad count in `{entry}`: {e}"))?;
+                    (r.trim(), Some(max))
+                }
+                None => (value, None),
+            };
+            let rate: f64 = rate_str
+                .parse()
+                .map_err(|e| format!("bad rate in `{entry}`: {e}"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("rate {rate} in `{entry}` outside [0,1]"));
+            }
+            config = config.with_site(site, rate, max);
+        }
+        Ok(config)
+    }
+}
+
+/// An installed plan plus per-site occurrence counters.
+struct Installed {
+    config: FaultConfig,
+    counters: [AtomicU64; SITE_COUNT],
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Option<Installed>> {
+    static REGISTRY: OnceLock<Mutex<Option<Installed>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(None))
+}
+
+/// Serializes tests that install process-global fault plans. Integration
+/// tests in one binary run on multiple threads; hold this lock around
+/// [`install`] .. [`reset`] so plans never overlap.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Installs a fault plan process-wide, replacing any previous plan and
+/// resetting all occurrence counters.
+pub fn install(config: FaultConfig) {
+    let mut guard = registry().lock().unwrap_or_else(|p| p.into_inner());
+    *guard = Some(Installed {
+        config,
+        counters: Default::default(),
+    });
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Removes the installed plan; all queries return "no fault" again.
+pub fn reset() {
+    let mut guard = registry().lock().unwrap_or_else(|p| p.into_inner());
+    ACTIVE.store(false, Ordering::Release);
+    *guard = None;
+}
+
+/// Installs a plan from `LD_FAULT` / `LD_FAULT_SEED` if `LD_FAULT` is set
+/// and non-empty. Returns whether a plan was installed. Malformed specs are
+/// reported on stderr and ignored (a typo'd knob must not corrupt a run).
+pub fn init_from_env(default_seed: u64) -> bool {
+    let Ok(spec) = std::env::var("LD_FAULT") else {
+        return false;
+    };
+    if spec.trim().is_empty() {
+        return false;
+    }
+    let seed = std::env::var("LD_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default_seed);
+    match FaultConfig::parse(&spec, seed) {
+        Ok(config) => {
+            install(config);
+            true
+        }
+        Err(e) => {
+            eprintln!("LD_FAULT ignored: {e}");
+            false
+        }
+    }
+}
+
+/// Whether any plan is installed. One relaxed atomic load — instrumented
+/// hot paths gate on this before doing anything else.
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// `splitmix64` — the finalizer used to turn `(seed, salt, key)` into an
+/// independent uniform decision.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_draw(seed: u64, salt: u64, key: u64) -> f64 {
+    let h = splitmix64(seed ^ salt.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ splitmix64(key));
+    // 53 high bits -> uniform in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn with_site<T>(site: FaultSite, f: impl FnOnce(&Installed, SiteConfig) -> T) -> Option<T> {
+    if !is_active() {
+        return None;
+    }
+    let guard = registry().lock().unwrap_or_else(|p| p.into_inner());
+    let installed = guard.as_ref()?;
+    let cfg = installed.config.site(site)?;
+    Some(f(installed, cfg))
+}
+
+/// Pure keyed decision: does `key` fault at `site`? Deterministic in
+/// `(installed seed, site, key)`; ignores occurrence caps.
+pub fn fault_hit(site: FaultSite, key: u64) -> bool {
+    with_site(site, |installed, cfg| {
+        unit_draw(installed.config.seed, site.salt(), key) < cfg.rate
+    })
+    .unwrap_or(false)
+}
+
+/// Counted decision: each call consumes one slot of the site's occurrence
+/// budget; call `n` faults iff the site's keyed draw at index `n` fires and
+/// fewer than `max` faults were already injected. Deterministic as long as
+/// the site is consulted in a deterministic order (the BO surrogate loop
+/// is sequential).
+pub fn fault_hit_counted(site: FaultSite) -> bool {
+    with_site(site, |installed, cfg| {
+        let n = installed.counters[site.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(max) = cfg.max {
+            if n >= max {
+                return false;
+            }
+        }
+        unit_draw(installed.config.seed, site.salt(), n) < cfg.rate
+    })
+    .unwrap_or(false)
+}
+
+/// Corrupts `v` if `key` faults at `site`: half the afflicted keys become
+/// NaN, half become `-(v + 1)` (strictly negative even at `v = 0`), so both
+/// repair paths of the sanitizer are exercised.
+pub fn corrupt_value(site: FaultSite, key: u64, v: f64) -> f64 {
+    if !fault_hit(site, key) {
+        return v;
+    }
+    // Decorrelate the corruption mode from the hit decision.
+    let mode = with_site(site, |installed, _| {
+        splitmix64(installed.config.seed ^ site.salt() ^ key.wrapping_mul(3)) & 1
+    })
+    .unwrap_or(0);
+    if mode == 0 {
+        f64::NAN
+    } else {
+        -(v + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; every test serializes on `test_lock`.
+
+    #[test]
+    fn disabled_by_default_and_after_reset() {
+        let _guard = test_lock();
+        reset();
+        assert!(!is_active());
+        assert!(!fault_hit(FaultSite::NanLoss, 7));
+        assert!(!fault_hit_counted(FaultSite::CholeskyFail));
+        assert_eq!(corrupt_value(FaultSite::TraceCorrupt, 0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_rate_accurate() {
+        let _guard = test_lock();
+        install(FaultConfig::new(42).with_site(FaultSite::NanLoss, 0.3, None));
+        let first: Vec<bool> = (0..10_000).map(|k| fault_hit(FaultSite::NanLoss, k)).collect();
+        let second: Vec<bool> = (0..10_000).map(|k| fault_hit(FaultSite::NanLoss, k)).collect();
+        assert_eq!(first, second);
+        let hits = first.iter().filter(|&&b| b).count();
+        assert!(
+            (2700..3300).contains(&hits),
+            "expected ~30% of 10k keys, got {hits}"
+        );
+        reset();
+    }
+
+    #[test]
+    fn different_seeds_afflict_different_keys() {
+        let _guard = test_lock();
+        install(FaultConfig::new(1).with_site(FaultSite::NanLoss, 0.3, None));
+        let a: Vec<bool> = (0..512).map(|k| fault_hit(FaultSite::NanLoss, k)).collect();
+        install(FaultConfig::new(2).with_site(FaultSite::NanLoss, 0.3, None));
+        let b: Vec<bool> = (0..512).map(|k| fault_hit(FaultSite::NanLoss, k)).collect();
+        assert_ne!(a, b);
+        reset();
+    }
+
+    #[test]
+    fn counted_site_respects_occurrence_cap() {
+        let _guard = test_lock();
+        install(FaultConfig::new(0).with_site(FaultSite::CholeskyFail, 1.0, Some(2)));
+        let hits: Vec<bool> = (0..10).map(|_| fault_hit_counted(FaultSite::CholeskyFail)).collect();
+        assert_eq!(hits.iter().filter(|&&b| b).count(), 2);
+        assert!(hits[0] && hits[1], "cap consumes the first calls at rate 1");
+        reset();
+    }
+
+    #[test]
+    fn corrupt_value_produces_nan_and_negatives() {
+        let _guard = test_lock();
+        install(FaultConfig::new(9).with_site(FaultSite::TraceCorrupt, 1.0, None));
+        let out: Vec<f64> = (0..64).map(|k| corrupt_value(FaultSite::TraceCorrupt, k, 10.0)).collect();
+        assert!(out.iter().any(|v| v.is_nan()));
+        assert!(out.iter().any(|v| *v < 0.0));
+        assert!(out.iter().all(|v| v.is_nan() || *v < 0.0));
+        reset();
+    }
+
+    #[test]
+    fn spec_parsing_roundtrip_and_errors() {
+        let parsed = FaultConfig::parse("nan_loss=0.3, cholesky=1x1 ,trace=0.05", 7).unwrap();
+        assert_eq!(
+            parsed.site(FaultSite::NanLoss),
+            Some(SiteConfig { rate: 0.3, max: None })
+        );
+        assert_eq!(
+            parsed.site(FaultSite::CholeskyFail),
+            Some(SiteConfig { rate: 1.0, max: Some(1) })
+        );
+        assert_eq!(
+            parsed.site(FaultSite::TraceCorrupt),
+            Some(SiteConfig { rate: 0.05, max: None })
+        );
+        assert!(FaultConfig::parse("bogus=1", 0).is_err());
+        assert!(FaultConfig::parse("nan_loss", 0).is_err());
+        assert!(FaultConfig::parse("nan_loss=2.0", 0).is_err());
+        assert!(FaultConfig::parse("cholesky=1xzz", 0).is_err());
+        // Empty spec parses to an empty plan.
+        let empty = FaultConfig::parse("", 3).unwrap();
+        assert_eq!(empty, FaultConfig::new(3));
+    }
+}

@@ -102,10 +102,20 @@ impl GpRegressor {
             k[(i, i)] += noise;
         }
 
-        let chol = Cholesky::factor_with_jitter(&k, 1e-10, 12).map_err(|e| match e {
-            LinalgError::NotPositiveDefinite { .. } => GpError::NumericalFailure,
-            _ => GpError::NumericalFailure,
-        })?;
+        // Standard jitter schedule first; if the Gram matrix is so
+        // ill-conditioned that the schedule exhausts (near-duplicate
+        // candidates with wildly scaled targets), escalate once with a much
+        // larger starting jitter before reporting failure — a slightly
+        // over-regularized surrogate still ranks candidates, while an abort
+        // would cost the optimizer its whole model.
+        let chol = Cholesky::factor_with_jitter(&k, 1e-10, 12)
+            .or_else(|e| match e {
+                LinalgError::NotPositiveDefinite { .. } => {
+                    Cholesky::factor_with_jitter(&k, 1e-4, 10)
+                }
+                other => Err(other),
+            })
+            .map_err(|_| GpError::NumericalFailure)?;
         let alpha = chol.solve(&ys).map_err(|_| GpError::NumericalFailure)?;
 
         let log_marginal = -0.5 * vecops::dot(&ys, &alpha)

@@ -27,6 +27,13 @@ pub trait Optimizer {
     /// configured base rate). Used by the trainer's per-epoch decay
     /// schedule; the default implementation ignores it.
     fn set_lr_scale(&mut self, _scale: f64) {}
+
+    /// Discards accumulated per-slot state (moment estimates, step
+    /// counters), as if the optimizer were freshly constructed. The
+    /// trainer's divergence watchdog calls this after rolling a model back:
+    /// moments computed from non-finite gradients would otherwise poison
+    /// every subsequent step. Stateless optimizers need not override.
+    fn reset(&mut self) {}
 }
 
 /// Plain stochastic gradient descent: `p -= lr * g`.
@@ -178,6 +185,13 @@ impl Optimizer for Adam {
         assert!(scale > 0.0, "lr scale must be positive");
         self.lr_scale = scale;
     }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.state.clear();
+        // lr_scale is owned by the trainer's schedule, which re-applies it
+        // every epoch; leave it so a retreated rate survives the reset.
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +278,24 @@ mod tests {
         let x = minimize(&mut opt, 2000);
         // Decay biases slightly towards zero but must stay close to 3.
         assert!((x - 3.0).abs() < 0.1, "x = {x}");
+    }
+
+    #[test]
+    fn adam_reset_clears_moments_and_step_counter() {
+        let mut opt = Adam::with_lr(0.01);
+        let mut x = Matrix::filled(1, 1, 0.0);
+        // Poison the moments with a non-finite gradient.
+        opt.begin_step();
+        opt.update(0, &mut x, &Matrix::filled(1, 1, f64::NAN));
+        assert!(x[(0, 0)].is_nan());
+        opt.reset();
+        assert_eq!(opt.steps(), 0);
+        // A fresh step after reset behaves like the very first step: the
+        // update magnitude is ~lr regardless of gradient scale.
+        let mut y = Matrix::filled(1, 1, 0.0);
+        opt.begin_step();
+        opt.update(0, &mut y, &Matrix::filled(1, 1, 999.0));
+        assert!((y[(0, 0)].abs() - 0.01).abs() < 1e-6, "{}", y[(0, 0)]);
     }
 
     #[test]

@@ -125,6 +125,11 @@ pub struct TrainOptions {
     /// rescaling (`1.0` = constant rate). Values slightly below 1 (e.g.
     /// `0.97`) trade early progress for a finer-grained endgame.
     pub lr_decay: f64,
+    /// Divergence-watchdog budget: how many times a non-finite epoch may be
+    /// rolled back (restore best weights, reset optimizer state, halve the
+    /// learning rate) before the run is declared diverged. `0` disables
+    /// recovery — the first non-finite epoch is terminal.
+    pub max_divergence_retries: usize,
 }
 
 impl Default for TrainOptions {
@@ -137,6 +142,7 @@ impl Default for TrainOptions {
             clip_norm: 5.0,
             shuffle_seed: 0,
             lr_decay: 1.0,
+            max_divergence_retries: 3,
         }
     }
 }
@@ -154,6 +160,14 @@ pub struct TrainReport {
     pub best_loss: f64,
     /// True if early stopping fired.
     pub early_stopped: bool,
+    /// Number of watchdog rollbacks performed (non-finite epochs recovered
+    /// by restoring the best snapshot and halving the learning rate).
+    pub rollbacks: usize,
+    /// True if the run exhausted its divergence retries and was aborted.
+    /// The model still holds the best finite weights observed (the initial
+    /// weights when no epoch ever finished finite), but callers should
+    /// treat the trial as failed.
+    pub diverged: bool,
 }
 
 /// The mini-batch trainer.
@@ -162,6 +176,10 @@ pub struct Trainer {
     opts: TrainOptions,
     telemetry: ld_telemetry::Telemetry,
     scope: String,
+    /// Deterministic key for the fault-injection `nan_loss` site; `None`
+    /// leaves injection off for this trainer even when the harness is
+    /// active.
+    fault_key: Option<u64>,
 }
 
 impl Trainer {
@@ -173,7 +191,17 @@ impl Trainer {
             opts,
             telemetry: ld_telemetry::Telemetry::disabled(),
             scope: String::new(),
+            fault_key: None,
         }
+    }
+
+    /// Arms the deterministic `nan_loss` fault-injection site for this
+    /// trainer. Whether this particular run is afflicted is a pure function
+    /// of `key` and the installed harness config, so searches replay
+    /// identically. A no-op while the harness is inactive.
+    pub fn with_fault_key(mut self, key: u64) -> Self {
+        self.fault_key = Some(key);
+        self
     }
 
     /// Attaches a telemetry handle; per-epoch events are recorded under
@@ -227,14 +255,26 @@ impl Trainer {
         let mut val_losses = Vec::new();
         let mut early_stopped = false;
         let mut epochs_run = 0usize;
+        // Watchdog state: each rollback halves the effective learning rate
+        // on top of the configured decay schedule.
+        let mut lr_retreat = 1.0f64;
+        let mut rollbacks = 0usize;
+        let mut diverged = false;
+        // Deterministic per-run fault decision: an afflicted run reports a
+        // non-finite loss every epoch, so it exercises the full
+        // rollback-then-give-up path of the watchdog.
+        let inject_nan = self.fault_key.is_some_and(|k| {
+            ld_faultinject::is_active()
+                && ld_faultinject::fault_hit(ld_faultinject::FaultSite::NanLoss, k)
+        });
 
         let telemetry_on = self.telemetry.is_enabled();
         let fit_start = telemetry_on.then(std::time::Instant::now);
 
         for epoch in 0..self.opts.max_epochs {
             epochs_run += 1;
-            if self.opts.lr_decay != 1.0 {
-                opt.set_lr_scale(self.opts.lr_decay.powi(epoch as i32));
+            if self.opts.lr_decay != 1.0 || lr_retreat != 1.0 {
+                opt.set_lr_scale(self.opts.lr_decay.powi(epoch as i32) * lr_retreat);
             }
             order.shuffle(&mut rng);
             let mut epoch_loss_sum = 0.0;
@@ -262,6 +302,13 @@ impl Trainer {
                             (l1 + l2, g1)
                         },
                     );
+                if !loss_sum.is_finite() {
+                    // Bail before applying: gradients from a non-finite
+                    // batch would poison the weights and optimizer moments
+                    // the watchdog is about to restore anyway.
+                    epoch_loss_sum = f64::NAN;
+                    break;
+                }
                 epoch_loss_sum += loss_sum;
                 batches += 1;
                 M::scale(&mut grads, 1.0 / chunk.len() as f64);
@@ -271,7 +318,11 @@ impl Trainer {
                 model.apply(&grads, opt);
             }
 
-            let train_mse = epoch_loss_sum / train.len() as f64;
+            let train_mse = if inject_nan {
+                f64::NAN
+            } else {
+                epoch_loss_sum / train.len() as f64
+            };
             train_losses.push(train_mse);
             let monitored = if val.is_empty() {
                 train_mse
@@ -280,6 +331,36 @@ impl Trainer {
                 val_losses.push(v);
                 v
             };
+
+            if !train_mse.is_finite() || !monitored.is_finite() {
+                if telemetry_on {
+                    self.telemetry.incr("trainer.divergence_events");
+                    self.telemetry
+                        .record_with(&self.scope, "divergence", epoch as u64, |e| {
+                            e.int("rollbacks_used", rollbacks as u64).flag(
+                                "retry",
+                                rollbacks < self.opts.max_divergence_retries,
+                            );
+                        });
+                }
+                if rollbacks >= self.opts.max_divergence_retries {
+                    diverged = true;
+                    break;
+                }
+                rollbacks += 1;
+                if telemetry_on {
+                    self.telemetry.incr("trainer.watchdog_rollbacks");
+                }
+                // Restore the last known-good weights (the initial ones if
+                // no epoch finished finite yet), drop moment estimates that
+                // may have absorbed non-finite gradients, and retreat the
+                // learning rate. Patience is deliberately not charged for a
+                // recovered epoch.
+                *model = best_model.clone();
+                opt.reset();
+                lr_retreat *= 0.5;
+                continue;
+            }
 
             if telemetry_on {
                 self.telemetry.incr("trainer.epochs");
@@ -316,13 +397,24 @@ impl Trainer {
         if let Some(start) = fit_start {
             let wall = start.elapsed().as_secs_f64();
             self.telemetry.observe_secs("trainer.fit", wall);
+            if diverged {
+                self.telemetry.incr("trainer.diverged_runs");
+            }
             self.telemetry.record_with(&self.scope, "fit", 0, |e| {
                 e.int("epochs_run", epochs_run as u64)
                     .num("best_loss", best_loss)
                     .flag("early_stopped", early_stopped)
+                    .int("rollbacks", rollbacks as u64)
+                    .flag("diverged", diverged)
                     .text(
                         "stop_reason",
-                        if early_stopped { "patience" } else { "max_epochs" },
+                        if diverged {
+                            "diverged"
+                        } else if early_stopped {
+                            "patience"
+                        } else {
+                            "max_epochs"
+                        },
                     )
                     .num("wall_secs", wall);
             });
@@ -333,6 +425,8 @@ impl Trainer {
             val_losses,
             best_loss,
             early_stopped,
+            rollbacks,
+            diverged,
         }
     }
 }
@@ -489,6 +583,161 @@ mod tests {
         assert!(after < before * 0.3, "{before} -> {after}");
         // The schedule actually moved the optimizer's effective rate.
         assert!(opt.learning_rate() < 8e-3);
+    }
+
+    /// A scalar model whose first `nan_first_calls` gradient evaluations
+    /// return non-finite loss/gradients; clones share the call counter so
+    /// snapshots taken by the trainer do not reset the fault schedule.
+    #[derive(Clone)]
+    struct FlakyModel {
+        w: Matrix,
+        calls: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        nan_first_calls: u64,
+    }
+
+    impl FlakyModel {
+        fn new(nan_first_calls: u64) -> Self {
+            FlakyModel {
+                w: Matrix::zeros(1, 1),
+                calls: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+                nan_first_calls,
+            }
+        }
+    }
+
+    impl Trainable for FlakyModel {
+        type Grads = Matrix;
+
+        fn zero_grads(&self) -> Matrix {
+            Matrix::zeros(1, 1)
+        }
+        fn sample_grads(&self, _window: &[f64], target: f64) -> (f64, Matrix) {
+            let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if n < self.nan_first_calls {
+                return (f64::NAN, Matrix::filled(1, 1, f64::NAN));
+            }
+            let d = self.w[(0, 0)] - target;
+            (d * d, Matrix::filled(1, 1, 2.0 * d))
+        }
+        fn accumulate(into: &mut Matrix, other: &Matrix) {
+            into.axpy(1.0, other).unwrap();
+        }
+        fn scale(grads: &mut Matrix, alpha: f64) {
+            for v in grads.as_mut_slice() {
+                *v *= alpha;
+            }
+        }
+        fn clip(_grads: &mut Matrix, _max_norm: f64) -> bool {
+            false
+        }
+        fn apply(&mut self, grads: &Matrix, opt: &mut dyn Optimizer) {
+            opt.begin_step();
+            opt.update(0, &mut self.w, grads);
+        }
+        fn predict(&self, _window: &[f64]) -> f64 {
+            self.w[(0, 0)]
+        }
+    }
+
+    fn flaky_samples(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|_| Sample {
+                window: vec![0.0],
+                target: 0.5,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn watchdog_recovers_from_one_bad_epoch() {
+        let train = flaky_samples(32);
+        // Exactly the first epoch's gradient calls are non-finite.
+        let mut model = FlakyModel::new(32);
+        let trainer = Trainer::new(TrainOptions {
+            batch_size: 32,
+            max_epochs: 40,
+            patience: 0,
+            ..TrainOptions::default()
+        });
+        let mut opt = Adam::with_lr(0.2);
+        let report = trainer.fit(&mut model, &mut opt, &train, &[]);
+        assert_eq!(report.rollbacks, 1);
+        assert!(!report.diverged);
+        // Recovery resumed real training: the weight moved towards the
+        // target despite the poisoned first epoch.
+        assert!(model.predict(&[]).is_finite());
+        assert!((model.predict(&[]) - 0.5).abs() < 0.2, "w = {}", model.predict(&[]));
+        assert!(report.train_losses[0].is_nan());
+        assert!(report.train_losses.last().unwrap().is_finite());
+    }
+
+    #[test]
+    fn watchdog_declares_divergence_after_retry_budget() {
+        let train = flaky_samples(16);
+        // Every gradient call is non-finite: recovery can never succeed.
+        let mut model = FlakyModel::new(u64::MAX);
+        let trainer = Trainer::new(TrainOptions {
+            batch_size: 16,
+            max_epochs: 50,
+            patience: 0,
+            max_divergence_retries: 2,
+            ..TrainOptions::default()
+        });
+        let mut opt = Adam::with_lr(0.1);
+        let report = trainer.fit(&mut model, &mut opt, &train, &[]);
+        assert!(report.diverged);
+        assert_eq!(report.rollbacks, 2);
+        // 2 recovered epochs + the terminal one.
+        assert_eq!(report.epochs_run, 3);
+        // The model was left on its last good snapshot (the initial
+        // weights), not the poisoned ones.
+        assert!(model.predict(&[]).is_finite());
+    }
+
+    #[test]
+    fn injected_nan_loss_drives_run_to_divergence() {
+        let _guard = ld_faultinject::test_lock();
+        ld_faultinject::install(
+            ld_faultinject::FaultConfig::new(11).with_site(
+                ld_faultinject::FaultSite::NanLoss,
+                1.0,
+                None,
+            ),
+        );
+        let train = flaky_samples(16);
+        let mut model = FlakyModel::new(0); // model itself is healthy
+        let trainer = Trainer::new(TrainOptions {
+            batch_size: 16,
+            max_epochs: 20,
+            patience: 0,
+            max_divergence_retries: 1,
+            ..TrainOptions::default()
+        })
+        .with_fault_key(3);
+        let mut opt = Adam::with_lr(0.1);
+        let report = trainer.fit(&mut model, &mut opt, &train, &[]);
+        ld_faultinject::reset();
+        assert!(report.diverged, "rate-1.0 injection must afflict the run");
+        assert_eq!(report.rollbacks, 1);
+        // Without a fault key the same harness config leaves training alone.
+        ld_faultinject::install(
+            ld_faultinject::FaultConfig::new(11).with_site(
+                ld_faultinject::FaultSite::NanLoss,
+                1.0,
+                None,
+            ),
+        );
+        let mut clean = FlakyModel::new(0);
+        let trainer = Trainer::new(TrainOptions {
+            batch_size: 16,
+            max_epochs: 20,
+            patience: 0,
+            ..TrainOptions::default()
+        });
+        let report = trainer.fit(&mut clean, &mut opt, &train, &[]);
+        ld_faultinject::reset();
+        assert!(!report.diverged);
+        assert_eq!(report.rollbacks, 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! Gaussian and log-normal variates are derived here so the generators stay
 //! self-contained and deterministic across `rand` minor versions.
 
+use ld_api::FrameworkError;
 use rand::Rng;
 
 /// Standard normal variate via the Box–Muller transform.
@@ -29,8 +30,29 @@ pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
 /// Uses Knuth's product method below `lambda = 30` and a
 /// continuity-corrected normal approximation above (error is irrelevant at
 /// those counts; the approximation keeps large-intensity traces cheap).
+///
+/// # Panics
+/// Panics on negative or non-finite `lambda` — the generators compute
+/// intensities from bounded closed forms. Use [`try_poisson`] when the
+/// intensity comes from untrusted arithmetic.
 pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "bad lambda {lambda}");
+    try_poisson(rng, lambda).unwrap_or_else(|_| panic!("bad lambda {lambda}"))
+}
+
+/// [`poisson`] with validation instead of a panic: a negative or
+/// non-finite intensity is reported as [`FrameworkError::InvalidInput`],
+/// so a corrupted intensity process degrades one sample instead of killing
+/// the whole trace build.
+pub fn try_poisson(rng: &mut impl Rng, lambda: f64) -> Result<u64, FrameworkError> {
+    if !(lambda >= 0.0 && lambda.is_finite()) {
+        return Err(FrameworkError::invalid_input(format!(
+            "poisson intensity must be finite and non-negative, got {lambda}"
+        )));
+    }
+    Ok(poisson_unchecked(rng, lambda))
+}
+
+fn poisson_unchecked(rng: &mut impl Rng, lambda: f64) -> u64 {
     if lambda == 0.0 {
         return 0;
     }
@@ -100,6 +122,35 @@ mod tests {
     fn poisson_zero_lambda_is_zero() {
         let mut rng = StdRng::seed_from_u64(4);
         assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn try_poisson_rejects_bad_lambda_without_panicking() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(try_poisson(&mut rng, f64::NAN).is_err());
+        assert!(try_poisson(&mut rng, -1.0).is_err());
+        assert!(try_poisson(&mut rng, f64::INFINITY).is_err());
+        assert!(try_poisson(&mut rng, 5.0).is_ok());
+    }
+
+    #[test]
+    fn try_poisson_matches_poisson_on_valid_lambda() {
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..100).map(|_| poisson(&mut rng, 12.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..100).map(|_| try_poisson(&mut rng, 12.0).unwrap()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad lambda")]
+    fn poisson_still_panics_on_bad_lambda() {
+        let mut rng = StdRng::seed_from_u64(8);
+        poisson(&mut rng, -2.0);
     }
 
     #[test]

@@ -16,6 +16,10 @@ fi
 echo "=== cargo test -q ==="
 cargo test -q
 
+echo "=== fault-injection & robustness suites ==="
+cargo test -q -p ld-faultinject
+cargo test -q --test fault_injection --test adversarial_inputs
+
 echo "=== cargo clippy --workspace -- -D warnings ==="
 cargo clippy --workspace -- -D warnings
 

@@ -177,6 +177,13 @@ fn cmd_list() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Opt-in fault injection for resilience drills (LD_FAULT / LD_FAULT_SEED).
+    if ld_faultinject::init_from_env(0) {
+        eprintln!(
+            "fault injection active: LD_FAULT={}",
+            std::env::var("LD_FAULT").unwrap_or_default()
+        );
+    }
     let telemetry_out = telemetry_path(&args);
     match args.first().map(String::as_str) {
         Some("generate") if args.len() == 3 => cmd_generate(&args[1], &args[2]),

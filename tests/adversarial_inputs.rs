@@ -1,0 +1,93 @@
+//! Adversarial-input properties: degenerate series that break naive
+//! implementations (constant traces, all-zero traces, a single spike in a
+//! flat line, traces shorter than any sensible history window, corrupted
+//! raw values) must flow through the full self-optimization workflow
+//! without panicking and still yield a predictor whose forecasts are
+//! finite and non-negative.
+
+use ld_api::{Predictor, Series};
+use loaddynamics::{FrameworkConfig, LoadDynamics};
+
+/// Runs the full fast-preset search with a small iteration budget and
+/// checks the resulting predictor is usable on the same series.
+fn optimize_and_probe(series: &Series, seed: u64) {
+    let mut config = FrameworkConfig::fast_preset(seed);
+    config.max_iters = 3;
+    let outcome = LoadDynamics::new(config).optimize(series);
+    assert!(outcome.val_mape.is_finite(), "val MAPE {}", outcome.val_mape);
+
+    let mut predictor = outcome.predictor;
+    for end in [series.len() / 2, series.len() - 1] {
+        let end = end.max(1);
+        let pred = predictor.predict(&series.values[..end]);
+        assert!(
+            pred.is_finite() && pred >= 0.0,
+            "prediction at {end}: {pred}"
+        );
+    }
+}
+
+#[test]
+fn constant_series_never_panics() {
+    // A constant trace makes the min-max scaler degenerate (zero range)
+    // and gives BO an objective with no signal.
+    let series = Series::new("constant", 30, vec![100.0; 120]);
+    optimize_and_probe(&series, 1);
+}
+
+#[test]
+fn all_zero_series_never_panics() {
+    // All-zero actuals: MAPE has no defined terms (the convention returns
+    // 0), every candidate ties, and the scaler's range is zero at zero.
+    let series = Series::new("silent", 30, vec![0.0; 120]);
+    optimize_and_probe(&series, 2);
+}
+
+#[test]
+fn single_spike_series_never_panics() {
+    // One enormous spike in a flat line: the scaler's range is dominated
+    // by a single point, squashing everything else to ~0.
+    let mut values = vec![5.0; 150];
+    values[75] = 1.0e6;
+    let series = Series::new("spike", 30, values);
+    optimize_and_probe(&series, 3);
+}
+
+#[test]
+fn too_short_series_never_panics() {
+    // Shorter than most candidate history windows: most (possibly all)
+    // candidates are infeasible; the framework must penalize or degrade,
+    // not crash.
+    let series = Series::new(
+        "short",
+        30,
+        (0..24).map(|i| 50.0 + (i % 5) as f64).collect(),
+    );
+    optimize_and_probe(&series, 4);
+}
+
+#[test]
+fn corrupted_raw_values_are_repairable_then_optimizable() {
+    // NaN/negative raw values are rejected by the validating constructor
+    // and repaired by the sanitizing one; the repaired series runs the
+    // full workflow.
+    let mut values: Vec<f64> = (0..120)
+        .map(|i| 80.0 + 30.0 * (i as f64 * 0.3).sin())
+        .collect();
+    values[10] = f64::NAN;
+    values[50] = f64::INFINITY;
+    values[90] = -12.0;
+
+    assert!(Series::try_new("corrupt", 30, values.clone()).is_err());
+    let (series, report) = Series::sanitized("corrupt", 30, values).unwrap();
+    assert_eq!(report.non_finite_repaired, 2);
+    assert_eq!(report.negatives_clamped, 1);
+    assert!(series.values.iter().all(|v| v.is_finite() && *v >= 0.0));
+    optimize_and_probe(&series, 5);
+}
+
+#[test]
+fn zero_interval_is_rejected_not_panicked() {
+    assert!(Series::try_new("bad", 0, vec![1.0]).is_err());
+    assert!(Series::sanitized("bad", 0, vec![1.0]).is_err());
+}

@@ -116,8 +116,9 @@ fn optimized_predictor_json_snapshot_is_self_contained() {
     let outcome = LoadDynamics::new(FrameworkConfig::fast_preset(3)).optimize(&series);
     let json = outcome.predictor.to_json();
     let value: serde_json::Value = serde_json::from_str(&json).unwrap();
-    assert!(value["history_len"].as_u64().unwrap() >= 1);
-    assert!(value["model"]["config"]["hidden_size"].as_u64().unwrap() >= 1);
+    let lstm = &value["kind"]["Lstm"];
+    assert!(lstm["history_len"].as_u64().unwrap() >= 1);
+    assert!(lstm["model"]["config"]["hidden_size"].as_u64().unwrap() >= 1);
 }
 
 #[test]
