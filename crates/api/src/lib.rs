@@ -4,6 +4,9 @@
 //! the walk-forward [`eval`] harness that produces every MAPE number in the
 //! paper's figures.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod error;
 pub mod eval;
 pub mod metrics;

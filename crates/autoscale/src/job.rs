@@ -73,7 +73,7 @@ mod tests {
         let model = ExecTimeModel::default();
         let jobs = model.jobs_for_interval(0, 2000, 42);
         let mut times: Vec<f64> = jobs.iter().map(|j| j.exec_secs).collect();
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.sort_by(f64::total_cmp);
         let median = times[times.len() / 2];
         assert!((median - 120.0).abs() < 10.0, "median {median}");
         assert!(times.iter().all(|&t| t > 0.0));

@@ -17,6 +17,9 @@
 //! - [`report`]: turnaround / under- / over-provisioning aggregation
 //!   (the three panels of Fig. 10).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod job;
 pub mod policy;
 pub mod report;

@@ -144,7 +144,7 @@ impl CloudInsight {
             // Median recent error: one blown-up interval (a burst no member
             // saw coming) must not disqualify an otherwise strong member.
             let mut sorted: Vec<f64> = errs.iter().cloned().collect();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            sorted.sort_by(f64::total_cmp);
             let median = sorted[sorted.len() / 2];
             if median < best_err {
                 best_err = median;

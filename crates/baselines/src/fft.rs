@@ -119,8 +119,8 @@ pub fn dominant_period(signal: &[f64], min_energy_ratio: f64) -> Option<usize> {
         .iter()
         .enumerate()
         .map(|(i, &e)| (i + 1, e))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0, f64::NAN));
     if best_e / total >= min_energy_ratio {
         let period = (n as f64 / best_k as f64).round() as usize;
         if period >= 2 && period < n {
@@ -168,7 +168,7 @@ mod tests {
             .enumerate()
             .take(n / 2)
             .skip(1)
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(peak, 4);
@@ -181,6 +181,20 @@ mod tests {
         let time_energy: f64 = sig.iter().map(|v| v * v).sum();
         let freq_energy: f64 = spec.iter().map(|c| c.abs().powi(2)).sum::<f64>() / 32.0;
         assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_period_with_nan_input_is_none_not_a_panic() {
+        // Regression: the peak-bin scan used partial_cmp().unwrap(), which
+        // panicked as soon as one NaN reached the spectrum. A NaN-bearing
+        // signal must now deterministically report "no period".
+        let mut sig: Vec<f64> = (0..64)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 8.0).sin())
+            .collect();
+        sig[10] = f64::NAN;
+        assert_eq!(dominant_period(&sig, 0.2), None);
+        let all_nan = vec![f64::NAN; 32];
+        assert_eq!(dominant_period(&all_nan, 0.2), None);
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! All predictors implement [`ld_api::Predictor`] and are exercised by the
 //! same walk-forward harness as LoadDynamics itself.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod arima;
 pub mod boosting;
 pub mod cloudinsight;

@@ -75,7 +75,7 @@ impl Predictor for KnnPredictor {
                 (vecops::sq_dist(cand, &query), h[i])
             })
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         let k = self.k.min(scored.len());
         // The nearest candidate is the query window itself (distance 0,
         // successor unknown == the value we are predicting is not in h);
@@ -130,5 +130,18 @@ mod tests {
         let mut p = KnnPredictor::default();
         let h = vec![5.0; 100];
         assert!((p.predict(&h) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_nan_in_history_does_not_panic() {
+        // Regression: the neighbour sort used partial_cmp().unwrap_or(Equal)
+        // — order-dependent with NaN distances. total_cmp sorts NaN
+        // distances last deterministically; the prediction may be NaN but
+        // the call must neither panic nor depend on element order.
+        let mut h: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        h[50] = f64::NAN;
+        let a = KnnPredictor::default().predict(&h);
+        let b = KnnPredictor::default().predict(&h);
+        assert!(a.is_nan() == b.is_nan() && (a.is_nan() || a == b));
     }
 }

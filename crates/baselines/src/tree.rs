@@ -132,9 +132,7 @@ impl DecisionTree {
                 SplitPolicy::Best => {
                     // Sort by feature, scan split points with prefix sums.
                     let mut sorted: Vec<usize> = idxs.to_vec();
-                    sorted.sort_by(|&a, &b| {
-                        xs[a][f].partial_cmp(&xs[b][f]).unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                    sorted.sort_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
                     let n = sorted.len();
                     let total_sum: f64 = sorted.iter().map(|&i| ys[i]).sum();
                     let total_sq: f64 = sorted.iter().map(|&i| ys[i] * ys[i]).sum();

@@ -63,7 +63,7 @@ impl WoodPredictor {
                 .map(|r| ys[r] - (coef[0] * (r as f64 / (n - 1) as f64) + coef[1]))
                 .collect();
             let mut abs: Vec<f64> = resid.iter().map(|r| r.abs()).collect();
-            abs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            abs.sort_by(f64::total_cmp);
             let mad = abs[abs.len() / 2].max(1e-9);
             let scale = mad / 0.6745;
             let w: Vec<f64> = resid
@@ -166,5 +166,15 @@ mod tests {
         let h = vec![33.0; 120];
         let mut p = WoodPredictor::default();
         assert!((p.predict(&h) - 33.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nan_in_history_does_not_panic() {
+        // Regression: the MAD computation sorted absolute residuals with
+        // partial_cmp().unwrap(), panicking when a NaN reached the IRLS
+        // loop. It must now degrade (possibly to a NaN forecast) instead.
+        let mut h: Vec<f64> = (0..60).map(|i| 50.0 + i as f64).collect();
+        h[30] = f64::NAN;
+        let _ = WoodPredictor::default().predict(&h);
     }
 }

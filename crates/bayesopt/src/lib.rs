@@ -17,6 +17,9 @@
 //!
 //! Objectives are *minimized* (the framework minimizes validation MAPE).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod acquisition;
 pub mod optimizer;
 pub mod space;

@@ -242,6 +242,7 @@ impl HyperOptimizer for BayesianOptimizer {
         let init_n = self.opts.init_points.min(budget);
         // The clock is only read when a deadline is configured, so
         // deadline-free runs never depend on wall time.
+        // ld-lint: allow(determinism, "opt-in deadline budget: bounds how many trials run, never what a trial computes")
         let search_start = self.opts.deadline_secs.map(|_| std::time::Instant::now());
 
         // Initial random design, evaluated in parallel.
@@ -340,7 +341,7 @@ impl HyperOptimizer for BayesianOptimizer {
                             (self.opts.acquisition.score(m, v.sqrt(), f_best), u)
                         })
                         .collect();
-                    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
                     scored
                         .iter()
                         .find(|(_, u)| !seen.contains(&fingerprint(&space.decode(u))))
@@ -416,6 +417,7 @@ impl BayesianOptimizer {
         let _opt_span = self.telemetry.span("bayesopt.optimize_batched");
         let mut rng = StdRng::seed_from_u64(seed);
         let init_n = self.opts.init_points.min(budget);
+        // ld-lint: allow(determinism, "opt-in deadline budget: bounds how many trials run, never what a trial computes")
         let search_start = self.opts.deadline_secs.map(|_| std::time::Instant::now());
         let init_units: Vec<Vec<f64>> = (0..init_n).map(|_| space.sample_unit(&mut rng)).collect();
         let mut trials: Vec<Trial> = init_units
@@ -486,9 +488,7 @@ impl BayesianOptimizer {
                                 (self.opts.acquisition.score(m, v.sqrt(), f_best), u)
                             })
                             .collect();
-                        scored.sort_by(|a, b| {
-                            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
-                        });
+                        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
                         scored
                             .iter()
                             .map(|(_, u)| (*u).clone())

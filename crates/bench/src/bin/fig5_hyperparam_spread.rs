@@ -54,7 +54,7 @@ fn main() {
         })
         .collect();
     mapes.retain(|(_, m)| m.is_finite() && *m < 1e5);
-    mapes.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    mapes.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     // Print the sorted curve as deciles plus best/worst configs.
     let mut rows = Vec::new();

@@ -6,6 +6,9 @@
 //! baseline lineup, walk-forward runners, and plain-text table/sparkline
 //! rendering so the binaries print the same rows/series the paper reports.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod render;
 pub mod runner;
 pub mod scale;

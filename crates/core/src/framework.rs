@@ -192,6 +192,7 @@ impl LoadDynamics {
         let budget = self.config.budget;
         let seed = self.config.seed;
         let telemetry = &self.config.telemetry;
+        // ld-lint: allow(determinism, "opt-in telemetry timer; timing is observed, never fed back into the search")
         let optimize_start = telemetry.is_enabled().then(std::time::Instant::now);
 
         // Fig. 6 steps 1-3, iterated maxIters times by the chosen search.

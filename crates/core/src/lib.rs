@@ -31,6 +31,9 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod adaptive;
 pub mod ensemble;
 pub mod framework;

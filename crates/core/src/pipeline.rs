@@ -118,6 +118,7 @@ pub fn evaluate_hyperparams_with(
     seed: u64,
     telemetry: &ld_telemetry::Telemetry,
 ) -> EvalOutcome {
+    // ld-lint: allow(determinism, "opt-in telemetry timer; timing is observed, never fed back into the evaluation")
     let eval_start = telemetry.is_enabled().then(std::time::Instant::now);
     let outcome = evaluate_hyperparams_inner(values, partition, hp, budget, seed, telemetry);
     if let Some(start) = eval_start {

@@ -36,6 +36,9 @@
 //! Because the registry is process-global, tests that install a plan must
 //! serialize on a lock (see [`test_lock`]) and [`reset`] when done.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 

@@ -12,6 +12,9 @@
 //!
 //! Targets are standardized internally so kernel hyperpriors are scale-free.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod fit;
 pub mod kernel;
 pub mod regressor;

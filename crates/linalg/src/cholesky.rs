@@ -5,7 +5,7 @@
 //! `K + sigma^2 I = L L^T` and back-substituting. This module provides that
 //! factorization plus the solves and log-determinant the GP needs.
 
-use crate::{LinalgError, Matrix, Result};
+use crate::{guard, LinalgError, Matrix, Result};
 
 /// Lower-triangular Cholesky factor `L` with `A = L * L^T`.
 #[derive(Debug, Clone)]
@@ -45,6 +45,14 @@ impl Cholesky {
                 l[(i, j)] = s / ljj;
             }
         }
+        // Sanitizer: a successful factorization implies a finite factor. Any
+        // non-finite entry written to column j would poison the column-i
+        // diagonal for some i > j and surface as NotPositiveDefinite above,
+        // so a NaN/inf reaching this point is a bug in the loop itself.
+        debug_assert!(
+            l.as_slice().iter().all(|v| v.is_finite()),
+            "cholesky: factorization succeeded with a non-finite factor"
+        );
         Ok(Cholesky { l })
     }
 
@@ -101,6 +109,13 @@ impl Cholesky {
             }
             y[i] = s / self.l[(i, i)];
         }
+        // Sanitizer: with a finite factor (guaranteed by `factor`), a NaN in
+        // the solution can only descend from a NaN/inf in the rhs or from an
+        // intermediate overflow, which leaves a visible ±inf entry behind.
+        debug_assert!(
+            !guard::has_nan(&y) || guard::has_nonfinite(b) || guard::has_inf(&y),
+            "solve_lower: NaN born from a finite rhs without overflow"
+        );
         Ok(y)
     }
 
@@ -120,6 +135,11 @@ impl Cholesky {
             }
             x[i] = s / self.l[(i, i)];
         }
+        // Same birth-not-presence invariant as `solve_lower`.
+        debug_assert!(
+            !guard::has_nan(&x) || guard::has_nonfinite(b) || guard::has_inf(&x),
+            "solve_upper: NaN born from a finite rhs without overflow"
+        );
         Ok(x)
     }
 

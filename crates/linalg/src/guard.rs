@@ -1,0 +1,49 @@
+//! Debug-build numeric sanitizers for the linalg boundaries.
+//!
+//! The fault-tolerance layer deliberately routes non-finite values through
+//! these routines: a diverging trainer produces inf-scale weights, an
+//! injected NaN loss flows into downstream consumers, and every routine is
+//! expected to *propagate or reject* such values — never to invent them.
+//! The `debug_assert!`s built on these helpers therefore check **birth, not
+//! presence**: a NaN in an output is acceptable exactly when the inputs (or
+//! an overflow the routine cannot avoid) already carried one. A firing
+//! assert means the kernel itself manufactured a NaN from clean operands,
+//! which is always a bug.
+//!
+//! Everything here compiles to nothing in release builds: `debug_assert!`
+//! bodies are constant-folded away, and the eager scans below are guarded by
+//! `cfg!(debug_assertions)` at the call sites.
+
+/// True if any element is NaN.
+#[inline]
+pub(crate) fn has_nan(xs: &[f64]) -> bool {
+    xs.iter().any(|v| v.is_nan())
+}
+
+/// True if any element is NaN or infinite.
+#[inline]
+pub(crate) fn has_nonfinite(xs: &[f64]) -> bool {
+    xs.iter().any(|v| !v.is_finite())
+}
+
+/// True if any element is infinite (NaN does not count).
+#[inline]
+pub(crate) fn has_inf(xs: &[f64]) -> bool {
+    xs.iter().any(|v| v.is_infinite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_slices() {
+        assert!(!has_nan(&[1.0, f64::INFINITY]));
+        assert!(has_nan(&[1.0, f64::NAN]));
+        assert!(has_nonfinite(&[1.0, f64::INFINITY]));
+        assert!(has_nonfinite(&[f64::NAN]));
+        assert!(!has_nonfinite(&[0.0, -1.0e308]));
+        assert!(has_inf(&[f64::NEG_INFINITY]));
+        assert!(!has_inf(&[f64::NAN, 2.0]));
+    }
+}

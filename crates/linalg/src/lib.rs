@@ -16,7 +16,11 @@
 //!
 //! All routines are deterministic; anything randomized takes an explicit RNG.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod cholesky;
+mod guard;
 pub mod matrix;
 pub mod solve;
 pub mod vecops;

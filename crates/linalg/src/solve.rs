@@ -6,7 +6,7 @@
 //! least-squares problems of modest dimension; these routines are their
 //! numerical backend.
 
-use crate::{Cholesky, LinalgError, Matrix, Result};
+use crate::{guard, Cholesky, LinalgError, Matrix, Result};
 
 /// Solves a general square system `A x = b` by Gaussian elimination with
 /// partial pivoting.
@@ -25,15 +25,17 @@ pub fn solve_square(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let mut aug = a.clone();
     let mut rhs = b.to_vec();
     for col in 0..n {
-        // Partial pivot: largest magnitude in the remaining column.
-        let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                aug[(i, col)]
-                    .abs()
-                    .partial_cmp(&aug[(j, col)].abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .unwrap();
+        // Partial pivot: largest magnitude in the remaining column, under
+        // the IEEE total order. A NaN anywhere in the column wins the
+        // selection (NaN sorts above +inf by magnitude), fails the finite
+        // pivot check below, and surfaces as a deterministic `Singular`
+        // instead of an order-dependent result.
+        let mut pivot_row = col;
+        for i in (col + 1)..n {
+            if aug[(i, col)].abs().total_cmp(&aug[(pivot_row, col)].abs()).is_gt() {
+                pivot_row = i;
+            }
+        }
         let pivot = aug[(pivot_row, col)];
         if pivot.abs() < 1e-12 || !pivot.is_finite() {
             return Err(LinalgError::Singular);
@@ -67,6 +69,17 @@ pub fn solve_square(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         }
         x[row] = s / aug[(row, row)];
     }
+    // Sanitizer: every pivot was checked finite, so a NaN in the solution can
+    // only descend from a non-finite entry in the original system (a NaN off
+    // the pivot columns passes the pivot checks) or from an intermediate
+    // overflow, which leaves a visible ±inf entry behind.
+    debug_assert!(
+        !guard::has_nan(&x)
+            || guard::has_nonfinite(b)
+            || !a.is_finite()
+            || guard::has_inf(&x),
+        "solve_square: NaN born from a finite system without overflow"
+    );
     Ok(x)
 }
 
@@ -161,6 +174,23 @@ mod tests {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
         let x = solve_square(&a, &[2.0, 3.0]).unwrap();
         assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_solve_with_nan_is_singular_not_a_panic() {
+        // Regression: pivot selection used partial_cmp and could panic (or
+        // pick an arbitrary row) on NaN. Under total_cmp a NaN wins the
+        // magnitude contest, fails the finite-pivot check, and the solve
+        // reports Singular — same outcome wherever the NaN sits.
+        for idx in 0..4 {
+            let mut rows = [[1.0, 2.0], [3.0, 4.0]];
+            rows[idx / 2][idx % 2] = f64::NAN;
+            let a = Matrix::from_rows(&[&rows[0], &rows[1]]);
+            assert!(
+                matches!(solve_square(&a, &[1.0, 1.0]), Err(LinalgError::Singular)),
+                "NaN at flat index {idx} must yield Singular"
+            );
+        }
     }
 
     #[test]

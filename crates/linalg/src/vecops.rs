@@ -1,23 +1,44 @@
 //! Small dense-vector kernels shared across the workspace.
 
+use crate::guard;
+
 /// Dot product of two equal-length slices.
 ///
 /// # Panics
 /// Panics in debug builds if lengths differ (hot path; callers guarantee
-/// shapes).
+/// shapes), or if the kernel manufactures a NaN from finite products — a
+/// NaN result is legitimate only when an operand pair already multiplied to
+/// NaN or ±inf (see the `guard` module).
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let s: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    debug_assert!(
+        !s.is_nan() || a.iter().zip(b).any(|(x, y)| !(x * y).is_finite()),
+        "dot: NaN result though every elementwise product was finite"
+    );
+    s
 }
 
 /// In-place `y += alpha * x`.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
+    // Debug-only sanitizer pre-scan: `finite + finite` can overflow to ±inf
+    // but can never be NaN, so a NaN appearing below must have entered
+    // through `y` or through a non-finite `alpha * x` product. The scan is
+    // short-circuited away entirely in release builds.
+    let inputs_clean = cfg!(debug_assertions)
+        && y.iter()
+            .zip(x.iter())
+            .all(|(yi, &xi)| yi.is_finite() && (alpha * xi).is_finite());
     for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
+    debug_assert!(
+        !inputs_clean || !guard::has_nan(y),
+        "axpy: NaN born from finite operands"
+    );
 }
 
 /// Euclidean norm.

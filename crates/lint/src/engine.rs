@@ -1,0 +1,378 @@
+//! Scan orchestration: file discovery, test-span detection, suppression
+//! directives, baseline matching, and violation assembly.
+
+use crate::lexer::{self, DirectiveComment, Token, TokenKind};
+use crate::rules::{self, FileContext};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// A fully-resolved violation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Violation {
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule id (see [`rules::all_rules`]).
+    pub rule: String,
+    /// What was matched.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+    /// The offending source line, trimmed (also the baseline fingerprint).
+    pub snippet: String,
+    /// True if a baseline entry absorbed this violation.
+    pub baselined: bool,
+}
+
+/// One baseline entry: a known pre-existing violation the gate tolerates.
+///
+/// Entries are fingerprinted by `(file, rule, snippet)` rather than line
+/// numbers so unrelated edits above a baselined site do not invalidate the
+/// baseline. Identical lines in one file consume one entry each.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// Trimmed source line of the tolerated violation.
+    pub snippet: String,
+}
+
+/// Outcome of a workspace scan.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// All violations, including baselined ones (`baselined` set).
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Violations silenced by inline `ld-lint: allow` directives.
+    pub suppressed: usize,
+    /// Baseline entries that matched nothing (stale — safe to delete).
+    pub stale_baseline: Vec<BaselineEntry>,
+}
+
+impl ScanReport {
+    /// Violations the gate fails on: neither suppressed nor baselined.
+    pub fn active(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.baselined)
+    }
+
+    /// Count of gate-failing violations.
+    pub fn active_count(&self) -> usize {
+        self.active().count()
+    }
+}
+
+/// Finds the workspace root by walking up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Lists every `crates/*/src/**/*.rs` file under `root`, sorted for
+/// deterministic report order.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return files;
+    };
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files);
+        }
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// A parsed suppression directive: `// ld-lint: allow(<rule>, "<why>")`.
+#[derive(Debug)]
+struct Suppression {
+    line: u32,
+    rule: String,
+}
+
+/// Parses the directive comments of one file. Malformed directives become
+/// violations under the synthetic `suppression` rule — an allow with no
+/// justification must fail the gate, otherwise it is a silent opt-out.
+fn parse_suppressions(
+    rel_path: &str,
+    directives: &[DirectiveComment],
+    lines: &[&str],
+) -> (Vec<Suppression>, Vec<Violation>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for d in directives {
+        let Some(rest) = d.text.trim().strip_prefix("ld-lint:") else {
+            continue; // a comment merely mentioning ld-lint
+        };
+        let rest = rest.trim();
+        let mut error = None;
+        if let Some(args) = rest.strip_prefix("allow(").and_then(|r| r.strip_suffix(')')) {
+            let (rule, just) = match args.split_once(',') {
+                Some((r, j)) => (r.trim(), j.trim()),
+                None => (args.trim(), ""),
+            };
+            let justified = just.len() > 2 && just.starts_with('"') && just.ends_with('"');
+            if rules::rule_by_id(rule).is_none() {
+                error = Some(format!("unknown rule `{rule}` in suppression"));
+            } else if !justified {
+                error = Some(format!(
+                    "suppression of `{rule}` lacks a justification string: \
+                     use `ld-lint: allow({rule}, \"why this is sound\")`"
+                ));
+            } else {
+                sups.push(Suppression {
+                    line: d.line,
+                    rule: rule.to_string(),
+                });
+            }
+        } else {
+            error = Some(format!("malformed ld-lint directive `{}`", rest));
+        }
+        if let Some(message) = error {
+            bad.push(Violation {
+                file: rel_path.to_string(),
+                line: d.line,
+                rule: "suppression".into(),
+                message,
+                hint: "ld-lint: allow(<rule>, \"<justification>\")".into(),
+                snippet: snippet_at(lines, d.line),
+                baselined: false,
+            });
+        }
+    }
+    (sups, bad)
+}
+
+fn snippet_at(lines: &[&str], line: u32) -> String {
+    lines
+        .get(line.saturating_sub(1) as usize)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+/// Computes token-index spans of test-only code: items annotated with
+/// `#[test]` or `#[cfg(test)]` (including `#[cfg(all(test, ...))]`), from
+/// the attribute through the end of the item's `{ ... }` body (or its
+/// terminating `;`).
+pub fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1).filter(|t| t.text == "[") else {
+            i += 1;
+            continue;
+        };
+        let _ = open;
+        let attr_end = skip_group(tokens, i + 1);
+        let is_test_attr = match tokens.get(i + 2) {
+            Some(t) if t.text == "test" => true,
+            Some(t) if t.text == "cfg" => tokens[i + 2..attr_end].iter().any(|t| t.text == "test"),
+            _ => false,
+        };
+        if !is_test_attr {
+            i = attr_end;
+            continue;
+        }
+        // The item body: first `{` after the attribute (skipping further
+        // attributes), matched to its closing brace; a `;` first means a
+        // braceless item.
+        let mut j = attr_end;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokenKind::Punct && t.text == "#" && tokens.get(j + 1).map(|t| t.text.as_str()) == Some("[") {
+                j = skip_group(tokens, j + 1);
+                continue;
+            }
+            if t.kind == TokenKind::Punct && (t.text == "{" || t.text == ";") {
+                break;
+            }
+            j += 1;
+        }
+        let end = if tokens.get(j).map(|t| t.text.as_str()) == Some("{") {
+            skip_group(tokens, j)
+        } else {
+            j + 1
+        };
+        spans.push((i, end));
+        i = end;
+    }
+    spans
+}
+
+/// From an opening bracket token index, returns the index past its match.
+fn skip_group(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Punct {
+            match tokens[i].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scans one file's source text. `rel_path` must be the `/`-separated path
+/// relative to the workspace root (it determines crate allow-lists and
+/// baseline keys).
+pub fn scan_source(rel_path: &str, source: &str) -> (Vec<Violation>, usize) {
+    let lexed = lexer::lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let spans = test_spans(&lexed.tokens);
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    let ctx = FileContext {
+        rel_path,
+        crate_name,
+        file_name,
+        tokens: &lexed.tokens,
+        test_spans: &spans,
+    };
+    let (sups, mut violations) = parse_suppressions(rel_path, &lexed.directives, &lines);
+    let mut suppressed = 0usize;
+
+    for rule in rules::all_rules() {
+        for raw in (rule.check)(&ctx) {
+            if rule.skip_tests && line_in_test_code(&ctx, raw.line) {
+                continue;
+            }
+            // A directive on the violation line or the line directly above
+            // suppresses it.
+            if sups
+                .iter()
+                .any(|s| s.rule == rule.id && (s.line == raw.line || s.line + 1 == raw.line))
+            {
+                suppressed += 1;
+                continue;
+            }
+            violations.push(Violation {
+                file: rel_path.to_string(),
+                line: raw.line,
+                rule: rule.id.to_string(),
+                message: raw.message,
+                hint: rule.fix_hint.to_string(),
+                snippet: snippet_at(&lines, raw.line),
+                baselined: false,
+            });
+        }
+    }
+    violations.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    (violations, suppressed)
+}
+
+/// Whether any token on `line` falls inside a test span. Rules report the
+/// line of their anchor token; mapping back through token indices keeps the
+/// rule API line-based while test spans stay index-based.
+fn line_in_test_code(ctx: &FileContext<'_>, line: u32) -> bool {
+    ctx.tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.line == line)
+        .any(|(i, _)| ctx.in_test_code(i))
+}
+
+/// Scans every workspace source file under `root` and resolves the
+/// baseline. Violations matching a baseline entry are kept in the report
+/// but marked `baselined`; unmatched entries are reported as stale.
+pub fn scan_workspace(root: &Path, baseline: &[BaselineEntry]) -> ScanReport {
+    let mut report = ScanReport::default();
+    let mut remaining: Vec<Option<&BaselineEntry>> = baseline.iter().map(Some).collect();
+    for path in workspace_sources(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let (mut violations, suppressed) = scan_source(&rel, &source);
+        report.suppressed += suppressed;
+        for v in &mut violations {
+            let slot = remaining.iter_mut().find(|slot| {
+                slot.is_some_and(|b| b.file == v.file && b.rule == v.rule && b.snippet == v.snippet)
+            });
+            if let Some(slot) = slot {
+                *slot = None;
+                v.baselined = true;
+            }
+        }
+        report.violations.extend(violations);
+    }
+    report.stale_baseline = remaining.into_iter().flatten().cloned().collect();
+    report
+}
+
+/// Loads a baseline file; a missing file is an empty baseline.
+pub fn load_baseline(path: &Path) -> Result<Vec<BaselineEntry>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str(&text)
+            .map_err(|e| format!("malformed baseline {}: {e:?}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("cannot read baseline {}: {e}", path.display())),
+    }
+}
+
+/// Serializes the active (non-baselined) violations of `report` as a fresh
+/// baseline.
+pub fn render_baseline(report: &ScanReport) -> String {
+    let entries: Vec<BaselineEntry> = report
+        .active()
+        .map(|v| BaselineEntry {
+            file: v.file.clone(),
+            rule: v.rule.clone(),
+            snippet: v.snippet.clone(),
+        })
+        .collect();
+    serde_json::to_string_pretty(&entries).unwrap_or_else(|_| "[]".into())
+}

@@ -1,0 +1,470 @@
+//! A small Rust lexer — just enough structure for the rule engine.
+//!
+//! The analyzer's rules are token-pattern matchers, so the only job of this
+//! lexer is to be *right about what is code*: rule patterns must never fire
+//! inside string literals, char literals, or comments, and line numbers must
+//! stay exact across multi-line literals. It handles the full literal
+//! surface the workspace uses — nested block comments, escapes, raw strings
+//! with arbitrary hash fences, byte strings/chars, raw identifiers, and the
+//! char-versus-lifetime ambiguity — and deliberately nothing more (no
+//! parsing, no spans beyond lines, no non-ASCII identifiers).
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `partial_cmp`, `f64`, ...).
+    Ident,
+    /// Punctuation; multi-character operators the rules care about
+    /// (`::`, `==`, `!=`, `->`, ...) are single tokens.
+    Punct,
+    /// Integer literal (including suffixed forms like `1u64`).
+    Int,
+    /// Float literal (a `.`, an exponent, or an `f32`/`f64` suffix).
+    Float,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token's text. For `Str` tokens the quotes/fences are included.
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: u32,
+}
+
+/// A line comment that mentions `ld-lint` (suppression directives live in
+/// line comments; everything else is discarded during lexing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveComment {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Comment text with the leading `//` stripped.
+    pub text: String,
+}
+
+/// The lexer's output: the token stream plus candidate directive comments.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments containing `ld-lint`, in source order.
+    pub directives: Vec<DirectiveComment>,
+}
+
+/// Multi-character operators emitted as single `Punct` tokens. Longest
+/// match wins; order within the table is longest-first.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "::", "..", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "+=", "-=", "*=", "/=",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into tokens and directive comments.
+///
+/// The lexer is total: unrecognized bytes are skipped rather than failing,
+/// so a file that does not parse as Rust still produces a best-effort
+/// stream (the rules will simply see fewer patterns).
+pub fn lex(src: &str) -> LexOutput {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: LexOutput::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: LexOutput,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.b.get(self.i + ahead).copied().unwrap_or(0)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn run(mut self) -> LexOutput {
+        while self.i < self.b.len() {
+            let c = self.peek(0);
+            match c {
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(self.i, self.line),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                _ if is_ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if c.is_ascii_whitespace() => self.bump(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.i < self.b.len() && self.peek(0) != b'\n' {
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[start + 2..self.i]).into_owned();
+        if text.contains("ld-lint") {
+            self.out.directives.push(DirectiveComment { line, text });
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        let mut depth = 0usize;
+        while self.i < self.b.len() {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.i += 2;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"..."` body starting at the opening quote; `start`/`line`
+    /// may point earlier (at a `b`/`r` prefix) so the token text keeps it.
+    fn string(&mut self, start: usize, line: u32) {
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.i += 1;
+                    self.bump(); // escaped char (may be a newline continuation)
+                }
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Consumes `r"..."` / `r#"..."#` / `b"..."` / `br#"..."#` / `b'x'` /
+    /// raw identifiers `r#ident`. Returns false if the `r`/`b` at the
+    /// cursor is just the start of a plain identifier.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let start = self.i;
+        let line = self.line;
+        let mut j = self.i + 1;
+        let mut raw = self.peek(0) == b'r';
+        if self.peek(0) == b'b' && self.b.get(j) == Some(&b'r') {
+            raw = true;
+            j += 1;
+        }
+        if self.peek(0) == b'b' && self.b.get(j) == Some(&b'\'') {
+            // Byte char b'x': reuse the char scanner from the quote.
+            self.i = j;
+            self.char_literal(start, line);
+            return true;
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.b.get(j + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            if self.b.get(j + hashes) == Some(&b'"') {
+                self.i = j + hashes + 1;
+                self.raw_string_body(start, line, hashes);
+                return true;
+            }
+            if hashes > 0 && raw && self.peek(0) == b'r' {
+                // Raw identifier r#ident.
+                self.i = j + 1;
+                while is_ident_cont(self.peek(0)) {
+                    self.i += 1;
+                }
+                self.push(TokenKind::Ident, start, line);
+                return true;
+            }
+        } else if self.b.get(j) == Some(&b'"') {
+            // Byte string b"...".
+            self.i = j;
+            self.string(start, line);
+            return true;
+        }
+        false
+    }
+
+    fn raw_string_body(&mut self, start: usize, line: u32, hashes: usize) {
+        while self.i < self.b.len() {
+            if self.peek(0) == b'"' {
+                let mut k = 0usize;
+                while k < hashes && self.b.get(self.i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.i += 1 + hashes;
+                    break;
+                }
+            }
+            self.bump();
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// At a `'`: disambiguates char literals from lifetimes.
+    fn char_or_lifetime(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let next = self.peek(1);
+        if next == b'\\' {
+            self.char_literal(start, line);
+        } else if is_ident_start(next) || next.is_ascii_digit() {
+            // `'a'` is a char; `'a` (no closing quote after one ident char
+            // run) is a lifetime. Scan the ident run and look for `'`.
+            let mut j = self.i + 1;
+            while self.b.get(j).map(|&b| is_ident_cont(b)).unwrap_or(false) {
+                j += 1;
+            }
+            if self.b.get(j) == Some(&b'\'') {
+                self.char_literal(start, line);
+            } else {
+                self.i = j;
+                self.push(TokenKind::Lifetime, start, line);
+            }
+        } else if next >= 0x80 {
+            // Non-ASCII char literal like 'é'.
+            self.char_literal(start, line);
+        } else {
+            // `'_` lifetime or a stray quote; treat one following ident
+            // char (if any) as a lifetime.
+            self.i += 1;
+            self.push(TokenKind::Lifetime, start, line);
+        }
+    }
+
+    /// Consumes from the opening `'` of a char literal to its closing `'`.
+    fn char_literal(&mut self, start: usize, line: u32) {
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.i += 1;
+                    self.bump();
+                }
+                b'\'' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Char, start, line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while is_ident_cont(self.peek(0)) {
+            self.i += 1;
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.i += 2;
+            while is_ident_cont(self.peek(0)) {
+                self.i += 1;
+            }
+            self.push(TokenKind::Int, start, line);
+            return;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.i += 1;
+        }
+        // A `.` continues the number only when it is not `..` (range) and
+        // not a method call (`1.max(2)`).
+        if self.peek(0) == b'.' && self.peek(1) != b'.' && !is_ident_start(self.peek(1)) {
+            float = true;
+            self.i += 1;
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.i += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), b'e' | b'E') {
+            let sign = matches!(self.peek(1), b'+' | b'-') as usize;
+            if self.peek(1 + sign).is_ascii_digit() {
+                float = true;
+                self.i += 1 + sign;
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.i += 1;
+                }
+            }
+        }
+        // Type suffix (`1u64`, `1f32`); an `f` suffix makes it a float.
+        if is_ident_start(self.peek(0)) {
+            if self.peek(0) == b'f' {
+                float = true;
+            }
+            while is_ident_cont(self.peek(0)) {
+                self.i += 1;
+            }
+        }
+        let kind = if float { TokenKind::Float } else { TokenKind::Int };
+        self.push(kind, start, line);
+    }
+
+    fn punct(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let rest = &self.b[self.i..];
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op.as_bytes()) {
+                self.i += op.len();
+                self.push(TokenKind::Punct, start, line);
+                return;
+            }
+        }
+        self.i += 1;
+        self.push(TokenKind::Punct, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_multichar_punct() {
+        let toks = kinds("a.partial_cmp(&b) != c::d");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["a", ".", "partial_cmp", "(", "&", "b", ")", "!=", "c", "::", "d"]);
+    }
+
+    #[test]
+    fn patterns_inside_strings_do_not_tokenize() {
+        let out = lex(r#"let s = "a.partial_cmp(b).unwrap()";"#);
+        assert!(out.tokens.iter().all(|t| t.kind != TokenKind::Ident || t.text != "partial_cmp"));
+        assert_eq!(out.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn char_versus_lifetime() {
+        let toks = kinds("let c = 'x'; fn f<'a>(v: &'a str, w: &'_ u8) {} let nl = '\\n'; let u = '_';");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        // Note `'_'` (with closing quote) is the underscore *char*.
+        assert_eq!(chars, vec!["'x'", "'\\n'", "'_'"]);
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'_"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings_and_comments() {
+        let src = "let a = \"line1\nline2\";\n/* block\ncomment */ let b = 1;";
+        let out = lex(src);
+        let b_tok = out.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 4);
+    }
+
+    #[test]
+    fn raw_strings_and_fences() {
+        let out = lex("let s = r#\"has \" quote and // not a comment\"#; next");
+        assert_eq!(out.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert!(out.tokens.iter().any(|t| t.text == "next"));
+        assert!(out.directives.is_empty());
+    }
+
+    #[test]
+    fn numbers_int_float_and_ranges() {
+        let toks = kinds("0..n 1.5e3 2.0_f64 0xff 1f32 7");
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.5e3", "2.0_f64", "1f32"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn directive_comments_are_collected_with_lines() {
+        let src = "let x = 1;\n// ld-lint: allow(float-ord, \"test fixture\")\nlet y = 2; // ld-lint: allow(nan-compare, \"same line\")";
+        let out = lex(src);
+        assert_eq!(out.directives.len(), 2);
+        assert_eq!(out.directives[0].line, 2);
+        assert_eq!(out.directives[1].line, 3);
+        // Ordinary comments are not collected.
+        assert!(lex("// nothing to see").directives.is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments_and_byte_literals() {
+        let out = lex("/* outer /* inner */ still comment */ let b = b\"bytes\"; let c = b'x';");
+        assert!(out.tokens.iter().any(|t| t.text == "b"));
+        assert_eq!(out.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert_eq!(out.tokens.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn string_with_escaped_quote_and_comment_marker() {
+        let out = lex(r#"let s = "escaped \" then // still string"; done"#);
+        assert!(out.tokens.iter().any(|t| t.text == "done"));
+        assert_eq!(out.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_identifier_lexes_as_ident() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+    }
+}

@@ -1,0 +1,36 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+//! `ld-lint` — the workspace's static analyzer for numeric-safety and
+//! determinism invariants.
+//!
+//! The LoadDynamics reproduction's value proposition is a self-optimizing
+//! loop that must keep producing *finite, reproducible* numbers across
+//! thousands of trials. The fault-tolerance layer (PR 2) hardened the
+//! runtime against NaN losses and Cholesky breakdowns; this crate prevents
+//! the same bug classes from being *reintroduced*, statically:
+//!
+//! - [`lexer`]: a small from-scratch Rust lexer (the sandbox has no
+//!   registry access, so no `syn`) that is exact about literals and
+//!   comments, so rules never fire inside strings,
+//! - [`rules`]: the invariant catalog — `float-ord`, `nan-compare`,
+//!   `determinism`, `unwrap-in-core`, `lossy-cast`, `unsafe-block` — each
+//!   with an `--explain` rationale tied to the framework's fault model,
+//! - [`engine`]: file discovery over `crates/*/src/**/*.rs`, test-span
+//!   detection, inline suppressions
+//!   (`// ld-lint: allow(<rule>, "<justification>")` — the justification
+//!   is mandatory), and a snippet-fingerprinted baseline,
+//! - [`report`]: human and JSON rendering.
+//!
+//! The binary (`cargo run -p ld-lint -- --deny`) gates CI; the library API
+//! lets the tier-1 integration test run the same scan in-process.
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{
+    find_workspace_root, load_baseline, render_baseline, scan_source, scan_workspace,
+    BaselineEntry, ScanReport, Violation,
+};
+pub use rules::{all_rules, rule_by_id, Rule};

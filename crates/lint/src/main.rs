@@ -1,0 +1,170 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+//! CLI front-end for the workspace static analyzer.
+//!
+//! ```text
+//! ld-lint [--deny] [--format human|json] [--baseline PATH]
+//!         [--write-baseline] [--explain RULE] [--root PATH] [--list]
+//! ```
+//!
+//! Exit status: `0` when the scan is clean (or `--deny` was not given),
+//! `1` when `--deny` is set and any non-baselined, non-suppressed
+//! violation exists, `2` on usage or I/O errors.
+
+use ld_lint::{engine, report, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    deny: bool,
+    json: bool,
+    baseline_path: Option<PathBuf>,
+    write_baseline: bool,
+    explain: Option<String>,
+    list: bool,
+    root: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: ld-lint [--deny] [--format human|json] [--baseline PATH] \
+[--write-baseline] [--explain RULE] [--root PATH] [--list]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny: false,
+        json: false,
+        baseline_path: None,
+        write_baseline: false,
+        explain: None,
+        list: false,
+        root: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list" => opts.list = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("--format expects human|json, got {other:?}")),
+            },
+            "--baseline" => {
+                opts.baseline_path =
+                    Some(args.next().ok_or("--baseline expects a path")?.into());
+            }
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain expects a rule id")?);
+            }
+            "--root" => opts.root = Some(args.next().ok_or("--root expects a path")?.into()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn explain(rule_id: &str) -> ExitCode {
+    match rules::rule_by_id(rule_id) {
+        Some(rule) => {
+            println!("{} — {}\n", rule.id, rule.summary);
+            println!("{}\n", rule.explain);
+            println!("fix: {}", rule.fix_hint);
+            println!(
+                "suppress (justification required): // ld-lint: allow({}, \"why this is sound\")",
+                rule.id
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "unknown rule `{rule_id}`; known rules: {}",
+                rules::all_rules().iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn list_rules() -> ExitCode {
+    for rule in rules::all_rules() {
+        println!("{:<15} {}", rule.id, rule.summary);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ld-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(rule) = &opts.explain {
+        return explain(rule);
+    }
+    if opts.list {
+        return list_rules();
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = opts.root.clone().or_else(|| engine::find_workspace_root(&cwd)) else {
+        eprintln!("ld-lint: no workspace root found above {}", cwd.display());
+        return ExitCode::from(2);
+    };
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join("ld-lint.baseline.json"));
+    let baseline = if opts.write_baseline {
+        Vec::new() // regenerate from scratch
+    } else {
+        match engine::load_baseline(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("ld-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let scan = engine::scan_workspace(&root, &baseline);
+
+    if opts.write_baseline {
+        let rendered = engine::render_baseline(&scan);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("ld-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "ld-lint: wrote {} entry(ies) to {}",
+            scan.active_count(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.json {
+        println!("{}", report::render_json(&scan));
+        // Keep the human-readable gate outcome visible even when stdout is
+        // redirected to a report file.
+        eprint!("{}", report::render_summary(&scan));
+        if opts.deny && scan.active_count() > 0 {
+            for v in scan.active() {
+                eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+            }
+        }
+    } else {
+        print!("{}", report::render_human(&scan));
+    }
+
+    if opts.deny && scan.active_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

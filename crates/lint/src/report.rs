@@ -1,0 +1,75 @@
+//! Human and JSON rendering of a [`ScanReport`].
+
+use crate::engine::ScanReport;
+use serde::Serialize;
+
+/// Renders the report for terminals: `file:line: [rule] message` plus a fix
+/// hint, grouped in file/line order, with a one-line summary.
+pub fn render_human(report: &ScanReport) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        if v.baselined {
+            continue;
+        }
+        out.push_str(&format!("{}:{}: [{}] {}\n", v.file, v.line, v.rule, v.message));
+        if !v.snippet.is_empty() {
+            out.push_str(&format!("    | {}\n", v.snippet));
+        }
+        out.push_str(&format!("    = hint: {}\n", v.hint));
+    }
+    for stale in &report.stale_baseline {
+        out.push_str(&format!(
+            "note: stale baseline entry ({} / {}) no longer matches — remove it: {}\n",
+            stale.file, stale.rule, stale.snippet
+        ));
+    }
+    out.push_str(&render_summary(report));
+    out
+}
+
+/// The one-line summary shared by both formats.
+pub fn render_summary(report: &ScanReport) -> String {
+    format!(
+        "ld-lint: {} file(s), {} violation(s) ({} baselined, {} suppressed, {} stale baseline)\n",
+        report.files_scanned,
+        report.active_count(),
+        report.violations.iter().filter(|v| v.baselined).count(),
+        report.suppressed,
+        report.stale_baseline.len(),
+    )
+}
+
+#[derive(Serialize)]
+struct JsonSummary {
+    files_scanned: usize,
+    active: usize,
+    baselined: usize,
+    suppressed: usize,
+    stale_baseline: usize,
+}
+
+// The vendored serde_derive shim does not support generic structs, so the
+// JSON envelope owns its violation list.
+#[derive(Serialize)]
+struct JsonReport {
+    version: u32,
+    violations: Vec<crate::engine::Violation>,
+    summary: JsonSummary,
+}
+
+/// Renders the full report (including baselined violations, which carry
+/// `"baselined": true`) as pretty JSON for machine consumption in CI.
+pub fn render_json(report: &ScanReport) -> String {
+    let json = JsonReport {
+        version: 1,
+        violations: report.violations.clone(),
+        summary: JsonSummary {
+            files_scanned: report.files_scanned,
+            active: report.active_count(),
+            baselined: report.violations.iter().filter(|v| v.baselined).count(),
+            suppressed: report.suppressed,
+            stale_baseline: report.stale_baseline.len(),
+        },
+    };
+    serde_json::to_string_pretty(&json).unwrap_or_else(|e| format!("{{\"error\":\"{e:?}\"}}"))
+}

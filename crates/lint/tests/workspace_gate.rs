@@ -1,0 +1,113 @@
+//! Tier-1 gate: the workspace itself must scan clean against the committed
+//! baseline, and the CLI must enforce that with its exit code.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ld_lint::{find_workspace_root, load_baseline, scan_workspace};
+
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(manifest).expect("workspace root above crates/lint")
+}
+
+#[test]
+fn workspace_is_clean_against_committed_baseline() {
+    let root = workspace_root();
+    let baseline =
+        load_baseline(&root.join("ld-lint.baseline.json")).expect("baseline parses");
+    let report = scan_workspace(&root, &baseline);
+    assert!(report.files_scanned > 50, "scan saw only {} files", report.files_scanned);
+
+    let active: Vec<String> = report
+        .active()
+        .map(|v| format!("{}:{} [{}] {}", v.file, v.line, v.rule, v.message))
+        .collect();
+    assert!(
+        active.is_empty(),
+        "workspace has non-baselined violations:\n{}",
+        active.join("\n")
+    );
+    assert!(
+        report.stale_baseline.is_empty(),
+        "baseline entries no longer match any violation (delete them):\n{:?}",
+        report.stale_baseline
+    );
+}
+
+#[test]
+fn fixed_rules_have_no_baseline_entries() {
+    // float-ord, nan-compare, and determinism violations were fixed (or
+    // carry inline allows), not baselined — the baseline must never grow
+    // entries for them.
+    let root = workspace_root();
+    let baseline =
+        load_baseline(&root.join("ld-lint.baseline.json")).expect("baseline parses");
+    for entry in &baseline {
+        assert!(
+            matches!(entry.rule.as_str(), "unwrap-in-core" | "lossy-cast"),
+            "rule {} must be fixed, not baselined ({})",
+            entry.rule,
+            entry.file
+        );
+    }
+}
+
+#[test]
+fn cli_deny_passes_on_this_workspace() {
+    let root = workspace_root();
+    let status = Command::new(env!("CARGO_BIN_EXE_ld-lint"))
+        .args(["--deny", "--root"])
+        .arg(&root)
+        .output()
+        .expect("ld-lint binary runs");
+    assert!(
+        status.status.success(),
+        "ld-lint --deny failed on the workspace:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&status.stdout),
+        String::from_utf8_lossy(&status.stderr)
+    );
+}
+
+#[test]
+fn cli_deny_fails_on_a_seeded_violation() {
+    // Build a minimal fake workspace with one violating file and check the
+    // exit code is non-zero — the property the CI gate relies on.
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("ld-lint-seeded");
+    let src_dir = tmp.join("crates/demo/src");
+    fs::create_dir_all(&src_dir).expect("create fixture tree");
+    fs::write(tmp.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/demo\"]\n")
+        .expect("write fixture manifest");
+    fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn worst(xs: &mut Vec<f64>) {\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n",
+    )
+    .expect("write fixture source");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ld-lint"))
+        .args(["--deny", "--root"])
+        .arg(&tmp)
+        .output()
+        .expect("ld-lint binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "seeded float-ord violation must exit 1\nstdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("float-ord"), "report names the rule:\n{stdout}");
+    assert!(stdout.contains("lib.rs:2"), "report carries file:line:\n{stdout}");
+
+    // JSON mode reports the same violation machine-readably and still
+    // enforces the exit code.
+    let json_out = Command::new(env!("CARGO_BIN_EXE_ld-lint"))
+        .args(["--deny", "--format", "json", "--root"])
+        .arg(&tmp)
+        .output()
+        .expect("ld-lint binary runs");
+    assert_eq!(json_out.status.code(), Some(1));
+    let payload = String::from_utf8_lossy(&json_out.stdout);
+    assert!(payload.contains("\"float-ord\""), "json names the rule:\n{payload}");
+}

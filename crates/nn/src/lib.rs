@@ -19,6 +19,9 @@
 //! Every forward pass is pure; gradients are checked against finite
 //! differences in the test suite. All randomness flows from explicit seeds.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod activation;
 pub mod dense;
 pub mod forecaster;

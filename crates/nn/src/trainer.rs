@@ -269,6 +269,7 @@ impl Trainer {
         });
 
         let telemetry_on = self.telemetry.is_enabled();
+        // ld-lint: allow(determinism, "opt-in telemetry timer; timing is observed, never fed back into training")
         let fit_start = telemetry_on.then(std::time::Instant::now);
 
         for epoch in 0..self.opts.max_epochs {
@@ -280,6 +281,7 @@ impl Trainer {
             let mut epoch_loss_sum = 0.0;
             let mut batches = 0u64;
             let mut clipped_batches = 0u64;
+            // ld-lint: allow(determinism, "opt-in telemetry timer; timing is observed, never fed back into training")
             let epoch_start = telemetry_on.then(std::time::Instant::now);
 
             for chunk in order.chunks(self.opts.batch_size) {

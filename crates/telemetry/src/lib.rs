@@ -34,6 +34,9 @@
 //! deserializes, so snapshots written by the CLI and bench binaries can be
 //! post-processed by the same crate.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 

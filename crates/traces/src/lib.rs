@@ -17,6 +17,9 @@
 //! (trace x interval length) and materializes any of them as a
 //! [`ld_api::Series`].
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod config;
 pub mod generators;
 pub mod rng;

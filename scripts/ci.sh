@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI gate for the workspace: release build, the tier-1 test suite, and a
-# warning-free clippy pass. Run from the repository root:
+# CI gate for the workspace: release build, the tier-1 test suite, the
+# ld-lint static-analysis gate (report left in target/lint-report.json), and
+# a warning-free clippy pass. Run from the repository root:
 #
 #     ./scripts/ci.sh
 #
@@ -19,6 +20,10 @@ cargo test -q
 echo "=== fault-injection & robustness suites ==="
 cargo test -q -p ld-faultinject
 cargo test -q --test fault_injection --test adversarial_inputs
+
+echo "=== ld-lint --deny (static analysis gate) ==="
+mkdir -p target
+cargo run -q -p ld-lint -- --deny --format json > target/lint-report.json
 
 echo "=== cargo clippy --workspace -- -D warnings ==="
 cargo clippy --workspace -- -D warnings
