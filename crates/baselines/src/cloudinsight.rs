@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 
 use ld_api::Predictor;
+use rayon::prelude::*;
 
 use crate::arima::{Ar, Arima, Arma};
 use crate::boosting::GradientBoosting;
@@ -67,6 +68,12 @@ pub struct CloudInsight {
     pub reselect_every: usize,
     /// How many recent errors per member inform selection.
     pub eval_window: usize,
+    /// Member count at or above which the fit/predict pool sweeps run
+    /// member-parallel. Each worker owns one member and its own output
+    /// slot, so results are bitwise identical to the serial sweep — this
+    /// is purely a performance knob (`usize::MAX` forces serial, `0`
+    /// forces parallel).
+    pub parallel_threshold: usize,
     errors: Vec<VecDeque<f64>>,
     /// Member predictions awaiting their actual, and the interval index
     /// they predicted.
@@ -90,6 +97,7 @@ impl CloudInsight {
             members,
             reselect_every: 5,
             eval_window: 16,
+            parallel_threshold: 16,
             errors: vec![VecDeque::new(); n],
             pending: None,
             active: 0,
@@ -161,9 +169,6 @@ impl Predictor for CloudInsight {
     }
 
     fn fit(&mut self, history: &[f64]) {
-        for m in &mut self.members {
-            m.fit(history);
-        }
         for e in &mut self.errors {
             e.clear();
         }
@@ -172,14 +177,31 @@ impl Predictor for CloudInsight {
         self.intervals_since_reselect = 0;
 
         // Warm-start member scores on the tail of the fit history so the
-        // first selection is informed rather than arbitrary.
+        // first selection is informed rather than arbitrary. Members are
+        // independent, so fitting and warm-scoring proceed member-wise:
+        // each member fits on the full history, then replays the tail.
+        // Past `parallel_threshold` members the sweep runs parallel; every
+        // worker owns exactly one (member, error-deque) pair and performs
+        // the identical serial computation, so the result is bitwise
+        // identical either way.
         let warm = self.eval_window.min(history.len().saturating_sub(2));
-        for i in (history.len() - warm)..history.len() {
-            let actual = history[i];
-            for (m, member) in self.members.iter_mut().enumerate() {
+        let warm_start = history.len() - warm;
+        let warm_member = |member: &mut Box<dyn Predictor>, errs: &mut VecDeque<f64>| {
+            member.fit(history);
+            for i in warm_start..history.len() {
                 let p = member.predict(&history[..i]);
-                let e = Self::score_error(if p.is_finite() { p } else { 0.0 }, actual);
-                self.errors[m].push_back(e);
+                let e = Self::score_error(if p.is_finite() { p } else { 0.0 }, history[i]);
+                errs.push_back(e);
+            }
+        };
+        if self.members.len() >= self.parallel_threshold {
+            let work: Vec<(&mut Box<dyn Predictor>, &mut VecDeque<f64>)> =
+                self.members.iter_mut().zip(self.errors.iter_mut()).collect();
+            work.into_par_iter()
+                .for_each(|(member, errs)| warm_member(member, errs));
+        } else {
+            for (member, errs) in self.members.iter_mut().zip(self.errors.iter_mut()) {
+                warm_member(member, errs);
             }
         }
         self.intervals_since_reselect = self.reselect_every; // force initial pick
@@ -189,18 +211,24 @@ impl Predictor for CloudInsight {
     fn predict(&mut self, history: &[f64]) -> f64 {
         self.settle_pending(history);
         self.maybe_reselect();
-        let preds: Vec<f64> = self
-            .members
-            .iter_mut()
-            .map(|m| {
-                let p = m.predict(history);
-                if p.is_finite() {
-                    p
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        // All members predict every interval (their errors feed selection).
+        // Past `parallel_threshold` members the sweep runs member-parallel;
+        // each worker owns one member and its output slot, so predictions
+        // land in member order regardless of scheduling — bitwise identical
+        // to the serial sweep.
+        let sanitize = |p: f64| if p.is_finite() { p } else { 0.0 };
+        let mut preds = vec![0.0; self.members.len()];
+        if self.members.len() >= self.parallel_threshold {
+            let work: Vec<(&mut Box<dyn Predictor>, &mut f64)> =
+                self.members.iter_mut().zip(preds.iter_mut()).collect();
+            work.into_par_iter().for_each(|(member, slot)| {
+                *slot = sanitize(member.predict(history));
+            });
+        } else {
+            for (member, slot) in self.members.iter_mut().zip(preds.iter_mut()) {
+                *slot = sanitize(member.predict(history));
+            }
+        }
         let out = preds[self.active];
         self.pending = Some((history.len(), preds));
         out
@@ -291,6 +319,30 @@ mod tests {
         for i in 50..100 {
             ci.predict(&series[..i]);
             assert_eq!(ci.active_member(), "Oracle");
+        }
+    }
+
+    #[test]
+    fn parallel_pool_sweep_matches_serial_bitwise() {
+        let series: Vec<f64> = (0..160)
+            .map(|i| 50.0 + 15.0 * ((i as f64) * 0.17).sin() + (i % 7) as f64)
+            .collect();
+        let mut serial = CloudInsight::new(3);
+        serial.parallel_threshold = usize::MAX;
+        let mut parallel = CloudInsight::new(3);
+        parallel.parallel_threshold = 0;
+        serial.fit(&series[..120]);
+        parallel.fit(&series[..120]);
+        assert_eq!(serial.active_member(), parallel.active_member());
+        for i in 120..160 {
+            let ps = serial.predict(&series[..i]);
+            let pp = parallel.predict(&series[..i]);
+            assert_eq!(
+                ps.to_bits(),
+                pp.to_bits(),
+                "interval {i}: serial {ps} vs parallel {pp}"
+            );
+            assert_eq!(serial.active_member(), parallel.active_member());
         }
     }
 

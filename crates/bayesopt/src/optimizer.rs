@@ -201,6 +201,35 @@ impl BayesianOptimizer {
             });
     }
 
+    /// Fits the GP surrogate under the `bayesopt.surrogate_fit` timer and,
+    /// when telemetry is enabled, arms the `ld-gp` section counters so the
+    /// Gram-construction share of the fit lands in the `gp.gram_build`
+    /// histogram. Surrogate failures are counted here; the caller degrades
+    /// to random sampling on `None` instead of aborting the search.
+    fn timed_surrogate_fit(
+        &self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        opts: FitOptions,
+    ) -> Option<ld_gp::GpRegressor> {
+        let armed = self
+            .telemetry
+            .is_enabled()
+            .then(|| (ld_gp::sections::activate(), ld_gp::sections::totals()));
+        let fitted = self
+            .telemetry
+            .time("bayesopt.surrogate_fit", || fit_auto(xs, ys, opts).ok());
+        if let Some((_guard, gram0)) = armed {
+            let delta = ld_gp::sections::totals().saturating_sub(gram0);
+            self.telemetry
+                .observe_secs("gp.gram_build", delta as f64 / 1e9);
+        }
+        if fitted.is_none() {
+            self.telemetry.incr("bayesopt.surrogate_failures");
+        }
+        fitted
+    }
+
     /// True once `deadline_secs` has elapsed since `start`; counts the stop
     /// in telemetry the first time it fires. `start` is `None` exactly when
     /// no deadline is configured.
@@ -284,24 +313,17 @@ impl HyperOptimizer for BayesianOptimizer {
             let ys: Vec<f64> = trials.iter().map(|t| t.value).collect();
             let finite = ys.iter().all(|v| v.is_finite());
             let gp = if finite {
-                let fitted = self.telemetry.time("bayesopt.surrogate_fit", || {
-                    fit_auto(
-                        &xs,
-                        &ys,
-                        FitOptions {
-                            grid: 5,
-                            levels: 2,
-                            ..FitOptions::default()
-                        },
-                    )
-                    .ok()
-                });
-                if fitted.is_none() {
-                    // Surrogate recovery: the next proposal degrades to a
-                    // random unseen point instead of aborting the search.
-                    self.telemetry.incr("bayesopt.surrogate_failures");
-                }
-                fitted
+                // Surrogate recovery on `None`: the next proposal degrades
+                // to a random unseen point instead of aborting the search.
+                self.timed_surrogate_fit(
+                    &xs,
+                    &ys,
+                    FitOptions {
+                        grid: 5,
+                        levels: 2,
+                        ..FitOptions::default()
+                    },
+                )
             } else {
                 None
             };
@@ -456,22 +478,15 @@ impl BayesianOptimizer {
 
             for _ in 0..round {
                 let gp = if ys.iter().all(|v| v.is_finite()) {
-                    let fitted = self.telemetry.time("bayesopt.surrogate_fit", || {
-                        fit_auto(
-                            &xs,
-                            &ys,
-                            FitOptions {
-                                grid: 4,
-                                levels: 1,
-                                ..FitOptions::default()
-                            },
-                        )
-                        .ok()
-                    });
-                    if fitted.is_none() {
-                        self.telemetry.incr("bayesopt.surrogate_failures");
-                    }
-                    fitted
+                    self.timed_surrogate_fit(
+                        &xs,
+                        &ys,
+                        FitOptions {
+                            grid: 4,
+                            levels: 1,
+                            ..FitOptions::default()
+                        },
+                    )
                 } else {
                     None
                 };

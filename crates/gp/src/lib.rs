@@ -8,7 +8,10 @@
 //! - [`regressor`]: exact GP fit via Cholesky of the Gram matrix,
 //!   predictive mean/variance, and the log marginal likelihood,
 //! - [`fit`]: hyperparameter selection by maximizing the log marginal
-//!   likelihood over a multi-resolution log-space grid.
+//!   likelihood over a multi-resolution log-space grid,
+//! - [`gram`]: serial/row-parallel Gram construction (bitwise identical
+//!   paths; parallelism kicks in past a tunable point count),
+//! - [`sections`]: opt-in nanosecond accounting for the Gram hot section.
 //!
 //! Targets are standardized internally so kernel hyperpriors are scale-free.
 
@@ -16,8 +19,10 @@
 #![deny(rust_2018_idioms)]
 
 pub mod fit;
+pub mod gram;
 pub mod kernel;
 pub mod regressor;
+pub mod sections;
 
 pub use kernel::{Kernel, KernelKind};
 pub use regressor::{GpError, GpRegressor};

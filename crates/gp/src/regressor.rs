@@ -16,7 +16,7 @@
 //! Targets are standardized to zero mean / unit variance internally;
 //! predictions are de-standardized on the way out.
 
-use ld_linalg::{vecops, Cholesky, LinalgError, Matrix};
+use ld_linalg::{vecops, Cholesky, LinalgError};
 
 use crate::kernel::Kernel;
 
@@ -91,16 +91,9 @@ impl GpRegressor {
         };
         let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
 
-        // Gram matrix.
-        let mut k = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let v = kernel.eval(&x[i], &x[j]);
-                k[(i, j)] = v;
-                k[(j, i)] = v;
-            }
-            k[(i, i)] += noise;
-        }
+        // Gram matrix (row-parallel above the crate::gram threshold;
+        // bitwise identical to the serial build either way).
+        let k = crate::gram::build(&kernel, x, noise);
 
         // Standard jitter schedule first; if the Gram matrix is so
         // ill-conditioned that the schedule exhausts (near-duplicate

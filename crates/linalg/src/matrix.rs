@@ -16,6 +16,16 @@ use crate::{LinalgError, Result};
 /// Minimum number of multiply-adds before `matmul` goes parallel.
 const PAR_FLOP_THRESHOLD: usize = 64 * 64 * 64;
 
+/// Minimum number of multiply-adds before `matmul` dispatches to the
+/// column-panel-blocked kernel. Below this the panel bookkeeping costs
+/// more than it saves.
+const BLOCKED_FLOP_THRESHOLD: usize = 32 * 32 * 32;
+
+/// Target byte footprint of one active `B` column panel in the blocked
+/// kernel (panel = `k x j_block` doubles). Sized to roughly half a
+/// typical L2 so the panel survives while every `A` row streams past it.
+const MATMUL_PANEL_BYTES: usize = 256 * 1024;
+
 /// A dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
@@ -175,10 +185,28 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses an ikj loop order (streaming over `rhs` rows) and parallelizes
-    /// over blocks of output rows once the flop count crosses
-    /// an internal flop threshold (`64^3` multiply-adds).
+    /// Dispatches to the column-panel-blocked kernel
+    /// ([`Self::matmul_blocked`]) once the flop count justifies the panel
+    /// bookkeeping, and to the naive streaming kernel
+    /// ([`Self::matmul_naive`]) below that. The two kernels share the
+    /// same accumulation order, so the dispatch point never changes
+    /// results. Both parallelize over blocks of output rows past an
+    /// internal threshold (`64^3` multiply-adds).
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols == rhs.rows && self.rows * self.cols * rhs.cols >= BLOCKED_FLOP_THRESHOLD {
+            self.matmul_blocked(rhs)
+        } else {
+            self.matmul_naive(rhs)
+        }
+    }
+
+    /// Naive matrix product: ikj loop order streaming over `rhs` rows, with
+    /// a rayon row partition past the flop threshold.
+    ///
+    /// This is the pre-blocking reference implementation; [`Self::matmul`]
+    /// uses it for small products, and the perf-bench harness times the
+    /// blocked kernel against it.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 context: format!(
@@ -216,6 +244,71 @@ impl Matrix {
         Matrix::from_vec(m, n, out)
     }
 
+    /// Column-panel-blocked matrix product.
+    ///
+    /// Keeps the naive kernel's vectorizable axpy inner loop — the
+    /// independent-element update the autovectorizer turns into packed
+    /// multiply-adds — but tiles the output columns so the active `B`
+    /// panel (`k x j_block` doubles, sized by `MATMUL_PANEL_BYTES`) is
+    /// reused across every `A` row while it is still cache-resident.
+    /// Below the panel width this degenerates to exactly the naive loop.
+    /// Each output element accumulates its `k` products in ascending `p`
+    /// order in both kernels, so results match [`Self::matmul_naive`]
+    /// **bitwise** at every shape; the equivalence suite asserts this.
+    pub fn matmul_blocked(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!(
+                    "matmul: ({}x{}) * ({}x{})",
+                    self.rows, self.cols, rhs.rows, rhs.cols
+                ),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![0.0; m * n];
+        let flops = m * k * n;
+        // Panel width that keeps `k x j_block` doubles inside the target
+        // footprint, floored so tiny panels never fragment the axpy loop.
+        // `(jb + j_block).min(n)` caps the final panel, so no upper clamp.
+        let j_block = (MATMUL_PANEL_BYTES / (8 * k.max(1))).max(64);
+
+        let row_panel = |r: usize, o_blk: &mut [f64], jb: usize, je: usize| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_blk = &rhs.data[p * n + jb..p * n + je];
+                for (o, &b) in o_blk.iter_mut().zip(b_blk) {
+                    *o += a * b;
+                }
+            }
+        };
+        // Panel loop outermost: one `B` panel is swept by every row of the
+        // worker's slice before the next panel is touched, so the panel is
+        // loaded from memory once per row slice instead of once per row.
+        let sweep = |row0: usize, rows_out: &mut [f64]| {
+            let mut jb = 0;
+            while jb < n {
+                let je = (jb + j_block).min(n);
+                for (i, out_row) in rows_out.chunks_mut(n).enumerate() {
+                    row_panel(row0 + i, &mut out_row[jb..je], jb, je);
+                }
+                jb = je;
+            }
+        };
+
+        if flops >= PAR_FLOP_THRESHOLD {
+            let rows_chunk = m.div_ceil(8).max(1);
+            out.par_chunks_mut(n * rows_chunk)
+                .enumerate()
+                .for_each(|(ci, chunk)| sweep(ci * rows_chunk, chunk));
+        } else {
+            sweep(0, &mut out);
+        }
+        Matrix::from_vec(m, n, out)
+    }
+
     /// Matrix-vector product `self * x`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if self.cols != x.len() {
@@ -228,6 +321,20 @@ impl Matrix {
             .collect())
     }
 
+    /// Allocation-free matrix-vector product `out = self * x` with the
+    /// four-lane dot kernel — the per-timestep hot path of the recurrent
+    /// backward passes.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch (hot path; callers guarantee shapes).
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(self.cols, x.len(), "matvec_into: input length");
+        assert_eq!(self.rows, out.len(), "matvec_into: output length");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = crate::vecops::dot4(self.row(r), x);
+        }
+    }
+
     /// Transposed matrix-vector product `self^T * x`.
     pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
         if self.rows != x.len() {
@@ -236,6 +343,22 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
+        self.matvec_t_into(x, &mut out);
+        Ok(out)
+    }
+
+    /// Allocation-free transposed matrix-vector product `out = self^T * x`.
+    ///
+    /// Streams whole rows of `self` (already the cache-friendly access
+    /// order for a row-major transposed product — no packing needed, unlike
+    /// `matmul`) and accumulates with vectorizable row axpys.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch (hot path; callers guarantee shapes).
+    pub fn matvec_t_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(self.rows, x.len(), "matvec_t_into: input length");
+        assert_eq!(self.cols, out.len(), "matvec_t_into: output length");
+        out.fill(0.0);
         for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
@@ -244,7 +367,6 @@ impl Matrix {
                 *o += a * xr;
             }
         }
-        Ok(out)
     }
 
     /// In-place elementwise addition.
@@ -410,6 +532,74 @@ mod tests {
             }
         }
         assert!(c.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_across_shapes() {
+        // Shapes straddle the panel width, the blocked-dispatch threshold,
+        // and the parallel threshold, including non-multiples of the panel
+        // width. Both kernels accumulate each output in ascending-`p`
+        // order, so equality is bitwise, not tolerance-based.
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (17, 33, 9),
+            (40, 300, 31),
+            (70, 70, 70),
+            (65, 257, 130),
+        ] {
+            let a = Matrix::random_uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::random_uniform(k, n, 1.0, &mut rng);
+            let blocked = a.matmul_blocked(&b).unwrap();
+            let naive = a.matmul_naive(&b).unwrap();
+            assert_eq!(
+                blocked.max_abs_diff(&naive),
+                0.0,
+                "({m}x{k})*({k}x{n}): blocked kernel differs from naive"
+            );
+            // The public dispatcher agrees with whichever kernel it chose.
+            let dispatched = a.matmul(&b).unwrap();
+            assert_eq!(dispatched.max_abs_diff(&naive), 0.0);
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul_blocked(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            a.matmul_naive(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Matrix::random_uniform(9, 14, 1.0, &mut rng);
+        let x: Vec<f64> = (0..14).map(|i| (i as f64 * 0.37).sin()).collect();
+        let expect = a.matvec(&x).unwrap();
+        let mut out = vec![f64::NAN; 9];
+        a.matvec_into(&x, &mut out);
+        for (e, o) in expect.iter().zip(&out) {
+            assert!((e - o).abs() <= 1e-12 * (1.0 + e.abs()));
+        }
+    }
+
+    #[test]
+    fn matvec_t_into_matches_matvec_t() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let a = Matrix::random_uniform(11, 6, 1.0, &mut rng);
+        let x: Vec<f64> = (0..11).map(|i| i as f64 - 5.0).collect();
+        let expect = a.matvec_t(&x).unwrap();
+        let mut out = vec![f64::NAN; 6];
+        a.matvec_t_into(&x, &mut out);
+        assert_eq!(expect, out);
     }
 
     #[test]

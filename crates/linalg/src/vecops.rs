@@ -20,6 +20,43 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     s
 }
 
+/// Dot product evaluated with four independent accumulators.
+///
+/// [`dot`]'s single running sum forms a loop-carried dependency chain that
+/// caps throughput at one add per FP-add latency; splitting the sum into
+/// four lanes lets the compiler keep the FP pipeline full (and vectorize).
+/// The summation *order* therefore differs from [`dot`] by O(eps) rounding —
+/// fast paths built on this kernel are equivalence-gated against the
+/// sequential reference at 1e-9 relative tolerance (`ld-perfbench --smoke`
+/// and the `kernel_equivalence` suite). The lane layout is fixed, so the
+/// result is still bitwise deterministic run to run.
+///
+/// # Panics
+/// Panics in debug builds if lengths differ or the kernel manufactures a
+/// NaN from finite products (same contract as [`dot`]).
+#[inline]
+pub fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let a_rem = a.chunks_exact(4).remainder();
+    let b_rem = b.chunks_exact(4).remainder();
+    for (ca, cb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in a_rem.iter().zip(b_rem) {
+        s += x * y;
+    }
+    debug_assert!(
+        !s.is_nan() || a.iter().zip(b).any(|(x, y)| !(x * y).is_finite()),
+        "dot4: NaN result though every elementwise product was finite"
+    );
+    s
+}
+
 /// In-place `y += alpha * x`.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
@@ -117,6 +154,21 @@ mod tests {
     fn dot_and_norm() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
         assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn dot4_matches_dot_across_lengths() {
+        // Cover every remainder class (len % 4) including the empty slice.
+        for len in 0..23usize {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).sin() + 0.1).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 1.3).cos() - 0.2).collect();
+            let s = dot(&a, &b);
+            let s4 = dot4(&a, &b);
+            assert!(
+                (s - s4).abs() <= 1e-12 * (1.0 + s.abs()),
+                "len {len}: {s} vs {s4}"
+            );
+        }
     }
 
     #[test]

@@ -61,9 +61,10 @@ pub struct Rule {
 
 /// Crates in which `determinism` wall-clock / environment reads are
 /// allowed: telemetry and fault injection exist to observe real time and
-/// real env, the bench harness reads experiment knobs, and the linter
-/// itself walks the real filesystem.
-const DETERMINISM_ALLOWED_CRATES: &[&str] = &["telemetry", "faultinject", "bench", "lint"];
+/// real env, the bench harnesses read experiment knobs and time kernels
+/// against the wall clock, and the linter itself walks the real filesystem.
+const DETERMINISM_ALLOWED_CRATES: &[&str] =
+    &["telemetry", "faultinject", "bench", "lint", "perfbench"];
 
 /// Crates whose non-test code must not `unwrap()`/`expect()`: the numeric
 /// hot paths that the PR 2 fault-tolerance layer expects to return errors.

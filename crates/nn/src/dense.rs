@@ -78,6 +78,18 @@ impl Dense {
             .collect()
     }
 
+    /// Allocation-free forward pass: assigns `W x + b` into `out`.
+    ///
+    /// # Panics
+    /// Panics on mismatched `x`/`out` lengths.
+    pub fn forward_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.in_dim(), "dense input dim mismatch");
+        assert_eq!(out.len(), self.out_dim(), "dense output dim mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = vecops::dot4(self.w.row(r), x) + self.b[(r, 0)];
+        }
+    }
+
     /// Backward pass: given the input used in `forward` and the gradient
     /// `dy` of the loss w.r.t. the output, returns parameter gradients and
     /// the gradient w.r.t. the input.
@@ -94,6 +106,28 @@ impl Dense {
             vecops::axpy(dyr, self.w.row(r), &mut dx);
         }
         (grads, dx)
+    }
+
+    /// Allocation-free backward pass. Parameter gradients are *accumulated*
+    /// into `grads`; the input gradient is accumulated into `dx` (callers
+    /// zero it beforehand when they want the bare gradient).
+    ///
+    /// # Panics
+    /// Panics on mismatched slice lengths or gradient shapes.
+    pub fn backward_into(&self, x: &[f64], dy: &[f64], grads: &mut DenseGrads, dx: &mut [f64]) {
+        assert_eq!(x.len(), self.in_dim(), "dense input dim mismatch");
+        assert_eq!(dy.len(), self.out_dim(), "dense output dim mismatch");
+        assert_eq!(dx.len(), self.in_dim(), "dense dx dim mismatch");
+        assert_eq!(grads.dw.rows(), self.out_dim(), "dense dw shape mismatch");
+        assert_eq!(grads.dw.cols(), self.in_dim(), "dense dw shape mismatch");
+        for (r, &dyr) in dy.iter().enumerate() {
+            if dyr == 0.0 {
+                continue;
+            }
+            vecops::axpy(dyr, x, grads.dw.row_mut(r));
+            grads.db[(r, 0)] += dyr;
+            vecops::axpy(dyr, self.w.row(r), dx);
+        }
     }
 
     /// Visits `(parameter, gradient)` tensor pairs in a fixed order.
@@ -164,6 +198,29 @@ mod tests {
             let fm = loss(&layer, &xp);
             assert!(((fp - fm) / (2.0 * eps) - dx[d]).abs() < 1e-7);
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = Dense::new(7, 3, &mut rng);
+        let x: Vec<f64> = (0..7).map(|i| (i as f64 * 0.9).sin()).collect();
+        let dy = [0.3, -1.2, 0.0];
+
+        let y = layer.forward(&x);
+        let mut y_into = vec![0.0; 3];
+        layer.forward_into(&x, &mut y_into);
+        for (a, b) in y.iter().zip(&y_into) {
+            assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()));
+        }
+
+        let (grads, dx) = layer.backward(&x, &dy);
+        let mut grads_into = DenseGrads::zeros(3, 7);
+        let mut dx_into = vec![0.0; 7];
+        layer.backward_into(&x, &dy, &mut grads_into, &mut dx_into);
+        assert_eq!(grads.dw.max_abs_diff(&grads_into.dw), 0.0);
+        assert_eq!(grads.db.max_abs_diff(&grads_into.db), 0.0);
+        assert_eq!(dx, dx_into);
     }
 
     #[test]

@@ -10,7 +10,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::dense::{Dense, DenseGrads};
 use crate::loss::squared_error_grad;
-use crate::lstm::{LstmCache, LstmGrads, LstmLayer};
+use crate::lstm::{LstmGrads, LstmLayer, ReferenceLstmCache};
+use crate::workspace::{self, Workspace};
 
 /// Architecture hyperparameters of one forecaster — exactly the four knobs
 /// LoadDynamics tunes per workload (Section III-A), minus batch size which
@@ -140,12 +141,123 @@ impl LstmForecaster {
     /// # Panics
     /// Panics if `window.len() != history_len`.
     pub fn predict(&self, window: &[f64]) -> f64 {
-        let (pred, _) = self.forward_cached(window);
+        workspace::with_thread_workspace(|ws| self.forward_ws(window, ws))
+    }
+
+    /// Allocation-free forward pass through the stack using a caller-owned
+    /// workspace. The layer-0 input *is* the window (`input_dim == 1`, so
+    /// the flat `T x 1` sequence is the window itself — no copy); each
+    /// deeper layer reads the previous layer's cached hidden sequence.
+    fn forward_ws(&self, window: &[f64], ws: &mut Workspace) -> f64 {
+        assert_eq!(
+            window.len(),
+            self.config.history_len,
+            "window length {} != history_len {}",
+            window.len(),
+            self.config.history_len
+        );
+        let steps = self.config.history_len;
+        let n = self.layers.len();
+        ws.ensure_lstm_caches(n);
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = ws.lstm_caches.split_at_mut(idx);
+            let cache = &mut rest[0];
+            if idx == 0 {
+                layer.forward_into(window, steps, &mut ws.z, cache);
+            } else {
+                layer.forward_into(done[idx - 1].hidden_sequence(), steps, &mut ws.z, cache);
+            }
+        }
+        let mut out = [0.0f64; 1];
+        self.head.forward_into(ws.lstm_caches[n - 1].last_hidden(), &mut out);
+        out[0]
+    }
+
+    /// Computes the squared-error loss for one sample and *accumulates* its
+    /// gradients into `grads` (the batch accumulator), reusing this
+    /// thread's workspace — the trainer's allocation-free inner loop.
+    ///
+    /// # Panics
+    /// Panics if `grads` does not match this model's layer structure.
+    pub fn sample_grads_into(
+        &self,
+        window: &[f64],
+        target: f64,
+        grads: &mut ForecasterGrads,
+    ) -> f64 {
+        workspace::with_thread_workspace(|ws| self.sample_grads_ws(window, target, grads, ws))
+    }
+
+    /// Computes the squared-error loss and its gradients for one sample.
+    ///
+    /// Returns `(loss, grads)` where `loss = (pred - target)^2`.
+    pub fn sample_grads(&self, window: &[f64], target: f64) -> (f64, ForecasterGrads) {
+        let mut grads = self.zero_grads();
+        let loss = self.sample_grads_into(window, target, &mut grads);
+        (loss, grads)
+    }
+
+    fn sample_grads_ws(
+        &self,
+        window: &[f64],
+        target: f64,
+        grads: &mut ForecasterGrads,
+        ws: &mut Workspace,
+    ) -> f64 {
+        let n = self.layers.len();
+        assert_eq!(grads.lstm.len(), n, "grads layer count mismatch");
+        let pred = self.forward_ws(window, ws);
+        let loss = (pred - target) * (pred - target);
+        let dpred = squared_error_grad(pred, target);
+
+        let steps = self.config.history_len;
+        let hidden = self.config.hidden_size;
+
+        // Head backward: gradient into the top layer's final hidden state.
+        ws.head_dh.clear();
+        ws.head_dh.resize(hidden, 0.0);
+        self.head.backward_into(
+            ws.lstm_caches[n - 1].last_hidden(),
+            &[dpred],
+            &mut grads.head,
+            &mut ws.head_dh,
+        );
+
+        // Gradient into the top layer's hidden sequence: zero except at the
+        // final step.
+        ws.dseq_a.clear();
+        ws.dseq_a.resize(steps * hidden, 0.0);
+        ws.dseq_a[(steps - 1) * hidden..].copy_from_slice(&ws.head_dh);
+
+        // Reverse sweep; each layer's dx sequence becomes the dh sequence
+        // of the layer below (buffers swap instead of reallocating).
+        for idx in (0..n).rev() {
+            let layer = &self.layers[idx];
+            ws.dseq_b.clear();
+            ws.dseq_b.resize(steps * layer.input_dim(), 0.0);
+            layer.backward_into(
+                &ws.lstm_caches[idx],
+                &ws.dseq_a,
+                &mut grads.lstm[idx],
+                &mut ws.dseq_b,
+                &mut ws.dz,
+                &mut ws.dh_next,
+                &mut ws.dc_next,
+            );
+            std::mem::swap(&mut ws.dseq_a, &mut ws.dseq_b);
+        }
+        loss
+    }
+
+    /// Pre-change prediction path (nested-`Vec` caches, sequential dots),
+    /// retained as the equivalence oracle and the perfbench "before" model.
+    pub fn predict_reference(&self, window: &[f64]) -> f64 {
+        let (pred, _) = self.forward_cached_reference(window);
         pred
     }
 
-    /// Forward pass keeping per-layer caches for backprop.
-    fn forward_cached(&self, window: &[f64]) -> (f64, Vec<LstmCache>) {
+    /// Forward pass over the reference kernels, keeping per-layer caches.
+    fn forward_cached_reference(&self, window: &[f64]) -> (f64, Vec<ReferenceLstmCache>) {
         assert_eq!(
             window.len(),
             self.config.history_len,
@@ -156,45 +268,46 @@ impl LstmForecaster {
         let mut caches = Vec::with_capacity(self.layers.len());
         let mut seq: Vec<Vec<f64>> = window.iter().map(|&v| vec![v]).collect();
         for layer in &self.layers {
-            let cache = layer.forward(&seq);
+            let cache = layer.forward_reference(&seq);
             seq = cache.hidden_sequence().to_vec();
             caches.push(cache);
         }
-        let last_h = caches.last().expect(">=1 layer").last_hidden();
+        let last_h = caches[caches.len() - 1].last_hidden();
         let pred = self.head.forward(last_h)[0];
         (pred, caches)
     }
 
-    /// Computes the squared-error loss and its gradients for one sample.
-    ///
-    /// Returns `(loss, grads)` where `loss = (pred - target)^2`.
-    pub fn sample_grads(&self, window: &[f64], target: f64) -> (f64, ForecasterGrads) {
-        let (pred, caches) = self.forward_cached(window);
+    /// Pre-change `sample_grads`, retained verbatim over the reference
+    /// kernels — used by the equivalence tests and as perfbench's "before"
+    /// gradient path.
+    pub fn sample_grads_reference(&self, window: &[f64], target: f64) -> (f64, ForecasterGrads) {
+        let (pred, caches) = self.forward_cached_reference(window);
         let loss = (pred - target) * (pred - target);
         let dpred = squared_error_grad(pred, target);
 
         // Head backward.
-        let top_cache = caches.last().unwrap();
+        let top_cache = &caches[caches.len() - 1];
         let (head_grads, dh_last) = self.head.backward(top_cache.last_hidden(), &[dpred]);
 
         // Backprop through the LSTM stack, top layer first.
         let steps = self.config.history_len;
         let hidden = self.config.hidden_size;
-        let mut lstm_grads: Vec<Option<LstmGrads>> = vec![None; self.layers.len()];
+        let mut lstm_rev: Vec<LstmGrads> = Vec::with_capacity(self.layers.len());
         // Gradient flowing into the top layer's hidden sequence: zero except
         // at the final step.
         let mut dh_seq = vec![vec![0.0; hidden]; steps];
         dh_seq[steps - 1] = dh_last;
 
         for (idx, layer) in self.layers.iter().enumerate().rev() {
-            let (grads, dxs) = layer.backward(&caches[idx], &dh_seq);
-            lstm_grads[idx] = Some(grads);
+            let (grads, dxs) = layer.backward_reference(&caches[idx], &dh_seq);
+            lstm_rev.push(grads);
             // dxs of this layer is the dh sequence of the layer below.
             dh_seq = dxs;
         }
+        lstm_rev.reverse();
 
         let grads = ForecasterGrads {
-            lstm: lstm_grads.into_iter().map(|g| g.unwrap()).collect(),
+            lstm: lstm_rev,
             head: head_grads,
         };
         (loss, grads)
@@ -348,6 +461,75 @@ mod tests {
                 "param {i}: analytic {a} vs fd {f}"
             );
         }
+    }
+
+    /// The workspace hot path agrees with the retained pre-change
+    /// implementation within 1e-9 relative (fast dots reorder summation).
+    #[test]
+    fn workspace_path_matches_reference_path() {
+        for seed in [42u64, 7, 99] {
+            let mut cfg = tiny_config();
+            cfg.seed = seed;
+            let model = LstmForecaster::new(cfg);
+            let window = [0.2, -0.4, 0.7, 0.1];
+            let target = 0.5;
+
+            let p_fast = model.predict(&window);
+            let p_ref = model.predict_reference(&window);
+            assert!(
+                (p_fast - p_ref).abs() <= 1e-9 * (1.0 + p_ref.abs()),
+                "seed {seed}: predict {p_fast} vs {p_ref}"
+            );
+
+            let (l_fast, g_fast) = model.sample_grads(&window, target);
+            let (l_ref, g_ref) = model.sample_grads_reference(&window, target);
+            assert!((l_fast - l_ref).abs() <= 1e-9 * (1.0 + l_ref.abs()));
+            for (idx, (a, b)) in g_fast.lstm.iter().zip(&g_ref.lstm).enumerate() {
+                for (ma, mb) in [(&a.dw, &b.dw), (&a.du, &b.du), (&a.db, &b.db)] {
+                    assert!(
+                        ma.max_abs_diff(mb) <= 1e-9 * (1.0 + mb.frobenius_norm()),
+                        "seed {seed}: lstm grads mismatch at layer {idx}"
+                    );
+                }
+            }
+            assert!(
+                g_fast.head.dw.max_abs_diff(&g_ref.head.dw)
+                    <= 1e-9 * (1.0 + g_ref.head.dw.frobenius_norm())
+            );
+            assert!(
+                g_fast.head.db.max_abs_diff(&g_ref.head.db)
+                    <= 1e-9 * (1.0 + g_ref.head.db.frobenius_norm())
+            );
+        }
+    }
+
+    /// `sample_grads_into` accumulates: two samples into one accumulator
+    /// equal the sum of their individual gradients.
+    #[test]
+    fn sample_grads_into_accumulates() {
+        let model = LstmForecaster::new(tiny_config());
+        let w1 = [0.2, -0.4, 0.7, 0.1];
+        let w2 = [0.9, 0.0, -0.3, 0.5];
+        let (l1, g1) = model.sample_grads(&w1, 0.5);
+        let (l2, g2) = model.sample_grads(&w2, -0.2);
+
+        let mut acc = model.zero_grads();
+        let la = model.sample_grads_into(&w1, 0.5, &mut acc);
+        let lb = model.sample_grads_into(&w2, -0.2, &mut acc);
+        assert_eq!(la, l1);
+        assert_eq!(lb, l2);
+        // Accumulating into a warm buffer reorders FP additions relative to
+        // summing two fresh gradient sets, so compare with a tight tolerance
+        // rather than bitwise.
+        let mut expect = g1;
+        expect.accumulate(&g2);
+        let tol = |m: &ld_linalg::Matrix| 1e-12 * (1.0 + m.frobenius_norm());
+        for (a, b) in acc.lstm.iter().zip(&expect.lstm) {
+            assert!(a.dw.max_abs_diff(&b.dw) <= tol(&b.dw));
+            assert!(a.du.max_abs_diff(&b.du) <= tol(&b.du));
+            assert!(a.db.max_abs_diff(&b.db) <= tol(&b.db));
+        }
+        assert!(acc.head.dw.max_abs_diff(&expect.head.dw) <= tol(&expect.head.dw));
     }
 
     #[test]

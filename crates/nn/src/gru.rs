@@ -9,11 +9,14 @@
 //! h_t = (1 - z_t) . n_t + z_t . h_{t-1}
 //! ```
 //!
-//! The layer mirrors [`crate::lstm::LstmLayer`]'s interface (forward with
-//! cache, exact backward, packed `[z, r, n]` gate blocks) and the
-//! [`GruForecaster`] mirrors [`crate::forecaster::LstmForecaster`], so the
-//! shared [`crate::trainer::Trainer`] drives both — which is what the
-//! `ablation_lstm_vs_gru` experiment needs.
+//! The layer mirrors [`crate::lstm::LstmLayer`]'s interface (flat strided
+//! [`GruCache`], allocation-free `forward_into` / `backward_into`, packed
+//! `[z, r, n]` gate blocks) and the [`GruForecaster`] mirrors
+//! [`crate::forecaster::LstmForecaster`], so the shared
+//! [`crate::trainer::Trainer`] drives both — which is what the
+//! `ablation_lstm_vs_gru` experiment needs. Unlike the original
+//! implementation, the reset-scaled state `r . h_{t-1}` is cached during the
+//! forward unroll instead of being recomputed by the backward pass.
 
 use ld_linalg::{vecops, Matrix};
 use rand::rngs::StdRng;
@@ -23,6 +26,7 @@ use serde::{Deserialize, Serialize};
 use crate::activation::{sigmoid, sigmoid_deriv_from_output, tanh_deriv_from_output};
 use crate::dense::{Dense, DenseGrads};
 use crate::loss::squared_error_grad;
+use crate::workspace::{self, Workspace};
 
 /// One GRU layer with gate blocks packed `[z, r, n]`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -73,30 +77,56 @@ impl GruGrads {
     }
 }
 
-/// Forward-pass record for backprop.
-#[derive(Debug, Clone)]
+/// Forward-pass record for backprop, stored as flat strided buffers so a
+/// reused cache performs zero allocations once grown.
+#[derive(Debug, Clone, Default)]
 pub struct GruCache {
-    xs: Vec<Vec<f64>>,
-    /// `hs[0]` is the zero initial state.
-    hs: Vec<Vec<f64>>,
-    /// Per step: `[z, r, n]` post-activation.
-    gates: Vec<[Vec<f64>; 3]>,
+    steps: usize,
+    input_dim: usize,
+    hidden: usize,
+    /// Inputs, `T x input_dim`, row-major.
+    xs: Vec<f64>,
+    /// Hidden states, `(T + 1) x H`; row 0 is the zero initial state.
+    hs: Vec<f64>,
+    /// Post-activation gates per step, `T x 3H`, blocks `[z | r | n]`.
+    gates: Vec<f64>,
+    /// Reset-scaled state `r_t . h_{t-1}` per step, `T x H` (cached so the
+    /// backward pass does not recompute it).
+    rh: Vec<f64>,
 }
 
 impl GruCache {
-    /// Hidden states `h_1..h_T`.
-    pub fn hidden_sequence(&self) -> &[Vec<f64>] {
-        &self.hs[1..]
+    /// Hidden states `h_1..h_T` as one flat `T x H` row-major slice.
+    pub fn hidden_sequence(&self) -> &[f64] {
+        &self.hs[self.hidden..]
     }
 
-    /// Final hidden state.
+    /// Final hidden state (the zero initial state for an empty cache).
     pub fn last_hidden(&self) -> &[f64] {
-        self.hs.last().expect("non-empty")
+        &self.hs[self.steps * self.hidden..]
     }
 
     /// Unrolled length.
     pub fn steps(&self) -> usize {
-        self.xs.len()
+        self.steps
+    }
+
+    /// Hidden width `H` of the recorded unroll.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Resizes buffers for a `steps`-long unroll, reusing capacity, and
+    /// zeroes the initial-state row.
+    fn reset(&mut self, steps: usize, input_dim: usize, hidden: usize) {
+        self.steps = steps;
+        self.input_dim = input_dim;
+        self.hidden = hidden;
+        self.xs.resize(steps * input_dim, 0.0);
+        self.hs.resize((steps + 1) * hidden, 0.0);
+        self.gates.resize(steps * 3 * hidden, 0.0);
+        self.rh.resize(steps * hidden, 0.0);
+        self.hs[..hidden].fill(0.0);
     }
 }
 
@@ -139,82 +169,113 @@ impl GruLayer {
         f(&mut self.b, &grads.db);
     }
 
-    /// Unrolls over `xs` from zero state.
-    pub fn forward(&self, xs: &[Vec<f64>]) -> GruCache {
+    /// Unrolls the layer over a flat `steps x input_dim` row-major input
+    /// from zero state, recording into a caller-owned cache.
+    /// Allocation-free once the cache has grown to size.
+    ///
+    /// # Panics
+    /// Panics if `xs.len() != steps * input_dim`.
+    pub fn forward_into(&self, xs: &[f64], steps: usize, cache: &mut GruCache) {
         let h = self.hidden;
-        let mut cache = GruCache {
-            xs: xs.to_vec(),
-            hs: Vec::with_capacity(xs.len() + 1),
-            gates: Vec::with_capacity(xs.len()),
-        };
-        cache.hs.push(vec![0.0; h]);
-        for x in xs {
-            assert_eq!(x.len(), self.input_dim, "GRU input dim");
-            let h_prev = cache.hs.last().unwrap().clone();
-            // Pre-activations for z and r use h_prev directly.
-            let mut z_gate = vec![0.0; h];
-            let mut r_gate = vec![0.0; h];
+        let i_dim = self.input_dim;
+        assert_eq!(xs.len(), steps * i_dim, "GRU input dim mismatch");
+        cache.reset(steps, i_dim, h);
+        cache.xs.copy_from_slice(xs);
+        let GruCache {
+            xs: cxs,
+            hs,
+            gates,
+            rh,
+            ..
+        } = cache;
+        for t in 0..steps {
+            let x = &cxs[t * i_dim..(t + 1) * i_dim];
+            let (hs_head, hs_tail) = hs.split_at_mut((t + 1) * h);
+            let h_prev = &hs_head[t * h..];
+            let h_t = &mut hs_tail[..h];
+            let g_row = &mut gates[t * 3 * h..(t + 1) * 3 * h];
+            let rh_row = &mut rh[t * h..(t + 1) * h];
+
+            // Update and reset gates read h_prev directly.
             for k in 0..h {
-                z_gate[k] = sigmoid(
-                    vecops::dot(self.w.row(k), x)
-                        + vecops::dot(self.u.row(k), &h_prev)
+                g_row[k] = sigmoid(
+                    vecops::dot4(self.w.row(k), x)
+                        + vecops::dot4(self.u.row(k), h_prev)
                         + self.b[(k, 0)],
                 );
-                r_gate[k] = sigmoid(
-                    vecops::dot(self.w.row(h + k), x)
-                        + vecops::dot(self.u.row(h + k), &h_prev)
+                g_row[h + k] = sigmoid(
+                    vecops::dot4(self.w.row(h + k), x)
+                        + vecops::dot4(self.u.row(h + k), h_prev)
                         + self.b[(h + k, 0)],
                 );
             }
-            // Candidate uses the reset-scaled state.
-            let rh: Vec<f64> = r_gate.iter().zip(&h_prev).map(|(r, hp)| r * hp).collect();
-            let mut n_gate = vec![0.0; h];
-            let mut h_t = vec![0.0; h];
+            // Candidate uses the reset-scaled state, cached for backward.
             for k in 0..h {
-                n_gate[k] = (vecops::dot(self.w.row(2 * h + k), x)
-                    + vecops::dot(self.u.row(2 * h + k), &rh)
+                rh_row[k] = g_row[h + k] * h_prev[k];
+            }
+            for k in 0..h {
+                g_row[2 * h + k] = (vecops::dot4(self.w.row(2 * h + k), x)
+                    + vecops::dot4(self.u.row(2 * h + k), rh_row)
                     + self.b[(2 * h + k, 0)])
                 .tanh();
-                h_t[k] = (1.0 - z_gate[k]) * n_gate[k] + z_gate[k] * h_prev[k];
+                h_t[k] = (1.0 - g_row[k]) * g_row[2 * h + k] + g_row[k] * h_prev[k];
             }
-            cache.gates.push([z_gate, r_gate, n_gate]);
-            cache.hs.push(h_t);
         }
-        cache
     }
 
-    /// Exact backward pass; `dh_seq[t]` is the gradient flowing into
-    /// `h_{t+1}` from above. Returns parameter grads and input grads.
-    pub fn backward(&self, cache: &GruCache, dh_seq: &[Vec<f64>]) -> (GruGrads, Vec<Vec<f64>>) {
+    /// Exact backward pass without allocating. `dh_seq` is the flat
+    /// `steps x H` gradient flowing into `h_1..h_T` from above. Parameter
+    /// gradients are *accumulated* into `grads`; `dxs` (flat
+    /// `steps x input_dim`) is overwritten. `dzrn` (`3H`, blocks
+    /// `[dz | dr | dn]`), `dh_next`, `dh_prev` and `drh` (`H` each) are
+    /// scratch buffers sized on entry.
+    ///
+    /// # Panics
+    /// Panics on mismatched `cache`, `dh_seq` or `dxs` shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_into(
+        &self,
+        cache: &GruCache,
+        dh_seq: &[f64],
+        grads: &mut GruGrads,
+        dxs: &mut [f64],
+        dzrn: &mut Vec<f64>,
+        dh_next: &mut Vec<f64>,
+        dh_prev: &mut Vec<f64>,
+        drh: &mut Vec<f64>,
+    ) {
         let h = self.hidden;
-        let t_len = cache.steps();
-        assert_eq!(dh_seq.len(), t_len);
-        let mut grads = GruGrads::zeros(self.input_dim, h);
-        let mut dxs = vec![vec![0.0; self.input_dim]; t_len];
-        let mut dh_next = vec![0.0; h];
-        // Pre-activation grads for the three blocks.
-        let mut dz = vec![0.0; h];
-        let mut dr = vec![0.0; h];
-        let mut dn = vec![0.0; h];
+        let i_dim = self.input_dim;
+        let steps = cache.steps;
+        assert_eq!(cache.hidden, h, "cache hidden width mismatch");
+        assert_eq!(cache.input_dim, i_dim, "cache input dim mismatch");
+        assert_eq!(dh_seq.len(), steps * h, "dh sequence length mismatch");
+        assert_eq!(dxs.len(), steps * i_dim, "dxs length mismatch");
+        dzrn.clear();
+        dzrn.resize(3 * h, 0.0);
+        dh_next.clear();
+        dh_next.resize(h, 0.0);
+        dh_prev.clear();
+        dh_prev.resize(h, 0.0);
+        drh.clear();
+        drh.resize(h, 0.0);
 
-        for t in (0..t_len).rev() {
-            let [z_gate, r_gate, n_gate] = &cache.gates[t];
-            let h_prev = &cache.hs[t];
-            let x_t = &cache.xs[t];
-
-            // dL/dh_t from above plus recurrence.
-            let dh: Vec<f64> = dh_seq[t]
-                .iter()
-                .zip(&dh_next)
-                .map(|(a, b)| a + b)
-                .collect();
+        for t in (0..steps).rev() {
+            let g_row = &cache.gates[t * 3 * h..(t + 1) * 3 * h];
+            let (z_gate, rest) = g_row.split_at(h);
+            let (r_gate, n_gate) = rest.split_at(h);
+            // Row `t` of hs is the *previous* state (row 0 is h_0).
+            let h_prev = &cache.hs[t * h..(t + 1) * h];
+            let x_t = &cache.xs[t * i_dim..(t + 1) * i_dim];
+            let rh_row = &cache.rh[t * h..(t + 1) * h];
+            let dh_row = &dh_seq[t * h..(t + 1) * h];
+            let (dz, rest_d) = dzrn.split_at_mut(h);
+            let (dr, dn) = rest_d.split_at_mut(h);
 
             // h_t = (1-z) n + z h_prev
             // dn_pre, dz_pre; dh_prev gets the direct z-path plus gate paths.
-            let mut dh_prev = vec![0.0; h];
-            let mut du_n_dot_hprev = vec![0.0; h]; // dL/d(rh) accumulated below
             for k in 0..h {
-                let dhk = dh[k];
+                let dhk = dh_row[k] + dh_next[k];
                 let dzk = dhk * (h_prev[k] - n_gate[k]);
                 let dnk = dhk * (1.0 - z_gate[k]);
                 dz[k] = dzk * sigmoid_deriv_from_output(z_gate[k]);
@@ -222,49 +283,98 @@ impl GruLayer {
                 dh_prev[k] = dhk * z_gate[k];
             }
             // dL/d(rh) = U_n^T dn_pre
-            for (k, &dnk) in dn.iter().enumerate().take(h) {
+            drh.fill(0.0);
+            for (k, &dnk) in dn.iter().enumerate() {
                 if dnk == 0.0 {
                     continue;
                 }
-                vecops::axpy(dnk, self.u.row(2 * h + k), &mut du_n_dot_hprev);
+                vecops::axpy(dnk, self.u.row(2 * h + k), drh);
             }
             // rh = r . h_prev
             for k in 0..h {
-                let drh = du_n_dot_hprev[k];
-                dr[k] = drh * h_prev[k] * sigmoid_deriv_from_output(r_gate[k]);
-                dh_prev[k] += drh * r_gate[k];
+                dr[k] = drh[k] * h_prev[k] * sigmoid_deriv_from_output(r_gate[k]);
+                dh_prev[k] += drh[k] * r_gate[k];
             }
 
             // Parameter grads and remaining dh_prev contributions from the
-            // z and r pre-activations.
-            let rh: Vec<f64> = r_gate.iter().zip(h_prev).map(|(r, hp)| r * hp).collect();
+            // z and r pre-activations; the n block's recurrent part uses
+            // the cached reset-scaled state.
+            let dx = &mut dxs[t * i_dim..(t + 1) * i_dim];
+            dx.fill(0.0);
             for k in 0..h {
                 // z block (rows 0..h)
                 if dz[k] != 0.0 {
                     vecops::axpy(dz[k], x_t, grads.dw.row_mut(k));
                     vecops::axpy(dz[k], h_prev, grads.du.row_mut(k));
                     grads.db[(k, 0)] += dz[k];
-                    vecops::axpy(dz[k], self.w.row(k), &mut dxs[t]);
-                    vecops::axpy(dz[k], self.u.row(k), &mut dh_prev);
+                    vecops::axpy(dz[k], self.w.row(k), dx);
+                    vecops::axpy(dz[k], self.u.row(k), dh_prev);
                 }
                 // r block (rows h..2h)
                 if dr[k] != 0.0 {
                     vecops::axpy(dr[k], x_t, grads.dw.row_mut(h + k));
                     vecops::axpy(dr[k], h_prev, grads.du.row_mut(h + k));
                     grads.db[(h + k, 0)] += dr[k];
-                    vecops::axpy(dr[k], self.w.row(h + k), &mut dxs[t]);
-                    vecops::axpy(dr[k], self.u.row(h + k), &mut dh_prev);
+                    vecops::axpy(dr[k], self.w.row(h + k), dx);
+                    vecops::axpy(dr[k], self.u.row(h + k), dh_prev);
                 }
                 // n block (rows 2h..3h); recurrent part uses rh.
                 if dn[k] != 0.0 {
                     vecops::axpy(dn[k], x_t, grads.dw.row_mut(2 * h + k));
-                    vecops::axpy(dn[k], &rh, grads.du.row_mut(2 * h + k));
+                    vecops::axpy(dn[k], rh_row, grads.du.row_mut(2 * h + k));
                     grads.db[(2 * h + k, 0)] += dn[k];
-                    vecops::axpy(dn[k], self.w.row(2 * h + k), &mut dxs[t]);
+                    vecops::axpy(dn[k], self.w.row(2 * h + k), dx);
                 }
             }
-            dh_next = dh_prev;
+            std::mem::swap(dh_next, dh_prev);
         }
+    }
+
+    /// Convenience wrapper over [`Self::forward_into`] for nested-`Vec`
+    /// callers that do not reuse buffers (tests, one-off evaluations).
+    ///
+    /// # Panics
+    /// Panics if any input vector has the wrong dimension.
+    pub fn forward(&self, xs: &[Vec<f64>]) -> GruCache {
+        let mut flat = Vec::with_capacity(xs.len() * self.input_dim);
+        for x in xs {
+            assert_eq!(x.len(), self.input_dim, "GRU input dim");
+            flat.extend_from_slice(x);
+        }
+        let mut cache = GruCache::default();
+        self.forward_into(&flat, xs.len(), &mut cache);
+        cache
+    }
+
+    /// Convenience wrapper over [`Self::backward_into`]; `dh_seq[t]` is the
+    /// gradient flowing into `h_{t+1}` from above. Returns parameter grads
+    /// and input grads.
+    pub fn backward(&self, cache: &GruCache, dh_seq: &[Vec<f64>]) -> (GruGrads, Vec<Vec<f64>>) {
+        let h = self.hidden;
+        assert_eq!(dh_seq.len(), cache.steps(), "dh sequence length mismatch");
+        let mut flat = Vec::with_capacity(dh_seq.len() * h);
+        for d in dh_seq {
+            assert_eq!(d.len(), h, "dh width mismatch");
+            flat.extend_from_slice(d);
+        }
+        let mut grads = GruGrads::zeros(self.input_dim, h);
+        let mut dxs_flat = vec![0.0; cache.steps() * self.input_dim];
+        let (mut dzrn, mut dh_next, mut dh_prev, mut drh) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        self.backward_into(
+            cache,
+            &flat,
+            &mut grads,
+            &mut dxs_flat,
+            &mut dzrn,
+            &mut dh_next,
+            &mut dh_prev,
+            &mut drh,
+        );
+        let dxs = dxs_flat
+            .chunks(self.input_dim)
+            .map(<[f64]>::to_vec)
+            .collect();
         (grads, dxs)
     }
 }
@@ -365,49 +475,99 @@ impl GruForecaster {
         self.layers.iter().map(|l| l.param_count()).sum::<usize>() + self.head.param_count()
     }
 
-    fn forward_cached(&self, window: &[f64]) -> (f64, Vec<GruCache>) {
+    /// Allocation-free forward pass through the stack; layer 0 reads the
+    /// window directly (`input_dim == 1`).
+    fn forward_ws(&self, window: &[f64], ws: &mut Workspace) -> f64 {
         assert_eq!(window.len(), self.config.history_len, "window length");
-        let mut caches = Vec::with_capacity(self.layers.len());
-        let mut seq: Vec<Vec<f64>> = window.iter().map(|&v| vec![v]).collect();
-        for layer in &self.layers {
-            let cache = layer.forward(&seq);
-            seq = cache.hidden_sequence().to_vec();
-            caches.push(cache);
+        let steps = self.config.history_len;
+        let n = self.layers.len();
+        ws.ensure_gru_caches(n);
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = ws.gru_caches.split_at_mut(idx);
+            let cache = &mut rest[0];
+            if idx == 0 {
+                layer.forward_into(window, steps, cache);
+            } else {
+                layer.forward_into(done[idx - 1].hidden_sequence(), steps, cache);
+            }
         }
-        let pred = self.head.forward(caches.last().unwrap().last_hidden())[0];
-        (pred, caches)
+        let mut out = [0.0f64; 1];
+        self.head.forward_into(ws.gru_caches[n - 1].last_hidden(), &mut out);
+        out[0]
     }
 
     /// Point prediction.
     pub fn predict(&self, window: &[f64]) -> f64 {
-        self.forward_cached(window).0
+        workspace::with_thread_workspace(|ws| self.forward_ws(window, ws))
+    }
+
+    /// Computes the loss for one sample and *accumulates* its gradients
+    /// into `grads`, reusing this thread's workspace.
+    ///
+    /// # Panics
+    /// Panics if `grads` does not match this model's layer structure.
+    pub fn sample_grads_into(
+        &self,
+        window: &[f64],
+        target: f64,
+        grads: &mut GruForecasterGrads,
+    ) -> f64 {
+        workspace::with_thread_workspace(|ws| self.sample_grads_ws(window, target, grads, ws))
     }
 
     /// Per-sample loss and gradients.
     pub fn sample_grads(&self, window: &[f64], target: f64) -> (f64, GruForecasterGrads) {
-        let (pred, caches) = self.forward_cached(window);
+        let mut grads = self.zero_grads();
+        let loss = self.sample_grads_into(window, target, &mut grads);
+        (loss, grads)
+    }
+
+    fn sample_grads_ws(
+        &self,
+        window: &[f64],
+        target: f64,
+        grads: &mut GruForecasterGrads,
+        ws: &mut Workspace,
+    ) -> f64 {
+        let n = self.layers.len();
+        assert_eq!(grads.layers.len(), n, "grads layer count mismatch");
+        let pred = self.forward_ws(window, ws);
         let loss = (pred - target) * (pred - target);
         let dpred = squared_error_grad(pred, target);
-        let (head_grads, dh_last) = self
-            .head
-            .backward(caches.last().unwrap().last_hidden(), &[dpred]);
+
         let steps = self.config.history_len;
         let hidden = self.config.hidden_size;
-        let mut layer_grads: Vec<Option<GruGrads>> = vec![None; self.layers.len()];
-        let mut dh_seq = vec![vec![0.0; hidden]; steps];
-        dh_seq[steps - 1] = dh_last;
-        for (idx, layer) in self.layers.iter().enumerate().rev() {
-            let (grads, dxs) = layer.backward(&caches[idx], &dh_seq);
-            layer_grads[idx] = Some(grads);
-            dh_seq = dxs;
+
+        ws.head_dh.clear();
+        ws.head_dh.resize(hidden, 0.0);
+        self.head.backward_into(
+            ws.gru_caches[n - 1].last_hidden(),
+            &[dpred],
+            &mut grads.head,
+            &mut ws.head_dh,
+        );
+
+        ws.dseq_a.clear();
+        ws.dseq_a.resize(steps * hidden, 0.0);
+        ws.dseq_a[(steps - 1) * hidden..].copy_from_slice(&ws.head_dh);
+
+        for idx in (0..n).rev() {
+            let layer = &self.layers[idx];
+            ws.dseq_b.clear();
+            ws.dseq_b.resize(steps * layer.input_dim(), 0.0);
+            layer.backward_into(
+                &ws.gru_caches[idx],
+                &ws.dseq_a,
+                &mut grads.layers[idx],
+                &mut ws.dseq_b,
+                &mut ws.dz,
+                &mut ws.dh_next,
+                &mut ws.dc_next,
+                &mut ws.drh,
+            );
+            std::mem::swap(&mut ws.dseq_a, &mut ws.dseq_b);
         }
-        (
-            loss,
-            GruForecasterGrads {
-                layers: layer_grads.into_iter().map(|g| g.unwrap()).collect(),
-                head: head_grads,
-            },
-        )
+        loss
     }
 
     /// Zeroed gradient container.
@@ -443,6 +603,9 @@ impl crate::trainer::Trainable for GruForecaster {
     }
     fn sample_grads(&self, window: &[f64], target: f64) -> (f64, Self::Grads) {
         GruForecaster::sample_grads(self, window, target)
+    }
+    fn sample_grads_into(&self, window: &[f64], target: f64, grads: &mut Self::Grads) -> f64 {
+        GruForecaster::sample_grads_into(self, window, target, grads)
     }
     fn accumulate(into: &mut Self::Grads, other: &Self::Grads) {
         into.accumulate(other);
@@ -489,7 +652,7 @@ mod tests {
         // every hidden unit stays in [-1, 1].
         let layer = &m.layers[0];
         let cache = layer.forward(&w.iter().map(|&v| vec![v]).collect::<Vec<_>>());
-        for hs in cache.hidden_sequence() {
+        for hs in cache.hidden_sequence().chunks(layer.hidden()) {
             assert!(hs.iter().all(|v| v.abs() <= 1.0 + 1e-12));
         }
     }
@@ -499,6 +662,26 @@ mod tests {
         let m = GruForecaster::new(tiny());
         // layer0: 3*3*(1+3+1), layer1: 3*3*(3+3+1), head: 4.
         assert_eq!(m.param_count(), 45 + 63 + 4);
+    }
+
+    /// `sample_grads_into` accumulates on top of existing contents.
+    #[test]
+    fn sample_grads_into_accumulates() {
+        let model = GruForecaster::new(tiny());
+        let w1 = [0.3, -0.2, 0.6, -0.4];
+        let w2 = [0.0, 0.9, -0.5, 0.2];
+        let (l1, g1) = model.sample_grads(&w1, 0.35);
+        let (l2, g2) = model.sample_grads(&w2, -0.1);
+        let mut acc = model.zero_grads();
+        assert_eq!(model.sample_grads_into(&w1, 0.35, &mut acc), l1);
+        assert_eq!(model.sample_grads_into(&w2, -0.1, &mut acc), l2);
+        let mut expect = g1;
+        expect.accumulate(&g2);
+        for (a, b) in acc.layers.iter().zip(&expect.layers) {
+            assert!(a.dw.max_abs_diff(&b.dw) <= 1e-12 * (1.0 + b.dw.frobenius_norm()));
+            assert!(a.du.max_abs_diff(&b.du) <= 1e-12 * (1.0 + b.du.frobenius_norm()));
+            assert!(a.db.max_abs_diff(&b.db) <= 1e-12 * (1.0 + b.db.frobenius_norm()));
+        }
     }
 
     /// Full finite-difference gradient check through the stacked GRU —

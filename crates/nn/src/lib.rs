@@ -14,7 +14,13 @@
 //! - [`forecaster`]: the end-to-end model of Eq. (1) — a window of `n` past
 //!   JARs in, one predicted JAR out — plus (de)serialization,
 //! - [`trainer`]: mini-batch training with shuffling, global-norm gradient
-//!   clipping and early stopping on a validation split.
+//!   clipping and early stopping on a validation split,
+//! - [`workspace`]: reusable scratch arenas that make the forward/backward
+//!   hot loops allocation-free,
+//! - [`sections`]: opt-in nanosecond accounting for the gate-matmul and
+//!   BPTT kernel sections (drained into telemetry by the trainer),
+//! - [`reference`]: the retained pre-change compute paths, used as the
+//!   equivalence oracle for the optimized kernels.
 //!
 //! Every forward pass is pure; gradients are checked against finite
 //! differences in the test suite. All randomness flows from explicit seeds.
@@ -30,7 +36,10 @@ pub mod loss;
 pub mod lstm;
 pub mod mlp;
 pub mod optim;
+pub mod reference;
+pub mod sections;
 pub mod trainer;
+pub mod workspace;
 
 pub use forecaster::{ForecasterConfig, LstmForecaster};
 pub use gru::{GruConfig, GruForecaster};

@@ -13,9 +13,21 @@
 //!
 //! The four gate blocks are packed row-wise into single `W`, `U`, `b`
 //! tensors in the order `[i, f, o, g]` so the whole pre-activation is two
-//! mat-vecs per step. The forward pass records every intermediate needed for
-//! an exact reverse sweep; `backward` returns both the parameter gradients
-//! and the gradient w.r.t. the input sequence so layers stack.
+//! mat-vecs per step.
+//!
+//! The hot path is allocation-free: [`LstmLayer::forward_into`] and
+//! [`LstmLayer::backward_into`] write into a caller-owned [`LstmCache`] and
+//! scratch buffers (see [`crate::workspace`]) whose flat strided layout
+//! replaces the per-timestep `Vec` churn of the original implementation.
+//! The backward pass pulls `dx`/`dh` from lazily cached weight transposes
+//! (contiguous mat-vecs instead of per-row `axpy` strides); the caches are
+//! invalidated whenever [`LstmLayer::visit_params`] exposes the weights to
+//! an optimizer step. The pre-change implementation is retained verbatim as
+//! [`LstmLayer::forward_reference`] / [`LstmLayer::backward_reference`] —
+//! the equivalence oracle for `ld-perfbench --smoke` and the
+//! `kernel_equivalence` suite (fast paths agree within 1e-9 relative).
+
+use std::sync::OnceLock;
 
 use ld_linalg::{vecops, Matrix};
 use rand::Rng;
@@ -24,7 +36,7 @@ use serde::{Deserialize, Serialize};
 use crate::activation::{sigmoid, sigmoid_deriv_from_output, tanh_deriv_from_output};
 
 /// One LSTM layer (the `M` cell of the paper, unrolled over a window).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LstmLayer {
     input_dim: usize,
     hidden: usize,
@@ -34,6 +46,11 @@ pub struct LstmLayer {
     u: Matrix,
     /// Bias, `4H x 1`.
     b: Matrix,
+    /// Lazily built `W^T` (`input_dim x 4H`) for the backward `dx` mat-vec;
+    /// cleared by `visit_params` whenever the weights may have changed.
+    wt: OnceLock<Matrix>,
+    /// Lazily built `U^T` (`H x 4H`) for the backward `dh` mat-vec.
+    ut: OnceLock<Matrix>,
 }
 
 /// Gradients for one [`LstmLayer`], same shapes as the parameters.
@@ -72,31 +89,92 @@ impl LstmGrads {
     }
 }
 
-/// Everything the backward pass needs from a forward unroll.
-#[derive(Debug, Clone)]
+/// Everything the backward pass needs from a forward unroll, stored as flat
+/// strided buffers (`T` rows of fixed width each) so a reused cache performs
+/// zero allocations once grown.
+#[derive(Debug, Clone, Default)]
 pub struct LstmCache {
-    /// Input vectors, `T x input_dim`.
-    xs: Vec<Vec<f64>>,
-    /// Hidden states, `T + 1` entries; `hs[0]` is the initial zero state.
-    hs: Vec<Vec<f64>>,
-    /// Cell states, `T + 1` entries.
-    cs: Vec<Vec<f64>>,
-    /// Post-activation gate values per step: `[i, f, o, g]`.
-    gates: Vec<[Vec<f64>; 4]>,
-    /// `tanh(C_t)` per step.
-    tanh_c: Vec<Vec<f64>>,
+    steps: usize,
+    input_dim: usize,
+    hidden: usize,
+    /// Input vectors, `T x input_dim`, row-major.
+    xs: Vec<f64>,
+    /// Hidden states, `(T + 1) x H`; row 0 is the seeded zero initial state.
+    hs: Vec<f64>,
+    /// Cell states, `(T + 1) x H`; row 0 is the zero initial state.
+    cs: Vec<f64>,
+    /// Post-activation gates per step, `T x 4H`, blocks `[i | f | o | g]`.
+    gates: Vec<f64>,
+    /// `tanh(C_t)` per step, `T x H`.
+    tanh_c: Vec<f64>,
 }
 
 impl LstmCache {
     /// The full hidden-state sequence `h_1 .. h_T` (excludes the initial
-    /// zero state), which is the input to the next stacked layer.
+    /// zero state) as one flat `T x H` row-major slice — the input to the
+    /// next stacked layer.
+    pub fn hidden_sequence(&self) -> &[f64] {
+        &self.hs[self.hidden..]
+    }
+
+    /// Hidden state `h_{t+1}` for step `t` in `0..steps()`.
+    pub fn hidden_row(&self, t: usize) -> &[f64] {
+        &self.hs[(t + 1) * self.hidden..(t + 2) * self.hidden]
+    }
+
+    /// The final hidden state `h_T` fed to the dense head. For an empty
+    /// cache this is the seeded zero initial state.
+    pub fn last_hidden(&self) -> &[f64] {
+        &self.hs[self.steps * self.hidden..]
+    }
+
+    /// Number of unrolled steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Hidden width `H` of the recorded unroll.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Resizes every buffer for a `steps`-long unroll, reusing capacity,
+    /// and seeds the initial state row with zeros. Rows `1..` are left as
+    /// garbage for the forward sweep to overwrite.
+    fn reset(&mut self, steps: usize, input_dim: usize, hidden: usize) {
+        self.steps = steps;
+        self.input_dim = input_dim;
+        self.hidden = hidden;
+        self.xs.resize(steps * input_dim, 0.0);
+        self.hs.resize((steps + 1) * hidden, 0.0);
+        self.cs.resize((steps + 1) * hidden, 0.0);
+        self.gates.resize(steps * 4 * hidden, 0.0);
+        self.tanh_c.resize(steps * hidden, 0.0);
+        self.hs[..hidden].fill(0.0);
+        self.cs[..hidden].fill(0.0);
+    }
+}
+
+/// Forward-pass record of the pre-change implementation (nested `Vec`s),
+/// kept as the equivalence oracle for the workspace kernels.
+#[derive(Debug, Clone)]
+pub struct ReferenceLstmCache {
+    pub(crate) xs: Vec<Vec<f64>>,
+    pub(crate) hs: Vec<Vec<f64>>,
+    pub(crate) cs: Vec<Vec<f64>>,
+    pub(crate) gates: Vec<[Vec<f64>; 4]>,
+    pub(crate) tanh_c: Vec<Vec<f64>>,
+}
+
+impl ReferenceLstmCache {
+    /// Hidden states `h_1..h_T` as rows.
     pub fn hidden_sequence(&self) -> &[Vec<f64>] {
         &self.hs[1..]
     }
 
-    /// The final hidden state `h_T` fed to the dense head.
+    /// The final hidden state.
     pub fn last_hidden(&self) -> &[f64] {
-        self.hs.last().expect("non-empty cache")
+        &self.hs[self.hs.len() - 1]
     }
 
     /// Number of unrolled steps.
@@ -123,6 +201,8 @@ impl LstmLayer {
             w,
             u,
             b,
+            wt: OnceLock::new(),
+            ut: OnceLock::new(),
         }
     }
 
@@ -142,7 +222,9 @@ impl LstmLayer {
     }
 
     /// Visits `(parameter, gradient)` tensor pairs in a fixed order, used by
-    /// the optimizer.
+    /// the optimizer. Invalidate-on-step: any visitor may mutate the
+    /// weights, so the cached transposes are dropped afterwards and the next
+    /// backward pass rebuilds them from the updated weights.
     pub fn visit_params<'a>(
         &'a mut self,
         grads: &'a LstmGrads,
@@ -151,17 +233,242 @@ impl LstmLayer {
         f(&mut self.w, &grads.dw);
         f(&mut self.u, &grads.du);
         f(&mut self.b, &grads.db);
+        self.wt.take();
+        self.ut.take();
     }
 
-    /// Unrolls the layer over `xs` starting from zero state, recording the
-    /// cache for backprop.
+    /// `W^T`, built on first use after each parameter update.
+    fn w_transposed(&self) -> &Matrix {
+        self.wt.get_or_init(|| self.w.transpose())
+    }
+
+    /// `U^T`, built on first use after each parameter update.
+    fn u_transposed(&self) -> &Matrix {
+        self.ut.get_or_init(|| self.u.transpose())
+    }
+
+    /// Unrolls the layer over a flat `steps x input_dim` row-major input
+    /// starting from zero state, recording the cache for backprop.
+    /// Allocation-free once `z` (the `4H` pre-activation scratch) and the
+    /// cache have grown to size.
+    ///
+    /// # Panics
+    /// Panics if `xs.len() != steps * input_dim`.
+    pub fn forward_into(
+        &self,
+        xs: &[f64],
+        steps: usize,
+        z: &mut Vec<f64>,
+        cache: &mut LstmCache,
+    ) {
+        let h = self.hidden;
+        let i_dim = self.input_dim;
+        assert_eq!(xs.len(), steps * i_dim, "LSTM input dim mismatch");
+        cache.reset(steps, i_dim, h);
+        cache.xs.copy_from_slice(xs);
+        z.clear();
+        z.resize(4 * h, 0.0);
+
+        let timing = crate::sections::enabled();
+        let mut gate_nanos: u128 = 0;
+
+        let LstmCache {
+            xs: cxs,
+            hs,
+            cs,
+            gates,
+            tanh_c,
+            ..
+        } = cache;
+        for t in 0..steps {
+            let x = &cxs[t * i_dim..(t + 1) * i_dim];
+            // Borrow h_{t} read-only and h_{t+1} mutably from one buffer.
+            let (hs_head, hs_tail) = hs.split_at_mut((t + 1) * h);
+            let h_prev = &hs_head[t * h..];
+            let h_t = &mut hs_tail[..h];
+            let (cs_head, cs_tail) = cs.split_at_mut((t + 1) * h);
+            let c_prev = &cs_head[t * h..];
+            let c_t = &mut cs_tail[..h];
+            let g_row = &mut gates[t * 4 * h..(t + 1) * 4 * h];
+            let tc = &mut tanh_c[t * h..(t + 1) * h];
+
+            // z = W x + U h_prev + b (the "gate-matmul" telemetry section).
+            // ld-lint: allow(determinism, "opt-in kernel section timer; timing is observed, never fed back into the numerics")
+            let t0 = timing.then(std::time::Instant::now);
+            for (r, zr) in z.iter_mut().enumerate() {
+                *zr = vecops::dot4(self.w.row(r), x)
+                    + vecops::dot4(self.u.row(r), h_prev)
+                    + self.b[(r, 0)];
+            }
+            if let Some(t0) = t0 {
+                gate_nanos += t0.elapsed().as_nanos();
+            }
+
+            for k in 0..h {
+                g_row[k] = sigmoid(z[k]);
+                g_row[h + k] = sigmoid(z[h + k]);
+                g_row[2 * h + k] = sigmoid(z[2 * h + k]);
+                g_row[3 * h + k] = z[3 * h + k].tanh();
+            }
+            for k in 0..h {
+                c_t[k] = g_row[h + k] * c_prev[k] + g_row[k] * g_row[3 * h + k];
+                tc[k] = c_t[k].tanh();
+                h_t[k] = g_row[2 * h + k] * tc[k];
+            }
+        }
+        if timing {
+            crate::sections::add_gate_matmul(u64::try_from(gate_nanos).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Backpropagates through the unrolled layer without allocating.
+    ///
+    /// `dh_seq` is the flat `steps x H` loss gradient flowing into
+    /// `h_1..h_T` from above. Parameter gradients are *accumulated* into
+    /// `grads` (callers zero or carry a batch accumulator); `dxs` (flat
+    /// `steps x input_dim`) is overwritten with the input-sequence gradient.
+    /// `dz`/`dh_next`/`dc_next` are scratch buffers sized on entry.
+    ///
+    /// # Panics
+    /// Panics on mismatched `cache`, `dh_seq` or `dxs` shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_into(
+        &self,
+        cache: &LstmCache,
+        dh_seq: &[f64],
+        grads: &mut LstmGrads,
+        dxs: &mut [f64],
+        dz: &mut Vec<f64>,
+        dh_next: &mut Vec<f64>,
+        dc_next: &mut Vec<f64>,
+    ) {
+        let h = self.hidden;
+        let i_dim = self.input_dim;
+        let steps = cache.steps;
+        assert_eq!(cache.hidden, h, "cache hidden width mismatch");
+        assert_eq!(cache.input_dim, i_dim, "cache input dim mismatch");
+        assert_eq!(dh_seq.len(), steps * h, "dh sequence length mismatch");
+        assert_eq!(dxs.len(), steps * i_dim, "dxs length mismatch");
+        dz.clear();
+        dz.resize(4 * h, 0.0);
+        dh_next.clear();
+        dh_next.resize(h, 0.0);
+        dc_next.clear();
+        dc_next.resize(h, 0.0);
+        let wt = self.w_transposed();
+        let ut = self.u_transposed();
+
+        let timing = crate::sections::enabled();
+        // ld-lint: allow(determinism, "opt-in kernel section timer; timing is observed, never fed back into the numerics")
+        let t0 = timing.then(std::time::Instant::now);
+
+        for t in (0..steps).rev() {
+            let g_row = &cache.gates[t * 4 * h..(t + 1) * 4 * h];
+            let (i_gate, rest) = g_row.split_at(h);
+            let (f_gate, rest) = rest.split_at(h);
+            let (o_gate, g_gate) = rest.split_at(h);
+            let tanh_c = &cache.tanh_c[t * h..(t + 1) * h];
+            // Rows `t` of hs/cs are the *previous* states (row 0 is h_0).
+            let c_prev = &cache.cs[t * h..(t + 1) * h];
+            let h_prev = &cache.hs[t * h..(t + 1) * h];
+            let x_t = &cache.xs[t * i_dim..(t + 1) * i_dim];
+            let dh_row = &dh_seq[t * h..(t + 1) * h];
+
+            // Total gradient into h_t: from above + from t+1's recurrence.
+            // dc_t: from h_t through o*tanh(C_t), plus carried dc_next.
+            for k in 0..h {
+                let dh = dh_row[k] + dh_next[k];
+                let dct = dh * o_gate[k] * tanh_deriv_from_output(tanh_c[k]) + dc_next[k];
+                let do_ = dh * tanh_c[k];
+                let di = dct * g_gate[k];
+                let df = dct * c_prev[k];
+                let dg = dct * i_gate[k];
+
+                dz[k] = di * sigmoid_deriv_from_output(i_gate[k]);
+                dz[h + k] = df * sigmoid_deriv_from_output(f_gate[k]);
+                dz[2 * h + k] = do_ * sigmoid_deriv_from_output(o_gate[k]);
+                dz[3 * h + k] = dg * tanh_deriv_from_output(g_gate[k]);
+
+                // Carry cell gradient to t-1.
+                dc_next[k] = dct * f_gate[k];
+            }
+
+            // Parameter gradients: outer products with x_t and h_prev.
+            for (r, &dzr) in dz.iter().enumerate() {
+                if dzr == 0.0 {
+                    continue;
+                }
+                vecops::axpy(dzr, x_t, grads.dw.row_mut(r));
+                vecops::axpy(dzr, h_prev, grads.du.row_mut(r));
+                grads.db[(r, 0)] += dzr;
+            }
+
+            // dx_t = W^T dz ; dh_prev = U^T dz — contiguous mat-vecs over
+            // the cached transposes instead of per-row strided axpys.
+            wt.matvec_into(dz, &mut dxs[t * i_dim..(t + 1) * i_dim]);
+            ut.matvec_into(dz, dh_next);
+        }
+
+        if let Some(t0) = t0 {
+            crate::sections::add_bptt(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Convenience wrapper over [`Self::forward_into`] for callers that
+    /// hold a nested-`Vec` sequence and do not reuse buffers (tests, small
+    /// one-off evaluations).
     ///
     /// # Panics
     /// Panics if any input vector has the wrong dimension.
     pub fn forward(&self, xs: &[Vec<f64>]) -> LstmCache {
+        let mut flat = Vec::with_capacity(xs.len() * self.input_dim);
+        for x in xs {
+            assert_eq!(x.len(), self.input_dim, "LSTM input dim mismatch");
+            flat.extend_from_slice(x);
+        }
+        let mut z = Vec::new();
+        let mut cache = LstmCache::default();
+        self.forward_into(&flat, xs.len(), &mut z, &mut cache);
+        cache
+    }
+
+    /// Convenience wrapper over [`Self::backward_into`] returning freshly
+    /// allocated gradients; `dh_seq[t]` is the loss gradient flowing into
+    /// `h_{t+1}` from above.
+    pub fn backward(&self, cache: &LstmCache, dh_seq: &[Vec<f64>]) -> (LstmGrads, Vec<Vec<f64>>) {
+        let h = self.hidden;
+        assert_eq!(dh_seq.len(), cache.steps(), "dh sequence length mismatch");
+        let mut flat = Vec::with_capacity(dh_seq.len() * h);
+        for d in dh_seq {
+            assert_eq!(d.len(), h, "dh width mismatch");
+            flat.extend_from_slice(d);
+        }
+        let mut grads = LstmGrads::zeros(self.input_dim, h);
+        let mut dxs_flat = vec![0.0; cache.steps() * self.input_dim];
+        let (mut dz, mut dh_next, mut dc_next) = (Vec::new(), Vec::new(), Vec::new());
+        self.backward_into(
+            cache,
+            &flat,
+            &mut grads,
+            &mut dxs_flat,
+            &mut dz,
+            &mut dh_next,
+            &mut dc_next,
+        );
+        let dxs = dxs_flat
+            .chunks(self.input_dim)
+            .map(<[f64]>::to_vec)
+            .collect();
+        (grads, dxs)
+    }
+
+    /// The pre-change forward pass, retained verbatim (per-step `Vec`
+    /// allocations, sequential `dot`) as the equivalence oracle and the
+    /// perfbench "before" kernel. Not used by the training hot path.
+    pub fn forward_reference(&self, xs: &[Vec<f64>]) -> ReferenceLstmCache {
         let h = self.hidden;
         let t_len = xs.len();
-        let mut cache = LstmCache {
+        let mut cache = ReferenceLstmCache {
             xs: xs.to_vec(),
             hs: Vec::with_capacity(t_len + 1),
             cs: Vec::with_capacity(t_len + 1),
@@ -172,10 +479,10 @@ impl LstmLayer {
         cache.cs.push(vec![0.0; h]);
 
         let mut z = vec![0.0; 4 * h];
-        for x in xs {
+        for (t, x) in xs.iter().enumerate() {
             assert_eq!(x.len(), self.input_dim, "LSTM input dim mismatch");
-            let h_prev = cache.hs.last().unwrap().clone();
-            let c_prev = cache.cs.last().unwrap().clone();
+            let h_prev = cache.hs[t].clone();
+            let c_prev = cache.cs[t].clone();
 
             // z = W x + U h_prev + b
             for (r, zr) in z.iter_mut().enumerate() {
@@ -206,13 +513,13 @@ impl LstmLayer {
         cache
     }
 
-    /// Backpropagates through the unrolled layer.
-    ///
-    /// `dh_seq[t]` is the loss gradient flowing into `h_{t+1}` from above
-    /// (the next layer's input gradient, or the head's gradient at the final
-    /// step with zeros elsewhere). Returns the parameter gradients and the
-    /// gradient w.r.t. each input vector.
-    pub fn backward(&self, cache: &LstmCache, dh_seq: &[Vec<f64>]) -> (LstmGrads, Vec<Vec<f64>>) {
+    /// The pre-change backward pass over a [`ReferenceLstmCache`], retained
+    /// verbatim as the equivalence oracle for [`Self::backward_into`].
+    pub fn backward_reference(
+        &self,
+        cache: &ReferenceLstmCache,
+        dh_seq: &[Vec<f64>],
+    ) -> (LstmGrads, Vec<Vec<f64>>) {
         let h = self.hidden;
         let t_len = cache.steps();
         assert_eq!(dh_seq.len(), t_len, "dh sequence length mismatch");
@@ -232,8 +539,6 @@ impl LstmLayer {
             let h_prev = &cache.hs[t];
             let x_t = &cache.xs[t];
 
-            // Total gradient into h_t: from above + from t+1's recurrence.
-            // dc_t: from h_t through o*tanh(C_t), plus carried dc_next.
             for k in 0..h {
                 let dh = dh_seq[t][k] + dh_next[k];
                 let dct = dh * o_gate[k] * tanh_deriv_from_output(tanh_c[k]) + dc_next[k];
@@ -247,11 +552,9 @@ impl LstmLayer {
                 dz[2 * h + k] = do_ * sigmoid_deriv_from_output(o_gate[k]);
                 dz[3 * h + k] = dg * tanh_deriv_from_output(g_gate[k]);
 
-                // Carry cell gradient to t-1.
                 dc_next[k] = dct * f_gate[k];
             }
 
-            // Parameter gradients: outer products with x_t and h_prev.
             for (r, &dzr) in dz.iter().enumerate() {
                 if dzr == 0.0 {
                     continue;
@@ -261,7 +564,6 @@ impl LstmLayer {
                 grads.db[(r, 0)] += dzr;
             }
 
-            // dx_t = W^T dz ; dh_prev = U^T dz.
             let dx = &mut dxs[t];
             dh_next.fill(0.0);
             for (r, &dzr) in dz.iter().enumerate() {
@@ -282,6 +584,36 @@ impl LstmLayer {
     }
 }
 
+// Hand-written (de)serialization: the vendored `serde_derive` has no
+// `#[serde(skip)]`, and the transpose caches are derived state that must
+// not be persisted. The field set and order match what the derive used to
+// emit, so pre-existing model snapshots keep loading.
+impl Serialize for LstmLayer {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (String::from("input_dim"), self.input_dim.to_value()),
+            (String::from("hidden"), self.hidden.to_value()),
+            (String::from("w"), self.w.to_value()),
+            (String::from("u"), self.u.to_value()),
+            (String::from("b"), self.b.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LstmLayer {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(LstmLayer {
+            input_dim: Deserialize::from_value(v.field("input_dim")?)?,
+            hidden: Deserialize::from_value(v.field("hidden")?)?,
+            w: Deserialize::from_value(v.field("w")?)?,
+            u: Deserialize::from_value(v.field("u")?)?,
+            b: Deserialize::from_value(v.field("b")?)?,
+            wt: OnceLock::new(),
+            ut: OnceLock::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,8 +630,10 @@ mod tests {
         let layer = LstmLayer::new(1, 4, &mut rng);
         let cache = layer.forward(&scalar_seq(&[0.1, 0.2, 0.3]));
         assert_eq!(cache.steps(), 3);
-        assert_eq!(cache.hidden_sequence().len(), 3);
+        assert_eq!(cache.hidden_sequence().len(), 3 * 4);
+        assert_eq!(cache.hidden_row(0).len(), 4);
         assert_eq!(cache.last_hidden().len(), 4);
+        assert_eq!(cache.last_hidden(), cache.hidden_row(2));
     }
 
     #[test]
@@ -309,7 +643,7 @@ mod tests {
         let layer = LstmLayer::new(1, 8, &mut rng);
         let xs = scalar_seq(&[5.0, -5.0, 10.0, 0.0, -10.0]);
         let cache = layer.forward(&xs);
-        for hs in cache.hidden_sequence() {
+        for hs in cache.hidden_sequence().chunks(8) {
             for &v in hs {
                 assert!(v.abs() <= 1.0 + 1e-12);
             }
@@ -343,6 +677,119 @@ mod tests {
         assert_eq!(layer.param_count(), 4 * 7 * (3 + 7 + 1));
     }
 
+    /// The workspace kernels agree with the retained pre-change
+    /// implementation within 1e-9 relative (the fast path reorders dot
+    /// sums, so bitwise equality is not expected).
+    #[test]
+    fn workspace_forward_backward_match_reference() {
+        for &(seed, i_dim, h, t_len) in
+            &[(7u64, 2usize, 3usize, 4usize), (8, 1, 8, 6), (9, 5, 4, 1)]
+        {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let layer = LstmLayer::new(i_dim, h, &mut rng);
+            let xs: Vec<Vec<f64>> = (0..t_len)
+                .map(|t| {
+                    (0..i_dim)
+                        .map(|d| ((t * i_dim + d) as f64 * 0.37 + seed as f64).sin())
+                        .collect()
+                })
+                .collect();
+            let fast = layer.forward(&xs);
+            let refr = layer.forward_reference(&xs);
+            for t in 0..t_len {
+                for k in 0..h {
+                    let a = fast.hidden_row(t)[k];
+                    let b = refr.hidden_sequence()[t][k];
+                    assert!(
+                        (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                        "h[{t}][{k}]: {a} vs {b}"
+                    );
+                }
+            }
+
+            let dh_seq: Vec<Vec<f64>> = (0..t_len)
+                .map(|t| (0..h).map(|k| ((t + k) as f64 * 0.61).cos()).collect())
+                .collect();
+            let (g_fast, dx_fast) = layer.backward(&fast, &dh_seq);
+            let (g_ref, dx_ref) = layer.backward_reference(&refr, &dh_seq);
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + b.abs());
+            assert!(
+                g_fast.dw.max_abs_diff(&g_ref.dw) <= 1e-9 * (1.0 + g_ref.dw.frobenius_norm()),
+                "dw mismatch (seed {seed})"
+            );
+            assert!(
+                g_fast.du.max_abs_diff(&g_ref.du) <= 1e-9 * (1.0 + g_ref.du.frobenius_norm()),
+                "du mismatch (seed {seed})"
+            );
+            assert!(
+                g_fast.db.max_abs_diff(&g_ref.db) <= 1e-9 * (1.0 + g_ref.db.frobenius_norm()),
+                "db mismatch (seed {seed})"
+            );
+            for t in 0..t_len {
+                for d in 0..i_dim {
+                    assert!(
+                        close(dx_fast[t][d], dx_ref[t][d]),
+                        "dx[{t}][{d}]: {} vs {} (seed {seed})",
+                        dx_fast[t][d],
+                        dx_ref[t][d]
+                    );
+                }
+            }
+        }
+    }
+
+    /// `visit_params` must drop the cached transposes: a backward pass,
+    /// then a weight update, then another backward pass has to use the
+    /// *new* weights for `dx`/`dh`.
+    #[test]
+    fn transpose_cache_invalidated_on_param_update() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut layer = LstmLayer::new(2, 3, &mut rng);
+        let xs = vec![vec![0.4, -0.2], vec![0.1, 0.8]];
+        let dh_seq = vec![vec![0.3, -0.1, 0.5]; 2];
+
+        // First backward builds the transpose caches.
+        let cache = layer.forward(&xs);
+        let (_, _) = layer.backward(&cache, &dh_seq);
+
+        // Update every parameter through the optimizer-facing visitor.
+        let zero = LstmGrads::zeros(2, 3);
+        layer.visit_params(&zero, &mut |p, _| {
+            for v in p.as_mut_slice() {
+                *v += 0.05;
+            }
+        });
+
+        // The next backward must agree with the reference path on the
+        // *updated* layer — it would not if stale transposes survived.
+        let cache = layer.forward(&xs);
+        let (g_fast, dx_fast) = layer.backward(&cache, &dh_seq);
+        let refr = layer.forward_reference(&xs);
+        let (g_ref, dx_ref) = layer.backward_reference(&refr, &dh_seq);
+        assert!(g_fast.dw.max_abs_diff(&g_ref.dw) <= 1e-9 * (1.0 + g_ref.dw.frobenius_norm()));
+        for t in 0..2 {
+            for d in 0..2 {
+                assert!((dx_fast[t][d] - dx_ref[t][d]).abs() <= 1e-9 * (1.0 + dx_ref[t][d].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_skips_transpose_caches() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let layer = LstmLayer::new(2, 3, &mut rng);
+        // Build the transposes, then round-trip: the JSON must not carry
+        // them and the restored layer must behave identically.
+        let cache = layer.forward(&[vec![0.1, 0.2]]);
+        let _ = layer.backward(&cache, &[vec![1.0, 0.0, -1.0]]);
+        let json = serde_json::to_string(&layer).expect("serialize");
+        assert!(!json.contains("\"wt\""));
+        let back: LstmLayer = serde_json::from_str(&json).expect("deserialize");
+        let a = layer.forward(&[vec![0.3, -0.4]]);
+        let b = back.forward(&[vec![0.3, -0.4]]);
+        assert_eq!(a.last_hidden(), b.last_hidden());
+    }
+
     /// Finite-difference gradient check over every parameter of a tiny LSTM.
     ///
     /// Loss: sum of final hidden state. The analytic gradient from
@@ -363,9 +810,9 @@ mod tests {
 
         let eps = 1e-6;
         let check = |get: &dyn Fn(&LstmLayer) -> f64,
-                         set: &dyn Fn(&mut LstmLayer, f64),
-                         analytic: f64,
-                         what: &str| {
+                     set: &dyn Fn(&mut LstmLayer, f64),
+                     analytic: f64,
+                     what: &str| {
             let orig = get(&layer);
             let mut lp = layer.clone();
             set(&mut lp, orig + eps);

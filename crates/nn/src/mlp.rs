@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::dense::{Dense, DenseGrads};
 use crate::loss::squared_error_grad;
+use crate::workspace;
 
 /// Configuration for the feed-forward baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -103,27 +104,61 @@ impl MlpForecaster {
     /// Predicts the next value from a window.
     pub fn predict(&self, window: &[f64]) -> f64 {
         assert_eq!(window.len(), self.config.history_len, "window length");
-        let hidden: Vec<f64> = self.l1.forward(window).iter().map(|v| v.tanh()).collect();
-        self.l2.forward(&hidden)[0]
+        workspace::with_thread_workspace(|ws| {
+            let h = self.config.hidden_size;
+            ws.scratch_a.clear();
+            ws.scratch_a.resize(h, 0.0);
+            self.l1.forward_into(window, &mut ws.scratch_a);
+            for v in &mut ws.scratch_a {
+                *v = v.tanh();
+            }
+            let mut out = [0.0f64; 1];
+            self.l2.forward_into(&ws.scratch_a, &mut out);
+            out[0]
+        })
+    }
+
+    /// Computes the loss for one sample and *accumulates* its gradients
+    /// into `grads`, reusing this thread's workspace buffers.
+    pub fn sample_grads_into(&self, window: &[f64], target: f64, grads: &mut MlpGrads) -> f64 {
+        assert_eq!(window.len(), self.config.history_len, "window length");
+        workspace::with_thread_workspace(|ws| {
+            let h = self.config.hidden_size;
+            // scratch_a: hidden activations (tanh applied in place).
+            ws.scratch_a.clear();
+            ws.scratch_a.resize(h, 0.0);
+            self.l1.forward_into(window, &mut ws.scratch_a);
+            for v in &mut ws.scratch_a {
+                *v = v.tanh();
+            }
+            let mut out = [0.0f64; 1];
+            self.l2.forward_into(&ws.scratch_a, &mut out);
+            let pred = out[0];
+            let loss = (pred - target) * (pred - target);
+            let dpred = squared_error_grad(pred, target);
+
+            // scratch_b: dhidden, then dpre in place.
+            ws.scratch_b.clear();
+            ws.scratch_b.resize(h, 0.0);
+            self.l2
+                .backward_into(&ws.scratch_a, &[dpred], &mut grads.l2, &mut ws.scratch_b);
+            for (dp, hv) in ws.scratch_b.iter_mut().zip(&ws.scratch_a) {
+                *dp *= 1.0 - hv * hv;
+            }
+            // scratch_c: discarded input gradient.
+            ws.scratch_c.clear();
+            ws.scratch_c.resize(window.len(), 0.0);
+            self.l1
+                .backward_into(window, &ws.scratch_b, &mut grads.l1, &mut ws.scratch_c);
+            loss
+        })
     }
 
     /// Squared-error loss and gradients for one sample.
     pub fn sample_grads(&self, window: &[f64], target: f64) -> (f64, MlpGrads) {
-        assert_eq!(window.len(), self.config.history_len, "window length");
-        let pre: Vec<f64> = self.l1.forward(window);
-        let hidden: Vec<f64> = pre.iter().map(|v| v.tanh()).collect();
-        let pred = self.l2.forward(&hidden)[0];
-        let loss = (pred - target) * (pred - target);
-        let dpred = squared_error_grad(pred, target);
-
-        let (g2, dhidden) = self.l2.backward(&hidden, &[dpred]);
-        let dpre: Vec<f64> = dhidden
-            .iter()
-            .zip(&hidden)
-            .map(|(dh, h)| dh * (1.0 - h * h))
-            .collect();
-        let (g1, _dx) = self.l1.backward(window, &dpre);
-        (loss, MlpGrads { l1: g1, l2: g2 })
+        let mut grads = self.zero_grads();
+        let loss = self.sample_grads_into(window, target, &mut grads);
+        (loss, grads)
     }
 
     /// Zeroed gradients matching this model.

@@ -30,6 +30,15 @@ pub trait Trainable: Clone + Send + Sync {
     fn zero_grads(&self) -> Self::Grads;
     /// Loss and gradients for a single sample.
     fn sample_grads(&self, window: &[f64], target: f64) -> (f64, Self::Grads);
+    /// Loss for a single sample with its gradients *accumulated* into an
+    /// existing container, returning the loss. Workspace-backed models
+    /// override this to skip the per-sample gradient allocation; the
+    /// default delegates to [`Self::sample_grads`].
+    fn sample_grads_into(&self, window: &[f64], target: f64, grads: &mut Self::Grads) -> f64 {
+        let (loss, g) = self.sample_grads(window, target);
+        Self::accumulate(grads, &g);
+        loss
+    }
     /// `into += other`.
     fn accumulate(into: &mut Self::Grads, other: &Self::Grads);
     /// Scales gradients in place.
@@ -51,6 +60,9 @@ impl Trainable for crate::forecaster::LstmForecaster {
     }
     fn sample_grads(&self, window: &[f64], target: f64) -> (f64, Self::Grads) {
         crate::forecaster::LstmForecaster::sample_grads(self, window, target)
+    }
+    fn sample_grads_into(&self, window: &[f64], target: f64, grads: &mut Self::Grads) -> f64 {
+        crate::forecaster::LstmForecaster::sample_grads_into(self, window, target, grads)
     }
     fn accumulate(into: &mut Self::Grads, other: &Self::Grads) {
         into.accumulate(other);
@@ -82,6 +94,9 @@ impl Trainable for crate::mlp::MlpForecaster {
     }
     fn sample_grads(&self, window: &[f64], target: f64) -> (f64, Self::Grads) {
         crate::mlp::MlpForecaster::sample_grads(self, window, target)
+    }
+    fn sample_grads_into(&self, window: &[f64], target: f64, grads: &mut Self::Grads) -> f64 {
+        crate::mlp::MlpForecaster::sample_grads_into(self, window, target, grads)
     }
     fn accumulate(into: &mut Self::Grads, other: &Self::Grads) {
         into.accumulate(other);
@@ -271,6 +286,10 @@ impl Trainer {
         let telemetry_on = self.telemetry.is_enabled();
         // ld-lint: allow(determinism, "opt-in telemetry timer; timing is observed, never fed back into training")
         let fit_start = telemetry_on.then(std::time::Instant::now);
+        // Arm the kernel section timers (gate-matmul / bptt nanos) for the
+        // duration of this fit; snapshots are diffed at the end.
+        let _sections_guard = telemetry_on.then(crate::sections::activate);
+        let sections_before = telemetry_on.then(crate::sections::totals);
 
         for epoch in 0..self.opts.max_epochs {
             epochs_run += 1;
@@ -291,9 +310,9 @@ impl Trainer {
                         || (0.0f64, model.zero_grads()),
                         |(mut ls, mut acc), &idx| {
                             let s = &train[idx];
-                            let (l, g) = model.sample_grads(&s.window, s.target);
-                            ls += l;
-                            M::accumulate(&mut acc, &g);
+                            // Accumulate straight into the worker-local
+                            // batch gradients: no per-sample allocation.
+                            ls += model.sample_grads_into(&s.window, s.target, &mut acc);
                             (ls, acc)
                         },
                     )
@@ -399,6 +418,13 @@ impl Trainer {
         if let Some(start) = fit_start {
             let wall = start.elapsed().as_secs_f64();
             self.telemetry.observe_secs("trainer.fit", wall);
+            if let Some((gate0, bptt0)) = sections_before {
+                let (gate1, bptt1) = crate::sections::totals();
+                self.telemetry
+                    .observe_secs("nn.gate_matmul", gate1.saturating_sub(gate0) as f64 / 1e9);
+                self.telemetry
+                    .observe_secs("nn.bptt", bptt1.saturating_sub(bptt0) as f64 / 1e9);
+            }
             if diverged {
                 self.telemetry.incr("trainer.diverged_runs");
             }

@@ -1,0 +1,547 @@
+//! `ld-perfbench` — the reproducible perf-bench harness that seeds the
+//! repo's BENCH trajectory.
+//!
+//! Every named kernel is timed on two paths: the retained *reference*
+//! implementation ("before": allocating LSTM forward/backward, naive
+//! matmul, serial Gram build, serial CloudInsight pool sweep) and the
+//! optimized implementation ("after": workspace-reusing LSTM kernels,
+//! blocked matmul, row-parallel Gram, member-parallel council). Each run
+//! reports the median of `reps` timed repetitions taken after `warmup`
+//! discarded repetitions — medians because a shared CI box produces
+//! one-sided latency noise that a mean would absorb and a median rejects.
+//!
+//! Before anything is timed, every before/after pair is equivalence-checked
+//! (1e-9 relative for float paths, bitwise for the paths that guarantee it),
+//! so the harness can never publish a speedup between two computations that
+//! have silently drifted apart.
+//!
+//! Modes:
+//! - full (default): realistic shapes; writes `BENCH_perf.json` (stable
+//!   schema, `schema_version: 1`) into the working directory.
+//! - `--smoke`: tiny shapes; all equivalence asserts still run and the
+//!   JSON document is built and schema-checked, but nothing is written
+//!   unless `--out` is given. Wired into `scripts/ci.sh`.
+//!
+//! No external benchmark framework: the whole harness is the ~150 lines
+//! below, so its behavior is auditable and identical on every machine.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ld_api::Predictor;
+use ld_baselines::CloudInsight;
+use ld_bayesopt::{BayesianOptimizer, BoOptions, Dim, HyperOptimizer, ParamValue, SearchSpace};
+use ld_gp::gram;
+use ld_gp::{Kernel, KernelKind};
+use ld_linalg::Matrix;
+use ld_nn::optim::{Adam, AdamConfig};
+use ld_nn::reference::ReferenceLstmForecaster;
+use ld_nn::{ForecasterConfig, LstmForecaster, Sample, TrainOptions, Trainer};
+use serde::Value;
+
+/// Bump when the shape of `BENCH_perf.json` changes.
+const SCHEMA_VERSION: u64 = 1;
+
+/// Harness configuration resolved from the command line.
+struct Cfg {
+    smoke: bool,
+    warmup: usize,
+    reps: usize,
+    /// Output path; `None` means "do not write" (smoke default).
+    out: Option<String>,
+}
+
+/// One before/after measurement.
+struct KernelResult {
+    name: &'static str,
+    params: String,
+    before_median_secs: f64,
+    after_median_secs: f64,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.before_median_secs / self.after_median_secs.max(1e-12)
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".to_string(), Value::String(self.name.to_string())),
+            ("params".to_string(), Value::String(self.params.clone())),
+            (
+                "before_median_secs".to_string(),
+                Value::Float(self.before_median_secs),
+            ),
+            (
+                "after_median_secs".to_string(),
+                Value::Float(self.after_median_secs),
+            ),
+            ("speedup".to_string(), Value::Float(self.speedup())),
+        ])
+    }
+}
+
+/// Median wall-clock seconds of `reps` calls to `f`, after `warmup`
+/// discarded calls.
+fn median_secs(warmup: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Asserts `a` and `b` agree to 1e-9 relative (the repo-wide kernel
+/// equivalence gate).
+fn assert_close(what: &str, a: f64, b: f64) {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    assert!(
+        (a - b).abs() <= 1e-9 * scale,
+        "{what}: reference {a} vs optimized {b} differ beyond 1e-9 relative"
+    );
+}
+
+/// Deterministic bounded workload series (sine + weekly-ish residue).
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.5 + 0.4 * (i as f64 * 0.13).sin() + 0.01 * (i % 7) as f64)
+        .collect()
+}
+
+/// Deterministic dense matrix for the matmul sweep.
+fn dense(n: usize, phase: f64) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = ((i * n + j) as f64 * 0.017 + phase).sin();
+        }
+    }
+    m
+}
+
+fn bench_lstm_forward(cfg: &Cfg) -> KernelResult {
+    let (hist, hidden, layers) = if cfg.smoke { (6, 6, 1) } else { (8, 8, 1) };
+    let model = LstmForecaster::new(ForecasterConfig {
+        history_len: hist,
+        hidden_size: hidden,
+        num_layers: layers,
+        seed: 42,
+    });
+    let window = series(hist);
+    assert_close(
+        "lstm-forward",
+        model.predict_reference(&window),
+        model.predict(&window),
+    );
+    // Inner repeats amortize timer-read overhead on a microsecond kernel.
+    let inner = 16;
+    let before = median_secs(cfg.warmup, cfg.reps, || {
+        for _ in 0..inner {
+            black_box(model.predict_reference(black_box(&window)));
+        }
+    }) / inner as f64;
+    let after = median_secs(cfg.warmup, cfg.reps, || {
+        for _ in 0..inner {
+            black_box(model.predict(black_box(&window)));
+        }
+    }) / inner as f64;
+    KernelResult {
+        name: "lstm-forward",
+        params: format!("T={hist} H={hidden} L={layers}"),
+        before_median_secs: before,
+        after_median_secs: after,
+    }
+}
+
+fn bench_lstm_bptt(cfg: &Cfg) -> KernelResult {
+    let (hist, hidden, layers) = if cfg.smoke { (6, 6, 1) } else { (8, 8, 1) };
+    let model = LstmForecaster::new(ForecasterConfig {
+        history_len: hist,
+        hidden_size: hidden,
+        num_layers: layers,
+        seed: 43,
+    });
+    let window = series(hist);
+    let target = 0.62;
+    let (loss_ref, _) = model.sample_grads_reference(&window, target);
+    let mut grads = model.zero_grads();
+    let loss_new = model.sample_grads_into(&window, target, &mut grads);
+    assert_close("lstm-bptt", loss_ref, loss_new);
+    let inner = 8;
+    let before = median_secs(cfg.warmup, cfg.reps, || {
+        for _ in 0..inner {
+            black_box(model.sample_grads_reference(black_box(&window), target));
+        }
+    }) / inner as f64;
+    let after = median_secs(cfg.warmup, cfg.reps, || {
+        for _ in 0..inner {
+            black_box(model.sample_grads_into(black_box(&window), target, &mut grads));
+        }
+    }) / inner as f64;
+    KernelResult {
+        name: "lstm-bptt",
+        params: format!("T={hist} H={hidden} L={layers}"),
+        before_median_secs: before,
+        after_median_secs: after,
+    }
+}
+
+fn bench_train_epoch(cfg: &Cfg) -> KernelResult {
+    let (n, hist, hidden, epochs) = if cfg.smoke {
+        (80, 6, 6, 1)
+    } else {
+        (360, 8, 8, 3)
+    };
+    let data = series(n);
+    let samples: Vec<Sample> = (hist..n)
+        .map(|i| Sample::new(data[i - hist..i].to_vec(), data[i]))
+        .collect();
+    let trainer = Trainer::new(TrainOptions {
+        batch_size: 32,
+        max_epochs: epochs,
+        patience: 0, // fixed-length runs: identical epoch counts on both paths
+        shuffle_seed: 7,
+        ..TrainOptions::default()
+    });
+    let base = LstmForecaster::new(ForecasterConfig {
+        history_len: hist,
+        hidden_size: hidden,
+        num_layers: 1,
+        seed: 9,
+    });
+    let run_ref = || {
+        let mut m = ReferenceLstmForecaster(base.clone());
+        let mut opt = Adam::new(AdamConfig::default());
+        trainer.fit(&mut m, &mut opt, &samples, &[])
+    };
+    let run_fast = || {
+        let mut m = base.clone();
+        let mut opt = Adam::new(AdamConfig::default());
+        trainer.fit(&mut m, &mut opt, &samples, &[])
+    };
+    // Same seed, same schedule: per-epoch losses must agree to the
+    // documented 1e-7 relative tolerance (batch-gradient accumulation
+    // order differs between the paths, so bitwise equality is not owed).
+    let r_ref = run_ref();
+    let r_fast = run_fast();
+    assert_eq!(
+        r_ref.epochs_run, r_fast.epochs_run,
+        "train-epoch: epoch counts diverged"
+    );
+    for (e, (a, b)) in r_ref
+        .train_losses
+        .iter()
+        .zip(&r_fast.train_losses)
+        .enumerate()
+    {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!(
+            (a - b).abs() <= 1e-7 * scale,
+            "train-epoch: epoch {e} loss {a} vs {b} beyond 1e-7 relative"
+        );
+    }
+    // Full fits are expensive; cap repetitions independently of --reps.
+    let (w, r) = if cfg.smoke { (1, 2) } else { (1, 5) };
+    let before = median_secs(w, r, || {
+        black_box(run_ref());
+    }) / epochs as f64;
+    let after = median_secs(w, r, || {
+        black_box(run_fast());
+    }) / epochs as f64;
+    KernelResult {
+        name: "train-epoch",
+        params: format!(
+            "samples={} T={hist} H={hidden} L=1 batch=32 (per-epoch over {epochs}-epoch fit)",
+            samples.len()
+        ),
+        before_median_secs: before,
+        after_median_secs: after,
+    }
+}
+
+fn bench_gram_build(cfg: &Cfg) -> KernelResult {
+    let (n, d) = if cfg.smoke { (24, 3) } else { (256, 8) };
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| ((i * d + j) as f64 * 0.29).sin()).collect())
+        .collect();
+    let kernel = Kernel::new(KernelKind::Matern52, 1.2, 0.45);
+    // The parallel build must be bitwise identical to the serial
+    // reference, and the shipped dispatcher (which stays serial below
+    // the point threshold or on single-core hosts) must agree with both.
+    let k_serial = gram::build_serial(&kernel, &x, 1e-6);
+    let k_parallel = gram::build_parallel(&kernel, &x, 1e-6);
+    assert_eq!(
+        k_serial.max_abs_diff(&k_parallel),
+        0.0,
+        "gram-build: parallel build is not bitwise identical to serial"
+    );
+    assert_eq!(gram::build(&kernel, &x, 1e-6).max_abs_diff(&k_serial), 0.0);
+    let before = median_secs(cfg.warmup, cfg.reps, || {
+        black_box(gram::build_serial(&kernel, black_box(&x), 1e-6));
+    });
+    let after = median_secs(cfg.warmup, cfg.reps, || {
+        black_box(gram::build(&kernel, black_box(&x), 1e-6));
+    });
+    KernelResult {
+        name: "gram-build",
+        params: format!("n={n} d={d} matern52"),
+        before_median_secs: before,
+        after_median_secs: after,
+    }
+}
+
+fn bench_matmul(cfg: &Cfg, n: usize) -> KernelResult {
+    let a = dense(n, 0.1);
+    let b = dense(n, 0.7);
+    let r_naive = a.matmul_naive(&b).expect("square shapes");
+    let r_fast = a.matmul(&b).expect("square shapes");
+    // The panel-blocked kernel keeps the naive accumulation order, so the
+    // dispatcher must agree with the reference bitwise at every size.
+    assert_eq!(
+        r_naive.max_abs_diff(&r_fast),
+        0.0,
+        "matmul n={n}: dispatched result differs from naive"
+    );
+    let before = median_secs(cfg.warmup, cfg.reps, || {
+        black_box(black_box(&a).matmul_naive(black_box(&b)).expect("shapes"));
+    });
+    let after = median_secs(cfg.warmup, cfg.reps, || {
+        black_box(black_box(&a).matmul(black_box(&b)).expect("shapes"));
+    });
+    KernelResult {
+        name: match n {
+            32 => "matmul-n32",
+            64 => "matmul-n64",
+            128 => "matmul-n128",
+            256 => "matmul-n256",
+            _ => "matmul",
+        },
+        params: format!("{n}x{n} * {n}x{n}"),
+        before_median_secs: before,
+        after_median_secs: after,
+    }
+}
+
+fn bench_bo_iteration(cfg: &Cfg) -> KernelResult {
+    let (budget, init, pool) = if cfg.smoke { (8, 3, 16) } else { (24, 6, 48) };
+    let space = SearchSpace::new(vec![
+        Dim::float("a", -1.0, 1.0),
+        Dim::float("b", -1.0, 1.0),
+    ]);
+    let objective = |p: &[ParamValue]| {
+        let a = p[0].as_f64();
+        let b = p[1].as_f64();
+        (a - 0.3).powi(2) + (b + 0.2).powi(2) + 0.05 * (7.0 * a).sin()
+    };
+    let bo = BayesianOptimizer::new(BoOptions {
+        init_points: init,
+        candidate_pool: pool,
+        ..BoOptions::default()
+    });
+    let saved = gram::parallel_threshold();
+    // "Before" forces the serial Gram build inside every surrogate fit;
+    // "after" is the shipped dispatcher. At BO-scale trial counts both
+    // resolve to the serial path, so an honest ~1.0x is expected here —
+    // the entry exists to track surrogate-fit cost per iteration over time.
+    gram::set_parallel_threshold(usize::MAX);
+    let best_before = bo.optimize(&space, &objective, budget, 11).best().value;
+    gram::set_parallel_threshold(saved);
+    let best_after = bo.optimize(&space, &objective, budget, 11).best().value;
+    assert_eq!(
+        best_before.to_bits(),
+        best_after.to_bits(),
+        "bo-iteration: search trajectory changed with the Gram dispatch knob"
+    );
+    let (w, r) = if cfg.smoke { (1, 2) } else { (1, 5) };
+    gram::set_parallel_threshold(usize::MAX);
+    let before = median_secs(w, r, || {
+        black_box(bo.optimize(&space, &objective, budget, 11));
+    }) / budget as f64;
+    gram::set_parallel_threshold(saved);
+    let after = median_secs(w, r, || {
+        black_box(bo.optimize(&space, &objective, budget, 11));
+    }) / budget as f64;
+    KernelResult {
+        name: "bo-iteration",
+        params: format!("budget={budget} init={init} pool={pool} (per-iteration over full search)"),
+        before_median_secs: before,
+        after_median_secs: after,
+    }
+}
+
+fn bench_cloudinsight_window(cfg: &Cfg) -> KernelResult {
+    let (len, fit_to) = if cfg.smoke { (70, 50) } else { (220, 160) };
+    let data: Vec<f64> = (0..len)
+        .map(|i| 50.0 + 15.0 * ((i as f64) * 0.17).sin() + (i % 7) as f64)
+        .collect();
+    let run = |threshold: usize| -> Vec<f64> {
+        let mut ci = CloudInsight::new(5);
+        ci.parallel_threshold = threshold;
+        ci.fit(&data[..fit_to]);
+        (fit_to..len).map(|i| ci.predict(&data[..i])).collect()
+    };
+    let serial = run(usize::MAX);
+    let parallel = run(0);
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "cloudinsight-window: interval {i} diverged ({a} vs {b})"
+        );
+    }
+    let (w, r) = if cfg.smoke { (1, 2) } else { (1, 5) };
+    let before = median_secs(w, r, || {
+        black_box(run(usize::MAX));
+    });
+    // "After" is the shipped default threshold (16 < 21 members: parallel).
+    let after = median_secs(w, r, || {
+        black_box(run(16));
+    });
+    KernelResult {
+        name: "cloudinsight-window",
+        params: format!(
+            "21 members, fit {fit_to} + {} interval walk-forward",
+            len - fit_to
+        ),
+        before_median_secs: before,
+        after_median_secs: after,
+    }
+}
+
+/// Assembles the stable `BENCH_perf.json` document.
+fn to_document(cfg: &Cfg, results: &[KernelResult]) -> Value {
+    Value::Object(vec![
+        ("schema_version".to_string(), Value::Uint(SCHEMA_VERSION)),
+        (
+            "mode".to_string(),
+            Value::String(if cfg.smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("warmup".to_string(), Value::Uint(cfg.warmup as u64)),
+        ("reps".to_string(), Value::Uint(cfg.reps as u64)),
+        (
+            "kernels".to_string(),
+            Value::Array(results.iter().map(KernelResult::to_value).collect()),
+        ),
+    ])
+}
+
+/// Round-trips the document through the JSON layer and checks the schema
+/// invariants every downstream BENCH consumer relies on.
+fn validate_schema(text: &str, expected_kernels: usize) {
+    let doc: Value = serde_json::from_str(text).expect("BENCH document must re-parse");
+    let version = doc
+        .field("schema_version")
+        .ok()
+        .and_then(Value::as_u64)
+        .expect("schema_version");
+    assert_eq!(version, SCHEMA_VERSION, "schema_version drifted");
+    for key in ["mode", "warmup", "reps"] {
+        doc.field(key).expect("top-level field");
+    }
+    let Ok(Value::Array(kernels)) = doc.field("kernels") else {
+        panic!("kernels must be an array");
+    };
+    assert_eq!(kernels.len(), expected_kernels, "kernel entry count");
+    for k in kernels {
+        for key in [
+            "name",
+            "params",
+            "before_median_secs",
+            "after_median_secs",
+            "speedup",
+        ] {
+            k.field(key).expect("kernel entry field");
+        }
+        let s = k.field("speedup").ok().and_then(Value::as_f64).expect("speedup");
+        assert!(s.is_finite() && s > 0.0, "speedup must be positive finite");
+    }
+}
+
+fn parse_args() -> Cfg {
+    let mut smoke = false;
+    let mut warmup: Option<usize> = None;
+    let mut reps: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--warmup" => warmup = Some(take("--warmup").parse().expect("--warmup: integer")),
+            "--reps" => reps = Some(take("--reps").parse().expect("--reps: integer")),
+            "--out" => out = Some(take("--out")),
+            "--help" | "-h" => {
+                println!(
+                    "ld-perfbench [--smoke] [--warmup N] [--reps N] [--out PATH]\n\
+                     full mode writes BENCH_perf.json; --smoke asserts equivalence on tiny shapes"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (default_warmup, default_reps) = if smoke { (1, 3) } else { (2, 9) };
+    Cfg {
+        smoke,
+        warmup: warmup.unwrap_or(default_warmup),
+        reps: reps.unwrap_or(default_reps),
+        // Smoke stays read-only unless an output path is asked for.
+        out: out.or_else(|| (!smoke).then(|| "BENCH_perf.json".to_string())),
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let mut results = vec![
+        bench_lstm_forward(&cfg),
+        bench_lstm_bptt(&cfg),
+        bench_train_epoch(&cfg),
+        bench_gram_build(&cfg),
+    ];
+    let matmul_sizes: &[usize] = if cfg.smoke { &[24] } else { &[32, 64, 128, 256] };
+    for &n in matmul_sizes {
+        results.push(bench_matmul(&cfg, n));
+    }
+    results.push(bench_bo_iteration(&cfg));
+    results.push(bench_cloudinsight_window(&cfg));
+
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}",
+        "kernel", "before (ms)", "after (ms)", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<22} {:>14.4} {:>14.4} {:>8.2}x",
+            r.name,
+            r.before_median_secs * 1e3,
+            r.after_median_secs * 1e3,
+            r.speedup()
+        );
+    }
+
+    let doc = to_document(&cfg, &results);
+    let text = serde_json::to_string_pretty(&doc).expect("BENCH document serializes");
+    validate_schema(&text, results.len());
+    match &cfg.out {
+        Some(path) => {
+            std::fs::write(path, text + "\n").expect("write BENCH document");
+            println!("wrote {path}");
+        }
+        None => println!("smoke mode: equivalence + schema checks passed, nothing written"),
+    }
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate for the workspace: release build, the tier-1 test suite, the
-# ld-lint static-analysis gate (report left in target/lint-report.json), and
-# a warning-free clippy pass. Run from the repository root:
+# ld-perfbench smoke run (kernel equivalence asserts + bench schema check),
+# the ld-lint static-analysis gate (report left in target/lint-report.json),
+# and a warning-free clippy pass. Run from the repository root:
 #
 #     ./scripts/ci.sh
 #
@@ -20,6 +21,9 @@ cargo test -q
 echo "=== fault-injection & robustness suites ==="
 cargo test -q -p ld-faultinject
 cargo test -q --test fault_injection --test adversarial_inputs
+
+echo "=== ld-perfbench --smoke (kernel equivalence + bench schema) ==="
+cargo run -q --release -p ld-perfbench -- --smoke
 
 echo "=== ld-lint --deny (static analysis gate) ==="
 mkdir -p target

@@ -1,0 +1,257 @@
+//! Cross-crate equivalence gates for the allocation-free compute kernels.
+//!
+//! Every optimized hot path in the workspace retains its pre-change
+//! reference implementation; this suite pins the two together from outside
+//! the owning crates, at the same tolerances `ld-perfbench` asserts before
+//! it times anything:
+//!
+//! - LSTM forward and BPTT: fast workspace kernels vs the allocating
+//!   reference paths, 1e-9 relative.
+//! - BPTT gradients vs central finite differences (the ground truth both
+//!   implementations must agree with).
+//! - Panel-blocked matmul vs the naive streaming kernel: **bitwise**.
+//! - Row-parallel Gram build vs the serial build: **bitwise**.
+//! - A full `Trainer::fit` run through the fast path vs the reference
+//!   trainer semantics: identical epoch count, losses within 1e-7 relative.
+
+use ld_gp::gram;
+use ld_gp::{Kernel, KernelKind};
+use ld_linalg::Matrix;
+use ld_nn::forecaster::{ForecasterConfig, ForecasterGrads, LstmForecaster};
+use ld_nn::reference::ReferenceLstmForecaster;
+use ld_nn::{make_windows, Adam, AdamConfig, TrainOptions, Trainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_rel(what: &str, a: f64, b: f64, tol: f64) {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    assert!(
+        (a - b).abs() <= tol * scale,
+        "{what}: {a} vs {b} (tol {tol} relative)"
+    );
+}
+
+/// A scaled-JAR-like window in `[0, 1]`.
+fn window(len: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+fn grad_matrices(g: &ForecasterGrads) -> Vec<&Matrix> {
+    let mut out = Vec::new();
+    for layer in &g.lstm {
+        out.push(&layer.dw);
+        out.push(&layer.du);
+        out.push(&layer.db);
+    }
+    out.push(&g.head.dw);
+    out.push(&g.head.db);
+    out
+}
+
+#[test]
+fn lstm_forward_fast_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0xE0_01);
+    for &(n, s, layers) in &[(4usize, 3usize, 1usize), (12, 8, 2), (30, 16, 3)] {
+        let model = LstmForecaster::new(ForecasterConfig {
+            history_len: n,
+            hidden_size: s,
+            num_layers: layers,
+            seed: 7,
+        });
+        for _ in 0..8 {
+            let w = window(n, &mut rng);
+            assert_rel(
+                &format!("predict n={n} s={s} L={layers}"),
+                model.predict(&w),
+                model.predict_reference(&w),
+                1e-9,
+            );
+        }
+    }
+}
+
+#[test]
+fn lstm_bptt_fast_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0xE0_02);
+    for &(n, s, layers) in &[(5usize, 4usize, 1usize), (16, 10, 2)] {
+        let model = LstmForecaster::new(ForecasterConfig {
+            history_len: n,
+            hidden_size: s,
+            num_layers: layers,
+            seed: 11,
+        });
+        for case in 0..6 {
+            let w = window(n, &mut rng);
+            let target = rng.gen_range(0.0..1.0);
+            let (loss_fast, grads_fast) = model.sample_grads(&w, target);
+            let (loss_ref, grads_ref) = model.sample_grads_reference(&w, target);
+            assert_rel(&format!("bptt loss case {case}"), loss_fast, loss_ref, 1e-9);
+            for (i, (f, r)) in grad_matrices(&grads_fast)
+                .iter()
+                .zip(grad_matrices(&grads_ref))
+                .enumerate()
+            {
+                let scale = r.frobenius_norm().max(1.0);
+                assert!(
+                    f.max_abs_diff(r) <= 1e-9 * scale,
+                    "bptt grads case {case} tensor {i}: diff {}",
+                    f.max_abs_diff(r)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lstm_grads_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(0xE0_03);
+    let config = ForecasterConfig {
+        history_len: 6,
+        hidden_size: 5,
+        num_layers: 2,
+        seed: 13,
+    };
+    let model = LstmForecaster::new(config);
+    let w = window(6, &mut rng);
+    let target = 0.4;
+    let (_, grads) = model.sample_grads(&w, target);
+
+    // Central difference of the sample loss with respect to a spread of
+    // parameter entries in every tensor.
+    let loss_of = |m: &LstmForecaster| {
+        let d = m.predict(&w) - target;
+        d * d
+    };
+    let perturbed = |slot: usize, entry: usize, eps: f64| {
+        let mut m = model.clone();
+        let dummy = m.zero_grads();
+        let mut current = 0usize;
+        m.visit_params(&dummy, &mut |p, _| {
+            if current == slot {
+                p.as_mut_slice()[entry] += eps;
+            }
+            current += 1;
+        });
+        m
+    };
+
+    let mut slots = 0usize;
+    model
+        .clone()
+        .visit_params(&grads, &mut |_, _| slots += 1);
+    let grad_mats = grad_matrices(&grads);
+    assert_eq!(slots, grad_mats.len(), "visit_params order drifted");
+
+    const EPS: f64 = 1e-5;
+    for (slot, g) in grad_mats.iter().enumerate() {
+        let len = g.as_slice().len();
+        for entry in [0, len / 2, len - 1] {
+            let up = loss_of(&perturbed(slot, entry, EPS));
+            let down = loss_of(&perturbed(slot, entry, -EPS));
+            let fd = (up - down) / (2.0 * EPS);
+            let analytic = g.as_slice()[entry];
+            assert!(
+                (fd - analytic).abs() <= 1e-5 * fd.abs().max(analytic.abs()).max(1e-3),
+                "slot {slot} entry {entry}: FD {fd} vs analytic {analytic}"
+            );
+        }
+    }
+}
+
+#[test]
+fn blocked_matmul_matches_naive_bitwise() {
+    let mut rng = StdRng::seed_from_u64(0xE0_04);
+    for &(m, k, n) in &[(2usize, 3usize, 4usize), (33, 65, 17), (80, 120, 96)] {
+        let a = Matrix::random_uniform(m, k, 1.0, &mut rng);
+        let b = Matrix::random_uniform(k, n, 1.0, &mut rng);
+        let naive = a.matmul_naive(&b).unwrap();
+        assert_eq!(
+            a.matmul_blocked(&b).unwrap().max_abs_diff(&naive),
+            0.0,
+            "({m}x{k})*({k}x{n}): blocked differs from naive"
+        );
+        assert_eq!(a.matmul(&b).unwrap().max_abs_diff(&naive), 0.0);
+    }
+}
+
+#[test]
+fn parallel_gram_matches_serial_bitwise() {
+    let mut rng = StdRng::seed_from_u64(0xE0_05);
+    let x: Vec<Vec<f64>> = (0..60)
+        .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let kernel = Kernel::new(KernelKind::Matern52, 1.1, 0.5);
+    let serial = gram::build_serial(&kernel, &x, 1e-6);
+    let parallel = gram::build_parallel(&kernel, &x, 1e-6);
+    assert_eq!(serial.max_abs_diff(&parallel), 0.0);
+    // The shipped dispatcher agrees with both, wherever it routes.
+    assert_eq!(gram::build(&kernel, &x, 1e-6).max_abs_diff(&serial), 0.0);
+}
+
+#[test]
+fn train_report_fast_matches_reference_trainer() {
+    // Same seed => bit-identical initial weights; the fast trainer path
+    // (workspace BPTT, accumulate-in-place batches) must then reproduce the
+    // reference trainer's loss trajectory within the documented 1e-7
+    // relative tolerance.
+    let series: Vec<f64> = (0..140)
+        .map(|i| 0.5 + 0.4 * (i as f64 * 0.13).sin() + 0.01 * (i % 7) as f64)
+        .collect();
+    let samples = make_windows(&series, 6);
+    let (train, val) = samples.split_at(samples.len() - 20);
+
+    let base = LstmForecaster::new(ForecasterConfig {
+        history_len: 6,
+        hidden_size: 6,
+        num_layers: 1,
+        seed: 19,
+    });
+    let trainer = Trainer::new(TrainOptions {
+        batch_size: 16,
+        max_epochs: 4,
+        patience: 0,
+        shuffle_seed: 3,
+        ..TrainOptions::default()
+    });
+
+    let mut fast = base.clone();
+    let fast_report = trainer.fit(
+        &mut fast,
+        &mut Adam::new(AdamConfig::default()),
+        train,
+        val,
+    );
+    let mut reference = ReferenceLstmForecaster(base.clone());
+    let ref_report = trainer.fit(
+        &mut reference,
+        &mut Adam::new(AdamConfig::default()),
+        train,
+        val,
+    );
+
+    assert_eq!(fast_report.epochs_run, ref_report.epochs_run);
+    for (e, (f, r)) in fast_report
+        .train_losses
+        .iter()
+        .zip(&ref_report.train_losses)
+        .enumerate()
+    {
+        assert_rel(&format!("train loss epoch {e}"), *f, *r, 1e-7);
+    }
+    for (e, (f, r)) in fast_report
+        .val_losses
+        .iter()
+        .zip(&ref_report.val_losses)
+        .enumerate()
+    {
+        assert_rel(&format!("val loss epoch {e}"), *f, *r, 1e-7);
+    }
+    // The trained models agree on fresh predictions too.
+    let probe = &series[series.len() - 6..];
+    assert_rel(
+        "post-fit prediction",
+        fast.predict(probe),
+        reference.0.predict_reference(probe),
+        1e-7,
+    );
+}

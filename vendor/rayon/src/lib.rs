@@ -27,9 +27,19 @@ pub const CHUNKS: usize = 8;
 
 /// True when scoped threads are worth spawning at all.
 fn threads_available() -> bool {
+    current_num_threads() > 1
+}
+
+/// Number of worker threads this shim will actually use: the host's
+/// available parallelism capped at [`CHUNKS`] (mirrors real rayon's
+/// `current_num_threads`). Callers can consult this to skip parallel
+/// *restructuring* (extra passes, buffer splits) that only pays for
+/// itself when more than one worker exists — the shim itself already
+/// runs chunks inline when this returns 1.
+pub fn current_num_threads() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get() > 1)
-        .unwrap_or(false)
+        .map(|n| n.get().min(CHUNKS))
+        .unwrap_or(1)
 }
 
 /// Balanced contiguous chunk boundaries: `len` split into at most
