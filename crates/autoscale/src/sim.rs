@@ -76,6 +76,26 @@ pub fn simulate_with_telemetry(
     config: &SimConfig,
     telemetry: &ld_telemetry::Telemetry,
 ) -> AutoscaleReport {
+    simulate_traced(
+        predictor,
+        series,
+        config,
+        telemetry,
+        &ld_telemetry::Tracer::disabled(),
+    )
+}
+
+/// [`simulate_with_telemetry`] with span tracing: the run nests an
+/// `autoscale.simulate` root over a `fit` span and one `interval#i` span
+/// per simulated interval. Interval spans are keyed by the interval index,
+/// so the traced tree is deterministic for a given series and config.
+pub fn simulate_traced(
+    predictor: &mut dyn Predictor,
+    series: &Series,
+    config: &SimConfig,
+    telemetry: &ld_telemetry::Telemetry,
+    tracer: &ld_telemetry::Tracer,
+) -> AutoscaleReport {
     assert!(
         config.test_start > 0 && config.test_start < series.len(),
         "test_start {} out of range for {} intervals",
@@ -83,10 +103,16 @@ pub fn simulate_with_telemetry(
         series.len()
     );
     let _sim_span = telemetry.span("autoscale.simulate");
-    predictor.fit(&series.values[..config.test_start]);
+    let sim_guard = tracer.span("autoscale.simulate");
+    let sim_tracer = sim_guard.tracer();
+    {
+        let _fit_guard = sim_tracer.span("fit");
+        predictor.fit(&series.values[..config.test_start]);
+    }
 
     let mut intervals = Vec::with_capacity(series.len() - config.test_start);
     for i in config.test_start..series.len() {
+        let _interval_guard = sim_tracer.span_at("interval", i as u64);
         // Step 1 (at interval i-1): predict and provision per policy.
         let raw = predictor.predict(&series.values[..i]);
         let predicted = config.policy.vms_for(raw);

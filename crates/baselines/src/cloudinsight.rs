@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 
 use ld_api::Predictor;
+use ld_telemetry::Tracer;
 use rayon::prelude::*;
 
 use crate::arima::{Ar, Arima, Arma};
@@ -80,6 +81,10 @@ pub struct CloudInsight {
     pending: Option<(usize, Vec<f64>)>,
     active: usize,
     intervals_since_reselect: usize,
+    /// Span tracer for the member sweeps. Disabled by default; spans are
+    /// keyed by member/interval index, so traced output is deterministic
+    /// even under the member-parallel sweep.
+    tracer: Tracer,
 }
 
 impl CloudInsight {
@@ -102,7 +107,14 @@ impl CloudInsight {
             pending: None,
             active: 0,
             intervals_since_reselect: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Returns the council with span tracing enabled (or replaced).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Number of members.
@@ -186,7 +198,12 @@ impl Predictor for CloudInsight {
         // identical either way.
         let warm = self.eval_window.min(history.len().saturating_sub(2));
         let warm_start = history.len() - warm;
-        let warm_member = |member: &mut Box<dyn Predictor>, errs: &mut VecDeque<f64>| {
+        let fit_guard = self.tracer.span("cloudinsight.fit");
+        let fit_tracer = fit_guard.tracer();
+        let warm_member = |m: usize, member: &mut Box<dyn Predictor>, errs: &mut VecDeque<f64>| {
+            // Member spans are keyed by pool index, not worker identity, so
+            // the traced tree is identical whichever sweep mode runs.
+            let _member_guard = fit_tracer.span_at("member", m as u64);
             member.fit(history);
             for i in warm_start..history.len() {
                 let p = member.predict(&history[..i]);
@@ -195,15 +212,25 @@ impl Predictor for CloudInsight {
             }
         };
         if self.members.len() >= self.parallel_threshold {
-            let work: Vec<(&mut Box<dyn Predictor>, &mut VecDeque<f64>)> =
-                self.members.iter_mut().zip(self.errors.iter_mut()).collect();
+            let work: Vec<_> = self
+                .members
+                .iter_mut()
+                .zip(self.errors.iter_mut())
+                .enumerate()
+                .collect();
             work.into_par_iter()
-                .for_each(|(member, errs)| warm_member(member, errs));
+                .for_each(|(m, (member, errs))| warm_member(m, member, errs));
         } else {
-            for (member, errs) in self.members.iter_mut().zip(self.errors.iter_mut()) {
-                warm_member(member, errs);
+            for (m, (member, errs)) in self
+                .members
+                .iter_mut()
+                .zip(self.errors.iter_mut())
+                .enumerate()
+            {
+                warm_member(m, member, errs);
             }
         }
+        drop(fit_guard);
         self.intervals_since_reselect = self.reselect_every; // force initial pick
         self.maybe_reselect();
     }
@@ -216,6 +243,9 @@ impl Predictor for CloudInsight {
         // each worker owns one member and its output slot, so predictions
         // land in member order regardless of scheduling — bitwise identical
         // to the serial sweep.
+        // One span per interval, keyed by history length (the interval
+        // index), covering the whole member sweep.
+        let _sweep_guard = self.tracer.span_at("cloudinsight.predict", history.len() as u64);
         let sanitize = |p: f64| if p.is_finite() { p } else { 0.0 };
         let mut preds = vec![0.0; self.members.len()];
         if self.members.len() >= self.parallel_threshold {

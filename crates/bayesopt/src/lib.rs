@@ -26,7 +26,7 @@ pub mod space;
 
 pub use acquisition::Acquisition;
 pub use optimizer::{
-    BayesianOptimizer, BoOptions, GridSearch, HyperOptimizer, OptResult, RandomSearch, Trial,
-    FAILURE_PENALTY,
+    BayesianOptimizer, BoOptions, GridSearch, HyperOptimizer, OptResult, RandomSearch,
+    TracedObjective, Trial, FAILURE_PENALTY,
 };
 pub use space::{Dim, ParamValue, SearchSpace};

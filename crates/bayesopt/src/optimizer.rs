@@ -10,6 +10,7 @@
 //! each evaluation is an independent LSTM training run.
 
 use ld_gp::fit::{fit_auto, FitOptions};
+use ld_telemetry::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -45,6 +46,20 @@ pub struct Trial {
 /// non-finite value or a penalty themselves.
 fn eval_isolated(objective: Objective<'_>, params: &[ParamValue]) -> (f64, bool) {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| objective(params))) {
+        Ok(v) if v.is_finite() => (v, false),
+        _ => (FAILURE_PENALTY, true),
+    }
+}
+
+/// [`eval_isolated`] for tracer-aware objectives: the supplied tracer is
+/// scoped to this trial's span, so spans opened inside the objective
+/// (training epochs, batches) nest under the trial.
+fn eval_isolated_traced(
+    objective: TracedObjective<'_>,
+    params: &[ParamValue],
+    tracer: &Tracer,
+) -> (f64, bool) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| objective(params, tracer))) {
         Ok(v) if v.is_finite() => (v, false),
         _ => (FAILURE_PENALTY, true),
     }
@@ -105,6 +120,12 @@ impl OptResult {
 /// A black-box objective to minimize. Evaluations may run concurrently.
 pub type Objective<'a> = &'a (dyn Fn(&[ParamValue]) -> f64 + Sync);
 
+/// A black-box objective that also receives a [`Tracer`] scoped to its
+/// trial, so spans opened inside the evaluation nest under the search tree.
+/// The tracer is disabled unless the optimizer was given one via
+/// [`BayesianOptimizer::with_tracer`].
+pub type TracedObjective<'a> = &'a (dyn Fn(&[ParamValue], &Tracer) -> f64 + Sync);
+
 /// Common interface over the three search strategies.
 pub trait HyperOptimizer {
     /// Runs at most `budget` objective evaluations and returns the history.
@@ -153,6 +174,7 @@ impl Default for BoOptions {
 pub struct BayesianOptimizer {
     opts: BoOptions,
     telemetry: ld_telemetry::Telemetry,
+    tracer: Tracer,
 }
 
 impl BayesianOptimizer {
@@ -163,6 +185,7 @@ impl BayesianOptimizer {
         BayesianOptimizer {
             opts,
             telemetry: ld_telemetry::Telemetry::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -172,6 +195,16 @@ impl BayesianOptimizer {
     /// `"bayesopt.surrogate_fit"` timer.
     pub fn with_telemetry(mut self, telemetry: ld_telemetry::Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a span tracer (usually already scoped to the enclosing
+    /// search). Initial-design trials open `init#i` spans, surrogate
+    /// iterations `iter#k` spans with `surrogate_fit` / `propose` /
+    /// `evaluate` children; the trial-scoped tracer is handed to
+    /// [`TracedObjective`] evaluations so candidate training nests below.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -202,28 +235,38 @@ impl BayesianOptimizer {
     }
 
     /// Fits the GP surrogate under the `bayesopt.surrogate_fit` timer and,
-    /// when telemetry is enabled, arms the `ld-gp` section counters so the
-    /// Gram-construction share of the fit lands in the `gp.gram_build`
-    /// histogram. Surrogate failures are counted here; the caller degrades
-    /// to random sampling on `None` instead of aborting the search.
+    /// when telemetry or tracing is enabled, arms the `ld-gp` section
+    /// counters so the Gram-construction and Cholesky shares of the fit
+    /// land in the `gp.gram_build` / `gp.cholesky` timers and as
+    /// `gram_build` / `cholesky` child spans under `surrogate_fit`
+    /// (approximate attribution: the counters are process-global, so
+    /// concurrent armed fits interleave). Surrogate failures are counted
+    /// here; the caller degrades to random sampling on `None` instead of
+    /// aborting the search.
     fn timed_surrogate_fit(
         &self,
+        tracer: &Tracer,
         xs: &[Vec<f64>],
         ys: &[f64],
         opts: FitOptions,
     ) -> Option<ld_gp::GpRegressor> {
-        let armed = self
-            .telemetry
-            .is_enabled()
+        let armed = (self.telemetry.is_enabled() || tracer.is_enabled())
             .then(|| (ld_gp::sections::activate(), ld_gp::sections::totals()));
+        let fit_span = tracer.span("surrogate_fit");
         let fitted = self
             .telemetry
             .time("bayesopt.surrogate_fit", || fit_auto(xs, ys, opts).ok());
-        if let Some((_guard, gram0)) = armed {
-            let delta = ld_gp::sections::totals().saturating_sub(gram0);
-            self.telemetry
-                .observe_secs("gp.gram_build", delta as f64 / 1e9);
+        if let Some((_guard, (gram0, chol0))) = armed {
+            let (gram1, chol1) = ld_gp::sections::totals();
+            let gram = gram1.saturating_sub(gram0);
+            let chol = chol1.saturating_sub(chol0);
+            self.telemetry.observe_secs("gp.gram_build", gram as f64 / 1e9);
+            self.telemetry.observe_secs("gp.cholesky", chol as f64 / 1e9);
+            let inside = fit_span.tracer();
+            inside.record_span("gram_build", 0, gram, chol);
+            inside.record_span("cholesky", 0, chol, 0);
         }
+        drop(fit_span);
         if fitted.is_none() {
             self.telemetry.incr("bayesopt.surrogate_failures");
         }
@@ -265,6 +308,23 @@ impl HyperOptimizer for BayesianOptimizer {
         budget: usize,
         seed: u64,
     ) -> OptResult {
+        self.optimize_traced(space, &|p, _| objective(p), budget, seed)
+    }
+}
+
+impl BayesianOptimizer {
+    /// [`HyperOptimizer::optimize`] with a tracer-aware objective: each
+    /// trial's evaluation receives a [`Tracer`] scoped to its `init#i` /
+    /// `iter#k/evaluate` span, so training spans opened inside the
+    /// objective nest under the search tree. Identical search behavior —
+    /// the untraced trait method delegates here with an ignoring wrapper.
+    pub fn optimize_traced(
+        &self,
+        space: &SearchSpace,
+        objective: TracedObjective<'_>,
+        budget: usize,
+        seed: u64,
+    ) -> OptResult {
         assert!(budget >= 1, "budget must be >= 1");
         let _opt_span = self.telemetry.span("bayesopt.optimize");
         let mut rng = StdRng::seed_from_u64(seed);
@@ -274,13 +334,19 @@ impl HyperOptimizer for BayesianOptimizer {
         // ld-lint: allow(determinism, "opt-in deadline budget: bounds how many trials run, never what a trial computes")
         let search_start = self.opts.deadline_secs.map(|_| std::time::Instant::now());
 
-        // Initial random design, evaluated in parallel.
+        // Initial random design, evaluated in parallel. Span indices come
+        // from the design position, not worker order, so the span tree is
+        // deterministic under any rayon schedule.
         let init_units: Vec<Vec<f64>> = (0..init_n).map(|_| space.sample_unit(&mut rng)).collect();
         let mut trials: Vec<Trial> = init_units
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
             .into_par_iter()
-            .map(|unit| {
+            .map(|(i, unit)| {
                 let params = space.decode(&unit);
-                let (value, failed) = eval_isolated(objective, &params);
+                let guard = self.tracer.span_at("init", i as u64);
+                let (value, failed) = eval_isolated_traced(objective, &params, &guard.tracer());
                 Trial {
                     params,
                     unit,
@@ -303,10 +369,14 @@ impl HyperOptimizer for BayesianOptimizer {
         let mut seen: std::collections::HashSet<String> =
             trials.iter().map(|t| fingerprint(&t.params)).collect();
 
+        let mut iter_no = 0u64;
         while trials.len() < budget {
             if self.deadline_hit(search_start) {
                 break;
             }
+            let iter_guard = self.tracer.span_at("iter", iter_no);
+            let iter_tracer = iter_guard.tracer();
+            iter_no += 1;
             // Fit the surrogate on everything seen so far. Degenerate fits
             // (e.g. all values identical) fall back to random sampling.
             let xs: Vec<Vec<f64>> = trials.iter().map(|t| t.unit.clone()).collect();
@@ -316,6 +386,7 @@ impl HyperOptimizer for BayesianOptimizer {
                 // Surrogate recovery on `None`: the next proposal degrades
                 // to a random unseen point instead of aborting the search.
                 self.timed_surrogate_fit(
+                    &iter_tracer,
                     &xs,
                     &ys,
                     FitOptions {
@@ -328,6 +399,7 @@ impl HyperOptimizer for BayesianOptimizer {
                 None
             };
 
+            let propose_guard = iter_tracer.span("propose");
             let f_best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
             // NaN-aware ordering: a hand-fed NaN observation must not crash
             // incumbent selection (it sorts last under `total_cmp`).
@@ -391,9 +463,13 @@ impl HyperOptimizer for BayesianOptimizer {
                 }
             };
 
+            drop(propose_guard);
+
             let params = space.decode(&next_unit);
             seen.insert(fingerprint(&params));
-            let (value, failed) = eval_isolated(objective, &params);
+            let eval_guard = iter_tracer.span("evaluate");
+            let (value, failed) = eval_isolated_traced(objective, &params, &eval_guard.tracer());
+            drop(eval_guard);
             trials.push(Trial {
                 params,
                 unit: next_unit,
@@ -435,6 +511,20 @@ impl BayesianOptimizer {
         seed: u64,
         q: usize,
     ) -> OptResult {
+        self.optimize_batched_traced(space, &|p, _| objective(p), budget, seed, q)
+    }
+
+    /// [`BayesianOptimizer::optimize_batched`] with a tracer-aware
+    /// objective; rounds open `round#r` spans with `surrogate_fit` and
+    /// per-candidate `evaluate#k` children.
+    pub fn optimize_batched_traced(
+        &self,
+        space: &SearchSpace,
+        objective: TracedObjective<'_>,
+        budget: usize,
+        seed: u64,
+        q: usize,
+    ) -> OptResult {
         assert!(budget >= 1 && q >= 1, "budget and q must be >= 1");
         let _opt_span = self.telemetry.span("bayesopt.optimize_batched");
         let mut rng = StdRng::seed_from_u64(seed);
@@ -443,10 +533,14 @@ impl BayesianOptimizer {
         let search_start = self.opts.deadline_secs.map(|_| std::time::Instant::now());
         let init_units: Vec<Vec<f64>> = (0..init_n).map(|_| space.sample_unit(&mut rng)).collect();
         let mut trials: Vec<Trial> = init_units
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
             .into_par_iter()
-            .map(|unit| {
+            .map(|(i, unit)| {
                 let params = space.decode(&unit);
-                let (value, failed) = eval_isolated(objective, &params);
+                let guard = self.tracer.span_at("init", i as u64);
+                let (value, failed) = eval_isolated_traced(objective, &params, &guard.tracer());
                 Trial {
                     params,
                     unit,
@@ -465,10 +559,14 @@ impl BayesianOptimizer {
         let mut seen: std::collections::HashSet<String> =
             trials.iter().map(|t| fingerprint(&t.params)).collect();
 
+        let mut round_no = 0u64;
         while trials.len() < budget {
             if self.deadline_hit(search_start) {
                 break;
             }
+            let round_guard = self.tracer.span_at("round", round_no);
+            let round_tracer = round_guard.tracer();
+            round_no += 1;
             let round = q.min(budget - trials.len());
             // Observations plus constant-liar pseudo-observations.
             let mut xs: Vec<Vec<f64>> = trials.iter().map(|t| t.unit.clone()).collect();
@@ -479,6 +577,7 @@ impl BayesianOptimizer {
             for _ in 0..round {
                 let gp = if ys.iter().all(|v| v.is_finite()) {
                     self.timed_surrogate_fit(
+                        &round_tracer,
                         &xs,
                         &ys,
                         FitOptions {
@@ -518,12 +617,18 @@ impl BayesianOptimizer {
                 batch.push(next);
             }
 
-            // Evaluate the whole batch concurrently.
+            // Evaluate the whole batch concurrently. Span indices are the
+            // batch positions, deterministic under any rayon schedule.
             let evaluated: Vec<Trial> = batch
+                .into_iter()
+                .enumerate()
+                .collect::<Vec<_>>()
                 .into_par_iter()
-                .map(|unit| {
+                .map(|(k, unit)| {
                     let params = space.decode(&unit);
-                    let (value, failed) = eval_isolated(objective, &params);
+                    let guard = round_tracer.span_at("evaluate", k as u64);
+                    let (value, failed) =
+                        eval_isolated_traced(objective, &params, &guard.tracer());
                     Trial {
                         params,
                         unit,

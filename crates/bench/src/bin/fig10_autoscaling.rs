@@ -7,11 +7,13 @@
 //! (CloudScale was dropped by the paper for cost parity with Wood.)
 
 use ld_api::{Partition, Predictor, Series};
-use ld_autoscale::{simulate, simulate_with_telemetry, SimConfig};
+use ld_autoscale::{simulate_traced, SimConfig};
 use ld_bench::render::print_table;
-use ld_bench::runner::baseline_lineup;
+use ld_bench::runner::traced_baseline_lineup;
 use ld_bench::scale::ExperimentScale;
-use ld_bench::telemetry_env::{dump_telemetry, faults_from_env, telemetry_from_env};
+use ld_bench::telemetry_env::{
+    dump_manifest, dump_telemetry, dump_trace, faults_from_env, telemetry_from_env, trace_from_env,
+};
 use ld_traces::{TraceConfig, WorkloadKind};
 use loaddynamics::LoadDynamics;
 
@@ -19,6 +21,7 @@ fn main() {
     let scale = ExperimentScale::from_env();
     faults_from_env();
     let (telemetry, telemetry_out) = telemetry_from_env();
+    let (tracer, trace_out) = trace_from_env();
     println!("=== Fig. 10: auto-scaling with different prediction techniques (Azure, 60-min) ===");
     println!("(scale: {scale:?})\n");
 
@@ -44,10 +47,15 @@ fn main() {
     // Telemetry (when LD_TELEMETRY is set) covers both the optimization and
     // the per-interval scaling decisions of the LoadDynamics run.
     eprintln!("[fig10] optimizing LoadDynamics ...");
-    let framework = LoadDynamics::new(scale.framework_config(0).with_telemetry(telemetry.clone()));
+    let framework = LoadDynamics::new(
+        scale
+            .framework_config(0)
+            .with_telemetry(telemetry.clone())
+            .with_tracer(tracer.clone()),
+    );
     let outcome = framework.optimize(&series);
     let mut ld: Box<dyn Predictor> = Box::new(outcome.predictor);
-    let report = simulate_with_telemetry(ld.as_mut(), &series, &sim_config, &telemetry);
+    let report = simulate_traced(ld.as_mut(), &series, &sim_config, &telemetry, &tracer);
     rows.push(vec![
         "LoadDynamics".to_string(),
         format!("{:.1}", report.avg_turnaround_secs()),
@@ -58,12 +66,22 @@ fn main() {
     ]);
 
     // CloudInsight and Wood (CloudScale dropped, as in the paper).
-    for mut baseline in baseline_lineup(0) {
+    let untraced_telemetry = ld_telemetry::Telemetry::disabled();
+    for (b, mut baseline) in traced_baseline_lineup(0, &tracer).into_iter().enumerate() {
         if baseline.name() == "CloudScale" {
             continue;
         }
         eprintln!("[fig10] simulating {} ...", baseline.name());
-        let report = simulate(baseline.as_mut(), &series, &sim_config);
+        // Baseline sims nest under `baseline#<lineup index>` so their
+        // interval spans never collide with the LoadDynamics run's.
+        let baseline_tracer = tracer.scoped("baseline", b as u64);
+        let report = simulate_traced(
+            baseline.as_mut(),
+            &series,
+            &sim_config,
+            &untraced_telemetry,
+            &baseline_tracer,
+        );
         rows.push(vec![
             baseline.name(),
             format!("{:.1}", report.avg_turnaround_secs()),
@@ -91,4 +109,17 @@ fn main() {
          wastes the fewest idle VMs (lowest over-provisioning rate)."
     );
     dump_telemetry(&telemetry, &telemetry_out);
+    let snapshot = dump_trace(&tracer, &trace_out);
+    dump_manifest(
+        ld_telemetry::RunManifest::new("fig10_autoscaling")
+            .seed(0)
+            .config("workload", "azure-60min-x0.6")
+            .config("scale", format!("{scale:?}"))
+            .config("test_start", sim_config.test_start)
+            .config("selected_hyperparams", outcome.hyperparams),
+        &trace_out,
+        snapshot.as_ref(),
+        &telemetry,
+        &telemetry_out,
+    );
 }

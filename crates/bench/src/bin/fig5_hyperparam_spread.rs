@@ -10,14 +10,16 @@ use ld_api::Partition;
 use ld_bayesopt::SearchSpace;
 use ld_bench::render::print_table;
 use ld_bench::scale::ExperimentScale;
+use ld_bench::telemetry_env::{dump_manifest, dump_trace, trace_from_env};
 use ld_traces::{TraceConfig, WorkloadKind};
-use loaddynamics::{evaluate_hyperparams, HyperParams};
+use loaddynamics::{evaluate_hyperparams_traced, HyperParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let (tracer, trace_out) = trace_from_env();
     let n_models = match scale {
         ExperimentScale::Standard => 100,
         ExperimentScale::Fast => 12,
@@ -46,13 +48,29 @@ fn main() {
         .map(|_| HyperParams::from_params(&space.decode(&space.sample_unit(&mut rng))))
         .collect();
 
-    let mut mapes: Vec<(HyperParams, f64)> = candidates
-        .par_iter()
-        .map(|hp| {
-            let out = evaluate_hyperparams(&series.values, &partition, *hp, &budget, 0);
-            (*hp, out.val_mape)
+    // Candidate spans are keyed by draw index, so the traced tree is
+    // identical whichever worker evaluates which candidate.
+    let sweep_guard = tracer.span("fig5.sweep");
+    let sweep_tracer = sweep_guard.tracer();
+    let untraced_telemetry = ld_telemetry::Telemetry::disabled();
+    let indexed: Vec<(usize, HyperParams)> = candidates.iter().copied().enumerate().collect();
+    let mut mapes: Vec<(HyperParams, f64)> = indexed
+        .into_par_iter()
+        .map(|(i, hp)| {
+            let candidate_guard = sweep_tracer.span_at("candidate", i as u64);
+            let out = evaluate_hyperparams_traced(
+                &series.values,
+                &partition,
+                hp,
+                &budget,
+                0,
+                &untraced_telemetry,
+                &candidate_guard.tracer(),
+            );
+            (hp, out.val_mape)
         })
         .collect();
+    drop(sweep_guard);
     mapes.retain(|(_, m)| m.is_finite() && *m < 1e5);
     mapes.sort_by(|a, b| a.1.total_cmp(&b.1));
 
@@ -81,5 +99,17 @@ fn main() {
     println!(
         "\nExpected shape (paper Fig. 5): a large spread — choosing good\n\
          hyperparameters cuts the error by ~3x versus a poor choice."
+    );
+    let snapshot = dump_trace(&tracer, &trace_out);
+    dump_manifest(
+        ld_telemetry::RunManifest::new("fig5_hyperparam_spread")
+            .seed(5)
+            .config("workload", "google-30min")
+            .config("scale", format!("{scale:?}"))
+            .config("n_models", n_models),
+        &trace_out,
+        snapshot.as_ref(),
+        &untraced_telemetry,
+        &None,
     );
 }

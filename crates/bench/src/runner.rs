@@ -30,6 +30,17 @@ pub fn baseline_lineup(seed: u64) -> Vec<Box<dyn Predictor>> {
     ]
 }
 
+/// [`baseline_lineup`] with span tracing wired into the members that
+/// support it (CloudInsight's member sweeps). With a disabled tracer this
+/// is identical to the untraced lineup.
+pub fn traced_baseline_lineup(seed: u64, tracer: &ld_telemetry::Tracer) -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(CloudInsight::new(seed).with_tracer(tracer.clone())),
+        Box::new(CloudScale::default()),
+        Box::new(WoodPredictor::default()),
+    ]
+}
+
 /// Runs one predictor walk-forward over the last 20% of `series`.
 pub fn run_predictor(predictor: &mut dyn Predictor, series: &Series) -> ExperimentResult {
     let partition = Partition::paper_default(series.len());

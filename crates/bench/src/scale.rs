@@ -100,6 +100,7 @@ impl ExperimentScale {
             seed,
             strategy: SearchStrategy::default(),
             telemetry: ld_telemetry::Telemetry::disabled(),
+            tracer: ld_telemetry::Tracer::disabled(),
             deadline_secs: None,
         }
     }

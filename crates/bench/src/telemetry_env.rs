@@ -1,11 +1,15 @@
-//! Opt-in telemetry for the experiment binaries, driven by `LD_TELEMETRY`.
+//! Opt-in telemetry and span tracing for the experiment binaries, driven
+//! by `LD_TELEMETRY` and `LD_TRACE`.
 //!
-//! Unset (the default) leaves telemetry disabled and the binaries'
-//! behavior and output byte-identical to an uninstrumented build.
-//! `LD_TELEMETRY=1` enables recording and dumps `telemetry.json` into the
-//! working directory; any other value is used as the output path.
+//! Unset (the default) leaves both disabled and the binaries' behavior and
+//! output byte-identical to an uninstrumented build. `LD_TELEMETRY=1`
+//! enables recording and dumps `telemetry.json` into the working
+//! directory; any other value is used as the output path. `LD_TRACE`
+//! works the same way (default `trace.json`): one enablement emits the
+//! Chrome trace at the path, a folded-stack file at `<path>.folded`, and
+//! a run-provenance manifest at `<path>.manifest.json`.
 
-use ld_telemetry::Telemetry;
+use ld_telemetry::{RunManifest, Telemetry, TraceSnapshot, Tracer};
 
 /// The telemetry handle plus output path requested by the environment,
 /// or `(disabled, None)` when `LD_TELEMETRY` is unset or empty.
@@ -43,5 +47,75 @@ pub fn dump_telemetry(telemetry: &Telemetry, path: &Option<String>) {
             Ok(()) => eprintln!("telemetry written to {path}"),
             Err(e) => eprintln!("cannot write telemetry to {path}: {e}"),
         }
+    }
+}
+
+/// The tracer plus Chrome-trace output path requested by the environment,
+/// or `(disabled, None)` when `LD_TRACE` is unset or empty.
+pub fn trace_from_env() -> (Tracer, Option<String>) {
+    match std::env::var("LD_TRACE") {
+        Ok(v) if !v.is_empty() => {
+            let path = if v == "1" { "trace.json".to_string() } else { v };
+            (Tracer::enabled(), Some(path))
+        }
+        _ => (Tracer::disabled(), None),
+    }
+}
+
+/// Writes the trace artifacts to the path from [`trace_from_env`]: the
+/// Chrome trace-event JSON at `path` and the folded-stack file at
+/// `<path>.folded`. Returns the snapshot so the caller can stamp it into
+/// a run manifest. No-op (returning `None`) when tracing was not
+/// requested.
+pub fn dump_trace(tracer: &Tracer, path: &Option<String>) -> Option<TraceSnapshot> {
+    let path = path.as_ref()?;
+    let snapshot = tracer.snapshot();
+    match std::fs::write(path, snapshot.to_chrome_trace()) {
+        Ok(()) => eprintln!("chrome trace written to {path}"),
+        Err(e) => eprintln!("cannot write chrome trace to {path}: {e}"),
+    }
+    let folded = format!("{path}.folded");
+    match std::fs::write(&folded, snapshot.to_folded()) {
+        Ok(()) => eprintln!("folded stacks written to {folded}"),
+        Err(e) => eprintln!("cannot write folded stacks to {folded}: {e}"),
+    }
+    Some(snapshot)
+}
+
+/// Writes the run-provenance manifest next to the trace
+/// (`<trace_path>.manifest.json`). The caller builds the manifest with its
+/// tool name, seeds and config; this helper stamps the trace/telemetry
+/// summaries, records the artifact paths and captures the `LD_*`
+/// environment. No-op when tracing was not requested.
+pub fn dump_manifest(
+    manifest: RunManifest,
+    trace_path: &Option<String>,
+    trace: Option<&TraceSnapshot>,
+    telemetry: &Telemetry,
+    telemetry_path: &Option<String>,
+) {
+    let Some(trace_path) = trace_path else {
+        return;
+    };
+    let mut manifest = manifest
+        .capture_env()
+        .output("chrome_trace", trace_path)
+        .output("folded", format!("{trace_path}.folded"));
+    if let Some(snapshot) = trace {
+        manifest = manifest.with_trace_summary(snapshot);
+    }
+    if telemetry.is_enabled() {
+        manifest = manifest.with_telemetry_summary(&telemetry.snapshot());
+        if let Some(tpath) = telemetry_path {
+            manifest = manifest.output("telemetry", tpath);
+        }
+    }
+    let out = format!("{trace_path}.manifest.json");
+    if let Err(e) = manifest.validate() {
+        eprintln!("run manifest failed validation ({e}); writing anyway");
+    }
+    match manifest.write_json(&out) {
+        Ok(()) => eprintln!("run manifest written to {out}"),
+        Err(e) => eprintln!("cannot write run manifest to {out}: {e}"),
     }
 }

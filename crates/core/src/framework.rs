@@ -8,7 +8,7 @@ use ld_bayesopt::{
 use ld_nn::LstmForecaster;
 
 use crate::hyperparams::HyperParams;
-use crate::pipeline::{evaluate_hyperparams_with, TrainBudget};
+use crate::pipeline::{evaluate_hyperparams_traced, TrainBudget};
 use crate::space;
 
 /// Which hyperparameter search drives the self-optimization.
@@ -50,6 +50,11 @@ pub struct FrameworkConfig {
     /// default: recording methods become single-branch no-ops and the
     /// framework's outputs are identical to an uninstrumented build.
     pub telemetry: ld_telemetry::Telemetry,
+    /// Span tracer for the search/training hierarchy. Disabled by default
+    /// with the same zero-overhead contract as `telemetry`: span methods
+    /// become no-ops and the framework's outputs are bitwise identical to
+    /// an untraced run.
+    pub tracer: ld_telemetry::Tracer,
     /// Wall-clock deadline for the hyperparameter search, in seconds,
     /// mirroring the paper's 3-hour per-configuration budget. Applied to
     /// the Bayesian strategy (unless its own [`BoOptions::deadline_secs`]
@@ -73,6 +78,7 @@ impl FrameworkConfig {
             seed,
             strategy: SearchStrategy::default(),
             telemetry: ld_telemetry::Telemetry::disabled(),
+            tracer: ld_telemetry::Tracer::disabled(),
             // The paper's Section IV budget: three hours per configuration.
             deadline_secs: Some(3.0 * 3600.0),
         }
@@ -92,6 +98,7 @@ impl FrameworkConfig {
                 ..BoOptions::default()
             }),
             telemetry: ld_telemetry::Telemetry::disabled(),
+            tracer: ld_telemetry::Tracer::disabled(),
             deadline_secs: None,
         }
     }
@@ -99,6 +106,13 @@ impl FrameworkConfig {
     /// Returns the same configuration with telemetry enabled (or replaced).
     pub fn with_telemetry(mut self, telemetry: ld_telemetry::Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Returns the same configuration with span tracing enabled (or
+    /// replaced).
+    pub fn with_tracer(mut self, tracer: ld_telemetry::Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 }
@@ -195,11 +209,33 @@ impl LoadDynamics {
         // ld-lint: allow(determinism, "opt-in telemetry timer; timing is observed, never fed back into the search")
         let optimize_start = telemetry.is_enabled().then(std::time::Instant::now);
 
+        // Root of the span hierarchy: everything in the Fig. 6 workflow —
+        // init design, BO iterations, candidate training and the final
+        // retrain — nests under `search`.
+        let search_guard = self.config.tracer.span("search");
+        let search_tracer = search_guard.tracer();
+
         // Fig. 6 steps 1-3, iterated maxIters times by the chosen search.
-        let objective = move |params: &[ld_bayesopt::ParamValue]| -> f64 {
+        // The second argument is the trial-scoped tracer handed down by the
+        // optimizer (disabled for the untraced Random/Grid strategies).
+        let objective = move |params: &[ld_bayesopt::ParamValue],
+                              trial_tracer: &ld_telemetry::Tracer|
+              -> f64 {
             let hp = HyperParams::from_params(params);
-            evaluate_hyperparams_with(values, partition, hp, &budget, seed, telemetry).val_mape
+            evaluate_hyperparams_traced(
+                values,
+                partition,
+                hp,
+                &budget,
+                seed,
+                telemetry,
+                trial_tracer,
+            )
+            .val_mape
         };
+        let untraced = ld_telemetry::Tracer::disabled();
+        let plain_objective =
+            move |params: &[ld_bayesopt::ParamValue]| -> f64 { objective(params, &untraced) };
         let trials = match &self.config.strategy {
             SearchStrategy::Bayesian(opts) => {
                 let mut bo_opts = *opts;
@@ -208,17 +244,18 @@ impl LoadDynamics {
                 }
                 BayesianOptimizer::new(bo_opts)
                     .with_telemetry(telemetry.clone())
-                    .optimize(&self.config.space, &objective, self.config.max_iters, seed)
+                    .with_tracer(search_tracer.clone())
+                    .optimize_traced(&self.config.space, &objective, self.config.max_iters, seed)
             }
             SearchStrategy::Random => RandomSearch.optimize(
                 &self.config.space,
-                &objective,
+                &plain_objective,
                 self.config.max_iters,
                 seed,
             ),
             SearchStrategy::Grid => GridSearch.optimize(
                 &self.config.space,
-                &objective,
+                &plain_objective,
                 self.config.max_iters,
                 seed,
             ),
@@ -245,8 +282,18 @@ impl LoadDynamics {
         // search memory-flat).
         let best = trials.best();
         let hyperparams = HyperParams::from_params(&best.params);
-        let outcome =
-            evaluate_hyperparams_with(values, partition, hyperparams, &budget, seed, telemetry);
+        let retrain_guard = search_tracer.span("retrain");
+        let outcome = evaluate_hyperparams_traced(
+            values,
+            partition,
+            hyperparams,
+            &budget,
+            seed,
+            telemetry,
+            &retrain_guard.tracer(),
+        );
+        drop(retrain_guard);
+        drop(search_guard);
 
         // Graceful degradation: when even the selected candidate cannot
         // produce a model (every trial infeasible or diverged — possible

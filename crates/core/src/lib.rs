@@ -48,5 +48,7 @@ pub use framework::{
     SearchStrategy,
 };
 pub use hyperparams::HyperParams;
-pub use pipeline::{evaluate_hyperparams, evaluate_hyperparams_with, TrainBudget};
+pub use pipeline::{
+    evaluate_hyperparams, evaluate_hyperparams_traced, evaluate_hyperparams_with, TrainBudget,
+};
 pub use space::{facebook_space, paper_space, scaled_space};

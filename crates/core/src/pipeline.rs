@@ -118,9 +118,34 @@ pub fn evaluate_hyperparams_with(
     seed: u64,
     telemetry: &ld_telemetry::Telemetry,
 ) -> EvalOutcome {
+    evaluate_hyperparams_traced(
+        values,
+        partition,
+        hp,
+        budget,
+        seed,
+        telemetry,
+        &ld_telemetry::Tracer::disabled(),
+    )
+}
+
+/// [`evaluate_hyperparams_with`] with span tracing: the candidate's
+/// training opens a `train` span under the supplied tracer (usually already
+/// scoped to the search trial), with per-epoch children recorded by the
+/// trainer.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_hyperparams_traced(
+    values: &[f64],
+    partition: &Partition,
+    hp: HyperParams,
+    budget: &TrainBudget,
+    seed: u64,
+    telemetry: &ld_telemetry::Telemetry,
+    tracer: &ld_telemetry::Tracer,
+) -> EvalOutcome {
     // ld-lint: allow(determinism, "opt-in telemetry timer; timing is observed, never fed back into the evaluation")
     let eval_start = telemetry.is_enabled().then(std::time::Instant::now);
-    let outcome = evaluate_hyperparams_inner(values, partition, hp, budget, seed, telemetry);
+    let outcome = evaluate_hyperparams_inner(values, partition, hp, budget, seed, telemetry, tracer);
     if let Some(start) = eval_start {
         let wall = start.elapsed().as_secs_f64();
         telemetry.incr("framework.candidate_evals");
@@ -152,6 +177,7 @@ fn evaluate_hyperparams_inner(
     budget: &TrainBudget,
     seed: u64,
     telemetry: &ld_telemetry::Telemetry,
+    tracer: &ld_telemetry::Tracer,
 ) -> EvalOutcome {
     let scaler = MinMaxScaler::fit(partition.train(values));
     let normalized = scaler.transform_all(&values[..partition.val_end]);
@@ -192,11 +218,17 @@ fn evaluate_hyperparams_inner(
     if telemetry.is_enabled() {
         trainer = trainer.with_telemetry(telemetry.clone(), format!("trainer/{hp}"));
     }
+    // The trainer opens epoch/batch children beneath the `train` span.
+    let train_guard = tracer.span("train");
+    if tracer.is_enabled() {
+        trainer = trainer.with_tracer(train_guard.tracer());
+    }
     if ld_faultinject::is_active() {
         trainer = trainer.with_fault_key(fault_key(hp, seed));
     }
     let mut opt = Adam::with_lr(budget.learning_rate);
     let report = trainer.fit(&mut model, &mut opt, &train_windows, &val_samples);
+    drop(train_guard);
     if report.diverged {
         // The watchdog exhausted its rollback budget: treat the candidate
         // exactly like an infeasible one, so the search steers away instead

@@ -1,4 +1,5 @@
-//! Opt-in nanosecond accounting for the Gram-construction hot section.
+//! Opt-in nanosecond accounting for the Gram-construction and Cholesky
+//! hot sections.
 //!
 //! Mirrors `ld-nn`'s kernel sections: process-global atomic counters armed
 //! by an RAII [`SectionGuard`]. The Bayesian optimizer (and `ld-perfbench`)
@@ -13,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ACTIVE_GUARDS: AtomicU64 = AtomicU64::new(0);
 static GRAM_BUILD_NANOS: AtomicU64 = AtomicU64::new(0);
+static CHOLESKY_NANOS: AtomicU64 = AtomicU64::new(0);
 
 /// Keeps section timing armed while alive (RAII; see [`activate`]).
 #[derive(Debug)]
@@ -39,15 +41,23 @@ pub(crate) fn add_gram_build(nanos: u64) {
     GRAM_BUILD_NANOS.fetch_add(nanos, Ordering::Relaxed);
 }
 
-/// Cumulative Gram-construction nanoseconds since process start (or the
-/// last [`reset`]). Callers diff two snapshots to attribute a window.
-pub fn totals() -> u64 {
-    GRAM_BUILD_NANOS.load(Ordering::Relaxed)
+pub(crate) fn add_cholesky(nanos: u64) {
+    CHOLESKY_NANOS.fetch_add(nanos, Ordering::Relaxed);
 }
 
-/// Zeroes the counter (benchmark harness convenience).
+/// Cumulative `(gram_build, cholesky)` nanoseconds since process start (or
+/// the last [`reset`]). Callers diff two snapshots to attribute a window.
+pub fn totals() -> (u64, u64) {
+    (
+        GRAM_BUILD_NANOS.load(Ordering::Relaxed),
+        CHOLESKY_NANOS.load(Ordering::Relaxed),
+    )
+}
+
+/// Zeroes the counters (benchmark harness convenience).
 pub fn reset() {
     GRAM_BUILD_NANOS.store(0, Ordering::Relaxed);
+    CHOLESKY_NANOS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -58,9 +68,12 @@ mod tests {
     fn guard_and_totals() {
         let g = activate();
         assert!(enabled());
-        let before = totals();
+        let (gram0, chol0) = totals();
         add_gram_build(9);
-        assert!(totals() >= before + 9);
+        add_cholesky(4);
+        let (gram1, chol1) = totals();
+        assert!(gram1 >= gram0 + 9);
+        assert!(chol1 >= chol0 + 4);
         drop(g);
     }
 }

@@ -34,8 +34,8 @@ impl DenseGrads {
 
     /// Accumulates another gradient set.
     pub fn accumulate(&mut self, other: &DenseGrads) {
-        self.dw.add_assign(&other.dw).expect("dw shape");
-        self.db.add_assign(&other.db).expect("db shape");
+        crate::accumulate_matrix(&mut self.dw, &other.dw);
+        crate::accumulate_matrix(&mut self.db, &other.db);
     }
 
     /// Scales all gradients.

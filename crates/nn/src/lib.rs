@@ -63,6 +63,21 @@ impl Sample {
     }
 }
 
+/// `into += other` over same-shape matrices, used by the gradient
+/// containers' batch reduction. Shape equality is structural — both sides
+/// are built from the same layer dimensions — so it is checked in debug
+/// builds only rather than panicking through `Result` in the hot path.
+pub(crate) fn accumulate_matrix(into: &mut ld_linalg::Matrix, other: &ld_linalg::Matrix) {
+    debug_assert_eq!(
+        (into.rows(), into.cols()),
+        (other.rows(), other.cols()),
+        "gradient shape mismatch"
+    );
+    for (a, b) in into.as_mut_slice().iter_mut().zip(other.as_slice()) {
+        *a += *b;
+    }
+}
+
 /// Builds sliding-window samples from a series: for each position `i >= n`,
 /// the window `series[i-n..i]` predicts `series[i]`.
 ///

@@ -76,9 +76,9 @@ impl LstmGrads {
 
     /// Accumulates another gradient set (for batch reduction).
     pub fn accumulate(&mut self, other: &LstmGrads) {
-        self.dw.add_assign(&other.dw).expect("dw shape");
-        self.du.add_assign(&other.du).expect("du shape");
-        self.db.add_assign(&other.db).expect("db shape");
+        crate::accumulate_matrix(&mut self.dw, &other.dw);
+        crate::accumulate_matrix(&mut self.du, &other.du);
+        crate::accumulate_matrix(&mut self.db, &other.db);
     }
 
     /// Scales all gradients (e.g. by `1/batch`).

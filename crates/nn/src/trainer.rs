@@ -191,6 +191,7 @@ pub struct Trainer {
     opts: TrainOptions,
     telemetry: ld_telemetry::Telemetry,
     scope: String,
+    tracer: ld_telemetry::Tracer,
     /// Deterministic key for the fault-injection `nan_loss` site; `None`
     /// leaves injection off for this trainer even when the harness is
     /// active.
@@ -206,6 +207,7 @@ impl Trainer {
             opts,
             telemetry: ld_telemetry::Telemetry::disabled(),
             scope: String::new(),
+            tracer: ld_telemetry::Tracer::disabled(),
             fault_key: None,
         }
     }
@@ -229,6 +231,17 @@ impl Trainer {
     ) -> Self {
         self.telemetry = telemetry;
         self.scope = scope.into();
+        self
+    }
+
+    /// Attaches a span tracer (usually already scoped to the candidate's
+    /// trial span). Each [`Trainer::fit`] records `epoch#e` spans with
+    /// `batch#b` / `validate` children; batches additionally carry
+    /// synthetic `forward` / `bptt` leaves attributed from the kernel
+    /// section counters (approximate under concurrent candidate trainings,
+    /// which share the process-global counters).
+    pub fn with_tracer(mut self, tracer: ld_telemetry::Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -284,14 +297,18 @@ impl Trainer {
         });
 
         let telemetry_on = self.telemetry.is_enabled();
+        let trace_on = self.tracer.is_enabled();
         // ld-lint: allow(determinism, "opt-in telemetry timer; timing is observed, never fed back into training")
         let fit_start = telemetry_on.then(std::time::Instant::now);
         // Arm the kernel section timers (gate-matmul / bptt nanos) for the
-        // duration of this fit; snapshots are diffed at the end.
-        let _sections_guard = telemetry_on.then(crate::sections::activate);
+        // duration of this fit; snapshots are diffed at the end (telemetry)
+        // and per batch (trace forward/bptt leaves).
+        let _sections_guard = (telemetry_on || trace_on).then(crate::sections::activate);
         let sections_before = telemetry_on.then(crate::sections::totals);
 
         for epoch in 0..self.opts.max_epochs {
+            let epoch_guard = self.tracer.span_at("epoch", epoch as u64);
+            let epoch_tracer = epoch_guard.tracer();
             epochs_run += 1;
             if self.opts.lr_decay != 1.0 || lr_retreat != 1.0 {
                 opt.set_lr_scale(self.opts.lr_decay.powi(epoch as i32) * lr_retreat);
@@ -303,7 +320,9 @@ impl Trainer {
             // ld-lint: allow(determinism, "opt-in telemetry timer; timing is observed, never fed back into training")
             let epoch_start = telemetry_on.then(std::time::Instant::now);
 
-            for chunk in order.chunks(self.opts.batch_size) {
+            for (b, chunk) in order.chunks(self.opts.batch_size).enumerate() {
+                let batch_guard = epoch_tracer.span_at("batch", b as u64);
+                let batch_sections = trace_on.then(crate::sections::totals);
                 let (loss_sum, mut grads) = chunk
                     .par_iter()
                     .fold(
@@ -337,6 +356,17 @@ impl Trainer {
                     clipped_batches += 1;
                 }
                 model.apply(&grads, opt);
+                // Attribute the batch's kernel time to synthetic
+                // forward/bptt leaves (approximate: the counters are
+                // process-global, so concurrent trainings interleave).
+                if let Some((gate0, bptt0)) = batch_sections {
+                    let (gate1, bptt1) = crate::sections::totals();
+                    let gate = gate1.saturating_sub(gate0);
+                    let bptt = bptt1.saturating_sub(bptt0);
+                    let inside = batch_guard.tracer();
+                    inside.record_span("forward", 0, gate, bptt);
+                    inside.record_span("bptt", 0, bptt, 0);
+                }
             }
 
             let train_mse = if inject_nan {
@@ -348,7 +378,9 @@ impl Trainer {
             let monitored = if val.is_empty() {
                 train_mse
             } else {
+                let validate_guard = epoch_tracer.span("validate");
                 let v = Self::evaluate(model, val);
+                drop(validate_guard);
                 val_losses.push(v);
                 v
             };

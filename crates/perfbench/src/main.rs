@@ -52,6 +52,11 @@ struct Cfg {
     reps: usize,
     /// Output path; `None` means "do not write" (smoke default).
     out: Option<String>,
+    /// Baseline `BENCH_perf.json` to regression-gate against.
+    compare: Option<String>,
+    /// Compare tolerance: a kernel regresses when
+    /// `current_speedup * tolerance < baseline_speedup`.
+    tolerance: f64,
 }
 
 /// One before/after measurement.
@@ -466,11 +471,86 @@ fn validate_schema(text: &str, expected_kernels: usize) {
     }
 }
 
+/// Compares the current run against a committed baseline document.
+///
+/// Kernels are matched by name; entries present on only one side are
+/// reported and skipped (smoke shapes rename the matmul kernel, so a
+/// smoke run gates only the shape-independent kernels). The gate is on
+/// *speedup ratios*, not absolute seconds — absolute timings shift with
+/// the host, but the before/after ratio of the same two code paths on the
+/// same box is comparatively stable. A kernel regresses when
+/// `current_speedup * tolerance < baseline_speedup`.
+///
+/// Returns the number of regressions.
+fn compare_against(baseline_text: &str, results: &[KernelResult], tolerance: f64) -> usize {
+    let doc: Value = serde_json::from_str(baseline_text).expect("baseline must parse as JSON");
+    let version = doc
+        .field("schema_version")
+        .ok()
+        .and_then(Value::as_u64)
+        .expect("baseline schema_version");
+    assert_eq!(version, SCHEMA_VERSION, "baseline schema_version mismatch");
+    let Ok(Value::Array(kernels)) = doc.field("kernels") else {
+        panic!("baseline kernels must be an array");
+    };
+    let baseline: Vec<(String, f64)> = kernels
+        .iter()
+        .map(|k| {
+            let name = k
+                .field("name")
+                .ok()
+                .and_then(Value::as_str)
+                .expect("baseline kernel name")
+                .to_string();
+            let speedup = k
+                .field("speedup")
+                .ok()
+                .and_then(Value::as_f64)
+                .expect("baseline kernel speedup");
+            (name, speedup)
+        })
+        .collect();
+
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>10}  verdict (tolerance {tolerance}x)",
+        "kernel", "baseline", "current", "ratio"
+    );
+    let mut regressions = 0usize;
+    for r in results {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == r.name) else {
+            println!("{:<22} {:>10} {:>10} {:>10}  skipped (not in baseline)", r.name, "-", "-", "-");
+            continue;
+        };
+        let current = r.speedup();
+        let ratio = current / base.max(1e-12);
+        let regressed = current * tolerance < *base;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "{:<22} {:>9.2}x {:>9.2}x {:>10.3}  {}",
+            r.name,
+            base,
+            current,
+            ratio,
+            if regressed { "REGRESSION" } else { "ok" }
+        );
+    }
+    for (name, _) in &baseline {
+        if !results.iter().any(|r| r.name == *name) {
+            println!("{name:<22} (in baseline, not measured this run)");
+        }
+    }
+    regressions
+}
+
 fn parse_args() -> Cfg {
     let mut smoke = false;
     let mut warmup: Option<usize> = None;
     let mut reps: Option<usize> = None;
     let mut out: Option<String> = None;
+    let mut compare: Option<String> = None;
+    let mut tolerance: f64 = 2.5;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |what: &str| {
@@ -482,10 +562,21 @@ fn parse_args() -> Cfg {
             "--warmup" => warmup = Some(take("--warmup").parse().expect("--warmup: integer")),
             "--reps" => reps = Some(take("--reps").parse().expect("--reps: integer")),
             "--out" => out = Some(take("--out")),
+            "--compare" => compare = Some(take("--compare")),
+            "--tolerance" => {
+                tolerance = take("--tolerance").parse().expect("--tolerance: float");
+                assert!(
+                    tolerance.is_finite() && tolerance >= 1.0,
+                    "--tolerance must be >= 1.0"
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "ld-perfbench [--smoke] [--warmup N] [--reps N] [--out PATH]\n\
-                     full mode writes BENCH_perf.json; --smoke asserts equivalence on tiny shapes"
+                    "ld-perfbench [--smoke] [--warmup N] [--reps N] [--out PATH] \
+                     [--compare BASELINE.json] [--tolerance F]\n\
+                     full mode writes BENCH_perf.json; --smoke asserts equivalence on tiny shapes;\n\
+                     --compare gates per-kernel speedup ratios against a committed baseline\n\
+                     (regression when current_speedup * tolerance < baseline_speedup; exit 3)"
                 );
                 std::process::exit(0);
             }
@@ -502,6 +593,8 @@ fn parse_args() -> Cfg {
         reps: reps.unwrap_or(default_reps),
         // Smoke stays read-only unless an output path is asked for.
         out: out.or_else(|| (!smoke).then(|| "BENCH_perf.json".to_string())),
+        compare,
+        tolerance,
     }
 }
 
@@ -541,7 +634,37 @@ fn main() {
         Some(path) => {
             std::fs::write(path, text + "\n").expect("write BENCH document");
             println!("wrote {path}");
+            // Provenance manifest alongside the results, so a committed
+            // BENCH document can always be traced back to its run setup.
+            let mut manifest = ld_telemetry::RunManifest::new("ld-perfbench")
+                .capture_env()
+                .config("mode", if cfg.smoke { "smoke" } else { "full" })
+                .config("warmup", cfg.warmup)
+                .config("reps", cfg.reps)
+                .config("kernels", results.len())
+                .output("bench", path);
+            if let Some(baseline) = &cfg.compare {
+                manifest = manifest
+                    .config("compare", baseline)
+                    .config("tolerance", cfg.tolerance);
+            }
+            let manifest_path = format!("{path}.manifest.json");
+            manifest
+                .write_json(&manifest_path)
+                .expect("write BENCH manifest");
+            println!("wrote {manifest_path}");
         }
         None => println!("smoke mode: equivalence + schema checks passed, nothing written"),
+    }
+
+    if let Some(baseline_path) = &cfg.compare {
+        let baseline_text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let regressions = compare_against(&baseline_text, &results, cfg.tolerance);
+        if regressions > 0 {
+            eprintln!("{regressions} kernel(s) regressed vs {baseline_path}");
+            std::process::exit(3);
+        }
+        println!("no regressions vs {baseline_path}");
     }
 }

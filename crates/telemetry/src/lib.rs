@@ -37,6 +37,14 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod manifest;
+pub mod trace;
+
+pub use manifest::{ManifestEntry, RunManifest, MANIFEST_SCHEMA_VERSION};
+pub use trace::{
+    validate_chrome_trace, validate_folded, SpanGuard, SpanRecord, TraceSnapshot, Tracer,
+};
+
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -56,7 +64,7 @@ struct TimerAgg {
 
 /// Locks a registry mutex, recovering from poisoning (a panic in another
 /// thread must not cascade into the telemetry consumer).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 

@@ -22,8 +22,14 @@ echo "=== fault-injection & robustness suites ==="
 cargo test -q -p ld-faultinject
 cargo test -q --test fault_injection --test adversarial_inputs
 
-echo "=== ld-perfbench --smoke (kernel equivalence + bench schema) ==="
-cargo run -q --release -p ld-perfbench -- --smoke
+echo "=== ld-perfbench --smoke (kernel equivalence + bench schema + regression gate) ==="
+cargo run -q --release -p ld-perfbench -- --smoke --compare BENCH_perf.json --tolerance 2.5
+
+echo "=== traced fig6 smoke run (span tracing + run-manifest validation) ==="
+mkdir -p target
+rm -f target/ci-trace.json target/ci-trace.json.folded target/ci-trace.json.manifest.json
+LD_FAST=1 LD_TRACE=target/ci-trace.json cargo run -q --release -p ld-bench --bin fig6_workflow > /dev/null
+cargo run -q --release --bin ld-cli -- trace-validate target/ci-trace.json target/ci-trace.json.manifest.json
 
 echo "=== ld-lint --deny (static analysis gate) ==="
 mkdir -p target

@@ -11,23 +11,31 @@
 //! `optimize`, `predict` and `evaluate` additionally accept
 //! `--telemetry[=PATH]`: the train/search hot loops record per-epoch and
 //! per-iteration telemetry, dumped as JSON to `PATH` (default
-//! `telemetry.json`) — see the README for the schema.
+//! `telemetry.json`) — see the README for the schema. They also accept
+//! `--trace-out[=PATH]`: the search/train hierarchy is recorded as spans
+//! and exported as Chrome trace-event JSON at `PATH` (default
+//! `trace.json`), folded flamegraph stacks at `PATH.folded`, and a
+//! run-provenance manifest at `PATH.manifest.json`.
+//!
+//! `ld-cli trace-validate <trace.json> [manifest.json]` schema-checks the
+//! emitted artifacts (used by CI).
 //!
 //! Traces are plain text (`ld_api::Series::to_text` format): an optional
 //! `# name interval_mins=N` header, then one JAR per line.
 
 use ld_api::{predict_horizon, walk_forward, Partition, Predictor, Series};
 use ld_baselines::{CloudInsight, CloudScale, WoodPredictor};
-use ld_telemetry::Telemetry;
+use ld_telemetry::{RunManifest, Telemetry, TraceSnapshot, Tracer};
 use ld_traces::all_configurations;
 use loaddynamics::{FrameworkConfig, LoadDynamics};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  ld-cli generate <config> <out.txt>\n  \
-         ld-cli optimize <trace.txt> [--fast] [--telemetry[=PATH]]\n  \
-         ld-cli predict <trace.txt> [horizon] [--telemetry[=PATH]]\n  \
-         ld-cli evaluate <trace.txt> [--telemetry[=PATH]]\n  ld-cli list"
+         ld-cli optimize <trace.txt> [--fast] [--telemetry[=PATH]] [--trace-out[=PATH]]\n  \
+         ld-cli predict <trace.txt> [horizon] [--telemetry[=PATH]] [--trace-out[=PATH]]\n  \
+         ld-cli evaluate <trace.txt> [--telemetry[=PATH]] [--trace-out[=PATH]]\n  \
+         ld-cli trace-validate <trace.json> [manifest.json]\n  ld-cli list"
     );
     std::process::exit(2);
 }
@@ -43,6 +51,17 @@ fn telemetry_path(args: &[String]) -> Option<String> {
     })
 }
 
+/// Parses `--trace-out` / `--trace-out=PATH` into a Chrome-trace path.
+fn trace_out_path(args: &[String]) -> Option<String> {
+    args.iter().find_map(|a| {
+        if a == "--trace-out" {
+            Some("trace.json".to_string())
+        } else {
+            a.strip_prefix("--trace-out=").map(str::to_string)
+        }
+    })
+}
+
 /// Writes the snapshot and tells the user where it went.
 fn dump_telemetry(telemetry: &Telemetry, path: &str) {
     telemetry.write_json(path).unwrap_or_else(|e| {
@@ -50,6 +69,49 @@ fn dump_telemetry(telemetry: &Telemetry, path: &str) {
         std::process::exit(1);
     });
     eprintln!("telemetry written to {path}");
+}
+
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("cannot write {what} to {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("{what} written to {path}");
+}
+
+/// Writes the Chrome trace at `path`, the folded stacks at `path.folded`
+/// and the run manifest at `path.manifest.json`.
+fn dump_trace(
+    tracer: &Tracer,
+    path: &str,
+    tool: &str,
+    config: &[(&str, String)],
+    telemetry: &Telemetry,
+    telemetry_out: Option<&str>,
+) {
+    let snapshot: TraceSnapshot = tracer.snapshot();
+    write_or_die(path, &snapshot.to_chrome_trace(), "chrome trace");
+    write_or_die(&format!("{path}.folded"), &snapshot.to_folded(), "folded stacks");
+    let mut manifest = RunManifest::new(tool)
+        .seed(0)
+        .capture_env()
+        .with_trace_summary(&snapshot)
+        .output("chrome_trace", path)
+        .output("folded", format!("{path}.folded"));
+    for (key, value) in config {
+        manifest = manifest.config(key, value);
+    }
+    if telemetry.is_enabled() {
+        manifest = manifest.with_telemetry_summary(&telemetry.snapshot());
+        if let Some(tpath) = telemetry_out {
+            manifest = manifest.output("telemetry", tpath);
+        }
+    }
+    if let Err(e) = manifest.validate() {
+        eprintln!("run manifest failed validation ({e}); writing anyway");
+    }
+    let manifest_path = format!("{path}.manifest.json");
+    write_or_die(&manifest_path, &manifest.to_json(), "run manifest");
 }
 
 fn read_series(path: &str) -> Series {
@@ -63,7 +125,12 @@ fn read_series(path: &str) -> Series {
     })
 }
 
-fn framework(series_len: usize, fast: bool, telemetry: &Telemetry) -> LoadDynamics {
+fn framework(
+    series_len: usize,
+    fast: bool,
+    telemetry: &Telemetry,
+    tracer: &Tracer,
+) -> LoadDynamics {
     // Scale effort to the series size unless --fast is given.
     let config = if fast || series_len < 600 {
         FrameworkConfig::fast_preset(0)
@@ -80,7 +147,11 @@ fn framework(series_len: usize, fast: bool, telemetry: &Telemetry) -> LoadDynami
         };
         c
     };
-    LoadDynamics::new(config.with_telemetry(telemetry.clone()))
+    LoadDynamics::new(
+        config
+            .with_telemetry(telemetry.clone())
+            .with_tracer(tracer.clone()),
+    )
 }
 
 fn cmd_generate(label: &str, out: &str) {
@@ -101,7 +172,7 @@ fn cmd_generate(label: &str, out: &str) {
     );
 }
 
-fn cmd_optimize(path: &str, fast: bool, telemetry_out: Option<&str>) {
+fn cmd_optimize(path: &str, fast: bool, telemetry_out: Option<&str>, trace_out: Option<&str>) {
     let series = read_series(path);
     println!(
         "optimizing on {} ({} intervals, {} min each)...",
@@ -110,23 +181,42 @@ fn cmd_optimize(path: &str, fast: bool, telemetry_out: Option<&str>) {
         series.interval_mins
     );
     let telemetry = telemetry_out.map_or_else(Telemetry::disabled, |_| Telemetry::enabled());
-    let outcome = framework(series.len(), fast, &telemetry).optimize(&series);
+    let tracer = trace_out.map_or_else(Tracer::disabled, |_| Tracer::enabled());
+    let outcome = framework(series.len(), fast, &telemetry, &tracer).optimize(&series);
     println!("selected hyperparameters: {}", outcome.hyperparams);
     println!("cross-validation MAPE:    {:.2}%", outcome.val_mape);
     println!("trials evaluated:         {}", outcome.trials.trials.len());
     if let Some(out) = telemetry_out {
         dump_telemetry(&telemetry, out);
     }
+    if let Some(out) = trace_out {
+        dump_trace(
+            &tracer,
+            out,
+            "ld-cli optimize",
+            &[
+                ("trace", path.to_string()),
+                ("series", series.name.clone()),
+                ("fast", fast.to_string()),
+                ("selected_hyperparams", outcome.hyperparams.to_string()),
+                ("val_mape_pct", format!("{:.4}", outcome.val_mape)),
+            ],
+            &telemetry,
+            telemetry_out,
+        );
+    }
 }
 
-fn cmd_predict(path: &str, horizon: usize, telemetry_out: Option<&str>) {
+fn cmd_predict(path: &str, horizon: usize, telemetry_out: Option<&str>, trace_out: Option<&str>) {
     let series = read_series(path);
     let telemetry = telemetry_out.map_or_else(Telemetry::disabled, |_| Telemetry::enabled());
-    let outcome = framework(series.len(), false, &telemetry).optimize(&series);
+    let tracer = trace_out.map_or_else(Tracer::disabled, |_| Tracer::enabled());
+    let outcome = framework(series.len(), false, &telemetry, &tracer).optimize(&series);
     eprintln!(
         "tuned {} (val MAPE {:.1}%)",
         outcome.hyperparams, outcome.val_mape
     );
+    let hyperparams = outcome.hyperparams;
     let mut predictor = outcome.predictor;
     let preds = predict_horizon(&mut predictor, &series.values, horizon);
     for (k, p) in preds.iter().enumerate() {
@@ -135,9 +225,24 @@ fn cmd_predict(path: &str, horizon: usize, telemetry_out: Option<&str>) {
     if let Some(out) = telemetry_out {
         dump_telemetry(&telemetry, out);
     }
+    if let Some(out) = trace_out {
+        dump_trace(
+            &tracer,
+            out,
+            "ld-cli predict",
+            &[
+                ("trace", path.to_string()),
+                ("series", series.name.clone()),
+                ("horizon", horizon.to_string()),
+                ("selected_hyperparams", hyperparams.to_string()),
+            ],
+            &telemetry,
+            telemetry_out,
+        );
+    }
 }
 
-fn cmd_evaluate(path: &str, telemetry_out: Option<&str>) {
+fn cmd_evaluate(path: &str, telemetry_out: Option<&str>, trace_out: Option<&str>) {
     let series = read_series(path);
     let partition = Partition::paper_default(series.len());
     println!(
@@ -145,7 +250,9 @@ fn cmd_evaluate(path: &str, telemetry_out: Option<&str>) {
         series.len() - partition.val_end
     );
     let telemetry = telemetry_out.map_or_else(Telemetry::disabled, |_| Telemetry::enabled());
-    let outcome = framework(series.len(), false, &telemetry).optimize(&series);
+    let tracer = trace_out.map_or_else(Tracer::disabled, |_| Tracer::enabled());
+    let outcome = framework(series.len(), false, &telemetry, &tracer).optimize(&series);
+    let hyperparams = outcome.hyperparams;
     let mut rows: Vec<(String, f64)> = Vec::new();
     let mut ld: Box<dyn Predictor> = Box::new(outcome.predictor);
     rows.push((
@@ -153,7 +260,7 @@ fn cmd_evaluate(path: &str, telemetry_out: Option<&str>) {
         walk_forward(ld.as_mut(), &series, partition.val_end).mape(),
     ));
     let baselines: Vec<Box<dyn Predictor>> = vec![
-        Box::new(CloudInsight::new(0)),
+        Box::new(CloudInsight::new(0).with_tracer(tracer.clone())),
         Box::new(CloudScale::default()),
         Box::new(WoodPredictor::default()),
     ];
@@ -167,11 +274,77 @@ fn cmd_evaluate(path: &str, telemetry_out: Option<&str>) {
     if let Some(out) = telemetry_out {
         dump_telemetry(&telemetry, out);
     }
+    if let Some(out) = trace_out {
+        dump_trace(
+            &tracer,
+            out,
+            "ld-cli evaluate",
+            &[
+                ("trace", path.to_string()),
+                ("series", series.name.clone()),
+                ("selected_hyperparams", hyperparams.to_string()),
+            ],
+            &telemetry,
+            telemetry_out,
+        );
+    }
 }
 
 fn cmd_list() {
     for c in all_configurations() {
         println!("{}", c.label());
+    }
+}
+
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Schema-checks a Chrome trace emitted by `--trace-out` (plus its folded
+/// sibling when present) and, optionally, a run manifest. Exits nonzero
+/// on the first violation — CI gates on this.
+fn cmd_trace_validate(trace_path: &str, manifest_path: Option<&str>) {
+    let events = match ld_telemetry::validate_chrome_trace(&read_or_die(trace_path)) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{trace_path}: invalid chrome trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{trace_path}: valid chrome trace, {events} events");
+    let folded_path = format!("{trace_path}.folded");
+    if std::path::Path::new(&folded_path).exists() {
+        match ld_telemetry::validate_folded(&read_or_die(&folded_path)) {
+            Ok(n) => println!("{folded_path}: valid folded stacks, {n} lines"),
+            Err(e) => {
+                eprintln!("{folded_path}: invalid folded stacks: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(manifest_path) = manifest_path {
+        let manifest = RunManifest::from_json(&read_or_die(manifest_path)).unwrap_or_else(|e| {
+            eprintln!("{manifest_path}: not a run manifest: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = manifest.validate() {
+            eprintln!("{manifest_path}: invalid run manifest: {e}");
+            std::process::exit(1);
+        }
+        if manifest.trace_spans != events as u64 {
+            eprintln!(
+                "{manifest_path}: manifest records {} trace spans but the chrome trace has {events} events",
+                manifest.trace_spans
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "{manifest_path}: valid run manifest (tool `{}`, {} spans, {} roots)",
+            manifest.tool, manifest.trace_spans, manifest.trace_roots
+        );
     }
 }
 
@@ -185,12 +358,14 @@ fn main() {
         );
     }
     let telemetry_out = telemetry_path(&args);
+    let trace_out = trace_out_path(&args);
     match args.first().map(String::as_str) {
         Some("generate") if args.len() == 3 => cmd_generate(&args[1], &args[2]),
         Some("optimize") if args.len() >= 2 => cmd_optimize(
             &args[1],
             args.iter().any(|a| a == "--fast"),
             telemetry_out.as_deref(),
+            trace_out.as_deref(),
         ),
         Some("predict") if args.len() >= 2 => {
             let horizon = args
@@ -198,9 +373,19 @@ fn main() {
                 .and_then(|h| h.parse().ok())
                 .unwrap_or(3usize)
                 .clamp(1, 1000);
-            cmd_predict(&args[1], horizon, telemetry_out.as_deref())
+            cmd_predict(
+                &args[1],
+                horizon,
+                telemetry_out.as_deref(),
+                trace_out.as_deref(),
+            )
         }
-        Some("evaluate") if args.len() >= 2 => cmd_evaluate(&args[1], telemetry_out.as_deref()),
+        Some("evaluate") if args.len() >= 2 => {
+            cmd_evaluate(&args[1], telemetry_out.as_deref(), trace_out.as_deref())
+        }
+        Some("trace-validate") if args.len() >= 2 => {
+            cmd_trace_validate(&args[1], args.get(2).map(String::as_str))
+        }
         Some("list") => cmd_list(),
         _ => usage(),
     }
