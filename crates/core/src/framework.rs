@@ -465,6 +465,15 @@ impl OptimizedPredictor {
         }
     }
 
+    /// The normalization scaler fitted during optimization (for snapshots).
+    /// `None` when the framework degraded to a baseline.
+    pub fn scaler(&self) -> Option<ld_api::MinMaxScaler> {
+        match &self.kind {
+            PredictorKind::Lstm { scaler, .. } => Some(*scaler),
+            PredictorKind::Baseline { .. } => None,
+        }
+    }
+
     /// True if this predictor is a graceful-degradation baseline rather
     /// than a tuned LSTM.
     pub fn is_fallback(&self) -> bool {

@@ -9,13 +9,15 @@
 //! losses into 30% of trials injects them into exactly the same trials
 //! every time.
 //!
-//! Three injection sites are wired into the workspace:
+//! Five injection sites are wired into the workspace:
 //!
 //! | Site | Location | Effect |
 //! |---|---|---|
 //! | [`FaultSite::NanLoss`] | `ld-nn` trainer epoch loop | epoch loss becomes NaN for afflicted trials |
 //! | [`FaultSite::CholeskyFail`] | `ld-gp` surrogate auto-fit | the whole GP fit reports `NumericalFailure` |
 //! | [`FaultSite::TraceCorrupt`] | `ld-traces` config builder | trace values become NaN / negative before sanitization |
+//! | [`FaultSite::SnapshotCorrupt`] | `ld-serve` registry rehydration | a model snapshot read back from disk is truncated/garbled |
+//! | [`FaultSite::BatchNan`] | `ld-serve` fused batch forward | one tenant's window turns NaN inside a shared batch |
 //!
 //! # Activation
 //!
@@ -51,9 +53,15 @@ pub enum FaultSite {
     CholeskyFail,
     /// Corrupt raw trace values to NaN / negatives (sanitizer path).
     TraceCorrupt,
+    /// Garble a model snapshot as it is rehydrated from disk
+    /// (serve-registry degradation path).
+    SnapshotCorrupt,
+    /// Poison one tenant's input window with NaN inside a fused batch
+    /// (per-tenant fallback isolation path).
+    BatchNan,
 }
 
-const SITE_COUNT: usize = 3;
+const SITE_COUNT: usize = 5;
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -61,6 +69,8 @@ impl FaultSite {
             FaultSite::NanLoss => 0,
             FaultSite::CholeskyFail => 1,
             FaultSite::TraceCorrupt => 2,
+            FaultSite::SnapshotCorrupt => 3,
+            FaultSite::BatchNan => 4,
         }
     }
 
@@ -71,15 +81,20 @@ impl FaultSite {
             FaultSite::NanLoss => 0x6E61_6E5F_6C6F_7373,
             FaultSite::CholeskyFail => 0x6368_6F6C_6573_6B79,
             FaultSite::TraceCorrupt => 0x7472_6163_655F_6331,
+            FaultSite::SnapshotCorrupt => 0x736E_6170_5F63_7270,
+            FaultSite::BatchNan => 0x6261_7463_685F_6E61,
         }
     }
 
-    /// Spec-string name (`nan_loss`, `cholesky`, `trace`).
+    /// Spec-string name (`nan_loss`, `cholesky`, `trace`, `snapshot`,
+    /// `batch_nan`).
     pub fn as_str(self) -> &'static str {
         match self {
             FaultSite::NanLoss => "nan_loss",
             FaultSite::CholeskyFail => "cholesky",
             FaultSite::TraceCorrupt => "trace",
+            FaultSite::SnapshotCorrupt => "snapshot",
+            FaultSite::BatchNan => "batch_nan",
         }
     }
 
@@ -88,6 +103,8 @@ impl FaultSite {
             "nan_loss" => Some(FaultSite::NanLoss),
             "cholesky" => Some(FaultSite::CholeskyFail),
             "trace" => Some(FaultSite::TraceCorrupt),
+            "snapshot" => Some(FaultSite::SnapshotCorrupt),
+            "batch_nan" => Some(FaultSite::BatchNan),
             _ => None,
         }
     }
@@ -371,6 +388,32 @@ mod tests {
         assert!(out.iter().any(|v| v.is_nan()));
         assert!(out.iter().any(|v| *v < 0.0));
         assert!(out.iter().all(|v| v.is_nan() || *v < 0.0));
+        reset();
+    }
+
+    #[test]
+    fn serve_sites_parse_and_draw_independently() {
+        let _guard = test_lock();
+        let parsed = FaultConfig::parse("snapshot=1x1, batch_nan=0.4", 5).unwrap();
+        assert_eq!(
+            parsed.site(FaultSite::SnapshotCorrupt),
+            Some(SiteConfig { rate: 1.0, max: Some(1) })
+        );
+        assert_eq!(
+            parsed.site(FaultSite::BatchNan),
+            Some(SiteConfig { rate: 0.4, max: None })
+        );
+        // Distinct salts: the same keys must not fault identically at the
+        // two new sites when both run at the same rate.
+        install(
+            FaultConfig::new(11)
+                .with_site(FaultSite::SnapshotCorrupt, 0.4, None)
+                .with_site(FaultSite::BatchNan, 0.4, None),
+        );
+        let snap: Vec<bool> = (0..512).map(|k| fault_hit(FaultSite::SnapshotCorrupt, k)).collect();
+        let nan: Vec<bool> = (0..512).map(|k| fault_hit(FaultSite::BatchNan, k)).collect();
+        assert_ne!(snap, nan);
+        assert!(snap.iter().any(|&b| b) && nan.iter().any(|&b| b));
         reset();
     }
 

@@ -70,6 +70,17 @@ impl Dense {
         self.w.rows() * (self.w.cols() + 1)
     }
 
+    /// Weights `W` (`out_dim x in_dim`), read-only — used by the fused
+    /// batch kernel and snapshot fingerprints.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Bias `b` (`out_dim x 1`), read-only.
+    pub fn bias(&self) -> &Matrix {
+        &self.b
+    }
+
     /// Forward pass.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         debug_assert_eq!(x.len(), self.in_dim());

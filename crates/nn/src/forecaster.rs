@@ -111,6 +111,7 @@ impl LstmForecaster {
     /// [`ForecasterConfig::validate`]); the framework layer validates before
     /// construction.
     pub fn new(config: ForecasterConfig) -> Self {
+        // ld-lint: allow(unwrap-in-core, "documented constructor contract: the panic is the advertised behavior for invalid configs; framework callers validate via ForecasterConfig::validate before constructing")
         config.validate().expect("invalid forecaster config");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut layers = Vec::with_capacity(config.num_layers);
@@ -129,6 +130,17 @@ impl LstmForecaster {
     /// The configuration this forecaster was built with.
     pub fn config(&self) -> &ForecasterConfig {
         &self.config
+    }
+
+    /// The stacked LSTM layers, bottom first — read-only access for the
+    /// fused batch-inference kernel and snapshot fingerprinting.
+    pub fn layers(&self) -> &[LstmLayer] {
+        &self.layers
+    }
+
+    /// The dense output head, read-only.
+    pub fn head(&self) -> &Dense {
+        &self.head
     }
 
     /// Total number of trainable scalars.
@@ -337,6 +349,7 @@ impl LstmForecaster {
 
     /// Serializes the trained model to JSON (a model snapshot).
     pub fn to_json(&self) -> String {
+        // ld-lint: allow(unwrap-in-core, "infallible by construction: the forecaster is a tree of finite-dim matrices and plain fields, every one of which serializes without error")
         serde_json::to_string(self).expect("forecaster serialization")
     }
 

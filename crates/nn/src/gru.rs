@@ -214,10 +214,11 @@ impl GruLayer {
                 rh_row[k] = g_row[h + k] * h_prev[k];
             }
             for k in 0..h {
-                g_row[2 * h + k] = (vecops::dot4(self.w.row(2 * h + k), x)
-                    + vecops::dot4(self.u.row(2 * h + k), rh_row)
-                    + self.b[(2 * h + k, 0)])
-                .tanh();
+                g_row[2 * h + k] = crate::activation::tanh(
+                    vecops::dot4(self.w.row(2 * h + k), x)
+                        + vecops::dot4(self.u.row(2 * h + k), rh_row)
+                        + self.b[(2 * h + k, 0)],
+                );
                 h_t[k] = (1.0 - g_row[k]) * g_row[2 * h + k] + g_row[k] * h_prev[k];
             }
         }

@@ -29,6 +29,7 @@
 #![deny(rust_2018_idioms)]
 
 pub mod activation;
+pub mod batch;
 pub mod dense;
 pub mod forecaster;
 pub mod gru;
@@ -41,6 +42,7 @@ pub mod sections;
 pub mod trainer;
 pub mod workspace;
 
+pub use batch::BatchScratch;
 pub use forecaster::{ForecasterConfig, LstmForecaster};
 pub use gru::{GruConfig, GruForecaster};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};

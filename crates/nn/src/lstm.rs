@@ -33,7 +33,9 @@ use ld_linalg::{vecops, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::activation::{sigmoid, sigmoid_deriv_from_output, tanh_deriv_from_output};
+use crate::activation::{
+    sigmoid, sigmoid_deriv_from_output, sigmoid_map, tanh, tanh_deriv_from_output, tanh_map,
+};
 
 /// One LSTM layer (the `M` cell of the paper, unrolled over a window).
 #[derive(Debug, Clone)]
@@ -221,6 +223,22 @@ impl LstmLayer {
         4 * self.hidden * (self.input_dim + self.hidden + 1)
     }
 
+    /// Input weights `W` (`4H x input_dim`, gate blocks `[i, f, o, g]`),
+    /// read-only — used by the fused batch kernel and snapshot fingerprints.
+    pub fn input_weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Recurrent weights `U` (`4H x H`), read-only.
+    pub fn recurrent_weights(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// Bias `b` (`4H x 1`), read-only.
+    pub fn bias(&self) -> &Matrix {
+        &self.b
+    }
+
     /// Visits `(parameter, gradient)` tensor pairs in a fixed order, used by
     /// the optimizer. Invalidate-on-step: any visitor may mutate the
     /// weights, so the cached transposes are dropped afterwards and the next
@@ -304,15 +322,18 @@ impl LstmLayer {
                 gate_nanos += t0.elapsed().as_nanos();
             }
 
-            for k in 0..h {
-                g_row[k] = sigmoid(z[k]);
-                g_row[h + k] = sigmoid(z[h + k]);
-                g_row[2 * h + k] = sigmoid(z[2 * h + k]);
-                g_row[3 * h + k] = z[3 * h + k].tanh();
-            }
+            // Gate blocks are contiguous ([i|f|o] then [g]), so the
+            // activations run as two slice-mapped passes the compiler can
+            // vectorize; per-element results match the scalar calls exactly.
+            g_row.copy_from_slice(z);
+            sigmoid_map(&mut g_row[..3 * h]);
+            tanh_map(&mut g_row[3 * h..]);
             for k in 0..h {
                 c_t[k] = g_row[h + k] * c_prev[k] + g_row[k] * g_row[3 * h + k];
-                tc[k] = c_t[k].tanh();
+            }
+            tc.copy_from_slice(c_t);
+            tanh_map(tc);
+            for k in 0..h {
                 h_t[k] = g_row[2 * h + k] * tc[k];
             }
         }
@@ -493,13 +514,13 @@ impl LstmLayer {
             let i_gate: Vec<f64> = z[0..h].iter().map(|&v| sigmoid(v)).collect();
             let f_gate: Vec<f64> = z[h..2 * h].iter().map(|&v| sigmoid(v)).collect();
             let o_gate: Vec<f64> = z[2 * h..3 * h].iter().map(|&v| sigmoid(v)).collect();
-            let g_gate: Vec<f64> = z[3 * h..4 * h].iter().map(|&v| v.tanh()).collect();
+            let g_gate: Vec<f64> = z[3 * h..4 * h].iter().map(|&v| tanh(v)).collect();
 
             let mut c_t = vec![0.0; h];
             for k in 0..h {
                 c_t[k] = f_gate[k] * c_prev[k] + i_gate[k] * g_gate[k];
             }
-            let tanh_c: Vec<f64> = c_t.iter().map(|&v| v.tanh()).collect();
+            let tanh_c: Vec<f64> = c_t.iter().map(|&v| tanh(v)).collect();
             let mut h_t = vec![0.0; h];
             for k in 0..h {
                 h_t[k] = o_gate[k] * tanh_c[k];

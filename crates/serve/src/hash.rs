@@ -1,0 +1,55 @@
+//! FNV-1a, the crate's one hash: stable across platforms and runs, cheap,
+//! and entirely seed/content-derived — exactly what shard placement, spill
+//! file naming, and response digests need. `std`'s `DefaultHasher` is
+//! explicitly *not* stable across releases, so it never appears here.
+
+/// FNV-1a 64-bit offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one byte into a running FNV-1a state.
+#[inline]
+pub(crate) fn fnv1a_byte(h: u64, b: u8) -> u64 {
+    (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+}
+
+/// Folds a byte slice into a running FNV-1a state.
+pub(crate) fn fnv1a_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = fnv1a_byte(h, b);
+    }
+    h
+}
+
+/// Folds a `u64` (little-endian bytes) into a running FNV-1a state.
+#[inline]
+pub(crate) fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = fnv1a_byte(h, b);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_bytes(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_bytes(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_bytes(FNV_OFFSET, b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn u64_fold_matches_byte_fold() {
+        let v = 0x0123_4567_89ab_cdefu64;
+        assert_eq!(
+            fnv1a_u64(FNV_OFFSET, v),
+            fnv1a_bytes(FNV_OFFSET, &v.to_le_bytes())
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! `ld-serve` — the multi-tenant serving layer over the trained
+//! LoadDynamics predictors.
+//!
+//! The paper tunes one predictor per workload configuration; a cloud
+//! provider runs *many* tenants at once. This crate is the piece between
+//! the trained models and that fleet:
+//!
+//! - [`snapshot`]: serializable [`snapshot::ModelSnapshot`]s (model +
+//!   tenant scaler + window length) with weight fingerprints, spilled to
+//!   and rehydrated from a [`snapshot::SnapshotStore`];
+//! - [`registry`]: the FNV-sharded, logically-clocked LRU registry of
+//!   resident snapshots keyed by `(tenant, workload)`;
+//! - [`admission`]: a bounded request queue whose shed decisions are a
+//!   pure function of the submission sequence;
+//! - [`engine`]: the tick-based [`engine::ServeEngine`] — drains the
+//!   queue, groups lanes by `(shape, weight fingerprint)`, and answers
+//!   each group with one fused batched LSTM forward
+//!   ([`ld_nn::LstmForecaster::predict_batch_fused`]) while retaining the
+//!   per-tenant serial and reference paths for equivalence; poisoned or
+//!   snapshot-less tenants degrade to the WMA smoothing fallback without
+//!   contaminating their co-batched neighbors;
+//! - [`bench`]: the stable `BENCH_serve.json` schema written by the
+//!   `ld-loadgen` binary, plus its validator.
+//!
+//! Everything downstream of the request sequence is deterministic: shard
+//! placement and batch composition derive from keys and seeds — never from
+//! arrival time, thread identity, or the wall clock — so identically-seeded
+//! load runs produce bitwise-identical response streams and identical span
+//! trees.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod admission;
+pub mod bench;
+pub mod engine;
+mod hash;
+pub mod registry;
+pub mod snapshot;
+
+pub use admission::{AdmissionQueue, AdmissionStats, Request};
+pub use bench::{percentile_ns, validate_document, ServeBenchReport, SERVE_SCHEMA_VERSION};
+pub use engine::{
+    response_digest, EngineConfig, ExecMode, Response, ResponseSource, ServeEngine, ServeStats,
+};
+pub use registry::{ClientKey, RegistryConfig, RegistryStats, ShardedRegistry};
+pub use snapshot::{ModelSnapshot, ModelShape, SnapshotError, SnapshotStore};

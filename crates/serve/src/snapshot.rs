@@ -1,0 +1,327 @@
+//! Serializable model snapshots and their on-disk spill store.
+//!
+//! A [`ModelSnapshot`] is everything the serving layer needs to answer one
+//! tenant: the trained [`LstmForecaster`], the tenant's [`MinMaxScaler`],
+//! and the tuned window length. Snapshots carry a FNV-1a fingerprint over
+//! every weight, which serves two purposes:
+//!
+//! - the batching engine groups tenants by `(shape, fingerprint)` — only
+//!   tenants whose predictors share *identical* weights are fused into one
+//!   batched forward, so batching can never change a tenant's answer;
+//! - [`SnapshotStore::load`] recomputes the fingerprint after parsing and
+//!   rejects a snapshot whose weights do not hash to the stored value,
+//!   turning silent on-disk corruption into an explicit
+//!   [`SnapshotError::Corrupt`] the registry can degrade around.
+
+use ld_api::MinMaxScaler;
+use ld_nn::LstmForecaster;
+
+use crate::hash::{fnv1a_bytes, fnv1a_u64, FNV_OFFSET};
+use crate::registry::ClientKey;
+
+/// The model geometry a batch must agree on before lanes can be fused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelShape {
+    /// Input window length `n`.
+    pub history_len: usize,
+    /// Hidden units per layer.
+    pub hidden_size: usize,
+    /// Stacked layer count.
+    pub num_layers: usize,
+}
+
+/// A frozen, serializable predictor for one `(tenant, workload)` client.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ModelSnapshot {
+    model: LstmForecaster,
+    scaler: MinMaxScaler,
+    history_len: usize,
+    /// FNV-1a over every weight's bit pattern; recomputed and verified on
+    /// every rehydration from disk.
+    fingerprint: u64,
+}
+
+impl ModelSnapshot {
+    /// Freezes a trained model with its tenant scaler.
+    ///
+    /// # Panics
+    /// Panics if `history_len` disagrees with the model's configured input
+    /// window — a snapshot must be servable exactly as stored.
+    pub fn new(model: LstmForecaster, scaler: MinMaxScaler, history_len: usize) -> Self {
+        assert_eq!(
+            model.config().history_len,
+            history_len,
+            "snapshot history_len must match the model's input window"
+        );
+        let fingerprint = weight_fingerprint(&model);
+        ModelSnapshot {
+            model,
+            scaler,
+            history_len,
+            fingerprint,
+        }
+    }
+
+    /// Freezes the LSTM inside a tuned [`loaddynamics::OptimizedPredictor`].
+    /// Returns `None` when the framework degraded to a smoothing baseline —
+    /// those predictors are stateless and need no registry entry.
+    pub fn from_predictor(p: &loaddynamics::OptimizedPredictor) -> Option<Self> {
+        let model = p.model()?.clone();
+        let scaler = p.scaler()?;
+        Some(Self::new(model, scaler, p.history_len()))
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &LstmForecaster {
+        &self.model
+    }
+
+    /// The tenant's normalization scaler.
+    pub fn scaler(&self) -> MinMaxScaler {
+        self.scaler
+    }
+
+    /// The tuned input window length.
+    pub fn history_len(&self) -> usize {
+        self.history_len
+    }
+
+    /// The weight fingerprint computed when the snapshot was frozen.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The batching-relevant geometry.
+    pub fn shape(&self) -> ModelShape {
+        let cfg = self.model.config();
+        ModelShape {
+            history_len: self.history_len,
+            hidden_size: cfg.hidden_size,
+            num_layers: cfg.num_layers,
+        }
+    }
+
+    /// Serializes the snapshot to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization")
+    }
+
+    /// Parses a snapshot and verifies its weight fingerprint.
+    pub fn from_json(json: &str) -> Result<Self, SnapshotError> {
+        let snap: ModelSnapshot =
+            serde_json::from_str(json).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        let actual = weight_fingerprint(&snap.model);
+        if actual != snap.fingerprint {
+            return Err(SnapshotError::Corrupt(format!(
+                "weight fingerprint mismatch: stored {:#018x}, recomputed {actual:#018x}",
+                snap.fingerprint
+            )));
+        }
+        Ok(snap)
+    }
+}
+
+/// FNV-1a over the bit patterns of every parameter, in `visit`-independent
+/// deterministic order: per layer `W`, `U`, `b`, then the head `W`, `b`.
+fn weight_fingerprint(model: &LstmForecaster) -> u64 {
+    let mut h = FNV_OFFSET;
+    for layer in model.layers() {
+        for m in [layer.input_weights(), layer.recurrent_weights(), layer.bias()] {
+            for &v in m.as_slice() {
+                h = fnv1a_u64(h, v.to_bits());
+            }
+        }
+    }
+    for m in [model.head().weights(), model.head().bias()] {
+        for &v in m.as_slice() {
+            h = fnv1a_u64(h, v.to_bits());
+        }
+    }
+    h
+}
+
+/// Why a snapshot could not be produced from the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// No spilled snapshot exists for the key.
+    Missing,
+    /// The bytes on disk do not parse/verify as a snapshot.
+    Corrupt(String),
+    /// The filesystem failed underneath the store.
+    Io(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Missing => write!(f, "no spilled snapshot for key"),
+            SnapshotError::Corrupt(why) => write!(f, "snapshot corrupt: {why}"),
+            SnapshotError::Io(why) => write!(f, "snapshot store I/O: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The on-disk side of the registry: evicted snapshots spill here and are
+/// lazily rehydrated on the next request for their key.
+///
+/// File names are derived from the key's stable hash, never from arrival
+/// order, so a store populated by two differently-interleaved runs is
+/// byte-identical.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: std::path::PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore { dir })
+    }
+
+    /// The file a key spills to.
+    pub fn path_for(&self, key: &ClientKey) -> std::path::PathBuf {
+        self.dir.join(format!("{:016x}.snapshot.json", key.stable_hash()))
+    }
+
+    /// Spills a snapshot for `key`.
+    pub fn save(&self, key: &ClientKey, snap: &ModelSnapshot) -> std::io::Result<()> {
+        std::fs::write(self.path_for(key), snap.to_json())
+    }
+
+    /// Rehydrates the snapshot spilled for `key`, verifying its weight
+    /// fingerprint.
+    ///
+    /// When the [`ld_faultinject`] `snapshot` site is active, the loaded
+    /// bytes are deterministically mangled before parsing (keyed off the
+    /// key's stable hash), exercising the registry's corrupt-rehydration
+    /// degradation path.
+    pub fn load(&self, key: &ClientKey) -> Result<ModelSnapshot, SnapshotError> {
+        let path = self.path_for(key);
+        let mut text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(SnapshotError::Missing)
+            }
+            Err(e) => return Err(SnapshotError::Io(e.to_string())),
+        };
+        if ld_faultinject::is_active()
+            && ld_faultinject::fault_hit(
+                ld_faultinject::FaultSite::SnapshotCorrupt,
+                key.stable_hash(),
+            )
+        {
+            // Deterministic mangling: truncate to half and flip a digit, so
+            // the parse (or the fingerprint check) must fail.
+            let half = text.len() / 2;
+            text.truncate(half);
+            text.push('!');
+        }
+        ModelSnapshot::from_json(&text)
+    }
+
+    /// Removes every spilled snapshot (test hygiene).
+    pub fn clear(&self) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                std::fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+}
+
+/// Digest of a serialized snapshot's bytes (store-level identity, used by
+/// tests to prove spill/rehydrate losslessness).
+pub fn snapshot_bytes_digest(snap: &ModelSnapshot) -> u64 {
+    fnv1a_bytes(FNV_OFFSET, snap.to_json().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_nn::ForecasterConfig;
+
+    fn snap(seed: u64) -> ModelSnapshot {
+        let model = LstmForecaster::new(ForecasterConfig {
+            history_len: 8,
+            hidden_size: 4,
+            num_layers: 1,
+            seed,
+        });
+        let scaler = MinMaxScaler::fit(&[1.0, 5.0, 9.0]);
+        ModelSnapshot::new(model, scaler, 8)
+    }
+
+    fn test_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.push("../../target/ld-serve-unit");
+        p.push(name);
+        p
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_fingerprint_and_outputs() {
+        let s = snap(7);
+        let back = ModelSnapshot::from_json(&s.to_json()).expect("roundtrip");
+        assert_eq!(back.fingerprint(), s.fingerprint());
+        assert_eq!(back.shape(), s.shape());
+        let w: Vec<f64> = (0..8).map(|i| 0.1 * f64::from(i)).collect();
+        assert_eq!(
+            s.model().predict(&w).to_bits(),
+            back.model().predict(&w).to_bits()
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_models_and_survives_scaler_changes() {
+        let a = snap(1);
+        let b = snap(2);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let a2 = ModelSnapshot::new(a.model().clone(), MinMaxScaler::fit(&[0.0, 1.0]), 8);
+        assert_eq!(a.fingerprint(), a2.fingerprint());
+    }
+
+    #[test]
+    fn tampered_weights_fail_the_fingerprint_check() {
+        let s = snap(3);
+        let json = s.to_json();
+        // Corrupt one weight without breaking JSON syntax: the fingerprint
+        // check must still reject it.
+        let needle = "\"data\":[";
+        let at = json.find(needle).expect("weights present") + needle.len();
+        let mut tampered = json.clone();
+        tampered.replace_range(at..at + 1, if &json[at..at + 1] == "1" { "2" } else { "1" });
+        match ModelSnapshot::from_json(&tampered) {
+            Err(SnapshotError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_spill_and_rehydrate_is_lossless() {
+        let store = SnapshotStore::open(test_dir("snapshot-lossless")).expect("open");
+        store.clear().expect("clear");
+        let key = ClientKey::new("tenant-9", "wiki");
+        let s = snap(9);
+        store.save(&key, &s).expect("save");
+        let back = store.load(&key).expect("load");
+        assert_eq!(snapshot_bytes_digest(&s), snapshot_bytes_digest(&back));
+    }
+
+    #[test]
+    fn missing_key_is_distinguished_from_corruption() {
+        let store = SnapshotStore::open(test_dir("snapshot-missing")).expect("open");
+        let key = ClientKey::new("nobody", "nothing");
+        assert_eq!(store.load(&key).unwrap_err(), SnapshotError::Missing);
+    }
+}

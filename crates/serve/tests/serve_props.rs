@@ -1,0 +1,217 @@
+//! Property-style invariants of the serving layer, driven by a seeded
+//! splitmix64 generator over randomized fleets and schedules:
+//!
+//! - admission is exclusive and total: every submitted request is either
+//!   shed at `submit` or answered by a later tick, never both;
+//! - the queue never holds more than its configured bound;
+//! - the shard count is a constant of the run, whatever the churn;
+//! - cache accounting is conserved: every resolve is exactly one hit or
+//!   one miss, rehydrations never exceed misses, and residency never
+//!   exceeds the configured capacity.
+
+use ld_api::MinMaxScaler;
+use ld_nn::{ForecasterConfig, LstmForecaster};
+use ld_serve::{
+    ClientKey, EngineConfig, ExecMode, ModelSnapshot, RegistryConfig, Request, ServeEngine,
+    SnapshotStore,
+};
+use ld_telemetry::Tracer;
+use std::collections::BTreeSet;
+
+const HIST: usize = 10;
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn store(label: &str) -> SnapshotStore {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/ld-serve-props")
+        .join(label);
+    let s = SnapshotStore::open(dir).expect("open store");
+    s.clear().expect("clear store");
+    s
+}
+
+fn provisioned_engine(
+    label: &str,
+    seed: u64,
+    tenants: usize,
+    queue_capacity: usize,
+    shard_count: usize,
+    capacity_per_shard: usize,
+) -> (ServeEngine, Vec<ClientKey>, Vec<Vec<f64>>) {
+    let model = LstmForecaster::new(ForecasterConfig {
+        history_len: HIST,
+        hidden_size: 5,
+        num_layers: 1,
+        seed: seed ^ 0x51ed,
+    });
+    let mut eng = ServeEngine::new(
+        EngineConfig {
+            mode: ExecMode::Batched,
+            queue_capacity,
+            registry: RegistryConfig {
+                shard_count,
+                capacity_per_shard,
+            },
+        },
+        store(label),
+        Tracer::disabled(),
+    );
+    let mut keys = Vec::new();
+    let mut histories = Vec::new();
+    for t in 0..tenants {
+        let h: Vec<f64> = (0..HIST)
+            .map(|i| 5.0 + (splitmix64(seed ^ (t * 64 + i) as u64) % 1000) as f64 * 0.01)
+            .collect();
+        let key = ClientKey::new(format!("p-{seed}-{t:03}"), "props");
+        eng.provision(key.clone(), ModelSnapshot::new(model.clone(), MinMaxScaler::fit(&h), HIST))
+            .expect("provision");
+        keys.push(key);
+        histories.push(h);
+    }
+    (eng, keys, histories)
+}
+
+#[test]
+fn no_request_is_both_shed_and_answered_and_none_is_lost() {
+    for seed in [3u64, 17, 91] {
+        let tenants = 12 + (splitmix64(seed) % 9) as usize;
+        let bound = 8usize;
+        let (mut eng, keys, histories) =
+            provisioned_engine(&format!("shed-{seed}"), seed, tenants, bound, 4, 64);
+
+        let mut shed = BTreeSet::new();
+        let mut answered = BTreeSet::new();
+        let mut submitted = BTreeSet::new();
+        let mut next_id = 0u64;
+        for round in 0..12 {
+            // Offer a randomized burst, deliberately above the bound.
+            let burst = 3 + (splitmix64(seed ^ round) % (2 * bound as u64)) as usize;
+            for _ in 0..burst {
+                let t = (splitmix64(seed ^ next_id.rotate_left(17)) % tenants as u64) as usize;
+                let req = Request {
+                    id: next_id,
+                    key: keys[t].clone(),
+                    history: histories[t].clone(),
+                };
+                submitted.insert(next_id);
+                if let Err(back) = eng.submit(req) {
+                    assert_eq!(back.id, next_id, "shed returns the offered request");
+                    shed.insert(next_id);
+                }
+                next_id += 1;
+            }
+            for resp in eng.tick() {
+                assert!(answered.insert(resp.id), "id {} answered twice", resp.id);
+            }
+        }
+        for resp in eng.tick() {
+            assert!(answered.insert(resp.id), "id {} answered twice", resp.id);
+        }
+
+        assert!(
+            shed.is_disjoint(&answered),
+            "requests both shed and answered: {:?}",
+            shed.intersection(&answered).collect::<Vec<_>>()
+        );
+        let union: BTreeSet<u64> = shed.union(&answered).copied().collect();
+        assert_eq!(union, submitted, "every request is shed xor answered");
+        let stats = eng.stats();
+        assert_eq!(stats.admission.shed, shed.len() as u64);
+        assert_eq!(stats.served, answered.len() as u64);
+    }
+}
+
+#[test]
+fn queue_depth_never_exceeds_bound() {
+    for seed in [7u64, 23] {
+        let bound = 5usize;
+        let (mut eng, keys, histories) =
+            provisioned_engine(&format!("depth-{seed}"), seed, 9, bound, 2, 32);
+        let mut id = 0u64;
+        for round in 0..10u64 {
+            let burst = (splitmix64(seed ^ round) % 11) as usize;
+            for _ in 0..burst {
+                let t = (id % keys.len() as u64) as usize;
+                let _ = eng.submit(Request {
+                    id,
+                    key: keys[t].clone(),
+                    history: histories[t].clone(),
+                });
+                id += 1;
+                assert!(
+                    eng.queue_depth() <= bound,
+                    "depth {} exceeded bound {bound}",
+                    eng.queue_depth()
+                );
+            }
+            eng.tick();
+            assert_eq!(eng.queue_depth(), 0, "tick drains the queue");
+        }
+    }
+}
+
+#[test]
+fn shard_count_is_constant_under_churn() {
+    let (mut eng, keys, histories) =
+        provisioned_engine("shards", 29, 20, 64, 8, 1 /* heavy eviction churn */, );
+    let want = eng.shard_count();
+    assert_eq!(want, 8);
+    for tick in 0..6 {
+        for (i, key) in keys.iter().enumerate() {
+            eng.submit(Request {
+                id: (tick * keys.len() + i) as u64,
+                key: key.clone(),
+                history: histories[i].clone(),
+            })
+            .expect("queue is large enough");
+            assert_eq!(eng.shard_count(), want);
+        }
+        eng.tick();
+        assert_eq!(eng.shard_count(), want, "churn must not resize the registry");
+    }
+    assert!(eng.stats().cache.evictions > 0, "capacity 1 must churn");
+}
+
+#[test]
+fn cache_accounting_is_conserved() {
+    for (label, capacity) in [("acct-roomy", 64usize), ("acct-tight", 2)] {
+        let (mut eng, keys, histories) = provisioned_engine(label, 41, 15, 64, 4, capacity);
+        let mut resolved = 0u64;
+        for tick in 0..8 {
+            for (i, key) in keys.iter().enumerate() {
+                eng.submit(Request {
+                    id: (tick * keys.len() + i) as u64,
+                    key: key.clone(),
+                    history: histories[i].clone(),
+                })
+                .expect("no shed in this schedule");
+            }
+            resolved += eng.tick().len() as u64;
+        }
+        let cache = eng.stats().cache;
+        assert_eq!(
+            cache.hits + cache.misses,
+            resolved,
+            "every resolve is exactly one hit or one miss ({label}: {cache:?})"
+        );
+        assert!(
+            cache.rehydrations + cache.corrupt_rehydrations <= cache.misses,
+            "rehydrations can only come from misses ({label}: {cache:?})"
+        );
+        assert!(
+            eng.registry().resident() <= eng.shard_count() * capacity,
+            "residency above capacity ({label})"
+        );
+        if capacity == 2 {
+            assert!(cache.evictions > 0 && cache.rehydrations > 0, "{label}: {cache:?}");
+        } else {
+            assert_eq!(cache.misses, 0, "roomy registry never misses after provisioning");
+        }
+    }
+}

@@ -22,8 +22,16 @@ echo "=== fault-injection & robustness suites ==="
 cargo test -q -p ld-faultinject
 cargo test -q --test fault_injection --test adversarial_inputs
 
+echo "=== serving suites (pipeline equivalence, properties, fault isolation) ==="
+cargo test -q --release -p ld-serve
+cargo test -q --release -p ld-perfbench --test compare_gate
+
 echo "=== ld-perfbench --smoke (kernel equivalence + bench schema + regression gate) ==="
 cargo run -q --release -p ld-perfbench -- --smoke --compare BENCH_perf.json --tolerance 2.5
+
+echo "=== ld-loadgen --smoke (serve replay: equivalence, determinism, shed, cache) ==="
+cargo run -q --release -p ld-serve --bin ld-loadgen -- --smoke
+cargo run -q --release -p ld-serve --bin ld-loadgen -- --check BENCH_serve.json
 
 echo "=== traced fig6 smoke run (span tracing + run-manifest validation) ==="
 mkdir -p target
