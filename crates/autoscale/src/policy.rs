@@ -11,6 +11,18 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Final float→count conversion shared by the policies and the simulator:
+/// non-finite inputs become 0, negatives clamp to 0, and the value is
+/// bounded by `u32::MAX` before the cast, so the `as` conversion never
+/// silently saturates on a poisoned prediction.
+pub(crate) fn to_count(x: f64) -> usize {
+    if !x.is_finite() {
+        return 0;
+    }
+    let bounded = x.clamp(0.0, f64::from(u32::MAX));
+    bounded as usize
+}
+
 /// Maps a raw JAR prediction to a VM count.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[derive(Default)]
@@ -41,10 +53,10 @@ impl ProvisioningPolicy {
             0.0
         };
         match *self {
-            ProvisioningPolicy::Exact => p.round() as usize,
+            ProvisioningPolicy::Exact => to_count(p.round()),
             ProvisioningPolicy::Headroom { factor } => {
                 assert!(factor >= 0.0, "headroom must be non-negative");
-                (p * (1.0 + factor)).ceil() as usize
+                to_count((p * (1.0 + factor)).ceil())
             }
             ProvisioningPolicy::Fixed { vms } => vms,
         }

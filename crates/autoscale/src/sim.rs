@@ -9,7 +9,7 @@
 use ld_api::{Predictor, Series};
 
 use crate::job::ExecTimeModel;
-use crate::policy::ProvisioningPolicy;
+use crate::policy::{to_count, ProvisioningPolicy};
 use crate::report::{AutoscaleReport, IntervalRecord};
 use crate::vm::Vm;
 
@@ -118,7 +118,7 @@ pub fn simulate_traced(
         let predicted = config.policy.vms_for(raw);
 
         // Step 2 (at interval i): jobs arrive, one VM each.
-        let actual = series.values[i].round() as usize;
+        let actual = to_count(series.values[i].round());
         let jobs = config.exec.jobs_for_interval(i, actual, config.seed);
 
         let mut vms: Vec<Vm> = (0..predicted).map(|_| Vm::proactive()).collect();

@@ -77,7 +77,9 @@ fn main() {
     // Print the sorted curve as deciles plus best/worst configs.
     let mut rows = Vec::new();
     for q in [0, 10, 25, 50, 75, 90, 100] {
-        let idx = ((q as f64 / 100.0) * (mapes.len() - 1) as f64).round() as usize;
+        // Nearest-rank percentile in integer arithmetic: round(q*(n-1)/100)
+        // without a float round-trip (and without the lossy cast back).
+        let idx = (q * (mapes.len() - 1) + 50) / 100;
         rows.push(vec![
             format!("p{q}"),
             format!("{:.1}", mapes[idx].1),

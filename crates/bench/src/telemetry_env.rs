@@ -31,12 +31,7 @@ pub fn telemetry_from_env() -> (Telemetry, Option<String>) {
 /// `ld-faultinject`), reporting on stderr when one is active so a faulted
 /// run can never be mistaken for a clean one. No-op when unset.
 pub fn faults_from_env() {
-    if ld_faultinject::init_from_env(0) {
-        eprintln!(
-            "fault injection active: LD_FAULT={}",
-            std::env::var("LD_FAULT").unwrap_or_default()
-        );
-    }
+    ld_faultinject::activate_from_env(0);
 }
 
 /// Writes the snapshot to the path from [`telemetry_from_env`] (no-op when

@@ -9,7 +9,7 @@
 //! losses into 30% of trials injects them into exactly the same trials
 //! every time.
 //!
-//! Five injection sites are wired into the workspace:
+//! Six injection sites are wired into the workspace:
 //!
 //! | Site | Location | Effect |
 //! |---|---|---|
@@ -18,6 +18,12 @@
 //! | [`FaultSite::TraceCorrupt`] | `ld-traces` config builder | trace values become NaN / negative before sanitization |
 //! | [`FaultSite::SnapshotCorrupt`] | `ld-serve` registry rehydration | a model snapshot read back from disk is truncated/garbled |
 //! | [`FaultSite::BatchNan`] | `ld-serve` fused batch forward | one tenant's window turns NaN inside a shared batch |
+//! | [`FaultSite::CrashWrite`] | `ld-serve` snapshot spill | the spill "crashes" mid-write, leaving a torn temp file |
+//!
+//! The [`chaos`] module layers a *schedule* on top of these point sites: a
+//! seed-keyed timeline of slow-shard, snapshot-corrupt, crash-at-offset,
+//! batch-NaN, and burst-overload windows that the `ld-loadgen --chaos`
+//! soak harness replays deterministically.
 //!
 //! # Activation
 //!
@@ -41,6 +47,8 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod chaos;
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -59,9 +67,13 @@ pub enum FaultSite {
     /// Poison one tenant's input window with NaN inside a fused batch
     /// (per-tenant fallback isolation path).
     BatchNan,
+    /// Simulate a crash in the middle of a snapshot spill: the store
+    /// writes a torn temp file, never publishes it, and reports the spill
+    /// as failed (crash-consistency / recovery path).
+    CrashWrite,
 }
 
-const SITE_COUNT: usize = 5;
+const SITE_COUNT: usize = 6;
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -71,6 +83,7 @@ impl FaultSite {
             FaultSite::TraceCorrupt => 2,
             FaultSite::SnapshotCorrupt => 3,
             FaultSite::BatchNan => 4,
+            FaultSite::CrashWrite => 5,
         }
     }
 
@@ -83,11 +96,12 @@ impl FaultSite {
             FaultSite::TraceCorrupt => 0x7472_6163_655F_6331,
             FaultSite::SnapshotCorrupt => 0x736E_6170_5F63_7270,
             FaultSite::BatchNan => 0x6261_7463_685F_6E61,
+            FaultSite::CrashWrite => 0x6372_6173_685F_7772,
         }
     }
 
     /// Spec-string name (`nan_loss`, `cholesky`, `trace`, `snapshot`,
-    /// `batch_nan`).
+    /// `batch_nan`, `crash`).
     pub fn as_str(self) -> &'static str {
         match self {
             FaultSite::NanLoss => "nan_loss",
@@ -95,6 +109,7 @@ impl FaultSite {
             FaultSite::TraceCorrupt => "trace",
             FaultSite::SnapshotCorrupt => "snapshot",
             FaultSite::BatchNan => "batch_nan",
+            FaultSite::CrashWrite => "crash",
         }
     }
 
@@ -105,6 +120,7 @@ impl FaultSite {
             "trace" => Some(FaultSite::TraceCorrupt),
             "snapshot" => Some(FaultSite::SnapshotCorrupt),
             "batch_nan" => Some(FaultSite::BatchNan),
+            "crash" => Some(FaultSite::CrashWrite),
             _ => None,
         }
     }
@@ -147,6 +163,12 @@ impl FaultConfig {
     /// The configuration for `site`, if any.
     pub fn site(&self, site: FaultSite) -> Option<SiteConfig> {
         self.sites[site.index()]
+    }
+
+    /// Whether no site is configured (installing such a plan injects
+    /// nothing; callers usually [`reset`] instead).
+    pub fn is_empty(&self) -> bool {
+        self.sites.iter().all(Option::is_none)
     }
 
     /// Parses a spec like `"nan_loss=0.3,cholesky=1x1,trace=0.05"`.
@@ -223,29 +245,92 @@ pub fn reset() {
     *guard = None;
 }
 
-/// Installs a plan from `LD_FAULT` / `LD_FAULT_SEED` if `LD_FAULT` is set
-/// and non-empty. Returns whether a plan was installed. Malformed specs are
-/// reported on stderr and ignored (a typo'd knob must not corrupt a run).
-pub fn init_from_env(default_seed: u64) -> bool {
-    let Ok(spec) = std::env::var("LD_FAULT") else {
-        return false;
-    };
-    if spec.trim().is_empty() {
-        return false;
+/// A parsed, ready-to-install fault plan plus the spec it came from.
+///
+/// This is the one piece of `LD_FAULT` plumbing the workspace binaries
+/// share: fig6, fig10, `ld-cli`, and `ld-loadgen` all call
+/// [`activate_from_env`] (or build a `FaultPlan` directly) instead of
+/// each re-implementing env parsing and the "announce on stderr" courtesy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    spec: String,
+}
+
+impl FaultPlan {
+    /// Parses a spec like `"nan_loss=0.3,cholesky=1x1"` into a plan.
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        Ok(FaultPlan {
+            config: FaultConfig::parse(spec, seed)?,
+            spec: spec.trim().to_string(),
+        })
     }
-    let seed = std::env::var("LD_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
-        .unwrap_or(default_seed);
-    match FaultConfig::parse(&spec, seed) {
-        Ok(config) => {
-            install(config);
+
+    /// Builds a plan from `LD_FAULT` / `LD_FAULT_SEED`. Returns `None`
+    /// when `LD_FAULT` is unset or empty; malformed specs are reported on
+    /// stderr and ignored (a typo'd knob must not corrupt a run).
+    pub fn from_env(default_seed: u64) -> Option<Self> {
+        let spec = std::env::var("LD_FAULT").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        let seed = std::env::var("LD_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(default_seed);
+        match FaultPlan::parse(&spec, seed) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("LD_FAULT ignored: {e}");
+                None
+            }
+        }
+    }
+
+    /// The parsed configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The originating spec string.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Installs the plan process-wide and announces it on stderr, so a
+    /// faulted run can never be mistaken for a clean one.
+    pub fn activate(&self) {
+        install(self.config.clone());
+        eprintln!(
+            "fault injection active: LD_FAULT={} (seed {})",
+            self.spec, self.config.seed
+        );
+    }
+}
+
+/// The one env entry point every binary uses: parse `LD_FAULT` /
+/// `LD_FAULT_SEED`, install the plan, and announce it. Returns whether a
+/// plan was activated.
+pub fn activate_from_env(default_seed: u64) -> bool {
+    match FaultPlan::from_env(default_seed) {
+        Some(plan) => {
+            plan.activate();
             true
         }
-        Err(e) => {
-            eprintln!("LD_FAULT ignored: {e}");
-            false
+        None => false,
+    }
+}
+
+/// Installs a plan from `LD_FAULT` / `LD_FAULT_SEED` if `LD_FAULT` is set
+/// and non-empty, without the stderr announcement (tests). Returns whether
+/// a plan was installed.
+pub fn init_from_env(default_seed: u64) -> bool {
+    match FaultPlan::from_env(default_seed) {
+        Some(plan) => {
+            install(plan.config.clone());
+            true
         }
+        None => false,
     }
 }
 

@@ -23,6 +23,28 @@ pub struct Request {
     pub key: ClientKey,
     /// Recent raw (unscaled) observations, oldest first.
     pub history: Vec<f64>,
+    /// Absolute logical-tick deadline: the engine must answer (or
+    /// explicitly expire) the request by the end of this tick. `None`
+    /// means no budget — the request waits out retries and deferrals.
+    pub deadline: Option<u64>,
+}
+
+impl Request {
+    /// A request with no deadline budget.
+    pub fn new(id: u64, key: ClientKey, history: Vec<f64>) -> Self {
+        Request {
+            id,
+            key,
+            history,
+            deadline: None,
+        }
+    }
+
+    /// Attaches an absolute tick deadline.
+    pub fn with_deadline(mut self, deadline: u64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// Queue accounting.
@@ -97,11 +119,7 @@ mod tests {
     use super::*;
 
     fn req(id: u64) -> Request {
-        Request {
-            id,
-            key: ClientKey::new(format!("t{id}"), "w"),
-            history: vec![1.0, 2.0],
-        }
+        Request::new(id, ClientKey::new(format!("t{id}"), "w"), vec![1.0, 2.0])
     }
 
     #[test]

@@ -140,6 +140,227 @@ pub fn validate_document(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Bump when the shape of `BENCH_resilience.json` changes.
+pub const RESILIENCE_SCHEMA_VERSION: u64 = 1;
+
+/// What one `ld-loadgen --chaos` soak measured.
+#[derive(Debug, Clone)]
+pub struct ResilienceBenchReport {
+    /// `"smoke"` or `"full"`.
+    pub mode: String,
+    /// Load-schedule seed.
+    pub seed: u64,
+    /// Chaos-schedule seed.
+    pub chaos_seed: u64,
+    /// Concurrent tenants replayed.
+    pub tenants: u64,
+    /// Scheduled ticks (excluding the settle tail).
+    pub ticks: u64,
+    /// Trace families replayed concurrently.
+    pub families: u64,
+    /// Chaos events in the schedule.
+    pub chaos_events: u64,
+    /// FNV-1a digest of the chaos schedule spec.
+    pub schedule_digest: u64,
+    /// Requests offered (baseline load + bursts).
+    pub issued: u64,
+    /// Requests answered with a response (any source).
+    pub answered: u64,
+    /// Requests explicitly shed at admission.
+    pub shed: u64,
+    /// `(answered + shed) / issued`: every request got an explicit,
+    /// deterministic outcome. Anything below 1.0 means a hang.
+    pub availability: f64,
+    /// `shed / issued`.
+    pub shed_rate: f64,
+    /// Median per-tick latency under chaos, nanoseconds.
+    pub p50_tick_ns: u64,
+    /// 99th-percentile per-tick latency under chaos, nanoseconds.
+    pub p99_tick_ns: u64,
+    /// Fraction of answers served degraded (fallback or expired).
+    pub fallback_fraction: f64,
+    /// Fraction of answers that were deadline expiries.
+    pub expired_fraction: f64,
+    /// Circuit-breaker trips (tenant + shard).
+    pub breaker_trips: u64,
+    /// Retries parked for backoff.
+    pub retries: u64,
+    /// Slow-shard deferrals.
+    pub deferrals: u64,
+    /// Shard drain-restarts ordered by the supervisor.
+    pub shard_drains: u64,
+    /// Longest observed Unhealthy -> Healthy shard recovery, in ticks.
+    pub recovery_ticks: u64,
+    /// Torn/corrupt snapshot files quarantined by recovery passes.
+    pub quarantined: u64,
+    /// True when every model-path answer for an unaffected tenant was
+    /// bitwise identical to the fault-free baseline run.
+    pub isolation_clean: bool,
+    /// FNV-1a digest over the chaos run's response stream.
+    pub response_digest: u64,
+}
+
+impl ResilienceBenchReport {
+    /// Assembles the stable JSON document.
+    pub fn to_document(&self) -> Value {
+        Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                Value::Uint(RESILIENCE_SCHEMA_VERSION),
+            ),
+            ("mode".to_string(), Value::String(self.mode.clone())),
+            ("seed".to_string(), Value::Uint(self.seed)),
+            ("chaos_seed".to_string(), Value::Uint(self.chaos_seed)),
+            ("tenants".to_string(), Value::Uint(self.tenants)),
+            ("ticks".to_string(), Value::Uint(self.ticks)),
+            ("families".to_string(), Value::Uint(self.families)),
+            ("chaos_events".to_string(), Value::Uint(self.chaos_events)),
+            (
+                "schedule_digest".to_string(),
+                Value::String(format!("{:016x}", self.schedule_digest)),
+            ),
+            ("issued".to_string(), Value::Uint(self.issued)),
+            ("answered".to_string(), Value::Uint(self.answered)),
+            ("shed".to_string(), Value::Uint(self.shed)),
+            ("availability".to_string(), Value::Float(self.availability)),
+            ("shed_rate".to_string(), Value::Float(self.shed_rate)),
+            ("p50_tick_ns".to_string(), Value::Uint(self.p50_tick_ns)),
+            ("p99_tick_ns".to_string(), Value::Uint(self.p99_tick_ns)),
+            (
+                "fallback_fraction".to_string(),
+                Value::Float(self.fallback_fraction),
+            ),
+            (
+                "expired_fraction".to_string(),
+                Value::Float(self.expired_fraction),
+            ),
+            ("breaker_trips".to_string(), Value::Uint(self.breaker_trips)),
+            ("retries".to_string(), Value::Uint(self.retries)),
+            ("deferrals".to_string(), Value::Uint(self.deferrals)),
+            ("shard_drains".to_string(), Value::Uint(self.shard_drains)),
+            ("recovery_ticks".to_string(), Value::Uint(self.recovery_ticks)),
+            ("quarantined".to_string(), Value::Uint(self.quarantined)),
+            ("isolation_clean".to_string(), Value::Bool(self.isolation_clean)),
+            (
+                "response_digest".to_string(),
+                Value::String(format!("{:016x}", self.response_digest)),
+            ),
+        ])
+    }
+}
+
+fn hex16(doc: &Value, key: &str) -> Result<(), String> {
+    let s = doc
+        .field(key)
+        .ok()
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{key} missing"))?;
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("{key} must be 16 hex chars, got {s:?}"));
+    }
+    Ok(())
+}
+
+/// Validates a serialized `BENCH_resilience.json`: structure plus the
+/// chaos-soak gates (availability, isolation). Returns the first violation.
+pub fn validate_resilience_document(text: &str) -> Result<(), String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    let version = doc
+        .field("schema_version")
+        .ok()
+        .and_then(Value::as_u64)
+        .ok_or("schema_version missing or not an integer")?;
+    if version != RESILIENCE_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != expected {RESILIENCE_SCHEMA_VERSION}"
+        ));
+    }
+    let mode = doc
+        .field("mode")
+        .ok()
+        .and_then(Value::as_str)
+        .ok_or("mode missing")?;
+    if mode != "smoke" && mode != "full" {
+        return Err(format!("mode must be smoke|full, got {mode:?}"));
+    }
+    for key in [
+        "seed",
+        "chaos_seed",
+        "tenants",
+        "ticks",
+        "families",
+        "chaos_events",
+        "issued",
+        "answered",
+        "shed",
+        "p50_tick_ns",
+        "p99_tick_ns",
+        "breaker_trips",
+        "retries",
+        "deferrals",
+        "shard_drains",
+        "recovery_ticks",
+        "quarantined",
+    ] {
+        doc.field(key)
+            .ok()
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{key} missing or not an unsigned integer"))?;
+    }
+    let get = |key: &str| doc.field(key).ok().and_then(Value::as_u64).unwrap_or(0);
+    if get("families") != 5 {
+        return Err(format!("families must be 5 (Table I), got {}", get("families")));
+    }
+    if mode == "full" && get("tenants") < 2000 {
+        return Err(format!(
+            "full chaos soak must run >= 2000 tenants, got {}",
+            get("tenants")
+        ));
+    }
+    if get("chaos_events") == 0 {
+        return Err("chaos_events must be positive (a soak without chaos proves nothing)".into());
+    }
+    if get("answered") + get("shed") != get("issued") {
+        return Err(format!(
+            "answered {} + shed {} != issued {} (requests unaccounted for)",
+            get("answered"),
+            get("shed"),
+            get("issued")
+        ));
+    }
+    if get("p99_tick_ns") < get("p50_tick_ns") {
+        return Err(format!(
+            "p99_tick_ns {} < p50_tick_ns {}",
+            get("p99_tick_ns"),
+            get("p50_tick_ns")
+        ));
+    }
+    for key in ["availability", "shed_rate", "fallback_fraction", "expired_fraction"] {
+        let v = doc
+            .field(key)
+            .ok()
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{key} missing or not a number"))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{key} must be in [0, 1], got {v}"));
+        }
+    }
+    let availability = doc.field("availability").ok().and_then(Value::as_f64).unwrap_or(0.0);
+    if availability < 0.99 {
+        return Err(format!("availability {availability} below the 0.99 gate"));
+    }
+    match doc.field("isolation_clean").ok().and_then(Value::as_bool) {
+        Some(true) => {}
+        Some(false) => {
+            return Err("isolation_clean is false: a faulted tenant perturbed a neighbor".into())
+        }
+        None => return Err("isolation_clean missing or not a bool".into()),
+    }
+    hex16(&doc, "schedule_digest")?;
+    hex16(&doc, "response_digest")?;
+    Ok(())
+}
+
 /// Integer percentile over raw nanosecond samples: index
 /// `ceil(p/100 * n) - 1` of the sorted samples (nearest-rank method,
 /// integer math only — no float-derived casts).
@@ -211,6 +432,68 @@ mod tests {
         let mut r = report();
         tweak(&mut r);
         post(serde_json::to_string_pretty(&r.to_document()).expect("serialize"))
+    }
+
+    fn resilience_report() -> ResilienceBenchReport {
+        ResilienceBenchReport {
+            mode: "smoke".into(),
+            seed: 42,
+            chaos_seed: 1337,
+            tenants: 40,
+            ticks: 12,
+            families: 5,
+            chaos_events: 9,
+            schedule_digest: 0x1111_2222_3333_4444,
+            issued: 520,
+            answered: 500,
+            shed: 20,
+            availability: 1.0,
+            shed_rate: 20.0 / 520.0,
+            p50_tick_ns: 900,
+            p99_tick_ns: 4_000,
+            fallback_fraction: 0.2,
+            expired_fraction: 0.01,
+            breaker_trips: 3,
+            retries: 11,
+            deferrals: 6,
+            shard_drains: 1,
+            recovery_ticks: 4,
+            quarantined: 2,
+            isolation_clean: true,
+            response_digest: 0xfeed_f00d_0000_1111,
+        }
+    }
+
+    #[test]
+    fn resilience_document_roundtrips_and_validates() {
+        let text =
+            serde_json::to_string_pretty(&resilience_report().to_document()).expect("serialize");
+        validate_resilience_document(&text).expect("valid document");
+    }
+
+    #[test]
+    fn resilience_validation_enforces_the_soak_gates() {
+        let with = |tweak: fn(&mut ResilienceBenchReport)| -> String {
+            let mut r = resilience_report();
+            tweak(&mut r);
+            serde_json::to_string_pretty(&r.to_document()).expect("serialize")
+        };
+        let err = validate_resilience_document(&with(|r| r.availability = 0.9)).unwrap_err();
+        assert!(err.contains("availability"), "{err}");
+        let err = validate_resilience_document(&with(|r| r.isolation_clean = false)).unwrap_err();
+        assert!(err.contains("isolation"), "{err}");
+        let err = validate_resilience_document(&with(|r| r.chaos_events = 0)).unwrap_err();
+        assert!(err.contains("chaos_events"), "{err}");
+        let err = validate_resilience_document(&with(|r| r.shed = 1)).unwrap_err();
+        assert!(err.contains("unaccounted"), "{err}");
+        let err = validate_resilience_document(&with(|r| {
+            r.mode = "full".into();
+            // availability/shed arithmetic untouched: tenants gate fires.
+            r.tenants = 100;
+        }))
+        .unwrap_err();
+        assert!(err.contains("2000"), "{err}");
+        assert!(validate_resilience_document("{\"schema_version\": 7}").is_err());
     }
 
     #[test]

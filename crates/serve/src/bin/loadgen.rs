@@ -23,6 +23,16 @@
 //! manifest) and `--smoke` (tiny counts, all checks, writes nothing unless
 //! `--out` is given — wired into `scripts/ci.sh`). `--check PATH` validates
 //! an existing document against the schema and exits.
+//!
+//! `--chaos` switches to the resilience soak: a fault-free baseline pass
+//! records every tenant's model-path answer bits, then two identically-
+//! seeded chaos passes replay the same schedule under a seed-keyed
+//! [`ChaosSchedule`] (slow shards, snapshot corruption, crash-torn spills,
+//! NaN-poisoned batches, burst overload) and must (a) answer or explicitly
+//! shed every request — availability ≥ 99%, no hangs, (b) leave every
+//! unaffected tenant's model-path bits identical to the baseline, and
+//! (c) agree bitwise with each other (digest + span tree). The result is
+//! the schema-checked `BENCH_resilience.json`.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -35,12 +45,15 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use ld_api::MinMaxScaler;
+use ld_faultinject::chaos::ChaosSchedule;
 use ld_nn::{
     make_windows, Adam, AdamConfig, ForecasterConfig, LstmForecaster, TrainOptions, Trainer,
 };
 use ld_serve::{
-    percentile_ns, response_digest, validate_document, ClientKey, EngineConfig, ExecMode,
-    ModelSnapshot, RegistryConfig, Request, Response, ServeBenchReport, ServeEngine, SnapshotStore,
+    percentile_ns, response_digest, validate_document, validate_resilience_document, ClientKey,
+    EngineConfig, ExecMode, LifecycleConfig, ModelSnapshot, RegistryConfig, Request,
+    ResilienceBenchReport, Response, ServeEngine, ServeBenchReport, ServeStats, SnapshotStore,
+    SupervisorConfig,
 };
 use ld_telemetry::{validate_chrome_trace, RunManifest, Tracer};
 use ld_traces::{TraceConfig, WorkloadKind};
@@ -48,11 +61,17 @@ use ld_traces::{TraceConfig, WorkloadKind};
 /// Observations each tenant has accumulated before the first tick.
 const WARMUP_INTERVALS: usize = 48;
 
+/// Burst-overload requests get ids in a disjoint band so the isolation
+/// check can tell scheduled load from chaos-injected extra load.
+const BURST_BASE: u64 = 1 << 40;
+
 struct Cfg {
     smoke: bool,
+    chaos: bool,
     tenants: usize,
     ticks: usize,
     seed: u64,
+    chaos_seed: u64,
     out: Option<String>,
     store_root: PathBuf,
 }
@@ -67,9 +86,11 @@ struct Tenant {
 
 fn parse_args() -> Result<Cfg, i32> {
     let mut smoke = false;
+    let mut chaos = false;
     let mut tenants: Option<usize> = None;
     let mut ticks: Option<usize> = None;
     let mut seed = 42u64;
+    let mut chaos_seed: Option<u64> = None;
     let mut out: Option<String> = None;
     let mut store_root = PathBuf::from("target/ld-serve-loadgen");
     let mut args = std::env::args().skip(1);
@@ -80,39 +101,38 @@ fn parse_args() -> Result<Cfg, i32> {
         };
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--chaos" => chaos = true,
             "--tenants" => tenants = Some(take("--tenants").parse().expect("--tenants: integer")),
             "--ticks" => ticks = Some(take("--ticks").parse().expect("--ticks: integer")),
             "--seed" => seed = take("--seed").parse().expect("--seed: integer"),
+            "--chaos-seed" => {
+                chaos_seed = Some(take("--chaos-seed").parse().expect("--chaos-seed: integer"));
+            }
             "--out" => out = Some(take("--out")),
             "--store" => store_root = PathBuf::from(take("--store")),
             "--check" => {
                 let path = take("--check");
-                let text = match std::fs::read_to_string(&path) {
-                    Ok(text) => text,
-                    Err(e) => {
-                        eprintln!("cannot read {path}: {e}");
-                        return Err(2);
-                    }
-                };
-                match validate_document(&text) {
-                    Ok(()) => {
-                        println!("{path}: valid BENCH_serve document");
-                        return Err(0);
-                    }
-                    Err(why) => {
-                        eprintln!("{path}: INVALID BENCH_serve document: {why}");
-                        return Err(2);
-                    }
-                }
+                return Err(check_document(&path, validate_document, "BENCH_serve"));
+            }
+            "--check-resilience" => {
+                let path = take("--check-resilience");
+                return Err(check_document(
+                    &path,
+                    validate_resilience_document,
+                    "BENCH_resilience",
+                ));
             }
             "--help" | "-h" => {
                 println!(
-                    "ld-loadgen [--smoke] [--tenants N] [--ticks N] [--seed S] [--out PATH] \
-                     [--store DIR] [--check BENCH_serve.json]\n\
+                    "ld-loadgen [--smoke] [--chaos] [--tenants N] [--ticks N] [--seed S] \
+                     [--chaos-seed S] [--out PATH] [--store DIR] [--check BENCH_serve.json] \
+                     [--check-resilience BENCH_resilience.json]\n\
                      full mode replays all five trace families at N tenants and writes \
-                     BENCH_serve.json;\n--smoke runs tiny counts with every check and writes \
-                     nothing unless --out is given;\n--check validates an existing document \
-                     against the schema (exit 2 on violation)"
+                     BENCH_serve.json;\n--chaos runs the resilience soak (baseline + two \
+                     identically-seeded chaos passes) and writes BENCH_resilience.json;\n\
+                     --smoke runs tiny counts with every check and writes nothing unless \
+                     --out is given;\n--check / --check-resilience validate an existing \
+                     document against its schema (exit 2 on violation)"
                 );
                 return Err(0);
             }
@@ -122,15 +142,54 @@ fn parse_args() -> Result<Cfg, i32> {
             }
         }
     }
-    let (default_tenants, default_ticks) = if smoke { (24, 6) } else { (2000, 60) };
+    let (default_tenants, default_ticks) = match (smoke, chaos) {
+        (true, false) => (24, 6),
+        // Chaos smoke needs a horizon long enough for every fault family
+        // to open at least one window and still settle.
+        (true, true) => (24, 24),
+        (false, _) => (2000, 60),
+    };
+    // The chaos-schedule seed is decorrelated from the load seed unless
+    // pinned explicitly (flag wins over env).
+    // ld-lint: allow(determinism, "explicit chaos-seed override; captured in the run manifest")
+    let env_chaos_seed = std::env::var("LD_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok());
+    let default_out = if chaos { "BENCH_resilience.json" } else { "BENCH_serve.json" };
     Ok(Cfg {
         smoke,
+        chaos,
         tenants: tenants.unwrap_or(default_tenants),
         ticks: ticks.unwrap_or(default_ticks),
         seed,
-        out: out.or_else(|| (!smoke).then(|| "BENCH_serve.json".to_string())),
+        chaos_seed: chaos_seed
+            .or(env_chaos_seed)
+            .unwrap_or(seed ^ 0xCA05_CA05_CA05_CA05),
+        out: out.or_else(|| (!smoke).then(|| default_out.to_string())),
         store_root,
     })
+}
+
+/// Shared `--check*` handler: validate `path` with `validate`, report, and
+/// produce the process exit code.
+fn check_document(path: &str, validate: fn(&str) -> Result<(), String>, what: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    match validate(&text) {
+        Ok(()) => {
+            println!("{path}: valid {what} document");
+            0
+        }
+        Err(why) => {
+            eprintln!("{path}: INVALID {what} document: {why}");
+            2
+        }
+    }
 }
 
 /// Splitmix64: expands a tenant index into decorrelated jitter bits.
@@ -236,6 +295,7 @@ fn engine_for(
                 shard_count: 16,
                 capacity_per_shard,
             },
+            lifecycle: LifecycleConfig::default(),
         },
         store,
         tracer,
@@ -251,9 +311,7 @@ fn provision_all(
         let model = families[tenant.family].0.clone();
         let n = model.config().history_len;
         let snap = ModelSnapshot::new(model, tenant.scaler, n);
-        engine
-            .provision(tenant.key.clone(), snap)
-            .expect("provision tenant");
+        engine.provision(tenant.key.clone(), snap);
     }
 }
 
@@ -266,11 +324,11 @@ fn requests_at(tenants: &[Tenant], tick: usize, history_len: usize) -> Vec<Reque
         .map(|(i, tenant)| {
             let upto = (WARMUP_INTERVALS + tick).min(tenant.series.len());
             let lo = upto.saturating_sub(history_len);
-            Request {
-                id: (tick * tenants.len() + i) as u64,
-                key: tenant.key.clone(),
-                history: tenant.series[lo..upto].to_vec(),
-            }
+            Request::new(
+                (tick * tenants.len() + i) as u64,
+                tenant.key.clone(),
+                tenant.series[lo..upto].to_vec(),
+            )
         })
         .collect()
 }
@@ -317,20 +375,30 @@ fn main() {
         Ok(cfg) => cfg,
         Err(code) => std::process::exit(code),
     };
-    ld_faultinject::init_from_env(cfg.seed);
+    if !cfg.chaos {
+        // The chaos soak owns the fault registry tick by tick; an ambient
+        // LD_FAULT plan would fight the schedule.
+        ld_faultinject::activate_from_env(cfg.seed);
+    }
 
     println!(
-        "ld-loadgen: {} tenants x {} ticks over {} families (seed {}, {})",
+        "ld-loadgen: {} tenants x {} ticks over {} families (seed {}, {}{})",
         cfg.tenants,
         cfg.ticks,
         WorkloadKind::ALL.len(),
         cfg.seed,
-        if cfg.smoke { "smoke" } else { "full" }
+        if cfg.smoke { "smoke" } else { "full" },
+        if cfg.chaos { ", chaos" } else { "" }
     );
 
     let families = train_family_models(&cfg);
     let history_len = families[0].0.config().history_len;
     let tenants = build_tenants(&cfg, &families);
+
+    if cfg.chaos {
+        run_chaos_soak(&cfg, &tenants, &families, history_len);
+        return;
+    }
     // Generous capacity for the timing phases: every tenant stays resident,
     // so no tick pays LRU spill + rehydration I/O. Sizing shards at the
     // *average* occupancy (tenants/16) thrashes — FNV placement is uneven
@@ -491,11 +559,11 @@ fn main() {
             let upto = (WARMUP_INTERVALS + tick).min(tenant.series.len());
             let lo = upto.saturating_sub(history_len);
             cache_engine
-                .submit(Request {
-                    id: next_id,
-                    key: tenant.key.clone(),
-                    history: tenant.series[lo..upto].to_vec(),
-                })
+                .submit(Request::new(
+                    next_id,
+                    tenant.key.clone(),
+                    tenant.series[lo..upto].to_vec(),
+                ))
                 .expect("cache pass must not shed");
             next_id += 1;
         }
@@ -572,6 +640,332 @@ fn main() {
             println!("wrote {manifest_path}");
         }
         None => println!("smoke mode: all serving invariants checked, nothing written"),
+    }
+}
+
+/// One chaos (or baseline) pass: every response, explicit accounting, and
+/// the engine's end-of-pass state.
+struct ChaosPass {
+    responses: Vec<Response>,
+    issued: u64,
+    shed: u64,
+    tick_ns: Vec<u64>,
+    quarantined: u64,
+    stats: ServeStats,
+    trace: ld_telemetry::TraceSnapshot,
+}
+
+/// Replays the scheduled load through one engine; with a schedule, drives
+/// the chaos timeline (fault plans, slow shards, bursts, crash-boundary
+/// recovery passes) tick by tick, then settles until the engine owes
+/// nothing. Every submitted request is accounted for: answered or shed.
+fn run_chaos_pass(
+    cfg: &Cfg,
+    tenants: &[Tenant],
+    families: &[(LstmForecaster, Vec<f64>)],
+    history_len: usize,
+    schedule: Option<&ChaosSchedule>,
+    phase: &str,
+    tracer: Tracer,
+) -> ChaosPass {
+    // Headroom for bursts but not for the worst of them: a 1.5x bound
+    // admits moderate bursts and deterministically sheds the peaks.
+    let queue_capacity = (cfg.tenants + cfg.tenants / 2).max(2);
+    // Resident capacity 2x the mean shard occupancy: steady state stays in
+    // memory; spills and rehydrations come from supervisor-ordered drains,
+    // which is exactly the machinery the soak wants under fire. The
+    // aggressive supervisor makes NaN windows escalate to drain-restarts.
+    let capacity_per_shard = (cfg.tenants / 8).max(4);
+    let mut engine = ServeEngine::new(
+        EngineConfig {
+            mode: ExecMode::Batched,
+            queue_capacity,
+            registry: RegistryConfig {
+                shard_count: 16,
+                capacity_per_shard,
+            },
+            lifecycle: LifecycleConfig {
+                supervisor: SupervisorConfig {
+                    degraded_ratio: 0.2,
+                    unhealthy_ticks: 2,
+                    recovery_ticks: 2,
+                },
+                ..LifecycleConfig::default()
+            },
+        },
+        open_store(&cfg.store_root, phase),
+        tracer,
+    );
+    provision_all(&mut engine, tenants, families);
+
+    let mut pass = ChaosPass {
+        responses: Vec::with_capacity(tenants.len() * cfg.ticks),
+        issued: 0,
+        shed: 0,
+        tick_ns: Vec::with_capacity(cfg.ticks),
+        quarantined: 0,
+        stats: ServeStats::default(),
+        trace: ld_telemetry::TraceSnapshot::default(),
+    };
+    let offer = |engine: &mut ServeEngine, req: Request, issued: &mut u64, shed: &mut u64| {
+        *issued += 1;
+        if engine.submit(req).is_err() {
+            *shed += 1;
+        }
+    };
+
+    for tick in 0..cfg.ticks {
+        let t = tick as u64;
+        if let Some(s) = schedule {
+            let plan = s.fault_plan_at(t);
+            if plan.is_empty() {
+                ld_faultinject::reset();
+            } else {
+                ld_faultinject::install(plan);
+            }
+            engine.set_shard_delays(&s.slow_shards_at(t));
+        }
+        // ld-lint: allow(determinism, "per-tick latency measurement; answers do not depend on it")
+        let tk = Instant::now();
+        for req in requests_at(tenants, tick, history_len) {
+            offer(&mut engine, req, &mut pass.issued, &mut pass.shed);
+        }
+        if let Some(s) = schedule {
+            // Burst overload: the schedule's permille of extra fleet load,
+            // ids in the disjoint burst band.
+            let extra = tenants.len() * usize::try_from(s.burst_permille_at(t)).expect("permille")
+                / 1000;
+            for (i, tenant) in tenants.iter().take(extra).enumerate() {
+                let upto = (WARMUP_INTERVALS + tick).min(tenant.series.len());
+                let lo = upto.saturating_sub(history_len);
+                let req = Request::new(
+                    BURST_BASE + (tick * tenants.len() + i) as u64,
+                    tenant.key.clone(),
+                    tenant.series[lo..upto].to_vec(),
+                );
+                offer(&mut engine, req, &mut pass.issued, &mut pass.shed);
+            }
+        }
+        pass.responses.extend(engine.tick());
+        pass.tick_ns
+            .push(u64::try_from(tk.elapsed().as_nanos()).expect("tick ns fits u64"));
+        if let Some(s) = schedule {
+            if s.crash_window_ends_at(t) {
+                // A crash window just closed: run the startup-style
+                // recovery pass and count what it quarantined.
+                ld_faultinject::reset();
+                let report = engine.recover_store().expect("store recovery");
+                pass.quarantined += (report.quarantined_torn + report.quarantined_corrupt) as u64;
+            }
+        }
+    }
+
+    // Settle: chaos off, serve out every parked retry/deferral. Bounded —
+    // max backoff and deferral are a handful of ticks, so a non-draining
+    // queue here is a hang, which is exactly what the bound catches.
+    ld_faultinject::reset();
+    engine.set_shard_delays(&[]);
+    let mut settle = 0;
+    while engine.pending_work() > 0 {
+        settle += 1;
+        assert!(
+            settle <= 64,
+            "chaos soak failed to settle: {} requests still pending",
+            engine.pending_work()
+        );
+        pass.responses.extend(engine.tick());
+    }
+    let report = engine.recover_store().expect("final store recovery");
+    pass.quarantined += (report.quarantined_torn + report.quarantined_corrupt) as u64;
+
+    pass.stats = engine.stats();
+    pass.trace = engine.tracer().snapshot();
+    pass
+}
+
+/// The `--chaos` soak: baseline pass, two identically-seeded chaos passes,
+/// the availability / isolation / determinism gates, and the
+/// `BENCH_resilience.json` document.
+fn run_chaos_soak(
+    cfg: &Cfg,
+    tenants: &[Tenant],
+    families: &[(LstmForecaster, Vec<f64>)],
+    history_len: usize,
+) {
+    let schedule = ChaosSchedule::generate(cfg.chaos_seed, cfg.ticks as u64, 16);
+    println!(
+        "chaos: seed {} -> {} events over {} ticks (digest {:016x})",
+        cfg.chaos_seed,
+        schedule.events().len(),
+        cfg.ticks,
+        schedule.digest()
+    );
+
+    // Fault-free baseline: the per-request model-path answer bits every
+    // unaffected tenant must reproduce under chaos.
+    let baseline = run_chaos_pass(
+        cfg,
+        tenants,
+        families,
+        history_len,
+        None,
+        "chaos-baseline",
+        Tracer::disabled(),
+    );
+    assert_eq!(baseline.shed, 0, "fault-free baseline must not shed");
+    let mut base_bits = std::collections::BTreeMap::new();
+    for r in &baseline.responses {
+        assert!(!r.degraded, "fault-free baseline degraded id {}", r.id);
+        base_bits.insert(r.id, r.value.to_bits());
+    }
+
+    // Two identically-seeded chaos passes.
+    let p0 = run_chaos_pass(
+        cfg,
+        tenants,
+        families,
+        history_len,
+        Some(&schedule),
+        "chaos-0",
+        Tracer::enabled(),
+    );
+    let p1 = run_chaos_pass(
+        cfg,
+        tenants,
+        families,
+        history_len,
+        Some(&schedule),
+        "chaos-1",
+        Tracer::enabled(),
+    );
+
+    // Gate 1 — determinism: the same seeds replay the same catastrophe,
+    // bit for bit, span for span.
+    let digest = response_digest(&p0.responses);
+    assert_eq!(
+        digest,
+        response_digest(&p1.responses),
+        "identically-seeded chaos runs must produce bitwise-identical responses"
+    );
+    assert_eq!(
+        p0.trace.logical_paths(),
+        p1.trace.logical_paths(),
+        "identically-seeded chaos runs must produce identical span trees"
+    );
+    assert_eq!((p0.issued, p0.shed), (p1.issued, p1.shed));
+    assert_eq!(p0.quarantined, p1.quarantined);
+
+    // Gate 2 — availability: every issued request got an explicit outcome.
+    let answered = p0.responses.len() as u64;
+    assert_eq!(
+        answered + p0.shed,
+        p0.issued,
+        "every request must be answered or explicitly shed — anything else is a hang"
+    );
+    let availability = fraction(answered + p0.shed, p0.issued);
+    assert!(
+        availability >= 0.99,
+        "availability {availability} under chaos fell below 0.99"
+    );
+
+    // Gate 3 — isolation: a model-path (non-degraded) answer for scheduled
+    // load must be bitwise identical to the fault-free baseline. Faults may
+    // force a tenant onto the fallback; they may never bend a healthy
+    // tenant's bits.
+    let mut compared = 0u64;
+    let mut perturbed = 0u64;
+    for r in &p0.responses {
+        if r.id >= BURST_BASE || r.degraded {
+            continue;
+        }
+        let bits = base_bits
+            .get(&r.id)
+            .unwrap_or_else(|| panic!("chaos answered id {} the baseline never saw", r.id));
+        compared += 1;
+        if *bits != r.value.to_bits() {
+            perturbed += 1;
+            eprintln!(
+                "isolation violation: id {} answered {} under chaos vs baseline {}",
+                r.id,
+                r.value,
+                f64::from_bits(*bits)
+            );
+        }
+    }
+    let isolation_clean = perturbed == 0;
+    assert!(
+        isolation_clean,
+        "{perturbed} of {compared} unaffected answers were perturbed by co-tenant faults"
+    );
+
+    let lifecycle = p0.stats.lifecycle;
+    let degraded_answers = p0.responses.iter().filter(|r| r.degraded).count() as u64;
+    let mut tick_ns = p0.tick_ns.clone();
+    let report = ResilienceBenchReport {
+        mode: if cfg.smoke { "smoke" } else { "full" }.to_string(),
+        seed: cfg.seed,
+        chaos_seed: cfg.chaos_seed,
+        tenants: cfg.tenants as u64,
+        ticks: cfg.ticks as u64,
+        families: WorkloadKind::ALL.len() as u64,
+        chaos_events: schedule.events().len() as u64,
+        schedule_digest: schedule.digest(),
+        issued: p0.issued,
+        answered,
+        shed: p0.shed,
+        availability,
+        shed_rate: fraction(p0.shed, p0.issued),
+        p50_tick_ns: percentile_ns(&mut tick_ns, 50),
+        p99_tick_ns: percentile_ns(&mut tick_ns, 99),
+        fallback_fraction: fraction(degraded_answers, answered),
+        expired_fraction: fraction(lifecycle.expired, answered),
+        breaker_trips: lifecycle.breaker_trips,
+        retries: lifecycle.retries,
+        deferrals: lifecycle.deferrals,
+        shard_drains: lifecycle.shard_drains,
+        recovery_ticks: lifecycle.worst_recovery_ticks,
+        quarantined: p0.quarantined,
+        isolation_clean,
+        response_digest: digest,
+    };
+    let text = serde_json::to_string_pretty(&report.to_document()).expect("serialize document");
+    validate_resilience_document(&text).expect("generated document must validate");
+    println!(
+        "chaos soak: availability {:.4} ({} answered + {} shed of {} issued), \
+         {} isolated answers verified bit-identical",
+        availability, answered, p0.shed, p0.issued, compared
+    );
+    println!(
+        "resilience: {} retries, {} deferrals, {} breaker trips, {} drains, \
+         {} quarantined, fallback fraction {:.4}, digest {digest:016x}",
+        report.retries,
+        report.deferrals,
+        report.breaker_trips,
+        report.shard_drains,
+        report.quarantined,
+        report.fallback_fraction
+    );
+
+    match &cfg.out {
+        Some(path) => {
+            std::fs::write(path, text + "\n").expect("write BENCH_resilience document");
+            println!("wrote {path}");
+            let manifest = RunManifest::new("ld-loadgen")
+                .seed(cfg.seed)
+                .capture_env()
+                .config("mode", if cfg.smoke { "chaos-smoke" } else { "chaos-full" })
+                .config("tenants", cfg.tenants)
+                .config("ticks", cfg.ticks)
+                .config("families", WorkloadKind::ALL.len())
+                .config("chaos_seed", cfg.chaos_seed)
+                .config("chaos_events", schedule.events().len())
+                .output("bench", path)
+                .with_trace_summary(&p0.trace);
+            let manifest_path = format!("{path}.manifest.json");
+            manifest.write_json(&manifest_path).expect("write manifest");
+            println!("wrote {manifest_path}");
+        }
+        None => println!("smoke mode: all resilience invariants checked, nothing written"),
     }
 }
 

@@ -1,10 +1,12 @@
 //! The tick-based serving engine: admission, snapshot resolution, batch
-//! fusion, and per-tenant graceful degradation.
+//! fusion, per-tenant graceful degradation, and the request lifecycle
+//! (deadlines, retries, circuit breakers, shard health).
 //!
-//! Per tick the engine drains its bounded queue, resolves each request's
-//! snapshot through the sharded registry (rehydrating from disk on a miss),
-//! and groups the resolved lanes by `(model shape, weight fingerprint)`.
-//! Each group becomes one fused batched LSTM forward
+//! Per tick the engine drains its bounded queue plus any parked retries,
+//! resolves each request's snapshot through the sharded registry
+//! (rehydrating from disk on a miss), and groups the resolved lanes by
+//! `(model shape, weight fingerprint)`. Each group becomes one fused
+//! batched LSTM forward
 //! ([`ld_nn::LstmForecaster::predict_batch_fused`]): one blocked GEMM per
 //! gate block instead of one mat-vec per tenant per step.
 //!
@@ -13,7 +15,9 @@
 //! Batch composition is derived from seeds, never from arrival time: lanes
 //! are ordered by request id (assigned by the load schedule), groups by
 //! fingerprint, and every span index is logical (tick number, shard index,
-//! group ordinal, request id). Two identically-seeded runs produce
+//! group ordinal, request id). Retry backoff jitter hashes the request id;
+//! breaker transitions advance on logical ticks; slow-shard deferral uses
+//! driver-installed per-tick delays. Two identically-seeded runs produce
 //! bitwise-identical responses and identical span trees.
 //!
 //! # Degradation contract
@@ -23,7 +27,9 @@
 //! fault site) is answered by the WMA smoothing fallback and marked
 //! `degraded` — and is *excluded from the fused batch*, so a poisoned
 //! tenant can never contaminate the lanes it would have been co-batched
-//! with.
+//! with. A tenant behind an open circuit breaker, or whose deadline
+//! expired, is likewise answered from its own history only. Every request
+//! is eventually answered explicitly; nothing hangs.
 
 use std::collections::BTreeMap;
 
@@ -32,8 +38,10 @@ use ld_nn::{BatchScratch, LstmForecaster};
 use ld_telemetry::Tracer;
 
 use crate::admission::{AdmissionQueue, AdmissionStats, Request};
+use crate::lifecycle::{Breaker, BreakerConfig, BreakerState, RetryPolicy, RetrySchedule, Route};
 use crate::registry::{ClientKey, RegistryConfig, RegistryStats, ShardedRegistry};
-use crate::snapshot::{ModelSnapshot, SnapshotStore};
+use crate::snapshot::{ModelSnapshot, RecoveryReport, SnapshotError, SnapshotStore};
+use crate::supervisor::{ShardHealth, ShardObservation, ShardSupervisor, SupervisorConfig};
 
 /// Which compute path answers the non-degraded lanes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +57,31 @@ pub enum ExecMode {
     Reference,
 }
 
+/// Lifecycle-control knobs: deadlines, retry, breakers, shard health.
+#[derive(Debug, Clone, Copy)]
+pub struct LifecycleConfig {
+    /// Default per-request deadline budget in ticks, applied at submission
+    /// to requests that carry none (`None` = no default budget).
+    pub deadline_ticks: Option<u64>,
+    /// Retry policy for transient model-path failures.
+    pub retry: RetryPolicy,
+    /// Per-tenant and per-shard circuit breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Shard health supervision tuning.
+    pub supervisor: SupervisorConfig,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            deadline_ticks: Some(8),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -58,6 +91,8 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// Registry geometry.
     pub registry: RegistryConfig,
+    /// Request lifecycle control.
+    pub lifecycle: LifecycleConfig,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +101,7 @@ impl Default for EngineConfig {
             mode: ExecMode::Batched,
             queue_capacity: 4096,
             registry: RegistryConfig::default(),
+            lifecycle: LifecycleConfig::default(),
         }
     }
 }
@@ -79,8 +115,11 @@ pub enum ResponseSource {
     Serial,
     /// Per-tenant reference forward.
     Reference,
-    /// WMA smoothing fallback (degraded lane).
+    /// WMA smoothing fallback (degraded, tripped, or unresolvable lane).
     Fallback,
+    /// Deadline expired before the engine could answer; the value is the
+    /// smoothing fallback over the request's own history.
+    Expired,
 }
 
 impl ResponseSource {
@@ -90,6 +129,7 @@ impl ResponseSource {
             ResponseSource::Serial => 1,
             ResponseSource::Reference => 2,
             ResponseSource::Fallback => 3,
+            ResponseSource::Expired => 4,
         }
     }
 }
@@ -109,23 +149,46 @@ pub struct Response {
     pub degraded: bool,
 }
 
-/// Engine-wide accounting (queue + cache + serving counters).
+/// Lifecycle accounting: what the resilience layer did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// Requests answered as [`ResponseSource::Expired`].
+    pub expired: u64,
+    /// Retries parked after transient failures.
+    pub retries: u64,
+    /// Requests deferred off a slow shard.
+    pub deferrals: u64,
+    /// Requests answered from fallback because a breaker was open.
+    pub breaker_fallbacks: u64,
+    /// Breaker trips (tenant + shard), cumulative.
+    pub breaker_trips: u64,
+    /// Shard drain-restarts ordered by the supervisor.
+    pub shard_drains: u64,
+    /// Longest observed Unhealthy -> Healthy shard recovery, in ticks.
+    pub worst_recovery_ticks: u64,
+}
+
+/// Engine-wide accounting (queue + cache + serving + lifecycle counters).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServeStats {
     /// Requests answered (any source).
     pub served: u64,
-    /// Requests answered by the smoothing fallback.
+    /// Requests answered by the smoothing fallback (degraded for any
+    /// reason, including breaker routing and expiry).
     pub degraded: u64,
     /// Queue accounting.
     pub admission: AdmissionStats,
     /// Registry cache accounting.
     pub cache: RegistryStats,
+    /// Lifecycle accounting.
+    pub lifecycle: LifecycleStats,
 }
 
 /// One resolved, batchable lane.
 struct Lane {
     id: u64,
     key: ClientKey,
+    shard: usize,
     scaler: ld_api::MinMaxScaler,
     /// Scaled window, exactly `history_len` long.
     window: Vec<f64>,
@@ -139,10 +202,28 @@ struct Group {
     lanes: Vec<Lane>,
 }
 
+/// A request in flight across ticks: how many retries it has consumed and
+/// whether it has already been deferred off a slow shard.
+#[derive(Debug, Clone)]
+struct InFlight {
+    req: Request,
+    attempt: u32,
+    deferred: bool,
+}
+
+/// Model-path outcome for breaker/supervisor bookkeeping.
+struct Outcome {
+    id: u64,
+    key: ClientKey,
+    shard: usize,
+    ok: bool,
+}
+
 /// The serving engine.
 #[derive(Debug)]
 pub struct ServeEngine {
     mode: ExecMode,
+    lifecycle: LifecycleConfig,
     registry: ShardedRegistry,
     store: SnapshotStore,
     queue: AdmissionQueue,
@@ -151,13 +232,26 @@ pub struct ServeEngine {
     tick: u64,
     served: u64,
     degraded: u64,
+    lifecycle_stats: LifecycleStats,
+    /// Requests parked for retry backoff or slow-shard deferral.
+    parked: RetrySchedule<InFlight>,
+    /// Per-tenant breakers, keyed deterministically by client key.
+    tenant_breakers: BTreeMap<ClientKey, Breaker>,
+    /// Per-shard breakers.
+    shard_breakers: Vec<Breaker>,
+    /// Driver-installed per-shard service delay for the *next* tick
+    /// (chaos slow-shard windows); cleared by `set_shard_delays`.
+    shard_delay: Vec<u64>,
+    supervisor: ShardSupervisor,
 }
 
 impl ServeEngine {
     /// Builds an engine spilling to `store`.
     pub fn new(cfg: EngineConfig, store: SnapshotStore, tracer: Tracer) -> Self {
+        let shards = cfg.registry.shard_count;
         ServeEngine {
             mode: cfg.mode,
+            lifecycle: cfg.lifecycle,
             registry: ShardedRegistry::new(cfg.registry),
             store,
             queue: AdmissionQueue::new(cfg.queue_capacity),
@@ -166,26 +260,51 @@ impl ServeEngine {
             tick: 0,
             served: 0,
             degraded: 0,
+            lifecycle_stats: LifecycleStats::default(),
+            parked: RetrySchedule::new(),
+            tenant_breakers: BTreeMap::new(),
+            shard_breakers: (0..shards).map(|_| Breaker::new(cfg.lifecycle.breaker)).collect(),
+            shard_delay: vec![0; shards],
+            supervisor: ShardSupervisor::new(cfg.lifecycle.supervisor, shards),
         }
     }
 
-    /// Installs a snapshot for `key` (training-time provisioning).
-    pub fn provision(&mut self, key: ClientKey, snapshot: ModelSnapshot) -> std::io::Result<()> {
-        self.registry.insert(key, snapshot, &self.store)
+    /// Installs a snapshot for `key` (training-time provisioning). Spill
+    /// failures during eviction keep the victim resident and are counted
+    /// in [`RegistryStats::failed_spills`].
+    pub fn provision(&mut self, key: ClientKey, snapshot: ModelSnapshot) {
+        self.registry.insert(key, snapshot, &self.store);
     }
 
-    /// Offers a request; `Err` returns it because it was shed.
-    pub fn submit(&mut self, req: Request) -> Result<(), Request> {
+    /// Offers a request; `Err` returns it because it was shed. Requests
+    /// without a deadline receive the engine's default budget (deadline =
+    /// next tick + `deadline_ticks`).
+    pub fn submit(&mut self, mut req: Request) -> Result<(), Request> {
+        if req.deadline.is_none() {
+            if let Some(budget) = self.lifecycle.deadline_ticks {
+                req.deadline = Some(self.tick.saturating_add(budget));
+            }
+        }
         self.queue.offer(req)
     }
 
     /// Engine-wide accounting.
     pub fn stats(&self) -> ServeStats {
+        let mut lifecycle = self.lifecycle_stats;
+        lifecycle.breaker_trips = self
+            .tenant_breakers
+            .values()
+            .chain(self.shard_breakers.iter())
+            .map(Breaker::trips)
+            .sum();
+        lifecycle.shard_drains = self.supervisor.drains();
+        lifecycle.worst_recovery_ticks = self.supervisor.worst_recovery_ticks();
         ServeStats {
             served: self.served,
             degraded: self.degraded,
             admission: self.queue.stats(),
             cache: self.registry.stats(),
+            lifecycle,
         }
     }
 
@@ -197,6 +316,13 @@ impl ServeEngine {
     /// Current queue depth (bounded by the configured capacity).
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// Requests the engine still owes an answer for: queued plus parked
+    /// (retry backoff / slow-shard deferral). Drivers tick until this hits
+    /// zero — the "no hangs" settle loop.
+    pub fn pending_work(&self) -> usize {
+        self.queue.depth() + self.parked.len()
     }
 
     /// The tracer threaded through every tick.
@@ -214,38 +340,134 @@ impl ServeEngine {
         &self.registry
     }
 
-    /// Drains the queue and answers every pending request. Responses come
-    /// back sorted by request id regardless of batching layout.
+    /// The tenant breaker's current state (tests, bench reporting).
+    pub fn tenant_breaker_state(&self, key: &ClientKey) -> BreakerState {
+        self.tenant_breakers
+            .get(key)
+            .map_or(BreakerState::Closed, Breaker::state)
+    }
+
+    /// The shard's current health.
+    pub fn shard_health(&self, shard: usize) -> ShardHealth {
+        self.supervisor.health(shard)
+    }
+
+    /// Installs per-shard service delays for subsequent ticks (chaos
+    /// slow-shard windows). Unlisted shards are reset to zero delay.
+    pub fn set_shard_delays(&mut self, delays: &[(u64, u64)]) {
+        self.shard_delay.iter_mut().for_each(|d| *d = 0);
+        for &(shard, delay) in delays {
+            if let Some(slot) = self.shard_delay.get_mut(shard as usize) {
+                *slot = (*slot).max(delay);
+            }
+        }
+    }
+
+    /// Runs a crash-recovery pass over the snapshot store (quarantine torn
+    /// temps and corrupt entries, rebuild the index) and records it as a
+    /// `store_recovery` span indexed by the current tick.
+    pub fn recover_store(&mut self) -> std::io::Result<RecoveryReport> {
+        let report = self.store.recover()?;
+        self.tracer.record_span(
+            "store_recovery",
+            self.tick,
+            (report.quarantined_torn + report.quarantined_corrupt) as u64,
+            report.indexed as u64,
+        );
+        Ok(report)
+    }
+
+    /// Drains the queue plus due retries and answers every request it can;
+    /// parks retries/deferrals for later ticks. Responses come back sorted
+    /// by request id regardless of batching layout.
     pub fn tick(&mut self) -> Vec<Response> {
         let tick_idx = self.tick;
         self.tick += 1;
         let tick_span = self.tracer.span_at("tick", tick_idx);
         let tr = tick_span.tracer();
 
-        let mut pending = self.queue.drain();
+        let mut work: Vec<InFlight> = self.parked.release(tick_idx);
+        work.extend(self.queue.drain().into_iter().map(|req| InFlight {
+            req,
+            attempt: 0,
+            deferred: false,
+        }));
         // Seed-derived composition: order by schedule-assigned id, not by
         // the order submissions happened to arrive in.
-        pending.sort_by_key(|r| r.id);
+        work.sort_by_key(|w| w.req.id);
 
-        let mut responses: Vec<Response> = Vec::with_capacity(pending.len());
+        let mut responses: Vec<Response> = Vec::with_capacity(work.len());
         let mut groups: BTreeMap<u64, Group> = BTreeMap::new();
+        let mut outcomes: Vec<Outcome> = Vec::new();
         let mut per_shard = vec![0u64; self.registry.shard_count()];
+        let mut shard_obs = vec![ShardObservation::default(); self.registry.shard_count()];
 
         {
             let resolve_span = tr.span_at("resolve", tick_idx);
             let rtr = resolve_span.tracer();
-            for req in pending {
-                per_shard[self.registry.shard_of(&req.key)] += 1;
-                match self.registry.get(&req.key, &self.store) {
+            for item in work {
+                let shard = self.registry.shard_of(&item.req.key);
+                per_shard[shard] += 1;
+
+                // Deadline budget: a request the engine failed to answer by
+                // its deadline tick gets an explicit Expired answer — an
+                // answer from its own history, never a hang.
+                if item.req.deadline.is_some_and(|d| tick_idx > d) {
+                    self.lifecycle_stats.expired += 1;
+                    responses.push(expired_response(&item.req));
+                    continue;
+                }
+
+                // Slow-shard deferral: at most once per request, and never
+                // past the deadline.
+                let delay = self.shard_delay[shard];
+                if delay > 0 && !item.deferred {
+                    let release = tick_idx + delay;
+                    shard_obs[shard].deferred += 1;
+                    if item.req.deadline.is_some_and(|d| release > d) {
+                        self.lifecycle_stats.expired += 1;
+                        responses.push(expired_response(&item.req));
+                    } else {
+                        self.lifecycle_stats.deferrals += 1;
+                        self.parked.park(
+                            release,
+                            InFlight {
+                                deferred: true,
+                                ..item
+                            },
+                        );
+                    }
+                    continue;
+                }
+
+                // Circuit breakers: shard first, then tenant. An open
+                // breaker answers from the tenant's own history and records
+                // no outcome (fast-fails must not extend the cooldown).
+                let shard_route = self.shard_breakers[shard].route(tick_idx);
+                let route = if shard_route == Route::Fallback {
+                    Route::Fallback
+                } else {
+                    self.tenant_breakers
+                        .entry(item.req.key.clone())
+                        .or_insert_with(|| Breaker::new(self.lifecycle.breaker))
+                        .route(tick_idx)
+                };
+                if route == Route::Fallback {
+                    self.lifecycle_stats.breaker_fallbacks += 1;
+                    responses.push(fallback_response(&item.req));
+                    continue;
+                }
+
+                match self.registry.get(&item.req.key, &self.store) {
                     Ok(snap) => {
                         let scaler = snap.scaler();
                         let n = snap.history_len();
                         let fingerprint = snap.fingerprint();
-                        let mut window = scaled_window(&req.history, n, scaler);
+                        let mut window = scaled_window(&item.req.history, n, scaler);
                         if ld_faultinject::is_active()
                             && ld_faultinject::fault_hit(
                                 ld_faultinject::FaultSite::BatchNan,
-                                req.key.stable_hash() ^ tick_idx.rotate_left(23),
+                                item.req.key.stable_hash() ^ tick_idx.rotate_left(23),
                             )
                         {
                             // Simulated upstream poison: the lane's scaled
@@ -258,16 +480,36 @@ impl ServeEngine {
                                 lanes: Vec::new(),
                             });
                             group.lanes.push(Lane {
-                                id: req.id,
-                                key: req.key,
+                                id: item.req.id,
+                                key: item.req.key,
+                                shard,
                                 scaler,
                                 window,
                             });
                         } else {
-                            responses.push(fallback_response(&req));
+                            self.finish_failure(
+                                tick_idx,
+                                item,
+                                shard,
+                                true,
+                                &mut responses,
+                                &mut outcomes,
+                            );
                         }
                     }
-                    Err(_) => responses.push(fallback_response(&req)),
+                    Err(err) => {
+                        // Corrupt spills are transient (the bytes may heal
+                        // after recovery/re-spill); Missing is permanent.
+                        let transient = matches!(err, SnapshotError::Corrupt(_));
+                        self.finish_failure(
+                            tick_idx,
+                            item,
+                            shard,
+                            transient,
+                            &mut responses,
+                            &mut outcomes,
+                        );
+                    }
                 }
             }
             for (shard, &n) in per_shard.iter().enumerate() {
@@ -294,7 +536,14 @@ impl ServeEngine {
                         .predict_batch_fused(&windows, batch, &mut self.scratch, &mut out);
                     for (lane, &y) in group.lanes.iter().zip(&out) {
                         btr.record_span("request", lane.id, 1, 0);
-                        responses.push(finish_lane(lane, y, ResponseSource::Batched));
+                        let resp = finish_lane(lane, y, ResponseSource::Batched);
+                        outcomes.push(Outcome {
+                            id: lane.id,
+                            key: lane.key.clone(),
+                            shard: lane.shard,
+                            ok: !resp.degraded,
+                        });
+                        responses.push(resp);
                     }
                 }
                 ExecMode::Serial | ExecMode::Reference => {
@@ -309,16 +558,99 @@ impl ServeEngine {
                             ResponseSource::Serial => group.model.predict(&lane.window),
                             _ => group.model.predict_reference(&lane.window),
                         };
-                        responses.push(finish_lane(lane, y, source));
+                        let resp = finish_lane(lane, y, source);
+                        outcomes.push(Outcome {
+                            id: lane.id,
+                            key: lane.key.clone(),
+                            shard: lane.shard,
+                            ok: !resp.degraded,
+                        });
+                        responses.push(resp);
                     }
                 }
             }
+        }
+
+        // Apply model-path outcomes in id order: breaker state advances as
+        // a pure function of the (deterministic) outcome sequence.
+        outcomes.sort_by_key(|o| o.id);
+        for o in &outcomes {
+            shard_obs[o.shard].services += 1;
+            if !o.ok {
+                shard_obs[o.shard].errors += 1;
+            }
+            self.shard_breakers[o.shard].record(tick_idx, o.ok);
+            self.tenant_breakers
+                .entry(o.key.clone())
+                .or_insert_with(|| Breaker::new(self.lifecycle.breaker))
+                .record(tick_idx, o.ok);
+        }
+
+        // Shard health: escalate, drain unhealthy shards (spill + evict so
+        // future requests rehydrate from durable state), and record every
+        // transition as a span (duration = new state, ago = old state).
+        let mut transitions = self.supervisor.observe(tick_idx, &shard_obs);
+        let unhealthy: Vec<usize> = transitions
+            .iter()
+            .filter(|t| t.to == ShardHealth::Unhealthy)
+            .map(|t| t.shard)
+            .collect();
+        for shard in unhealthy {
+            self.registry.drain_shard(shard, &self.store);
+            if let Some(t) = self.supervisor.mark_drained(shard) {
+                transitions.push(t);
+            }
+        }
+        for t in &transitions {
+            tr.record_span("shard_health", t.shard as u64, t.to.code(), t.from.code());
         }
 
         responses.sort_by_key(|r| r.id);
         self.served += responses.len() as u64;
         self.degraded += responses.iter().filter(|r| r.degraded).count() as u64;
         responses
+    }
+
+    /// Handles a model-path failure for `item`: records the outcome, then
+    /// either parks a retry (transient failure, budget and deadline allow)
+    /// or answers from the fallback now.
+    fn finish_failure(
+        &mut self,
+        tick_idx: u64,
+        item: InFlight,
+        shard: usize,
+        transient: bool,
+        responses: &mut Vec<Response>,
+        outcomes: &mut Vec<Outcome>,
+    ) {
+        outcomes.push(Outcome {
+            id: item.req.id,
+            key: item.req.key.clone(),
+            shard,
+            ok: false,
+        });
+        let next_attempt = item.attempt + 1;
+        if transient && self.lifecycle.retry.allows(next_attempt) {
+            // Jitter derives from the request id — the request's own seed —
+            // never the wall clock.
+            let backoff = self
+                .lifecycle
+                .retry
+                .backoff(next_attempt, item.req.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let release = tick_idx + backoff;
+            if item.req.deadline.is_none_or(|d| release <= d) {
+                self.lifecycle_stats.retries += 1;
+                self.parked.park(
+                    release,
+                    InFlight {
+                        attempt: next_attempt,
+                        ..item
+                    },
+                );
+                return;
+            }
+        }
+        responses.push(fallback_response(&item.req));
     }
 }
 
@@ -371,20 +703,35 @@ fn wma_forecast_scaled(lane: &Lane) -> f64 {
     ld_baselines::smoothing::Wma::default().predict(&raw).max(0.0)
 }
 
-/// The smoothing fallback for a request that never produced a lane
-/// (corrupt snapshot / poisoned window): WMA straight over the raw history.
-fn fallback_response(req: &Request) -> Response {
+/// The smoothing fallback value straight over a request's raw history.
+fn fallback_value(req: &Request) -> f64 {
     let finite: Vec<f64> = req.history.iter().copied().filter(|v| v.is_finite()).collect();
-    let value = if finite.is_empty() {
+    if finite.is_empty() {
         0.0
     } else {
         ld_baselines::smoothing::Wma::default().predict(&finite).max(0.0)
-    };
+    }
+}
+
+/// The smoothing fallback for a request that never produced a lane
+/// (corrupt snapshot / poisoned window / open breaker).
+fn fallback_response(req: &Request) -> Response {
     Response {
         id: req.id,
         key: req.key.clone(),
-        value,
+        value: fallback_value(req),
         source: ResponseSource::Fallback,
+        degraded: true,
+    }
+}
+
+/// The explicit answer for a request whose deadline passed.
+fn expired_response(req: &Request) -> Response {
+    Response {
+        id: req.id,
+        key: req.key.clone(),
+        value: fallback_value(req),
+        source: ResponseSource::Expired,
         degraded: true,
     }
 }
@@ -427,6 +774,7 @@ mod tests {
                     shard_count: 4,
                     capacity_per_shard: 16,
                 },
+                lifecycle: LifecycleConfig::default(),
             },
             test_store(name),
             Tracer::disabled(),
@@ -459,8 +807,7 @@ mod tests {
             for t in 0..8u64 {
                 let key = ClientKey::new(format!("t{t}"), "wiki");
                 // Two distinct models (two groups), per-tenant scalers.
-                e.provision(key.clone(), snapshot(t % 2, (0.0, 100.0 + f64::from(u32::try_from(t).unwrap()))))
-                    .expect("provision");
+                e.provision(key.clone(), snapshot(t % 2, (0.0, 100.0 + f64::from(u32::try_from(t).unwrap()))));
                 if keys.len() < 8 {
                     keys.push(key);
                 }
@@ -468,12 +815,8 @@ mod tests {
         }
         let run = |e: &mut ServeEngine, keys: &[ClientKey]| -> Vec<Response> {
             for (i, key) in keys.iter().enumerate() {
-                e.submit(Request {
-                    id: i as u64,
-                    key: key.clone(),
-                    history: history(i as u64),
-                })
-                .expect("admit");
+                e.submit(Request::new(i as u64, key.clone(), history(i as u64)))
+                    .expect("admit");
             }
             e.tick()
         };
@@ -504,15 +847,10 @@ mod tests {
         let mut e = engine("engine-order", ExecMode::Batched);
         let key = |t: u64| ClientKey::new(format!("t{t}"), "w");
         for t in 0..4 {
-            e.provision(key(t), snapshot(0, (0.0, 50.0))).expect("provision");
+            e.provision(key(t), snapshot(0, (0.0, 50.0)));
         }
         for id in [3u64, 0, 2, 1] {
-            e.submit(Request {
-                id,
-                key: key(id),
-                history: history(id),
-            })
-            .expect("admit");
+            e.submit(Request::new(id, key(id), history(id))).expect("admit");
         }
         let ids: Vec<u64> = e.tick().iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
@@ -522,19 +860,10 @@ mod tests {
     fn unknown_tenant_degrades_to_wma_without_affecting_others() {
         let mut e = engine("engine-degrade", ExecMode::Batched);
         let known = ClientKey::new("known", "w");
-        e.provision(known.clone(), snapshot(5, (0.0, 80.0))).expect("provision");
-        e.submit(Request {
-            id: 0,
-            key: known.clone(),
-            history: history(0),
-        })
-        .expect("admit");
-        e.submit(Request {
-            id: 1,
-            key: ClientKey::new("ghost", "w"),
-            history: history(1),
-        })
-        .expect("admit");
+        e.provision(known.clone(), snapshot(5, (0.0, 80.0)));
+        e.submit(Request::new(0, known.clone(), history(0))).expect("admit");
+        e.submit(Request::new(1, ClientKey::new("ghost", "w"), history(1)))
+            .expect("admit");
         let rs = e.tick();
         assert_eq!(rs.len(), 2);
         assert!(!rs[0].degraded);
@@ -545,13 +874,8 @@ mod tests {
 
         // The known tenant's answer is identical to a solo run.
         let mut solo = engine("engine-degrade-solo", ExecMode::Batched);
-        solo.provision(known.clone(), snapshot(5, (0.0, 80.0))).expect("provision");
-        solo.submit(Request {
-            id: 0,
-            key: known,
-            history: history(0),
-        })
-        .expect("admit");
+        solo.provision(known.clone(), snapshot(5, (0.0, 80.0)));
+        solo.submit(Request::new(0, known, history(0))).expect("admit");
         let solo_rs = solo.tick();
         assert_eq!(rs[0].value.to_bits(), solo_rs[0].value.to_bits());
     }
@@ -567,6 +891,7 @@ mod tests {
                         shard_count: 4,
                         capacity_per_shard: 16,
                     },
+                    lifecycle: LifecycleConfig::default(),
                 },
                 test_store(store_name),
                 Tracer::enabled(),
@@ -574,15 +899,15 @@ mod tests {
             let mut all = Vec::new();
             for t in 0..6u64 {
                 let key = ClientKey::new(format!("t{t}"), "w");
-                e.provision(key, snapshot(t % 3, (0.0, 60.0))).expect("provision");
+                e.provision(key, snapshot(t % 3, (0.0, 60.0)));
             }
             for tick in 0..3u64 {
                 for t in 0..6u64 {
-                    e.submit(Request {
-                        id: tick * 6 + t,
-                        key: ClientKey::new(format!("t{t}"), "w"),
-                        history: history(t + tick),
-                    })
+                    e.submit(Request::new(
+                        tick * 6 + t,
+                        ClientKey::new(format!("t{t}"), "w"),
+                        history(t + tick),
+                    ))
                     .expect("admit");
                 }
                 all.extend(e.tick());
@@ -606,5 +931,181 @@ mod tests {
         assert_eq!(w[0], scaler.transform(4.0));
         assert_eq!(w[1], scaler.transform(4.0));
         assert_eq!(w[3], scaler.transform(6.0));
+    }
+
+    #[test]
+    fn slow_shard_defers_once_and_answers_after_the_delay() {
+        let mut e = engine("engine-slow-shard", ExecMode::Batched);
+        let key = ClientKey::new("slowpoke", "w");
+        let shard = e.registry().shard_of(&key) as u64;
+        e.provision(key.clone(), snapshot(2, (0.0, 90.0)));
+
+        // Tick 0: the shard is slow; the request parks instead of serving.
+        e.set_shard_delays(&[(shard, 2)]);
+        e.submit(Request::new(0, key.clone(), history(0))).expect("admit");
+        assert!(e.tick().is_empty());
+        assert_eq!(e.pending_work(), 1);
+
+        // The delay clears; the request is answered at its release tick
+        // with bits identical to an undelayed engine's answer.
+        e.set_shard_delays(&[]);
+        assert!(e.tick().is_empty(), "release tick not yet reached");
+        let rs = e.tick();
+        assert_eq!(rs.len(), 1);
+        assert!(!rs[0].degraded);
+        assert_eq!(e.pending_work(), 0);
+        assert_eq!(e.stats().lifecycle.deferrals, 1);
+
+        let mut plain = engine("engine-slow-shard-plain", ExecMode::Batched);
+        plain.provision(key.clone(), snapshot(2, (0.0, 90.0)));
+        plain.submit(Request::new(0, key, history(0))).expect("admit");
+        let plain_rs = plain.tick();
+        assert_eq!(rs[0].value.to_bits(), plain_rs[0].value.to_bits());
+    }
+
+    #[test]
+    fn deadline_miss_is_an_explicit_expired_answer() {
+        let mut e = engine("engine-deadline", ExecMode::Batched);
+        let key = ClientKey::new("hurried", "w");
+        let shard = e.registry().shard_of(&key) as u64;
+        e.provision(key.clone(), snapshot(3, (0.0, 70.0)));
+        // Deadline 0 but the shard is 3 ticks slow: deferral would land
+        // past the deadline, so the engine answers Expired immediately.
+        e.set_shard_delays(&[(shard, 3)]);
+        e.submit(Request::new(0, key, history(0)).with_deadline(0)).expect("admit");
+        let rs = e.tick();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].source, ResponseSource::Expired);
+        assert!(rs[0].degraded);
+        assert!(rs[0].value.is_finite() && rs[0].value >= 0.0);
+        assert_eq!(e.stats().lifecycle.expired, 1);
+        assert_eq!(e.pending_work(), 0);
+    }
+
+    #[test]
+    fn tenant_breaker_trips_to_fallback_and_recovers_via_probe() {
+        let mut e = ServeEngine::new(
+            EngineConfig {
+                mode: ExecMode::Batched,
+                queue_capacity: 64,
+                registry: RegistryConfig {
+                    shard_count: 1,
+                    capacity_per_shard: 16,
+                },
+                lifecycle: LifecycleConfig {
+                    deadline_ticks: None,
+                    retry: RetryPolicy {
+                        base_ticks: 1,
+                        max_retries: 0,
+                        jitter_ticks: 0,
+                    },
+                    breaker: BreakerConfig {
+                        failure_threshold: 2,
+                        cooldown_ticks: 2,
+                        close_streak: 1,
+                    },
+                    supervisor: SupervisorConfig::default(),
+                },
+            },
+            test_store("engine-breaker"),
+            Tracer::disabled(),
+        );
+        // A ghost tenant fails every model-path attempt (Missing snapshot).
+        let ghost = ClientKey::new("ghost", "w");
+        let mut id = 0u64;
+        for tick in 0..2u64 {
+            e.submit(Request::new(id, ghost.clone(), history(tick))).expect("admit");
+            id += 1;
+            let rs = e.tick();
+            assert_eq!(rs[0].source, ResponseSource::Fallback);
+        }
+        assert_eq!(e.tenant_breaker_state(&ghost), BreakerState::Open);
+        assert!(e.stats().lifecycle.breaker_trips >= 1);
+
+        // While open: served from fallback without touching the registry.
+        let misses_before = e.stats().cache.misses;
+        e.submit(Request::new(id, ghost.clone(), history(9))).expect("admit");
+        id += 1;
+        let rs = e.tick();
+        assert_eq!(rs[0].source, ResponseSource::Fallback);
+        assert_eq!(e.stats().cache.misses, misses_before, "open breaker must fast-fail");
+        assert!(e.stats().lifecycle.breaker_fallbacks >= 1);
+
+        // Provision the tenant; after cooldown a probe succeeds and closes.
+        e.provision(ghost.clone(), snapshot(8, (0.0, 60.0)));
+        loop {
+            e.submit(Request::new(id, ghost.clone(), history(3))).expect("admit");
+            id += 1;
+            let rs = e.tick();
+            if rs[0].source == ResponseSource::Batched {
+                break;
+            }
+            assert!(id < 20, "breaker never recovered");
+        }
+        assert_eq!(e.tenant_breaker_state(&ghost), BreakerState::Closed);
+    }
+
+    #[test]
+    fn unhealthy_shard_is_drained_and_served_from_the_store() {
+        let mut e = ServeEngine::new(
+            EngineConfig {
+                mode: ExecMode::Batched,
+                queue_capacity: 64,
+                registry: RegistryConfig {
+                    shard_count: 1,
+                    capacity_per_shard: 16,
+                },
+                lifecycle: LifecycleConfig {
+                    deadline_ticks: None,
+                    retry: RetryPolicy {
+                        base_ticks: 1,
+                        max_retries: 0,
+                        jitter_ticks: 0,
+                    },
+                    // Breakers effectively off so errors keep flowing to
+                    // the supervisor.
+                    breaker: BreakerConfig {
+                        failure_threshold: u32::MAX,
+                        cooldown_ticks: 1,
+                        close_streak: 1,
+                    },
+                    supervisor: SupervisorConfig {
+                        degraded_ratio: 0.5,
+                        unhealthy_ticks: 2,
+                        recovery_ticks: 1,
+                    },
+                },
+            },
+            test_store("engine-drain"),
+            Tracer::enabled(),
+        );
+        let good = ClientKey::new("good", "w");
+        e.provision(good.clone(), snapshot(4, (0.0, 80.0)));
+        let ghost = ClientKey::new("ghost", "w");
+
+        // Three ticks of 100% ghost errors: Degraded, then Unhealthy+drain.
+        for tick in 0..3u64 {
+            e.submit(Request::new(tick, ghost.clone(), history(tick))).expect("admit");
+            e.tick();
+        }
+        assert_eq!(e.stats().lifecycle.shard_drains, 1);
+        assert_eq!(e.shard_health(0), ShardHealth::Recovering);
+        // The drain spilled `good` out of memory...
+        assert!(!e.registry().is_resident(&good));
+        assert!(e.store().contains(&good));
+
+        // ...but it still serves, rehydrated from the store, and the shard
+        // heals after a clean tick.
+        e.submit(Request::new(10, good.clone(), history(1))).expect("admit");
+        let rs = e.tick();
+        assert_eq!(rs.len(), 1);
+        assert!(!rs[0].degraded);
+        assert_eq!(e.shard_health(0), ShardHealth::Healthy);
+        assert!(e.stats().lifecycle.worst_recovery_ticks >= 1);
+        let paths = e.tracer().snapshot().logical_paths();
+        assert!(
+            paths.iter().any(|p| p.contains("shard_health")),
+            "health transitions must appear in the span tree"
+        );
     }
 }

@@ -19,8 +19,13 @@
 //!   per-tenant serial and reference paths for equivalence; poisoned or
 //!   snapshot-less tenants degrade to the WMA smoothing fallback without
 //!   contaminating their co-batched neighbors;
-//! - [`bench`]: the stable `BENCH_serve.json` schema written by the
-//!   `ld-loadgen` binary, plus its validator.
+//! - [`lifecycle`]: deadlines, deterministic retry backoff, and the
+//!   per-tenant/per-shard circuit breakers that route tripped tenants to
+//!   the smoothing fallback;
+//! - [`supervisor`]: per-shard health tracking that drains and restarts
+//!   unhealthy shards from durable snapshot state;
+//! - [`bench`]: the stable `BENCH_serve.json` / `BENCH_resilience.json`
+//!   schemas written by the `ld-loadgen` binary, plus their validators.
 //!
 //! Everything downstream of the request sequence is deterministic: shard
 //! placement and batch composition derive from keys and seeds — never from
@@ -35,13 +40,23 @@ pub mod admission;
 pub mod bench;
 pub mod engine;
 mod hash;
+pub mod lifecycle;
 pub mod registry;
 pub mod snapshot;
+pub mod supervisor;
 
 pub use admission::{AdmissionQueue, AdmissionStats, Request};
-pub use bench::{percentile_ns, validate_document, ServeBenchReport, SERVE_SCHEMA_VERSION};
-pub use engine::{
-    response_digest, EngineConfig, ExecMode, Response, ResponseSource, ServeEngine, ServeStats,
+pub use bench::{
+    percentile_ns, validate_document, validate_resilience_document, ResilienceBenchReport,
+    ServeBenchReport, RESILIENCE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION,
 };
+pub use engine::{
+    response_digest, EngineConfig, ExecMode, LifecycleConfig, LifecycleStats, Response,
+    ResponseSource, ServeEngine, ServeStats,
+};
+pub use lifecycle::{Breaker, BreakerConfig, BreakerState, RetryPolicy, RetrySchedule, Route};
 pub use registry::{ClientKey, RegistryConfig, RegistryStats, ShardedRegistry};
-pub use snapshot::{ModelSnapshot, ModelShape, SnapshotError, SnapshotStore};
+pub use snapshot::{ModelSnapshot, ModelShape, RecoveryReport, SnapshotError, SnapshotStore};
+pub use supervisor::{
+    HealthTransition, ShardHealth, ShardObservation, ShardSupervisor, SupervisorConfig,
+};

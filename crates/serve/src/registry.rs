@@ -82,6 +82,9 @@ pub struct RegistryStats {
     pub corrupt_rehydrations: u64,
     /// Resident snapshots evicted (spilled) to disk.
     pub evictions: u64,
+    /// Spill attempts that failed (I/O error or simulated crash); the
+    /// victim stays resident so its state is never lost.
+    pub failed_spills: u64,
 }
 
 #[derive(Debug)]
@@ -147,12 +150,14 @@ impl ShardedRegistry {
 
     /// Installs a snapshot for `key`, spilling the shard's LRU entry to
     /// `store` if the shard is at capacity.
-    pub fn insert(
-        &mut self,
-        key: ClientKey,
-        snapshot: ModelSnapshot,
-        store: &SnapshotStore,
-    ) -> std::io::Result<()> {
+    ///
+    /// Eviction is **spill-then-remove**: the victim is written to the
+    /// store first and only dropped from memory once the write succeeded.
+    /// A failed spill (I/O error, simulated crash) keeps the victim
+    /// resident — the shard runs one entry over capacity until a later
+    /// eviction succeeds — so no snapshot ever exists solely in a torn
+    /// file. Failures are counted in [`RegistryStats::failed_spills`].
+    pub fn insert(&mut self, key: ClientKey, snapshot: ModelSnapshot, store: &SnapshotStore) {
         self.clock += 1;
         let now = self.clock;
         let cap = self.capacity_per_shard;
@@ -168,9 +173,13 @@ impl ShardedRegistry {
                 .min_by_key(|(k, e)| (e.last_used, (*k).clone()))
                 .map(|(k, _)| k.clone())
                 .expect("non-empty shard at capacity");
-            let evicted = shard.entries.remove(&victim).expect("victim resident");
-            store.save(&victim, &evicted.snapshot)?;
-            self.stats.evictions += 1;
+            let victim_snap = &shard.entries[&victim].snapshot;
+            if store.save(&victim, victim_snap).is_ok() {
+                shard.entries.remove(&victim);
+                self.stats.evictions += 1;
+            } else {
+                self.stats.failed_spills += 1;
+            }
         }
         shard.entries.insert(
             key,
@@ -179,7 +188,6 @@ impl ShardedRegistry {
                 last_used: now,
             },
         );
-        Ok(())
     }
 
     /// Looks up `key`, rehydrating from `store` on a miss. A successful
@@ -204,8 +212,7 @@ impl ShardedRegistry {
         match store.load(key) {
             Ok(snapshot) => {
                 self.stats.rehydrations += 1;
-                self.insert(key.clone(), snapshot, store)
-                    .map_err(|e| SnapshotError::Io(e.to_string()))?;
+                self.insert(key.clone(), snapshot, store);
                 let idx = self.shard_of(key);
                 Ok(&self.shards[idx].entries.get(key).expect("just inserted").snapshot)
             }
@@ -220,6 +227,33 @@ impl ShardedRegistry {
     /// Whether `key` is currently resident (no recency bump, no stats).
     pub fn is_resident(&self, key: &ClientKey) -> bool {
         self.shards[self.shard_of(key)].entries.contains_key(key)
+    }
+
+    /// Drains `shard` for a restart: spills every resident entry to
+    /// `store` and evicts the ones that spilled cleanly. Entries whose
+    /// spill failed **stay resident** (losing them would orphan state that
+    /// exists nowhere else). Future requests rehydrate lazily from the
+    /// store — the moral equivalent of restarting the shard process.
+    ///
+    /// Returns `(spilled, kept)` counts; iteration is in key order, so the
+    /// drain is deterministic.
+    pub fn drain_shard(&mut self, shard: usize, store: &SnapshotStore) -> (usize, usize) {
+        let entries = &mut self.shards[shard].entries;
+        let keys: Vec<ClientKey> = entries.keys().cloned().collect();
+        let mut spilled = 0;
+        let mut kept = 0;
+        for key in keys {
+            let snap = &entries[&key].snapshot;
+            if store.save(&key, snap).is_ok() {
+                entries.remove(&key);
+                self.stats.evictions += 1;
+                spilled += 1;
+            } else {
+                self.stats.failed_spills += 1;
+                kept += 1;
+            }
+        }
+        (spilled, kept)
     }
 }
 
@@ -271,11 +305,11 @@ mod tests {
             ClientKey::new("b", "w"),
             ClientKey::new("c", "w"),
         );
-        reg.insert(a.clone(), snap(1), &store).expect("insert a");
-        reg.insert(b.clone(), snap(2), &store).expect("insert b");
+        reg.insert(a.clone(), snap(1), &store);
+        reg.insert(b.clone(), snap(2), &store);
         // Touch `a` so `b` becomes LRU, then overflow.
         let fp_a = reg.get(&a, &store).expect("a resident").fingerprint();
-        reg.insert(c.clone(), snap(3), &store).expect("insert c");
+        reg.insert(c.clone(), snap(3), &store);
         assert!(!reg.is_resident(&b), "b must have been evicted");
         assert_eq!(reg.stats().evictions, 1);
         // Lazy rehydration brings `b` back, losslessly.
@@ -295,7 +329,7 @@ mod tests {
         });
         let keys: Vec<ClientKey> = (0..6).map(|i| ClientKey::new(format!("t{i}"), "w")).collect();
         for (i, k) in keys.iter().enumerate() {
-            reg.insert(k.clone(), snap(i as u64), &store).expect("insert");
+            reg.insert(k.clone(), snap(i as u64), &store);
         }
         let mut lookups = 0u64;
         for k in keys.iter().chain(keys.iter()).chain(keys.iter().take(3)) {
@@ -312,5 +346,33 @@ mod tests {
         let mut reg = ShardedRegistry::new(RegistryConfig::default());
         let err = reg.get(&ClientKey::new("ghost", "w"), &store).unwrap_err();
         assert_eq!(err, SnapshotError::Missing);
+    }
+
+    #[test]
+    fn drain_shard_spills_everything_and_rehydrates_losslessly() {
+        let store = store("registry-drain");
+        let mut reg = ShardedRegistry::new(RegistryConfig {
+            shard_count: 1,
+            capacity_per_shard: 8,
+        });
+        let keys: Vec<ClientKey> = (0..4).map(|i| ClientKey::new(format!("d{i}"), "w")).collect();
+        let fps: Vec<u64> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                let s = snap(100 + i as u64);
+                let fp = s.fingerprint();
+                reg.insert(k.clone(), s, &store);
+                fp
+            })
+            .collect();
+        let (spilled, kept) = reg.drain_shard(0, &store);
+        assert_eq!((spilled, kept), (4, 0));
+        assert_eq!(reg.resident(), 0);
+        // Every tenant comes back from durable state with identical weights.
+        for (k, fp) in keys.iter().zip(&fps) {
+            assert_eq!(reg.get(k, &store).expect("rehydrate").fingerprint(), *fp);
+        }
+        assert_eq!(reg.stats().failed_spills, 0);
     }
 }

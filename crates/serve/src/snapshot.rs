@@ -163,23 +163,77 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+/// Magic prefix of the checksum header line every spilled file starts with.
+const SNAP_MAGIC: &str = "ldsnap1";
+/// File name of the write-ahead journal inside the store directory.
+const JOURNAL_NAME: &str = "journal.log";
+/// Subdirectory torn/corrupt entries are quarantined into.
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// What a [`SnapshotStore::recover`] pass found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Published snapshot files examined.
+    pub scanned: usize,
+    /// Torn temp files (in-flight writes that never renamed) quarantined.
+    pub quarantined_torn: usize,
+    /// Published files failing the checksum header, quarantined.
+    pub quarantined_corrupt: usize,
+    /// Valid snapshots indexed after the pass.
+    pub indexed: usize,
+    /// Journal intents without a matching commit (crashed spills).
+    pub incomplete_journal: usize,
+}
+
 /// The on-disk side of the registry: evicted snapshots spill here and are
 /// lazily rehydrated on the next request for their key.
 ///
 /// File names are derived from the key's stable hash, never from arrival
 /// order, so a store populated by two differently-interleaved runs is
 /// byte-identical.
+///
+/// # Crash consistency
+///
+/// Every spill is checksummed, journaled, and published atomically:
+///
+/// 1. an intent record (`I <hash>`) is appended to the write-ahead journal
+///    and fsynced;
+/// 2. the payload — a `ldsnap1 <fnv1a-16hex>` header line plus the snapshot
+///    JSON — is written to a `*.tmp` sibling and fsynced;
+/// 3. the temp file is renamed over the final `<hash>.snapshot.json` name
+///    (atomic on POSIX) and the directory is fsynced;
+/// 4. a commit record (`C <hash>`) is appended to the journal.
+///
+/// A crash at *any* byte boundary therefore leaves either the old file, the
+/// new file, or a torn `*.tmp` that was never published. The
+/// [`recover`](Self::recover) pass quarantines torn temps and
+/// checksum-failing entries and rebuilds the in-memory index, so at most
+/// the in-flight snapshot is lost — never the rest of the store.
+///
+/// When the [`ld_faultinject`] `crash` site is active, [`save`](Self::save)
+/// deterministically simulates such a crash: it writes a torn temp file
+/// (truncated at a hash-keyed offset), skips the rename, and reports the
+/// spill as failed.
 #[derive(Debug)]
 pub struct SnapshotStore {
     dir: std::path::PathBuf,
+    /// Stable hashes of published, valid-named snapshots (the registry
+    /// index). Rebuilt by [`Self::open`] / [`Self::recover`].
+    index: std::sync::Mutex<std::collections::BTreeSet<u64>>,
 }
 
 impl SnapshotStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir` and indexes the
+    /// snapshots already published there.
     pub fn open(dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(SnapshotStore { dir })
+        let store = SnapshotStore {
+            dir,
+            index: std::sync::Mutex::new(std::collections::BTreeSet::new()),
+        };
+        store.rebuild_index()?;
+        Ok(store)
     }
 
     /// The file a key spills to.
@@ -187,18 +241,109 @@ impl SnapshotStore {
         self.dir.join(format!("{:016x}.snapshot.json", key.stable_hash()))
     }
 
-    /// Spills a snapshot for `key`.
-    pub fn save(&self, key: &ClientKey, snap: &ModelSnapshot) -> std::io::Result<()> {
-        std::fs::write(self.path_for(key), snap.to_json())
+    fn tmp_path_for(&self, hash: u64) -> std::path::PathBuf {
+        self.dir.join(format!("{hash:016x}.snapshot.tmp"))
     }
 
-    /// Rehydrates the snapshot spilled for `key`, verifying its weight
-    /// fingerprint.
+    fn journal_path(&self) -> std::path::PathBuf {
+        self.dir.join(JOURNAL_NAME)
+    }
+
+    fn index_lock(&self) -> std::sync::MutexGuard<'_, std::collections::BTreeSet<u64>> {
+        self.index.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Frames `json` with the checksum header rehydration verifies.
+    fn frame(json: &str) -> String {
+        let sum = fnv1a_bytes(FNV_OFFSET, json.as_bytes());
+        format!("{SNAP_MAGIC} {sum:016x}\n{json}")
+    }
+
+    /// Splits and verifies a framed payload, returning the JSON body.
+    fn unframe(text: &str) -> Result<&str, SnapshotError> {
+        let (header, body) = text
+            .split_once('\n')
+            .ok_or_else(|| SnapshotError::Corrupt("missing checksum header".into()))?;
+        let sum_hex = header
+            .strip_prefix(SNAP_MAGIC)
+            .map(str::trim)
+            .ok_or_else(|| SnapshotError::Corrupt("bad magic in checksum header".into()))?;
+        let stored = u64::from_str_radix(sum_hex, 16)
+            .map_err(|e| SnapshotError::Corrupt(format!("unparsable checksum: {e}")))?;
+        let actual = fnv1a_bytes(FNV_OFFSET, body.as_bytes());
+        if actual != stored {
+            return Err(SnapshotError::Corrupt(format!(
+                "payload checksum mismatch: stored {stored:#018x}, recomputed {actual:#018x}"
+            )));
+        }
+        Ok(body)
+    }
+
+    fn journal_append(&self, record: &str) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.journal_path())?;
+        writeln!(f, "{record}")?;
+        f.sync_all()
+    }
+
+    /// Spills a snapshot for `key`: journaled, checksummed, fsynced, and
+    /// atomically renamed into place.
+    ///
+    /// Under the `crash` fault site, the spill deterministically "crashes"
+    /// mid-write — a torn temp file is left behind, nothing is published,
+    /// and an error is returned — so callers must treat a failed spill as
+    /// "the snapshot is still only in memory".
+    pub fn save(&self, key: &ClientKey, snap: &ModelSnapshot) -> std::io::Result<()> {
+        let hash = key.stable_hash();
+        let framed = Self::frame(&snap.to_json());
+        self.journal_append(&format!("I {hash:016x}"))?;
+        let tmp = self.tmp_path_for(hash);
+        if ld_faultinject::is_active()
+            && ld_faultinject::fault_hit_counted(ld_faultinject::FaultSite::CrashWrite)
+        {
+            // Simulated crash: tear the write at a hash-keyed byte offset
+            // and never publish. The journal intent above has no commit, so
+            // recovery knows this spill was in flight.
+            let cut = 1 + (crate::hash::fnv1a_u64(hash, framed.len() as u64)
+                % (framed.len() as u64 - 1)) as usize;
+            std::fs::write(&tmp, &framed.as_bytes()[..cut])?;
+            return Err(std::io::Error::other("simulated crash during snapshot spill"));
+        }
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(framed.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.path_for(key))?;
+        // Publish durably: fsync the directory so the rename itself
+        // survives a crash.
+        std::fs::File::open(&self.dir)?.sync_all()?;
+        self.journal_append(&format!("C {hash:016x}"))?;
+        self.index_lock().insert(hash);
+        Ok(())
+    }
+
+    /// Whether the index lists a published snapshot for `key`.
+    pub fn contains(&self, key: &ClientKey) -> bool {
+        self.index_lock().contains(&key.stable_hash())
+    }
+
+    /// Number of indexed snapshots.
+    pub fn index_len(&self) -> usize {
+        self.index_lock().len()
+    }
+
+    /// Rehydrates the snapshot spilled for `key`, verifying the payload
+    /// checksum and then the weight fingerprint.
     ///
     /// When the [`ld_faultinject`] `snapshot` site is active, the loaded
-    /// bytes are deterministically mangled before parsing (keyed off the
-    /// key's stable hash), exercising the registry's corrupt-rehydration
-    /// degradation path.
+    /// bytes are deterministically mangled before verification (keyed off
+    /// the key's stable hash), exercising the registry's
+    /// corrupt-rehydration degradation path.
     pub fn load(&self, key: &ClientKey) -> Result<ModelSnapshot, SnapshotError> {
         let path = self.path_for(key);
         let mut text = match std::fs::read_to_string(&path) {
@@ -215,22 +360,105 @@ impl SnapshotStore {
             )
         {
             // Deterministic mangling: truncate to half and flip a digit, so
-            // the parse (or the fingerprint check) must fail.
+            // the checksum (or the fingerprint check) must fail.
             let half = text.len() / 2;
             text.truncate(half);
             text.push('!');
         }
-        ModelSnapshot::from_json(&text)
+        ModelSnapshot::from_json(Self::unframe(&text)?)
     }
 
-    /// Removes every spilled snapshot (test hygiene).
+    /// Startup / post-crash recovery pass:
+    ///
+    /// - quarantines every `*.tmp` file (torn in-flight writes);
+    /// - verifies the checksum header of every published snapshot and
+    ///   quarantines failures;
+    /// - counts journal intents that never committed;
+    /// - truncates the journal and rebuilds the in-memory index.
+    ///
+    /// Quarantined files move to `<dir>/quarantine/` (never deleted), so a
+    /// post-mortem can inspect exactly what the crash tore.
+    pub fn recover(&self) -> std::io::Result<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        let quarantine = self.dir.join(QUARANTINE_DIR);
+        // Journal first: intents without commits are the in-flight spills.
+        if let Ok(journal) = std::fs::read_to_string(self.journal_path()) {
+            let mut open_intents = std::collections::BTreeSet::new();
+            for line in journal.lines() {
+                match line.split_once(' ') {
+                    Some(("I", h)) => {
+                        open_intents.insert(h.to_string());
+                    }
+                    Some(("C", h)) => {
+                        open_intents.remove(h);
+                    }
+                    _ => {}
+                }
+            }
+            report.incomplete_journal = open_intents.len();
+        }
+        let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with(".snapshot.tmp") {
+                std::fs::create_dir_all(&quarantine)?;
+                std::fs::rename(&path, quarantine.join(name))?;
+                report.quarantined_torn += 1;
+            } else if name.ends_with(".snapshot.json") {
+                report.scanned += 1;
+                let ok = std::fs::read_to_string(&path)
+                    .map(|text| Self::unframe(&text).is_ok())
+                    .unwrap_or(false);
+                if !ok {
+                    std::fs::create_dir_all(&quarantine)?;
+                    std::fs::rename(&path, quarantine.join(name))?;
+                    report.quarantined_corrupt += 1;
+                }
+            }
+        }
+        // The journal's work is done; start the next epoch empty.
+        let _ = std::fs::remove_file(self.journal_path());
+        self.rebuild_index()?;
+        report.indexed = self.index_len();
+        Ok(report)
+    }
+
+    /// Rebuilds the index from the published files in the directory.
+    fn rebuild_index(&self) -> std::io::Result<()> {
+        let mut index = std::collections::BTreeSet::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if let Some(hex) = name.strip_suffix(".snapshot.json") {
+                if let Ok(hash) = u64::from_str_radix(hex, 16) {
+                    index.insert(hash);
+                }
+            }
+        }
+        *self.index_lock() = index;
+        Ok(())
+    }
+
+    /// Removes every spilled snapshot, temp file, quarantined entry, and
+    /// the journal (test hygiene).
     pub fn clear(&self) -> std::io::Result<()> {
         for entry in std::fs::read_dir(&self.dir)? {
             let path = entry?.path();
-            if path.extension().is_some_and(|e| e == "json") {
-                std::fs::remove_file(path)?;
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with(".snapshot.json")
+                || name.ends_with(".snapshot.tmp")
+                || name == JOURNAL_NAME
+            {
+                std::fs::remove_file(&path)?;
+            } else if name == QUARANTINE_DIR && path.is_dir() {
+                std::fs::remove_dir_all(&path)?;
             }
         }
+        self.index_lock().clear();
         Ok(())
     }
 
@@ -323,5 +551,78 @@ mod tests {
         let store = SnapshotStore::open(test_dir("snapshot-missing")).expect("open");
         let key = ClientKey::new("nobody", "nothing");
         assert_eq!(store.load(&key).unwrap_err(), SnapshotError::Missing);
+    }
+
+    #[test]
+    fn save_publishes_atomically_with_checksum_header() {
+        let store = SnapshotStore::open(test_dir("snapshot-atomic")).expect("open");
+        store.clear().expect("clear");
+        let key = ClientKey::new("tenant-a", "wiki");
+        store.save(&key, &snap(4)).expect("save");
+        // No temp file survives a successful spill; the journal holds a
+        // matched intent/commit pair.
+        let leftovers: Vec<_> = std::fs::read_dir(store.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file leaked: {leftovers:?}");
+        let text = std::fs::read_to_string(store.path_for(&key)).unwrap();
+        assert!(text.starts_with("ldsnap1 "), "missing checksum header");
+        assert!(store.contains(&key));
+        assert_eq!(store.index_len(), 1);
+        // Flipping one payload byte must fail the checksum, not the parse.
+        let flipped = text.replacen("\"data\":[", "\"data\":[ ", 1);
+        std::fs::write(store.path_for(&key), flipped).unwrap();
+        match store.load(&key) {
+            Err(SnapshotError::Corrupt(why)) => {
+                assert!(why.contains("checksum"), "unexpected reason: {why}")
+            }
+            other => panic!("expected checksum Corrupt, got {other:?}"),
+        }
+    }
+
+    // Crash-write injection is covered by the `serve_recovery` integration
+    // tests, which serialize on the process-global fault lock.
+
+    #[test]
+    fn recovery_quarantines_corrupt_published_entries() {
+        let store = SnapshotStore::open(test_dir("snapshot-recover-corrupt")).expect("open");
+        store.clear().expect("clear");
+        let good = ClientKey::new("good", "wiki");
+        let bad = ClientKey::new("bad", "wiki");
+        store.save(&good, &snap(7)).expect("save good");
+        store.save(&bad, &snap(8)).expect("save bad");
+        // Bit-rot the bad entry on disk.
+        let mut text = std::fs::read_to_string(store.path_for(&bad)).unwrap();
+        text.truncate(text.len() / 2);
+        std::fs::write(store.path_for(&bad), text).unwrap();
+
+        let report = store.recover().expect("recover");
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.quarantined_corrupt, 1);
+        assert_eq!(report.indexed, 1);
+        assert!(store.contains(&good) && !store.contains(&bad));
+        assert!(store.load(&good).is_ok());
+        assert_eq!(store.load(&bad).unwrap_err(), SnapshotError::Missing);
+        // The quarantined bytes are preserved for post-mortem.
+        let quarantined: Vec<_> = std::fs::read_dir(store.dir().join("quarantine"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+    }
+
+    #[test]
+    fn reopen_rebuilds_index_from_directory() {
+        let dir = test_dir("snapshot-reopen");
+        let store = SnapshotStore::open(&dir).expect("open");
+        store.clear().expect("clear");
+        let key = ClientKey::new("tenant-r", "wiki");
+        store.save(&key, &snap(10)).expect("save");
+        drop(store);
+        let reopened = SnapshotStore::open(&dir).expect("reopen");
+        assert!(reopened.contains(&key));
+        assert_eq!(reopened.index_len(), 1);
     }
 }

@@ -8,8 +8,9 @@ use ld_api::MinMaxScaler;
 use ld_faultinject::{install, reset, test_lock, FaultConfig, FaultSite};
 use ld_nn::{ForecasterConfig, LstmForecaster};
 use ld_serve::{
-    ClientKey, EngineConfig, ExecMode, ModelSnapshot, RegistryConfig, Request, Response,
-    ResponseSource, ServeEngine, SnapshotStore,
+    BreakerConfig, ClientKey, EngineConfig, ExecMode, LifecycleConfig, ModelSnapshot,
+    RegistryConfig, Request, Response, ResponseSource, RetryPolicy, ServeEngine, SnapshotStore,
+    SupervisorConfig,
 };
 use ld_telemetry::Tracer;
 use std::collections::BTreeMap;
@@ -41,6 +42,27 @@ fn build_engine(label: &str, capacity_per_shard: usize) -> (ServeEngine, Vec<Cli
                 shard_count: 2,
                 capacity_per_shard,
             },
+            // These tests pin *same-tick* per-tenant degradation, so the
+            // cross-tick lifecycle machinery (retries, breakers, drains)
+            // is switched off; it has its own coverage.
+            lifecycle: LifecycleConfig {
+                deadline_ticks: None,
+                retry: RetryPolicy {
+                    base_ticks: 1,
+                    max_retries: 0,
+                    jitter_ticks: 0,
+                },
+                breaker: BreakerConfig {
+                    failure_threshold: u32::MAX,
+                    cooldown_ticks: 1,
+                    close_streak: 1,
+                },
+                supervisor: SupervisorConfig {
+                    degraded_ratio: 2.0,
+                    unhealthy_ticks: u32::MAX,
+                    recovery_ticks: 1,
+                },
+            },
         },
         store(label),
         Tracer::disabled(),
@@ -52,8 +74,7 @@ fn build_engine(label: &str, capacity_per_shard: usize) -> (ServeEngine, Vec<Cli
             .map(|i| 20.0 + ((t * 13 + i * 5) as f64 * 0.21).sin() * 6.0)
             .collect();
         let key = ClientKey::new(format!("f-{t:03}"), "faults");
-        eng.provision(key.clone(), ModelSnapshot::new(model.clone(), MinMaxScaler::fit(&h), HIST))
-            .expect("provision");
+        eng.provision(key.clone(), ModelSnapshot::new(model.clone(), MinMaxScaler::fit(&h), HIST));
         keys.push(key);
         histories.push(h);
     }
@@ -64,11 +85,11 @@ fn run(eng: &mut ServeEngine, keys: &[ClientKey], histories: &[Vec<f64>], ticks:
     let mut all = Vec::new();
     for tick in 0..ticks {
         for (i, key) in keys.iter().enumerate() {
-            eng.submit(Request {
-                id: (tick * keys.len() + i) as u64,
-                key: key.clone(),
-                history: histories[i].clone(),
-            })
+            eng.submit(Request::new(
+                (tick * keys.len() + i) as u64,
+                key.clone(),
+                histories[i].clone(),
+            ))
             .expect("queue sized for fleet");
         }
         all.extend(eng.tick());

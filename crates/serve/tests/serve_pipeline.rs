@@ -11,8 +11,8 @@
 use ld_api::MinMaxScaler;
 use ld_nn::{ForecasterConfig, LstmForecaster};
 use ld_serve::{
-    response_digest, ClientKey, EngineConfig, ExecMode, ModelSnapshot, RegistryConfig, Request,
-    Response, ServeEngine, SnapshotStore,
+    response_digest, ClientKey, EngineConfig, ExecMode, LifecycleConfig, ModelSnapshot,
+    RegistryConfig, Request, Response, ServeEngine, SnapshotStore,
 };
 use ld_telemetry::Tracer;
 
@@ -80,12 +80,13 @@ fn engine(mode: ExecMode, label: &str, capacity_per_shard: usize, fleet: &Fleet)
                 shard_count: 4,
                 capacity_per_shard,
             },
+            lifecycle: LifecycleConfig::default(),
         },
         store(label),
         Tracer::disabled(),
     );
     for (key, snap) in fleet.keys.iter().zip(&fleet.snapshots) {
-        eng.provision(key.clone(), snap.clone()).expect("provision");
+        eng.provision(key.clone(), snap.clone());
     }
     eng
 }
@@ -95,11 +96,11 @@ fn run(eng: &mut ServeEngine, fleet: &Fleet, ticks: usize) -> Vec<Response> {
     let mut all = Vec::new();
     for tick in 0..ticks {
         for (i, key) in fleet.keys.iter().enumerate() {
-            eng.submit(Request {
-                id: (tick * fleet.keys.len() + i) as u64,
-                key: key.clone(),
-                history: fleet.histories[i].clone(),
-            })
+            eng.submit(Request::new(
+                (tick * fleet.keys.len() + i) as u64,
+                key.clone(),
+                fleet.histories[i].clone(),
+            ))
             .expect("queue sized for the fleet");
         }
         all.extend(eng.tick());
@@ -159,12 +160,13 @@ fn identically_seeded_runs_are_bitwise_identical() {
                     shard_count: 4,
                     capacity_per_shard: 32,
                 },
+                lifecycle: LifecycleConfig::default(),
             },
             store(&format!("det-{pass}")),
             Tracer::enabled(),
         );
         for (key, snap) in f.keys.iter().zip(&f.snapshots) {
-            eng.provision(key.clone(), snap.clone()).expect("provision");
+            eng.provision(key.clone(), snap.clone());
         }
         let responses = run(&mut eng, &f, 4);
         let spans = eng.tracer().snapshot().logical_paths();

@@ -7,13 +7,18 @@
 //! - the shard count is a constant of the run, whatever the churn;
 //! - cache accounting is conserved: every resolve is exactly one hit or
 //!   one miss, rehydrations never exceed misses, and residency never
-//!   exceeds the configured capacity.
+//!   exceeds the configured capacity;
+//! - the circuit breaker's state machine: it opens after exactly
+//!   `failure_threshold` consecutive failures, admits exactly one probe
+//!   per tick while half-open, and closes only on a full success streak;
+//! - retry backoff is deterministic and bounded, and the queue bound
+//!   holds even while transient faults keep parking retries.
 
 use ld_api::MinMaxScaler;
 use ld_nn::{ForecasterConfig, LstmForecaster};
 use ld_serve::{
-    ClientKey, EngineConfig, ExecMode, ModelSnapshot, RegistryConfig, Request, ServeEngine,
-    SnapshotStore,
+    Breaker, BreakerConfig, BreakerState, ClientKey, EngineConfig, ExecMode, LifecycleConfig,
+    ModelSnapshot, RegistryConfig, Request, RetryPolicy, Route, ServeEngine, SnapshotStore,
 };
 use ld_telemetry::Tracer;
 use std::collections::BTreeSet;
@@ -58,6 +63,7 @@ fn provisioned_engine(
                 shard_count,
                 capacity_per_shard,
             },
+            lifecycle: LifecycleConfig::default(),
         },
         store(label),
         Tracer::disabled(),
@@ -69,8 +75,7 @@ fn provisioned_engine(
             .map(|i| 5.0 + (splitmix64(seed ^ (t * 64 + i) as u64) % 1000) as f64 * 0.01)
             .collect();
         let key = ClientKey::new(format!("p-{seed}-{t:03}"), "props");
-        eng.provision(key.clone(), ModelSnapshot::new(model.clone(), MinMaxScaler::fit(&h), HIST))
-            .expect("provision");
+        eng.provision(key.clone(), ModelSnapshot::new(model.clone(), MinMaxScaler::fit(&h), HIST));
         keys.push(key);
         histories.push(h);
     }
@@ -94,11 +99,7 @@ fn no_request_is_both_shed_and_answered_and_none_is_lost() {
             let burst = 3 + (splitmix64(seed ^ round) % (2 * bound as u64)) as usize;
             for _ in 0..burst {
                 let t = (splitmix64(seed ^ next_id.rotate_left(17)) % tenants as u64) as usize;
-                let req = Request {
-                    id: next_id,
-                    key: keys[t].clone(),
-                    history: histories[t].clone(),
-                };
+                let req = Request::new(next_id, keys[t].clone(), histories[t].clone());
                 submitted.insert(next_id);
                 if let Err(back) = eng.submit(req) {
                     assert_eq!(back.id, next_id, "shed returns the offered request");
@@ -138,11 +139,7 @@ fn queue_depth_never_exceeds_bound() {
             let burst = (splitmix64(seed ^ round) % 11) as usize;
             for _ in 0..burst {
                 let t = (id % keys.len() as u64) as usize;
-                let _ = eng.submit(Request {
-                    id,
-                    key: keys[t].clone(),
-                    history: histories[t].clone(),
-                });
+                let _ = eng.submit(Request::new(id, keys[t].clone(), histories[t].clone()));
                 id += 1;
                 assert!(
                     eng.queue_depth() <= bound,
@@ -164,11 +161,11 @@ fn shard_count_is_constant_under_churn() {
     assert_eq!(want, 8);
     for tick in 0..6 {
         for (i, key) in keys.iter().enumerate() {
-            eng.submit(Request {
-                id: (tick * keys.len() + i) as u64,
-                key: key.clone(),
-                history: histories[i].clone(),
-            })
+            eng.submit(Request::new(
+                (tick * keys.len() + i) as u64,
+                key.clone(),
+                histories[i].clone(),
+            ))
             .expect("queue is large enough");
             assert_eq!(eng.shard_count(), want);
         }
@@ -185,11 +182,11 @@ fn cache_accounting_is_conserved() {
         let mut resolved = 0u64;
         for tick in 0..8 {
             for (i, key) in keys.iter().enumerate() {
-                eng.submit(Request {
-                    id: (tick * keys.len() + i) as u64,
-                    key: key.clone(),
-                    history: histories[i].clone(),
-                })
+                eng.submit(Request::new(
+                    (tick * keys.len() + i) as u64,
+                    key.clone(),
+                    histories[i].clone(),
+                ))
                 .expect("no shed in this schedule");
             }
             resolved += eng.tick().len() as u64;
@@ -214,4 +211,214 @@ fn cache_accounting_is_conserved() {
             assert_eq!(cache.misses, 0, "roomy registry never misses after provisioning");
         }
     }
+}
+
+/// Randomized outcome sequences, checked against a hand-rolled model of
+/// the breaker contract: only `failure_threshold` *consecutive* failures
+/// open the breaker, and any success before the threshold resets the run.
+#[test]
+fn breaker_opens_after_exactly_n_consecutive_failures() {
+    for seed in [5u64, 19, 83, 201] {
+        let threshold = 1 + u32::try_from(splitmix64(seed) % 5).expect("small");
+        let cfg = BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_ticks: 1_000_000, // stay Open once tripped
+            close_streak: 1,
+        };
+        let mut b = Breaker::new(cfg);
+        let mut consecutive = 0u32;
+        for step in 0..200u64 {
+            if b.state() == BreakerState::Open {
+                break;
+            }
+            let ok = splitmix64(seed ^ step.rotate_left(13)) % 3 == 0;
+            assert_eq!(b.route(step), Route::Model, "closed breaker admits");
+            b.record(step, ok);
+            consecutive = if ok { 0 } else { consecutive + 1 };
+            if consecutive >= threshold {
+                assert_eq!(
+                    b.state(),
+                    BreakerState::Open,
+                    "seed {seed}: {threshold} consecutive failures must open"
+                );
+                assert_eq!(b.trips(), 1);
+            } else {
+                assert_eq!(
+                    b.state(),
+                    BreakerState::Closed,
+                    "seed {seed} step {step}: only a full consecutive run may open \
+                     ({consecutive}/{threshold} failures)"
+                );
+            }
+        }
+    }
+}
+
+/// While half-open, the breaker admits exactly one probe per tick and
+/// answers everything else from the fallback; a failed probe re-opens
+/// with a fresh cooldown.
+#[test]
+fn half_open_breaker_probes_once_per_tick() {
+    let cfg = BreakerConfig {
+        failure_threshold: 1,
+        cooldown_ticks: 3,
+        close_streak: 2,
+    };
+    let mut b = Breaker::new(cfg);
+    b.route(0);
+    b.record(0, false);
+    assert_eq!(b.state(), BreakerState::Open);
+
+    // Cooldown: everything is fallback, no probes.
+    for now in 1..3u64 {
+        for _ in 0..4 {
+            assert_eq!(b.route(now), Route::Fallback, "tick {now} is inside cooldown");
+        }
+    }
+    // Cooldown over: exactly one probe per tick, however many arrivals.
+    for now in 3..5u64 {
+        assert_eq!(b.route(now), Route::Probe, "first arrival at tick {now} probes");
+        for _ in 0..5 {
+            assert_eq!(b.route(now), Route::Fallback, "tick {now} already probed");
+        }
+    }
+    assert_eq!(b.state(), BreakerState::HalfOpen);
+
+    // A failed probe re-opens and restarts the cooldown clock.
+    b.record(5, false);
+    assert_eq!(b.state(), BreakerState::Open);
+    assert_eq!(b.trips(), 2);
+    assert_eq!(b.route(6), Route::Fallback, "fresh cooldown after a failed probe");
+    assert_eq!(b.route(5 + 3), Route::Probe);
+}
+
+/// Half-open closes only after `close_streak` consecutive probe
+/// successes; a single failure anywhere in the streak re-opens.
+#[test]
+fn breaker_closes_only_on_a_full_success_streak() {
+    for streak in 1..=4u32 {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ticks: 1,
+            close_streak: streak,
+        };
+        let mut b = Breaker::new(cfg);
+        b.route(0);
+        b.record(0, false);
+        let mut now = 1u64;
+        for n in 1..=streak {
+            assert_eq!(b.route(now), Route::Probe, "streak {streak} probe {n}");
+            b.record(now, true);
+            if n < streak {
+                assert_eq!(
+                    b.state(),
+                    BreakerState::HalfOpen,
+                    "streak {streak}: {n} successes must not close yet"
+                );
+            } else {
+                assert_eq!(b.state(), BreakerState::Closed, "streak {streak} complete");
+            }
+            now += 1;
+        }
+
+        // Same dance, but the last probe fails: back to Open, streak reset.
+        let mut b = Breaker::new(cfg);
+        b.route(0);
+        b.record(0, false);
+        let mut now = 1u64;
+        for _ in 1..streak {
+            assert_eq!(b.route(now), Route::Probe);
+            b.record(now, true);
+            now += 1;
+        }
+        assert_eq!(b.route(now), Route::Probe);
+        b.record(now, false);
+        assert_eq!(
+            b.state(),
+            BreakerState::Open,
+            "streak {streak}: a failed probe re-opens no matter how long the run was"
+        );
+    }
+}
+
+/// Retry backoff is a pure function of `(attempt, seed)` and stays within
+/// `[base << (attempt-1), base << (attempt-1) + jitter]`.
+#[test]
+fn retry_backoff_is_deterministic_and_bounded() {
+    for seed in [1u64, 77, 4096] {
+        let policy = RetryPolicy {
+            base_ticks: 1 + splitmix64(seed) % 3,
+            max_retries: 4,
+            jitter_ticks: splitmix64(seed ^ 1) % 4,
+        };
+        for attempt in 1..=policy.max_retries {
+            let key = splitmix64(seed ^ u64::from(attempt));
+            let a = policy.backoff(attempt, key);
+            let b = policy.backoff(attempt, key);
+            assert_eq!(a, b, "backoff must be replayable");
+            let floor = policy.base_ticks << (attempt - 1);
+            assert!(
+                (floor..=floor + policy.jitter_ticks).contains(&a),
+                "backoff {a} outside [{floor}, {}]",
+                floor + policy.jitter_ticks
+            );
+        }
+    }
+}
+
+/// The queue bound holds while transient faults keep parking retries, and
+/// the settle loop still answers or sheds every request: parked work must
+/// neither overflow the queue nor leak requests.
+#[test]
+fn queue_bound_holds_under_retry_pressure() {
+    let _guard = ld_faultinject::test_lock();
+    ld_faultinject::reset();
+
+    let bound = 10usize;
+    // Tight registry (capacity 1 per shard) so every tick rehydrates from
+    // disk, and a 60% SnapshotCorrupt plan so many of those rehydrations
+    // fail transiently and park retries.
+    let (mut eng, keys, histories) =
+        provisioned_engine("retry-bound", 57, 12, bound, 4, 1);
+    ld_faultinject::install(
+        ld_faultinject::FaultConfig::new(0x7e57_5eed).with_site(
+            ld_faultinject::FaultSite::SnapshotCorrupt,
+            0.6,
+            None,
+        ),
+    );
+
+    let mut submitted = 0u64;
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    let mut id = 0u64;
+    for round in 0..10u64 {
+        let burst = 4 + (splitmix64(57 ^ round) % 8) as usize;
+        for _ in 0..burst {
+            let t = (id % keys.len() as u64) as usize;
+            submitted += 1;
+            if eng.submit(Request::new(id, keys[t].clone(), histories[t].clone())).is_err() {
+                shed += 1;
+            }
+            id += 1;
+            assert!(eng.queue_depth() <= bound, "queue bound broken under retries");
+        }
+        answered += eng.tick().len() as u64;
+        assert_eq!(eng.queue_depth(), 0, "tick must drain the queue even when parking");
+    }
+    assert!(
+        eng.stats().lifecycle.retries > 0,
+        "a 60% corrupt plan over a thrashing registry must park retries"
+    );
+
+    // Settle with the faults still active: retries exhaust their budget
+    // and fall back — bounded, explicit, no hangs.
+    let mut settle = 0;
+    while eng.pending_work() > 0 {
+        settle += 1;
+        assert!(settle <= 32, "retry settle must terminate");
+        answered += eng.tick().len() as u64;
+    }
+    ld_faultinject::reset();
+    assert_eq!(answered + shed, submitted, "every request answered xor shed");
 }

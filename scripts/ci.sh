@@ -33,6 +33,12 @@ echo "=== ld-loadgen --smoke (serve replay: equivalence, determinism, shed, cach
 cargo run -q --release -p ld-serve --bin ld-loadgen -- --smoke
 cargo run -q --release -p ld-serve --bin ld-loadgen -- --check BENCH_serve.json
 
+echo "=== ld-loadgen --chaos --smoke (chaos soak: availability, isolation, determinism) ==="
+mkdir -p target
+cargo run -q --release -p ld-serve --bin ld-loadgen -- --chaos --smoke --out target/ci-resilience.json
+cargo run -q --release -p ld-serve --bin ld-loadgen -- --check-resilience target/ci-resilience.json
+cargo run -q --release -p ld-serve --bin ld-loadgen -- --check-resilience BENCH_resilience.json
+
 echo "=== traced fig6 smoke run (span tracing + run-manifest validation) ==="
 mkdir -p target
 rm -f target/ci-trace.json target/ci-trace.json.folded target/ci-trace.json.manifest.json

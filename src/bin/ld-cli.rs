@@ -351,12 +351,7 @@ fn cmd_trace_validate(trace_path: &str, manifest_path: Option<&str>) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Opt-in fault injection for resilience drills (LD_FAULT / LD_FAULT_SEED).
-    if ld_faultinject::init_from_env(0) {
-        eprintln!(
-            "fault injection active: LD_FAULT={}",
-            std::env::var("LD_FAULT").unwrap_or_default()
-        );
-    }
+    ld_faultinject::activate_from_env(0);
     let telemetry_out = telemetry_path(&args);
     let trace_out = trace_out_path(&args);
     match args.first().map(String::as_str) {
