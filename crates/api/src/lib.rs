@@ -10,6 +10,7 @@
 pub mod error;
 pub mod eval;
 pub mod metrics;
+pub mod num;
 pub mod partition;
 pub mod predictor;
 pub mod scaler;

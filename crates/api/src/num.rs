@@ -1,0 +1,92 @@
+//! Guarded float→integer conversions.
+//!
+//! `expr as usize` on a float is a silent saturation: NaN becomes 0,
+//! negatives clamp to 0, +inf becomes `usize::MAX`. In this workspace that
+//! failure mode converts one NaN upstream into a *wrong answer* (reading
+//! percentile 0, provisioning zero VMs) rather than a crash. These helpers
+//! centralize the guard-then-cast idiom so call sites state their intent
+//! (`to_count` for sizes, `to_index` for bounded indices, `to_int` for
+//! signed parameter grids) and `ld-lint`'s `range-cast` value-range
+//! analysis can prove the single interior cast of each helper safe.
+//!
+//! Semantics match the saturating `as` cast they replace, with the NaN and
+//! infinity cases made explicit:
+//! non-finite → 0 (`to_count`/`to_index`) or 0i64 (`to_int`), then clamp
+//! into the target range, then cast.
+
+/// Converts a float to a count/size. Non-finite values become 0; finite
+/// values clamp into `[0, u32::MAX]` before the cast (counts in this
+/// workspace are VM pools, candidate pools, and series lengths — all far
+/// below `u32::MAX`, and capping there keeps the cast lossless on every
+/// platform's `usize`).
+pub fn to_count(x: f64) -> usize {
+    if !x.is_finite() {
+        return 0;
+    }
+    x.clamp(0.0, u32::MAX as f64) as usize
+}
+
+/// Converts a float to an index bounded by `max` (inclusive). Non-finite
+/// values become 0; finite values clamp into `[0, max]` before the cast.
+pub fn to_index(x: f64, max: usize) -> usize {
+    if !x.is_finite() {
+        return 0;
+    }
+    let cap = max.min(u32::MAX as usize);
+    x.clamp(0.0, cap as f64) as usize
+}
+
+/// Converts a float to a signed integer. Non-finite values become 0;
+/// finite values clamp into `[i32::MIN, i32::MAX]` before the cast (the
+/// workspace's integer parameter grids are far narrower, and the `i32`
+/// window is exactly representable in `f64`, so the clamp is lossless
+/// where the old saturating cast was not provably so).
+pub fn to_int(x: f64) -> i64 {
+    if !x.is_finite() {
+        return 0;
+    }
+    x.clamp(i32::MIN as f64, i32::MAX as f64) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_count_guards_nonfinite_and_negative() {
+        assert_eq!(to_count(f64::NAN), 0);
+        assert_eq!(to_count(f64::INFINITY), 0);
+        assert_eq!(to_count(f64::NEG_INFINITY), 0);
+        assert_eq!(to_count(-3.7), 0);
+        assert_eq!(to_count(0.0), 0);
+        assert_eq!(to_count(41.9), 41);
+        assert_eq!(to_count(1e18), u32::MAX as usize);
+    }
+
+    #[test]
+    fn to_count_matches_saturating_cast_on_normal_range() {
+        for v in [0.0, 0.49, 1.0, 7.5, 1024.0, 1e6] {
+            assert_eq!(to_count(v), v as usize, "v={v}");
+        }
+    }
+
+    #[test]
+    fn to_index_is_bounded_inclusive() {
+        assert_eq!(to_index(f64::NAN, 7), 0);
+        assert_eq!(to_index(-1.0, 7), 0);
+        assert_eq!(to_index(3.2, 7), 3);
+        assert_eq!(to_index(7.0, 7), 7);
+        assert_eq!(to_index(900.0, 7), 7);
+        assert_eq!(to_index(5.0, 0), 0);
+    }
+
+    #[test]
+    fn to_int_guards_and_clamps() {
+        assert_eq!(to_int(f64::NAN), 0);
+        assert_eq!(to_int(f64::INFINITY), 0);
+        assert_eq!(to_int(-2.9), -2);
+        assert_eq!(to_int(2.9), 2);
+        assert_eq!(to_int(1e18), i32::MAX as i64);
+        assert_eq!(to_int(-1e18), i32::MIN as i64);
+    }
+}

@@ -28,10 +28,10 @@ impl Partition {
     /// Panics unless `0 < train`, `0 <= val` and `train + val < 1`.
     pub fn from_fractions(len: usize, train: f64, val: f64) -> Self {
         assert!(train > 0.0 && val >= 0.0 && train + val < 1.0, "bad fractions");
-        // The asserts bound both products to [0, len), so the clamp never
-        // changes a value — it pins the casts' range for the lossy-cast rule.
-        let train_end = (len as f64 * train).floor().clamp(0.0, len as f64) as usize;
-        let val_end = (len as f64 * (train + val)).floor().clamp(0.0, len as f64) as usize;
+        // The asserts bound both products to [0, len), so the bounded
+        // conversion never changes a value — it pins the casts' range.
+        let train_end = crate::num::to_index((len as f64 * train).floor(), len);
+        let val_end = crate::num::to_index((len as f64 * (train + val)).floor(), len);
         Partition {
             train_end,
             val_end,

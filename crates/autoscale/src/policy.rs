@@ -11,16 +11,13 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Final float→count conversion shared by the policies and the simulator:
-/// non-finite inputs become 0, negatives clamp to 0, and the value is
-/// bounded by `u32::MAX` before the cast, so the `as` conversion never
-/// silently saturates on a poisoned prediction.
+/// Final float→count conversion shared by the policies and the simulator,
+/// delegating to [`ld_api::num::to_count`]: non-finite inputs become 0,
+/// negatives clamp to 0, and the value is bounded by `u32::MAX` before the
+/// cast, so the conversion never silently saturates on a poisoned
+/// prediction.
 pub(crate) fn to_count(x: f64) -> usize {
-    if !x.is_finite() {
-        return 0;
-    }
-    let bounded = x.clamp(0.0, f64::from(u32::MAX));
-    bounded as usize
+    ld_api::num::to_count(x)
 }
 
 /// Maps a raw JAR prediction to a VM count.

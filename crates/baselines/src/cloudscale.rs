@@ -90,7 +90,7 @@ impl CloudScale {
         let b = self.markov_states;
         let width = (hi - lo) / b as f64;
         let bin = |v: f64| -> usize {
-            (((v - lo) / (hi - lo) * b as f64) as usize).min(b - 1)
+            ld_api::num::to_index((v - lo) / (hi - lo) * b as f64, b - 1)
         };
         // First-order discrete-time Markov chain over quantized load
         // states: predict the *most likely next state* and report its

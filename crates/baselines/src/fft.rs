@@ -122,7 +122,7 @@ pub fn dominant_period(signal: &[f64], min_energy_ratio: f64) -> Option<usize> {
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .unwrap_or((0, f64::NAN));
     if best_e / total >= min_energy_ratio {
-        let period = (n as f64 / best_k as f64).round() as usize;
+        let period = ld_api::num::to_count((n as f64 / best_k as f64).round());
         if period >= 2 && period < n {
             return Some(period);
         }

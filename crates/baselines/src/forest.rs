@@ -78,7 +78,7 @@ impl Regressor for Forest {
             return;
         }
         let d = xs[0].len();
-        let max_features = ((d as f64).sqrt().round() as usize).clamp(1, d);
+        let max_features = ld_api::num::to_count((d as f64).sqrt().round()).clamp(1, d);
         let config = TreeConfig {
             max_features: Some(max_features),
             policy: match self.kind {

@@ -410,8 +410,10 @@ impl BayesianOptimizer {
                 .unwrap();
 
             // Build the candidate pool: global uniform + local perturbations.
-            let n_local =
-                ((self.opts.candidate_pool as f64) * self.opts.local_fraction).round() as usize;
+            let n_local = ld_api::num::to_index(
+                ((self.opts.candidate_pool as f64) * self.opts.local_fraction).round(),
+                self.opts.candidate_pool,
+            );
             let n_global = self.opts.candidate_pool - n_local;
             let mut pool: Vec<Vec<f64>> = (0..n_global)
                 .map(|_| space.sample_unit(&mut rng))

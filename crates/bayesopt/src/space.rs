@@ -119,7 +119,7 @@ impl Dim {
                 } else {
                     lo as f64 + (hi - lo) as f64 * u
                 };
-                ParamValue::Int((v.round() as i64).clamp(lo, hi))
+                ParamValue::Int(ld_api::num::to_int(v.round()).clamp(lo, hi))
             }
             Dim::Float { lo, hi, log, .. } => {
                 let v = if log {

@@ -40,8 +40,8 @@ pub fn sparkline(values: &[f64]) -> String {
     values
         .iter()
         .map(|v| {
-            let idx = (((v - lo) / span) * 7.0).round() as usize;
-            BARS[idx.min(7)]
+            let idx = ld_api::num::to_index((((v - lo) / span) * 7.0).round(), 7);
+            BARS[idx]
         })
         .collect()
 }
@@ -56,8 +56,10 @@ pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
     let block = values.len() as f64 / n as f64;
     (0..n)
         .map(|i| {
-            let start = (i as f64 * block) as usize;
-            let end = (((i + 1) as f64 * block) as usize).min(values.len()).max(start + 1);
+            let start = ld_api::num::to_index(i as f64 * block, values.len() - 1);
+            let end = ld_api::num::to_count((i + 1) as f64 * block)
+                .min(values.len())
+                .max(start + 1);
             values[start..end].iter().sum::<f64>() / (end - start) as f64
         })
         .collect()

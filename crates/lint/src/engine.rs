@@ -2,9 +2,46 @@
 //! directives, baseline matching, and violation assembly.
 
 use crate::lexer::{self, DirectiveComment, Token, TokenKind};
-use crate::rules::{self, FileContext};
+use crate::rules::{self, FileContext, RawViolation};
+use crate::{ast, semantic};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+
+/// Which analysis engine produces violations.
+///
+/// `Ast` is the default: structural rules run over the parsed AST (with a
+/// token-matcher fallback restricted to tokens the parser consumed
+/// opaquely, e.g. macro bodies), purely lexical rules keep their token
+/// matchers, and the four semantic rules (dataflow / call-graph analyses)
+/// run. `Token` is the legacy engine kept as a differential oracle: the
+/// original token matchers only, semantic rules skipped. Both engines must
+/// report identical violation sets for the legacy six rules — the
+/// differential test enforces this workspace-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// AST + dataflow engine (default).
+    #[default]
+    Ast,
+    /// Legacy token-window engine (differential oracle).
+    Token,
+}
+
+impl EngineKind {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Ast => "ast",
+            EngineKind::Token => "token",
+        }
+    }
+
+    /// Whether this engine executes `rule` at all (semantic rules need the
+    /// AST engine). Suppressions of unexecuted rules are never stale.
+    fn executes(self, rule: &rules::Rule) -> bool {
+        !rule.semantic || self == EngineKind::Ast
+    }
+}
 
 /// A fully-resolved violation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,9 +77,24 @@ pub struct BaselineEntry {
     pub snippet: String,
 }
 
+/// A suppression directive that silenced nothing in this scan. Stale
+/// allows are dead opt-outs: the hazard they excused is gone, so the
+/// directive must go too (`--deny` fails on them).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaleSuppression {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// Line of the directive comment.
+    pub line: u32,
+    /// The rule the directive allows.
+    pub rule: String,
+}
+
 /// Outcome of a workspace scan.
 #[derive(Debug, Default)]
 pub struct ScanReport {
+    /// Engine that produced the report.
+    pub engine: EngineKind,
     /// All violations, including baselined ones (`baselined` set).
     pub violations: Vec<Violation>,
     /// Number of files scanned.
@@ -51,6 +103,10 @@ pub struct ScanReport {
     pub suppressed: usize,
     /// Baseline entries that matched nothing (stale — safe to delete).
     pub stale_baseline: Vec<BaselineEntry>,
+    /// Suppression directives that silenced nothing (stale — must be
+    /// removed; `--deny` fails on them). Only directives for rules the
+    /// engine actually executed are considered.
+    pub stale_suppressions: Vec<StaleSuppression>,
 }
 
 impl ScanReport {
@@ -256,10 +312,29 @@ fn skip_group(tokens: &[Token], open: usize) -> usize {
     i
 }
 
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Resolved violations (baseline matching happens in the caller).
+    pub violations: Vec<Violation>,
+    /// Count silenced by inline `ld-lint: allow` directives.
+    pub suppressed: usize,
+    /// Directives that silenced nothing.
+    pub stale_suppressions: Vec<StaleSuppression>,
+}
+
+/// Whether a suppression of `allowed` silences a violation of `rule`.
+/// `allow(unwrap-in-core)` also silences `panic-path`: both flag the same
+/// `.unwrap()` token for the same reason, and a site whose justification
+/// was accepted for one is justified for the other.
+fn suppression_covers(allowed: &str, rule: &str) -> bool {
+    allowed == rule || (allowed == "unwrap-in-core" && rule == "panic-path")
+}
+
 /// Scans one file's source text. `rel_path` must be the `/`-separated path
 /// relative to the workspace root (it determines crate allow-lists and
 /// baseline keys).
-pub fn scan_source(rel_path: &str, source: &str) -> (Vec<Violation>, usize) {
+pub fn scan_source(rel_path: &str, source: &str, engine: EngineKind) -> FileScan {
     let lexed = lexer::lex(source);
     let lines: Vec<&str> = source.lines().collect();
     let spans = test_spans(&lexed.tokens);
@@ -276,36 +351,116 @@ pub fn scan_source(rel_path: &str, source: &str) -> (Vec<Violation>, usize) {
         test_spans: &spans,
     };
     let (sups, mut violations) = parse_suppressions(rel_path, &lexed.directives, &lines);
+    let mut sup_used = vec![false; sups.len()];
     let mut suppressed = 0usize;
 
-    for rule in rules::all_rules() {
-        for raw in (rule.check)(&ctx) {
-            if rule.skip_tests && line_in_test_code(&ctx, raw.line) {
-                continue;
+    // Collect raw (rule id, violation) pairs from whichever engine is
+    // active, then resolve test-span filtering and suppressions uniformly.
+    let mut raws: Vec<(&'static str, RawViolation)> = Vec::new();
+    match engine {
+        EngineKind::Token => {
+            for rule in rules::all_rules() {
+                if rule.semantic {
+                    continue;
+                }
+                for raw in (rule.check)(&ctx) {
+                    raws.push((rule.id, raw));
+                }
             }
-            // A directive on the violation line or the line directly above
-            // suppresses it.
-            if sups
-                .iter()
-                .any(|s| s.rule == rule.id && (s.line == raw.line || s.line + 1 == raw.line))
-            {
-                suppressed += 1;
-                continue;
+        }
+        EngineKind::Ast => {
+            let parsed = ast::parse(&lexed.tokens);
+            // Purely lexical rules keep their token matchers: their
+            // anchors (string scans, attribute windows) have no AST
+            // counterpart and both engines must agree on them trivially.
+            for rule in rules::all_rules() {
+                if rule.semantic || STRUCTURAL_LEGACY.contains(&rule.id) {
+                    continue;
+                }
+                for raw in (rule.check)(&ctx) {
+                    raws.push((rule.id, raw));
+                }
             }
-            violations.push(Violation {
-                file: rel_path.to_string(),
-                line: raw.line,
-                rule: rule.id.to_string(),
-                message: raw.message,
-                hint: rule.fix_hint.to_string(),
-                snippet: snippet_at(&lines, raw.line),
-                baselined: false,
-            });
+            // Structural legacy rules: AST re-expressions over parsed
+            // expression structure, plus the token matchers restricted to
+            // anchors the parser consumed opaquely (macro bodies,
+            // attributes) so coverage gaps cannot drop violations.
+            for (id, _tok, raw) in semantic::ast_legacy_checks(&ctx, &parsed) {
+                raws.push((id, raw));
+            }
+            for (id, anchored) in [
+                ("float-ord", rules::float_ord_anchored(&ctx)),
+                ("nan-compare", rules::nan_compare_anchored(&ctx)),
+                ("lossy-cast", rules::lossy_cast_anchored(&ctx)),
+            ] {
+                for (tok, raw) in anchored {
+                    if !parsed.covered.get(tok).copied().unwrap_or(false) {
+                        raws.push((id, raw));
+                    }
+                }
+            }
+            for (id, raw) in semantic::semantic_checks(&ctx, &parsed) {
+                raws.push((id, raw));
+            }
         }
     }
+
+    let mut seen: BTreeSet<(&'static str, u32, String)> = BTreeSet::new();
+    for (id, raw) in raws {
+        let rule = rules::rule_by_id(id).expect("engine produced unknown rule id");
+        if rule.skip_tests && line_in_test_code(&ctx, raw.line) {
+            continue;
+        }
+        if !seen.insert((id, raw.line, raw.message.clone())) {
+            continue;
+        }
+        // A directive on the violation line or the line directly above
+        // suppresses it.
+        let matched = sups.iter().position(|s| {
+            suppression_covers(&s.rule, id) && (s.line == raw.line || s.line + 1 == raw.line)
+        });
+        if let Some(si) = matched {
+            sup_used[si] = true;
+            suppressed += 1;
+            continue;
+        }
+        violations.push(Violation {
+            file: rel_path.to_string(),
+            line: raw.line,
+            rule: id.to_string(),
+            message: raw.message,
+            hint: rule.fix_hint.to_string(),
+            snippet: snippet_at(&lines, raw.line),
+            baselined: false,
+        });
+    }
     violations.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
-    (violations, suppressed)
+
+    let stale_suppressions = sups
+        .iter()
+        .zip(&sup_used)
+        .filter(|(s, used)| {
+            !**used
+                && rules::rule_by_id(&s.rule).is_some_and(|r| engine.executes(r))
+                && !line_in_test_code(&ctx, s.line)
+        })
+        .map(|(s, _)| StaleSuppression {
+            file: rel_path.to_string(),
+            line: s.line,
+            rule: s.rule.clone(),
+        })
+        .collect();
+
+    FileScan {
+        violations,
+        suppressed,
+        stale_suppressions,
+    }
 }
+
+/// Legacy rules with AST re-expressions (everything else lexical keeps its
+/// token matcher under both engines).
+const STRUCTURAL_LEGACY: &[&str] = &["float-ord", "nan-compare", "lossy-cast"];
 
 /// Whether any token on `line` falls inside a test span. Rules report the
 /// line of their anchor token; mapping back through token indices keeps the
@@ -321,9 +476,22 @@ fn line_in_test_code(ctx: &FileContext<'_>, line: u32) -> bool {
 /// Scans every workspace source file under `root` and resolves the
 /// baseline. Violations matching a baseline entry are kept in the report
 /// but marked `baselined`; unmatched entries are reported as stale.
-pub fn scan_workspace(root: &Path, baseline: &[BaselineEntry]) -> ScanReport {
-    let mut report = ScanReport::default();
+///
+/// `changed` optionally restricts the scan to a set of `/`-separated
+/// workspace-relative paths (`--changed-files`); baseline entries for
+/// files outside the set are not reported stale (they were not checked).
+pub fn scan_workspace(
+    root: &Path,
+    baseline: &[BaselineEntry],
+    engine: EngineKind,
+    changed: Option<&BTreeSet<String>>,
+) -> ScanReport {
+    let mut report = ScanReport {
+        engine,
+        ..ScanReport::default()
+    };
     let mut remaining: Vec<Option<&BaselineEntry>> = baseline.iter().map(Some).collect();
+    let mut scanned_files: BTreeSet<String> = BTreeSet::new();
     for path in workspace_sources(root) {
         let rel = path
             .strip_prefix(root)
@@ -332,13 +500,18 @@ pub fn scan_workspace(root: &Path, baseline: &[BaselineEntry]) -> ScanReport {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
+        if changed.is_some_and(|set| !set.contains(&rel)) {
+            continue;
+        }
         let Ok(source) = std::fs::read_to_string(&path) else {
             continue;
         };
         report.files_scanned += 1;
-        let (mut violations, suppressed) = scan_source(&rel, &source);
-        report.suppressed += suppressed;
-        for v in &mut violations {
+        scanned_files.insert(rel.clone());
+        let mut scan = scan_source(&rel, &source, engine);
+        report.suppressed += scan.suppressed;
+        report.stale_suppressions.append(&mut scan.stale_suppressions);
+        for v in &mut scan.violations {
             let slot = remaining.iter_mut().find(|slot| {
                 slot.is_some_and(|b| b.file == v.file && b.rule == v.rule && b.snippet == v.snippet)
             });
@@ -347,9 +520,17 @@ pub fn scan_workspace(root: &Path, baseline: &[BaselineEntry]) -> ScanReport {
                 v.baselined = true;
             }
         }
-        report.violations.extend(violations);
+        report.violations.extend(scan.violations);
     }
-    report.stale_baseline = remaining.into_iter().flatten().cloned().collect();
+    report.stale_baseline = remaining
+        .into_iter()
+        .flatten()
+        // Under --changed-files, only entries for files that were actually
+        // rescanned can be judged stale (a full scan judges all of them,
+        // including entries for deleted files).
+        .filter(|b| changed.is_none() || scanned_files.contains(&b.file))
+        .cloned()
+        .collect();
     report
 }
 

@@ -29,7 +29,7 @@ pub enum TokenKind {
     Lifetime,
 }
 
-/// One lexed token with its 1-based source line.
+/// One lexed token with its 1-based source line and byte span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// What kind of token this is.
@@ -38,6 +38,10 @@ pub struct Token {
     pub text: String,
     /// 1-based line the token *starts* on.
     pub line: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub lo: usize,
+    /// Byte offset one past the token's last byte (half-open).
+    pub hi: usize,
 }
 
 /// A line comment that mentions `ld-lint` (suppression directives live in
@@ -102,7 +106,13 @@ impl Lexer<'_> {
 
     fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
         let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
-        self.out.tokens.push(Token { kind, text, line });
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            lo: start,
+            hi: self.i,
+        });
     }
 
     /// Advances one byte, tracking newlines.
@@ -267,6 +277,10 @@ impl Lexer<'_> {
             }
         } else if next >= 0x80 {
             // Non-ASCII char literal like 'é'.
+            self.char_literal(start, line);
+        } else if next != b'\'' && self.b.get(self.i + 2) == Some(&b'\'') {
+            // `'X'` where X is punctuation or a space: a char literal
+            // (`'#'`, `' '`, `';'`).
             self.char_literal(start, line);
         } else {
             // `'_` lifetime or a stray quote; treat one following ident

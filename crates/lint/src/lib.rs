@@ -24,13 +24,17 @@
 //! The binary (`cargo run -p ld-lint -- --deny`) gates CI; the library API
 //! lets the tier-1 integration test run the same scan in-process.
 
+pub mod ast;
+pub mod dataflow;
 pub mod engine;
+pub mod fix;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 
 pub use engine::{
     find_workspace_root, load_baseline, render_baseline, scan_source, scan_workspace,
-    BaselineEntry, ScanReport, Violation,
+    BaselineEntry, EngineKind, FileScan, ScanReport, StaleSuppression, Violation,
 };
 pub use rules::{all_rules, rule_by_id, Rule};

@@ -55,7 +55,11 @@ pub struct Rule {
     /// Whether violations inside `#[cfg(test)]` / `#[test]` code are
     /// ignored.
     pub skip_tests: bool,
-    /// The matcher.
+    /// Whether the rule needs the AST + dataflow engine
+    /// ([`crate::semantic`]). Semantic rules have a no-op token matcher and
+    /// are skipped entirely under `--engine=token`.
+    pub semantic: bool,
+    /// The token matcher (no-op for semantic rules).
     pub check: fn(&FileContext<'_>) -> Vec<RawViolation>,
 }
 
@@ -63,21 +67,21 @@ pub struct Rule {
 /// allowed: telemetry and fault injection exist to observe real time and
 /// real env, the bench harnesses read experiment knobs and time kernels
 /// against the wall clock, and the linter itself walks the real filesystem.
-const DETERMINISM_ALLOWED_CRATES: &[&str] =
+pub(crate) const DETERMINISM_ALLOWED_CRATES: &[&str] =
     &["telemetry", "faultinject", "bench", "lint", "perfbench"];
 
 /// Crates whose non-test code must not `unwrap()`/`expect()`: the numeric
 /// hot paths that the PR 2 fault-tolerance layer expects to return errors.
-const UNWRAP_CORE_CRATES: &[&str] = &["linalg", "gp", "nn"];
+pub(crate) const UNWRAP_CORE_CRATES: &[&str] = &["linalg", "gp", "nn"];
 
 /// Integer types a float-to-int `as` cast can silently truncate into.
-const INT_TYPES: &[&str] = &[
+pub(crate) const INT_TYPES: &[&str] = &[
     "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
 ];
 
 /// Float methods whose result is float-typed, making a following `as <int>`
 /// cast a truncation of float-derived arithmetic.
-const FLOAT_PRODUCING_METHODS: &[&str] = &["round", "floor", "ceil", "trunc"];
+pub(crate) const FLOAT_PRODUCING_METHODS: &[&str] = &["round", "floor", "ceil", "trunc"];
 
 /// The full rule set, in reporting order.
 pub fn all_rules() -> &'static [Rule] {
@@ -100,6 +104,7 @@ Fix: `xs.sort_by(f64::total_cmp)` / `.max_by(|a, b| a.1.total_cmp(&b.1))`.
 `total_cmp` implements the IEEE 754 totalOrder predicate: every float including
 NaN has one deterministic position, on every platform, every run.",
             skip_tests: false,
+            semantic: false,
             check: check_float_ord,
         },
         Rule {
@@ -114,6 +119,7 @@ hides the intent from reviewers auditing numeric code. The framework's
 sanitizers and watchdogs all branch on NaN; those branches must be written as
 `.is_nan()` so they survive review and refactoring.",
             skip_tests: false,
+            semantic: false,
             check: check_nan_compare,
         },
         Rule {
@@ -134,6 +140,7 @@ deliberate uses elsewhere (e.g. a wall-clock search deadline that only bounds
 inline `// ld-lint: allow(determinism, \"...\")` justification so the
 reviewer-visible contract is explicit.",
             skip_tests: true,
+            semantic: false,
             check: check_determinism,
         },
         Rule {
@@ -150,6 +157,7 @@ route every fallible operation through their `Result` types; genuinely
 infallible cases (shape guaranteed by construction) carry an inline allow with
 the proof in the justification string.",
             skip_tests: true,
+            semantic: false,
             check: check_unwrap_in_core,
         },
         Rule {
@@ -166,6 +174,7 @@ literals cast to ints); prefer `.clamp(lo, hi)` on the float and an
 `is_finite` check before the cast, or keep the baseline entry if the value is
 bounded by construction.",
             skip_tests: true,
+            semantic: false,
             check: check_lossy_cast,
         },
         Rule {
@@ -180,9 +189,106 @@ if someone *removes* the attribute, and it covers macro-generated or
 cfg-gated code paths the compiler attribute may not reach in every build
 configuration.",
             skip_tests: false,
+            semantic: false,
             check: check_unsafe_block,
         },
+        Rule {
+            id: "determinism-taint",
+            summary: "nondeterministic values flowing into digests, span trees, or seeds",
+            fix_hint: "derive digests/seeds/span indices from run inputs (seed, config, data), \
+never from clocks, thread identity, env, or hash-map iteration order",
+            explain: "\
+The legacy `determinism` rule flags wall-clock and env *reads*; this rule flags
+what the read *feeds*. A dataflow pass tracks four nondeterminism sources —
+wall clock (`Instant::now`, `SystemTime`, `.elapsed()`), thread identity,
+`env::var*`, and `HashMap`/`HashSet` iteration order — through assignments,
+arithmetic, closures, and branches, and reports when a tainted value reaches a
+determinism-critical sink: a digest/fingerprint/checksum computation, a span
+tree's name or index (the shape of the trace is part of the reproducibility
+contract; span *durations* are expected to vary and are not checked), a seed,
+or a `seed`-named binding/field. Allow-listed crates are still checked: it is
+fine for ld-bench to *time* a kernel, but not to fold that timing into a
+`BENCH_*` artifact digest or an RNG seed. The analysis is intraprocedural, so
+a taint laundered through a helper function is not tracked — keep sources and
+sinks visibly apart.",
+            skip_tests: true,
+            semantic: true,
+            check: check_none,
+        },
+        Rule {
+            id: "panic-path",
+            summary: "unwrap()/expect() reachable from public hot entry points",
+            fix_hint: "return Result along the public path, or carry an inline allow with the \
+infallibility proof; `allow(unwrap-in-core, ..)` on the same line also covers this rule",
+            explain: "\
+Successor to the blunt `unwrap-in-core` crate-wide ban: instead of flagging
+every unwrap in a crate, this rule builds the per-file call graph and walks it
+from `pub fn` entry points, so it reports only panics that a *caller outside
+the file* can actually trigger, and names the entry point in the message.
+Scope is the serving and numeric hot paths — ld-linalg, ld-nn, ld-serve
+(binaries and `main.rs` excluded: a CLI may die loudly). ld-serve is the new
+ground: a panic inside the multi-tenant engine kills every tenant's inference
+on that process, so registry/snapshot/engine code reachable from the serving
+API must surface `Err` and let the per-tenant isolation layer degrade one
+tenant instead. It also flags slice indexing whose index is a float-derived
+cast reachable from the same entry points (NaN → index 0 → silent wrong
+tenant/percentile). The call graph is name-matched within one file; cross-file
+reachability is approximated by treating every `pub fn` as an entry.",
+            skip_tests: true,
+            semantic: true,
+            check: check_none,
+        },
+        Rule {
+            id: "range-cast",
+            summary: "float→int `as` casts not provable safe by value-range analysis",
+            fix_hint: "guard with ld_api::num::to_count / to_index / to_int, or clamp into the \
+target range behind an is_finite check in the same function",
+            explain: "\
+Generalizes `lossy-cast` from two token shapes to every float→int `as` cast,
+and — the other direction — *clears* casts the old rule could only baseline.
+A forward dataflow pass tracks each float's `[lo, hi]` interval and a
+may-be-NaN bit through clamps, min/max, abs, branches (`if !x.is_finite() {
+return 0; }` refines the fall-through), and arithmetic. A cast is safe when
+the operand provably cannot be NaN, negative (for unsigned targets), or above
+the target's range — exactly the shape of the `ld_api::num::to_count` /
+`to_index` / `to_int` helpers, whose interior casts this analysis proves safe
+with no baseline entry. Anything not provable is reported with the inferred
+interval so the fix (which bound is missing) is visible in the message. The
+old `.round() as usize` baseline entries are gone: those sites now route
+through the helpers and the rule keeps them honest.",
+            skip_tests: true,
+            semantic: true,
+            check: check_none,
+        },
+        Rule {
+            id: "rayon-capture",
+            summary: "rayon parallel closures mutating captured non-reduction state",
+            fix_hint: "collect per-item results (`map().collect()`) or use rayon's fold/reduce; \
+mutate only closure-owned locals and `par_chunks_mut`-style parameters",
+            explain: "\
+`par_iter().for_each(|x| shared.lock().push(..))` compiles — the Mutex makes
+it data-race-free — but the *push order* is scheduler-dependent, so the
+resulting Vec ordering (and anything derived from it: a digest, a selected
+argmin on ties, a serialized artifact) differs run to run. That breaks the
+framework's bit-identical-runs-per-seed guarantee in exactly the way a race
+would, without the compiler's help in finding it. This rule walks every
+closure passed into a rayon parallel chain (`par_iter`, `into_par_iter`,
+`par_chunks_mut`, ...) and flags assignments or mutating method calls
+(`push`, `insert`, `extend`, `sort*`, ...) whose base variable is captured
+from the enclosing scope rather than bound inside the closure — closure
+parameters (fold accumulators, `par_chunks_mut` slices) and closure-local
+`let`s are reduction state and stay allowed.",
+            skip_tests: true,
+            semantic: true,
+            check: check_none,
+        },
     ]
+}
+
+/// Matcher for semantic rules: they are driven by [`crate::semantic`], not
+/// by token patterns.
+fn check_none(_ctx: &FileContext<'_>) -> Vec<RawViolation> {
+    Vec::new()
 }
 
 /// Looks up a rule by id.
@@ -222,6 +328,13 @@ fn is_ident(t: &Token, s: &str) -> bool {
 }
 
 fn check_float_ord(ctx: &FileContext<'_>) -> Vec<RawViolation> {
+    float_ord_anchored(ctx).into_iter().map(|(_, v)| v).collect()
+}
+
+/// `float-ord` matcher with the anchor token index of each hit (the
+/// `partial_cmp` identifier). The AST engine uses the anchors to fall back
+/// to this matcher only on tokens the parser consumed opaquely.
+pub(crate) fn float_ord_anchored(ctx: &FileContext<'_>) -> Vec<(usize, RawViolation)> {
     let toks = ctx.tokens;
     let mut out = Vec::new();
     for i in 0..toks.len() {
@@ -237,19 +350,31 @@ fn check_float_ord(ctx: &FileContext<'_>) -> Vec<RawViolation> {
             continue;
         };
         if is_punct(dot, ".") && (is_ident(call, "unwrap") || is_ident(call, "unwrap_or")) {
-            out.push(RawViolation {
-                line: toks[i].line,
-                message: format!(
-                    "float comparator `partial_cmp(..).{}(..)` panics or degrades on NaN",
-                    call.text
-                ),
-            });
+            out.push((
+                i,
+                RawViolation {
+                    line: toks[i].line,
+                    message: float_ord_message(&call.text),
+                },
+            ));
         }
     }
     out
 }
 
+/// Shared `float-ord` message so the token and AST engines stay literally
+/// identical.
+pub(crate) fn float_ord_message(unwrap_method: &str) -> String {
+    format!("float comparator `partial_cmp(..).{unwrap_method}(..)` panics or degrades on NaN")
+}
+
 fn check_nan_compare(ctx: &FileContext<'_>) -> Vec<RawViolation> {
+    nan_compare_anchored(ctx).into_iter().map(|(_, v)| v).collect()
+}
+
+/// `nan-compare` matcher with the anchor token index (the `==`/`!=`
+/// operator) of each hit.
+pub(crate) fn nan_compare_anchored(ctx: &FileContext<'_>) -> Vec<(usize, RawViolation)> {
     let toks = ctx.tokens;
     let mut out = Vec::new();
     for i in 0..toks.len() {
@@ -264,10 +389,13 @@ fn check_nan_compare(ctx: &FileContext<'_>) -> Vec<RawViolation> {
             && toks.get(i + 3).map(|t| is_ident(t, "NAN")) == Some(true);
         let nan_left = i >= 1 && is_ident(&toks[i - 1], "NAN");
         if nan_right || nan_left {
-            out.push(RawViolation {
-                line: toks[i].line,
-                message: format!("comparison `{op}` with NAN is constant (NaN never compares equal)"),
-            });
+            out.push((
+                i,
+                RawViolation {
+                    line: toks[i].line,
+                    message: nan_const_message(op),
+                },
+            ));
             continue;
         }
         // `x != x` / `x == x` on a bare identifier (the hand-rolled NaN test).
@@ -278,16 +406,26 @@ fn check_nan_compare(ctx: &FileContext<'_>) -> Vec<RawViolation> {
             && !(i >= 2 && is_punct(&toks[i - 2], "."))
             && toks.get(i + 2).map(|t| is_punct(t, ".")) != Some(true)
         {
-            out.push(RawViolation {
-                line: toks[i].line,
-                message: format!(
-                    "self-comparison `{x} {op} {x}` is a hand-rolled NaN test",
-                    x = toks[i - 1].text
-                ),
-            });
+            out.push((
+                i,
+                RawViolation {
+                    line: toks[i].line,
+                    message: self_compare_message(&toks[i - 1].text, op),
+                },
+            ));
         }
     }
     out
+}
+
+/// Shared `nan-compare` message for NAN-constant comparisons.
+pub(crate) fn nan_const_message(op: &str) -> String {
+    format!("comparison `{op}` with NAN is constant (NaN never compares equal)")
+}
+
+/// Shared `nan-compare` message for `x != x` self-comparisons.
+pub(crate) fn self_compare_message(x: &str, op: &str) -> String {
+    format!("self-comparison `{x} {op} {x}` is a hand-rolled NaN test")
 }
 
 fn check_determinism(ctx: &FileContext<'_>) -> Vec<RawViolation> {
@@ -357,6 +495,12 @@ fn check_unwrap_in_core(ctx: &FileContext<'_>) -> Vec<RawViolation> {
 }
 
 fn check_lossy_cast(ctx: &FileContext<'_>) -> Vec<RawViolation> {
+    lossy_cast_anchored(ctx).into_iter().map(|(_, v)| v).collect()
+}
+
+/// `lossy-cast` matcher with the anchor token index (the `as` keyword) of
+/// each hit.
+pub(crate) fn lossy_cast_anchored(ctx: &FileContext<'_>) -> Vec<(usize, RawViolation)> {
     let toks = ctx.tokens;
     let mut out = Vec::new();
     for i in 0..toks.len() {
@@ -369,10 +513,13 @@ fn check_lossy_cast(ctx: &FileContext<'_>) -> Vec<RawViolation> {
         }
         // Float literal cast: `1.5 as usize`.
         if i >= 1 && toks[i - 1].kind == TokenKind::Float {
-            out.push(RawViolation {
-                line: toks[i].line,
-                message: format!("float literal cast `as {}` truncates", ty.text),
-            });
+            out.push((
+                i,
+                RawViolation {
+                    line: toks[i].line,
+                    message: float_literal_cast_message(&ty.text),
+                },
+            ));
             continue;
         }
         // `.round() as usize` and friends: `<m> ( ) as <int>` with a `.`
@@ -384,16 +531,26 @@ fn check_lossy_cast(ctx: &FileContext<'_>) -> Vec<RawViolation> {
             && FLOAT_PRODUCING_METHODS.contains(&toks[i - 3].text.as_str())
             && is_punct(&toks[i - 4], ".")
         {
-            out.push(RawViolation {
-                line: toks[i].line,
-                message: format!(
-                    "float-derived cast `.{}() as {}` maps NaN to 0 and saturates infinities",
-                    toks[i - 3].text, ty.text
-                ),
-            });
+            out.push((
+                i,
+                RawViolation {
+                    line: toks[i].line,
+                    message: float_method_cast_message(&toks[i - 3].text, &ty.text),
+                },
+            ));
         }
     }
     out
+}
+
+/// Shared `lossy-cast` message for float-literal casts.
+pub(crate) fn float_literal_cast_message(ty: &str) -> String {
+    format!("float literal cast `as {ty}` truncates")
+}
+
+/// Shared `lossy-cast` message for `.round() as <int>`-style casts.
+pub(crate) fn float_method_cast_message(method: &str, ty: &str) -> String {
+    format!("float-derived cast `.{method}() as {ty}` maps NaN to 0 and saturates infinities")
 }
 
 fn check_unsafe_block(ctx: &FileContext<'_>) -> Vec<RawViolation> {

@@ -1,0 +1,62 @@
+//! Workspace-wide differential oracle: the AST engine re-expresses the
+//! structural legacy rules (float-ord, nan-compare, lossy-cast) over the
+//! parse tree, falling back to the token matchers only on tokens the
+//! parser could not cover. The legacy token engine is kept alive behind
+//! `--engine token` precisely so this test can demand that both engines
+//! report the *identical* set of legacy findings over the real workspace —
+//! any divergence is a parser coverage bug or an AST re-expression bug,
+//! not a style disagreement.
+
+use std::collections::BTreeSet;
+
+use ld_lint::engine::EngineKind;
+use ld_lint::{find_workspace_root, rule_by_id, scan_workspace};
+
+/// (file, line, rule) triples for every active non-semantic finding.
+/// Suppression directives are textual and apply identically under both
+/// engines, so parity on the active set implies parity on detection.
+fn root() -> std::path::PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(manifest).expect("workspace root above crates/lint")
+}
+
+fn legacy_findings(engine: EngineKind) -> BTreeSet<(String, u32, String)> {
+    let root = root();
+    let report = scan_workspace(&root, &[], engine, None);
+    report
+        .violations
+        .into_iter()
+        .filter(|v| rule_by_id(&v.rule).is_none_or(|r| !r.semantic))
+        .map(|v| (v.file, v.line, v.rule))
+        .collect()
+}
+
+#[test]
+fn engines_agree_on_legacy_rules_across_the_workspace() {
+    let ast = legacy_findings(EngineKind::Ast);
+    let token = legacy_findings(EngineKind::Token);
+    let only_ast: Vec<_> = ast.difference(&token).collect();
+    let only_token: Vec<_> = token.difference(&ast).collect();
+    assert!(
+        only_ast.is_empty() && only_token.is_empty(),
+        "token/AST engines diverge on the legacy rules\n  ast-only: {only_ast:?}\n  token-only: {only_token:?}"
+    );
+}
+
+#[test]
+fn suppression_accounting_matches_for_legacy_only_scans() {
+    // The AST engine additionally executes the semantic rules, so its
+    // suppressed count may exceed the token engine's, but never shrink:
+    // every suppression the token engine honors anchors a token-rule
+    // finding the AST engine must also have seen.
+    let root = root();
+    let ast = scan_workspace(&root, &[], EngineKind::Ast, None);
+    let token = scan_workspace(&root, &[], EngineKind::Token, None);
+    assert!(
+        ast.suppressed >= token.suppressed,
+        "AST engine suppressed {} < token engine {}",
+        ast.suppressed,
+        token.suppressed
+    );
+    assert_eq!(ast.files_scanned, token.files_scanned);
+}

@@ -1,0 +1,54 @@
+//! Golden test: the semantic engine's parser must parse every workspace
+//! source file with zero recovered errors. A parse error means some
+//! construct fell back to statement-level recovery, which would silently
+//! blind the semantic rules to that region.
+
+use ld_lint::{ast, find_workspace_root, lexer};
+use std::path::Path;
+
+#[test]
+fn every_workspace_file_parses_without_errors() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest).expect("workspace root above crates/lint");
+    let files = ld_lint::engine::workspace_sources(&root);
+    assert!(files.len() > 50, "discovery saw only {} files", files.len());
+
+    let mut failures = Vec::new();
+    for path in &files {
+        let source = std::fs::read_to_string(path).expect("read source");
+        let lexed = lexer::lex(&source);
+        let parsed = ast::parse(&lexed.tokens);
+        for err in &parsed.errors {
+            failures.push(format!("{}:{}: {}", path.display(), err.line, err.message));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} parse errors across the workspace:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn parser_covers_most_expression_tokens() {
+    // Sanity floor: across the workspace the parser should consume the
+    // bulk of tokens as structure. A big regression here means items are
+    // being skipped opaquely (which would silently disable semantic rules).
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest).expect("workspace root above crates/lint");
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    for path in ld_lint::engine::workspace_sources(&root) {
+        let source = std::fs::read_to_string(&path).expect("read source");
+        let lexed = lexer::lex(&source);
+        let parsed = ast::parse(&lexed.tokens);
+        covered += parsed.covered.iter().filter(|&&c| c).count();
+        total += parsed.covered.len();
+    }
+    let ratio = covered as f64 / total.max(1) as f64;
+    assert!(
+        ratio > 0.5,
+        "parser covered only {covered}/{total} tokens ({ratio:.2}) — items are being skipped"
+    );
+}

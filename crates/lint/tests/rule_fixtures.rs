@@ -1,17 +1,34 @@
-//! Per-rule positive/negative fixtures: every rule must fire on the exact
-//! pattern it documents and stay silent on the sanctioned alternative.
+//! Per-rule positive/negative fixtures for the legacy six rules: every
+//! rule must fire on the exact pattern it documents and stay silent on the
+//! sanctioned alternative. Each fixture scans under BOTH engines and
+//! asserts they agree on the legacy rules — a per-pattern differential
+//! check on top of the workspace-wide one.
 
-use ld_lint::scan_source;
+use ld_lint::engine::EngineKind;
+use ld_lint::{rule_by_id, scan_source};
 
-/// Rule ids firing on `src` when scanned at `rel_path`, in source order.
-fn fired(rel_path: &str, src: &str) -> Vec<String> {
-    let (violations, _) = scan_source(rel_path, src);
-    violations.into_iter().map(|v| v.rule).collect()
+fn legacy_rules(rel_path: &str, src: &str, engine: EngineKind) -> Vec<(u32, String)> {
+    scan_source(rel_path, src, engine)
+        .violations
+        .into_iter()
+        .filter(|v| rule_by_id(&v.rule).is_none_or(|r| !r.semantic))
+        .map(|v| (v.line, v.rule))
+        .collect()
 }
 
-/// Suppressed-violation count for `src` at `rel_path`.
+/// Legacy rule ids firing on `src` when scanned at `rel_path`, in source
+/// order, identical under both engines.
+fn fired(rel_path: &str, src: &str) -> Vec<String> {
+    let ast = legacy_rules(rel_path, src, EngineKind::Ast);
+    let token = legacy_rules(rel_path, src, EngineKind::Token);
+    assert_eq!(ast, token, "engines disagree on the legacy rules");
+    token.into_iter().map(|(_, rule)| rule).collect()
+}
+
+/// Suppressed-violation count for `src` at `rel_path` (token engine, so
+/// counts cover exactly the legacy rules).
 fn suppressed(rel_path: &str, src: &str) -> usize {
-    scan_source(rel_path, src).1
+    scan_source(rel_path, src, EngineKind::Token).suppressed
 }
 
 const NEUTRAL: &str = "crates/autoscale/src/policy.rs";

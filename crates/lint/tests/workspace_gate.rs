@@ -1,10 +1,12 @@
-//! Tier-1 gate: the workspace itself must scan clean against the committed
-//! baseline, and the CLI must enforce that with its exit code.
+//! Tier-1 gate: the workspace itself must scan clean — no baseline debt,
+//! no stale suppressions — and the CLI must enforce that with its exit
+//! code.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use ld_lint::engine::EngineKind;
 use ld_lint::{find_workspace_root, load_baseline, scan_workspace};
 
 fn workspace_root() -> PathBuf {
@@ -13,11 +15,11 @@ fn workspace_root() -> PathBuf {
 }
 
 #[test]
-fn workspace_is_clean_against_committed_baseline() {
+fn workspace_is_clean_without_any_baseline() {
     let root = workspace_root();
     let baseline =
         load_baseline(&root.join("ld-lint.baseline.json")).expect("baseline parses");
-    let report = scan_workspace(&root, &baseline);
+    let report = scan_workspace(&root, &baseline, EngineKind::Ast, None);
     assert!(report.files_scanned > 50, "scan saw only {} files", report.files_scanned);
 
     let active: Vec<String> = report
@@ -26,7 +28,7 @@ fn workspace_is_clean_against_committed_baseline() {
         .collect();
     assert!(
         active.is_empty(),
-        "workspace has non-baselined violations:\n{}",
+        "workspace has active violations:\n{}",
         active.join("\n")
     );
     assert!(
@@ -34,24 +36,24 @@ fn workspace_is_clean_against_committed_baseline() {
         "baseline entries no longer match any violation (delete them):\n{:?}",
         report.stale_baseline
     );
+    assert!(
+        report.stale_suppressions.is_empty(),
+        "suppressions that silence nothing must be removed:\n{:?}",
+        report.stale_suppressions
+    );
 }
 
 #[test]
-fn fixed_rules_have_no_baseline_entries() {
-    // float-ord, nan-compare, and determinism violations were fixed (or
-    // carry inline allows), not baselined — the baseline must never grow
-    // entries for them.
+fn baseline_debt_is_fully_burned_down() {
+    // The lossy-cast baseline reached zero: every entry was replaced by a
+    // guarded `ld_api::num` conversion and the baseline file deleted. It
+    // must not quietly come back.
     let root = workspace_root();
-    let baseline =
-        load_baseline(&root.join("ld-lint.baseline.json")).expect("baseline parses");
-    for entry in &baseline {
-        assert!(
-            matches!(entry.rule.as_str(), "unwrap-in-core" | "lossy-cast"),
-            "rule {} must be fixed, not baselined ({})",
-            entry.rule,
-            entry.file
-        );
-    }
+    let path = root.join("ld-lint.baseline.json");
+    assert!(
+        !path.exists(),
+        "ld-lint.baseline.json exists again — fix new violations instead of baselining them"
+    );
 }
 
 #[test]
@@ -110,4 +112,57 @@ fn cli_deny_fails_on_a_seeded_violation() {
     assert_eq!(json_out.status.code(), Some(1));
     let payload = String::from_utf8_lossy(&json_out.stdout);
     assert!(payload.contains("\"float-ord\""), "json names the rule:\n{payload}");
+    assert!(
+        payload.contains("\"schema_version\": 2"),
+        "json carries the schema version:\n{payload}"
+    );
+}
+
+#[test]
+fn cli_deny_fails_on_a_stale_suppression() {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("ld-lint-stale-sup");
+    let src_dir = tmp.join("crates/demo/src");
+    fs::create_dir_all(&src_dir).expect("create fixture tree");
+    fs::write(tmp.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/demo\"]\n")
+        .expect("write fixture manifest");
+    fs::write(
+        src_dir.join("lib.rs"),
+        "// ld-lint: allow(lossy-cast, \"nothing here anymore\")\n\
+         pub fn fine(n: u32) -> usize {\n    n as usize\n}\n",
+    )
+    .expect("write fixture source");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ld-lint"))
+        .args(["--deny", "--root"])
+        .arg(&tmp)
+        .output()
+        .expect("ld-lint binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stale suppression must fail --deny\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("stale suppression"),
+        "report explains the failure:\n{stdout}"
+    );
+}
+
+#[test]
+fn cli_fix_dry_run_proposes_zero_edits_on_clean_tree() {
+    let root = workspace_root();
+    let out = Command::new(env!("CARGO_BIN_EXE_ld-lint"))
+        .args(["--fix", "--dry-run", "--root"])
+        .arg(&root)
+        .output()
+        .expect("ld-lint binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("0 fix(es) available"),
+        "clean tree must propose no edits:\n{stderr}"
+    );
 }

@@ -370,6 +370,7 @@ pub fn percentile_ns(samples: &mut [u64], p: u64) -> u64 {
     samples.sort_unstable();
     let n = samples.len() as u64;
     let rank = (p * n).div_ceil(100).max(1);
+    // ld-lint: allow(panic-path, "rank is in [1, n] by the asserts, so rank - 1 indexes in bounds")
     samples[usize::try_from(rank - 1).expect("rank fits usize")]
 }
 

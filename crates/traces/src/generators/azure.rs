@@ -55,13 +55,15 @@ pub fn generate_with(p: AzureParams, seed: u64) -> Series {
     let mut values = Vec::with_capacity(n);
     let mut noise = 0.0f64;
     let mut level = rng.gen_range(p.level_range.0..=p.level_range.1);
-    let mut regime_left = (rng.gen_range(p.regime_days.0..=p.regime_days.1)
-        * INTERVALS_PER_DAY as f64) as usize;
+    let mut regime_left = ld_api::num::to_count(
+        rng.gen_range(p.regime_days.0..=p.regime_days.1) * INTERVALS_PER_DAY as f64,
+    );
     for t in 0..n {
         if regime_left == 0 {
             level = rng.gen_range(p.level_range.0..=p.level_range.1);
-            regime_left = (rng.gen_range(p.regime_days.0..=p.regime_days.1)
-                * INTERVALS_PER_DAY as f64) as usize;
+            regime_left = ld_api::num::to_count(
+                rng.gen_range(p.regime_days.0..=p.regime_days.1) * INTERVALS_PER_DAY as f64,
+            );
         }
         regime_left -= 1;
         noise = p.noise_phi * noise + normal_with(&mut rng, 0.0, p.noise_std);

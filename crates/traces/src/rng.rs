@@ -67,16 +67,16 @@ fn poisson_unchecked(rng: &mut impl Rng, lambda: f64) -> u64 {
             }
             k += 1;
             // Defensive bound: P(k > lambda + 30 sqrt(lambda) + 100) ~ 0.
-            if k > (lambda as u64) + 200 {
+            if k > (lambda.max(0.0) as u64) + 200 {
                 return k;
             }
         }
     }
     let v = normal_with(rng, lambda, lambda.sqrt()) + 0.5;
-    if v < 0.0 {
-        0
+    if v.is_finite() && v > 0.0 {
+        v.min(u64::MAX as f64) as u64
     } else {
-        v as u64
+        0
     }
 }
 

@@ -45,9 +45,22 @@ rm -f target/ci-trace.json target/ci-trace.json.folded target/ci-trace.json.mani
 LD_FAST=1 LD_TRACE=target/ci-trace.json cargo run -q --release -p ld-bench --bin fig6_workflow > /dev/null
 cargo run -q --release --bin ld-cli -- trace-validate target/ci-trace.json target/ci-trace.json.manifest.json
 
-echo "=== ld-lint --deny (static analysis gate) ==="
+echo "=== ld-lint --deny (static analysis gate, schema_version 2) ==="
 mkdir -p target
 cargo run -q -p ld-lint -- --deny --format json > target/lint-report.json
+cargo run -q -p ld-lint -- --check-report target/lint-report.json
+
+echo "=== ld-lint --fix --dry-run (clean tree proposes zero edits) ==="
+fix_out=$(cargo run -q -p ld-lint -- --fix --dry-run 2>&1)
+echo "$fix_out"
+case "$fix_out" in
+    *"0 fix(es) available"*) ;;
+    *) echo "ci.sh: --fix --dry-run proposed edits on a supposedly clean tree" >&2; exit 1 ;;
+esac
+
+if [ -f ld-lint.baseline.json ]; then
+    echo "ci.sh: warning: ld-lint.baseline.json exists again — the debt ledger was burned to zero, keep it that way" >&2
+fi
 
 echo "=== cargo clippy --workspace -- -D warnings ==="
 cargo clippy --workspace -- -D warnings
