@@ -5,10 +5,33 @@
 //! maximize variance reduction). Two split policies are supported: exact
 //! best-split search (CART / random forest) and random-threshold splits
 //! (extra trees).
+//!
+//! Fitting runs on a flat row-major copy of the sample matrix: the split
+//! search sorts `(value, target)` key pairs gathered once per candidate
+//! feature into a scratch buffer reused across nodes, instead of sorting
+//! freshly-allocated index lists through `Vec<Vec<f64>>` pointer chases.
+//! The stable sort sees the same key sequence in the same order, every
+//! floating-point accumulation keeps its order, and the RNG draw sequence
+//! is untouched, so the fitted tree is **bitwise identical** to the
+//! retained reference builder — [`set_reference_fit`] flips fits back to
+//! the reference path so benchmarks can time the pre-change semantics.
 
 use rand::Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::ml::Regressor;
+
+/// Process-wide toggle routing [`Regressor::fit`] for trees through the
+/// retained reference builder (per-node index-list sorts over the nested
+/// sample rows) instead of the flat-slab key-sort fast path. Benchmarks
+/// flip it to time the pre-change semantics; both builders grow bitwise
+/// identical trees, so this is never a correctness knob.
+static REFERENCE_FIT: AtomicBool = AtomicBool::new(false);
+
+/// Routes tree fits through the reference builder when `on`.
+pub fn set_reference_fit(on: bool) {
+    REFERENCE_FIT.store(on, Ordering::Relaxed);
+}
 
 /// Split-selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,7 +121,10 @@ impl DecisionTree {
         }
     }
 
-    fn build(
+    /// Reference builder, retained verbatim for [`set_reference_fit`]:
+    /// each best-split scan clones and sorts the node's index list and
+    /// gathers features through the nested `xs` rows.
+    fn build_reference(
         &mut self,
         xs: &[Vec<f64>],
         ys: &[f64],
@@ -224,8 +250,163 @@ impl DecisionTree {
         let node_idx = self.nodes.len();
         self.nodes.push(Node::Leaf(mean)); // placeholder
         let (left_idxs, right_idxs) = idxs.split_at_mut(mid);
-        let left = self.build(xs, ys, left_idxs, depth + 1, rng);
-        let right = self.build(xs, ys, right_idxs, depth + 1, rng);
+        let left = self.build_reference(xs, ys, left_idxs, depth + 1, rng);
+        let right = self.build_reference(xs, ys, right_idxs, depth + 1, rng);
+        self.nodes[node_idx] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_idx
+    }
+
+    /// Fast builder over a flat row-major sample slab (`n x d`).
+    ///
+    /// Per candidate feature the node's `(value, target)` pairs are
+    /// gathered into `keys` (reused across every node of the fit) and
+    /// stably sorted by value — the same key sequence, initial order, and
+    /// tie handling as the reference builder's index sort, so the scan
+    /// accumulates the identical sums in the identical order and picks the
+    /// identical split. The RNG is consumed by the same draws in the same
+    /// sequence. Trees are bitwise identical to [`Self::build_reference`].
+    #[allow(clippy::too_many_arguments)]
+    fn build_flat(
+        &mut self,
+        flat: &[f64],
+        d: usize,
+        ys: &[f64],
+        idxs: &mut [usize],
+        depth: usize,
+        rng: &mut impl Rng,
+        keys: &mut Vec<(f64, f64)>,
+    ) -> usize {
+        let mean = idxs.iter().map(|&i| ys[i]).sum::<f64>() / idxs.len() as f64;
+        let sse: f64 = idxs.iter().map(|&i| (ys[i] - mean).powi(2)).sum();
+        if depth >= self.config.max_depth
+            || idxs.len() < self.config.min_samples_split
+            || sse <= 1e-12
+        {
+            self.nodes.push(Node::Leaf(mean));
+            return self.nodes.len() - 1;
+        }
+
+        let n_feats = self.config.max_features.unwrap_or(d).clamp(1, d);
+        // Choose candidate features without replacement (partial shuffle).
+        let mut feats: Vec<usize> = (0..d).collect();
+        for i in 0..n_feats {
+            let j = rng.gen_range(i..d);
+            feats.swap(i, j);
+        }
+        let candidates = &feats[..n_feats];
+
+        let mut best: Option<(f64, usize, f64)> = None; // (score, feature, threshold)
+        for &f in candidates {
+            match self.config.policy {
+                SplitPolicy::Best => {
+                    // Gather (value, target) pairs in node order, then sort
+                    // by value and scan split points with prefix sums. The
+                    // stable sort keeps tied values in node order exactly
+                    // like the reference index sort.
+                    keys.clear();
+                    keys.extend(idxs.iter().map(|&i| (flat[i * d + f], ys[i])));
+                    keys.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    let n = keys.len();
+                    let total_sum: f64 = keys.iter().map(|kv| kv.1).sum();
+                    let total_sq: f64 = keys.iter().map(|kv| kv.1 * kv.1).sum();
+                    let mut lsum = 0.0;
+                    let mut lsq = 0.0;
+                    for k in 0..n - 1 {
+                        let (v, yi) = keys[k];
+                        lsum += yi;
+                        lsq += yi * yi;
+                        // Can't split between equal feature values.
+                        if v == keys[k + 1].0 {
+                            continue;
+                        }
+                        let nl = k + 1;
+                        let nr = n - nl;
+                        if nl < self.config.min_samples_leaf || nr < self.config.min_samples_leaf
+                        {
+                            continue;
+                        }
+                        let rsum = total_sum - lsum;
+                        let rsq = total_sq - lsq;
+                        let child_sse = (lsq - lsum * lsum / nl as f64)
+                            + (rsq - rsum * rsum / nr as f64);
+                        let threshold = 0.5 * (v + keys[k + 1].0);
+                        if best.is_none_or(|(s, _, _)| child_sse < s) {
+                            best = Some((child_sse, f, threshold));
+                        }
+                    }
+                }
+                SplitPolicy::Random => {
+                    let lo = idxs
+                        .iter()
+                        .map(|&i| flat[i * d + f])
+                        .fold(f64::INFINITY, f64::min);
+                    let hi = idxs
+                        .iter()
+                        .map(|&i| flat[i * d + f])
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    if hi <= lo {
+                        continue;
+                    }
+                    // A few random candidate thresholds per feature keeps
+                    // single-feature trees (the degenerate but legal case)
+                    // from stalling on one unlucky draw.
+                    for _ in 0..4 {
+                        let threshold = rng.gen_range(lo..hi);
+                        let (mut lsum, mut lsq, mut nl) = (0.0, 0.0, 0usize);
+                        let (mut rsum, mut rsq, mut nr) = (0.0, 0.0, 0usize);
+                        for &i in idxs.iter() {
+                            let y = ys[i];
+                            if flat[i * d + f] <= threshold {
+                                lsum += y;
+                                lsq += y * y;
+                                nl += 1;
+                            } else {
+                                rsum += y;
+                                rsq += y * y;
+                                nr += 1;
+                            }
+                        }
+                        if nl < self.config.min_samples_leaf
+                            || nr < self.config.min_samples_leaf
+                        {
+                            continue;
+                        }
+                        let child_sse =
+                            (lsq - lsum * lsum / nl as f64) + (rsq - rsum * rsum / nr as f64);
+                        if best.is_none_or(|(s, _, _)| child_sse < s) {
+                            best = Some((child_sse, f, threshold));
+                        }
+                    }
+                }
+            }
+        }
+
+        let Some((_, feature, threshold)) = best else {
+            self.nodes.push(Node::Leaf(mean));
+            return self.nodes.len() - 1;
+        };
+
+        // Partition indices in place.
+        let mut mid = 0;
+        for k in 0..idxs.len() {
+            if flat[idxs[k] * d + feature] <= threshold {
+                idxs.swap(k, mid);
+                mid += 1;
+            }
+        }
+        debug_assert!(mid > 0 && mid < idxs.len());
+
+        // Reserve the split node, then build children.
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf(mean)); // placeholder
+        let (left_idxs, right_idxs) = idxs.split_at_mut(mid);
+        let left = self.build_flat(flat, d, ys, left_idxs, depth + 1, rng, keys);
+        let right = self.build_flat(flat, d, ys, right_idxs, depth + 1, rng, keys);
         self.nodes[node_idx] = Node::Split {
             feature,
             threshold,
@@ -246,7 +427,20 @@ impl Regressor for DecisionTree {
         let mut idxs: Vec<usize> = (0..xs.len()).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         use rand::SeedableRng;
-        self.build(xs, ys, &mut idxs, 0, &mut rng);
+        if REFERENCE_FIT.load(Ordering::Relaxed) {
+            self.build_reference(xs, ys, &mut idxs, 0, &mut rng);
+            return;
+        }
+        // Flatten the sample rows once; the builder then gathers features
+        // with one multiply instead of a pointer chase per access.
+        let d = xs[0].len();
+        let mut flat = Vec::with_capacity(xs.len() * d);
+        for row in xs {
+            debug_assert_eq!(row.len(), d);
+            flat.extend_from_slice(row);
+        }
+        let mut keys = Vec::with_capacity(xs.len());
+        self.build_flat(&flat, d, ys, &mut idxs, 0, &mut rng, &mut keys);
     }
 
     fn predict(&self, x: &[f64]) -> f64 {
@@ -380,5 +574,51 @@ mod tests {
         let mut tree = DecisionTree::new(TreeConfig::default(), 0);
         tree.fit(&[], &[]);
         assert_eq!(tree.predict(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn flat_builder_matches_reference_bitwise() {
+        // Multi-feature data with deliberate tied values so the stable-sort
+        // tie handling is exercised, under every policy / subsampling combo.
+        let xs: Vec<Vec<f64>> = (0..90)
+            .map(|i| {
+                vec![
+                    (i % 9) as f64 * 0.5, // heavy ties
+                    ((i as f64) * 0.37).sin(),
+                    (i / 10) as f64,
+                    ((i * 7) % 13) as f64 * 0.1,
+                ]
+            })
+            .collect();
+        let ys: Vec<f64> = (0..90)
+            .map(|i| ((i as f64) * 0.11).cos() * 5.0 + ((i * 3) % 11) as f64)
+            .collect();
+        for (policy, max_features) in [
+            (SplitPolicy::Best, None),
+            (SplitPolicy::Best, Some(2)),
+            (SplitPolicy::Random, None),
+            (SplitPolicy::Random, Some(2)),
+        ] {
+            let config = TreeConfig {
+                policy,
+                max_features,
+                ..TreeConfig::default()
+            };
+            let mut fast = DecisionTree::new(config, 17);
+            fast.fit(&xs, &ys);
+            let mut reference = DecisionTree::new(config, 17);
+            let mut idxs: Vec<usize> = (0..xs.len()).collect();
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(reference.seed);
+            reference.build_reference(&xs, &ys, &mut idxs, 0, &mut rng);
+            assert_eq!(fast.node_count(), reference.node_count(), "{policy:?}");
+            for x in &xs {
+                assert_eq!(
+                    fast.predict(x).to_bits(),
+                    reference.predict(x).to_bits(),
+                    "{policy:?} max_features {max_features:?}"
+                );
+            }
+        }
     }
 }

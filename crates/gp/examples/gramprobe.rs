@@ -1,0 +1,48 @@
+//! Scratch probe: interleaved serial vs packed Gram build timing.
+use ld_gp::{gram, Kernel, KernelKind};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench(n: usize, d: usize, inner: usize) {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| ((i * d + j) as f64 * 0.29).sin()).collect())
+        .collect();
+    let kernel = Kernel::new(KernelKind::Matern52, 1.2, 0.45);
+    for _ in 0..3 {
+        black_box(gram::build_serial(&kernel, &x, 1e-6));
+        black_box(gram::build_packed(&kernel, &x, 1e-6));
+    }
+    let mut s = Vec::new();
+    let mut p = Vec::new();
+    for _ in 0..15 {
+        let t = Instant::now();
+        for _ in 0..inner {
+            black_box(gram::build_serial(&kernel, black_box(&x), 1e-6));
+        }
+        s.push(t.elapsed().as_secs_f64() / inner as f64);
+        let t = Instant::now();
+        for _ in 0..inner {
+            black_box(gram::build_packed(&kernel, black_box(&x), 1e-6));
+        }
+        p.push(t.elapsed().as_secs_f64() / inner as f64);
+    }
+    s.sort_by(f64::total_cmp);
+    p.sort_by(f64::total_cmp);
+    println!(
+        "n={n:4} d={d}  serial {:9.1} ns  packed {:9.1} ns  ratio {:.3}x",
+        s[7] * 1e9,
+        p[7] * 1e9,
+        s[7] / p[7]
+    );
+}
+
+fn main() {
+    bench(10, 2, 2000);
+    bench(12, 2, 2000);
+    bench(14, 2, 1500);
+    bench(16, 2, 1500);
+    bench(20, 2, 1000);
+    bench(30, 2, 500);
+    bench(64, 4, 200);
+    bench(256, 8, 4);
+}

@@ -50,7 +50,16 @@ impl Kernel {
 
     /// Evaluates `k(a, b)`.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let d2 = sq_dist(a, b);
+        self.eval_sq_dist(sq_dist(a, b))
+    }
+
+    /// Evaluates the covariance for a precomputed squared distance. All
+    /// three families are isotropic, so the kernel value is a function of
+    /// `d2 = |a - b|^2` alone; [`Kernel::eval`] is exactly this applied to
+    /// [`sq_dist`]. Public so the blocked Gram build
+    /// ([`crate::gram::build_packed`]) can compute distances on packed
+    /// coordinates and still share the single formula implementation.
+    pub fn eval_sq_dist(&self, d2: f64) -> f64 {
         let l = self.lengthscale;
         match self.kind {
             KernelKind::Rbf => self.variance * (-0.5 * d2 / (l * l)).exp(),

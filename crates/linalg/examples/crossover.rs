@@ -1,0 +1,48 @@
+//! Dispatcher-calibration harness: times the naive streaming kernel
+//! against the packed register-tiled kernel over a sweep of square sizes,
+//! printing per-size medians and the speedup ratio. Run it after touching
+//! either kernel to re-derive `PACKED_FLOP_THRESHOLD`:
+//!
+//!     cargo run --release -p ld-linalg --example crossover
+
+use ld_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn median_secs(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    println!("{:>5} {:>12} {:>12} {:>8}", "n", "naive (s)", "packed (s)", "ratio");
+    for &n in &[4usize, 8, 12, 16, 20, 24, 32, 48, 64, 96, 128, 192, 256] {
+        let a = Matrix::random_uniform(n, n, 1.0, &mut rng);
+        let b = Matrix::random_uniform(n, n, 1.0, &mut rng);
+        let inner = (2_000_000 / (n * n * n)).clamp(1, 2000);
+        let reps = 9;
+        let time = |f: &dyn Fn() -> Matrix| {
+            // Warmup.
+            let mut sink = 0.0;
+            sink += f().as_slice()[0];
+            let mut samples = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                for _ in 0..inner {
+                    sink += f().as_slice()[0];
+                }
+                samples.push(t0.elapsed().as_secs_f64() / inner as f64);
+            }
+            (median_secs(samples), sink)
+        };
+        let (t_naive, s1) = time(&|| a.matmul_naive(&b).unwrap());
+        let (t_packed, s2) = time(&|| a.matmul_packed(&b).unwrap());
+        assert!((s1 - s2).abs() < 1e-9 * s1.abs().max(1.0));
+        println!(
+            "{n:>5} {t_naive:>12.3e} {t_packed:>12.3e} {:>8.2}",
+            t_naive / t_packed
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! One-off calibration probe for thin-shape matmul dispatch (not wired
+//! into CI; see the dispatcher comment in matrix.rs for the conclusions).
+use ld_linalg::Matrix;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench(m: usize, k: usize, n: usize) {
+    let a = Matrix::from_fn(m, k, |i, j| ((i * k + j) as f64 * 0.017).sin());
+    let b = Matrix::from_fn(k, n, |i, j| ((i * n + j) as f64 * 0.013).cos());
+    let time = |f: &dyn Fn() -> Matrix| {
+        let mut ts: Vec<f64> = (0..9)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..64 {
+                    black_box(f());
+                }
+                t0.elapsed().as_secs_f64() / 64.0
+            })
+            .collect();
+        ts.sort_by(f64::total_cmp);
+        ts[4]
+    };
+    let tn = time(&|| a.matmul_naive(&b).unwrap());
+    let tp = time(&|| a.matmul_packed(&b).unwrap());
+    println!("{m:>4} x{k:>4} x{n:>4}  naive {tn:.3e}  packed {tp:.3e}  ratio {:.2}", tn / tp);
+}
+
+fn main() {
+    for &(m, k, n) in &[
+        (1usize, 64usize, 64usize),
+        (1, 256, 256),
+        (64, 64, 1),
+        (256, 256, 1),
+        (2, 64, 64),
+        (4, 64, 64),
+        (64, 64, 4),
+        (8, 64, 64),
+        (1, 8, 8),
+    ] {
+        bench(m, k, n);
+    }
+}

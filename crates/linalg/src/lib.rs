@@ -5,8 +5,9 @@
 //! layers need, implemented from scratch:
 //!
 //! - [`Matrix`]: a row-major dense matrix with the usual arithmetic, a
-//!   rayon-parallel matrix product for large operands, and serde support so
-//!   trained models can be snapshotted.
+//!   packed-panel register-tiled matrix product for large operands
+//!   ([`pack`]/[`microkernel`]), and serde support so trained models can be
+//!   snapshotted.
 //! - [`cholesky`]: Cholesky factorization and triangular solves, the
 //!   numerical core of Gaussian-process regression.
 //! - [`vecops`]: small dense-vector kernels (dot, axpy, norms) shared by the
@@ -22,6 +23,8 @@
 pub mod cholesky;
 mod guard;
 pub mod matrix;
+pub mod microkernel;
+pub mod pack;
 pub mod solve;
 pub mod vecops;
 

@@ -7,6 +7,18 @@
 //! numerical backend.
 
 use crate::{guard, Cholesky, LinalgError, Matrix, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide toggle routing [`lstsq`] through [`lstsq_reference`]
+/// (transpose + explicit `A^T A` product) instead of the fused-accumulation
+/// fast path. Benchmarks flip it to time the pre-change semantics; both
+/// paths are bitwise identical, so this is never a correctness knob.
+static REFERENCE_LSTSQ: AtomicBool = AtomicBool::new(false);
+
+/// Routes [`lstsq`] through the reference normal-equations build when `on`.
+pub fn set_reference_lstsq(on: bool) {
+    REFERENCE_LSTSQ.store(on, Ordering::Relaxed);
+}
 
 /// Solves a general square system `A x = b` by Gaussian elimination with
 /// partial pivoting.
@@ -90,19 +102,62 @@ pub fn solve_square(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 /// workload segments produce them constantly) solvable; pass `0.0` for pure
 /// least squares on a well-conditioned design.
 pub fn lstsq(a: &Matrix, b: &[f64], ridge: f64) -> Result<Vec<f64>> {
+    if REFERENCE_LSTSQ.load(Ordering::Relaxed) {
+        return lstsq_reference(a, b, ridge);
+    }
+    if a.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("lstsq: {} rows vs rhs {}", a.rows(), b.len()),
+        });
+    }
+    // Fused normal-equations build: `ata[i][j] += a[r][i] * a[r][j]` over
+    // ascending rows, streaming each design row once with no transpose
+    // materialization. Per output element this is the same single
+    // ascending-`r` accumulator with the same zero-skip as
+    // [`Matrix::matmul_naive`], so it is bitwise identical to the
+    // reference build.
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut ata = Matrix::zeros(cols, cols);
+    for r in 0..rows {
+        let arow = &a.as_slice()[r * cols..(r + 1) * cols];
+        for (i, &v) in arow.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let out = &mut ata.as_mut_slice()[i * cols..(i + 1) * cols];
+            for (o, &w) in out.iter_mut().zip(arow) {
+                *o += v * w;
+            }
+        }
+    }
+    let atb = a.matvec_t(b)?;
+    solve_normal(ata, &atb, ridge)
+}
+
+/// The pre-change [`lstsq`] semantics: materialize `A^T`, build `A^T A`
+/// with the naive streaming product, then solve. Retained as the bitwise
+/// reference the fused build is pinned against (and timed against by
+/// `ld-perfbench`).
+pub fn lstsq_reference(a: &Matrix, b: &[f64], ridge: f64) -> Result<Vec<f64>> {
     if a.rows() != b.len() {
         return Err(LinalgError::ShapeMismatch {
             context: format!("lstsq: {} rows vs rhs {}", a.rows(), b.len()),
         });
     }
     let at = a.transpose();
-    let mut ata = at.matmul(a)?;
+    let ata = at.matmul_naive(a)?;
+    let atb = a.matvec_t(b)?;
+    solve_normal(ata, &atb, ridge)
+}
+
+/// Shared tail of the least-squares paths: ridge-damp the diagonal, factor
+/// with Cholesky, and retry with proportional jitter on rank deficiency.
+fn solve_normal(mut ata: Matrix, atb: &[f64], ridge: f64) -> Result<Vec<f64>> {
     for i in 0..ata.rows() {
         ata[(i, i)] += ridge;
     }
-    let atb = a.matvec_t(b)?;
     match Cholesky::factor(&ata) {
-        Ok(ch) => ch.solve(&atb),
+        Ok(ch) => ch.solve(atb),
         // Rank-deficient: retry with jitter proportional to the diagonal.
         Err(LinalgError::NotPositiveDefinite { .. }) => {
             let scale = (0..ata.rows())
@@ -110,7 +165,7 @@ pub fn lstsq(a: &Matrix, b: &[f64], ridge: f64) -> Result<Vec<f64>> {
                 .fold(0.0, f64::max)
                 .max(1.0);
             let ch = Cholesky::factor_with_jitter(&ata, scale * 1e-10, 12)?;
-            ch.solve(&atb)
+            ch.solve(atb)
         }
         Err(e) => Err(e),
     }
@@ -226,6 +281,38 @@ mod tests {
         let pred = a.matvec(&x).unwrap();
         for (p, t) in pred.iter().zip(&b) {
             assert!((p - t).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fused_lstsq_matches_reference_bitwise() {
+        // The fused A^T A accumulation replays the reference build's exact
+        // per-element operation order, so the two solution vectors must be
+        // bit-identical — including on designs with zero entries (the
+        // naive kernel's zero-skip) and rank-deficient columns (the jitter
+        // retry path).
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(rows, cols) in &[(5usize, 2usize), (30, 4), (64, 9), (120, 12)] {
+            let mut a = Matrix::random_uniform(rows, cols, 1.0, &mut rng);
+            a[(0, 0)] = 0.0;
+            a[(rows / 2, cols - 1)] = 0.0;
+            let b: Vec<f64> = (0..rows).map(|r| (r as f64 * 0.37).sin()).collect();
+            for &ridge in &[0.0, 1e-6] {
+                let fast = lstsq(&a, &b, ridge).unwrap();
+                let reference = lstsq_reference(&a, &b, ridge).unwrap();
+                assert_eq!(fast.len(), reference.len());
+                for (f, r) in fast.iter().zip(&reference) {
+                    assert_eq!(f.to_bits(), r.to_bits(), "{rows}x{cols} ridge {ridge}");
+                }
+                // The process-wide knob routes the public entry point to
+                // the reference body.
+                set_reference_lstsq(true);
+                let via_knob = lstsq(&a, &b, ridge).unwrap();
+                set_reference_lstsq(false);
+                for (f, r) in via_knob.iter().zip(&reference) {
+                    assert_eq!(f.to_bits(), r.to_bits());
+                }
+            }
         }
     }
 

@@ -16,15 +16,20 @@
 //! rows `3H..4H` the candidate `g` (one [`tanh_map`] pass), and the cell /
 //! hidden updates are pure `B`-wide vector ops.
 //!
-//! Equivalence is by construction, not by tolerance: the GEMM
-//! ([`Matrix::matmul_into`]) accumulates each output in ascending-`k`
-//! order exactly like the sequential dots of the retained reference path,
-//! the combine order `(Wx + Uh) + b` matches both scalar paths, and the
-//! activations are the same shared functions every other path calls. The
-//! fused kernel therefore agrees **bitwise** with
-//! [`crate::LstmForecaster::predict_reference`] and to reordered-summation
-//! noise (~1e-14, from `dot4`'s four-lane split) with the workspace
-//! [`crate::LstmForecaster::predict`] path.
+//! Equivalence is by construction, not by tolerance: the register-blocked
+//! packed-A GEMM ([`ld_linalg::pack::PackedA::matmul_into`], plain
+//! multiply/add lanes) accumulates each output through a single
+//! ascending-`k` accumulator exactly like the sequential dots of the
+//! retained reference path, the combine order `(Wx + Uh) + b` matches both
+//! scalar paths, and the activations are the same shared functions every
+//! other path calls. The fused kernel therefore agrees **bitwise** with
+//! [`crate::LstmForecaster::predict_reference`] and within ~1e-12
+//! reordered-summation noise with the workspace
+//! [`crate::LstmForecaster::predict`] path (whose fused gate step chains
+//! the `W`/`U`/`b` terms differently). The weight panels are packed once
+//! per model ([`crate::lstm::LstmLayer::packed_input_weights`]) and
+//! invalidated on parameter updates; the activations are consumed
+//! row-major by the register-blocked kernel, so nothing is packed or allocated per step.
 
 use ld_linalg::Matrix;
 
@@ -113,7 +118,9 @@ impl LstmForecaster {
             return;
         }
         scratch.reset(self, batch);
-        let BatchScratch { x0, h, c, z, .. } = scratch;
+        let BatchScratch {
+            x0, h, c, z, ..
+        } = scratch;
 
         for t in 0..t_len {
             // Gather this step's input across lanes: X_t is 1 x B.
@@ -127,13 +134,17 @@ impl LstmForecaster {
                 let c_l = &mut c[l];
 
                 // Z = (W·X_t + U·H) + b — same combine order as the scalar
-                // paths' `dot(w,x) + dot(u,h) + b`. The recurrent product
-                // accumulates into Z with the bias folded at store time
-                // (one pass over the gate slab instead of three).
-                layer.input_weights().matmul_into(x, z);
-                layer
-                    .recurrent_weights()
-                    .matmul_acc_bias_into(h_l, layer.bias().as_slice(), z);
+                // paths' `dot(w,x) + dot(u,h) + b`, driven by the register-blocked
+                // packed-A kernel over the per-model cached weight panels.
+                // The recurrent product accumulates into Z with the bias
+                // folded at store time (one pass over the gate slab
+                // instead of three).
+                layer.packed_input_weights().matmul_into(x, z);
+                layer.packed_recurrent_weights().matmul_acc_bias_into(
+                    h_l,
+                    layer.bias().as_slice(),
+                    z,
+                );
                 // Gate blocks are contiguous rows: [i|f|o] then [g].
                 sigmoid_map(&mut z[..3 * h_dim * batch]);
                 tanh_map(&mut z[3 * h_dim * batch..]);

@@ -12,8 +12,14 @@
 //! ```
 //!
 //! The four gate blocks are packed row-wise into single `W`, `U`, `b`
-//! tensors in the order `[i, f, o, g]` so the whole pre-activation is two
-//! mat-vecs per step.
+//! tensors in the order `[i, f, o, g]`. The forward hot path goes further
+//! and caches a fused `[W | U | b]` micro-panel ([`ld_linalg::pack`]): the
+//! whole `4H` pre-activation is **one** packed mat-vec against
+//! `[x_t | h_{t-1} | 1]` per step ([`LstmLayer::gate_step_fused`]), with
+//! the per-row-dots step retained as [`LstmLayer::gate_step_reference`].
+//! The batched inference kernel rides the same packed panels through
+//! [`LstmLayer::packed_input_weights`] /
+//! [`LstmLayer::packed_recurrent_weights`].
 //!
 //! The hot path is allocation-free: [`LstmLayer::forward_into`] and
 //! [`LstmLayer::backward_into`] write into a caller-owned [`LstmCache`] and
@@ -29,6 +35,7 @@
 
 use std::sync::OnceLock;
 
+use ld_linalg::pack::PackedA;
 use ld_linalg::{vecops, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -38,7 +45,7 @@ use crate::activation::{
 };
 
 /// One LSTM layer (the `M` cell of the paper, unrolled over a window).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LstmLayer {
     input_dim: usize,
     hidden: usize,
@@ -53,6 +60,37 @@ pub struct LstmLayer {
     wt: OnceLock<Matrix>,
     /// Lazily built `U^T` (`H x 4H`) for the backward `dh` mat-vec.
     ut: OnceLock<Matrix>,
+    /// Lazily packed fused gate panel `[W | U | b]`
+    /// (`4H x (input_dim + H + 1)` in micro-panels): one packed mat-vec
+    /// over `[x | h_prev | 1]` yields all four gate pre-activations.
+    /// Cleared by `visit_params` like the transposes.
+    fused_wub: OnceLock<PackedA>,
+    /// Lazily packed `W` micro-panels for the batched gate GEMM.
+    wpack: OnceLock<PackedA>,
+    /// Lazily packed `U` micro-panels for the batched gate GEMM.
+    upack: OnceLock<PackedA>,
+}
+
+// A clone starts with cold derived caches (transposes, packed panels):
+// clones are taken to perturb or archive weights, and a carried-over cache
+// would silently serve the *original* parameters if the clone's fields are
+// then mutated directly (crate-internal code can; `visit_params` is the
+// only public mutation path and invalidates explicitly).
+impl Clone for LstmLayer {
+    fn clone(&self) -> Self {
+        LstmLayer {
+            input_dim: self.input_dim,
+            hidden: self.hidden,
+            w: self.w.clone(),
+            u: self.u.clone(),
+            b: self.b.clone(),
+            wt: OnceLock::new(),
+            ut: OnceLock::new(),
+            fused_wub: OnceLock::new(),
+            wpack: OnceLock::new(),
+            upack: OnceLock::new(),
+        }
+    }
 }
 
 /// Gradients for one [`LstmLayer`], same shapes as the parameters.
@@ -109,6 +147,9 @@ pub struct LstmCache {
     gates: Vec<f64>,
     /// `tanh(C_t)` per step, `T x H`.
     tanh_c: Vec<f64>,
+    /// Scratch for the fused gate input `[x_t | h_{t-1} | 1]`
+    /// (`input_dim + H + 1`), consumed by the packed gate mat-vec.
+    gate_in: Vec<f64>,
 }
 
 impl LstmCache {
@@ -152,6 +193,7 @@ impl LstmCache {
         self.cs.resize((steps + 1) * hidden, 0.0);
         self.gates.resize(steps * 4 * hidden, 0.0);
         self.tanh_c.resize(steps * hidden, 0.0);
+        self.gate_in.resize(input_dim + hidden + 1, 0.0);
         self.hs[..hidden].fill(0.0);
         self.cs[..hidden].fill(0.0);
     }
@@ -205,6 +247,9 @@ impl LstmLayer {
             b,
             wt: OnceLock::new(),
             ut: OnceLock::new(),
+            fused_wub: OnceLock::new(),
+            wpack: OnceLock::new(),
+            upack: OnceLock::new(),
         }
     }
 
@@ -253,6 +298,9 @@ impl LstmLayer {
         f(&mut self.b, &grads.db);
         self.wt.take();
         self.ut.take();
+        self.fused_wub.take();
+        self.wpack.take();
+        self.upack.take();
     }
 
     /// `W^T`, built on first use after each parameter update.
@@ -263,6 +311,72 @@ impl LstmLayer {
     /// `U^T`, built on first use after each parameter update.
     fn u_transposed(&self) -> &Matrix {
         self.ut.get_or_init(|| self.u.transpose())
+    }
+
+    /// The fused gate panel `[W | U | b]` packed into micro-panels, built
+    /// on first use after each parameter update. One packed mat-vec of
+    /// this panel against `[x | h_prev | 1]` computes all four gate
+    /// pre-activations.
+    fn fused_gate_panel(&self) -> &PackedA {
+        self.fused_wub.get_or_init(|| {
+            let (h4, i_dim, h) = (4 * self.hidden, self.input_dim, self.hidden);
+            let width = i_dim + h + 1;
+            let mut flat = vec![0.0; h4 * width];
+            for (r, row) in flat.chunks_exact_mut(width).enumerate() {
+                row[..i_dim].copy_from_slice(self.w.row(r));
+                row[i_dim..i_dim + h].copy_from_slice(self.u.row(r));
+                row[i_dim + h] = self.b[(r, 0)];
+            }
+            PackedA::pack(&flat, h4, width)
+        })
+    }
+
+    /// `W` packed into micro-panels for the batched gate GEMM, built on
+    /// first use after each parameter update.
+    pub fn packed_input_weights(&self) -> &PackedA {
+        self.wpack.get_or_init(|| PackedA::from_matrix(&self.w))
+    }
+
+    /// `U` packed into micro-panels for the batched gate GEMM.
+    pub fn packed_recurrent_weights(&self) -> &PackedA {
+        self.upack.get_or_init(|| PackedA::from_matrix(&self.u))
+    }
+
+    /// Fused gate step: writes the `4H` pre-activations
+    /// `z = W x + U h_prev + b` as **one** packed mat-vec of the cached
+    /// `[W | U | b]` panel against `[x | h_prev | 1]` (assembled into
+    /// `gate_in`). Each `z` row is a single ascending dot over the
+    /// concatenated input, so results agree with the reference step's
+    /// three-term combine within 1e-9 relative (not bitwise — the split
+    /// points differ).
+    ///
+    /// # Panics
+    /// Panics on mismatched slice lengths.
+    pub fn gate_step_fused(
+        &self,
+        x: &[f64],
+        h_prev: &[f64],
+        gate_in: &mut [f64],
+        z: &mut [f64],
+    ) {
+        let (i_dim, h) = (self.input_dim, self.hidden);
+        assert_eq!(gate_in.len(), i_dim + h + 1, "gate_in length");
+        gate_in[..i_dim].copy_from_slice(x);
+        gate_in[i_dim..i_dim + h].copy_from_slice(h_prev);
+        gate_in[i_dim + h] = 1.0;
+        self.fused_gate_panel().matvec_into(gate_in, z);
+    }
+
+    /// The pre-change gate step: per-row four-lane dots
+    /// `z_r = dot4(W_r, x) + dot4(U_r, h_prev) + b_r`. Retained as the
+    /// "before" kernel `ld-perfbench` times the fused step against and the
+    /// 1e-9 oracle the equivalence suite pins it to.
+    pub fn gate_step_reference(&self, x: &[f64], h_prev: &[f64], z: &mut [f64]) {
+        for (r, zr) in z.iter_mut().enumerate() {
+            *zr = vecops::dot4(self.w.row(r), x)
+                + vecops::dot4(self.u.row(r), h_prev)
+                + self.b[(r, 0)];
+        }
     }
 
     /// Unrolls the layer over a flat `steps x input_dim` row-major input
@@ -296,6 +410,7 @@ impl LstmLayer {
             cs,
             gates,
             tanh_c,
+            gate_in,
             ..
         } = cache;
         for t in 0..steps {
@@ -310,14 +425,11 @@ impl LstmLayer {
             let g_row = &mut gates[t * 4 * h..(t + 1) * 4 * h];
             let tc = &mut tanh_c[t * h..(t + 1) * h];
 
-            // z = W x + U h_prev + b (the "gate-matmul" telemetry section).
+            // z = W x + U h_prev + b as one packed panel mat-vec (the
+            // "gate-matmul" telemetry section).
             // ld-lint: allow(determinism, "opt-in kernel section timer; timing is observed, never fed back into the numerics")
             let t0 = timing.then(std::time::Instant::now);
-            for (r, zr) in z.iter_mut().enumerate() {
-                *zr = vecops::dot4(self.w.row(r), x)
-                    + vecops::dot4(self.u.row(r), h_prev)
-                    + self.b[(r, 0)];
-            }
+            self.gate_step_fused(x, h_prev, gate_in, z);
             if let Some(t0) = t0 {
                 gate_nanos += t0.elapsed().as_nanos();
             }
@@ -631,6 +743,9 @@ impl Deserialize for LstmLayer {
             b: Deserialize::from_value(v.field("b")?)?,
             wt: OnceLock::new(),
             ut: OnceLock::new(),
+            fused_wub: OnceLock::new(),
+            wpack: OnceLock::new(),
+            upack: OnceLock::new(),
         })
     }
 }
@@ -834,12 +949,16 @@ mod tests {
                      set: &dyn Fn(&mut LstmLayer, f64),
                      analytic: f64,
                      what: &str| {
+            // One fresh clone per perturbation: a clone starts with cold
+            // packed-panel caches, and a forward pass warms them — so
+            // mutating the same instance again would serve stale panels.
             let orig = get(&layer);
             let mut lp = layer.clone();
             set(&mut lp, orig + eps);
             let fplus = loss(&lp);
-            set(&mut lp, orig - eps);
-            let fminus = loss(&lp);
+            let mut lm = layer.clone();
+            set(&mut lm, orig - eps);
+            let fminus = loss(&lm);
             let fd = (fplus - fminus) / (2.0 * eps);
             assert!(
                 (fd - analytic).abs() < 1e-6,

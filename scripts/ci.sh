@@ -27,7 +27,13 @@ cargo test -q --release -p ld-serve
 cargo test -q --release -p ld-perfbench --test compare_gate
 
 echo "=== ld-perfbench --smoke (kernel equivalence + bench schema + regression gate) ==="
-cargo run -q --release -p ld-perfbench -- --smoke --compare BENCH_perf.json --tolerance 2.5
+# Tolerance 1.8: every row times its before/after legs interleaved
+# round-by-round, so host frequency drift cancels out of the ratio and
+# the remaining run-to-run noise is leg-local jitter. The widest swing
+# observed across repeated smoke runs vs the committed full baseline is
+# ~1.5x (lstm-bptt); 1.8 leaves margin while still failing on any real
+# kernel regression.
+cargo run -q --release -p ld-perfbench -- --smoke --compare BENCH_perf.json --tolerance 1.8
 
 echo "=== ld-loadgen --smoke (serve replay: equivalence, determinism, shed, cache) ==="
 cargo run -q --release -p ld-serve --bin ld-loadgen -- --smoke
