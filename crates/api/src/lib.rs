@@ -15,6 +15,7 @@ pub mod partition;
 pub mod predictor;
 pub mod scaler;
 pub mod series;
+pub mod stats;
 
 pub use error::FrameworkError;
 pub use eval::{predict_horizon, rolling_origin, walk_forward, walk_forward_range, WalkForwardResult};

@@ -1,0 +1,104 @@
+//! Order statistics shared by the bench and serving paths.
+//!
+//! Both `fig5` and the serve bench used to carry private nearest-rank
+//! percentile code with subtly different index conventions; this module
+//! is the single definition. Everything is integer arithmetic — no float
+//! round-trip, no float-derived casts — so percentile selection is exact
+//! and deterministic on every platform.
+
+/// Exact `u64 -> f64` conversion for counts. A plain `as f64` cast is
+/// lossy above 2^53; splitting into two 32-bit halves keeps every count
+/// this workspace can produce exact.
+#[must_use]
+pub fn count_to_f64(v: u64) -> f64 {
+    let hi = u32::try_from(v >> 32).expect("shifted to 32 bits");
+    let lo = u32::try_from(v & 0xffff_ffff).expect("masked to 32 bits");
+    f64::from(hi) * 4_294_967_296.0 + f64::from(lo)
+}
+
+/// Nearest-rank of percentile `p` among `count` sorted observations:
+/// `max(1, ceil(p/100 * count))`, in `[1, count]` for every `p` in
+/// `0..=100` and `count >= 1`. `p = 0` selects the minimum (rank 1).
+///
+/// Returns 0 only when `count` is 0 (there is no rank to select).
+#[must_use]
+pub fn nearest_rank(count: u64, p: u64) -> u64 {
+    assert!(p <= 100, "percentile must be in 0..=100");
+    if count == 0 {
+        return 0;
+    }
+    (p.saturating_mul(count)).div_ceil(100).clamp(1, count)
+}
+
+/// Zero-based index of percentile `p` in a sorted slice of length `len`:
+/// [`nearest_rank`]` - 1`. Always in `[0, len)` for non-empty input.
+#[must_use]
+pub fn nearest_rank_index(len: usize, p: u64) -> usize {
+    assert!(len > 0, "percentile of an empty slice");
+    let rank = nearest_rank(len as u64, p);
+    usize::try_from(rank - 1).expect("rank - 1 < len, which fits usize")
+}
+
+/// Percentile `p` of already-sorted `u64` samples (nearest-rank method).
+#[must_use]
+pub fn percentile_sorted_u64(sorted: &[u64], p: u64) -> u64 {
+    sorted[nearest_rank_index(sorted.len(), p)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_to_f64_is_exact_on_large_counts() {
+        for v in [0u64, 1, 2_u64.pow(32), 2_u64.pow(53) + 1, u64::MAX] {
+            let f = count_to_f64(v);
+            assert!(f >= 0.0);
+            // Exactness check where f64 can represent the value at all.
+            if v <= 1u64 << 52 {
+                assert_eq!(f as u64, v);
+            }
+        }
+        assert_eq!(count_to_f64(2_u64.pow(53) + 2), (2_u64.pow(53) + 2) as f64);
+    }
+
+    #[test]
+    fn nearest_rank_spans_full_range() {
+        assert_eq!(nearest_rank(10, 0), 1);
+        assert_eq!(nearest_rank(10, 1), 1);
+        assert_eq!(nearest_rank(10, 50), 5);
+        assert_eq!(nearest_rank(10, 95), 10);
+        assert_eq!(nearest_rank(10, 100), 10);
+        assert_eq!(nearest_rank(1, 99), 1);
+        assert_eq!(nearest_rank(0, 50), 0);
+    }
+
+    #[test]
+    fn rank_is_monotone_in_p_and_count() {
+        for count in 1..50u64 {
+            let mut last = 0;
+            for p in 0..=100u64 {
+                let r = nearest_rank(count, p);
+                assert!((1..=count).contains(&r));
+                assert!(r >= last);
+                last = r;
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_sorted_picks_expected_elements() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_sorted_u64(&v, 0), 1);
+        assert_eq!(percentile_sorted_u64(&v, 50), 50);
+        assert_eq!(percentile_sorted_u64(&v, 99), 99);
+        assert_eq!(percentile_sorted_u64(&v, 100), 100);
+        assert_eq!(percentile_sorted_u64(&[7], 50), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn index_of_empty_slice_panics() {
+        let _ = nearest_rank_index(0, 50);
+    }
+}

@@ -12,7 +12,8 @@ use ld_bench::render::print_table;
 use ld_bench::runner::traced_baseline_lineup;
 use ld_bench::scale::ExperimentScale;
 use ld_bench::telemetry_env::{
-    dump_manifest, dump_telemetry, dump_trace, faults_from_env, telemetry_from_env, trace_from_env,
+    dump_manifest, dump_metrics, dump_telemetry, dump_trace, faults_from_env, metrics_from_env,
+    telemetry_from_env, trace_from_env,
 };
 use ld_traces::{TraceConfig, WorkloadKind};
 use loaddynamics::LoadDynamics;
@@ -22,6 +23,7 @@ fn main() {
     faults_from_env();
     let (telemetry, telemetry_out) = telemetry_from_env();
     let (tracer, trace_out) = trace_from_env();
+    let (metrics, metrics_out) = metrics_from_env();
     println!("=== Fig. 10: auto-scaling with different prediction techniques (Azure, 60-min) ===");
     println!("(scale: {scale:?})\n");
 
@@ -56,6 +58,13 @@ fn main() {
     let outcome = framework.optimize(&series);
     let mut ld: Box<dyn Predictor> = Box::new(outcome.predictor);
     let report = simulate_traced(ld.as_mut(), &series, &sim_config, &telemetry, &tracer);
+    metrics.incr("fig10.predictors_total");
+    metrics.add("fig10.on_demand_vms_total", report.on_demand_vm_count() as u64);
+    metrics.add("fig10.idle_vms_total", report.idle_vm_count() as u64);
+    metrics.observe(
+        "fig10.turnaround_centisecs",
+        ld_api::num::to_count(report.avg_turnaround_secs() * 100.0) as u64,
+    );
     rows.push(vec![
         "LoadDynamics".to_string(),
         format!("{:.1}", report.avg_turnaround_secs()),
@@ -81,6 +90,13 @@ fn main() {
             &sim_config,
             &untraced_telemetry,
             &baseline_tracer,
+        );
+        metrics.incr("fig10.predictors_total");
+        metrics.add("fig10.on_demand_vms_total", report.on_demand_vm_count() as u64);
+        metrics.add("fig10.idle_vms_total", report.idle_vm_count() as u64);
+        metrics.observe(
+            "fig10.turnaround_centisecs",
+            ld_api::num::to_count(report.avg_turnaround_secs() * 100.0) as u64,
         );
         rows.push(vec![
             baseline.name(),
@@ -110,6 +126,7 @@ fn main() {
     );
     dump_telemetry(&telemetry, &telemetry_out);
     let snapshot = dump_trace(&tracer, &trace_out);
+    dump_metrics(&metrics, &metrics_out);
     dump_manifest(
         ld_telemetry::RunManifest::new("fig10_autoscaling")
             .seed(0)
@@ -121,5 +138,7 @@ fn main() {
         snapshot.as_ref(),
         &telemetry,
         &telemetry_out,
+        &metrics,
+        &metrics_out,
     );
 }

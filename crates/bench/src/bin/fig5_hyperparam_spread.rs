@@ -10,7 +10,9 @@ use ld_api::Partition;
 use ld_bayesopt::SearchSpace;
 use ld_bench::render::print_table;
 use ld_bench::scale::ExperimentScale;
-use ld_bench::telemetry_env::{dump_manifest, dump_trace, trace_from_env};
+use ld_bench::telemetry_env::{
+    dump_manifest, dump_metrics, dump_trace, metrics_from_env, trace_from_env,
+};
 use ld_traces::{TraceConfig, WorkloadKind};
 use loaddynamics::{evaluate_hyperparams_traced, HyperParams};
 use rand::rngs::StdRng;
@@ -20,6 +22,7 @@ use rayon::prelude::*;
 fn main() {
     let scale = ExperimentScale::from_env();
     let (tracer, trace_out) = trace_from_env();
+    let (metrics, metrics_out) = metrics_from_env();
     let n_models = match scale {
         ExperimentScale::Standard => 100,
         ExperimentScale::Fast => 12,
@@ -71,15 +74,21 @@ fn main() {
         })
         .collect();
     drop(sweep_guard);
+    let drawn = mapes.len() as u64;
     mapes.retain(|(_, m)| m.is_finite() && *m < 1e5);
     mapes.sort_by(|a, b| a.1.total_cmp(&b.1));
+    metrics.add("fig5.candidates_total", drawn);
+    metrics.add("fig5.candidates_diverged_total", drawn - mapes.len() as u64);
+    for (_, mape) in &mapes {
+        // MAPE in basis points so the log-linear buckets resolve the
+        // single-digit-percent region the best configs live in.
+        metrics.observe("fig5.val_mape_bp", ld_api::num::to_count(*mape * 100.0) as u64);
+    }
 
     // Print the sorted curve as deciles plus best/worst configs.
     let mut rows = Vec::new();
     for q in [0, 10, 25, 50, 75, 90, 100] {
-        // Nearest-rank percentile in integer arithmetic: round(q*(n-1)/100)
-        // without a float round-trip (and without the lossy cast back).
-        let idx = (q * (mapes.len() - 1) + 50) / 100;
+        let idx = ld_api::stats::nearest_rank_index(mapes.len(), q);
         rows.push(vec![
             format!("p{q}"),
             format!("{:.1}", mapes[idx].1),
@@ -103,6 +112,7 @@ fn main() {
          hyperparameters cuts the error by ~3x versus a poor choice."
     );
     let snapshot = dump_trace(&tracer, &trace_out);
+    dump_metrics(&metrics, &metrics_out);
     dump_manifest(
         ld_telemetry::RunManifest::new("fig5_hyperparam_spread")
             .seed(5)
@@ -113,5 +123,7 @@ fn main() {
         snapshot.as_ref(),
         &untraced_telemetry,
         &None,
+        &metrics,
+        &metrics_out,
     );
 }

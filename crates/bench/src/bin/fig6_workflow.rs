@@ -10,7 +10,8 @@ use ld_api::{walk_forward, Partition};
 use ld_bench::render::print_table;
 use ld_bench::scale::ExperimentScale;
 use ld_bench::telemetry_env::{
-    dump_manifest, dump_telemetry, dump_trace, faults_from_env, telemetry_from_env, trace_from_env,
+    dump_manifest, dump_metrics, dump_telemetry, dump_trace, faults_from_env, metrics_from_env,
+    telemetry_from_env, trace_from_env,
 };
 use ld_traces::{TraceConfig, WorkloadKind};
 use loaddynamics::{HyperParams, LoadDynamics};
@@ -20,6 +21,7 @@ fn main() {
     faults_from_env();
     let (telemetry, telemetry_out) = telemetry_from_env();
     let (tracer, trace_out) = trace_from_env();
+    let (metrics, metrics_out) = metrics_from_env();
     println!("=== Fig. 6/7: the self-optimization workflow, traced (LCG 30-min) ===");
     println!("(scale: {scale:?})\n");
 
@@ -58,6 +60,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut incumbent = f64::INFINITY;
     for (i, trial) in outcome.trials.trials.iter().enumerate() {
+        metrics.incr("fig6.trials_total");
+        if trial.value < incumbent {
+            metrics.incr("fig6.incumbent_improvements_total");
+        }
+        metrics.observe("fig6.val_mape_bp", ld_api::num::to_count(trial.value * 100.0) as u64);
         incumbent = incumbent.min(trial.value);
         rows.push(vec![
             format!("{}", i + 1),
@@ -80,8 +87,14 @@ fn main() {
         result.mape(),
         result.preds.len()
     );
+    metrics.gauge_set("fig6.test_intervals", result.preds.len() as u64);
+    metrics.gauge_set(
+        "fig6.test_mape_bp",
+        ld_api::num::to_count(result.mape() * 100.0) as u64,
+    );
     dump_telemetry(&telemetry, &telemetry_out);
     let snapshot = dump_trace(&tracer, &trace_out);
+    dump_metrics(&metrics, &metrics_out);
     dump_manifest(
         ld_telemetry::RunManifest::new("fig6_workflow")
             .seed(0)
@@ -93,5 +106,7 @@ fn main() {
         snapshot.as_ref(),
         &telemetry,
         &telemetry_out,
+        &metrics,
+        &metrics_out,
     );
 }

@@ -1,14 +1,18 @@
-//! Opt-in telemetry and span tracing for the experiment binaries, driven
-//! by `LD_TELEMETRY` and `LD_TRACE`.
+//! Opt-in telemetry, span tracing, and metrics for the experiment
+//! binaries, driven by `LD_TELEMETRY`, `LD_TRACE`, and `LD_METRICS`.
 //!
-//! Unset (the default) leaves both disabled and the binaries' behavior and
-//! output byte-identical to an uninstrumented build. `LD_TELEMETRY=1`
-//! enables recording and dumps `telemetry.json` into the working
-//! directory; any other value is used as the output path. `LD_TRACE`
-//! works the same way (default `trace.json`): one enablement emits the
-//! Chrome trace at the path, a folded-stack file at `<path>.folded`, and
-//! a run-provenance manifest at `<path>.manifest.json`.
+//! Unset (the default) leaves all three disabled and the binaries'
+//! behavior and output byte-identical to an uninstrumented build.
+//! `LD_TELEMETRY=1` enables recording and dumps `telemetry.json` into the
+//! working directory; any other value is used as the output path.
+//! `LD_TRACE` works the same way (default `trace.json`): one enablement
+//! emits the Chrome trace at the path, a folded-stack file at
+//! `<path>.folded`, and a run-provenance manifest at
+//! `<path>.manifest.json`. `LD_METRICS` (default `metrics.json`) dumps
+//! the schema-checked metrics snapshot at the path plus the Prometheus
+//! text exposition at `<path>.prom`.
 
+use ld_metrics::Metrics;
 use ld_telemetry::{RunManifest, Telemetry, TraceSnapshot, Tracer};
 
 /// The telemetry handle plus output path requested by the environment,
@@ -42,6 +46,47 @@ pub fn dump_telemetry(telemetry: &Telemetry, path: &Option<String>) {
             Ok(()) => eprintln!("telemetry written to {path}"),
             Err(e) => eprintln!("cannot write telemetry to {path}: {e}"),
         }
+    }
+}
+
+/// The metrics handle plus output path requested by the environment, or
+/// `(disabled, None)` when `LD_METRICS` is unset or empty.
+pub fn metrics_from_env() -> (Metrics, Option<String>) {
+    match std::env::var("LD_METRICS") {
+        Ok(v) if !v.is_empty() => {
+            let path = if v == "1" { "metrics.json".to_string() } else { v };
+            (Metrics::enabled(), Some(path))
+        }
+        _ => (Metrics::disabled(), None),
+    }
+}
+
+/// Writes the metrics snapshot to the path from [`metrics_from_env`] as
+/// schema-checked JSON plus the Prometheus text exposition at
+/// `<path>.prom`, both run through their validators before touching disk
+/// (a bench must never publish a malformed snapshot). No-op when metrics
+/// were not requested.
+pub fn dump_metrics(metrics: &Metrics, path: &Option<String>) {
+    let Some(path) = path else {
+        return;
+    };
+    let snapshot = metrics.snapshot();
+    let json = ld_metrics::to_metrics_json(&snapshot);
+    if let Err(e) = ld_metrics::validate_metrics_json(&json) {
+        eprintln!("metrics snapshot failed validation ({e}); writing anyway");
+    }
+    match std::fs::write(path, json + "\n") {
+        Ok(()) => eprintln!("metrics written to {path}"),
+        Err(e) => eprintln!("cannot write metrics to {path}: {e}"),
+    }
+    let exposition = ld_metrics::to_prometheus(&snapshot);
+    let prom = format!("{path}.prom");
+    if let Err(e) = ld_metrics::validate_exposition(&exposition) {
+        eprintln!("metrics exposition failed validation ({e}); writing anyway");
+    }
+    match std::fs::write(&prom, exposition) {
+        Ok(()) => eprintln!("metrics exposition written to {prom}"),
+        Err(e) => eprintln!("cannot write metrics exposition to {prom}: {e}"),
     }
 }
 
@@ -88,6 +133,8 @@ pub fn dump_manifest(
     trace: Option<&TraceSnapshot>,
     telemetry: &Telemetry,
     telemetry_path: &Option<String>,
+    metrics: &Metrics,
+    metrics_path: &Option<String>,
 ) {
     let Some(trace_path) = trace_path else {
         return;
@@ -103,6 +150,15 @@ pub fn dump_manifest(
         manifest = manifest.with_telemetry_summary(&telemetry.snapshot());
         if let Some(tpath) = telemetry_path {
             manifest = manifest.output("telemetry", tpath);
+        }
+    }
+    if metrics.is_enabled() {
+        let snapshot = metrics.snapshot();
+        manifest = manifest.with_metrics_summary(snapshot.series(), snapshot.observations());
+        if let Some(mpath) = metrics_path {
+            manifest = manifest
+                .output("metrics", mpath)
+                .output("metrics_exposition", format!("{mpath}.prom"));
         }
     }
     let out = format!("{trace_path}.manifest.json");

@@ -1,0 +1,347 @@
+//! Log-linear histograms with a fixed, data-independent bucket layout.
+//!
+//! The layout is the HDR-histogram idea reduced to its deterministic core:
+//! bucket 0 holds the value 0, and every value `v >= 1` lands in one of
+//! [`SUB_BUCKETS`] linear sub-buckets of its octave `[2^k, 2^(k+1))`. The
+//! bucket a value maps to depends only on the value — never on insertion
+//! order, previous contents, or any configured precision — so two runs
+//! that record the same multiset of values produce identical bucket
+//! vectors, and merging histograms is exact element-wise addition
+//! (associative and commutative, which the unit tests pin).
+//!
+//! Relative error of a bucket bound is at most `1/SUB_BUCKETS` (12.5%),
+//! plenty for latency-tail reporting where octaves matter more than
+//! digits.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: usize = 8;
+/// One underflow bucket for zero plus `SUB_BUCKETS` per possible octave
+/// of a `u64` value.
+pub const BUCKETS: usize = 1 + 64 * SUB_BUCKETS;
+
+/// Bucket index for a value. Total function: every `u64` has exactly one
+/// bucket.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let octave = 63 - v.leading_zeros() as usize;
+    let base = 1u64 << octave;
+    // Octaves narrower than SUB_BUCKETS values degenerate to one value
+    // per sub-bucket; wider octaves split into SUB_BUCKETS equal ranges.
+    let sub = if octave >= 3 {
+        ((v - base) >> (octave - 3)) as usize
+    } else {
+        (v - base) as usize
+    };
+    1 + octave * SUB_BUCKETS + sub
+}
+
+/// Inclusive lower bound of a bucket.
+#[must_use]
+pub fn bucket_lo(index: usize) -> u64 {
+    if index == 0 {
+        return 0;
+    }
+    let i = index - 1;
+    let octave = i / SUB_BUCKETS;
+    let sub = (i % SUB_BUCKETS) as u64;
+    let base = 1u64 << octave;
+    if octave >= 3 {
+        base + sub * (1u64 << (octave - 3))
+    } else {
+        base + sub
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+#[must_use]
+pub fn bucket_hi(index: usize) -> u64 {
+    if index == 0 {
+        return 0;
+    }
+    let i = index - 1;
+    let octave = i / SUB_BUCKETS;
+    let width = if octave >= 3 { 1u64 << (octave - 3) } else { 1 };
+    bucket_lo(index).saturating_add(width - 1)
+}
+
+/// A recording log-linear histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation. Saturating in `sum` so a pathological
+    /// stream degrades the mean, never wraps it.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] = self.counts[bucket_index(v)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Element-wise merge. Unsigned saturating addition is associative
+    /// (`min(MAX, a+b+c)` regardless of grouping), so merge order never
+    /// changes the result — the property the shard snapshot relies on.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst = dst.saturating_add(*src);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Nearest-rank quantile estimate: the upper bound of the bucket
+    /// holding the rank-`ceil(p/100 * count)` observation, clamped to the
+    /// exact observed extremes so `quantile(0..=100)` never leaves
+    /// `[min, max]`. Returns 0 on an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ld_api::stats::nearest_rank(self.count, p.min(100));
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_hi(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Condenses to the exported form: non-empty buckets only, in
+    /// ascending value order (bucket index order is value order for every
+    /// reachable bucket).
+    #[must_use]
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| HistogramBucket {
+                lo: bucket_lo(i),
+                hi: bucket_hi(i),
+                count: c,
+            })
+            .collect();
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max,
+            p50: self.quantile(50),
+            p95: self.quantile(95),
+            p99: self.quantile(99),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket in a snapshot: the inclusive value range and the
+/// number of observations that fell inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    pub lo: u64,
+    pub hi: u64,
+    pub count: u64,
+}
+
+/// Exported histogram state. Quantiles are pre-computed so consumers
+/// (reports, benches) never reimplement the rank walk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub buckets: Vec<HistogramBucket>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_value_has_one_bucket_with_containing_bounds() {
+        let probes = [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            7,
+            8,
+            9,
+            15,
+            16,
+            17,
+            1000,
+            4096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(
+                bucket_lo(i) <= v && v <= bucket_hi(i),
+                "value {v} outside bucket {i} = [{}, {}]",
+                bucket_lo(i),
+                bucket_hi(i)
+            );
+        }
+    }
+
+    #[test]
+    fn reachable_bucket_bounds_are_ordered() {
+        // Walk all octave boundaries: for increasing values, the bucket
+        // index never decreases and ranges of distinct buckets never
+        // overlap.
+        let mut last_index = 0usize;
+        let mut last_hi = 0u64;
+        let mut v = 1u64;
+        while v < (1u64 << 40) {
+            let i = bucket_index(v);
+            if i != last_index {
+                assert!(i > last_index);
+                assert!(bucket_lo(i) > last_hi);
+                last_index = i;
+                last_hi = bucket_hi(i);
+            }
+            v = v.saturating_add(1 + v / 16);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let fill = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = fill(&[1, 5, 9, 1000, 0]);
+        let b = fill(&[2, 2, 2, 40_000]);
+        let c = fill(&[u64::MAX, 7, 8]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn quantiles_bound_by_extremes() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 100);
+        assert!(h.quantile(0) >= 10);
+        assert!(h.quantile(50) <= h.quantile(95));
+        assert!(h.quantile(95) <= h.quantile(99));
+        assert!(h.quantile(99) <= 100);
+        assert_eq!(h.quantile(100), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(99), 0);
+        assert!(h.snapshot("x").buckets.is_empty());
+    }
+
+    #[test]
+    fn snapshot_buckets_cover_all_observations() {
+        let mut h = Histogram::new();
+        for v in 0..500u64 {
+            h.record(v * 37);
+        }
+        let s = h.snapshot("t");
+        let total: u64 = s.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 500);
+        for w in s.buckets.windows(2) {
+            assert!(w[0].hi < w[1].lo, "buckets overlap: {w:?}");
+        }
+    }
+}

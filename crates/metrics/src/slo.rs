@@ -1,0 +1,304 @@
+//! Rolling-window SLO tracking with error budgets and multi-window
+//! burn-rate alerts.
+//!
+//! Everything is keyed by the caller's *logical tick*, never wall time:
+//! the tracker consumes `(tick, good, total)` triples and evaluates
+//! burn rates over tick windows, so identical runs produce identical
+//! alert logs (the chaos soak asserts exactly that).
+//!
+//! Burn rate is the standard SRE definition: the window's error rate
+//! divided by the error budget (`1 - target`). A burn of 1.0 means the
+//! budget is being consumed exactly at the rate that exhausts it over
+//! the period; the multi-window rule fires only when both the short
+//! window (fast signal, resets quickly once the fault clears) and the
+//! long window (confirmation, filters one-tick blips) exceed their
+//! thresholds.
+
+use ld_api::stats::count_to_f64;
+use serde::{Deserialize, Serialize};
+
+/// SLO objective plus the alert windows, in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Availability objective in `(0, 1)`, e.g. `0.99`.
+    pub target: f64,
+    /// Fast-signal window length in ticks.
+    pub short_window: u64,
+    /// Confirmation window length in ticks; `>= short_window`.
+    pub long_window: u64,
+    /// Burn-rate threshold for the short window.
+    pub short_burn: f64,
+    /// Burn-rate threshold for the long window.
+    pub long_burn: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            target: 0.99,
+            short_window: 4,
+            long_window: 12,
+            short_burn: 1.0,
+            long_burn: 1.0,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Rejects configurations the burn math cannot support.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.target > 0.0 && self.target < 1.0) {
+            return Err(format!("target must be in (0, 1), got {}", self.target));
+        }
+        if self.short_window == 0 || self.long_window < self.short_window {
+            return Err(format!(
+                "windows must satisfy 1 <= short ({}) <= long ({})",
+                self.short_window, self.long_window
+            ));
+        }
+        if !(self.short_burn.is_finite() && self.long_burn.is_finite()) {
+            return Err("burn thresholds must be finite".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One multi-window burn-rate alert: the tick it fired at and the burn
+/// rates that triggered it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurnAlert {
+    pub tick: u64,
+    pub short_burn: f64,
+    pub long_burn: f64,
+}
+
+/// Point-in-time SLO summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloStatus {
+    pub target: f64,
+    pub good: u64,
+    pub total: u64,
+    /// `good / total`; 1.0 when nothing was recorded.
+    pub availability: f64,
+    /// Fraction of the error budget consumed so far (can exceed 1).
+    pub budget_consumed: f64,
+    /// `max(0, 1 - budget_consumed)`.
+    pub budget_remaining: f64,
+    /// Burn rates over the configured windows as of the last tick.
+    pub short_burn: f64,
+    pub long_burn: f64,
+    /// Number of multi-window alerts fired so far.
+    pub alerts: u64,
+}
+
+/// Accumulates per-tick good/total counts and evaluates the alert rule
+/// after every record.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    /// `(tick, good, total)` in record order; ticks must be non-decreasing.
+    ticks: Vec<(u64, u64, u64)>,
+    alerts: Vec<BurnAlert>,
+    good: u64,
+    total: u64,
+}
+
+impl SloTracker {
+    /// Panics (via the validation error) on a nonsensical config; the
+    /// configs in this workspace are compile-time constants.
+    #[must_use]
+    pub fn new(cfg: SloConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SloConfig: {e}");
+        }
+        Self {
+            cfg,
+            ticks: Vec::new(),
+            alerts: Vec::new(),
+            good: 0,
+            total: 0,
+        }
+    }
+
+    #[must_use]
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Records one tick's outcome counts and evaluates the multi-window
+    /// burn rule at that tick. Returns the alert if one fired.
+    pub fn record(&mut self, tick: u64, good: u64, total: u64) -> Option<BurnAlert> {
+        debug_assert!(good <= total, "good ({good}) exceeds total ({total})");
+        debug_assert!(
+            self.ticks.last().is_none_or(|&(t, _, _)| t <= tick),
+            "ticks must be recorded in order"
+        );
+        self.ticks.push((tick, good.min(total), total));
+        self.good = self.good.saturating_add(good.min(total));
+        self.total = self.total.saturating_add(total);
+
+        let short = self.window_burn(tick, self.cfg.short_window);
+        let long = self.window_burn(tick, self.cfg.long_window);
+        if short >= self.cfg.short_burn && long >= self.cfg.long_burn {
+            let alert = BurnAlert {
+                tick,
+                short_burn: short,
+                long_burn: long,
+            };
+            self.alerts.push(alert);
+            return Some(alert);
+        }
+        None
+    }
+
+    /// Burn rate over the window of ticks `(end - window, end]`. Zero
+    /// when the window holds no traffic.
+    #[must_use]
+    pub fn window_burn(&self, end: u64, window: u64) -> f64 {
+        let start = end.saturating_sub(window - 1);
+        let (mut good, mut total) = (0u64, 0u64);
+        for &(t, g, n) in self.ticks.iter().rev() {
+            if t > end {
+                continue;
+            }
+            if t < start {
+                break;
+            }
+            good = good.saturating_add(g);
+            total = total.saturating_add(n);
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        let error_rate = 1.0 - count_to_f64(good) / count_to_f64(total);
+        error_rate / (1.0 - self.cfg.target)
+    }
+
+    #[must_use]
+    pub fn alerts(&self) -> &[BurnAlert] {
+        &self.alerts
+    }
+
+    #[must_use]
+    pub fn status(&self) -> SloStatus {
+        let availability = if self.total == 0 {
+            1.0
+        } else {
+            count_to_f64(self.good) / count_to_f64(self.total)
+        };
+        let budget_consumed = (1.0 - availability) / (1.0 - self.cfg.target);
+        let last_tick = self.ticks.last().map_or(0, |&(t, _, _)| t);
+        SloStatus {
+            target: self.cfg.target,
+            good: self.good,
+            total: self.total,
+            availability,
+            budget_consumed,
+            budget_remaining: (1.0 - budget_consumed).max(0.0),
+            short_burn: self.window_burn(last_tick, self.cfg.short_window),
+            long_burn: self.window_burn(last_tick, self.cfg.long_window),
+            alerts: self.alerts.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            target: 0.9,
+            short_window: 2,
+            long_window: 4,
+            short_burn: 1.0,
+            long_burn: 1.0,
+        }
+    }
+
+    #[test]
+    fn clean_run_fires_no_alerts_and_keeps_budget() {
+        let mut t = SloTracker::new(cfg());
+        for tick in 0..20 {
+            assert!(t.record(tick, 100, 100).is_none());
+        }
+        let s = t.status();
+        assert_eq!(s.alerts, 0);
+        assert!((s.availability - 1.0).abs() < 1e-12);
+        assert!((s.budget_remaining - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sustained_errors_fire_only_after_both_windows_agree() {
+        let mut t = SloTracker::new(cfg());
+        // 10 clean ticks, then 50% errors (burn 5x against a 10% budget).
+        for tick in 0..10 {
+            assert!(t.record(tick, 10, 10).is_none());
+        }
+        let mut first_alert = None;
+        for tick in 10..14 {
+            if t.record(tick, 5, 10).is_some() && first_alert.is_none() {
+                first_alert = Some(tick);
+            }
+        }
+        // Short window (2 ticks) saturates immediately; the long window
+        // (4 ticks) still averages in clean ticks at tick 10.
+        let fired = first_alert.expect("sustained burn must alert");
+        assert!(fired >= 10, "alert before the fault started");
+        assert!(!t.alerts().is_empty());
+        assert!(t.status().budget_consumed > 0.0);
+    }
+
+    #[test]
+    fn one_tick_blip_does_not_alert() {
+        // Long window of 8 ticks: a single 50%-error tick pushes the
+        // short burn to 2.5 but the long window averages it down to
+        // 0.625, so the multi-window rule filters the blip.
+        let mut t = SloTracker::new(SloConfig {
+            long_window: 8,
+            ..cfg()
+        });
+        for tick in 0..8 {
+            t.record(tick, 10, 10);
+        }
+        assert!(t.record(8, 5, 10).is_none());
+        assert!(t.window_burn(8, 2) >= 1.0, "short window must spike");
+        for tick in 9..16 {
+            assert!(t.record(tick, 10, 10).is_none());
+        }
+        assert!(t.alerts().is_empty());
+    }
+
+    #[test]
+    fn alert_log_is_deterministic() {
+        let run = || {
+            let mut t = SloTracker::new(cfg());
+            for tick in 0..30 {
+                let good = if (10..14).contains(&tick) { 3 } else { 10 };
+                t.record(tick, good, 10);
+            }
+            t.alerts().to_vec()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_windows_burn_zero() {
+        let t = SloTracker::new(cfg());
+        assert_eq!(t.window_burn(5, 2), 0.0);
+        let s = t.status();
+        assert!((s.availability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SloConfig")]
+    fn invalid_target_rejected() {
+        let _ = SloTracker::new(SloConfig {
+            target: 1.5,
+            ..cfg()
+        });
+    }
+}

@@ -32,8 +32,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use ld_api::Predictor;
+use ld_api::{MinMaxScaler, Predictor};
 use ld_baselines::{tree, CloudInsight};
+use ld_metrics::Metrics;
 use ld_bayesopt::{BayesianOptimizer, BoOptions, Dim, HyperOptimizer, ParamValue, SearchSpace};
 use ld_gp::gram;
 use ld_gp::{Kernel, KernelKind};
@@ -42,6 +43,11 @@ use ld_linalg::{solve, Matrix};
 use ld_nn::optim::{Adam, AdamConfig};
 use ld_nn::reference::ReferenceLstmForecaster;
 use ld_nn::{ForecasterConfig, LstmForecaster, Sample, TrainOptions, Trainer};
+use ld_serve::{
+    response_digest, ClientKey, EngineConfig, ExecMode, LifecycleConfig, ModelSnapshot,
+    RegistryConfig, Request, ServeEngine, SnapshotStore,
+};
+use ld_telemetry::Tracer;
 use serde::Value;
 
 /// Bump when the shape of `BENCH_perf.json` changes.
@@ -583,6 +589,111 @@ fn bench_bo_surrogate_gram(cfg: &Cfg) -> KernelResult {
     }
 }
 
+fn bench_metrics_overhead(cfg: &Cfg) -> KernelResult {
+    // Cost of the ld-metrics plane on the serving hot path. "Before" runs
+    // a batched multi-tenant tick loop with the engine's metrics plane ON
+    // (sharded counters plus log-linear histograms updated per request),
+    // "after" runs the identical schedule with the plane OFF. The plane is
+    // a pure observer, so before anything is timed both engines replay one
+    // full schedule and their response streams must agree bitwise (digest
+    // equality); the timed ratio is then exactly the bookkeeping overhead,
+    // which the `--compare` gate keeps bounded.
+    let (tenant_count, ticks) = if cfg.smoke { (8, 12) } else { (24, 40) };
+    let hist = 8;
+    let model = LstmForecaster::new(ForecasterConfig {
+        history_len: hist,
+        hidden_size: 8,
+        num_layers: 1,
+        seed: 21,
+    });
+    // Per-tenant phase-shifted workload streams (warmup + one value per tick).
+    let streams: Vec<Vec<f64>> = (0..tenant_count)
+        .map(|t| {
+            (0..hist + ticks)
+                .map(|i| 40.0 + 20.0 * ((i + 3 * t) as f64 * 0.21).sin() + (t % 5) as f64)
+                .collect()
+        })
+        .collect();
+    let keys: Vec<ClientKey> = (0..tenant_count)
+        .map(|t| ClientKey::new(format!("tenant-{t:03}"), "bench"))
+        .collect();
+    let build_engine = |phase: &str, metrics: Metrics| -> ServeEngine {
+        let store = SnapshotStore::open(format!("target/ld-perfbench-store/{phase}"))
+            .expect("open snapshot store");
+        store.clear().expect("clear snapshot store");
+        let mut engine = ServeEngine::new(
+            EngineConfig {
+                mode: ExecMode::Batched,
+                queue_capacity: tenant_count * 2,
+                registry: RegistryConfig {
+                    shard_count: 16,
+                    capacity_per_shard: 4,
+                },
+                lifecycle: LifecycleConfig::default(),
+            },
+            store,
+            Tracer::disabled(),
+        )
+        .with_metrics(metrics);
+        for (t, key) in keys.iter().enumerate() {
+            let scaler = MinMaxScaler::fit(&streams[t]);
+            engine.provision(key.clone(), ModelSnapshot::new(model.clone(), scaler, hist));
+        }
+        engine
+    };
+    let mut engine_on = build_engine("metrics-on", Metrics::enabled());
+    let mut engine_off = build_engine("metrics-off", Metrics::disabled());
+    let run_round = |engine: &mut ServeEngine| {
+        let mut responses = Vec::with_capacity(tenant_count * ticks);
+        for tick in 0..ticks {
+            for (t, key) in keys.iter().enumerate() {
+                let window = streams[t][tick..tick + hist].to_vec();
+                let req = Request::new((tick * tenant_count + t) as u64, key.clone(), window);
+                engine.submit(req).expect("overhead pass must not shed");
+            }
+            responses.extend(engine.tick());
+        }
+        responses
+    };
+    // Pure-observer gate: identical schedule, bitwise-identical answers.
+    let on = run_round(&mut engine_on);
+    let off = run_round(&mut engine_off);
+    assert_eq!(
+        response_digest(&on),
+        response_digest(&off),
+        "metrics-overhead: metrics plane changed the response stream"
+    );
+    assert!(
+        engine_on.metrics().snapshot().observations() > 0,
+        "metrics-overhead: the ON leg recorded no observations"
+    );
+    assert!(
+        !engine_off.metrics().is_enabled(),
+        "metrics-overhead: the OFF leg has a live metrics plane"
+    );
+    // Both engines keep replaying the same schedule, so cache/lifecycle
+    // state evolves identically on the two legs round by round.
+    let rounds = if cfg.smoke { 3 } else { 7 };
+    let (before, after) = interleaved_medians(
+        rounds,
+        || {
+            black_box(run_round(&mut engine_on));
+        },
+        || {
+            black_box(run_round(&mut engine_off));
+        },
+    );
+    let per_tick = ticks as f64;
+    KernelResult {
+        name: "metrics-overhead",
+        params: format!(
+            "tenants={tenant_count} ticks={ticks} batched engine (before=metrics on, after=off; per tick)"
+        ),
+        before_median_secs: before / per_tick,
+        after_median_secs: after / per_tick,
+    }
+}
+
 fn bench_cloudinsight_window(cfg: &Cfg) -> KernelResult {
     let (len, fit_to) = if cfg.smoke { (70, 50) } else { (220, 160) };
     let data: Vec<f64> = (0..len)
@@ -849,6 +960,7 @@ fn main() {
     results.push(bench_fused_gate_step(&cfg));
     results.push(bench_bo_surrogate_gram(&cfg));
     results.push(bench_cloudinsight_window(&cfg));
+    results.push(bench_metrics_overhead(&cfg));
 
     println!(
         "{:<22} {:>14} {:>14} {:>9}",

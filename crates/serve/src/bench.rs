@@ -2,10 +2,12 @@
 //! in a schema every downstream consumer (CI, plots, regression gates) can
 //! rely on.
 
+use ld_metrics::HistogramBucket;
 use serde::Value;
 
 /// Bump when the shape of `BENCH_serve.json` changes.
-pub const SERVE_SCHEMA_VERSION: u64 = 1;
+/// v2: adds `p95_tick_ns`, the `slo_*` block, and `latency_histogram`.
+pub const SERVE_SCHEMA_VERSION: u64 = 2;
 
 /// Everything a loadgen run measures.
 #[derive(Debug, Clone)]
@@ -24,6 +26,8 @@ pub struct ServeBenchReport {
     pub requests: u64,
     /// Median per-tick latency of the batched pass, nanoseconds.
     pub p50_tick_ns: u64,
+    /// 95th-percentile per-tick latency of the batched pass, nanoseconds.
+    pub p95_tick_ns: u64,
     /// 99th-percentile per-tick latency of the batched pass, nanoseconds.
     pub p99_tick_ns: u64,
     /// Batched-pass throughput, requests per second.
@@ -40,6 +44,17 @@ pub struct ServeBenchReport {
     pub cache_hit_rate: f64,
     /// FNV-1a digest over the batched pass's response stream.
     pub response_digest: u64,
+    /// Availability objective the batched pass was scored against.
+    pub slo_target: f64,
+    /// Measured availability (non-degraded fraction) of the batched pass.
+    pub slo_availability: f64,
+    /// Error budget remaining after the pass, `[0, 1]`.
+    pub slo_budget_remaining: f64,
+    /// Multi-window burn-rate alerts fired during the batched pass.
+    pub slo_alerts: u64,
+    /// Non-empty log-linear buckets of the per-tick latency histogram
+    /// (nanoseconds); counts sum to `ticks`.
+    pub latency_histogram: Vec<HistogramBucket>,
 }
 
 impl ServeBenchReport {
@@ -54,6 +69,7 @@ impl ServeBenchReport {
             ("families".to_string(), Value::Uint(self.families)),
             ("requests".to_string(), Value::Uint(self.requests)),
             ("p50_tick_ns".to_string(), Value::Uint(self.p50_tick_ns)),
+            ("p95_tick_ns".to_string(), Value::Uint(self.p95_tick_ns)),
             ("p99_tick_ns".to_string(), Value::Uint(self.p99_tick_ns)),
             ("throughput_rps".to_string(), Value::Float(self.throughput_rps)),
             ("serial_secs".to_string(), Value::Float(self.serial_secs)),
@@ -67,6 +83,31 @@ impl ServeBenchReport {
             (
                 "response_digest".to_string(),
                 Value::String(format!("{:016x}", self.response_digest)),
+            ),
+            ("slo_target".to_string(), Value::Float(self.slo_target)),
+            (
+                "slo_availability".to_string(),
+                Value::Float(self.slo_availability),
+            ),
+            (
+                "slo_budget_remaining".to_string(),
+                Value::Float(self.slo_budget_remaining),
+            ),
+            ("slo_alerts".to_string(), Value::Uint(self.slo_alerts)),
+            (
+                "latency_histogram".to_string(),
+                Value::Array(
+                    self.latency_histogram
+                        .iter()
+                        .map(|b| {
+                            Value::Object(vec![
+                                ("lo_ns".to_string(), Value::Uint(b.lo)),
+                                ("hi_ns".to_string(), Value::Uint(b.hi)),
+                                ("count".to_string(), Value::Uint(b.count)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -94,7 +135,17 @@ pub fn validate_document(text: &str) -> Result<(), String> {
     if mode != "smoke" && mode != "full" {
         return Err(format!("mode must be smoke|full, got {mode:?}"));
     }
-    for key in ["seed", "tenants", "ticks", "families", "requests", "p50_tick_ns", "p99_tick_ns"] {
+    for key in [
+        "seed",
+        "tenants",
+        "ticks",
+        "families",
+        "requests",
+        "p50_tick_ns",
+        "p95_tick_ns",
+        "p99_tick_ns",
+        "slo_alerts",
+    ] {
         doc.field(key)
             .ok()
             .and_then(Value::as_u64)
@@ -105,9 +156,12 @@ pub fn validate_document(text: &str) -> Result<(), String> {
         return Err(format!("families must be 5 (Table I), got {families}"));
     }
     let p50 = doc.field("p50_tick_ns").ok().and_then(Value::as_u64).unwrap_or(0);
+    let p95 = doc.field("p95_tick_ns").ok().and_then(Value::as_u64).unwrap_or(0);
     let p99 = doc.field("p99_tick_ns").ok().and_then(Value::as_u64).unwrap_or(0);
-    if p99 < p50 {
-        return Err(format!("p99_tick_ns {p99} < p50_tick_ns {p50}"));
+    if !(p50 <= p95 && p95 <= p99) {
+        return Err(format!(
+            "latency percentiles must be ordered: p50 {p50} <= p95 {p95} <= p99 {p99}"
+        ));
     }
     for key in ["throughput_rps", "serial_secs", "batched_secs", "speedup_batched_vs_serial"] {
         let v = doc
@@ -136,6 +190,65 @@ pub fn validate_document(text: &str) -> Result<(), String> {
         .ok_or("response_digest missing")?;
     if digest.len() != 16 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
         return Err(format!("response_digest must be 16 hex chars, got {digest:?}"));
+    }
+    let slo_target = doc
+        .field("slo_target")
+        .ok()
+        .and_then(Value::as_f64)
+        .ok_or("slo_target missing or not a number")?;
+    if !(slo_target > 0.0 && slo_target < 1.0) {
+        return Err(format!("slo_target must be in (0, 1), got {slo_target}"));
+    }
+    for key in ["slo_availability", "slo_budget_remaining"] {
+        let v = doc
+            .field(key)
+            .ok()
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{key} missing or not a number"))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{key} must be in [0, 1], got {v}"));
+        }
+    }
+    let ticks = doc.field("ticks").ok().and_then(Value::as_u64).unwrap_or(0);
+    let buckets = doc
+        .field("latency_histogram")
+        .ok()
+        .and_then(Value::as_array)
+        .ok_or("latency_histogram missing or not an array")?;
+    if buckets.is_empty() {
+        return Err("latency_histogram must not be empty".into());
+    }
+    let mut prev_hi: Option<u64> = None;
+    let mut total: u64 = 0;
+    for (i, bucket) in buckets.iter().enumerate() {
+        let get = |key: &str| {
+            bucket
+                .field(key)
+                .ok()
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("latency_histogram[{i}].{key} missing or not an integer"))
+        };
+        let (lo, hi, count) = (get("lo_ns")?, get("hi_ns")?, get("count")?);
+        if lo > hi {
+            return Err(format!("latency_histogram[{i}]: lo_ns {lo} > hi_ns {hi}"));
+        }
+        if count == 0 {
+            return Err(format!("latency_histogram[{i}]: empty buckets must be omitted"));
+        }
+        if let Some(p) = prev_hi {
+            if lo <= p {
+                return Err(format!(
+                    "latency_histogram[{i}]: buckets must be disjoint and ascending (lo_ns {lo} <= previous hi_ns {p})"
+                ));
+            }
+        }
+        prev_hi = Some(hi);
+        total = total.saturating_add(count);
+    }
+    if total != ticks {
+        return Err(format!(
+            "latency_histogram counts sum to {total}, expected ticks {ticks}"
+        ));
     }
     Ok(())
 }
@@ -361,17 +474,14 @@ pub fn validate_resilience_document(text: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Integer percentile over raw nanosecond samples: index
-/// `ceil(p/100 * n) - 1` of the sorted samples (nearest-rank method,
-/// integer math only — no float-derived casts).
+/// Integer percentile over raw nanosecond samples: sorts, then takes the
+/// nearest-rank element via the shared [`ld_api::stats`] helper (integer
+/// math only — no float-derived casts).
 pub fn percentile_ns(samples: &mut [u64], p: u64) -> u64 {
     assert!(!samples.is_empty(), "percentile of no samples");
-    assert!((1..=100).contains(&p), "percentile must be in 1..=100");
+    assert!(p <= 100, "percentile must be in 0..=100");
     samples.sort_unstable();
-    let n = samples.len() as u64;
-    let rank = (p * n).div_ceil(100).max(1);
-    // ld-lint: allow(panic-path, "rank is in [1, n] by the asserts, so rank - 1 indexes in bounds")
-    samples[usize::try_from(rank - 1).expect("rank fits usize")]
+    ld_api::stats::percentile_sorted_u64(samples, p)
 }
 
 #[cfg(test)]
@@ -387,6 +497,7 @@ mod tests {
             families: 5,
             requests: 144,
             p50_tick_ns: 1_000,
+            p95_tick_ns: 1_500,
             p99_tick_ns: 2_000,
             throughput_rps: 1e5,
             serial_secs: 2.0,
@@ -395,6 +506,14 @@ mod tests {
             shed_rate: 0.25,
             cache_hit_rate: 0.5,
             response_digest: 0xdead_beef_0123_4567,
+            slo_target: 0.99,
+            slo_availability: 1.0,
+            slo_budget_remaining: 1.0,
+            slo_alerts: 0,
+            latency_histogram: vec![
+                HistogramBucket { lo: 896, hi: 1023, count: 4 },
+                HistogramBucket { lo: 1792, hi: 2047, count: 2 },
+            ],
         }
     }
 
@@ -422,11 +541,35 @@ mod tests {
         let inverted = text_with(
             |r| {
                 r.p50_tick_ns = 10;
+                r.p95_tick_ns = 7;
                 r.p99_tick_ns = 5;
             },
             |t| t,
         );
-        assert!(validate_document(&inverted).unwrap_err().contains("p99"));
+        assert!(validate_document(&inverted).unwrap_err().contains("ordered"));
+
+        let bad_target = text_with(|r| r.slo_target = 1.0, |t| t);
+        assert!(validate_document(&bad_target).unwrap_err().contains("slo_target"));
+
+        let bad_budget = text_with(|r| r.slo_budget_remaining = -0.1, |t| t);
+        assert!(validate_document(&bad_budget)
+            .unwrap_err()
+            .contains("slo_budget_remaining"));
+
+        let no_buckets = text_with(|r| r.latency_histogram.clear(), |t| t);
+        assert!(validate_document(&no_buckets)
+            .unwrap_err()
+            .contains("latency_histogram"));
+
+        let short_histogram = text_with(|r| r.latency_histogram[0].count = 3, |t| t);
+        assert!(validate_document(&short_histogram)
+            .unwrap_err()
+            .contains("counts sum"));
+
+        let overlapping = text_with(|r| r.latency_histogram[1].lo = 900, |t| t);
+        assert!(validate_document(&overlapping)
+            .unwrap_err()
+            .contains("disjoint"));
     }
 
     fn text_with(tweak: impl FnOnce(&mut ServeBenchReport), post: impl FnOnce(String) -> String) -> String {
@@ -501,10 +644,14 @@ mod tests {
     fn percentile_is_nearest_rank_integer_math() {
         let mut s: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile_ns(&mut s.clone(), 50), 50);
+        assert_eq!(percentile_ns(&mut s.clone(), 95), 95);
         assert_eq!(percentile_ns(&mut s.clone(), 99), 99);
         assert_eq!(percentile_ns(&mut s.clone(), 100), 100);
         assert_eq!(percentile_ns(&mut s, 1), 1);
         let mut tiny = vec![7u64];
         assert_eq!(percentile_ns(&mut tiny, 99), 7);
+        // p = 0 clamps to the minimum sample (shared-helper convention).
+        let mut pair = vec![9u64, 3];
+        assert_eq!(percentile_ns(&mut pair, 0), 3);
     }
 }

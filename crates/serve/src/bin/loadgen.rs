@@ -46,6 +46,7 @@ use std::time::Instant;
 
 use ld_api::MinMaxScaler;
 use ld_faultinject::chaos::ChaosSchedule;
+use ld_metrics::{Metrics, SloConfig, SloTracker, SpanProfile};
 use ld_nn::{
     make_windows, Adam, AdamConfig, ForecasterConfig, LstmForecaster, TrainOptions, Trainer,
 };
@@ -68,13 +69,42 @@ const BURST_BASE: u64 = 1 << 40;
 struct Cfg {
     smoke: bool,
     chaos: bool,
+    top: bool,
     tenants: usize,
     ticks: usize,
     seed: u64,
     chaos_seed: u64,
     out: Option<String>,
+    metrics_out: Option<String>,
     store_root: PathBuf,
 }
+
+/// Availability objective the batched throughput pass is scored against.
+const THROUGHPUT_SLO: SloConfig = SloConfig {
+    target: 0.99,
+    short_window: 4,
+    long_window: 12,
+    short_burn: 1.0,
+    long_burn: 1.0,
+};
+
+/// The chaos soak's objective: looser target (faults are scheduled), same
+/// multi-window alert rule.
+const CHAOS_SLO: SloConfig = SloConfig {
+    target: 0.98,
+    short_window: 4,
+    long_window: 12,
+    short_burn: 1.0,
+    long_burn: 1.0,
+};
+
+/// Ticks past a chaos event's end during which a burn-rate alert is still
+/// attributed to that event: the short window keeps burning for
+/// `short_window` (4) ticks after the last bad answer, and the machinery
+/// keeps producing degraded answers for up to breaker cooldown (4) +
+/// retry backoff (~4) + supervisor drain/recovery (~4) ticks after the
+/// fault itself clears.
+const ALERT_GRACE_TICKS: u64 = 16;
 
 /// One tenant: key, its jittered series, and its fitted scaler.
 struct Tenant {
@@ -87,6 +117,7 @@ struct Tenant {
 fn parse_args() -> Result<Cfg, i32> {
     let mut smoke = false;
     let mut chaos = false;
+    let mut top = false;
     let mut tenants: Option<usize> = None;
     let mut ticks: Option<usize> = None;
     let mut seed = 42u64;
@@ -102,6 +133,7 @@ fn parse_args() -> Result<Cfg, i32> {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--chaos" => chaos = true,
+            "--top" => top = true,
             "--tenants" => tenants = Some(take("--tenants").parse().expect("--tenants: integer")),
             "--ticks" => ticks = Some(take("--ticks").parse().expect("--ticks: integer")),
             "--seed" => seed = take("--seed").parse().expect("--seed: integer"),
@@ -124,15 +156,18 @@ fn parse_args() -> Result<Cfg, i32> {
             }
             "--help" | "-h" => {
                 println!(
-                    "ld-loadgen [--smoke] [--chaos] [--tenants N] [--ticks N] [--seed S] \
+                    "ld-loadgen [--smoke] [--chaos] [--top] [--tenants N] [--ticks N] [--seed S] \
                      [--chaos-seed S] [--out PATH] [--store DIR] [--check BENCH_serve.json] \
                      [--check-resilience BENCH_resilience.json]\n\
                      full mode replays all five trace families at N tenants and writes \
                      BENCH_serve.json;\n--chaos runs the resilience soak (baseline + two \
                      identically-seeded chaos passes) and writes BENCH_resilience.json;\n\
-                     --smoke runs tiny counts with every check and writes nothing unless \
-                     --out is given;\n--check / --check-resilience validate an existing \
-                     document against its schema (exit 2 on violation)"
+                     --top prints periodic ld-top interval summaries during the batched \
+                     pass;\n--smoke runs tiny counts with every check and writes nothing \
+                     unless --out is given;\n--check / --check-resilience validate an \
+                     existing document against its schema (exit 2 on violation);\n\
+                     LD_METRICS=1|PATH dumps the metrics snapshot (JSON + <path>.prom \
+                     exposition, default metrics.json)"
                 );
                 return Err(0);
             }
@@ -156,9 +191,17 @@ fn parse_args() -> Result<Cfg, i32> {
         .ok()
         .and_then(|s| s.trim().parse().ok());
     let default_out = if chaos { "BENCH_resilience.json" } else { "BENCH_serve.json" };
+    // Opt-in metrics dump mirroring LD_TELEMETRY / LD_TRACE: "1" means the
+    // default path, anything else is the path.
+    // ld-lint: allow(determinism, "pure-observer metrics dump knob; captured in the run manifest")
+    let metrics_out = std::env::var("LD_METRICS")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(|v| if v == "1" { "metrics.json".to_string() } else { v });
     Ok(Cfg {
         smoke,
         chaos,
+        top,
         tenants: tenants.unwrap_or(default_tenants),
         ticks: ticks.unwrap_or(default_ticks),
         seed,
@@ -166,8 +209,24 @@ fn parse_args() -> Result<Cfg, i32> {
             .or(env_chaos_seed)
             .unwrap_or(seed ^ 0xCA05_CA05_CA05_CA05),
         out: out.or_else(|| (!smoke).then(|| default_out.to_string())),
+        metrics_out,
         store_root,
     })
+}
+
+/// Writes the full metrics snapshot as schema-checked JSON at `path` and
+/// the Prometheus text exposition at `<path>.prom`, both validated first:
+/// the bench must never publish a snapshot its own validators reject.
+fn dump_metrics_files(metrics: &Metrics, path: &str) {
+    let snapshot = metrics.snapshot();
+    let json = ld_metrics::to_metrics_json(&snapshot);
+    ld_metrics::validate_metrics_json(&json).expect("metrics snapshot must validate");
+    std::fs::write(path, json + "\n").expect("write metrics json");
+    let exposition = ld_metrics::to_prometheus(&snapshot);
+    ld_metrics::validate_exposition(&exposition).expect("metrics exposition must validate");
+    let prom = format!("{path}.prom");
+    std::fs::write(&prom, exposition).expect("write metrics exposition");
+    println!("wrote {path} and {prom}");
 }
 
 /// Shared `--check*` handler: validate `path` with `validate`, report, and
@@ -339,12 +398,19 @@ struct PassResult {
     tick_ns: Vec<u64>,
 }
 
-/// Runs the full schedule through one engine, timing each tick.
+/// Runs the full schedule through one engine, timing each tick. When the
+/// engine's metrics plane is on, each tick's wall latency lands in the
+/// `loadgen.tick_ns` histogram (a `_ns` series, so it never enters the
+/// byte-compared deterministic projection). `slo` scores each tick
+/// (good = non-degraded answers); `top_every > 0` prints an ld-top
+/// interval summary every that-many ticks.
 fn run_pass(
     engine: &mut ServeEngine,
     tenants: &[Tenant],
     ticks: usize,
     history_len: usize,
+    mut slo: Option<&mut SloTracker>,
+    top_every: usize,
 ) -> PassResult {
     let mut responses = Vec::with_capacity(tenants.len() * ticks);
     let mut tick_ns = Vec::with_capacity(ticks);
@@ -355,8 +421,28 @@ fn run_pass(
         for req in reqs {
             engine.submit(req).expect("throughput pass must not shed");
         }
-        responses.extend(engine.tick());
-        tick_ns.push(u64::try_from(tk.elapsed().as_nanos()).expect("tick ns fits u64"));
+        let answered = engine.tick();
+        let ns = u64::try_from(tk.elapsed().as_nanos()).expect("tick ns fits u64");
+        engine.metrics().observe("loadgen.tick_ns", ns);
+        if let Some(slo) = slo.as_deref_mut() {
+            let good = answered.iter().filter(|r| !r.degraded).count() as u64;
+            slo.record(tick as u64, good, answered.len() as u64);
+        }
+        responses.extend(answered);
+        tick_ns.push(ns);
+        if top_every > 0 && (tick + 1) % top_every == 0 {
+            let mut window = tick_ns[tick + 1 - top_every..].to_vec();
+            let p50 = percentile_ns(&mut window, 50);
+            let p95 = percentile_ns(&mut window, 95);
+            let avail = slo.as_deref().map_or(1.0, |s| s.status().availability);
+            println!(
+                "[ld-top] tick {:>5}/{ticks}: interval p50 {}us p95 {}us, {} responses total, availability {avail:.4}",
+                tick + 1,
+                p50 / 1000,
+                p95 / 1000,
+                responses.len()
+            );
+        }
     }
     // Service time is the sum of per-tick (submit + tick) windows: the
     // wall span additionally counts the generator re-building request
@@ -415,17 +501,30 @@ fn main() {
         Tracer::disabled(),
     );
     provision_all(&mut serial_engine, &tenants, &families);
-    let serial = run_pass(&mut serial_engine, &tenants, cfg.ticks, history_len);
+    let serial = run_pass(&mut serial_engine, &tenants, cfg.ticks, history_len, None, 0);
 
+    // The batched pass always runs with the metrics plane on: metrics are
+    // pure observers, so its response digest must still match the committed
+    // document — which is exactly the regression this arrangement guards.
     let mut batched_engine = engine_for(
         ExecMode::Batched,
         cfg.tenants.max(1),
         per_shard_full,
         open_store(&cfg.store_root, "batched"),
         Tracer::disabled(),
-    );
+    )
+    .with_metrics(Metrics::enabled());
     provision_all(&mut batched_engine, &tenants, &families);
-    let batched = run_pass(&mut batched_engine, &tenants, cfg.ticks, history_len);
+    let mut slo = SloTracker::new(THROUGHPUT_SLO);
+    let top_every = if cfg.top { (cfg.ticks / 6).max(1) } else { 0 };
+    let batched = run_pass(
+        &mut batched_engine,
+        &tenants,
+        cfg.ticks,
+        history_len,
+        Some(&mut slo),
+        top_every,
+    );
 
     // Equivalence gate before any timing is trusted.
     assert_eq!(serial.responses.len(), batched.responses.len());
@@ -455,21 +554,31 @@ fn main() {
     );
 
     // Phase 3: bitwise determinism + identical span trees on traced reruns.
+    // Both runs record metrics; a third runs metrics-off. The gates: the
+    // two metrics-on runs must agree byte-for-byte on the deterministic
+    // metrics projection, and the metrics-off run must produce the same
+    // response digest (metrics are pure observers).
     let det_tenants = &tenants[..cfg.tenants.min(64)];
     let det_ticks = cfg.ticks.min(6);
     let mut det_snapshots = Vec::new();
     let mut det_results = Vec::new();
-    for run in 0..2 {
+    let mut det_metrics_json = Vec::new();
+    for run in 0..3 {
+        let metrics = if run < 2 { Metrics::enabled() } else { Metrics::disabled() };
         let mut engine = engine_for(
             ExecMode::Batched,
             det_tenants.len(),
             det_tenants.len().max(1),
             open_store(&cfg.store_root, &format!("determinism-{run}")),
             Tracer::enabled(),
-        );
+        )
+        .with_metrics(metrics);
         provision_all(&mut engine, det_tenants, &families);
-        let pass = run_pass(&mut engine, det_tenants, det_ticks, history_len);
+        let pass = run_pass(&mut engine, det_tenants, det_ticks, history_len, None, 0);
         det_snapshots.push(engine.tracer().snapshot());
+        det_metrics_json.push(ld_metrics::to_metrics_json(
+            &engine.metrics().snapshot().deterministic(),
+        ));
         det_results.push(pass.responses);
     }
     let digest = response_digest(&det_results[0]);
@@ -482,6 +591,15 @@ fn main() {
         assert_eq!(a.value.to_bits(), b.value.to_bits());
     }
     assert_eq!(
+        det_metrics_json[0], det_metrics_json[1],
+        "identically-seeded runs must produce byte-identical metrics snapshots"
+    );
+    assert_eq!(
+        digest,
+        response_digest(&det_results[2]),
+        "metrics-off run must be bitwise identical to metrics-on (pure observer)"
+    );
+    assert_eq!(
         det_snapshots[0].logical_paths(),
         det_snapshots[1].logical_paths(),
         "identically-seeded runs must produce identical span trees"
@@ -489,7 +607,8 @@ fn main() {
     let spans =
         validate_chrome_trace(&det_snapshots[0].to_chrome_trace()).expect("chrome trace valid");
     println!(
-        "determinism: digest {digest:016x} stable across reruns, {spans} trace events validated"
+        "determinism: digest {digest:016x} stable across reruns (and across metrics on/off), \
+         {spans} trace events validated, metrics snapshots byte-identical"
     );
 
     // The committed digest comes from the batched throughput pass.
@@ -592,8 +711,16 @@ fn main() {
     // Assemble, validate, and (full mode) write the document.
     let mut tick_ns = batched.tick_ns.clone();
     let p50 = percentile_ns(&mut tick_ns, 50);
+    let p95 = percentile_ns(&mut tick_ns, 95);
     let p99 = percentile_ns(&mut tick_ns, 99);
     let requests = batched.responses.len() as u64;
+    let metrics_snapshot = batched_engine.metrics().snapshot();
+    let latency_histogram = metrics_snapshot
+        .histogram("loadgen.tick_ns")
+        .expect("batched pass records per-tick latency")
+        .buckets
+        .clone();
+    let slo_status = slo.status();
     let report = ServeBenchReport {
         mode: if cfg.smoke { "smoke" } else { "full" }.to_string(),
         seed: cfg.seed,
@@ -602,6 +729,7 @@ fn main() {
         families: WorkloadKind::ALL.len() as u64,
         requests,
         p50_tick_ns: p50,
+        p95_tick_ns: p95,
         p99_tick_ns: p99,
         throughput_rps: fraction_scaled(requests, batched.elapsed_secs),
         serial_secs: serial.elapsed_secs,
@@ -610,6 +738,11 @@ fn main() {
         shed_rate,
         cache_hit_rate,
         response_digest: bench_digest,
+        slo_target: slo_status.target,
+        slo_availability: slo_status.availability,
+        slo_budget_remaining: slo_status.budget_remaining,
+        slo_alerts: slo_status.alerts,
+        latency_histogram,
     };
     let text = serde_json::to_string_pretty(&report.to_document()).expect("serialize document");
     validate_document(&text).expect("generated document must validate");
@@ -620,12 +753,16 @@ fn main() {
         report.throughput_rps,
         speedup
     );
+    print_top_report(&batched.tick_ns, &slo_status, Some(&det_snapshots[0]));
+    if let Some(path) = &cfg.metrics_out {
+        dump_metrics_files(batched_engine.metrics(), path);
+    }
 
     match &cfg.out {
         Some(path) => {
             std::fs::write(path, text + "\n").expect("write BENCH_serve document");
             println!("wrote {path}");
-            let manifest = RunManifest::new("ld-loadgen")
+            let mut manifest = RunManifest::new("ld-loadgen")
                 .seed(cfg.seed)
                 .capture_env()
                 .config("mode", if cfg.smoke { "smoke" } else { "full" })
@@ -634,12 +771,59 @@ fn main() {
                 .config("families", WorkloadKind::ALL.len())
                 .config("history_len", history_len)
                 .output("bench", path)
-                .with_trace_summary(&det_snapshots[0]);
+                .with_trace_summary(&det_snapshots[0])
+                .with_metrics_summary(metrics_snapshot.series(), metrics_snapshot.observations());
+            if let Some(mpath) = &cfg.metrics_out {
+                manifest = manifest
+                    .output("metrics", mpath)
+                    .output("metrics_exposition", format!("{mpath}.prom"));
+            }
             let manifest_path = format!("{path}.manifest.json");
             manifest.write_json(&manifest_path).expect("write manifest");
             println!("wrote {manifest_path}");
         }
         None => println!("smoke mode: all serving invariants checked, nothing written"),
+    }
+}
+
+/// The ld-top closing report: latency percentiles, the SLO / error-budget
+/// line, and (when a trace is available) the hottest spans by self time.
+fn print_top_report(
+    tick_ns: &[u64],
+    slo: &ld_metrics::SloStatus,
+    trace: Option<&ld_telemetry::TraceSnapshot>,
+) {
+    let mut sorted = tick_ns.to_vec();
+    let (p50, p95, p99) = (
+        percentile_ns(&mut sorted, 50),
+        percentile_ns(&mut sorted, 95),
+        percentile_ns(&mut sorted, 99),
+    );
+    println!(
+        "[ld-top] latency: p50 {}us p95 {}us p99 {}us over {} ticks",
+        p50 / 1000,
+        p95 / 1000,
+        p99 / 1000,
+        tick_ns.len()
+    );
+    println!(
+        "[ld-top] slo: target {:.3}, availability {:.4} ({}/{} good), \
+         budget remaining {:.1}%, burn short {:.2} long {:.2}, {} alerts",
+        slo.target,
+        slo.availability,
+        slo.good,
+        slo.total,
+        100.0 * slo.budget_remaining,
+        slo.short_burn,
+        slo.long_burn,
+        slo.alerts
+    );
+    if let Some(trace) = trace {
+        let profile = SpanProfile::from_trace(trace);
+        if !profile.entries().is_empty() {
+            println!("[ld-top] hottest spans by self time:");
+            print!("{}", profile.render(5));
+        }
     }
 }
 
@@ -653,6 +837,14 @@ struct ChaosPass {
     quarantined: u64,
     stats: ServeStats,
     trace: ld_telemetry::TraceSnapshot,
+    /// Tick-scored SLO: good = non-degraded answers; degraded answers and
+    /// sheds count against the budget.
+    slo: SloTracker,
+    /// Deterministic (wall-clock-free) metrics projection, serialized —
+    /// identically-seeded passes must agree on it byte-for-byte.
+    metrics_json: String,
+    /// Full metrics handle for the optional LD_METRICS dump.
+    metrics: Metrics,
 }
 
 /// Replays the scheduled load through one engine; with a schedule, drives
@@ -695,7 +887,8 @@ fn run_chaos_pass(
         },
         open_store(&cfg.store_root, phase),
         tracer,
-    );
+    )
+    .with_metrics(Metrics::enabled());
     provision_all(&mut engine, tenants, families);
 
     let mut pass = ChaosPass {
@@ -706,6 +899,9 @@ fn run_chaos_pass(
         quarantined: 0,
         stats: ServeStats::default(),
         trace: ld_telemetry::TraceSnapshot::default(),
+        slo: SloTracker::new(CHAOS_SLO),
+        metrics_json: String::new(),
+        metrics: Metrics::disabled(),
     };
     let offer = |engine: &mut ServeEngine, req: Request, issued: &mut u64, shed: &mut u64| {
         *issued += 1;
@@ -725,6 +921,7 @@ fn run_chaos_pass(
             }
             engine.set_shard_delays(&s.slow_shards_at(t));
         }
+        let shed_before = pass.shed;
         // ld-lint: allow(determinism, "per-tick latency measurement; answers do not depend on it")
         let tk = Instant::now();
         for req in requests_at(tenants, tick, history_len) {
@@ -746,9 +943,14 @@ fn run_chaos_pass(
                 offer(&mut engine, req, &mut pass.issued, &mut pass.shed);
             }
         }
-        pass.responses.extend(engine.tick());
-        pass.tick_ns
-            .push(u64::try_from(tk.elapsed().as_nanos()).expect("tick ns fits u64"));
+        let answered = engine.tick();
+        let ns = u64::try_from(tk.elapsed().as_nanos()).expect("tick ns fits u64");
+        engine.metrics().observe("loadgen.tick_ns", ns);
+        let good = answered.iter().filter(|r| !r.degraded).count() as u64;
+        let bad_shed = pass.shed - shed_before;
+        pass.slo.record(t, good, answered.len() as u64 + bad_shed);
+        pass.responses.extend(answered);
+        pass.tick_ns.push(ns);
         if let Some(s) = schedule {
             if s.crash_window_ends_at(t) {
                 // A crash window just closed: run the startup-style
@@ -765,7 +967,7 @@ fn run_chaos_pass(
     // queue here is a hang, which is exactly what the bound catches.
     ld_faultinject::reset();
     engine.set_shard_delays(&[]);
-    let mut settle = 0;
+    let mut settle = 0u64;
     while engine.pending_work() > 0 {
         settle += 1;
         assert!(
@@ -773,13 +975,19 @@ fn run_chaos_pass(
             "chaos soak failed to settle: {} requests still pending",
             engine.pending_work()
         );
-        pass.responses.extend(engine.tick());
+        let answered = engine.tick();
+        let good = answered.iter().filter(|r| !r.degraded).count() as u64;
+        pass.slo
+            .record(cfg.ticks as u64 + settle - 1, good, answered.len() as u64);
+        pass.responses.extend(answered);
     }
     let report = engine.recover_store().expect("final store recovery");
     pass.quarantined += (report.quarantined_torn + report.quarantined_corrupt) as u64;
 
     pass.stats = engine.stats();
     pass.trace = engine.tracer().snapshot();
+    pass.metrics_json = ld_metrics::to_metrics_json(&engine.metrics().snapshot().deterministic());
+    pass.metrics = engine.metrics().clone();
     pass
 }
 
@@ -813,6 +1021,11 @@ fn run_chaos_soak(
         Tracer::disabled(),
     );
     assert_eq!(baseline.shed, 0, "fault-free baseline must not shed");
+    assert!(
+        baseline.slo.alerts().is_empty(),
+        "fault-free baseline must not fire burn-rate alerts, got {:?}",
+        baseline.slo.alerts()
+    );
     let mut base_bits = std::collections::BTreeMap::new();
     for r in &baseline.responses {
         assert!(!r.degraded, "fault-free baseline degraded id {}", r.id);
@@ -854,6 +1067,32 @@ fn run_chaos_soak(
     );
     assert_eq!((p0.issued, p0.shed), (p1.issued, p1.shed));
     assert_eq!(p0.quarantined, p1.quarantined);
+    assert_eq!(
+        p0.slo.alerts(),
+        p1.slo.alerts(),
+        "identically-seeded chaos runs must fire identical burn-rate alerts"
+    );
+    assert_eq!(
+        p0.metrics_json, p1.metrics_json,
+        "identically-seeded chaos runs must produce byte-identical metrics snapshots"
+    );
+
+    // Gate 1b — alert containment: every burn-rate alert must land inside
+    // a scheduled fault window (plus ALERT_GRACE_TICKS of aftermath). An
+    // alert outside every window would mean the SLO tracker is reacting
+    // to something the chaos schedule did not cause.
+    for alert in p0.slo.alerts() {
+        let contained = schedule.events().iter().any(|e| {
+            alert.tick >= e.start
+                && alert.tick < e.start + e.duration + ALERT_GRACE_TICKS
+        });
+        assert!(
+            contained,
+            "burn-rate alert at tick {} (short {:.2}, long {:.2}) is outside every \
+             scheduled fault window",
+            alert.tick, alert.short_burn, alert.long_burn
+        );
+    }
 
     // Gate 2 — availability: every issued request got an explicit outcome.
     let answered = p0.responses.len() as u64;
@@ -945,11 +1184,24 @@ fn run_chaos_soak(
         report.quarantined,
         report.fallback_fraction
     );
+    let slo_status = p0.slo.status();
+    print_top_report(&p0.tick_ns, &slo_status, Some(&p0.trace));
+    for alert in p0.slo.alerts() {
+        println!(
+            "[ld-top] burn-rate alert at tick {}: short {:.2} long {:.2} (contained in a \
+             fault window)",
+            alert.tick, alert.short_burn, alert.long_burn
+        );
+    }
+    if let Some(path) = &cfg.metrics_out {
+        dump_metrics_files(&p0.metrics, path);
+    }
 
     match &cfg.out {
         Some(path) => {
             std::fs::write(path, text + "\n").expect("write BENCH_resilience document");
             println!("wrote {path}");
+            let metrics_snapshot = p0.metrics.snapshot();
             let manifest = RunManifest::new("ld-loadgen")
                 .seed(cfg.seed)
                 .capture_env()
@@ -959,8 +1211,10 @@ fn run_chaos_soak(
                 .config("families", WorkloadKind::ALL.len())
                 .config("chaos_seed", cfg.chaos_seed)
                 .config("chaos_events", schedule.events().len())
+                .config("slo_alerts", slo_status.alerts)
                 .output("bench", path)
-                .with_trace_summary(&p0.trace);
+                .with_trace_summary(&p0.trace)
+                .with_metrics_summary(metrics_snapshot.series(), metrics_snapshot.observations());
             let manifest_path = format!("{path}.manifest.json");
             manifest.write_json(&manifest_path).expect("write manifest");
             println!("wrote {manifest_path}");

@@ -34,6 +34,7 @@
 use std::collections::BTreeMap;
 
 use ld_api::Predictor as _;
+use ld_metrics::Metrics;
 use ld_nn::{BatchScratch, LstmForecaster};
 use ld_telemetry::Tracer;
 
@@ -243,6 +244,18 @@ pub struct ServeEngine {
     /// (chaos slow-shard windows); cleared by `set_shard_delays`.
     shard_delay: Vec<u64>,
     supervisor: ShardSupervisor,
+    /// Pure-observer metrics plane. Disabled by default; every recording
+    /// site below is guarded so the metrics-off path does no extra work
+    /// and no engine decision ever reads a metric.
+    metrics: Metrics,
+    /// Submission tick per in-flight request id, kept only while metrics
+    /// are enabled, for the logical request-latency histogram.
+    submit_tick: BTreeMap<u64, u64>,
+    /// Registry/breaker/supervisor totals already exported, so each tick
+    /// emits deltas (counters stay monotonic).
+    cache_seen: RegistryStats,
+    trips_seen: u64,
+    drains_seen: u64,
 }
 
 impl ServeEngine {
@@ -266,7 +279,27 @@ impl ServeEngine {
             shard_breakers: (0..shards).map(|_| Breaker::new(cfg.lifecycle.breaker)).collect(),
             shard_delay: vec![0; shards],
             supervisor: ShardSupervisor::new(cfg.lifecycle.supervisor, shards),
+            metrics: Metrics::disabled(),
+            submit_tick: BTreeMap::new(),
+            cache_seen: RegistryStats::default(),
+            trips_seen: 0,
+            drains_seen: 0,
         }
+    }
+
+    /// Attaches a metrics handle (builder style, like the tracer). The
+    /// engine only ever *writes* metrics; behavior with metrics enabled is
+    /// bitwise identical to disabled — the loadgen and perfbench gates
+    /// assert it.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The metrics handle threaded through every tick.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Installs a snapshot for `key` (training-time provisioning). Spill
@@ -285,7 +318,20 @@ impl ServeEngine {
                 req.deadline = Some(self.tick.saturating_add(budget));
             }
         }
-        self.queue.offer(req)
+        let id = req.id;
+        match self.queue.offer(req) {
+            Ok(()) => {
+                if self.metrics.is_enabled() {
+                    self.metrics.incr("serve.requests_submitted_total");
+                    self.submit_tick.insert(id, self.tick);
+                }
+                Ok(())
+            }
+            Err(req) => {
+                self.metrics.incr("serve.requests_shed_total");
+                Err(req)
+            }
+        }
     }
 
     /// Engine-wide accounting.
@@ -374,6 +420,14 @@ impl ServeEngine {
             (report.quarantined_torn + report.quarantined_corrupt) as u64,
             report.indexed as u64,
         );
+        if self.metrics.is_enabled() {
+            self.metrics.incr("serve.store_recoveries_total");
+            self.metrics.add(
+                "serve.store_quarantined_total",
+                (report.quarantined_torn + report.quarantined_corrupt) as u64,
+            );
+            self.metrics.gauge_set("serve.store_indexed", report.indexed as u64);
+        }
         Ok(report)
     }
 
@@ -385,6 +439,15 @@ impl ServeEngine {
         self.tick += 1;
         let tick_span = self.tracer.span_at("tick", tick_idx);
         let tr = tick_span.tracer();
+
+        // Lifecycle counters are emitted as per-tick deltas against this
+        // entry snapshot, so one guard covers every site in the resolve
+        // loop below.
+        let lifecycle_before = self.lifecycle_stats;
+        if self.metrics.is_enabled() {
+            self.metrics.gauge_set("serve.queue_depth", self.queue.depth() as u64);
+            self.metrics.gauge_set("serve.parked", self.parked.len() as u64);
+        }
 
         let mut work: Vec<InFlight> = self.parked.release(tick_idx);
         work.extend(self.queue.drain().into_iter().map(|req| InFlight {
@@ -519,6 +582,19 @@ impl ServeEngine {
             }
         }
 
+        if self.metrics.is_enabled() {
+            for (shard, &n) in per_shard.iter().enumerate() {
+                if n > 0 {
+                    self.metrics.gauge_set(&format!("serve.shard{shard}.requests"), n);
+                    self.metrics.observe("serve.shard_requests", n);
+                }
+            }
+            self.metrics.observe("serve.batch_groups", groups.len() as u64);
+            for group in groups.values() {
+                self.metrics.observe("serve.batch_size", group.lanes.len() as u64);
+            }
+        }
+
         for (ordinal, group) in groups.values_mut().enumerate() {
             let batch_span = tr.span_at("batch", ordinal as u64);
             let btr = batch_span.tracer();
@@ -608,7 +684,78 @@ impl ServeEngine {
         responses.sort_by_key(|r| r.id);
         self.served += responses.len() as u64;
         self.degraded += responses.iter().filter(|r| r.degraded).count() as u64;
+
+        if self.metrics.is_enabled() {
+            self.record_tick_metrics(tick_idx, &responses, lifecycle_before, &transitions);
+        }
         responses
+    }
+
+    /// Per-tick metrics export: response counters, logical latency
+    /// histogram, lifecycle deltas, breaker/supervisor transitions, and
+    /// registry cache deltas. Called only with metrics enabled; reads
+    /// engine state, never writes it.
+    fn record_tick_metrics(
+        &mut self,
+        tick_idx: u64,
+        responses: &[Response],
+        lifecycle_before: LifecycleStats,
+        transitions: &[crate::supervisor::HealthTransition],
+    ) {
+        let m = &self.metrics;
+        m.add("serve.responses_total", responses.len() as u64);
+        for r in responses {
+            if r.degraded {
+                m.incr("serve.responses_degraded_total");
+            }
+            if let Some(submitted) = self.submit_tick.remove(&r.id) {
+                m.observe("serve.request_latency_ticks", tick_idx.saturating_sub(submitted));
+            }
+        }
+        let lc = self.lifecycle_stats;
+        m.add("serve.expired_total", lc.expired.saturating_sub(lifecycle_before.expired));
+        m.add("serve.retries_total", lc.retries.saturating_sub(lifecycle_before.retries));
+        m.add(
+            "serve.deferrals_total",
+            lc.deferrals.saturating_sub(lifecycle_before.deferrals),
+        );
+        m.add(
+            "serve.breaker_fallbacks_total",
+            lc.breaker_fallbacks.saturating_sub(lifecycle_before.breaker_fallbacks),
+        );
+
+        let trips: u64 = self
+            .tenant_breakers
+            .values()
+            .chain(self.shard_breakers.iter())
+            .map(Breaker::trips)
+            .sum();
+        m.add("serve.breaker_trips_total", trips.saturating_sub(self.trips_seen));
+        self.trips_seen = trips;
+
+        m.add("serve.shard_health_transitions_total", transitions.len() as u64);
+        let drains = self.supervisor.drains();
+        m.add("serve.shard_drains_total", drains.saturating_sub(self.drains_seen));
+        self.drains_seen = drains;
+
+        let cache = self.registry.stats();
+        let seen = self.cache_seen;
+        m.add("serve.cache_hits_total", cache.hits.saturating_sub(seen.hits));
+        m.add("serve.cache_misses_total", cache.misses.saturating_sub(seen.misses));
+        m.add(
+            "serve.cache_rehydrations_total",
+            cache.rehydrations.saturating_sub(seen.rehydrations),
+        );
+        m.add(
+            "serve.cache_corrupt_rehydrations_total",
+            cache.corrupt_rehydrations.saturating_sub(seen.corrupt_rehydrations),
+        );
+        m.add("serve.cache_evictions_total", cache.evictions.saturating_sub(seen.evictions));
+        m.add(
+            "serve.cache_failed_spills_total",
+            cache.failed_spills.saturating_sub(seen.failed_spills),
+        );
+        self.cache_seen = cache;
     }
 
     /// Handles a model-path failure for `item`: records the outcome, then
@@ -1043,6 +1190,52 @@ mod tests {
             assert!(id < 20, "breaker never recovered");
         }
         assert_eq!(e.tenant_breaker_state(&ghost), BreakerState::Closed);
+    }
+
+    #[test]
+    fn metrics_are_pure_observers_and_deterministic() {
+        let run = |store_name: &str, metrics: Metrics| -> (u64, Metrics) {
+            let mut e = engine(store_name, ExecMode::Batched).with_metrics(metrics);
+            let mut all = Vec::new();
+            for t in 0..6u64 {
+                e.provision(ClientKey::new(format!("t{t}"), "w"), snapshot(t % 3, (0.0, 60.0)));
+            }
+            for tick in 0..4u64 {
+                for t in 0..6u64 {
+                    e.submit(Request::new(
+                        tick * 6 + t,
+                        ClientKey::new(format!("t{t}"), "w"),
+                        history(t + tick),
+                    ))
+                    .expect("admit");
+                }
+                all.extend(e.tick());
+            }
+            (response_digest(&all), e.metrics().clone())
+        };
+
+        let (d_off, _) = run("engine-metrics-off", Metrics::disabled());
+        let (d_on_a, m_a) = run("engine-metrics-a", Metrics::enabled());
+        let (d_on_b, m_b) = run("engine-metrics-b", Metrics::enabled());
+
+        // Pure observer: metrics on/off must not change a single response bit.
+        assert_eq!(d_off, d_on_a, "metrics-on run diverged from metrics-off");
+        // Determinism: identical runs produce byte-identical snapshot JSON.
+        let json_a = ld_metrics::to_metrics_json(&m_a.snapshot().deterministic());
+        let json_b = ld_metrics::to_metrics_json(&m_b.snapshot().deterministic());
+        assert_eq!(d_on_a, d_on_b);
+        assert_eq!(json_a, json_b, "metrics snapshots must be byte-identical");
+
+        // The snapshot actually carries the serving story.
+        let s = m_a.snapshot();
+        assert_eq!(s.counter("serve.requests_submitted_total"), 24);
+        assert_eq!(s.counter("serve.responses_total"), 24);
+        let lat = s.histogram("serve.request_latency_ticks").expect("latency histogram");
+        assert_eq!(lat.count, 24);
+        assert!(s.histogram("serve.batch_size").is_some());
+        assert!(s.gauge("serve.queue_depth").is_some());
+        assert!(ld_metrics::validate_metrics_json(&ld_metrics::to_metrics_json(&s)).is_ok());
+        assert!(ld_metrics::validate_exposition(&ld_metrics::to_prometheus(&s)).is_ok());
     }
 
     #[test]

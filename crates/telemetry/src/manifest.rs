@@ -22,6 +22,7 @@ pub const CAPTURED_ENV_KEYS: &[&str] = &[
     "LD_CHAOS_SEED",
     "LD_TELEMETRY",
     "LD_TRACE",
+    "LD_METRICS",
     "LD_FAST",
 ];
 
@@ -61,6 +62,12 @@ pub struct RunManifest {
     /// Event count of the attached telemetry snapshot (0 when telemetry was
     /// off).
     pub telemetry_events: u64,
+    /// Distinct metric names in the attached metrics snapshot (0 when the
+    /// metrics plane was off).
+    pub metric_names: u64,
+    /// Total observations (counter increments + gauge sets + histogram
+    /// samples) behind the attached metrics snapshot.
+    pub metric_observations: u64,
 }
 
 impl RunManifest {
@@ -78,6 +85,8 @@ impl RunManifest {
             trace_spans: 0,
             trace_roots: 0,
             telemetry_events: 0,
+            metric_names: 0,
+            metric_observations: 0,
         }
     }
 
@@ -129,6 +138,16 @@ impl RunManifest {
     /// Summarizes a telemetry snapshot into the manifest.
     pub fn with_telemetry_summary(mut self, snapshot: &Snapshot) -> Self {
         self.telemetry_events = snapshot.events.len() as u64;
+        self
+    }
+
+    /// Summarizes a metrics snapshot into the manifest: how many distinct
+    /// series it carried and how many raw observations backed them. Kept
+    /// as two plain counts (not a dependency on the metrics crate) so the
+    /// manifest stays the bottom of the crate graph.
+    pub fn with_metrics_summary(mut self, names: u64, observations: u64) -> Self {
+        self.metric_names = names;
+        self.metric_observations = observations;
         self
     }
 
@@ -198,11 +217,14 @@ mod tests {
             .config("series_len", 600)
             .output("trace_chrome", "out/trace.json")
             .with_trace_summary(&tr.snapshot())
-            .with_telemetry_summary(&tel.snapshot());
+            .with_telemetry_summary(&tel.snapshot())
+            .with_metrics_summary(3, 17);
         manifest.validate().unwrap();
         assert_eq!(manifest.trace_spans, 1);
         assert_eq!(manifest.trace_roots, 1);
         assert_eq!(manifest.telemetry_events, 1);
+        assert_eq!(manifest.metric_names, 3);
+        assert_eq!(manifest.metric_observations, 17);
         assert_eq!(manifest.output_path("trace_chrome"), Some("out/trace.json"));
         let restored = RunManifest::from_json(&manifest.to_json()).unwrap();
         assert_eq!(manifest, restored);

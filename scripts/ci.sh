@@ -35,8 +35,11 @@ echo "=== ld-perfbench --smoke (kernel equivalence + bench schema + regression g
 # kernel regression.
 cargo run -q --release -p ld-perfbench -- --smoke --compare BENCH_perf.json --tolerance 1.8
 
-echo "=== ld-loadgen --smoke (serve replay: equivalence, determinism, shed, cache) ==="
-cargo run -q --release -p ld-serve --bin ld-loadgen -- --smoke
+echo "=== ld-loadgen --smoke (serve replay: equivalence, determinism, shed, cache, metrics) ==="
+mkdir -p target
+rm -f target/ci-metrics.json target/ci-metrics.json.prom
+LD_METRICS=target/ci-metrics.json cargo run -q --release -p ld-serve --bin ld-loadgen -- --smoke
+cargo run -q --release --bin ld-cli -- metrics-validate target/ci-metrics.json target/ci-metrics.json.prom
 cargo run -q --release -p ld-serve --bin ld-loadgen -- --check BENCH_serve.json
 
 echo "=== ld-loadgen --chaos --smoke (chaos soak: availability, isolation, determinism) ==="

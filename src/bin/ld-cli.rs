@@ -20,11 +20,19 @@
 //! `ld-cli trace-validate <trace.json> [manifest.json]` schema-checks the
 //! emitted artifacts (used by CI).
 //!
+//! `optimize`, `predict` and `evaluate` also accept `--metrics[=PATH]`
+//! (or the `LD_METRICS` environment knob): counters and log-linear
+//! histograms of the run (trials, validation MAPE, baseline errors) are
+//! dumped as schema-checked JSON at `PATH` (default `metrics.json`) plus
+//! a Prometheus text exposition at `PATH.prom`. `ld-cli metrics-validate
+//! <metrics.json> [exposition.prom]` schema-checks those artifacts.
+//!
 //! Traces are plain text (`ld_api::Series::to_text` format): an optional
 //! `# name interval_mins=N` header, then one JAR per line.
 
 use ld_api::{predict_horizon, walk_forward, Partition, Predictor, Series};
 use ld_baselines::{CloudInsight, CloudScale, WoodPredictor};
+use ld_metrics::Metrics;
 use ld_telemetry::{RunManifest, Telemetry, TraceSnapshot, Tracer};
 use ld_traces::all_configurations;
 use loaddynamics::{FrameworkConfig, LoadDynamics};
@@ -35,7 +43,9 @@ fn usage() -> ! {
          ld-cli optimize <trace.txt> [--fast] [--telemetry[=PATH]] [--trace-out[=PATH]]\n  \
          ld-cli predict <trace.txt> [horizon] [--telemetry[=PATH]] [--trace-out[=PATH]]\n  \
          ld-cli evaluate <trace.txt> [--telemetry[=PATH]] [--trace-out[=PATH]]\n  \
-         ld-cli trace-validate <trace.json> [manifest.json]\n  ld-cli list"
+         ld-cli trace-validate <trace.json> [manifest.json]\n  \
+         ld-cli metrics-validate <metrics.json> [exposition.prom]\n  ld-cli list\n\n\
+         optimize/predict/evaluate also accept --metrics[=PATH] (or LD_METRICS=1|PATH)"
     );
     std::process::exit(2);
 }
@@ -62,6 +72,28 @@ fn trace_out_path(args: &[String]) -> Option<String> {
     })
 }
 
+/// Parses `--metrics` / `--metrics=PATH` into a metrics-dump path, falling
+/// back to the `LD_METRICS` environment knob (`1` → `metrics.json`, any
+/// other value is taken as the path) so wrappers can enable metrics
+/// without editing command lines.
+fn metrics_out_path(args: &[String]) -> Option<String> {
+    args.iter()
+        .find_map(|a| {
+            if a == "--metrics" {
+                Some("metrics.json".to_string())
+            } else {
+                a.strip_prefix("--metrics=").map(str::to_string)
+            }
+        })
+        .or_else(|| {
+            // ld-lint: allow(determinism, "pure-observer metrics dump knob; captured in the run manifest")
+            std::env::var("LD_METRICS")
+                .ok()
+                .filter(|v| !v.is_empty())
+                .map(|v| if v == "1" { "metrics.json".to_string() } else { v })
+        })
+}
+
 /// Writes the snapshot and tells the user where it went.
 fn dump_telemetry(telemetry: &Telemetry, path: &str) {
     telemetry.write_json(path).unwrap_or_else(|e| {
@@ -79,6 +111,27 @@ fn write_or_die(path: &str, contents: &str, what: &str) {
     eprintln!("{what} written to {path}");
 }
 
+/// Writes the metrics snapshot as schema-checked JSON at `path` and a
+/// Prometheus text exposition at `path.prom`.
+fn dump_metrics(metrics: &Metrics, path: &str) {
+    let snapshot = metrics.snapshot();
+    let json = ld_metrics::to_metrics_json(&snapshot);
+    ld_metrics::validate_metrics_json(&json).expect("metrics dump must pass its own validator");
+    write_or_die(path, &json, "metrics");
+    let prom = ld_metrics::to_prometheus(&snapshot);
+    ld_metrics::validate_exposition(&prom).expect("exposition must pass its own validator");
+    write_or_die(&format!("{path}.prom"), &prom, "metrics exposition");
+}
+
+/// The optional observer planes a command ran with, bundled for manifest
+/// stamping.
+struct Observers<'a> {
+    telemetry: &'a Telemetry,
+    telemetry_out: Option<&'a str>,
+    metrics: &'a Metrics,
+    metrics_out: Option<&'a str>,
+}
+
 /// Writes the Chrome trace at `path`, the folded stacks at `path.folded`
 /// and the run manifest at `path.manifest.json`.
 fn dump_trace(
@@ -86,8 +139,7 @@ fn dump_trace(
     path: &str,
     tool: &str,
     config: &[(&str, String)],
-    telemetry: &Telemetry,
-    telemetry_out: Option<&str>,
+    observers: &Observers<'_>,
 ) {
     let snapshot: TraceSnapshot = tracer.snapshot();
     write_or_die(path, &snapshot.to_chrome_trace(), "chrome trace");
@@ -101,10 +153,19 @@ fn dump_trace(
     for (key, value) in config {
         manifest = manifest.config(key, value);
     }
-    if telemetry.is_enabled() {
-        manifest = manifest.with_telemetry_summary(&telemetry.snapshot());
-        if let Some(tpath) = telemetry_out {
+    if observers.telemetry.is_enabled() {
+        manifest = manifest.with_telemetry_summary(&observers.telemetry.snapshot());
+        if let Some(tpath) = observers.telemetry_out {
             manifest = manifest.output("telemetry", tpath);
+        }
+    }
+    if observers.metrics.is_enabled() {
+        let snapshot = observers.metrics.snapshot();
+        manifest = manifest.with_metrics_summary(snapshot.series(), snapshot.observations());
+        if let Some(mpath) = observers.metrics_out {
+            manifest = manifest
+                .output("metrics", mpath)
+                .output("metrics_exposition", format!("{mpath}.prom"));
         }
     }
     if let Err(e) = manifest.validate() {
@@ -172,7 +233,31 @@ fn cmd_generate(label: &str, out: &str) {
     );
 }
 
-fn cmd_optimize(path: &str, fast: bool, telemetry_out: Option<&str>, trace_out: Option<&str>) {
+/// Records the search outcome on the metrics registry: one counter tick
+/// per trial, the per-trial validation MAPE distribution in basis points
+/// (log-linear buckets resolve the single-digit-percent region), and the
+/// selected model's error as a gauge.
+fn record_search_metrics(metrics: &Metrics, outcome: &loaddynamics::OptimizationOutcome) {
+    for trial in &outcome.trials.trials {
+        metrics.incr("cli.trials_total");
+        metrics.observe(
+            "cli.val_mape_bp",
+            ld_api::num::to_count(trial.value * 100.0) as u64,
+        );
+    }
+    metrics.gauge_set(
+        "cli.selected_val_mape_bp",
+        ld_api::num::to_count(outcome.val_mape * 100.0) as u64,
+    );
+}
+
+fn cmd_optimize(
+    path: &str,
+    fast: bool,
+    telemetry_out: Option<&str>,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) {
     let series = read_series(path);
     println!(
         "optimizing on {} ({} intervals, {} min each)...",
@@ -182,12 +267,17 @@ fn cmd_optimize(path: &str, fast: bool, telemetry_out: Option<&str>, trace_out: 
     );
     let telemetry = telemetry_out.map_or_else(Telemetry::disabled, |_| Telemetry::enabled());
     let tracer = trace_out.map_or_else(Tracer::disabled, |_| Tracer::enabled());
+    let metrics = metrics_out.map_or_else(Metrics::disabled, |_| Metrics::enabled());
     let outcome = framework(series.len(), fast, &telemetry, &tracer).optimize(&series);
+    record_search_metrics(&metrics, &outcome);
     println!("selected hyperparameters: {}", outcome.hyperparams);
     println!("cross-validation MAPE:    {:.2}%", outcome.val_mape);
     println!("trials evaluated:         {}", outcome.trials.trials.len());
     if let Some(out) = telemetry_out {
         dump_telemetry(&telemetry, out);
+    }
+    if let Some(out) = metrics_out {
+        dump_metrics(&metrics, out);
     }
     if let Some(out) = trace_out {
         dump_trace(
@@ -201,17 +291,29 @@ fn cmd_optimize(path: &str, fast: bool, telemetry_out: Option<&str>, trace_out: 
                 ("selected_hyperparams", outcome.hyperparams.to_string()),
                 ("val_mape_pct", format!("{:.4}", outcome.val_mape)),
             ],
-            &telemetry,
-            telemetry_out,
+            &Observers {
+                telemetry: &telemetry,
+                telemetry_out,
+                metrics: &metrics,
+                metrics_out,
+            },
         );
     }
 }
 
-fn cmd_predict(path: &str, horizon: usize, telemetry_out: Option<&str>, trace_out: Option<&str>) {
+fn cmd_predict(
+    path: &str,
+    horizon: usize,
+    telemetry_out: Option<&str>,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) {
     let series = read_series(path);
     let telemetry = telemetry_out.map_or_else(Telemetry::disabled, |_| Telemetry::enabled());
     let tracer = trace_out.map_or_else(Tracer::disabled, |_| Tracer::enabled());
+    let metrics = metrics_out.map_or_else(Metrics::disabled, |_| Metrics::enabled());
     let outcome = framework(series.len(), false, &telemetry, &tracer).optimize(&series);
+    record_search_metrics(&metrics, &outcome);
     eprintln!(
         "tuned {} (val MAPE {:.1}%)",
         outcome.hyperparams, outcome.val_mape
@@ -219,11 +321,16 @@ fn cmd_predict(path: &str, horizon: usize, telemetry_out: Option<&str>, trace_ou
     let hyperparams = outcome.hyperparams;
     let mut predictor = outcome.predictor;
     let preds = predict_horizon(&mut predictor, &series.values, horizon);
+    metrics.add("cli.predictions_total", preds.len() as u64);
     for (k, p) in preds.iter().enumerate() {
         println!("t+{}: {:.1}", k + 1, p);
+        metrics.observe("cli.predicted_jars", ld_api::num::to_count(*p) as u64);
     }
     if let Some(out) = telemetry_out {
         dump_telemetry(&telemetry, out);
+    }
+    if let Some(out) = metrics_out {
+        dump_metrics(&metrics, out);
     }
     if let Some(out) = trace_out {
         dump_trace(
@@ -236,13 +343,22 @@ fn cmd_predict(path: &str, horizon: usize, telemetry_out: Option<&str>, trace_ou
                 ("horizon", horizon.to_string()),
                 ("selected_hyperparams", hyperparams.to_string()),
             ],
-            &telemetry,
-            telemetry_out,
+            &Observers {
+                telemetry: &telemetry,
+                telemetry_out,
+                metrics: &metrics,
+                metrics_out,
+            },
         );
     }
 }
 
-fn cmd_evaluate(path: &str, telemetry_out: Option<&str>, trace_out: Option<&str>) {
+fn cmd_evaluate(
+    path: &str,
+    telemetry_out: Option<&str>,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) {
     let series = read_series(path);
     let partition = Partition::paper_default(series.len());
     println!(
@@ -251,7 +367,9 @@ fn cmd_evaluate(path: &str, telemetry_out: Option<&str>, trace_out: Option<&str>
     );
     let telemetry = telemetry_out.map_or_else(Telemetry::disabled, |_| Telemetry::enabled());
     let tracer = trace_out.map_or_else(Tracer::disabled, |_| Tracer::enabled());
+    let metrics = metrics_out.map_or_else(Metrics::disabled, |_| Metrics::enabled());
     let outcome = framework(series.len(), false, &telemetry, &tracer).optimize(&series);
+    record_search_metrics(&metrics, &outcome);
     let hyperparams = outcome.hyperparams;
     let mut rows: Vec<(String, f64)> = Vec::new();
     let mut ld: Box<dyn Predictor> = Box::new(outcome.predictor);
@@ -268,11 +386,19 @@ fn cmd_evaluate(path: &str, telemetry_out: Option<&str>, trace_out: Option<&str>
         let mape = walk_forward(b.as_mut(), &series, partition.val_end).mape();
         rows.push((b.name(), mape));
     }
-    for (name, mape) in rows {
+    for (name, mape) in &rows {
         println!("  {name:<14} MAPE {mape:>7.2}%");
+        metrics.incr("cli.predictors_total");
+        metrics.observe(
+            "cli.walkforward_mape_bp",
+            ld_api::num::to_count(*mape * 100.0) as u64,
+        );
     }
     if let Some(out) = telemetry_out {
         dump_telemetry(&telemetry, out);
+    }
+    if let Some(out) = metrics_out {
+        dump_metrics(&metrics, out);
     }
     if let Some(out) = trace_out {
         dump_trace(
@@ -284,8 +410,12 @@ fn cmd_evaluate(path: &str, telemetry_out: Option<&str>, trace_out: Option<&str>
                 ("series", series.name.clone()),
                 ("selected_hyperparams", hyperparams.to_string()),
             ],
-            &telemetry,
-            telemetry_out,
+            &Observers {
+                telemetry: &telemetry,
+                telemetry_out,
+                metrics: &metrics,
+                metrics_out,
+            },
         );
     }
 }
@@ -348,12 +478,35 @@ fn cmd_trace_validate(trace_path: &str, manifest_path: Option<&str>) {
     }
 }
 
+/// Schema-checks a metrics JSON dump and, optionally, its Prometheus text
+/// exposition sibling. Exits nonzero on the first violation — CI gates on
+/// this.
+fn cmd_metrics_validate(metrics_path: &str, exposition_path: Option<&str>) {
+    match ld_metrics::validate_metrics_json(&read_or_die(metrics_path)) {
+        Ok(n) => println!("{metrics_path}: valid metrics snapshot, {n} series"),
+        Err(e) => {
+            eprintln!("{metrics_path}: invalid metrics snapshot: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(prom_path) = exposition_path {
+        match ld_metrics::validate_exposition(&read_or_die(prom_path)) {
+            Ok(n) => println!("{prom_path}: valid exposition, {n} samples"),
+            Err(e) => {
+                eprintln!("{prom_path}: invalid exposition: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Opt-in fault injection for resilience drills (LD_FAULT / LD_FAULT_SEED).
     ld_faultinject::activate_from_env(0);
     let telemetry_out = telemetry_path(&args);
     let trace_out = trace_out_path(&args);
+    let metrics_out = metrics_out_path(&args);
     match args.first().map(String::as_str) {
         Some("generate") if args.len() == 3 => cmd_generate(&args[1], &args[2]),
         Some("optimize") if args.len() >= 2 => cmd_optimize(
@@ -361,6 +514,7 @@ fn main() {
             args.iter().any(|a| a == "--fast"),
             telemetry_out.as_deref(),
             trace_out.as_deref(),
+            metrics_out.as_deref(),
         ),
         Some("predict") if args.len() >= 2 => {
             let horizon = args
@@ -373,13 +527,20 @@ fn main() {
                 horizon,
                 telemetry_out.as_deref(),
                 trace_out.as_deref(),
+                metrics_out.as_deref(),
             )
         }
-        Some("evaluate") if args.len() >= 2 => {
-            cmd_evaluate(&args[1], telemetry_out.as_deref(), trace_out.as_deref())
-        }
+        Some("evaluate") if args.len() >= 2 => cmd_evaluate(
+            &args[1],
+            telemetry_out.as_deref(),
+            trace_out.as_deref(),
+            metrics_out.as_deref(),
+        ),
         Some("trace-validate") if args.len() >= 2 => {
             cmd_trace_validate(&args[1], args.get(2).map(String::as_str))
+        }
+        Some("metrics-validate") if args.len() >= 2 => {
+            cmd_metrics_validate(&args[1], args.get(2).map(String::as_str))
         }
         Some("list") => cmd_list(),
         _ => usage(),
